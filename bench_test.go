@@ -1,0 +1,290 @@
+// Benchmarks regenerating the cost side of every table and figure in the
+// paper's evaluation, plus the infrastructure micro-benches the DESIGN.md
+// ablations reference. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Shape expectations (documented in EXPERIMENTS.md): SWEC beats the
+// Newton engines per time point everywhere; the Table I cold-start
+// protocol shows the paper's 20-40x band; dense/sparse LU cross over
+// around n ≈ 160.
+package nanosim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nanosim"
+	"nanosim/internal/dcop"
+	"nanosim/internal/device"
+	"nanosim/internal/exp"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/randx"
+	"nanosim/internal/sde"
+)
+
+// BenchmarkTable1DCSweep is Table I: the RTD divider I-V sweep under the
+// three protocols.
+func BenchmarkTable1DCSweep(b *testing.B) {
+	mk := func() *nanosim.Circuit {
+		c := nanosim.NewCircuit("table1")
+		c.AddVSource("V1", "in", "0", nanosim.DC(0))
+		c.AddResistor("R1", "in", "d", 300)
+		c.AddDevice("N1", "d", "0", nanosim.NewRTD())
+		return c
+	}
+	b.Run("swec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.Sweep(mk(), "V1", 0, 1.5, 151, "N1", nanosim.DCOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mla-warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.NewtonSweep(mk(), "V1", 0, 1.5, 151, "N1",
+				nanosim.NewtonDCOptions{Limit: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mla-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.NewtonSweep(mk(), "V1", 0, 1.5, 151, "N1",
+				nanosim.NewtonDCOptions{Limit: true, ColdStart: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig5Conductance compares one differential-conductance
+// evaluation against one equivalent-conductance evaluation (the per-step
+// device cost behind Figure 5).
+func BenchmarkFig5Conductance(b *testing.B) {
+	rtd := nanosim.NewRTD()
+	b.Run("differential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = rtd.G(0.4)
+		}
+	})
+	b.Run("swec-geq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = nanosim.Geq(rtd, 0.4)
+		}
+	})
+}
+
+// BenchmarkFig7aSweep regenerates the Figure 7(a) divider sweep with the
+// Aitken-refined accuracy settings.
+func BenchmarkFig7aSweep(b *testing.B) {
+	c := nanosim.NewCircuit("fig7a")
+	c.AddVSource("V1", "in", "0", nanosim.DC(0))
+	c.AddResistor("R1", "in", "d", 100)
+	c.AddDevice("N1", "d", "0", nanosim.NewRTD())
+	c.AddCapacitor("CD", "d", "0", 10e-15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nanosim.Sweep(c, "V1", 0, 1.5, 151, "N1", nanosim.DCOptions{RefineIters: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Inverter times the Figure 8 transient on all four
+// engines.
+func BenchmarkFig8Inverter(b *testing.B) {
+	const tStop = 500e-9
+	b.Run("swec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.Transient(exp.FETRTDInverter(exp.InverterInput()),
+				nanosim.TranOptions{TStop: tStop}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.TransientNR(exp.FETRTDInverter(exp.InverterInput()),
+				nanosim.BaselineOptions{TStop: tStop}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mla", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.TransientMLA(exp.FETRTDInverter(exp.InverterInput()),
+				nanosim.BaselineOptions{TStop: tStop}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pwl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.TransientPWL(exp.FETRTDInverter(exp.InverterInput()),
+				nanosim.BaselineOptions{TStop: tStop}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig9FlipFlop times the Figure 9 MOBILE latch transient.
+func BenchmarkFig9FlipFlop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := nanosim.Transient(exp.RTDDFF(exp.DFFClock(), exp.DFFData()),
+			nanosim.TranOptions{TStop: 500e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10EM times the Figure 10 stochastic analyses: one
+// Euler-Maruyama path and a small ensemble.
+func BenchmarkFig10EM(b *testing.B) {
+	b.Run("path", func(b *testing.B) {
+		ckt := exp.NoisyRCNode(8e-10)
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.Stochastic(ckt, nanosim.NoiseOptions{
+				TStop: 1e-9, Steps: 400, Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ensemble100", func(b *testing.B) {
+		ckt := exp.NoisyRCNode(8e-10)
+		for i := 0; i < b.N; i++ {
+			if _, err := nanosim.MonteCarlo(ckt, nanosim.EnsembleOptions{
+				Base:  nanosim.NoiseOptions{TStop: 1e-9, Steps: 200, Seed: uint64(i)},
+				Paths: 100,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSpeedupChain is the headline scaling comparison: SWEC vs the
+// Newton baseline on the same fixed grid across chain sizes.
+func BenchmarkSpeedupChain(b *testing.B) {
+	step := nanosim.Pulse{V1: 0.3, V2: 1.1, Delay: 20e-9, Rise: 2e-9, Fall: 2e-9, Width: 100e-9}
+	const tStop, h = 200e-9, 0.5e-9
+	for _, n := range []int{5, 20, 60} {
+		b.Run(fmt.Sprintf("swec-n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := nanosim.Transient(exp.RTDChain(n, step), nanosim.TranOptions{
+					TStop: tStop, FixedStep: true, HInit: h}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("nr-n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := nanosim.TransientNR(exp.RTDChain(n, step), nanosim.BaselineOptions{
+					TStop: tStop, HInit: h, HMax: h, HMin: h}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolver locates the dense/sparse LU crossover that
+// linsolve.Auto encodes (ABL-SOLVE).
+func BenchmarkSolver(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		build := func(s linsolve.Solver) {
+			for i := 0; i < n; i++ {
+				s.Add(i, i, 2.1)
+				if i > 0 {
+					s.Add(i, i-1, -1)
+				}
+				if i < n-1 {
+					s.Add(i, i+1, -1)
+				}
+			}
+		}
+		rhs := make([]float64, n)
+		rhs[0] = 1
+		out := make([]float64, n)
+		b.Run(fmt.Sprintf("dense-n%d", n), func(b *testing.B) {
+			s := linsolve.NewDense(n, nil)
+			build(s)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Solve(rhs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sparse-n%d", n), func(b *testing.B) {
+			s := linsolve.NewSparse(n, nil)
+			build(s)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Solve(rhs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeviceEval times the compact models (the inner loop of every
+// engine).
+func BenchmarkDeviceEval(b *testing.B) {
+	rtd := device.NewRTD()
+	wire := device.NewNanowire()
+	rtt := device.NewRTT()
+	b.Run("rtd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = rtd.I(0.4)
+		}
+	})
+	b.Run("nanowire", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = wire.I(0.9)
+		}
+	})
+	b.Run("rtt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = rtt.I(1.1)
+		}
+	})
+}
+
+// BenchmarkWienerPath times stochastic path generation (ABL-EM
+// infrastructure).
+func BenchmarkWienerPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = randx.NewWiener(randx.Split(1, i), 1e-9, 512)
+	}
+}
+
+// BenchmarkItoSums times the eq (15)/(16) discretizations.
+func BenchmarkItoSums(b *testing.B) {
+	w := randx.NewWiener(randx.New(5), 1, 1024)
+	b.Run("ito", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = sde.ItoWdW(w)
+		}
+	})
+	b.Run("stratonovich", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = sde.StratonovichWdW(w)
+		}
+	})
+}
+
+// BenchmarkScalarNewtonVsGeq compares the per-point cost of the two
+// linearizations on the Figure 2 load line (dcop infrastructure).
+func BenchmarkScalarNewtonVsGeq(b *testing.B) {
+	rtd := device.NewRTD()
+	b.Run("newton", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dcop.ScalarNewton(rtd, 0.8, 600, 0.1, 60); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,80 @@
+// Command nanobench regenerates the paper's tables and figures (plus the
+// DESIGN.md ablations) from the experiment registry.
+//
+// Usage:
+//
+//	nanobench -list               enumerate experiments
+//	nanobench -exp fig5           run one experiment
+//	nanobench -all                run everything (the EXPERIMENTS.md run)
+//	nanobench -all -quick         reduced workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nanosim/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	one := flag.String("exp", "", "run a single experiment by id")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "reduced workloads (CI sizes)")
+	seed := flag.Uint64("seed", 0, "override the stochastic seed")
+	flag.Parse()
+
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	switch {
+	case *list:
+		entries := exp.All()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+		for _, e := range entries {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+	case *one != "":
+		res, err := exp.Run(*one, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nanobench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Text)
+		printFindings(res)
+	case *all:
+		failed := 0
+		for _, e := range exp.All() {
+			res, err := e.Run(cfg.WithDefaults())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nanobench: %s: %v\n", e.ID, err)
+				failed++
+				continue
+			}
+			fmt.Print(res.Text)
+			printFindings(res)
+			fmt.Println()
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printFindings(res *exp.Result) {
+	if len(res.Findings) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(res.Findings))
+	for k := range res.Findings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("findings:")
+	for _, k := range keys {
+		fmt.Printf("  %-28s %.6g\n", k, res.Findings[k])
+	}
+}

@@ -1,0 +1,171 @@
+// Command nanosim runs SPICE-flavoured netlists through the Nano-Sim
+// engines. Analyses come from the deck's cards:
+//
+//	.op            SWEC operating point
+//	.dc ...        SWEC DC sweep (Figure 7 style I-V extraction)
+//	.tran ...      SWEC transient
+//	.em ...        Euler-Maruyama transient with NOISE= sources
+//
+// Usage:
+//
+//	nanosim [-engine swec|nr|mla|pwl] [-csv out.csv] [-plot] deck.sp
+//
+// The -engine flag switches the transient engine so the paper's
+// comparisons can be run on any deck; DC and EM always use the SWEC
+// machinery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanosim"
+	"nanosim/internal/netparse"
+)
+
+func main() {
+	engine := flag.String("engine", "swec", "transient engine: swec, nr, mla or pwl")
+	csvPath := flag.String("csv", "", "write analysis waveforms as CSV to this file")
+	plot := flag.Bool("plot", true, "render ASCII plots of the results")
+	width := flag.Int("width", 78, "plot width in characters")
+	height := flag.Int("height", 16, "plot height in characters")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nanosim [flags] deck.sp\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *engine, *csvPath, *plot, *width, *height); err != nil {
+		fmt.Fprintln(os.Stderr, "nanosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, engine, csvPath string, plot bool, width, height int) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	deck, err := netparse.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("* %s\n", deck.Circuit.Title)
+	fmt.Printf("* %d elements, %d nodes, %d analyses\n\n",
+		len(deck.Circuit.Elements()), deck.Circuit.NumNodes()-1, len(deck.Analyses))
+	if len(deck.Analyses) == 0 {
+		return fmt.Errorf("deck has no analysis cards (.op/.dc/.tran/.em)")
+	}
+
+	var lastWaves *nanosim.WaveSet
+	for _, a := range deck.Analyses {
+		switch a.Kind {
+		case "op":
+			res, err := nanosim.OperatingPoint(deck.Circuit, nanosim.DCOptions{})
+			if err != nil {
+				return fmt.Errorf(".op: %w", err)
+			}
+			fmt.Printf("== .op (SWEC fixed point, %d iterations) ==\n", res.Iterations)
+			for _, n := range deck.Circuit.NodeNames() {
+				v := res.X[int(deck.Circuit.Node(n))-1]
+				fmt.Printf("  v(%s) = %s\n", n, nanosim.FormatValue(v, 5))
+			}
+			fmt.Println()
+		case "dc":
+			res, err := nanosim.Sweep(deck.Circuit, a.Src, a.From, a.To, a.Points, a.Device,
+				nanosim.DCOptions{RefineIters: 3})
+			if err != nil {
+				return fmt.Errorf(".dc: %w", err)
+			}
+			fmt.Printf("== .dc %s %g -> %g (%d points) ==\n", a.Src, a.From, a.To, a.Points)
+			lastWaves = res.Waves
+			if plot {
+				names := []string{}
+				if a.Device != "" {
+					names = append(names, "i(dev)")
+				}
+				if err := res.Waves.Plot(os.Stdout, width, height, names...); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		case "tran":
+			waves, stats, err := runTransient(deck.Circuit, engine, a)
+			if err != nil {
+				return fmt.Errorf(".tran: %w", err)
+			}
+			fmt.Printf("== .tran to %s (%s engine) ==\n%s\n", nanosim.FormatValue(a.TStop, 3), engine, stats)
+			lastWaves = waves
+			if plot {
+				if err := waves.Plot(os.Stdout, width, height, deck.Prints...); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		case "em":
+			res, err := nanosim.Stochastic(deck.Circuit, nanosim.NoiseOptions{
+				TStop: a.TStop, Steps: a.Steps, Seed: a.Seed})
+			if err != nil {
+				return fmt.Errorf(".em: %w", err)
+			}
+			fmt.Printf("== .em to %s (%d steps, %d noise sources, seed %d) ==\n",
+				nanosim.FormatValue(a.TStop, 3), a.Steps, res.NoiseSources, a.Seed)
+			lastWaves = res.Waves
+			if plot {
+				if err := res.Waves.Plot(os.Stdout, width, height, deck.Prints...); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if csvPath != "" && lastWaves != nil {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := lastWaves.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+// runTransient dispatches on the engine flag.
+func runTransient(ckt *nanosim.Circuit, engine string, a netparse.Analysis) (*nanosim.WaveSet, string, error) {
+	switch engine {
+	case "swec", "":
+		res, err := nanosim.Transient(ckt, nanosim.TranOptions{
+			TStop: a.TStop, HInit: a.TStep, RecordCurrents: true})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.Waves, fmt.Sprintf("steps=%d rejected=%d solves=%d (no Newton iterations)",
+			res.Stats.Steps, res.Stats.Rejected, res.Stats.Solves), nil
+	case "nr", "mla", "pwl":
+		opt := nanosim.BaselineOptions{TStop: a.TStop, HInit: a.TStep, RecordCurrents: true}
+		var res *nanosim.BaselineResult
+		var err error
+		switch engine {
+		case "nr":
+			res, err = nanosim.TransientNR(ckt, opt)
+		case "mla":
+			res, err = nanosim.TransientMLA(ckt, opt)
+		default:
+			res, err = nanosim.TransientPWL(ckt, opt)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		return res.Waves, fmt.Sprintf("steps=%d rejected=%d NR-iters=%d unconverged=%d",
+			res.Stats.Steps, res.Stats.Rejected, res.Stats.NRIters, res.Stats.NonConverged), nil
+	default:
+		return nil, "", fmt.Errorf("unknown engine %q (want swec, nr, mla or pwl)", engine)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDeck = `* CLI test deck
+V1 in 0 PULSE(0.3 1.1 20n 1n 1n 100n)
+R1 in d 600
+N1 d 0 rtdmod
+CD d 0 10f
+.model rtdmod RTD
+.op
+.dc V1 0 1.2 41 N1
+.tran 0.5n 80n
+.em 1n 100 SEED=7
+.end
+`
+
+func writeDeck(t *testing.T, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "deck.sp")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAnalyses(t *testing.T) {
+	path := writeDeck(t, testDeck)
+	csv := filepath.Join(filepath.Dir(path), "out.csv")
+	if err := run(path, "swec", csv, false, 60, 10); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t,") {
+		t.Errorf("CSV header wrong: %q", string(data[:20]))
+	}
+}
+
+func TestRunEngines(t *testing.T) {
+	path := writeDeck(t, testDeck)
+	for _, engine := range []string{"swec", "nr", "mla", "pwl"} {
+		if err := run(path, engine, "", false, 60, 10); err != nil {
+			t.Errorf("engine %s: %v", engine, err)
+		}
+	}
+	if err := run(path, "bogus", "", false, 60, 10); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent/deck.sp", "swec", "", false, 60, 10); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeDeck(t, "title only, no elements\n.end\n")
+	if err := run(bad, "swec", "", false, 60, 10); err == nil {
+		t.Error("empty circuit accepted")
+	}
+	noAnalysis := writeDeck(t, "t\nV1 a 0 1\nR1 a 0 1k\n.end\n")
+	if err := run(noAnalysis, "swec", "", false, 60, 10); err == nil {
+		t.Error("deck without analyses accepted")
+	}
+}
+
+func TestRunWithPlots(t *testing.T) {
+	// Plot path writes to stdout; just confirm it does not error.
+	path := writeDeck(t, testDeck)
+	if err := run(path, "swec", "", true, 60, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRepositoryDecks(t *testing.T) {
+	// The shipped demo decks must stay runnable.
+	for _, deck := range []string{
+		"../../testdata/rtd_divider.sp",
+		"../../testdata/fet_rtd_inverter.sp",
+		"../../testdata/noisy_rc.sp",
+	} {
+		if err := run(deck, "swec", "", false, 60, 8); err != nil {
+			t.Errorf("%s: %v", deck, err)
+		}
+	}
+}

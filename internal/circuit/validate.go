@@ -1,0 +1,62 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// Validate checks the structural health of the circuit before analysis:
+// a ground reference must exist, every node must be reachable from some
+// element, every non-source node needs at least two connections (a
+// one-element node cannot carry current), and the circuit must contain
+// at least one element.
+//
+// Validate returns all problems found, not just the first, so netlist
+// authors can fix a file in one pass.
+func (c *Circuit) Validate() error {
+	var problems []string
+	if len(c.elems) == 0 {
+		problems = append(problems, "circuit has no elements")
+	}
+	degree := make([]int, len(c.nodeNames))
+	groundTouched := false
+	for _, e := range c.elems {
+		for _, n := range e.Nodes() {
+			degree[n]++
+			if n == Ground {
+				groundTouched = true
+			}
+		}
+	}
+	if !groundTouched && len(c.elems) > 0 {
+		problems = append(problems, "no element connects to ground (node 0)")
+	}
+	for id := 1; id < len(c.nodeNames); id++ {
+		switch degree[id] {
+		case 0:
+			problems = append(problems, fmt.Sprintf("node %q is declared but unconnected", c.nodeNames[id]))
+		case 1:
+			problems = append(problems, fmt.Sprintf("node %q has a single connection and cannot carry current", c.nodeNames[id]))
+		}
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return &ValidationError{Problems: problems}
+}
+
+// ValidationError aggregates all structural problems found by Validate.
+type ValidationError struct {
+	Problems []string
+}
+
+// Error joins the problems into one message.
+func (e *ValidationError) Error() string {
+	if len(e.Problems) == 1 {
+		return "circuit: " + e.Problems[0]
+	}
+	msg := fmt.Sprintf("circuit: %d problems:", len(e.Problems))
+	for _, p := range e.Problems {
+		msg += "\n  - " + p
+	}
+	return msg
+}

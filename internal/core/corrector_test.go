@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+)
+
+// diodeDivider is a deliberately stiff exponential branch: the Geq map
+// is marginal there, which is what the Correctors option exists for.
+func diodeDivider() *circuit.Circuit {
+	c := circuit.New("diode divider")
+	c.AddVSource("V1", "in", "0", device.Pulse{V1: 0, V2: 3, Delay: 10e-9, Rise: 1e-9, Width: 100e-9})
+	c.AddResistor("R1", "in", "d", 10e3)
+	c.AddDevice("D1", "d", "0", device.NewDiode())
+	c.AddCapacitor("CD", "d", "0", 1e-13)
+	return c
+}
+
+// TestCorrectorsImproveStiffBranch: with corrector passes the engine
+// needs fewer rejected steps on the diode exponential, and both variants
+// settle to the same clamp voltage.
+func TestCorrectorsImproveStiffBranch(t *testing.T) {
+	plain, err := Transient(diodeDivider(), Options{TStop: 80e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected, err := Transient(diodeDivider(), Options{TStop: 80e-9, Correctors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := plain.Waves.Get("v(d)").Final()
+	vc := corrected.Waves.Get("v(d)").Final()
+	if math.Abs(vp-vc) > 0.02 {
+		t.Errorf("corrected %g vs plain %g disagree", vc, vp)
+	}
+	// The clamp voltage is the diode drop (~0.65-0.85 V at ~0.23 mA).
+	if vc < 0.5 || vc > 1.0 {
+		t.Errorf("clamp voltage %g implausible", vc)
+	}
+	// Correctors cost extra solves per step.
+	if corrected.Stats.Solves <= plain.Stats.Solves &&
+		corrected.Stats.Steps >= plain.Stats.Steps {
+		t.Errorf("correctors had no effect: solves %d vs %d, steps %d vs %d",
+			corrected.Stats.Solves, plain.Stats.Solves, corrected.Stats.Steps, plain.Stats.Steps)
+	}
+}
+
+// TestCorrectorsMatchKCL: the corrected trajectory satisfies KCL tightly
+// at settled points.
+func TestCorrectorsMatchKCL(t *testing.T) {
+	res, err := Transient(diodeDivider(), Options{TStop: 80e-9, Correctors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := res.Waves.Get("v(d)").At(79e-9)
+	d := device.NewDiode()
+	iR := (3 - vd) / 10e3
+	if math.Abs(iR-d.I(vd)) > 0.02*iR {
+		t.Errorf("KCL residual at settled point: %g vs %g", iR, d.I(vd))
+	}
+}

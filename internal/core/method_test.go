@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/stats"
+)
+
+// rcError integrates the unit-step RC charge on a fixed grid and returns
+// the max error against the exact exponential.
+func rcError(t *testing.T, h float64, trap bool) float64 {
+	t.Helper()
+	c := circuit.New("rc")
+	c.AddVSource("V1", "in", "0", device.DC(1))
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-9)
+	res, err := Transient(c, Options{
+		TStop: 3e-6, FixedStep: true, HInit: h, Trapezoidal: trap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Waves.Get("v(out)")
+	worst := 0.0
+	const tau = 1e-6
+	for i, tv := range out.T {
+		want := 1 - math.Exp(-tv/tau)
+		if d := math.Abs(out.V[i] - want); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestTrapezoidalOrder: backward Euler converges at order 1, the
+// trapezoidal companion at order 2 (extension beyond the paper's BE).
+func TestTrapezoidalOrder(t *testing.T) {
+	hs := []float64{100e-9, 50e-9, 25e-9, 12.5e-9}
+	var lb, lt, lh []float64
+	for _, h := range hs {
+		lb = append(lb, math.Log(rcError(t, h, false)))
+		lt = append(lt, math.Log(rcError(t, h, true)))
+		lh = append(lh, math.Log(h))
+	}
+	beOrder, _, err := stats.LinearFit(lh, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trOrder, _, err := stats.LinearFit(lh, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beOrder < 0.8 || beOrder > 1.3 {
+		t.Errorf("backward Euler order = %.2f, want ~1", beOrder)
+	}
+	if trOrder < 1.7 || trOrder > 2.3 {
+		t.Errorf("trapezoidal order = %.2f, want ~2", trOrder)
+	}
+	// At the finest step, trapezoidal must dominate.
+	if rcError(t, 12.5e-9, true) >= rcError(t, 12.5e-9, false) {
+		t.Error("trapezoidal not more accurate than BE at matched step")
+	}
+}
+
+// TestTrapezoidalInductor: a series RLC under-damped ring-down keeps its
+// oscillation frequency with the trapezoidal companion (BE's numerical
+// damping is the classic artifact this ablation shows).
+func TestTrapezoidalInductor(t *testing.T) {
+	mk := func() *circuit.Circuit {
+		c := circuit.New("rlc")
+		c.AddVSource("V1", "in", "0", device.DC(0))
+		c.AddResistor("R1", "in", "a", 10)
+		c.AddInductor("L1", "a", "b", 1e-6)
+		cp, _ := c.AddCapacitor("C1", "b", "0", 1e-9)
+		cp.IC = 1
+		cp.HasIC = true
+		return c
+	}
+	// f0 = 1/(2*pi*sqrt(LC)) ~ 5.03 MHz; Q ~ 3.2.
+	run := func(trap bool) float64 {
+		res, err := Transient(mk(), Options{
+			TStop: 1e-6, FixedStep: true, HInit: 1e-9, Trapezoidal: trap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count zero crossings of the capacitor voltage.
+		return float64(len(res.Waves.Get("v(b)").Crossings(0, 0)))
+	}
+	beCross := run(false)
+	trCross := run(true)
+	// Expect ~10 crossings in 1 us at 5 MHz; BE damps the tail so it may
+	// lose some, trapezoidal must keep at least as many.
+	if trCross < beCross {
+		t.Errorf("trapezoidal lost oscillations: %g vs BE %g", trCross, beCross)
+	}
+	if trCross < 8 {
+		t.Errorf("too few oscillations: %g, want ~10", trCross)
+	}
+}
+
+// TestTrapezoidalRTD: the second-order method agrees with BE on the NDR
+// traversal (same physics, better accuracy).
+func TestTrapezoidalRTD(t *testing.T) {
+	ramp, _ := device.NewPWL([]float64{0, 1e-5}, []float64{0, 1.2})
+	mk := func() *circuit.Circuit {
+		c := circuit.New("ramp")
+		c.AddVSource("V1", "in", "0", ramp)
+		c.AddResistor("R1", "in", "d", 300)
+		c.AddDevice("N1", "d", "0", device.NewRTD())
+		c.AddCapacitor("CD", "d", "0", 10e-15)
+		return c
+	}
+	be, err := Transient(mk(), Options{TStop: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Transient(mk(), Options{TStop: 1e-5, Trapezoidal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []float64{2e-6, 5e-6, 9.9e-6} {
+		d := math.Abs(be.Waves.Get("v(d)").At(ts) - tr.Waves.Get("v(d)").At(ts))
+		if d > 0.02 {
+			t.Errorf("BE and trapezoidal disagree by %g at %g", d, ts)
+		}
+	}
+}

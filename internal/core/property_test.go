@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/tran"
+)
+
+// randomRCNetwork builds a random connected R/C network driven by one
+// source: k internal nodes, each connected back toward the driven side
+// by a resistor and grounded through a capacitor, with extra random
+// cross-resistors.
+func randomRCNetwork(r *rand.Rand) *circuit.Circuit {
+	k := 2 + r.Intn(5)
+	c := circuit.New("random-rc")
+	c.AddVSource("V1", "n0", "0", device.DC(1+r.Float64()))
+	for i := 1; i <= k; i++ {
+		from := fmt.Sprintf("n%d", r.Intn(i))
+		to := fmt.Sprintf("n%d", i)
+		c.AddResistor(fmt.Sprintf("R%d", i), from, to, 100+9900*r.Float64())
+		c.AddCapacitor(fmt.Sprintf("C%d", i), to, "0", 1e-12*(0.1+r.Float64()))
+	}
+	// A few random cross links.
+	for j := 0; j < r.Intn(3); j++ {
+		a := fmt.Sprintf("n%d", r.Intn(k+1))
+		b := fmt.Sprintf("n%d", r.Intn(k+1))
+		if a == b {
+			continue
+		}
+		c.AddResistor(fmt.Sprintf("RX%d", j), a, b, 100+9900*r.Float64())
+	}
+	return c
+}
+
+// TestPropertySWECMatchesNROnLinear: on *linear* networks, SWEC and the
+// Newton baseline integrate the same equations and must agree at the
+// settled endpoint for any random topology.
+func TestPropertySWECMatchesNROnLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ckt := randomRCNetwork(r)
+		// Long enough to settle every pole (max tau = 10k * 1.1p ~ 11ns).
+		sw, err := Transient(ckt, Options{TStop: 500e-9})
+		if err != nil {
+			t.Logf("seed %d: swec: %v", seed, err)
+			return false
+		}
+		nr, err := tran.NR(ckt, tran.Options{TStop: 500e-9})
+		if err != nil {
+			t.Logf("seed %d: nr: %v", seed, err)
+			return false
+		}
+		for _, name := range sw.Waves.Names() {
+			a := sw.Waves.Get(name).Final()
+			b := nr.Waves.Get(name).Final()
+			if math.Abs(a-b) > 1e-3*(1+math.Abs(a)) {
+				t.Logf("seed %d: %s settled %g vs %g", seed, name, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySettledDCEqualsDivider: after settling, every random RC
+// network driven by a DC source must satisfy the resistive DC solution:
+// all node voltages equal the source voltage (no DC path to ground
+// except through capacitors).
+func TestPropertySettledDC(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ckt := randomRCNetwork(r)
+		src := ckt.Element("V1").(*circuit.VSource)
+		vs := src.W.At(0)
+		res, err := Transient(ckt, Options{TStop: 1e-6})
+		if err != nil {
+			return false
+		}
+		// No DC load: every node floats up to the source voltage.
+		for _, name := range res.Waves.Names() {
+			if v := res.Waves.Get(name).Final(); math.Abs(v-vs) > 0.01*vs {
+				t.Logf("seed %d: %s = %g, want %g", seed, name, v, vs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySweepOnLoadLine: for random divider resistances and bias
+// ranges, every SWEC sweep point with refinement satisfies KCL against
+// the device model.
+func TestPropertySweepOnLoadLine(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Load lines well clear of NDR tangency: the worst NDR slope is
+		// ~ -1/128 S, so R <= 100 keeps the Geq fixed-point contraction
+		// ratio comfortably below 1 (see the refinePoint limitation
+		// note); near-tangent cases are Newton's territory.
+		rl := 40 + 60*r.Float64()
+		vMax := 0.8 + r.Float64()
+		rtd := device.NewRTD()
+		c := circuit.New("prop-divider")
+		c.AddVSource("V1", "in", "0", device.DC(0))
+		c.AddResistor("R1", "in", "d", rl)
+		c.AddDevice("N1", "d", "0", rtd)
+		res, err := Sweep(c, "V1", 0, vMax, 41, "N1", DCOptions{RefineIters: 30})
+		if err != nil {
+			return false
+		}
+		vd := res.Waves.Get("v(dev)")
+		for i, bias := range vd.T {
+			v := vd.V[i]
+			iR := (bias - v) / rl
+			iD := rtd.I(v)
+			if math.Abs(iR-iD) > 0.03*math.Max(math.Abs(iD), 1e-5) {
+				t.Logf("seed %d: KCL off at bias %g: %g vs %g", seed, bias, iR, iD)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEnergyDissipation: for a passive RC discharge (no
+// sources), the node energy must decay monotonically — backward Euler
+// and trapezoidal are both A-stable, so no numerical energy growth.
+func TestPropertyEnergyDecay(t *testing.T) {
+	for _, trap := range []bool{false, true} {
+		c := circuit.New("discharge")
+		c.AddResistor("R1", "a", "0", 1e3)
+		cp, _ := c.AddCapacitor("C1", "a", "0", 1e-9)
+		cp.IC = 1
+		cp.HasIC = true
+		c.AddResistor("R2", "a", "b", 2e3)
+		cp2, _ := c.AddCapacitor("C2", "b", "0", 0.5e-9)
+		cp2.IC = -0.5
+		cp2.HasIC = true
+		res, err := Transient(c, Options{TStop: 10e-6, Trapezoidal: trap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		va := res.Waves.Get("v(a)")
+		vb := res.Waves.Get("v(b)")
+		prev := math.Inf(1)
+		for i := range va.T {
+			e := 0.5*1e-9*va.V[i]*va.V[i] + 0.5*0.5e-9*vb.V[i]*vb.V[i]
+			if e > prev*(1+1e-9) {
+				t.Fatalf("trap=%v: energy grew at sample %d: %g > %g", trap, i, e, prev)
+			}
+			prev = e
+		}
+		if va.Final() > 0.01 {
+			t.Errorf("trap=%v: did not discharge: %g", trap, va.Final())
+		}
+	}
+}

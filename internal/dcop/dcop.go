@@ -1,0 +1,447 @@
+// Package dcop implements the Newton-Raphson DC analyses the paper
+// measures SWEC against: a SPICE-style operating-point solver with Gmin
+// and source stepping, the MLA DC sweep (paper ref [1]) used for the
+// Table I FLOP comparison, and the scalar Newton iteration trace that
+// reproduces the Figure 2 initial-guess sensitivity demonstration.
+package dcop
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/flop"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/stamp"
+	"nanosim/internal/wave"
+)
+
+// Options configures the Newton DC analyses.
+type Options struct {
+	// MaxIter bounds Newton iterations per solve (default 100).
+	MaxIter int
+	// MinIter is the minimum iteration count before convergence may be
+	// declared (default 2, matching SPICE).
+	MinIter int
+	// RelTol/AbsTol define convergence (defaults 1e-3 / 1e-6 V).
+	RelTol, AbsTol float64
+	// Gmin is the baseline diagonal leak (default 1e-12 S).
+	Gmin float64
+	// GminSteps is the number of Gmin continuation decades attempted
+	// when direct Newton fails (default 10).
+	GminSteps int
+	// SourceSteps is the number of source-ramp continuation points
+	// attempted when Gmin stepping fails (default 10).
+	SourceSteps int
+	// Limit enables MLA-style per-iteration voltage limiting on
+	// nonlinear branches.
+	Limit bool
+	// ColdStart makes Sweep solve every bias point from a zero initial
+	// state instead of warm-starting from the previous point — the
+	// repeated-independent-op protocol the Table I comparison uses for
+	// the MLA column (see DESIGN.md).
+	ColdStart bool
+	// LimitFraction is the per-iteration NDR-span fraction (default 0.5).
+	LimitFraction float64
+	// Solver picks the linear backend (default linsolve.Auto).
+	Solver linsolve.Factory
+	// FC receives FLOP accounting (may be nil).
+	FC *flop.Counter
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.MinIter <= 0 {
+		o.MinIter = 2
+	}
+	if o.MinIter > o.MaxIter {
+		o.MinIter = o.MaxIter
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-3
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-6
+	}
+	if o.Gmin <= 0 {
+		o.Gmin = 1e-12
+	}
+	if o.GminSteps <= 0 {
+		o.GminSteps = 10
+	}
+	if o.SourceSteps <= 0 {
+		o.SourceSteps = 10
+	}
+	if o.LimitFraction <= 0 {
+		o.LimitFraction = 0.5
+	}
+	if o.Solver == nil {
+		o.Solver = linsolve.Auto
+	}
+	return o
+}
+
+// Stats mirrors the transient counters for DC work.
+type Stats struct {
+	// Iterations is the total Newton iteration count.
+	Iterations int
+	// GminStepsUsed and SourceStepsUsed report which continuation
+	// strategies ran.
+	GminStepsUsed, SourceStepsUsed int
+	// DeviceEvals counts model evaluations.
+	DeviceEvals int64
+	// Solves counts linear solves.
+	Solves int64
+	// Flops is the attributable snapshot.
+	Flops flop.Snapshot
+}
+
+// Result is a DC operating point.
+type Result struct {
+	// X is the MNA solution.
+	X []float64
+	// Converged reports whether full-accuracy convergence was reached.
+	Converged bool
+	// Stats reports the work.
+	Stats Stats
+}
+
+// solver bundles Newton assembly for DC.
+type solver struct {
+	sys *stamp.System
+	sol linsolve.Solver
+	opt Options
+	b   []float64
+	lim func(prev, raw []float64) []float64
+}
+
+func newSolver(sys *stamp.System, opt Options) *solver {
+	s := &solver{sys: sys, sol: opt.Solver(sys.Dim(), opt.FC), opt: opt, b: make([]float64, sys.Dim())}
+	if opt.Limit {
+		s.lim = newLimiter(sys, opt.LimitFraction)
+	}
+	return s
+}
+
+// newLimiter mirrors the transient MLA limiter for DC sweeps.
+func newLimiter(sys *stamp.System, fraction float64) func(prev, raw []float64) []float64 {
+	type window struct {
+		ref  stamp.TwoTermRef
+		span float64
+	}
+	var wins []window
+	for _, tt := range sys.TwoTerms() {
+		span := 1.0
+		if vp, _, vv, _, ok := device.PeakValley(tt.Elem.Model, 1.5); ok {
+			span = vv - vp
+		} else if vp, _, vv, _, ok := device.PeakValley(tt.Elem.Model, 6); ok {
+			span = vv - vp
+		}
+		wins = append(wins, window{ref: tt, span: span})
+	}
+	return func(prev, raw []float64) []float64 {
+		scale := 1.0
+		for _, w := range wins {
+			dv := math.Abs(sys.Branch(raw, w.ref.Elem.A, w.ref.Elem.B) - sys.Branch(prev, w.ref.Elem.A, w.ref.Elem.B))
+			allowed := fraction * w.span
+			if dv > allowed && dv > 0 {
+				if s := allowed / dv; s < scale {
+					scale = s
+				}
+			}
+		}
+		if scale >= 1 {
+			return raw
+		}
+		out := make([]float64, len(raw))
+		for i := range raw {
+			out[i] = prev[i] + scale*(raw[i]-prev[i])
+		}
+		return out
+	}
+}
+
+// chargeCost books one device evaluation.
+func (s *solver) chargeCost(c device.Cost, stats *Stats) {
+	stats.DeviceEvals++
+	if fc := s.opt.FC; fc != nil {
+		fc.Add(c.Adds)
+		fc.Mul(c.Muls)
+		fc.Div(c.Divs)
+		fc.Func(c.Funcs)
+		fc.DeviceEval()
+	}
+}
+
+// newton runs the Newton loop at source scale `srcScale` and extra
+// diagonal conductance `gExtra`, starting from x (modified in place).
+func (s *solver) newton(x []float64, srcScale, gExtra float64, stats *Stats) (bool, error) {
+	xk := append([]float64(nil), x...)
+	xNew := make([]float64, len(x))
+	for iter := 0; iter < s.opt.MaxIter; iter++ {
+		stats.Iterations++
+		if fc := s.opt.FC; fc != nil {
+			fc.Iter()
+		}
+		s.sol.Reset()
+		s.sys.StampLinearG(s.sol)
+		for i := 0; i < s.sys.NodeCount(); i++ {
+			s.sol.Add(i, i, s.opt.Gmin+gExtra)
+		}
+		for i := range s.b {
+			s.b[i] = 0
+		}
+		s.sys.StampRHS(0, s.b)
+		if srcScale != 1 {
+			for i := range s.b {
+				s.b[i] *= srcScale
+			}
+		}
+		for _, tt := range s.sys.TwoTerms() {
+			v := s.sys.Branch(xk, tt.Elem.A, tt.Elem.B)
+			i := tt.Elem.Model.I(v)
+			g := tt.Elem.Model.G(v)
+			// Fused I+G evaluation, as in the transient engines.
+			s.chargeCost(tt.Elem.Model.Cost(), stats)
+			stamp.Stamp2(s.sol, tt.IA, tt.IB, g)
+			j := i - g*v
+			if fc := s.opt.FC; fc != nil {
+				fc.Mul(1)
+				fc.Add(1)
+			}
+			if tt.IA >= 0 {
+				s.b[tt.IA] -= j
+			}
+			if tt.IB >= 0 {
+				s.b[tt.IB] += j
+			}
+		}
+		for _, f := range s.sys.FETs() {
+			vgs := s.sys.Branch(xk, f.Elem.G, f.Elem.S)
+			vds := s.sys.Branch(xk, f.Elem.D, f.Elem.S)
+			ids := f.Elem.Model.IDS(vgs, vds)
+			gm := f.Elem.Model.GM(vgs, vds)
+			gds := f.Elem.Model.GDS(vgs, vds)
+			s.chargeCost(f.Elem.Model.Cost(), stats)
+			j := ids - gm*vgs - gds*vds
+			if fc := s.opt.FC; fc != nil {
+				fc.Mul(2)
+				fc.Add(2)
+			}
+			stamp.Stamp2(s.sol, f.ID, f.IS, gds)
+			if f.ID >= 0 {
+				if f.IG >= 0 {
+					s.sol.Add(f.ID, f.IG, gm)
+				}
+				if f.IS >= 0 {
+					s.sol.Add(f.ID, f.IS, -gm)
+				}
+				s.b[f.ID] -= j
+			}
+			if f.IS >= 0 {
+				if f.IG >= 0 {
+					s.sol.Add(f.IS, f.IG, -gm)
+				}
+				s.sol.Add(f.IS, f.IS, gm)
+				s.b[f.IS] += j
+			}
+		}
+		if err := s.sol.Solve(s.b, xNew); err != nil {
+			return false, fmt.Errorf("dcop: singular system: %w", err)
+		}
+		stats.Solves++
+		if !finite(xNew) {
+			return false, nil
+		}
+		if s.lim != nil {
+			xNew = s.lim(xk, xNew)
+		}
+		worst := 0.0
+		for i := range xNew {
+			den := s.opt.AbsTol + s.opt.RelTol*math.Max(math.Abs(xNew[i]), math.Abs(xk[i]))
+			if r := math.Abs(xNew[i]-xk[i]) / den; r > worst {
+				worst = r
+			}
+		}
+		copy(xk, xNew)
+		if worst < 1 && iter+1 >= s.opt.MinIter {
+			copy(x, xk)
+			return true, nil
+		}
+	}
+	copy(x, xk)
+	return false, nil
+}
+
+func finite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// OperatingPoint solves the DC bias point SPICE-style: direct Newton,
+// then Gmin stepping, then source stepping.
+func OperatingPoint(ckt *circuit.Circuit, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	sys, err := stamp.NewSystem(ckt)
+	if err != nil {
+		return nil, err
+	}
+	var start flop.Snapshot
+	if opt.FC != nil {
+		start = opt.FC.Snapshot()
+	}
+	s := newSolver(sys, opt)
+	res := &Result{X: make([]float64, sys.Dim())}
+	finish := func(conv bool) *Result {
+		res.Converged = conv
+		if opt.FC != nil {
+			res.Stats.Flops = opt.FC.Snapshot().Sub(start)
+		}
+		return res
+	}
+	// 1. Direct.
+	conv, err := s.newton(res.X, 1, 0, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	if conv {
+		return finish(true), nil
+	}
+	// 2. Gmin stepping: start heavily damped, relax decade by decade.
+	for i := range res.X {
+		res.X[i] = 0
+	}
+	gExtra := 1e-2
+	ok := true
+	for step := 0; step < opt.GminSteps; step++ {
+		res.Stats.GminStepsUsed++
+		conv, err = s.newton(res.X, 1, gExtra, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if !conv {
+			ok = false
+			break
+		}
+		gExtra /= 10
+		if gExtra < opt.Gmin {
+			break
+		}
+	}
+	if ok {
+		conv, err = s.newton(res.X, 1, 0, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if conv {
+			return finish(true), nil
+		}
+	}
+	// 3. Source stepping: ramp all sources from 0.
+	for i := range res.X {
+		res.X[i] = 0
+	}
+	for step := 1; step <= opt.SourceSteps; step++ {
+		res.Stats.SourceStepsUsed++
+		scale := float64(step) / float64(opt.SourceSteps)
+		conv, err = s.newton(res.X, scale, 0, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if !conv {
+			return finish(false), nil
+		}
+	}
+	return finish(true), nil
+}
+
+// SweepResult mirrors core.SweepResult for the Newton/MLA path.
+type SweepResult struct {
+	// Points is the swept bias per step.
+	Points []float64
+	// Waves holds v(dev)/i(dev) and node series against the sweep axis.
+	Waves *wave.Set
+	// Stats accumulates work over the sweep.
+	Stats Stats
+	// NonConverged counts sweep points that never converged.
+	NonConverged int
+}
+
+// Sweep steps the named source and Newton-solves each point, warm
+// started — with opt.Limit set this is the MLA DC sweep the paper uses
+// as the Table I baseline. deviceName selects the I-V extraction device
+// as in core.Sweep.
+func Sweep(ckt *circuit.Circuit, srcName string, v0, v1 float64, n int, deviceName string, opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	if n < 2 || v1 == v0 {
+		return nil, fmt.Errorf("dcop: bad sweep spec [%g, %g] n=%d", v0, v1, n)
+	}
+	src, ok := ckt.Element(srcName).(*circuit.VSource)
+	if !ok || src == nil {
+		return nil, fmt.Errorf("dcop: sweep source %q is not a voltage source", srcName)
+	}
+	origW := src.W
+	defer func() { src.W = origW }()
+	var dev *circuit.TwoTerm
+	if deviceName != "" {
+		dev, ok = ckt.Element(deviceName).(*circuit.TwoTerm)
+		if !ok || dev == nil {
+			return nil, fmt.Errorf("dcop: sweep device %q is not a two-terminal device", deviceName)
+		}
+	}
+	sys, err := stamp.NewSystem(ckt)
+	if err != nil {
+		return nil, err
+	}
+	var start flop.Snapshot
+	if opt.FC != nil {
+		start = opt.FC.Snapshot()
+	}
+	s := newSolver(sys, opt)
+	res := &SweepResult{Waves: wave.NewSet()}
+	vDev := wave.NewSeries("v(dev)", n)
+	iDev := wave.NewSeries("i(dev)", n)
+	x := make([]float64, sys.Dim())
+	for k := 0; k < n; k++ {
+		bias := v0 + (v1-v0)*float64(k)/float64(n-1)
+		src.W = device.DC(bias)
+		if opt.ColdStart {
+			for i := range x {
+				x[i] = 0
+			}
+		}
+		conv, err := s.newton(x, 1, 0, &res.Stats)
+		if err != nil {
+			return nil, fmt.Errorf("dcop: sweep failed at %s=%g: %w", srcName, bias, err)
+		}
+		if !conv {
+			res.NonConverged++
+		}
+		res.Points = append(res.Points, bias)
+		axis := bias
+		if v1 < v0 {
+			axis = -bias
+		}
+		if dev != nil {
+			v := sys.Branch(x, dev.A, dev.B)
+			vDev.MustAppend(axis, v)
+			iDev.MustAppend(axis, dev.Model.I(v))
+			s.chargeCost(dev.Model.Cost(), &res.Stats)
+		}
+	}
+	if dev != nil {
+		res.Waves.Add(vDev)
+		res.Waves.Add(iDev)
+	}
+	if opt.FC != nil {
+		res.Stats.Flops = opt.FC.Snapshot().Sub(start)
+	}
+	return res, nil
+}

@@ -1,0 +1,276 @@
+package dcop
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+	"nanosim/internal/flop"
+)
+
+func TestOperatingPointLinear(t *testing.T) {
+	c := circuit.New("div")
+	c.AddVSource("V1", "in", "0", device.DC(4))
+	c.AddResistor("R1", "in", "mid", 3e3)
+	c.AddResistor("R2", "mid", "0", 1e3)
+	res, err := OperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("linear op did not converge")
+	}
+	if v := res.X[int(c.Node("mid"))-1]; math.Abs(v-1) > 1e-9 {
+		t.Errorf("v(mid) = %g, want 1", v)
+	}
+	if res.Stats.Iterations > 3 {
+		t.Errorf("linear op took %d iterations", res.Stats.Iterations)
+	}
+}
+
+func TestOperatingPointDiode(t *testing.T) {
+	c := circuit.New("d")
+	c.AddVSource("V1", "in", "0", device.DC(5))
+	c.AddResistor("R1", "in", "d", 10e3)
+	c.AddDevice("D1", "d", "0", device.NewDiode())
+	res, err := OperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("diode op did not converge")
+	}
+	vd := res.X[int(c.Node("d"))-1]
+	if vd < 0.5 || vd > 1.0 {
+		t.Errorf("diode drop = %g", vd)
+	}
+	// KCL: residual current balance at the diode node.
+	d := device.NewDiode()
+	ir := (5 - vd) / 10e3
+	if math.Abs(ir-d.I(vd)) > 1e-6 {
+		t.Errorf("KCL residual %g", ir-d.I(vd))
+	}
+}
+
+func TestOperatingPointFET(t *testing.T) {
+	m, _ := device.NewMOSFET(device.NMOS, 5e-3, 1, 1, 0.5)
+	c := circuit.New("inv")
+	c.AddVSource("VDD", "vdd", "0", device.DC(2))
+	c.AddVSource("VIN", "in", "0", device.DC(2))
+	c.AddResistor("RD", "vdd", "out", 1e3)
+	c.AddFET("M1", "out", "in", "0", m)
+	res, err := OperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("FET op did not converge")
+	}
+	vout := res.X[int(c.Node("out"))-1]
+	if vout > 0.5 {
+		t.Errorf("on-state output = %g, want < 0.5", vout)
+	}
+	// KCL: drain current equals resistor current.
+	ir := (2 - vout) / 1e3
+	if math.Abs(ir-m.IDS(2, vout)) > 1e-6 {
+		t.Errorf("KCL residual %g", ir-m.IDS(2, vout))
+	}
+}
+
+// bistable builds the 3-intersection RTD load line.
+func bistable(bias float64) *circuit.Circuit {
+	c := circuit.New("bi")
+	c.AddVSource("V1", "in", "0", device.DC(bias))
+	c.AddResistor("R1", "in", "d", 600)
+	c.AddDevice("N1", "d", "0", device.NewRTD())
+	return c
+}
+
+// TestBistableOperatingPoint: the solver must land on *a* valid
+// operating point (KCL satisfied), whichever branch continuation picks.
+func TestBistableOperatingPoint(t *testing.T) {
+	res, err := OperatingPoint(bistable(0.8), Options{Limit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("continuation failed on bistable load line")
+	}
+	c := bistable(0.8)
+	vd := res.X[int(c.Node("d"))-1]
+	rtd := device.NewRTD()
+	ir := (0.8 - vd) / 600
+	if math.Abs(ir-rtd.I(vd)) > 1e-5 {
+		t.Errorf("not on load line: iR=%g iRTD=%g at vd=%g", ir, rtd.I(vd), vd)
+	}
+}
+
+// TestMLASweepTracesIV is the Figure 7(a) baseline: the limited Newton
+// sweep must walk the full divider transfer curve without giving up.
+func TestMLASweepTracesIV(t *testing.T) {
+	c := circuit.New("sweep")
+	c.AddVSource("V1", "in", "0", device.DC(0))
+	c.AddResistor("R1", "in", "d", 300)
+	c.AddDevice("N1", "d", "0", device.NewRTD())
+	res, err := Sweep(c, "V1", 0, 1.5, 151, "N1", Options{Limit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NonConverged > 8 {
+		t.Errorf("MLA sweep lost %d of %d points", res.NonConverged, len(res.Points))
+	}
+	iv := res.Waves.Get("i(dev)")
+	if iv == nil || iv.Len() != 151 {
+		t.Fatal("i(dev) not recorded")
+	}
+	// The captured curve must show the resonance: a local current peak
+	// followed by a markedly lower valley (the device recovers past the
+	// valley, so the *final* current may exceed the peak again).
+	_, _, _, iMax := iv.MinMax()
+	if iMax < 1e-3 {
+		t.Errorf("sweep never reached peak current: max %g", iMax)
+	}
+	seenPeak := false
+	ndrVisible := false
+	runningMax := 0.0
+	for _, i := range iv.V {
+		if i > runningMax {
+			runningMax = i
+		}
+		if runningMax > 1e-3 {
+			seenPeak = true
+		}
+		if seenPeak && i < 0.7*runningMax {
+			ndrVisible = true
+			break
+		}
+	}
+	if !ndrVisible {
+		t.Error("no NDR visible in swept I-V")
+	}
+}
+
+// TestSWECSweepCheaperThanMLA is Table I in miniature: identical sweep,
+// FLOP ratio must favor SWEC by a wide margin.
+func TestSWECSweepCheaperThanMLA(t *testing.T) {
+	mk := func() *circuit.Circuit {
+		c := circuit.New("sweep")
+		c.AddVSource("V1", "in", "0", device.DC(0))
+		c.AddResistor("R1", "in", "d", 300)
+		c.AddDevice("N1", "d", "0", device.NewRTD())
+		return c
+	}
+	var fcS, fcM, fcC flop.Counter
+	_, err := core.Sweep(mk(), "V1", 0, 1.5, 151, "N1", core.DCOptions{FC: &fcS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Sweep(mk(), "V1", 0, 1.5, 151, "N1", Options{Limit: true, FC: &fcM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Sweep(mk(), "V1", 0, 1.5, 151, "N1", Options{Limit: true, ColdStart: true, FC: &fcC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := float64(fcM.Total()) / float64(fcS.Total())
+	cold := float64(fcC.Total()) / float64(fcS.Total())
+	if warm < 2 {
+		t.Errorf("warm MLA/SWEC FLOP ratio = %.1f, expected > 2", warm)
+	}
+	if cold < 6 {
+		t.Errorf("cold MLA/SWEC FLOP ratio = %.1f, expected > 6 (Table I protocol)", cold)
+	}
+	t.Logf("Table I preview: SWEC %d flops, MLA warm %.1fx, MLA cold %.1fx", fcS.Total(), warm, cold)
+}
+
+// TestScalarNewtonOscillation reproduces Figure 2: on the NDR load line
+// one initial guess converges while a guess on a period-2 orbit of the
+// Newton map bounces between x1 and x2.
+func TestScalarNewtonOscillation(t *testing.T) {
+	rtd := device.NewRTD()
+	const vs, r = 0.8, 600.0
+	// A guess near a stable intersection converges.
+	good, err := ScalarNewton(rtd, vs, r, 0.1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Converged {
+		t.Error("good guess did not converge")
+	}
+	// The NDR region hosts a period-2 Newton orbit.
+	x1, x2, found := FindTwoCycle(rtd, vs, r, -0.1, 1.3, 3000)
+	if !found {
+		t.Fatal("no 2-cycle found — Figure 2 demo impossible")
+	}
+	if math.Abs(x2-x1) < 0.05 {
+		t.Fatalf("degenerate cycle %g / %g", x1, x2)
+	}
+	bad, err := ScalarNewton(rtd, vs, r, x1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ScalarNewton flags the bounce as soon as an iterate revisits a
+	// previous point: trace is x1 -> x2 -> x1 with Oscillating set.
+	if !bad.Oscillating {
+		t.Fatalf("2-cycle start not flagged oscillating: %v", bad.V)
+	}
+	if bad.Converged {
+		t.Error("oscillating trace misreported as converged")
+	}
+	if len(bad.V) < 3 {
+		t.Fatalf("trace too short: %v", bad.V)
+	}
+	for k := 0; k < 3; k++ {
+		want := x1
+		if k%2 == 1 {
+			want = x2
+		}
+		if math.Abs(bad.V[k]-want) > 1e-3 {
+			t.Errorf("iterate %d = %g, want %g (oscillation broke early)", k, bad.V[k], want)
+		}
+	}
+}
+
+func TestScalarNewtonValidation(t *testing.T) {
+	if _, err := ScalarNewton(device.NewRTD(), 1, 0, 0, 10); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := ScalarNewton(device.NewRTD(), 1, -5, 0, 10); err == nil {
+		t.Error("negative r accepted")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	c := circuit.New("s")
+	c.AddVSource("V1", "in", "0", device.DC(0))
+	c.AddResistor("R1", "in", "0", 100)
+	if _, err := Sweep(c, "V1", 0, 1, 1, "", Options{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Sweep(c, "nope", 0, 1, 10, "", Options{}); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := Sweep(c, "R1", 0, 1, 10, "", Options{}); err == nil {
+		t.Error("non-source element accepted as sweep source")
+	}
+	if _, err := Sweep(c, "V1", 0, 1, 10, "R1", Options{}); err == nil {
+		t.Error("non-device accepted as extraction device")
+	}
+	if _, err := Sweep(c, "V1", 1, 1, 10, "", Options{}); err == nil {
+		t.Error("zero-span sweep accepted")
+	}
+}
+
+func TestFlopAccountingDC(t *testing.T) {
+	var fc flop.Counter
+	res, err := OperatingPoint(bistable(0.3), Options{FC: &fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Flops.Total() == 0 || res.Stats.DeviceEvals == 0 {
+		t.Errorf("DC flops not recorded: %+v", res.Stats)
+	}
+}

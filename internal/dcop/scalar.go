@@ -1,0 +1,119 @@
+package dcop
+
+import (
+	"fmt"
+
+	"nanosim/internal/device"
+)
+
+// ScalarTrace is the iterate history of a one-dimensional Newton solve,
+// the raw material of the paper's Figure 2 (dependence of NR convergence
+// on the initial guess).
+type ScalarTrace struct {
+	// V is the iterate sequence, starting with the initial guess.
+	V []float64
+	// Converged reports termination within tolerance.
+	Converged bool
+	// Oscillating reports a detected two-cycle (the x1 <-> x2 bounce of
+	// Figure 2).
+	Oscillating bool
+}
+
+// ScalarNewton solves the load-line equation f(v) = I_dev(v) - (vs-v)/r
+// = 0 for the device branch voltage with plain Newton-Raphson from the
+// given initial guess. It caps iterations at maxIter and flags
+// oscillation when iterates revisit a previous point. This scalar setup
+// isolates the Figure 2 phenomenon from MNA plumbing.
+func ScalarNewton(m device.IV, vs, r, v0 float64, maxIter int) (*ScalarTrace, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("dcop: load resistance must be positive, got %g", r)
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	const tol = 1e-9
+	tr := &ScalarTrace{V: []float64{v0}}
+	v := v0
+	for iter := 0; iter < maxIter; iter++ {
+		f := m.I(v) - (vs-v)/r
+		df := m.G(v) + 1/r
+		if df == 0 {
+			return tr, nil
+		}
+		vNext := v - f/df
+		tr.V = append(tr.V, vNext)
+		// Oscillation: the new iterate matches an earlier one (within
+		// tolerance) without having converged.
+		for _, prev := range tr.V[:len(tr.V)-2] {
+			if abs(vNext-prev) < 1e-9 && abs(vNext-v) > 1e-6 {
+				tr.Oscillating = true
+				return tr, nil
+			}
+		}
+		if abs(vNext-v) < tol*(1+abs(vNext)) {
+			tr.Converged = true
+			return tr, nil
+		}
+		v = vNext
+	}
+	return tr, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FindTwoCycle locates a period-2 orbit of the Newton map
+// N(v) = v - f(v)/f'(v) on [lo, hi]: the pair (x1, x2) with N(x1) = x2
+// and N(x2) = x1 that Figure 2 illustrates. It scans for sign changes of
+// N(N(v)) - v away from fixed points and refines by bisection. ok is
+// false when the load line admits no such orbit in the window.
+//
+// Newton 2-cycles on smooth NDR load lines are typically *unstable*
+// (a perturbation eventually escapes), but starting exactly on the orbit
+// reproduces the textbook x1 <-> x2 bounce for many iterations — in a
+// fixed-precision simulator with voltage rounding, such orbits are
+// exactly the hung iterations SPICE users observe.
+func FindTwoCycle(m device.IV, vs, r, lo, hi float64, n int) (x1, x2 float64, ok bool) {
+	if n < 10 {
+		n = 3000
+	}
+	newton := func(v float64) float64 {
+		f := m.I(v) - (vs-v)/r
+		df := m.G(v) + 1/r
+		if df == 0 {
+			return v
+		}
+		return v - f/df
+	}
+	g := func(v float64) float64 { return newton(newton(v)) - v }
+	prevV := lo
+	prevG := g(prevV)
+	for k := 1; k <= n; k++ {
+		v := lo + (hi-lo)*float64(k)/float64(n)
+		gv := g(v)
+		if prevG*gv < 0 && abs(newton(v)-v) > 0.05 {
+			a, b := prevV, v
+			ga := g(a)
+			for i := 0; i < 100; i++ {
+				mid := 0.5 * (a + b)
+				gm := g(mid)
+				if ga*gm <= 0 {
+					b = mid
+				} else {
+					a, ga = mid, gm
+				}
+			}
+			c1 := 0.5 * (a + b)
+			c2 := newton(c1)
+			if abs(c2-c1) > 0.05 {
+				return c1, c2, true
+			}
+		}
+		prevV, prevG = v, gv
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,197 @@
+// Package device implements the compact models of the devices the paper
+// simulates: the Schulman resonant tunneling diode (RTD), carbon
+// nanotube / nanowire conductance-quantization staircases, multi-peak
+// resonant tunneling transistors (RTT), level-1 MOSFETs, junction diodes,
+// independent source waveforms and piecewise-linear table models.
+//
+// Every two-terminal model exposes both linearizations the paper
+// contrasts:
+//
+//   - G(v) = dI/dV, the differential conductance SPICE-style
+//     Newton-Raphson uses — negative inside NDR regions, which is what
+//     breaks convergence (paper §3.1);
+//   - Geq(v) = I(v)/v, the step-wise equivalent conductance — provably
+//     non-negative for passive devices (paper §3.2, eq 6), plus its
+//     derivative dGeq/dV used by the Taylor predictor (eq 5, 8).
+package device
+
+import (
+	"math"
+)
+
+// IV is a voltage-controlled two-terminal current model. Implementations
+// must be stateless and safe for concurrent use: Monte Carlo ensembles
+// share them across goroutines.
+type IV interface {
+	// I returns the device current at branch voltage v (amps).
+	I(v float64) float64
+	// G returns the differential conductance dI/dV at v (siemens).
+	G(v float64) float64
+	// Cost reports the arithmetic cost of one I or G evaluation, used
+	// for the Table I FLOP accounting.
+	Cost() Cost
+}
+
+// Cost is the documented arithmetic cost of one model evaluation.
+type Cost struct {
+	Adds, Muls, Divs, Funcs int
+}
+
+// geqEps is the half-width of the small-voltage window where I(v)/v is
+// replaced by its analytic limit to avoid 0/0.
+const geqEps = 1e-9
+
+// Geq returns the step-wise equivalent conductance I(v)/v (paper eq 6).
+// At v -> 0 it returns the limit G(0) (by l'Hopital, since I(0) = 0 for
+// every passive model in this package).
+func Geq(m IV, v float64) float64 {
+	if math.Abs(v) < geqEps {
+		return m.G(0)
+	}
+	return m.I(v) / v
+}
+
+// DGeq returns d(Geq)/dV = (G(v) - Geq(v))/v (paper eq 7-8, in the form
+// that holds for any model with analytic I and G). At v -> 0 the limit is
+// I”(0)/2, estimated from a centered difference of G.
+func DGeq(m IV, v float64) float64 {
+	if math.Abs(v) < geqEps {
+		const h = 1e-6
+		return (m.G(h) - m.G(-h)) / (4 * h)
+	}
+	return (m.G(v) - Geq(m, v)) / v
+}
+
+// Resistive is the trivial linear model, useful in tests and as the
+// no-op reference device.
+type Resistive struct {
+	// Gval is the constant conductance in siemens.
+	Gval float64
+}
+
+// I returns Gval*v.
+func (r Resistive) I(v float64) float64 { return r.Gval * v }
+
+// G returns the constant conductance.
+func (r Resistive) G(v float64) float64 { return r.Gval }
+
+// Cost reports one multiply.
+func (r Resistive) Cost() Cost { return Cost{Muls: 1} }
+
+// Region classifies a bias point of a non-monotonic device, following the
+// paper's Figure 4 terminology.
+type Region int
+
+// Region values in sweep order.
+const (
+	// PDR1 is the first positive differential resistance region.
+	PDR1 Region = iota
+	// NDR is the negative differential resistance region between peak
+	// and valley.
+	NDR
+	// PDR2 is the second positive differential resistance region past
+	// the valley.
+	PDR2
+)
+
+// String names the region as in the paper's Figure 4.
+func (r Region) String() string {
+	switch r {
+	case PDR1:
+		return "PDR1"
+	case NDR:
+		return "NDR"
+	case PDR2:
+		return "PDR2"
+	default:
+		return "unknown"
+	}
+}
+
+// PeakValley locates the first current peak and following valley of m on
+// (0, vMax] by dense scan refined with golden-section search. ok is false
+// when the device is monotonic on the interval (no NDR).
+func PeakValley(m IV, vMax float64) (vPeak, iPeak, vValley, iValley float64, ok bool) {
+	const n = 2000
+	h := vMax / n
+	// Find first local max of I.
+	peakIdx := -1
+	prev := m.I(0)
+	cur := m.I(h)
+	for k := 2; k <= n; k++ {
+		next := m.I(float64(k) * h)
+		if cur >= prev && cur > next {
+			peakIdx = k - 1
+			break
+		}
+		prev, cur = cur, next
+	}
+	if peakIdx < 0 {
+		return 0, 0, 0, 0, false
+	}
+	vPeak = refineExtremum(m, float64(peakIdx-1)*h, float64(peakIdx+1)*h, true)
+	iPeak = m.I(vPeak)
+	// Find following local min.
+	valleyIdx := -1
+	prev = m.I(float64(peakIdx) * h)
+	cur = m.I(float64(peakIdx+1) * h)
+	for k := peakIdx + 2; k <= n; k++ {
+		next := m.I(float64(k) * h)
+		if cur <= prev && cur < next {
+			valleyIdx = k - 1
+			break
+		}
+		prev, cur = cur, next
+	}
+	if valleyIdx < 0 {
+		return vPeak, iPeak, 0, 0, false
+	}
+	vValley = refineExtremum(m, float64(valleyIdx-1)*h, float64(valleyIdx+1)*h, false)
+	iValley = m.I(vValley)
+	return vPeak, iPeak, vValley, iValley, true
+}
+
+// refineExtremum runs golden-section search for a max (or min) of I on
+// [a, b].
+func refineExtremum(m IV, a, b float64, findMax bool) float64 {
+	const phi = 0.6180339887498949
+	f := func(v float64) float64 {
+		i := m.I(v)
+		if findMax {
+			return -i
+		}
+		return i
+	}
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 60 && b-a > 1e-12; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0.5 * (a + b)
+}
+
+// RegionOf classifies bias v by the sign of the differential conductance
+// relative to the device's peak/valley (computed on (0, vMax]).
+func RegionOf(m IV, v, vMax float64) Region {
+	vp, _, vv, _, ok := PeakValley(m, vMax)
+	if !ok {
+		return PDR1
+	}
+	switch {
+	case v <= vp:
+		return PDR1
+	case v < vv:
+		return NDR
+	default:
+		return PDR2
+	}
+}

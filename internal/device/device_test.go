@@ -1,0 +1,263 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/units"
+)
+
+func TestNanowireStaircase(t *testing.T) {
+	n := NewNanowire()
+	// Conductance must be a monotone staircase approaching k*G0 on the
+	// treads.
+	g1 := n.G(n.StepV * 1.0) // middle of first tread
+	if math.Abs(g1-units.G0)/units.G0 > 0.1 {
+		t.Errorf("first tread G = %g, want ~G0 = %g", g1, units.G0)
+	}
+	g2 := n.G(n.StepV * 2.0)
+	if math.Abs(g2-2*units.G0)/units.G0 > 0.1 {
+		t.Errorf("second tread G = %g, want ~2*G0", g2)
+	}
+	// Monotone non-decreasing conductance: no NDR ever.
+	prev := n.G(0)
+	for v := 0.0; v <= 3; v += 0.005 {
+		g := n.G(v)
+		if g < prev-1e-12 {
+			t.Fatalf("conductance decreased at %g", v)
+		}
+		prev = g
+	}
+}
+
+func TestNanowireOddSymmetry(t *testing.T) {
+	n := NewNanowire()
+	for _, v := range []float64{0.1, 0.5, 1.0, 2.0} {
+		if math.Abs(n.I(v)+n.I(-v)) > 1e-15 {
+			t.Errorf("I not odd at %g", v)
+		}
+		if math.Abs(n.G(v)-n.G(-v)) > 1e-15 {
+			t.Errorf("G not even at %g", v)
+		}
+	}
+	if n.I(0) != 0 {
+		t.Error("I(0) != 0")
+	}
+}
+
+func TestNanowireValidation(t *testing.T) {
+	if _, err := NewNanowireParams(0, 0.4, 0.025, units.G0); err == nil {
+		t.Error("steps=0 accepted")
+	}
+	if _, err := NewNanowireParams(3, -1, 0.025, units.G0); err == nil {
+		t.Error("negative stepV accepted")
+	}
+	w, err := NewNanowireParams(2, 0.3, 0.01, units.G0)
+	if err != nil || w.Steps != 2 {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestNanowireGeqPositive(t *testing.T) {
+	n := NewNanowire()
+	for v := -3.0; v <= 3.0; v += 0.01 {
+		if g := Geq(n, v); g < 0 {
+			t.Fatalf("Geq(%g) = %g < 0", v, g)
+		}
+	}
+}
+
+func TestRTTMultiplePeaks(t *testing.T) {
+	rtt := NewRTT()
+	if rtt.NumPeaks() != 3 {
+		t.Fatalf("NumPeaks = %d", rtt.NumPeaks())
+	}
+	// Count sign changes of G on (0, 5): each resonance contributes a
+	// + -> - and - -> + pair; at least 2 peaks must be visible.
+	signChanges := 0
+	prev := rtt.G(0.01)
+	for v := 0.02; v <= 5; v += 0.002 {
+		g := rtt.G(v)
+		if g*prev < 0 {
+			signChanges++
+		}
+		prev = g
+	}
+	if signChanges < 3 {
+		t.Errorf("G sign changes = %d, want >= 3 (multi-peak)", signChanges)
+	}
+	// Derivative consistency.
+	const h = 1e-6
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		num := (rtt.I(v+h) - rtt.I(v-h)) / (2 * h)
+		if d := math.Abs(num - rtt.G(v)); d > 1e-3*math.Max(math.Abs(num), 1e-6) {
+			t.Errorf("RTT G mismatch at %g", v)
+		}
+	}
+	if rtt.Cost().Funcs <= NewRTD().Cost().Funcs {
+		t.Error("RTT cost should exceed single RTD cost")
+	}
+}
+
+func TestDiode(t *testing.T) {
+	d := NewDiode()
+	if d.I(0) != 0 {
+		t.Error("I(0) != 0")
+	}
+	// Forward current at 0.7 V is orders of magnitude above Is.
+	if d.I(0.7) < 1e-6 {
+		t.Errorf("I(0.7) = %g, implausibly small", d.I(0.7))
+	}
+	// Reverse saturation.
+	if math.Abs(d.I(-1)+d.Is) > 0.01*d.Is {
+		t.Errorf("reverse current %g, want ~-Is", d.I(-1))
+	}
+	// Continuation above the cap must be C1: value and slope continuous.
+	vc := d.vCap
+	if math.Abs(d.I(vc+1e-9)-d.I(vc-1e-9)) > 1e-6*math.Abs(d.I(vc)) {
+		t.Error("I discontinuous at cap")
+	}
+	if math.Abs(d.G(vc+1e-9)-d.G(vc-1e-9)) > 1e-6*d.G(vc) {
+		t.Error("G discontinuous at cap")
+	}
+	// No overflow far beyond the cap.
+	if math.IsInf(d.I(100), 0) || math.IsNaN(d.I(100)) {
+		t.Error("I overflows at 100 V")
+	}
+	if _, err := NewDiodeParams(-1, 1); err == nil {
+		t.Error("negative Is accepted")
+	}
+}
+
+func TestDiodeDerivative(t *testing.T) {
+	d := NewDiode()
+	const h = 1e-9
+	for _, v := range []float64{-0.5, 0, 0.3, 0.6, 0.9} {
+		num := (d.I(v+h) - d.I(v-h)) / (2 * h)
+		if math.Abs(num-d.G(v)) > 1e-3*math.Max(num, 1e-12) {
+			t.Errorf("diode G mismatch at %g: %g vs %g", v, num, d.G(v))
+		}
+	}
+}
+
+func TestMOSFETRegions(t *testing.T) {
+	m := NewNMOS()
+	// Cutoff.
+	if m.IDS(0.5, 2) != 0 {
+		t.Error("subthreshold current should be 0 in level-1")
+	}
+	// Triode: ID = beta*((vgs-vt)*vds - vds^2/2).
+	got := m.IDS(3, 0.5)
+	want := 1e-3 * ((3-1)*0.5 - 0.5*0.25)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("triode IDS = %g, want %g", got, want)
+	}
+	// Saturation: ID = beta/2*(vgs-vt)^2.
+	got = m.IDS(3, 4)
+	want = 0.5 * 1e-3 * 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("saturation IDS = %g, want %g", got, want)
+	}
+	// Continuity at the triode/saturation boundary.
+	b := m.IDS(3, 2-1e-9) - m.IDS(3, 2+1e-9)
+	if math.Abs(b) > 1e-9 {
+		t.Errorf("IDS discontinuous at pinch-off: %g", b)
+	}
+}
+
+func TestMOSFETSymmetryAndPMOS(t *testing.T) {
+	m := NewNMOS()
+	// Reverse operation: swapping drain and source negates the current.
+	// With vds < 0 the effective vgs is measured to the other terminal.
+	if m.IDS(3, -1) >= 0 {
+		t.Error("reverse vds should give negative current")
+	}
+	p := NewPMOS()
+	// PMOS conducts with negative vgs/vds.
+	if p.IDS(-3, -1) >= 0 {
+		t.Error("PMOS with negative bias should carry negative current")
+	}
+	if p.IDS(3, -1) != 0 {
+		t.Error("PMOS with positive vgs should be off")
+	}
+	if NMOS.String() != "NMOS" || PMOS.String() != "PMOS" {
+		t.Error("polarity names")
+	}
+}
+
+func TestMOSFETGeqDS(t *testing.T) {
+	m := NewNMOS()
+	// Paper eq (3): triode Geq = beta*(vgs-vt-vds/2).
+	got := m.GeqDS(3, 0.5)
+	want := 1e-3 * (3 - 1 - 0.25)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("triode GeqDS = %g, want %g", got, want)
+	}
+	// Saturation Geq = beta/2*(vgs-vt)^2/vds.
+	got = m.GeqDS(3, 4)
+	want = 0.5 * 1e-3 * 4 / 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("saturation GeqDS = %g, want %g", got, want)
+	}
+	// vds -> 0 limit: beta*(vgs-vt).
+	if g := m.GeqDS(3, 0); math.Abs(g-2e-3) > 1e-12 {
+		t.Errorf("GeqDS limit = %g, want 2e-3", g)
+	}
+	// Below threshold the device contributes nothing.
+	if g := m.GeqDS(0.5, 0); g != 0 {
+		t.Errorf("cutoff GeqDS = %g", g)
+	}
+	// Positivity for all operating points (vds > 0).
+	for vgs := 0.0; vgs <= 5; vgs += 0.25 {
+		for vds := 0.01; vds <= 5; vds += 0.1 {
+			if m.GeqDS(vgs, vds) < 0 {
+				t.Fatalf("GeqDS negative at vgs=%g vds=%g", vgs, vds)
+			}
+		}
+	}
+}
+
+func TestMOSFETDerivatives(t *testing.T) {
+	m := NewNMOS()
+	m.Lambda = 0.02
+	for _, pt := range [][2]float64{{3, 0.5}, {3, 4}, {2, 1}} {
+		vgs, vds := pt[0], pt[1]
+		const h = 1e-5
+		gmNum := (m.IDS(vgs+h, vds) - m.IDS(vgs-h, vds)) / (2 * h)
+		if math.Abs(gmNum-m.GM(vgs, vds)) > 1e-4*math.Max(gmNum, 1e-9) {
+			t.Errorf("GM mismatch at %v: numeric %g vs analytic %g", pt, gmNum, m.GM(vgs, vds))
+		}
+		// 1e-3 tolerance admits the one-sided O(h) bias of the centered
+		// difference at the triode/saturation kink (2,1).
+		gdsNum := (m.IDS(vgs, vds+h) - m.IDS(vgs, vds-h)) / (2 * h)
+		if math.Abs(gdsNum-m.GDS(vgs, vds)) > 1e-3*math.Max(math.Abs(gdsNum), 1e-9) {
+			t.Errorf("GDS mismatch at %v: numeric %g vs analytic %g", pt, gdsNum, m.GDS(vgs, vds))
+		}
+	}
+}
+
+func TestNewMOSFETValidation(t *testing.T) {
+	if _, err := NewMOSFET(NMOS, 0, 1, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	m, err := NewMOSFET(PMOS, 1e-3, 2, 1, 0.8)
+	if err != nil || m.beta() != 2e-3 {
+		t.Fatalf("valid MOSFET rejected: %v", err)
+	}
+}
+
+func TestResistive(t *testing.T) {
+	r := Resistive{Gval: 2e-3}
+	if r.I(3) != 6e-3 || r.G(100) != 2e-3 {
+		t.Error("resistive model wrong")
+	}
+	if Geq(r, 5) != 2e-3 || Geq(r, 0) != 2e-3 {
+		t.Error("resistive Geq wrong")
+	}
+	if DGeq(r, 1) != 0 {
+		t.Error("resistive DGeq should be 0")
+	}
+	if math.Abs(DGeq(r, 0)) > 1e-9 {
+		t.Error("resistive DGeq at 0 should be ~0")
+	}
+}

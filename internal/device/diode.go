@@ -1,0 +1,67 @@
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/units"
+)
+
+// Diode is the Shockley junction diode with the standard exponent-capping
+// continuation above the critical voltage, so Newton iterations far from
+// the solution stay finite (the device-limiting technique paper §3.1
+// mentions SPICE relies on).
+type Diode struct {
+	// Is is the saturation current (amps).
+	Is float64
+	// N is the emission coefficient.
+	N float64
+	// TempK is the junction temperature (kelvin).
+	TempK float64
+
+	vt   float64 // N*kT/q
+	vCap float64 // voltage where the exponential is linearized
+}
+
+// NewDiode returns a 1 fA, ideality-1 diode at 300 K.
+func NewDiode() *Diode { d := &Diode{Is: 1e-15, N: 1}; d.init(); return d }
+
+// NewDiodeParams validates and builds a diode model.
+func NewDiodeParams(is, n float64) (*Diode, error) {
+	if is <= 0 || n <= 0 {
+		return nil, fmt.Errorf("device: invalid diode Is=%g N=%g", is, n)
+	}
+	d := &Diode{Is: is, N: n}
+	d.init()
+	return d, nil
+}
+
+func (d *Diode) init() {
+	if d.TempK <= 0 {
+		d.TempK = units.RoomTemp
+	}
+	d.vt = d.N * units.Thermal(d.TempK)
+	// Cap the exponent at 40 thermal voltages (~1 V at 300 K / N=1).
+	d.vCap = 40 * d.vt
+}
+
+// I returns the diode current; above vCap the exponential continues
+// linearly with matched value and slope.
+func (d *Diode) I(v float64) float64 {
+	if v <= d.vCap {
+		return d.Is * math.Expm1(v/d.vt)
+	}
+	eCap := math.Exp(d.vCap / d.vt)
+	return d.Is * (eCap*(1+(v-d.vCap)/d.vt) - 1)
+}
+
+// G returns dI/dV with the same continuation.
+func (d *Diode) G(v float64) float64 {
+	if v <= d.vCap {
+		return d.Is / d.vt * math.Exp(v/d.vt)
+	}
+	return d.Is / d.vt * math.Exp(d.vCap/d.vt)
+}
+
+// Cost documents one evaluation.
+func (d *Diode) Cost() Cost { return Cost{Adds: 2, Muls: 2, Divs: 1, Funcs: 1} }

@@ -1,0 +1,85 @@
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/units"
+)
+
+// Esaki is the classic tunnel-diode model (the original NDR device):
+//
+//	I(V) = Ip·(V/Vp)·e^(1 - V/Vp)  +  Is·(e^(V/Vt) - 1)
+//
+// The first term is the tunneling current, which peaks at exactly
+// V = Vp with I = Ip and then decays — giving a closed-form NDR region
+// that makes the model ideal for validating peak/valley detection and
+// the SWEC positivity claim on a second device family.
+type Esaki struct {
+	// Ip and Vp are the tunneling peak current (A) and voltage (V).
+	Ip, Vp float64
+	// Is is the thermionic saturation current (A).
+	Is float64
+	// TempK is the junction temperature (kelvin).
+	TempK float64
+
+	vt float64
+}
+
+// NewEsaki returns a germanium-flavoured tunnel diode: 1 mA peak at
+// 65 mV with a thermionic second rise near 0.45 V.
+func NewEsaki() *Esaki {
+	e := &Esaki{Ip: 1e-3, Vp: 0.065, Is: 1e-11}
+	e.init()
+	return e
+}
+
+// NewEsakiParams validates and builds a custom tunnel diode.
+func NewEsakiParams(ip, vp, is float64) (*Esaki, error) {
+	if ip <= 0 || vp <= 0 || is <= 0 {
+		return nil, fmt.Errorf("device: invalid Esaki Ip=%g Vp=%g Is=%g", ip, vp, is)
+	}
+	e := &Esaki{Ip: ip, Vp: vp, Is: is}
+	e.init()
+	return e, nil
+}
+
+func (e *Esaki) init() {
+	if e.TempK <= 0 {
+		e.TempK = units.RoomTemp
+	}
+	e.vt = units.Thermal(e.TempK)
+}
+
+// expCap keeps the thermionic exponent finite far above the knee.
+const esakiExpCap = 40.0
+
+// I returns the diode current.
+func (e *Esaki) I(v float64) float64 {
+	tunnel := e.Ip * (v / e.Vp) * math.Exp(1-v/e.Vp)
+	x := v / e.vt
+	var diode float64
+	if x <= esakiExpCap {
+		diode = e.Is * math.Expm1(x)
+	} else {
+		eCap := math.Exp(esakiExpCap)
+		diode = e.Is * (eCap*(1+(x-esakiExpCap)) - 1)
+	}
+	return tunnel + diode
+}
+
+// G returns the analytic dI/dV.
+func (e *Esaki) G(v float64) float64 {
+	tunnel := e.Ip / e.Vp * math.Exp(1-v/e.Vp) * (1 - v/e.Vp)
+	x := v / e.vt
+	var diode float64
+	if x <= esakiExpCap {
+		diode = e.Is / e.vt * math.Exp(x)
+	} else {
+		diode = e.Is / e.vt * math.Exp(esakiExpCap)
+	}
+	return tunnel + diode
+}
+
+// Cost documents one evaluation.
+func (e *Esaki) Cost() Cost { return Cost{Adds: 4, Muls: 5, Divs: 3, Funcs: 2} }

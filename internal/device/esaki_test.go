@@ -1,0 +1,97 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEsakiPeakExact(t *testing.T) {
+	e := NewEsaki()
+	// The tunneling term peaks at exactly Vp with value Ip; the tiny
+	// thermionic term barely shifts it.
+	vp, ip, vv, iv, ok := PeakValley(e, 0.6)
+	if !ok {
+		t.Fatal("Esaki diode shows no NDR")
+	}
+	if math.Abs(vp-e.Vp)/e.Vp > 0.02 {
+		t.Errorf("peak at %g, want %g", vp, e.Vp)
+	}
+	if math.Abs(ip-e.Ip)/e.Ip > 0.02 {
+		t.Errorf("peak current %g, want %g", ip, e.Ip)
+	}
+	if vv <= vp || iv >= ip {
+		t.Errorf("valley (%g, %g) not after/below peak (%g, %g)", vv, iv, vp, ip)
+	}
+	// Textbook germanium PVR is large (tunneling decays exponentially).
+	if ip/iv < 5 {
+		t.Errorf("PVR = %g, want > 5", ip/iv)
+	}
+}
+
+func TestEsakiDerivative(t *testing.T) {
+	e := NewEsaki()
+	const h = 1e-7
+	for v := -0.1; v <= 0.55; v += 0.01 {
+		num := (e.I(v+h) - e.I(v-h)) / (2 * h)
+		ana := e.G(v)
+		scale := math.Max(math.Abs(num), 1e-9)
+		if math.Abs(num-ana)/scale > 1e-3 {
+			t.Fatalf("G mismatch at %g: %g vs %g", v, num, ana)
+		}
+	}
+}
+
+func TestEsakiGeqPositive(t *testing.T) {
+	e := NewEsaki()
+	for v := 1e-4; v <= 0.6; v += 1e-3 {
+		if g := Geq(e, v); g <= 0 {
+			t.Fatalf("Geq(%g) = %g", v, g)
+		}
+	}
+	// Differential conductance does go negative (NDR present).
+	if e.G(2*e.Vp) >= 0 {
+		t.Error("no NDR at 2*Vp")
+	}
+}
+
+func TestEsakiValidationAndOverflow(t *testing.T) {
+	if _, err := NewEsakiParams(0, 0.065, 1e-11); err == nil {
+		t.Error("Ip=0 accepted")
+	}
+	if _, err := NewEsakiParams(1e-3, -1, 1e-11); err == nil {
+		t.Error("Vp<0 accepted")
+	}
+	e := NewEsaki()
+	if math.IsInf(e.I(50), 0) || math.IsNaN(e.G(50)) {
+		t.Error("thermionic term overflows at high bias")
+	}
+	if e.I(0) != 0 {
+		t.Errorf("I(0) = %g", e.I(0))
+	}
+	if e.Cost().Funcs == 0 {
+		t.Error("cost must include transcendentals")
+	}
+}
+
+// TestEsakiInSWECDivider: the second NDR family traverses its resonance
+// under SWEC just like the RTD.
+func TestEsakiInSWECDivider(t *testing.T) {
+	// Covered at circuit level in core tests via device.IV interface;
+	// here verify the load-line intersection algebra directly.
+	e := NewEsaki()
+	const vs, r = 0.3, 120.0
+	// Bisect the load line: f(v) = I(v) - (vs-v)/r.
+	lo, hi := 0.0, vs
+	for i := 0; i < 80; i++ {
+		mid := 0.5 * (lo + hi)
+		if e.I(mid)-(vs-mid)/r > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	v := 0.5 * (lo + hi)
+	if math.Abs(e.I(v)-(vs-v)/r) > 1e-9 {
+		t.Errorf("bisection failed: %g vs %g", e.I(v), (vs-v)/r)
+	}
+}

@@ -1,0 +1,173 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// FETPolarity selects NMOS or PMOS behaviour.
+type FETPolarity int
+
+// FET polarities.
+const (
+	NMOS FETPolarity = iota
+	PMOS
+)
+
+// String names the polarity.
+func (p FETPolarity) String() string {
+	if p == PMOS {
+		return "PMOS"
+	}
+	return "NMOS"
+}
+
+// MOSFET is the level-1 (Shichman-Hodges) square-law model the paper
+// uses in §3.2 (eq 2) to introduce SWEC on a conventional device:
+//
+//	ID = k·W/L·[(VGS-Vth)·VDS - VDS²/2]   for VDS <  VGS-Vth (triode)
+//	ID = k·W/(2L)·(VGS-Vth)²              for VDS >= VGS-Vth (saturation)
+//
+// with ID = 0 below threshold. The SWEC linearization (eq 3) is
+// GeqDS = ID/VDS. Reverse operation (VDS < 0) swaps drain and source.
+type MOSFET struct {
+	// Polarity selects NMOS or PMOS.
+	Polarity FETPolarity
+	// K is the transconductance parameter k = µ·Cox (A/V²).
+	K float64
+	// W and L are the effective channel width and length (meters).
+	W, L float64
+	// Vth is the threshold voltage (volts, positive for both
+	// polarities; the sign convention is handled internally).
+	Vth float64
+	// Lambda is the channel-length modulation (1/volts), 0 to match
+	// the paper's ideal square law.
+	Lambda float64
+}
+
+// NewNMOS returns an NMOS with beta = K·W/L = 1 mA/V² and Vth = 1 V,
+// a workable generic switch for the paper's 0-5 V logic experiments.
+func NewNMOS() *MOSFET {
+	return &MOSFET{Polarity: NMOS, K: 1e-3, W: 1, L: 1, Vth: 1}
+}
+
+// NewPMOS mirrors NewNMOS.
+func NewPMOS() *MOSFET {
+	return &MOSFET{Polarity: PMOS, K: 0.5e-3, W: 1, L: 1, Vth: 1}
+}
+
+// NewMOSFET validates and builds a custom transistor.
+func NewMOSFET(p FETPolarity, k, w, l, vth float64) (*MOSFET, error) {
+	if k <= 0 || w <= 0 || l <= 0 {
+		return nil, fmt.Errorf("device: invalid MOSFET k=%g W=%g L=%g", k, w, l)
+	}
+	return &MOSFET{Polarity: p, K: k, W: w, L: l, Vth: vth}, nil
+}
+
+// beta returns k·W/L.
+func (m *MOSFET) beta() float64 { return m.K * m.W / m.L }
+
+// IDS returns the drain-source current for terminal voltages vgs, vds
+// (device convention: current flows drain to source for NMOS with
+// positive vds).
+func (m *MOSFET) IDS(vgs, vds float64) float64 {
+	if m.Polarity == PMOS {
+		return -m.idsN(-vgs, -vds)
+	}
+	return m.idsN(vgs, vds)
+}
+
+// idsN is the NMOS square law with source-drain symmetry.
+func (m *MOSFET) idsN(vgs, vds float64) float64 {
+	if vds < 0 {
+		// Swap terminals: gate-to-effective-source is vgd = vgs - vds.
+		return -m.idsN(vgs-vds, -vds)
+	}
+	vov := vgs - m.Vth
+	if vov <= 0 {
+		return 0
+	}
+	var id float64
+	if vds < vov {
+		id = m.beta() * (vov*vds - 0.5*vds*vds)
+	} else {
+		id = 0.5 * m.beta() * vov * vov
+	}
+	if m.Lambda > 0 {
+		id *= 1 + m.Lambda*vds
+	}
+	return id
+}
+
+// GM returns the analytic transconductance dID/dVGS.
+func (m *MOSFET) GM(vgs, vds float64) float64 {
+	gm, _ := m.derivs(vgs, vds)
+	return gm
+}
+
+// GDS returns the analytic output conductance dID/dVDS, the quantity
+// SPICE-style NR stamps.
+func (m *MOSFET) GDS(vgs, vds float64) float64 {
+	_, gds := m.derivs(vgs, vds)
+	return gds
+}
+
+// derivs returns (dID/dVGS, dID/dVDS) with the polarity and reverse-mode
+// chain rules applied.
+func (m *MOSFET) derivs(vgs, vds float64) (gm, gds float64) {
+	if m.Polarity == PMOS {
+		// I = -In(-vgs, -vds): dI/dvgs = gmN, dI/dvds = gdsN.
+		return m.derivsN(-vgs, -vds)
+	}
+	return m.derivsN(vgs, vds)
+}
+
+// derivsN differentiates the NMOS square law.
+func (m *MOSFET) derivsN(vgs, vds float64) (gm, gds float64) {
+	if vds < 0 {
+		// I = -In(vgs-vds, -vds); with g' = vgs-vds, d' = -vds:
+		// dI/dvgs = -gm'(g',d'), dI/dvds = gm'(g',d') + gds'(g',d').
+		gmp, gdsp := m.derivsN(vgs-vds, -vds)
+		return -gmp, gmp + gdsp
+	}
+	vov := vgs - m.Vth
+	if vov <= 0 {
+		return 0, 0
+	}
+	b := m.beta()
+	lam := 1.0
+	if m.Lambda > 0 {
+		lam = 1 + m.Lambda*vds
+	}
+	if vds < vov {
+		gm = b * vds * lam
+		gds = b*(vov-vds)*lam + b*(vov*vds-0.5*vds*vds)*m.Lambda
+		return gm, gds
+	}
+	gm = b * vov * lam
+	gds = 0.5 * b * vov * vov * m.Lambda
+	return gm, gds
+}
+
+// GeqDS returns the step-wise equivalent drain-source conductance
+// ID/VDS of paper eq (3), with the analytic VDS -> 0 limit
+// beta·(VGS-Vth).
+func (m *MOSFET) GeqDS(vgs, vds float64) float64 {
+	if math.Abs(vds) < geqEps {
+		// Triode-limit conductance beta·(VGS-Vth); for PMOS the overdrive
+		// is measured with flipped sign but the conductance stays positive.
+		g := vgs
+		if m.Polarity == PMOS {
+			g = -vgs
+		}
+		vov := g - m.Vth
+		if vov <= 0 {
+			return 0
+		}
+		return m.beta() * vov
+	}
+	return m.IDS(vgs, vds) / vds
+}
+
+// Cost documents one evaluation of the square law.
+func (m *MOSFET) Cost() Cost { return Cost{Adds: 4, Muls: 5, Divs: 1} }

@@ -1,0 +1,167 @@
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/units"
+)
+
+// Nanowire models a carbon nanotube / quantum nanowire whose conductance
+// is quantized: as bias opens successive 1-D subbands, dI/dV climbs a
+// staircase in units of the conductance quantum G0 = 2e²/h (paper Fig
+// 1b: "the staircase characteristics of the conductance signal confirms
+// that the carbon nanotubes behave as quantum wires"). The model is the
+// odd function
+//
+//	I(V) = Σ_k G0·w·softplus((|V| - Vk)/w)·sign(V)
+//
+// whose differential conductance is a smooth staircase
+// Σ_k G0·sigmoid((|V|-Vk)/w): zero NDR, strongly non-linear.
+type Nanowire struct {
+	// Steps is the number of conduction channels (staircase treads).
+	Steps int
+	// StepV is the bias spacing between channel openings (volts).
+	StepV float64
+	// Width is the thermal smearing of each step (volts).
+	Width float64
+	// GQuantum is the per-channel conductance (siemens); defaults to
+	// the physical conductance quantum.
+	GQuantum float64
+}
+
+// NewNanowire returns a 4-channel wire with 0.4 V spacing and 25 mV
+// smearing, the configuration used for Figure 7(b).
+func NewNanowire() *Nanowire {
+	return &Nanowire{Steps: 4, StepV: 0.4, Width: 0.025, GQuantum: units.G0}
+}
+
+// NewNanowireParams validates and builds a custom wire.
+func NewNanowireParams(steps int, stepV, width, gq float64) (*Nanowire, error) {
+	if steps < 1 || stepV <= 0 || width <= 0 || gq <= 0 {
+		return nil, fmt.Errorf("device: invalid nanowire steps=%d stepV=%g width=%g gq=%g",
+			steps, stepV, width, gq)
+	}
+	return &Nanowire{Steps: steps, StepV: stepV, Width: width, GQuantum: gq}, nil
+}
+
+// threshold returns the opening bias of channel k (0-based). The first
+// channel opens at half a step so conduction begins immediately but the
+// staircase remains visible.
+func (n *Nanowire) threshold(k int) float64 {
+	return (float64(k) + 0.5) * n.StepV
+}
+
+// I returns the wire current at bias v. The zero-bias offset of the
+// softplus sum is subtracted so I(0) == 0 exactly and the function is
+// odd.
+func (n *Nanowire) I(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	av := math.Abs(v)
+	sum := 0.0
+	for k := 0; k < n.Steps; k++ {
+		th := n.threshold(k)
+		sum += n.GQuantum * n.Width * (softplus((av-th)/n.Width) - softplus(-th/n.Width))
+	}
+	return math.Copysign(sum, v)
+}
+
+// G returns the quantized differential conductance staircase.
+func (n *Nanowire) G(v float64) float64 {
+	av := math.Abs(v)
+	sum := 0.0
+	for k := 0; k < n.Steps; k++ {
+		x := (av - n.threshold(k)) / n.Width
+		sum += n.GQuantum * logistic(x)
+	}
+	return sum
+}
+
+// Cost documents one evaluation: one exp-class call plus a handful of
+// elementary operations per step.
+func (n *Nanowire) Cost() Cost {
+	return Cost{Adds: 2 * n.Steps, Muls: 2 * n.Steps, Divs: n.Steps, Funcs: n.Steps}
+}
+
+func softplus(x float64) float64 { return log1pExp(x) }
+
+// RTT models a resonant tunneling transistor's collector characteristic
+// at fixed base drive: multiple resonance peaks with a staircase contour
+// (paper Fig 1a). It superposes shifted Schulman resonances plus the
+// thermionic background.
+type RTT struct {
+	peaks []*RTD
+	bg    *RTD
+}
+
+// NewRTT returns a 3-peak device spanning roughly 0-4.5 V.
+func NewRTT() *RTT {
+	return NewRTTPeaks(3, 1.0)
+}
+
+// NewRTTPeaks builds an RTT with the given number of resonance peaks,
+// spaced by spacing volts.
+func NewRTTPeaks(n int, spacing float64) *RTT {
+	if n < 1 {
+		n = 1
+	}
+	t := &RTT{}
+	for k := 0; k < n; k++ {
+		r := NewRTD()
+		// Successive resonance centers move up in voltage (the atan
+		// transition sits at C/n1) and each level only turns on past
+		// the previous valley (B-C sets the turn-on), so the envelope
+		// forms the rising multi-peak staircase of Fig 1(a).
+		center := 0.3 + spacing*0.7*float64(k)
+		turnOn := 0.5 * (center - 0.3) * 1.4
+		r.D = 0.015
+		r.C = r.N1 * center
+		r.B = r.C - r.N1*turnOn + 0.05
+		r.A = 1e-4 * (1 + 0.6*float64(k))
+		r.H = 0
+		r.init()
+		t.peaks = append(t.peaks, r)
+	}
+	bg := NewRTD()
+	bg.A = 1e-12 // resonances off, weak thermionic background only
+	bg.H = 1e-9
+	bg.init()
+	t.bg = bg
+	return t
+}
+
+// I sums the resonance currents.
+func (t *RTT) I(v float64) float64 {
+	sum := t.bg.I(v)
+	for _, p := range t.peaks {
+		sum += p.I(v)
+	}
+	return sum
+}
+
+// G sums the resonance conductances.
+func (t *RTT) G(v float64) float64 {
+	sum := t.bg.G(v)
+	for _, p := range t.peaks {
+		sum += p.G(v)
+	}
+	return sum
+}
+
+// Cost documents one evaluation as the sum over constituent resonances.
+func (t *RTT) Cost() Cost {
+	c := t.bg.Cost()
+	for _, p := range t.peaks {
+		pc := p.Cost()
+		c.Adds += pc.Adds
+		c.Muls += pc.Muls
+		c.Divs += pc.Divs
+		c.Funcs += pc.Funcs
+	}
+	return c
+}
+
+// NumPeaks returns the number of resonances.
+func (t *RTT) NumPeaks() int { return len(t.peaks) }

@@ -1,0 +1,185 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRTDZeroCurrentAtZeroBias(t *testing.T) {
+	r := NewRTD()
+	if i := r.I(0); math.Abs(i) > 1e-18 {
+		t.Errorf("I(0) = %g, want 0", i)
+	}
+}
+
+// TestRTDAnalyticDerivative cross-checks the closed-form G against a
+// centered difference of I across the full sweep range, including the
+// NDR region — this validates the paper's eq (8) chain-rule algebra.
+func TestRTDAnalyticDerivative(t *testing.T) {
+	r := NewRTD()
+	const h = 1e-6
+	for v := -1.0; v <= 1.5; v += 0.005 {
+		num := (r.I(v+h) - r.I(v-h)) / (2 * h)
+		ana := r.G(v)
+		scale := math.Max(math.Abs(num), 1e-6)
+		if math.Abs(num-ana)/scale > 1e-4 {
+			t.Fatalf("dI/dV mismatch at V=%g: numeric %g vs analytic %g", v, num, ana)
+		}
+	}
+}
+
+func TestRTDHasNDR(t *testing.T) {
+	r := NewRTD()
+	vp, ip, vv, iv, ok := r.PeakValley(1.2)
+	if !ok {
+		t.Fatal("default RTD must exhibit a peak and valley")
+	}
+	if !(0 < vp && vp < vv && vv < 1.2) {
+		t.Errorf("peak %g / valley %g out of order", vp, vv)
+	}
+	if ip <= iv {
+		t.Errorf("peak current %g not above valley current %g", ip, iv)
+	}
+	// Peak-to-valley ratio should be meaningfully > 1 for an RTD.
+	if ip/iv < 1.5 {
+		t.Errorf("PVR = %g, too small for an RTD", ip/iv)
+	}
+	// Differential conductance must be negative strictly inside NDR.
+	mid := 0.5 * (vp + vv)
+	if g := r.G(mid); g >= 0 {
+		t.Errorf("G(%g) = %g inside NDR, want negative", mid, g)
+	}
+	// The fitted default must sit in the textbook sub-volt band.
+	if vp > 0.5 || vv > 1.0 {
+		t.Errorf("default resonance out of band: peak %g V, valley %g V", vp, vv)
+	}
+}
+
+// TestRTDDate05Constants checks the paper-quoted constant set: resonance
+// near 3.5 V, NDR entered but valley beyond a 0-5 V sweep (see DESIGN.md
+// substitution notes).
+func TestRTDDate05Constants(t *testing.T) {
+	r := NewRTDDate05()
+	if r.A != 1e-4 || r.B != 2 || r.C != 1.5 || r.D != 0.3 ||
+		r.N1 != 0.35 || r.N2 != 0.0172 || r.H != 1.43e-8 {
+		t.Fatal("Date05 constants drifted from paper §5.2")
+	}
+	vp, _, _, _, _ := PeakValley(r, 5)
+	if vp < 3.0 || vp > 4.0 {
+		t.Errorf("Date05 peak at %g V, want ~3.5 V", vp)
+	}
+	// NDR present past the peak.
+	if g := r.G(4.5); g >= 0 {
+		t.Errorf("Date05 G(4.5) = %g, want negative (NDR)", g)
+	}
+	// Geq still positive there: the SWEC claim holds for either set.
+	if g := Geq(r, 4.5); g <= 0 {
+		t.Errorf("Date05 Geq(4.5) = %g, want positive", g)
+	}
+}
+
+// TestRTDGeqAlwaysPositive is the paper's central claim (§3.2): the
+// step-wise equivalent conductance stays positive even across NDR.
+func TestRTDGeqAlwaysPositive(t *testing.T) {
+	r := NewRTD()
+	for v := 1e-6; v <= 3.0; v += 0.002 {
+		if g := Geq(r, v); g <= 0 {
+			t.Fatalf("Geq(%g) = %g, want > 0", v, g)
+		}
+	}
+}
+
+func TestRTDGeqContinuousAtZero(t *testing.T) {
+	r := NewRTD()
+	limit := r.G(0)
+	near := Geq(r, 2e-9)
+	if math.Abs(near-limit)/math.Abs(limit) > 1e-3 {
+		t.Errorf("Geq near zero %g vs limit %g", near, limit)
+	}
+	exactlyZero := Geq(r, 0)
+	if exactlyZero != limit {
+		t.Errorf("Geq(0) = %g, want G(0) = %g", exactlyZero, limit)
+	}
+}
+
+// TestRTDDGeqMatchesNumeric validates the eq (7)-(8) derivative used by
+// the Taylor predictor.
+func TestRTDDGeqMatchesNumeric(t *testing.T) {
+	r := NewRTD()
+	const h = 1e-6
+	for _, v := range []float64{0.1, 0.24, 0.4, 0.56, 0.8, 1.0, 1.2} {
+		num := (Geq(r, v+h) - Geq(r, v-h)) / (2 * h)
+		ana := DGeq(r, v)
+		scale := math.Max(math.Abs(num), 1e-9)
+		if math.Abs(num-ana)/scale > 1e-3 {
+			t.Errorf("dGeq/dV at %g: numeric %g vs analytic %g", v, num, ana)
+		}
+	}
+}
+
+func TestRTDOddCurrentSignsAndArea(t *testing.T) {
+	r := NewRTD()
+	// Passivity: I and V share sign (power dissipation >= 0).
+	f := func(raw float64) bool {
+		v := math.Mod(raw, 3)
+		return r.I(v)*v >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	double := r.WithArea(2)
+	if math.Abs(double.I(1.5)-2*r.I(1.5)) > 1e-12*math.Abs(r.I(1.5)) {
+		t.Error("Area scaling broken")
+	}
+}
+
+func TestNewRTDParamsValidation(t *testing.T) {
+	if _, err := NewRTDParams(0, 2, 1.5, 0.3, 0.35, 0.017, 1e-8); err == nil {
+		t.Error("A=0 should be rejected")
+	}
+	if _, err := NewRTDParams(1e-4, 2, 1.5, -0.3, 0.35, 0.017, 1e-8); err == nil {
+		t.Error("D<0 should be rejected")
+	}
+	r, err := NewRTDParams(1e-4, 2, 1.5, 0.3, 0.35, 0.017, 1e-8)
+	if err != nil || r == nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestRTDCost(t *testing.T) {
+	c := NewRTD().Cost()
+	if c.Funcs < 3 || c.Muls == 0 {
+		t.Errorf("RTD cost implausible: %+v", c)
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	r := NewRTD()
+	vp, _, vv, _, ok := r.PeakValley(1.2)
+	if !ok {
+		t.Fatal("no NDR found")
+	}
+	if reg := RegionOf(r, vp/2, 1.2); reg != PDR1 {
+		t.Errorf("below peak: %v", reg)
+	}
+	if reg := RegionOf(r, (vp+vv)/2, 1.2); reg != NDR {
+		t.Errorf("between peak and valley: %v", reg)
+	}
+	if reg := RegionOf(r, vv+0.2, 1.2); reg != PDR2 {
+		t.Errorf("beyond valley: %v", reg)
+	}
+	if PDR1.String() != "PDR1" || NDR.String() != "NDR" || PDR2.String() != "PDR2" {
+		t.Error("Region names wrong")
+	}
+	if Region(99).String() != "unknown" {
+		t.Error("unknown region name wrong")
+	}
+}
+
+func TestPeakValleyMonotoneDevice(t *testing.T) {
+	// A resistor has no peak: ok must be false.
+	if _, _, _, _, ok := PeakValley(Resistive{Gval: 1e-3}, 5); ok {
+		t.Error("resistor misreported as having NDR")
+	}
+}

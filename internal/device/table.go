@@ -1,0 +1,86 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a piecewise-linear I-V model: the device representation the
+// ACES-style engine (paper ref [2]) and the Figure 3 comparison use. Its
+// differential conductance is the segment slope — which goes negative
+// across an NDR region, unlike Geq.
+type Table struct {
+	vs, is []float64
+}
+
+// NewTable builds a PWL model from matched breakpoint slices; vs must be
+// strictly increasing with at least two points.
+func NewTable(vs, is []float64) (*Table, error) {
+	if len(vs) != len(is) {
+		return nil, fmt.Errorf("device: table length mismatch %d != %d", len(vs), len(is))
+	}
+	if len(vs) < 2 {
+		return nil, fmt.Errorf("device: table needs >= 2 points, got %d", len(vs))
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i] <= vs[i-1] {
+			return nil, fmt.Errorf("device: table voltages not increasing at %d (%g after %g)", i, vs[i], vs[i-1])
+		}
+	}
+	return &Table{vs: append([]float64(nil), vs...), is: append([]float64(nil), is...)}, nil
+}
+
+// SampleIV tabulates any IV model with n+1 uniform breakpoints on
+// [v0, v1], the "PWL approximation of the device" of paper ref [2].
+func SampleIV(m IV, v0, v1 float64, n int) (*Table, error) {
+	if n < 1 || v1 <= v0 {
+		return nil, fmt.Errorf("device: bad sampling range [%g, %g] n=%d", v0, v1, n)
+	}
+	vs := make([]float64, n+1)
+	is := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		vs[k] = v0 + (v1-v0)*float64(k)/float64(n)
+		is[k] = m.I(vs[k])
+	}
+	return NewTable(vs, is)
+}
+
+// segment returns the index i such that vs[i] <= v < vs[i+1], clamped.
+func (t *Table) segment(v float64) int {
+	i := sort.SearchFloat64s(t.vs, v) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > len(t.vs)-2 {
+		i = len(t.vs) - 2
+	}
+	return i
+}
+
+// Segment exposes the active segment index at bias v; the ACES-style
+// engine tracks it to detect segment crossings.
+func (t *Table) Segment(v float64) int { return t.segment(v) }
+
+// NumSegments returns the number of PWL segments.
+func (t *Table) NumSegments() int { return len(t.vs) - 1 }
+
+// SegmentRange returns the voltage span of segment i.
+func (t *Table) SegmentRange(i int) (v0, v1 float64) { return t.vs[i], t.vs[i+1] }
+
+// I linearly interpolates the tabulated current, extrapolating the end
+// segments beyond the table.
+func (t *Table) I(v float64) float64 {
+	i := t.segment(v)
+	s := (t.is[i+1] - t.is[i]) / (t.vs[i+1] - t.vs[i])
+	return t.is[i] + s*(v-t.vs[i])
+}
+
+// G returns the slope of the active segment — the PWL differential
+// conductance of paper Fig 3(a), negative across NDR segments.
+func (t *Table) G(v float64) float64 {
+	i := t.segment(v)
+	return (t.is[i+1] - t.is[i]) / (t.vs[i+1] - t.vs[i])
+}
+
+// Cost documents one table lookup.
+func (t *Table) Cost() Cost { return Cost{Adds: 3, Muls: 1, Divs: 1} }

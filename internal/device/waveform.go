@@ -1,0 +1,208 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Waveform is a deterministic source value as a function of time,
+// matching the SPICE independent-source grammar.
+type Waveform interface {
+	// At returns the source value at time t (t < 0 is clamped to 0).
+	At(t float64) float64
+}
+
+// DC is a constant source.
+type DC float64
+
+// At returns the constant value.
+func (d DC) At(t float64) float64 { return float64(d) }
+
+// Pulse is the SPICE PULSE(v1 v2 td tr tf pw per) source: a periodic
+// trapezoid switching between V1 and V2.
+type Pulse struct {
+	V1, V2 float64 // initial and pulsed values
+	Delay  float64 // td: time before the first edge
+	Rise   float64 // tr: 0 -> treated as 1 ps to stay well-posed
+	Fall   float64 // tf
+	Width  float64 // pw: time at V2
+	Period float64 // per: 0 -> single pulse
+}
+
+// minEdge keeps zero-specified edges finite.
+const minEdge = 1e-12
+
+// At evaluates the trapezoid.
+func (p Pulse) At(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	tr := math.Max(p.Rise, minEdge)
+	tf := math.Max(p.Fall, minEdge)
+	if t < p.Delay {
+		return p.V1
+	}
+	tt := t - p.Delay
+	if p.Period > 0 {
+		tt = math.Mod(tt, p.Period)
+	}
+	switch {
+	case tt < tr:
+		return p.V1 + (p.V2-p.V1)*tt/tr
+	case tt < tr+p.Width:
+		return p.V2
+	case tt < tr+p.Width+tf:
+		return p.V2 + (p.V1-p.V2)*(tt-tr-p.Width)/tf
+	default:
+		return p.V1
+	}
+}
+
+// Sin is the SPICE SIN(vo va freq td theta) source.
+type Sin struct {
+	Offset float64 // vo
+	Amp    float64 // va
+	Freq   float64 // hertz
+	Delay  float64 // td
+	Damp   float64 // theta (1/s exponential damping)
+}
+
+// At evaluates the damped sinusoid.
+func (s Sin) At(t float64) float64 {
+	if t < s.Delay {
+		return s.Offset
+	}
+	tt := t - s.Delay
+	return s.Offset + s.Amp*math.Exp(-s.Damp*tt)*math.Sin(2*math.Pi*s.Freq*tt)
+}
+
+// PWL is the SPICE piece-wise-linear source through (T[i], V[i]) points.
+type PWL struct {
+	T, V []float64
+}
+
+// NewPWL validates breakpoints (strictly increasing times).
+func NewPWL(ts, vs []float64) (*PWL, error) {
+	if len(ts) != len(vs) || len(ts) == 0 {
+		return nil, fmt.Errorf("device: PWL needs matched non-empty points, got %d/%d", len(ts), len(vs))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			return nil, fmt.Errorf("device: PWL times not increasing at %d", i)
+		}
+	}
+	return &PWL{T: append([]float64(nil), ts...), V: append([]float64(nil), vs...)}, nil
+}
+
+// At interpolates linearly, clamping outside the table.
+func (p *PWL) At(t float64) float64 {
+	n := len(p.T)
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	if t >= p.T[n-1] {
+		return p.V[n-1]
+	}
+	i := sort.SearchFloat64s(p.T, t)
+	if p.T[i] == t {
+		return p.V[i]
+	}
+	f := (t - p.T[i-1]) / (p.T[i] - p.T[i-1])
+	return p.V[i-1] + f*(p.V[i]-p.V[i-1])
+}
+
+// Exp is the SPICE EXP(v1 v2 td1 tau1 td2 tau2) source.
+type Exp struct {
+	V1, V2 float64
+	Delay1 float64
+	Tau1   float64
+	Delay2 float64
+	Tau2   float64
+}
+
+// At evaluates the double exponential.
+func (e Exp) At(t float64) float64 {
+	tau1 := math.Max(e.Tau1, minEdge)
+	tau2 := math.Max(e.Tau2, minEdge)
+	v := e.V1
+	if t > e.Delay1 {
+		v += (e.V2 - e.V1) * (1 - math.Exp(-(t-e.Delay1)/tau1))
+	}
+	if t > e.Delay2 {
+		v += (e.V1 - e.V2) * (1 - math.Exp(-(t-e.Delay2)/tau2))
+	}
+	return v
+}
+
+// Clock returns a 50%-duty pulse train between v1 and v2 with the given
+// period and edge time, the waveform of the Figure 9 flip-flop clock.
+func Clock(v1, v2, period, edge float64) Pulse {
+	return Pulse{
+		V1: v1, V2: v2,
+		Delay: period / 2,
+		Rise:  edge, Fall: edge,
+		Width:  period/2 - edge,
+		Period: period,
+	}
+}
+
+// BreakTimes reports the inherent discontinuity times of a waveform on
+// [0, tStop], which adaptive integrators must land on exactly to avoid
+// smearing edges. Sources without corners return nil.
+func BreakTimes(w Waveform, tStop float64) []float64 {
+	var ts []float64
+	switch s := w.(type) {
+	case Pulse:
+		tr := math.Max(s.Rise, minEdge)
+		tf := math.Max(s.Fall, minEdge)
+		period := s.Period
+		if period <= 0 {
+			period = math.Inf(1)
+		}
+		for cycle := 0.0; s.Delay+cycle <= tStop; cycle += period {
+			base := s.Delay + cycle
+			for _, d := range []float64{0, tr, tr + s.Width, tr + s.Width + tf} {
+				if t := base + d; t <= tStop {
+					ts = append(ts, t)
+				}
+			}
+			if math.IsInf(period, 1) {
+				break
+			}
+		}
+	case *PWL:
+		for _, t := range s.T {
+			if t <= tStop {
+				ts = append(ts, t)
+			}
+		}
+	}
+	sort.Float64s(ts)
+	return ts
+}
+
+// DescribeWaveform renders a short human-readable summary for netlist
+// diagnostics.
+func DescribeWaveform(w Waveform) string {
+	switch s := w.(type) {
+	case DC:
+		return fmt.Sprintf("DC %g", float64(s))
+	case Pulse:
+		return fmt.Sprintf("PULSE(%g %g td=%g tr=%g tf=%g pw=%g per=%g)",
+			s.V1, s.V2, s.Delay, s.Rise, s.Fall, s.Width, s.Period)
+	case Sin:
+		return fmt.Sprintf("SIN(%g %g %g)", s.Offset, s.Amp, s.Freq)
+	case *PWL:
+		parts := make([]string, 0, len(s.T))
+		for i := range s.T {
+			parts = append(parts, fmt.Sprintf("%g %g", s.T[i], s.V[i]))
+		}
+		return "PWL(" + strings.Join(parts, " ") + ")"
+	case Exp:
+		return fmt.Sprintf("EXP(%g %g)", s.V1, s.V2)
+	default:
+		return fmt.Sprintf("%T", w)
+	}
+}

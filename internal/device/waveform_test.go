@@ -1,0 +1,235 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDCWaveform(t *testing.T) {
+	w := DC(5)
+	if w.At(0) != 5 || w.At(1e-6) != 5 {
+		t.Error("DC not constant")
+	}
+}
+
+func TestPulse(t *testing.T) {
+	p := Pulse{V1: 0, V2: 5, Delay: 10e-9, Rise: 1e-9, Fall: 2e-9, Width: 20e-9, Period: 100e-9}
+	cases := map[float64]float64{
+		0:        0,   // before delay
+		10e-9:    0,   // at delay, edge starts
+		10.5e-9:  2.5, // mid rise
+		11e-9:    5,   // top
+		20e-9:    5,   // inside width
+		31e-9:    5,   // width end
+		32e-9:    2.5, // mid fall
+		33e-9:    0,   // fallen
+		50e-9:    0,   // baseline
+		110.5e-9: 2.5, // second period mid rise
+	}
+	for in, want := range cases {
+		if got := p.At(in); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Pulse.At(%g) = %g, want %g", in, got, want)
+		}
+	}
+	// Negative time clamps.
+	if p.At(-1) != 0 {
+		t.Error("negative time should clamp to V1")
+	}
+	// Single pulse (Period=0) must not repeat.
+	single := p
+	single.Period = 0
+	if single.At(150e-9) != 0 {
+		t.Error("single pulse repeated")
+	}
+	// Zero rise/fall must remain well-posed.
+	z := Pulse{V1: 0, V2: 1, Width: 1e-9}
+	if v := z.At(0.5e-9); v != 1 {
+		t.Errorf("zero-edge pulse mid = %g", v)
+	}
+}
+
+func TestSin(t *testing.T) {
+	s := Sin{Offset: 1, Amp: 2, Freq: 1e6}
+	if got := s.At(0); got != 1 {
+		t.Errorf("Sin at 0 = %g, want offset", got)
+	}
+	if got := s.At(0.25e-6); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Sin at quarter period = %g, want 3", got)
+	}
+	// Damping decays the envelope.
+	d := Sin{Amp: 1, Freq: 1e6, Damp: 1e7}
+	if math.Abs(d.At(2.25e-6)) >= 1 {
+		t.Error("damped sinusoid did not decay")
+	}
+	// Before delay: offset.
+	dd := Sin{Offset: 2, Amp: 1, Freq: 1e6, Delay: 1e-6}
+	if dd.At(0.5e-6) != 2 {
+		t.Error("pre-delay value should be offset")
+	}
+}
+
+func TestPWLWaveform(t *testing.T) {
+	p, err := NewPWL([]float64{0, 1e-9, 3e-9}, []float64{0, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(-1) != 0 || p.At(10e-9) != 5 {
+		t.Error("PWL clamps wrong")
+	}
+	if got := p.At(0.5e-9); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("PWL mid = %g", got)
+	}
+	if got := p.At(1e-9); got != 5 {
+		t.Errorf("PWL exact point = %g", got)
+	}
+	if _, err := NewPWL([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+	if _, err := NewPWL([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewPWL(nil, nil); err == nil {
+		t.Error("empty PWL accepted")
+	}
+}
+
+func TestExpWaveform(t *testing.T) {
+	e := Exp{V1: 0, V2: 5, Delay1: 0, Tau1: 1e-9, Delay2: 10e-9, Tau2: 1e-9}
+	if e.At(0) != 0 {
+		t.Error("Exp at 0")
+	}
+	if v := e.At(5e-9); v < 4.9 {
+		t.Errorf("Exp should have charged: %g", v)
+	}
+	if v := e.At(30e-9); v > 0.1 {
+		t.Errorf("Exp should have discharged: %g", v)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := Clock(0, 5, 100e-9, 1e-9)
+	// First half-period low, second high.
+	if c.At(10e-9) != 0 {
+		t.Error("clock should start low")
+	}
+	if c.At(75e-9) != 5 {
+		t.Error("clock high mid second half")
+	}
+	// Rising edge at t = period/2.
+	rises := 0
+	prev := c.At(0.0)
+	for ts := 1e-9; ts < 400e-9; ts += 0.5e-9 {
+		v := c.At(ts)
+		if prev < 2.5 && v >= 2.5 {
+			rises++
+		}
+		prev = v
+	}
+	if rises != 4 {
+		t.Errorf("rising edges in 400ns = %d, want 4", rises)
+	}
+}
+
+func TestBreakTimes(t *testing.T) {
+	p := Pulse{V1: 0, V2: 1, Delay: 1e-9, Rise: 1e-9, Fall: 1e-9, Width: 2e-9, Period: 10e-9}
+	ts := BreakTimes(p, 12e-9)
+	if len(ts) < 5 {
+		t.Fatalf("too few break times: %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			t.Fatal("break times not sorted")
+		}
+	}
+	// PWL breakpoints.
+	pw, _ := NewPWL([]float64{0, 1e-9, 2e-9}, []float64{0, 1, 0})
+	if got := BreakTimes(pw, 1.5e-9); len(got) != 2 {
+		t.Errorf("PWL break times = %v", got)
+	}
+	// DC has none.
+	if got := BreakTimes(DC(1), 1); got != nil {
+		t.Errorf("DC break times = %v", got)
+	}
+}
+
+func TestDescribeWaveform(t *testing.T) {
+	if !strings.Contains(DescribeWaveform(DC(3)), "DC 3") {
+		t.Error("DC description")
+	}
+	if !strings.Contains(DescribeWaveform(Pulse{V1: 0, V2: 5}), "PULSE") {
+		t.Error("Pulse description")
+	}
+	if !strings.Contains(DescribeWaveform(Sin{Freq: 1e6}), "SIN") {
+		t.Error("Sin description")
+	}
+	p, _ := NewPWL([]float64{0, 1}, []float64{0, 1})
+	if !strings.Contains(DescribeWaveform(p), "PWL") {
+		t.Error("PWL description")
+	}
+	if !strings.Contains(DescribeWaveform(Exp{}), "EXP") {
+		t.Error("Exp description")
+	}
+}
+
+func TestTableModel(t *testing.T) {
+	tb, err := NewTable([]float64{0, 1, 2}, []float64{0, 10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumSegments() != 2 {
+		t.Errorf("segments = %d", tb.NumSegments())
+	}
+	if got := tb.I(0.5); got != 5 {
+		t.Errorf("I(0.5) = %g", got)
+	}
+	// Negative slope segment: the PWL NDR hazard of Fig 3(a).
+	if g := tb.G(1.5); g != -5 {
+		t.Errorf("G(1.5) = %g, want -5", g)
+	}
+	// Geq stays positive there (Fig 3(b)).
+	if g := Geq(tb, 1.5); g <= 0 {
+		t.Errorf("Geq(1.5) = %g, want > 0", g)
+	}
+	// Extrapolation beyond the table uses end segments.
+	if got := tb.I(3); got != 0 {
+		t.Errorf("extrapolated I(3) = %g, want 0 (slope -5)", got)
+	}
+	v0, v1 := tb.SegmentRange(1)
+	if v0 != 1 || v1 != 2 {
+		t.Error("SegmentRange wrong")
+	}
+	if tb.Segment(0.5) != 0 || tb.Segment(1.5) != 1 || tb.Segment(-1) != 0 || tb.Segment(5) != 1 {
+		t.Error("Segment classification wrong")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing table accepted")
+	}
+	if _, err := NewTable([]float64{0}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewTable([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestSampleIV(t *testing.T) {
+	r := NewRTD()
+	tb, err := SampleIV(r, 0, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumSegments() != 50 {
+		t.Errorf("segments = %d", tb.NumSegments())
+	}
+	// The table approximates the model at breakpoints exactly.
+	if math.Abs(tb.I(2.5)-r.I(2.5)) > 1e-12*math.Abs(r.I(2.5))+1e-15 {
+		t.Error("table breakpoint mismatch")
+	}
+	if _, err := SampleIV(r, 5, 0, 10); err == nil {
+		t.Error("reversed range accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+)
+
+// Canonical experiment circuits. Constants here were tuned once against
+// the default RTD (peak 0.241 V / 1.23 mA, valley 0.515 V / 0.41 mA) and
+// are frozen so every experiment, example and benchmark exercises the
+// same hardware; DESIGN.md records the tuning rationale.
+
+// VDDInverter is the FET-RTD inverter supply (Fig 8).
+const VDDInverter = 1.2
+
+// RTDDivider is the Figure 7(a) circuit: V1 -- R -- (RTD) -- gnd, with a
+// parasitic capacitance at the device node.
+func RTDDivider(w device.Waveform, rOhms float64) *circuit.Circuit {
+	c := circuit.New("rtd-divider (Fig 7a)")
+	c.AddVSource("V1", "in", "0", w)
+	c.AddResistor("R1", "in", "d", rOhms)
+	c.AddDevice("N1", "d", "0", device.NewRTD())
+	c.AddCapacitor("CD", "d", "0", 10e-15)
+	return c
+}
+
+// NanowireDivider is the Figure 7(b) circuit with a CNT/nanowire.
+func NanowireDivider(w device.Waveform, rOhms float64) *circuit.Circuit {
+	c := circuit.New("nanowire-divider (Fig 7b)")
+	c.AddVSource("V1", "in", "0", w)
+	c.AddResistor("R1", "in", "d", rOhms)
+	c.AddDevice("N1", "d", "0", device.NewNanowire())
+	c.AddCapacitor("CD", "d", "0", 10e-15)
+	return c
+}
+
+// FETRTDInverter is the Figure 8(a) circuit: series RTD pair between VDD
+// and ground with an NMOS pull-down on the junction. With the 1.5x load
+// area the static states are unique: in=0 V -> out = 1.07 V,
+// in = 1.2 V -> out = 0.18 V.
+func FETRTDInverter(vin device.Waveform) *circuit.Circuit {
+	c := circuit.New("fet-rtd-inverter (Fig 8a)")
+	c.AddVSource("VDD", "vdd", "0", device.DC(VDDInverter))
+	c.AddVSource("VIN", "in", "0", vin)
+	c.AddDevice("RL", "vdd", "out", device.NewRTD().WithArea(1.5))
+	c.AddDevice("RD", "out", "0", device.NewRTD())
+	m, _ := device.NewMOSFET(device.NMOS, 5e-3, 1, 1, 0.5)
+	c.AddFET("M1", "out", "in", "0", m)
+	c.AddCapacitor("CL", "out", "0", 20e-15)
+	c.AddCapacitor("CIN", "in", "0", 1e-15)
+	return c
+}
+
+// InverterInput is the Figure 8 stimulus: a 0 <-> VDD pulse.
+func InverterInput() device.Waveform {
+	return device.Pulse{V1: 0, V2: VDDInverter, Delay: 100e-9, Rise: 1e-9, Fall: 1e-9, Width: 200e-9}
+}
+
+// RTDDFF is the Figure 9(a) circuit: a MOBILE (MOnostable-BIstable Logic
+// Element) D-flip-flop. The clocked bias drives a series RTD pair whose
+// load is 1.1x the driver; a weak data FET in parallel with the driver
+// tilts the monostable->bistable decision at each rising clock edge.
+// The output q is return-to-zero and *inverting* (q = NOT d sampled at
+// the rising edge), the native polarity of a single MOBILE stage.
+func RTDDFF(clk, data device.Waveform) *circuit.Circuit {
+	c := circuit.New("rtd-d-flip-flop (Fig 9a)")
+	c.AddVSource("VCK", "ck", "0", clk)
+	c.AddVSource("VD", "d", "0", data)
+	c.AddDevice("RL", "ck", "q", device.NewRTD().WithArea(1.1))
+	c.AddDevice("RD", "q", "0", device.NewRTD())
+	m, _ := device.NewMOSFET(device.NMOS, 1e-3, 1, 1, 0.5)
+	c.AddFET("MD", "q", "d", "0", m)
+	c.AddCapacitor("CQ", "q", "0", 20e-15)
+	c.AddCapacitor("CDT", "d", "0", 1e-15)
+	return c
+}
+
+// DFFClock is the Figure 9(b) waveform: 100 ns period, rising edges at
+// 50, 150, 250, 350 ns.
+func DFFClock() device.Waveform {
+	return device.Clock(0, VDDInverter, 100e-9, 2e-9)
+}
+
+// DFFData is the Figure 9(c) input: high until it switches at t = 300 ns.
+func DFFData() device.Waveform {
+	d, _ := device.NewPWL([]float64{0, 299e-9, 301e-9}, []float64{VDDInverter, VDDInverter, 0})
+	return d
+}
+
+// NoisyRCNode is the Figure 10 substrate: the parasitic RC seen by a
+// nanoscale transistor with an uncertain (white noise) current input.
+// R = 1 kΩ, C = 1 pF (tau = 1 ns), noise intensity chosen so the
+// 0-1 ns window shows a possible performance peak near 0.6 V at the
+// paper's 1:10 display ratio.
+func NoisyRCNode(sigma float64) *circuit.Circuit {
+	c := circuit.New("noisy parasitic RC (Fig 10)")
+	is, _ := c.AddISource("IN", "0", "x", device.DC(50e-6))
+	is.NoiseSigma = sigma
+	c.AddResistor("R1", "x", "0", 1e3)
+	c.AddCapacitor("C1", "x", "0", 1e-12)
+	return c
+}
+
+// RTDChain builds the scaling workload for the speedup experiment: n
+// RC-loaded RTD stages driven by a shared step source through per-stage
+// resistors. Every stage traverses its NDR region during the transient.
+func RTDChain(n int, w device.Waveform) *circuit.Circuit {
+	c := circuit.New("rtd-chain")
+	c.AddVSource("V1", "in", "0", w)
+	for i := 0; i < n; i++ {
+		nd := nodeName(i)
+		c.AddResistor("R"+nd, "in", nd, 300+float64(i%7)*20)
+		c.AddDevice("N"+nd, nd, "0", device.NewRTD())
+		c.AddCapacitor("C"+nd, nd, "0", 10e-15)
+	}
+	return c
+}
+
+func nodeName(i int) string { return "n" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,183 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (plus the ablations DESIGN.md calls out) as runnable
+// experiments. Each experiment produces a text report — measured series
+// rendered as ASCII charts and tables — and a set of machine-checkable
+// findings that the integration tests and EXPERIMENTS.md assert against
+// the paper's claims.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nanosim/internal/flop"
+	"nanosim/internal/wave"
+)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Quick shrinks workloads for test runs (fewer points/paths).
+	Quick bool
+	// Seed drives every stochastic experiment.
+	Seed uint64
+	// PlotWidth and PlotHeight size the ASCII charts (defaults 72x18).
+	PlotWidth, PlotHeight int
+}
+
+// WithDefaults returns the config with defaults filled in; exported for
+// callers that iterate the registry and invoke Entry.Run directly.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 20050307 // DATE'05 conference date
+	}
+	if c.PlotWidth <= 0 {
+		c.PlotWidth = 72
+	}
+	if c.PlotHeight <= 0 {
+		c.PlotHeight = 18
+	}
+	return c
+}
+
+// Result is an experiment outcome.
+type Result struct {
+	// Findings holds machine-checkable measured values.
+	Findings map[string]float64
+	// Text is the rendered human-readable report.
+	Text string
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (*Result, error)
+
+// Entry describes one registered experiment.
+type Entry struct {
+	// ID is the lookup key ("fig5", "table1", "abl-ito", ...).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper cites what the paper artifact shows.
+	Paper string
+	// Run executes the experiment.
+	Run Runner
+}
+
+var registry []Entry
+
+func register(e Entry) { registry = append(registry, e) }
+
+// All returns the registered experiments in registration order.
+func All() []Entry { return append([]Entry(nil), registry...) }
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Entry, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (*Result, error) {
+	e, ok := Get(id)
+	if !ok {
+		var ids []string
+		for _, e := range registry {
+			ids = append(ids, e.ID)
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("exp: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
+	}
+	return e.Run(cfg.withDefaults())
+}
+
+// report accumulates the text output of an experiment.
+type report struct {
+	b        strings.Builder
+	findings map[string]float64
+	cfg      Config
+}
+
+func newReport(cfg Config, title, paper string) *report {
+	r := &report{findings: make(map[string]float64), cfg: cfg}
+	fmt.Fprintf(&r.b, "== %s ==\n", title)
+	if paper != "" {
+		fmt.Fprintf(&r.b, "paper: %s\n\n", paper)
+	}
+	return r
+}
+
+func (r *report) printf(format string, args ...any) {
+	fmt.Fprintf(&r.b, format, args...)
+}
+
+func (r *report) finding(key string, v float64, format string, args ...any) {
+	r.findings[key] = v
+	fmt.Fprintf(&r.b, format, args...)
+}
+
+// plot renders series into the report.
+func (r *report) plot(series ...*wave.Series) {
+	if err := wave.PlotSeries(&r.b, r.cfg.PlotWidth, r.cfg.PlotHeight, series...); err != nil {
+		fmt.Fprintf(&r.b, "(plot error: %v)\n", err)
+	}
+	r.b.WriteByte('\n')
+}
+
+// table renders an aligned text table.
+func (r *report) table(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		r.printf("| %s |\n", strings.Join(parts, " | "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	r.b.WriteByte('\n')
+}
+
+func (r *report) done() *Result {
+	return &Result{Findings: r.findings, Text: r.b.String()}
+}
+
+// fmtFlops renders a flop snapshot compactly.
+func fmtFlops(s flop.Snapshot) string {
+	return fmt.Sprintf("%d flops (%d solves, %d device evals)", s.Total(), s.Solves, s.DeviceEvals)
+}
+
+// seriesFromXY builds a wave.Series from x/y samples with strictly
+// increasing x (points violating monotonicity are dropped).
+func seriesFromXY(name string, xs, ys []float64) *wave.Series {
+	s := wave.NewSeries(name, len(xs))
+	for i := range xs {
+		if err := s.Append(xs[i], ys[i]); err != nil {
+			continue
+		}
+	}
+	return s
+}

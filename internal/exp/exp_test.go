@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick runs an experiment in Quick mode and returns its findings.
+func quick(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, Config{Quick: true})
+	if err != nil {
+		t.Fatalf("experiment %s: %v", id, err)
+	}
+	if res.Text == "" {
+		t.Fatalf("experiment %s produced no report", id)
+	}
+	return res
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
+		"fig7a", "fig7b", "table1", "fig8", "fig9", "fig10",
+		"speedup", "abl-predictor", "abl-timestep", "abl-ito", "abl-em"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d entries, want >= %d", len(All()), len(want))
+	}
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig1a(t *testing.T) {
+	res := quick(t, "fig1a")
+	if res.Findings["peaks"] < 2 {
+		t.Errorf("RTT peaks = %g, want >= 2 (multi-peak staircase)", res.Findings["peaks"])
+	}
+	if rise := res.Findings["staircase_rise"]; rise < 1.2 {
+		t.Errorf("staircase rise = %g, want > 1.2 (rising envelope)", rise)
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	res := quick(t, "fig1b")
+	if res.Findings["tread_rel_err"] > 0.1 {
+		t.Errorf("conductance treads deviate %g from k*G0", res.Findings["tread_rel_err"])
+	}
+	if res.Findings["steps"] < 3 {
+		t.Error("too few conductance steps for a staircase")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res := quick(t, "fig2")
+	if res.Findings["good_converged"] != 1 {
+		t.Error("good initial guess must converge")
+	}
+	if res.Findings["bad_oscillating"] != 1 {
+		t.Error("bad initial guess must oscillate (the Figure 2 phenomenon)")
+	}
+	if res.Findings["cycle_gap"] < 0.05 {
+		t.Error("oscillation cycle should span a visible voltage range")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	res := quick(t, "fig3")
+	if res.Findings["pwl_min"] >= 0 {
+		t.Error("PWL slope must go negative across NDR (Fig 3a)")
+	}
+	if res.Findings["geq_min"] <= 0 {
+		t.Error("SWEC Geq must stay positive (Fig 3b)")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	res := quick(t, "fig4")
+	if !(res.Findings["peak_v"] > 0 && res.Findings["peak_v"] < res.Findings["valley_v"]) {
+		t.Errorf("region boundaries out of order: %v", res.Findings)
+	}
+	if res.Findings["pvr"] < 1.5 {
+		t.Errorf("PVR = %g too small", res.Findings["pvr"])
+	}
+}
+
+func TestFig5(t *testing.T) {
+	res := quick(t, "fig5")
+	// Both parameter sets: differential conductance dips negative, SWEC
+	// conductance stays positive (the paper's Fig 5 contrast).
+	for _, tag := range []string{"date05", "default"} {
+		if res.Findings["gdiff_min_"+tag] >= 0 {
+			t.Errorf("%s: differential conductance never went negative", tag)
+		}
+		if res.Findings["geq_min_"+tag] <= 0 {
+			t.Errorf("%s: SWEC conductance went non-positive", tag)
+		}
+	}
+}
+
+func TestFig7a(t *testing.T) {
+	res := quick(t, "fig7a")
+	if res.Findings["ndr_captured"] != 1 {
+		t.Error("sweep failed to capture the NDR region (Fig 7a)")
+	}
+	if res.Findings["max_rel_disagreement"] > 0.08 {
+		t.Errorf("SWEC and MLA disagree by %.1f%% of full scale",
+			100*res.Findings["max_rel_disagreement"])
+	}
+}
+
+func TestFig7b(t *testing.T) {
+	res := quick(t, "fig7b")
+	if res.Findings["monotone"] != 1 {
+		t.Error("nanowire I-V should be monotone")
+	}
+	if res.Findings["max_rel_disagreement"] > 0.08 {
+		t.Errorf("SWEC and MLA disagree by %.1f%%", 100*res.Findings["max_rel_disagreement"])
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := quick(t, "table1")
+	// Warm ratios: SWEC strictly cheaper.
+	for _, k := range []string{"ratio_rtd_sweep", "ratio_nanowire_sweep", "ratio_rtd_chain"} {
+		if res.Findings[k] < 1.5 {
+			t.Errorf("%s = %.2f, SWEC should be clearly cheaper", k, res.Findings[k])
+		}
+	}
+	// Cold-start protocol reproduces the paper's order of magnitude.
+	if res.Findings["ratio_rtd_sweep_cold"] < 6 {
+		t.Errorf("cold RTD sweep ratio = %.1f, want the Table I band", res.Findings["ratio_rtd_sweep_cold"])
+	}
+	if res.Findings["ratio_rtd_chain_cold"] < 6 {
+		t.Errorf("cold RTD chain ratio = %.1f, want the Table I band", res.Findings["ratio_rtd_chain_cold"])
+	}
+	if !strings.Contains(res.Text, "SWEC flops") {
+		t.Error("table missing from report")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	res := quick(t, "fig8")
+	// SWEC levels: high ~1.07, low ~0.18 (from the static tuning).
+	if h := res.Findings["swec_high"]; h < 0.95 || h > 1.15 {
+		t.Errorf("SWEC high = %g, want ~1.07", h)
+	}
+	if l := res.Findings["swec_low"]; l < 0.1 || l > 0.3 {
+		t.Errorf("SWEC low = %g, want ~0.18", l)
+	}
+	if h2 := res.Findings["swec_high2"]; h2 < 0.95 {
+		t.Errorf("SWEC failed to recover high: %g", h2)
+	}
+	// ACES agrees with SWEC at settled points (Fig 8b vs 8d).
+	if res.Findings["swec_pwl_gap"] > 0.15 {
+		t.Errorf("SWEC vs PWL gap %g too large", res.Findings["swec_pwl_gap"])
+	}
+	// NR shows distress (Fig 8c): unconverged (falsely accepted) points
+	// at the NDR switching events on the pinned grid.
+	if res.Findings["nr_nonconverged"] == 0 {
+		t.Error("NR showed no unconverged points on the pinned grid — Fig 8c story lost")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	res := quick(t, "fig9")
+	if res.Findings["phases_correct"] < 5 {
+		t.Errorf("flip-flop phases correct = %g/5", res.Findings["phases_correct"])
+	}
+	// Output switches at the rising edge after the data change: within
+	// (345, 365) ns, not at the 300 ns data switch.
+	lt := res.Findings["latch_time_ns"]
+	if lt < 345 || lt > 365 {
+		t.Errorf("latch time = %g ns, want ~350 (rising clock edge)", lt)
+	}
+	if res.Findings["rtz_level"] > 0.2 {
+		t.Errorf("return-to-zero level = %g, want near 0", res.Findings["rtz_level"])
+	}
+}
+
+func TestFig10(t *testing.T) {
+	res := quick(t, "fig10")
+	if res.Findings["mean_err"] > 0.008 {
+		t.Errorf("ensemble mean error %g V too large", res.Findings["mean_err"])
+	}
+	if res.Findings["std_rel_err"] > 0.25 {
+		t.Errorf("ensemble std error %.0f%% too large", 100*res.Findings["std_rel_err"])
+	}
+	// Peak near 0.6 at the paper's 1:10 ratio.
+	if p := res.Findings["peak_q90_x10"]; p < 0.4 || p > 0.8 {
+		t.Errorf("peak (x10) = %g, want ~0.6", p)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	res := quick(t, "speedup")
+	// Matched-grid: SWEC strictly cheaper. The two-device chain is the
+	// floor (shared stamping overhead dominates); the advantage grows
+	// with device count.
+	if res.Findings["ratio_min"] < 1.25 {
+		t.Errorf("minimum matched-grid advantage %.2fx — SWEC must win clearly", res.Findings["ratio_min"])
+	}
+	if res.Findings["ratio_max"] < res.Findings["ratio_min"] {
+		t.Error("ratio bookkeeping inconsistent")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	pred := quick(t, "abl-predictor")
+	if pred.Findings["waveform_gap"] > 0.05 {
+		t.Errorf("predictor changes waveform by %g V", pred.Findings["waveform_gap"])
+	}
+	ts := quick(t, "abl-timestep")
+	// At an equal step budget the adaptive run must not be less accurate.
+	if ts.Findings["settled_adaptive"] > ts.Findings["settled_fixed"]+0.02 {
+		t.Errorf("adaptive settled error %g worse than fixed %g",
+			ts.Findings["settled_adaptive"], ts.Findings["settled_fixed"])
+	}
+	if ts.Findings["timing_adaptive_ns"] > ts.Findings["timing_fixed_ns"]+1 {
+		t.Errorf("adaptive timing error %g ns worse than fixed %g ns",
+			ts.Findings["timing_adaptive_ns"], ts.Findings["timing_fixed_ns"])
+	}
+	ito := quick(t, "abl-ito")
+	// Gap ~ T/2 = 0.5 at every resolution.
+	for _, k := range []string{"gap_n64", "gap_n4096"} {
+		if g := ito.Findings[k]; g < 0.4 || g > 0.6 {
+			t.Errorf("%s = %g, want ~0.5", k, g)
+		}
+	}
+	em := quick(t, "abl-em")
+	if o := em.Findings["strong_order"]; o < 0.3 || o > 0.7 {
+		t.Errorf("strong order = %g, want ~0.5", o)
+	}
+	if em.Findings["explicit_implicit_gap"] > 0.01 {
+		t.Errorf("explicit vs implicit gap %g", em.Findings["explicit_implicit_gap"])
+	}
+}

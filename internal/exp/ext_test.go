@@ -1,0 +1,78 @@
+package exp
+
+import "testing"
+
+func TestExtGrid(t *testing.T) {
+	res := quick(t, "ext-grid")
+	// Mean matches the analytic DC drop.
+	if res.Findings["mean_err"] > 0.01 {
+		t.Errorf("grid mean error %g V", res.Findings["mean_err"])
+	}
+	// The transient margin is the experiment's point: it must be
+	// strictly positive (excursions below the average exist).
+	if res.Findings["transient_margin"] <= 0 {
+		t.Error("no transient margin measured — the §4 motivation is lost")
+	}
+}
+
+func TestExtHysteresis(t *testing.T) {
+	res := quick(t, "ext-hysteresis")
+	if res.Findings["hysteresis_present"] != 1 {
+		t.Error("bistable divider showed no hysteresis")
+	}
+	if res.Findings["hysteresis_v"] < 0.2 {
+		t.Errorf("hysteresis window %g V too small", res.Findings["hysteresis_v"])
+	}
+}
+
+func TestExtVariation(t *testing.T) {
+	res := quick(t, "ext-variation")
+	if res.Findings["trials"] < 50 {
+		t.Error("too few trials")
+	}
+	// The nominal design has ~0.9 V of swing; 5% parameter noise should
+	// leave most samples functional.
+	if res.Findings["yield"] < 0.7 {
+		t.Errorf("yield %.2f implausibly low", res.Findings["yield"])
+	}
+	// Variation must actually spread the outputs.
+	if res.Findings["hi_std"] <= 0 {
+		t.Error("no spread in output-high distribution")
+	}
+}
+
+func TestAblMethod(t *testing.T) {
+	res := quick(t, "abl-method")
+	if o := res.Findings["be_order"]; o < 0.8 || o > 1.3 {
+		t.Errorf("BE order %.2f, want ~1", o)
+	}
+	if o := res.Findings["tr_order"]; o < 1.7 || o > 2.3 {
+		t.Errorf("TR order %.2f, want ~2", o)
+	}
+}
+
+func TestExtMilstein(t *testing.T) {
+	res := quick(t, "ext-milstein")
+	if o := res.Findings["em_order"]; o < 0.3 || o > 0.7 {
+		t.Errorf("EM order %.2f, want ~0.5", o)
+	}
+	if o := res.Findings["milstein_order"]; o < 0.8 || o > 1.2 {
+		t.Errorf("Milstein order %.2f, want ~1", o)
+	}
+}
+
+func TestExtVTC(t *testing.T) {
+	res := quick(t, "ext-vtc")
+	if res.Findings["voh"] < 0.9 {
+		t.Errorf("VOH = %g, want ~1.07", res.Findings["voh"])
+	}
+	if res.Findings["vol"] > 0.35 {
+		t.Errorf("VOL = %g, want ~0.18", res.Findings["vol"])
+	}
+	if res.Findings["vm"] < 0 || res.Findings["vm"] > 1.2 {
+		t.Errorf("VM = %g out of range", res.Findings["vm"])
+	}
+	if res.Findings["regenerative"] != 1 {
+		t.Error("inverter gain below 1 — not a logic gate")
+	}
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"math"
+
+	"nanosim/internal/device"
+	"nanosim/internal/wave"
+)
+
+func init() {
+	register(Entry{
+		ID:    "fig1a",
+		Title: "RTT multi-peak I-V characteristics",
+		Paper: "Fig 1(a): collector current vs collector-emitter voltage shows multiple peaks with a staircase contour",
+		Run:   runFig1a,
+	})
+	register(Entry{
+		ID:    "fig1b",
+		Title: "Carbon nanotube conductance staircase",
+		Paper: "Fig 1(b): CNT conductance climbs in quantized steps — quantum-wire behaviour",
+		Run:   runFig1b,
+	})
+	register(Entry{
+		ID:    "fig3",
+		Title: "PWL vs step-wise equivalent conductance",
+		Paper: "Fig 3: piecewise-linear slope goes negative across NDR, Geq = I/V stays positive",
+		Run:   runFig3,
+	})
+	register(Entry{
+		ID:    "fig4",
+		Title: "RTD I-V characteristics with PDR1/NDR/PDR2 regions",
+		Paper: "Fig 4: Schulman RTD I-V divides into PDR1, NDR, PDR2",
+		Run:   runFig4,
+	})
+	register(Entry{
+		ID:    "fig5",
+		Title: "RTD conductance vs bias: differential vs step-wise equivalent",
+		Paper: "Fig 5: differential conductance goes negative entering the resistance-decreasing region; SWEC conductance stays positive",
+		Run:   runFig5,
+	})
+}
+
+func sweepIV(m device.IV, v0, v1 float64, n int) (*wave.Series, *wave.Series) {
+	iv := wave.NewSeries("I(V)", n+1)
+	gv := wave.NewSeries("dI/dV", n+1)
+	for k := 0; k <= n; k++ {
+		v := v0 + (v1-v0)*float64(k)/float64(n)
+		iv.MustAppend(v, m.I(v))
+		gv.MustAppend(v, m.G(v))
+	}
+	return iv, gv
+}
+
+func runFig1a(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Figure 1(a): RTT I-V", "multi-peak staircase collector characteristic")
+	rtt := device.NewRTT()
+	iv, gv := sweepIV(rtt, 0, 2.2, 440)
+	r.plot(iv)
+	// Count resonance peaks via conductance sign changes + -> -.
+	peaks := 0
+	prev := gv.V[1]
+	for _, g := range gv.V[2:] {
+		if prev > 0 && g <= 0 {
+			peaks++
+		}
+		prev = g
+	}
+	r.finding("peaks", float64(peaks), "resonance peaks counted: %d (model has %d)\n", peaks, rtt.NumPeaks())
+	// Envelope rises: last peak current above first peak current.
+	var peakIs []float64
+	runningMax := 0.0
+	descending := false
+	for i, g := range gv.V {
+		if g > 0 {
+			if descending {
+				runningMax = 0
+			}
+			descending = false
+			if iv.V[i] > runningMax {
+				runningMax = iv.V[i]
+			}
+		} else if !descending {
+			descending = true
+			peakIs = append(peakIs, runningMax)
+		}
+	}
+	if len(peakIs) >= 2 {
+		rise := peakIs[len(peakIs)-1] / peakIs[0]
+		r.finding("staircase_rise", rise, "peak-current staircase rise (last/first): %.2fx\n", rise)
+	}
+	return r.done(), nil
+}
+
+func runFig1b(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Figure 1(b): CNT conductance staircase", "quantized conductance steps of ~G0")
+	nw := device.NewNanowire()
+	iv, gv := sweepIV(nw, -2, 2, 400)
+	gv.Name = "G (S)"
+	r.plot(gv)
+	r.plot(iv)
+	// Tread values at mid-step biases should be ~ k*G0.
+	g0 := nw.GQuantum
+	worst := 0.0
+	for k := 1; k <= nw.Steps; k++ {
+		v := nw.StepV * float64(k)
+		got := nw.G(v) / (float64(k) * g0)
+		if d := math.Abs(got - 1); d > worst {
+			worst = d
+		}
+	}
+	r.finding("tread_rel_err", worst, "worst tread deviation from k*G0: %.3f\n", worst)
+	r.finding("steps", float64(nw.Steps), "conductance steps: %d of %.4g S\n", nw.Steps, g0)
+	return r.done(), nil
+}
+
+func runFig3(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Figure 3: PWL slope vs SWEC equivalent conductance",
+		"the two linearizations of the same staircase I-V")
+	rtd := device.NewRTD()
+	tab, err := device.SampleIV(rtd, 0, 1.2, 24)
+	if err != nil {
+		return nil, err
+	}
+	n := 480
+	pwl := wave.NewSeries("PWL dI/dV", n)
+	geq := wave.NewSeries("SWEC Geq", n)
+	for k := 1; k <= n; k++ {
+		v := 1.2 * float64(k) / float64(n)
+		pwl.MustAppend(v, tab.G(v))
+		geq.MustAppend(v, device.Geq(rtd, v))
+	}
+	r.plot(pwl, geq)
+	_, pwlMin, _, _ := pwl.MinMax()
+	_, geqMin, _, _ := geq.MinMax()
+	r.finding("pwl_min", pwlMin, "PWL slope minimum: %.4g S (negative across NDR)\n", pwlMin)
+	r.finding("geq_min", geqMin, "SWEC Geq minimum:  %.4g S (always positive)\n", geqMin)
+	return r.done(), nil
+}
+
+func runFig4(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Figure 4: RTD I-V regions", "PDR1 / NDR / PDR2 of the Schulman model")
+	rtd := device.NewRTD()
+	iv, _ := sweepIV(rtd, 0, 1.2, 480)
+	r.plot(iv)
+	vp, ip, vv, iv2, ok := rtd.PeakValley(1.2)
+	if !ok {
+		r.printf("!! no NDR found\n")
+		return r.done(), nil
+	}
+	r.finding("peak_v", vp, "peak:   V=%.3f V, I=%.4g A\n", vp, ip)
+	r.finding("peak_i", ip, "")
+	r.finding("valley_v", vv, "valley: V=%.3f V, I=%.4g A\n", vv, iv2)
+	r.finding("valley_i", iv2, "")
+	r.finding("pvr", ip/iv2, "peak-to-valley ratio: %.2f\n", ip/iv2)
+	r.printf("regions: PDR1 = [0, %.3f), NDR = [%.3f, %.3f), PDR2 = [%.3f, ...)\n", vp, vp, vv, vv)
+	// Cross-check the classifier.
+	if device.RegionOf(rtd, vp/2, 1.2) != device.PDR1 ||
+		device.RegionOf(rtd, (vp+vv)/2, 1.2) != device.NDR ||
+		device.RegionOf(rtd, vv+0.2, 1.2) != device.PDR2 {
+		r.printf("!! region classifier disagrees with sweep\n")
+	}
+	return r.done(), nil
+}
+
+func runFig5(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Figure 5: RTD conductance as a function of applied bias",
+		"differential conductance goes negative in the RDR; SWEC equivalent conductance stays positive")
+	// The paper draws this with the ref [1] parameter set; both sets are
+	// reported, the Date05 one carries the finding keys.
+	for _, m := range []struct {
+		name string
+		rtd  *device.RTD
+		vMax float64
+		tag  string
+	}{
+		{"paper §5.2 constants (Date05)", device.NewRTDDate05(), 5, "date05"},
+		{"nanosim default (sub-volt)", device.NewRTD(), 1.2, "default"},
+	} {
+		n := 480
+		gd := wave.NewSeries("dI/dV", n)
+		ge := wave.NewSeries("Geq=I/V", n)
+		for k := 1; k <= n; k++ {
+			v := m.vMax * float64(k) / float64(n)
+			gd.MustAppend(v, m.rtd.G(v))
+			ge.MustAppend(v, device.Geq(m.rtd, v))
+		}
+		r.printf("-- %s --\n", m.name)
+		r.plot(gd, ge)
+		_, gdMin, _, _ := gd.MinMax()
+		_, geMin, _, _ := ge.MinMax()
+		r.finding("gdiff_min_"+m.tag, gdMin, "differential conductance minimum: %.4g S\n", gdMin)
+		r.finding("geq_min_"+m.tag, geMin, "SWEC conductance minimum:         %.4g S\n\n", geMin)
+	}
+	return r.done(), nil
+}

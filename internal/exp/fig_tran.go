@@ -1,0 +1,327 @@
+package exp
+
+import (
+	"fmt"
+
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+	"nanosim/internal/flop"
+	"nanosim/internal/tran"
+	"nanosim/internal/wave"
+)
+
+func init() {
+	register(Entry{
+		ID:    "fig8",
+		Title: "FET-RTD inverter transient: SWEC vs SPICE3-style NR vs ACES-style PWL",
+		Paper: "Fig 8: SWEC generates the accurate response; SPICE3 fails to converge to the correct solution; ACESn agrees",
+		Run:   runFig8,
+	})
+	register(Entry{
+		ID:    "fig9",
+		Title: "RTD D-flip-flop: latch on the rising clock edge",
+		Paper: "Fig 9: input switches at t = 300 ns, output switches at the rising clock edge at t = 350 ns",
+		Run:   runFig9,
+	})
+	register(Entry{
+		ID:    "speedup",
+		Title: "SWEC vs SPICE-like transient cost across circuit sizes",
+		Paper: "§1/§6: 20-30x speedup over SPICE-like simulators",
+		Run:   runSpeedup,
+	})
+	register(Entry{
+		ID:    "abl-predictor",
+		Title: "Ablation: eq (5) Taylor predictor on vs off",
+		Paper: "design choice from §3.3",
+		Run:   runAblPredictor,
+	})
+	register(Entry{
+		ID:    "abl-timestep",
+		Title: "Ablation: adaptive time step (eqs 10-12) vs fixed step",
+		Paper: "design choice from §3.4",
+		Run:   runAblTimestep,
+	})
+}
+
+func runFig8(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Figure 8: FET-RTD inverter transient",
+		"input pulses 0 <-> 1.2 V; output at the RTD junction")
+	const tStop = 500e-9
+	// (b) SWEC.
+	sw, err := core.Transient(FETRTDInverter(InverterInput()), core.Options{TStop: tStop, Eps: 0.01})
+	if err != nil {
+		return nil, err
+	}
+	// (c) SPICE3-style NR at the coarse fixed grid a deterministic
+	// simulator would pick for a 500 ns window (no step-cutting rescue:
+	// HMin = HInit pins the grid, as SPICE3's "trtol" grid would).
+	nr, err := tran.NR(FETRTDInverter(InverterInput()), tran.Options{
+		TStop: tStop, HInit: 5e-9, HMax: 5e-9, HMin: 5e-9, MaxNRIter: 15})
+	if err != nil {
+		return nil, err
+	}
+	// NR with adaptive step cutting (a modern, robustified Newton) for
+	// the work comparison.
+	nrAdaptive, err := tran.NR(FETRTDInverter(InverterInput()), tran.Options{TStop: tStop})
+	if err != nil {
+		return nil, err
+	}
+	// (d) ACES-style PWL.
+	pw, err := tran.PWL(FETRTDInverter(InverterInput()), tran.Options{TStop: tStop, Segments: 96})
+	if err != nil {
+		return nil, err
+	}
+	outS := sw.Waves.Get("v(out)")
+	outN := nr.Waves.Get("v(out)")
+	outP := pw.Waves.Get("v(out)")
+	outS.Name = "SWEC"
+	outN.Name = "SPICE3-NR"
+	outP.Name = "ACES-PWL"
+	vin := sw.Waves.Get("v(in)")
+	vin.Name = "input"
+	r.plot(vin, outS)
+	r.plot(outS, outN, outP)
+
+	// SWEC correctness: static levels reached.
+	hi0 := outS.At(80e-9)
+	lo := outS.At(250e-9)
+	hi1 := outS.At(450e-9)
+	r.finding("swec_high", hi0, "SWEC output: high=%.3f V, low=%.3f V, recovered high=%.3f V\n", hi0, lo, hi1)
+	r.finding("swec_low", lo, "")
+	r.finding("swec_high2", hi1, "")
+	// SWEC vs PWL agreement at the settled points.
+	dP := abs(outS.At(250e-9)-outP.At(250e-9)) + abs(outS.At(450e-9)-outP.At(450e-9))
+	r.finding("swec_pwl_gap", dP, "SWEC vs ACES-PWL settled disagreement: %.3f V\n", dP)
+	// NR distress counters (the Fig 8c story): on the pinned grid the
+	// Newton iteration hits its limit at every NDR switching event and
+	// the point is accepted *unconverged* — the false-convergence
+	// signature the paper attributes to SPICE3.
+	r.finding("nr_nonconverged", float64(nr.Stats.NonConverged),
+		"SPICE3-NR (pinned 5 ns grid): %d unconverged points of %d, %.1f NR iters/step\n",
+		nr.Stats.NonConverged, nr.Stats.Steps, float64(nr.Stats.NRIters)/float64(max(1, nr.Stats.Steps)))
+	r.finding("nr_iters_per_step", float64(nr.Stats.NRIters)/float64(max(1, nr.Stats.Steps)), "")
+	r.printf("robustified adaptive NR: %d rejected, %d unconverged, %.1f iters/step\n",
+		nrAdaptive.Stats.Rejected, nrAdaptive.Stats.NonConverged,
+		float64(nrAdaptive.Stats.NRIters)/float64(max(1, nrAdaptive.Stats.Steps)))
+	// Work comparison.
+	r.printf("work: SWEC %d solves / %d steps; NR %d solves / %d steps; PWL %d solves / %d steps\n",
+		sw.Stats.Solves, sw.Stats.Steps, nrAdaptive.Stats.Solves, nrAdaptive.Stats.Steps, pw.Stats.Solves, pw.Stats.Steps)
+	return r.done(), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func runFig9(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Figure 9: RTD D-flip-flop (MOBILE)",
+		"clock 100 ns period; data switches at 300 ns; output switches at the 350 ns rising edge")
+	const tStop = 500e-9
+	res, err := core.Transient(RTDDFF(DFFClock(), DFFData()), core.Options{TStop: tStop, Eps: 0.01})
+	if err != nil {
+		return nil, err
+	}
+	q := res.Waves.Get("v(q)")
+	ck := res.Waves.Get("v(ck)")
+	d := res.Waves.Get("v(d)")
+	q.Name = "Q"
+	ck.Name = "CLK"
+	d.Name = "D"
+	r.plot(ck, d)
+	r.plot(q)
+	// The MOBILE output is evaluated mid high-phase of each clock cycle.
+	// Native polarity: Q = NOT D sampled at the rising edge.
+	phases := []struct {
+		t    float64
+		data float64
+	}{
+		{75e-9, 1}, {175e-9, 1}, {275e-9, 1}, {375e-9, 0}, {475e-9, 0},
+	}
+	correct := 0
+	for _, ph := range phases {
+		v := q.At(ph.t)
+		wantHigh := ph.data == 0 // inverting latch
+		if (wantHigh && v > 0.8) || (!wantHigh && v < 0.4) {
+			correct++
+		}
+		r.printf("t=%3.0f ns: D=%.0f  Q=%.3f V (want %s)\n", ph.t*1e9, ph.data,
+			v, map[bool]string{true: "high", false: "low"}[wantHigh])
+	}
+	r.finding("phases_correct", float64(correct), "correct phases: %d/%d\n", correct, len(phases))
+	// The output transition must happen at the 350 ns rising edge, not at
+	// the 300 ns data switch.
+	preEdge := q.At(320e-9) // clock low: return-to-zero
+	r.finding("rtz_level", preEdge, "return-to-zero level between edges: %.3f V\n", preEdge)
+	cross := q.Crossings(0.5, +1)
+	latchT := -1.0
+	for _, t := range cross {
+		if t > 300e-9 {
+			latchT = t
+			break
+		}
+	}
+	r.finding("latch_time_ns", latchT*1e9,
+		"first Q rise after the data switch: t = %.1f ns (paper: 350 ns)\n", latchT*1e9)
+	r.printf("steps=%d rejected=%d\n", res.Stats.Steps, res.Stats.Rejected)
+	return r.done(), nil
+}
+
+func runSpeedup(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Headline: SWEC vs SPICE-like cost",
+		"three protocols: matched fixed grid, engine-preferred adaptive, and the Table I cold-start DC band")
+	sizes := []int{2, 5, 10, 20}
+	if cfg.Quick {
+		sizes = []int{2, 5}
+	}
+	step := device.Pulse{V1: 0.3, V2: 1.1, Delay: 20e-9, Rise: 2e-9, Fall: 2e-9, Width: 100e-9}
+	const tStop = 200e-9
+	const h = 0.2e-9
+	var tbl [][]string
+	worstRatio, bestRatio := 1e18, 0.0
+	for _, n := range sizes {
+		// Protocol A: identical fixed grid — isolates the per-point cost
+		// of the linearization (SWEC: 1 solve; NR: >= MinNRIter solves).
+		var fcS, fcN flop.Counter
+		if _, err := core.Transient(RTDChain(n, step), core.Options{
+			TStop: tStop, FixedStep: true, HInit: h, FC: &fcS}); err != nil {
+			return nil, err
+		}
+		nrM, err := tran.NR(RTDChain(n, step), tran.Options{
+			TStop: tStop, HInit: h, HMax: h, HMin: h, FC: &fcN})
+		if err != nil {
+			return nil, err
+		}
+		matched := float64(fcN.Total()) / float64(fcS.Total())
+		// Protocol B: each engine with its preferred adaptive control.
+		var fcSA, fcNA flop.Counter
+		swA, err := core.Transient(RTDChain(n, step), core.Options{TStop: tStop, FC: &fcSA})
+		if err != nil {
+			return nil, err
+		}
+		nrA, err := tran.NR(RTDChain(n, step), tran.Options{TStop: tStop, FC: &fcNA})
+		if err != nil {
+			return nil, err
+		}
+		perS := float64(fcSA.Total()) / float64(swA.Stats.Steps)
+		perN := float64(fcNA.Total()) / float64(nrA.Stats.Steps)
+		adaptive := perN / perS
+		if matched < worstRatio {
+			worstRatio = matched
+		}
+		if matched > bestRatio {
+			bestRatio = matched
+		}
+		tbl = append(tbl, []string{
+			fmt.Sprintf("%d RTD stages", n),
+			fmt.Sprintf("%d", fcS.Total()),
+			fmt.Sprintf("%d", fcN.Total()),
+			fmt.Sprintf("%.1fx", matched),
+			fmt.Sprintf("%.1fx", adaptive),
+			fmt.Sprintf("%d", nrM.Stats.NonConverged),
+		})
+		r.findings[fmt.Sprintf("matched_n%d", n)] = matched
+		r.findings[fmt.Sprintf("adaptive_n%d", n)] = adaptive
+	}
+	r.table([]string{"circuit", "SWEC flops (fixed grid)", "NR flops (same grid)", "matched ratio", "adaptive flops/point ratio", "NR unconverged"}, tbl)
+	r.finding("ratio_min", worstRatio, "matched-grid advantage: %.1fx - %.1fx.\n", worstRatio, bestRatio)
+	r.finding("ratio_max", bestRatio, "")
+	r.printf("The paper's 20-30x band compares against a simulator with *no* usable\n")
+	r.printf("initial guess per solve; that protocol is reproduced by the cold-start\n")
+	r.printf("column of the table1 experiment (20-40x there). Warm-started Newton on\n")
+	r.printf("a fine shared grid narrows the gap to the matched ratio above, which is\n")
+	r.printf("the honest lower bound of SWEC's advantage.\n")
+	return r.done(), nil
+}
+
+func runAblPredictor(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Ablation: Taylor predictor (eq 5)", "")
+	ramp, _ := device.NewPWL([]float64{0, 1e-5}, []float64{0, 1.2})
+	run := func(noPred bool) (*core.Result, error) {
+		return core.Transient(RTDDivider(ramp, 300), core.Options{TStop: 1e-5, NoPredictor: noPred})
+	}
+	with, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	a := with.Waves.Get("v(d)")
+	b := without.Waves.Get("v(d)")
+	// Compare at settled sample times away from the NDR snap, where the
+	// two step sequences have re-synchronized (pointwise comparison at
+	// the snap cliff only measures step placement, not accuracy).
+	worst := 0.0
+	for _, ts := range []float64{2e-6, 4e-6, 6e-6, 8e-6, 9.9e-6} {
+		if d := abs(a.At(ts) - b.At(ts)); d > worst {
+			worst = d
+		}
+	}
+	r.finding("waveform_gap", worst, "max settled-sample difference: %.4f V\n", worst)
+	r.finding("steps_with", float64(with.Stats.Steps), "steps with predictor: %d (rejected %d)\n", with.Stats.Steps, with.Stats.Rejected)
+	r.finding("steps_without", float64(without.Stats.Steps), "steps without:        %d (rejected %d)\n", without.Stats.Steps, without.Stats.Rejected)
+	r.printf("device evals: %d with vs %d without (predictor costs one DGeq per device per step)\n",
+		with.Stats.DeviceEvals, without.Stats.DeviceEvals)
+	return r.done(), nil
+}
+
+func runAblTimestep(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Ablation: adaptive vs fixed time step (eqs 10-12)",
+		"equal step budgets; accuracy judged against a tight reference")
+	p := device.Pulse{V1: 0, V2: 1.2, Delay: 50e-9, Rise: 1e-9, Fall: 1e-9, Width: 150e-9}
+	const tStop = 400e-9
+	// Tight reference.
+	ref, err := core.Transient(FETRTDInverter(p), core.Options{TStop: tStop, Eps: 0.001})
+	if err != nil {
+		return nil, err
+	}
+	// Candidate adaptive run at a loose tolerance.
+	adaptive, err := core.Transient(FETRTDInverter(p), core.Options{TStop: tStop, Eps: 0.02})
+	if err != nil {
+		return nil, err
+	}
+	// Fixed-step run with the *same step budget* the adaptive run used.
+	hFixed := tStop / float64(adaptive.Stats.Steps)
+	fixed, err := core.Transient(FETRTDInverter(p), core.Options{TStop: tStop, FixedStep: true, HInit: hFixed})
+	if err != nil {
+		return nil, err
+	}
+	rOut := ref.Waves.Get("v(out)")
+	aOut := adaptive.Waves.Get("v(out)")
+	fOut := fixed.Waves.Get("v(out)")
+	// Metric 1: settled levels.
+	settledErr := func(s *wave.Series) float64 {
+		worst := 0.0
+		for _, ts := range []float64{40e-9, 240e-9, 390e-9} {
+			if d := abs(s.At(ts) - rOut.At(ts)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	// Metric 2: timing of the falling output transition after the input
+	// rise at 100 ns (mid-swing crossing).
+	crossAfter := func(s *wave.Series, t0 float64) float64 {
+		for _, t := range s.Crossings(0.6, -1) {
+			if t > t0 {
+				return t
+			}
+		}
+		return -1
+	}
+	refT := crossAfter(rOut, 100e-9)
+	adaT := crossAfter(aOut, 100e-9)
+	fixT := crossAfter(fOut, 100e-9)
+	r.finding("steps", float64(adaptive.Stats.Steps), "step budget: %d steps each\n", adaptive.Stats.Steps)
+	r.finding("settled_adaptive", settledErr(aOut), "settled error: adaptive %.4f V, fixed %.4f V\n",
+		settledErr(aOut), settledErr(fOut))
+	r.finding("settled_fixed", settledErr(fOut), "")
+	r.finding("timing_adaptive_ns", abs(adaT-refT)*1e9, "transition-timing error: adaptive %.2f ns, fixed %.2f ns\n",
+		abs(adaT-refT)*1e9, abs(fixT-refT)*1e9)
+	r.finding("timing_fixed_ns", abs(fixT-refT)*1e9, "")
+	return r.done(), nil
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+)
+
+func init() {
+	register(Entry{
+		ID:    "ext-vtc",
+		Title: "Extension: FET-RTD inverter voltage transfer curve",
+		Paper: "characterizes the Fig 8 cell: logic levels, switching threshold, noise margins",
+		Run:   runExtVTC,
+	})
+}
+
+func runExtVTC(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Extension: inverter voltage transfer curve",
+		"input swept 0 -> 1.2 V on the Figure 8 cell")
+	n := 241
+	if cfg.Quick {
+		n = 121
+	}
+	ckt := FETRTDInverter(device.DC(0))
+	res, err := core.Sweep(ckt, "VIN", 0, VDDInverter, n, "", core.DCOptions{RefineIters: 30})
+	if err != nil {
+		return nil, err
+	}
+	vtc := res.Waves.Get("v(out)")
+	vtc.Name = "VTC"
+	r.plot(vtc)
+	voh := vtc.V[0]
+	vol := vtc.Final()
+	r.finding("voh", voh, "VOH = %.3f V, VOL = %.3f V, swing %.3f V\n", voh, vol, voh-vol)
+	r.finding("vol", vol, "")
+	r.finding("swing", voh-vol, "")
+	// Switching threshold: input where the output crosses mid-swing.
+	mid := 0.5 * (voh + vol)
+	vm := -1.0
+	for i := 1; i < vtc.Len(); i++ {
+		if (vtc.V[i-1]-mid)*(vtc.V[i]-mid) <= 0 {
+			vm = vtc.T[i]
+			break
+		}
+	}
+	r.finding("vm", vm, "switching threshold VM = %.3f V\n", vm)
+	// Maximum small-signal gain along the curve.
+	gain := 0.0
+	gainAt := 0.0
+	for i := 1; i < vtc.Len(); i++ {
+		dv := vtc.T[i] - vtc.T[i-1]
+		if dv <= 0 {
+			continue
+		}
+		if g := abs(vtc.V[i]-vtc.V[i-1]) / dv; g > gain {
+			gain, gainAt = g, vtc.T[i]
+		}
+	}
+	r.finding("gain", gain, "peak |dVout/dVin| = %.1f at Vin = %.3f V", gain, gainAt)
+	r.finding("regenerative", b2f(gain > 1), " (regenerative: %v)\n", gain > 1)
+	return r.done(), nil
+}

@@ -1,0 +1,141 @@
+// Package flop provides the floating-point-operation accounting used to
+// reproduce Table I of the paper, which compares the number of FLOPs SWEC
+// and MLA spend on identical DC simulations. All engines thread the same
+// Counter through their matrix kernels and device evaluations so the
+// ratios between engines are meaningful even though the absolute counts
+// are model-dependent.
+//
+// Accounting convention (documented in DESIGN.md §5): each floating point
+// add, subtract, multiply, divide and comparison-free special function
+// call (exp, ln, atan, sqrt) costs one FLOP. Transcendentals genuinely
+// cost more cycles, but both simulators call the same device models, so a
+// uniform convention preserves the ratio the paper reports.
+package flop
+
+import "sync/atomic"
+
+// Counter accumulates floating point operations by category. The zero
+// value is ready to use. Counters are safe for concurrent use so Monte
+// Carlo ensembles can share one.
+type Counter struct {
+	adds    atomic.Int64
+	muls    atomic.Int64
+	divs    atomic.Int64
+	funcs   atomic.Int64 // exp, ln, atan, sqrt, ...
+	solves  atomic.Int64 // linear system factor+solve events
+	devEval atomic.Int64 // device model evaluations
+	iters   atomic.Int64 // outer iterations (NR loops, fixed-point passes)
+}
+
+// Add records n additions/subtractions.
+func (c *Counter) Add(n int) {
+	if c != nil {
+		c.adds.Add(int64(n))
+	}
+}
+
+// Mul records n multiplications.
+func (c *Counter) Mul(n int) {
+	if c != nil {
+		c.muls.Add(int64(n))
+	}
+}
+
+// Div records n divisions.
+func (c *Counter) Div(n int) {
+	if c != nil {
+		c.divs.Add(int64(n))
+	}
+}
+
+// Func records n special function evaluations (exp, ln, atan, sqrt).
+func (c *Counter) Func(n int) {
+	if c != nil {
+		c.funcs.Add(int64(n))
+	}
+}
+
+// Solve records one linear-system factor/solve event.
+func (c *Counter) Solve() {
+	if c != nil {
+		c.solves.Add(1)
+	}
+}
+
+// DeviceEval records one nonlinear device model evaluation.
+func (c *Counter) DeviceEval() {
+	if c != nil {
+		c.devEval.Add(1)
+	}
+}
+
+// Iter records one outer iteration (a Newton-Raphson pass, a Geq
+// fixed-point pass, ...).
+func (c *Counter) Iter() {
+	if c != nil {
+		c.iters.Add(1)
+	}
+}
+
+// Total returns the total FLOP count (adds+muls+divs+funcs).
+func (c *Counter) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.adds.Load() + c.muls.Load() + c.divs.Load() + c.funcs.Load()
+}
+
+// Snapshot is an immutable copy of a Counter's state, suitable for
+// reporting and differencing.
+type Snapshot struct {
+	Adds, Muls, Divs, Funcs int64
+	Solves, DeviceEvals     int64
+	Iterations              int64
+}
+
+// Snapshot returns the current counts.
+func (c *Counter) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Adds:        c.adds.Load(),
+		Muls:        c.muls.Load(),
+		Divs:        c.divs.Load(),
+		Funcs:       c.funcs.Load(),
+		Solves:      c.solves.Load(),
+		DeviceEvals: c.devEval.Load(),
+		Iterations:  c.iters.Load(),
+	}
+}
+
+// Reset zeroes all counts.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.adds.Store(0)
+	c.muls.Store(0)
+	c.divs.Store(0)
+	c.funcs.Store(0)
+	c.solves.Store(0)
+	c.devEval.Store(0)
+	c.iters.Store(0)
+}
+
+// Total returns the total FLOPs recorded in the snapshot.
+func (s Snapshot) Total() int64 { return s.Adds + s.Muls + s.Divs + s.Funcs }
+
+// Sub returns the element-wise difference s - o, used to attribute FLOPs
+// to a phase of a simulation.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Adds:        s.Adds - o.Adds,
+		Muls:        s.Muls - o.Muls,
+		Divs:        s.Divs - o.Divs,
+		Funcs:       s.Funcs - o.Funcs,
+		Solves:      s.Solves - o.Solves,
+		DeviceEvals: s.DeviceEvals - o.DeviceEvals,
+		Iterations:  s.Iterations - o.Iterations,
+	}
+}

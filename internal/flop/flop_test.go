@@ -1,0 +1,90 @@
+package flop
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Mul(4)
+	c.Div(2)
+	c.Func(1)
+	c.Solve()
+	c.DeviceEval()
+	c.Iter()
+	if got := c.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	s := c.Snapshot()
+	if s.Adds != 3 || s.Muls != 4 || s.Divs != 2 || s.Funcs != 1 {
+		t.Errorf("Snapshot = %+v", s)
+	}
+	if s.Solves != 1 || s.DeviceEvals != 1 || s.Iterations != 1 {
+		t.Errorf("event counts wrong: %+v", s)
+	}
+	if s.Total() != 10 {
+		t.Errorf("Snapshot.Total = %d, want 10", s.Total())
+	}
+}
+
+func TestNilCounterIsSafe(t *testing.T) {
+	var c *Counter
+	c.Add(1)
+	c.Mul(1)
+	c.Div(1)
+	c.Func(1)
+	c.Solve()
+	c.DeviceEval()
+	c.Iter()
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("nil counter should report zero")
+	}
+	if c.Snapshot() != (Snapshot{}) {
+		t.Error("nil counter snapshot should be zero")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Solve()
+	c.Reset()
+	if c.Total() != 0 || c.Snapshot().Solves != 0 {
+		t.Error("Reset did not zero the counter")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	before := c.Snapshot()
+	c.Add(3)
+	c.Mul(2)
+	d := c.Snapshot().Sub(before)
+	if d.Adds != 3 || d.Muls != 2 {
+		t.Errorf("Sub = %+v, want Adds=3 Muls=2", d)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+				c.Mul(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Total(); got != 2*workers*per {
+		t.Errorf("Total = %d, want %d", got, 2*workers*per)
+	}
+}

@@ -1,0 +1,95 @@
+// Package linsolve gives the circuit engines one assembly-and-solve
+// interface with interchangeable dense and sparse backends. Engines stamp
+// coefficients with Add, then Solve; whether an O(n^3) dense LU or a
+// Markowitz sparse LU runs underneath is a per-simulation option, which is
+// how the scaling benchmarks isolate algorithmic speedups (SWEC vs NR)
+// from backend effects.
+package linsolve
+
+import (
+	"nanosim/internal/flop"
+	"nanosim/internal/mat"
+	"nanosim/internal/spmat"
+)
+
+// Solver accumulates a square system A*x = b and solves it. Reset clears
+// A (and b) for the next time step; implementations keep their storage.
+type Solver interface {
+	// N returns the system dimension.
+	N() int
+	// Reset clears all stamped coefficients.
+	Reset()
+	// Add accumulates v into A[i][j].
+	Add(i, j int, v float64)
+	// At reports the accumulated A[i][j] (diagnostics and tests).
+	At(i, j int) float64
+	// Solve factors A and solves A*x = b, writing into x.
+	// b is not modified. Returns mat.ErrSingular/spmat.ErrSingular
+	// equivalents on numerically singular systems.
+	Solve(b, x []float64) error
+}
+
+// Factory builds a Solver of dimension n with work charged to fc.
+// Engines receive a Factory so simulations pick the backend.
+type Factory func(n int, fc *flop.Counter) Solver
+
+// dense adapts mat.Dense + LU to the Solver interface.
+type dense struct {
+	a    *mat.Dense
+	work *mat.Dense
+	fc   *flop.Counter
+}
+
+// NewDense returns a dense-backend solver; the right default below
+// roughly 200 unknowns.
+func NewDense(n int, fc *flop.Counter) Solver {
+	return &dense{a: mat.NewDense(n, n), work: mat.NewDense(n, n), fc: fc}
+}
+
+func (d *dense) N() int                  { return d.a.Rows() }
+func (d *dense) Reset()                  { d.a.Zero() }
+func (d *dense) Add(i, j int, v float64) { d.a.Add(i, j, v) }
+func (d *dense) At(i, j int) float64     { return d.a.At(i, j) }
+func (d *dense) Solve(b, x []float64) error {
+	d.work.CopyFrom(d.a)
+	f, err := mat.FactorInPlace(d.work, d.fc)
+	if err != nil {
+		return err
+	}
+	f.Solve(b, x, d.fc)
+	return nil
+}
+
+// sparse adapts spmat to the Solver interface.
+type sparse struct {
+	t  *spmat.Triplet
+	fc *flop.Counter
+}
+
+// NewSparse returns a sparse-backend solver for large circuits.
+func NewSparse(n int, fc *flop.Counter) Solver {
+	return &sparse{t: spmat.NewTriplet(n, n), fc: fc}
+}
+
+func (s *sparse) N() int                  { return s.t.Rows() }
+func (s *sparse) Reset()                  { s.t.Zero() }
+func (s *sparse) Add(i, j int, v float64) { s.t.Add(i, j, v) }
+func (s *sparse) At(i, j int) float64     { return s.t.At(i, j) }
+func (s *sparse) Solve(b, x []float64) error {
+	f, err := spmat.Factor(s.t, s.fc)
+	if err != nil {
+		return err
+	}
+	f.Solve(b, x, s.fc)
+	return nil
+}
+
+// Auto picks the dense backend for small systems and sparse above the
+// crossover measured by BenchmarkSolver (see bench_test.go).
+func Auto(n int, fc *flop.Counter) Solver {
+	const crossover = 160
+	if n <= crossover {
+		return NewDense(n, fc)
+	}
+	return NewSparse(n, fc)
+}

@@ -1,0 +1,135 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nanosim/internal/flop"
+)
+
+// buildAndSolve exercises one Solver implementation on a random
+// diagonally dominant system and verifies the residual.
+func buildAndSolve(t *testing.T, s Solver, seed int64) {
+	t.Helper()
+	n := s.N()
+	r := rand.New(rand.NewSource(seed))
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j && r.Float64() < 0.4 {
+				v := r.NormFloat64()
+				a[i][j] = v
+				s.Add(i, j, v)
+				sum += math.Abs(v)
+			}
+		}
+		a[i][i] = sum + 1
+		s.Add(i, i, sum+1)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x := make([]float64, n)
+	if err := s.Solve(b, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		res := -b[i]
+		for j := 0; j < n; j++ {
+			res += a[i][j] * x[j]
+		}
+		if math.Abs(res) > 1e-9 {
+			t.Fatalf("residual[%d] = %g", i, res)
+		}
+	}
+}
+
+func TestDenseBackend(t *testing.T) {
+	var fc flop.Counter
+	buildAndSolve(t, NewDense(12, &fc), 1)
+	if fc.Total() == 0 {
+		t.Error("dense backend did not charge flops")
+	}
+}
+
+func TestSparseBackend(t *testing.T) {
+	var fc flop.Counter
+	buildAndSolve(t, NewSparse(12, &fc), 2)
+	if fc.Total() == 0 {
+		t.Error("sparse backend did not charge flops")
+	}
+}
+
+func TestBackendsAgree(t *testing.T) {
+	n := 10
+	d := NewDense(n, nil)
+	sp := NewSparse(n, nil)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j && r.Float64() < 0.5 {
+				v := r.NormFloat64()
+				d.Add(i, j, v)
+				sp.Add(i, j, v)
+				sum += math.Abs(v)
+			}
+		}
+		d.Add(i, i, sum+2)
+		sp.Add(i, i, sum+2)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	xd := make([]float64, n)
+	xs := make([]float64, n)
+	if err := d.Solve(b, xd); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Solve(b, xs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xd {
+		if math.Abs(xd[i]-xs[i]) > 1e-9*(1+math.Abs(xd[i])) {
+			t.Errorf("x[%d]: dense %g vs sparse %g", i, xd[i], xs[i])
+		}
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	for name, f := range map[string]Factory{"dense": NewDense, "sparse": NewSparse} {
+		s := f(3, nil)
+		s.Add(0, 0, 5)
+		s.Reset()
+		if s.At(0, 0) != 0 {
+			t.Errorf("%s: Reset did not clear", name)
+		}
+	}
+}
+
+func TestSingularReported(t *testing.T) {
+	for name, f := range map[string]Factory{"dense": NewDense, "sparse": NewSparse} {
+		s := f(2, nil)
+		s.Add(0, 0, 1) // row 1 left empty -> singular
+		x := make([]float64, 2)
+		if err := s.Solve([]float64{1, 1}, x); err == nil {
+			t.Errorf("%s: singular system not reported", name)
+		}
+	}
+}
+
+func TestAuto(t *testing.T) {
+	small := Auto(10, nil)
+	if _, ok := small.(*dense); !ok {
+		t.Error("Auto(10) should pick dense")
+	}
+	big := Auto(500, nil)
+	if _, ok := big.(*sparse); !ok {
+		t.Error("Auto(500) should pick sparse")
+	}
+}

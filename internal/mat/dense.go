@@ -1,0 +1,209 @@
+// Package mat implements the dense linear algebra kernel used by the
+// nanosim engines: row-major dense matrices, vectors, LU factorization
+// with partial pivoting, triangular solves and a 1-norm condition
+// estimate. Every kernel optionally reports its work to a flop.Counter so
+// the Table I comparison between SWEC and the Newton-Raphson baselines is
+// made on identical accounting.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nanosim/internal/flop"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed r-by-c matrix. It panics if r or c is not
+// positive, because a dimensioned-but-empty matrix is always a programming
+// error in the engines.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseFrom builds a matrix from a slice of rows; all rows must have
+// equal length.
+func NewDenseFrom(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: NewDenseFrom of empty data")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("mat: ragged row %d: %d != %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add accumulates v into element (i, j); this is the MNA stamping
+// primitive.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Zero clears all elements in place.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// CopyFrom overwrites m with src; dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic("mat: CopyFrom dimension mismatch")
+	}
+	copy(m.data, src.data)
+}
+
+// Scale multiplies every element by s in place.
+func (m *Dense) Scale(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AddScaled accumulates s*o into m in place; dimensions must match.
+func (m *Dense) AddScaled(s float64, o *Dense) {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic("mat: AddScaled dimension mismatch")
+	}
+	for i := range m.data {
+		m.data[i] += s * o.data[i]
+	}
+}
+
+// MulVec computes y = m*x. y must have length Rows and x length Cols.
+// Work is charged to fc when non-nil.
+func (m *Dense) MulVec(x, y []float64, fc *flop.Counter) {
+	if len(x) != m.cols || len(y) != m.rows {
+		panic("mat: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	fc.Mul(m.rows * m.cols)
+	fc.Add(m.rows * m.cols)
+}
+
+// Mul computes and returns m*o.
+func (m *Dense) Mul(o *Dense, fc *flop.Counter) *Dense {
+	if m.cols != o.rows {
+		panic("mat: Mul dimension mismatch")
+	}
+	r := NewDense(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			orow := o.data[k*o.cols : (k+1)*o.cols]
+			rrow := r.data[i*o.cols : (i+1)*o.cols]
+			for j, v := range orow {
+				rrow[j] += a * v
+			}
+		}
+	}
+	fc.Mul(m.rows * m.cols * o.cols)
+	fc.Add(m.rows * m.cols * o.cols)
+	return r
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Dense) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Norm1 returns the 1-norm (maximum absolute column sum).
+func (m *Dense) Norm1() float64 {
+	max := 0.0
+	for j := 0; j < m.cols; j++ {
+		s := 0.0
+		for i := 0; i < m.rows; i++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormInf returns the infinity norm (maximum absolute row sum).
+func (m *Dense) NormInf() float64 {
+	max := 0.0
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			s += math.Abs(v)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "% .6g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

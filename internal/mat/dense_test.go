@@ -1,0 +1,185 @@
+package mat
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nanosim/internal/flop"
+)
+
+func TestNewDenseAndAccess(t *testing.T) {
+	m := NewDense(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Errorf("At(1,2) = %g, want 5", m.At(1, 2))
+	}
+	m.Add(1, 2, 3)
+	if m.At(1, 2) != 8 {
+		t.Errorf("Add failed: got %g, want 8", m.At(1, 2))
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDense(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewDense(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("NewDenseFrom layout wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged NewDenseFrom did not panic")
+		}
+	}()
+	NewDenseFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("I(%d,%d) = %g", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestZeroScaleAddScaled(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	o := NewDenseFrom([][]float64{{10, 20}, {30, 40}})
+	m.AddScaled(0.5, o)
+	if m.At(0, 0) != 6 || m.At(1, 1) != 24 {
+		t.Errorf("AddScaled wrong: %v", m)
+	}
+	m.Scale(2)
+	if m.At(0, 1) != 24 {
+		t.Errorf("Scale wrong: %v", m)
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Error("Zero did not clear")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	var fc flop.Counter
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	y := make([]float64, 2)
+	m.MulVec([]float64{1, 1}, y, &fc)
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	if fc.Total() == 0 {
+		t.Error("MulVec did not charge flops")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{0, 1}, {1, 0}})
+	c := a.Mul(b, nil)
+	want := NewDenseFrom([][]float64{{2, 1}, {4, 3}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Errorf("Mul(%d,%d) = %g, want %g", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, -2}, {-3, 4}})
+	if m.Norm1() != 6 {
+		t.Errorf("Norm1 = %g, want 6", m.Norm1())
+	}
+	if m.NormInf() != 7 {
+		t.Errorf("NormInf = %g, want 7", m.NormInf())
+	}
+	if m.MaxAbs() != 4 {
+		t.Errorf("MaxAbs = %g, want 4", m.MaxAbs())
+	}
+}
+
+func TestString(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}})
+	if !strings.Contains(m.String(), "1") || !strings.Contains(m.String(), "2") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}, nil); d != 32 {
+		t.Errorf("Dot = %g, want 32", d)
+	}
+	y := []float64{1, 1}
+	Axpy(2, []float64{10, 20}, y, nil)
+	if y[0] != 21 || y[1] != 41 {
+		t.Errorf("Axpy = %v", y)
+	}
+	dst := make([]float64, 2)
+	Sub(dst, []float64{5, 7}, []float64{2, 3}, nil)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Errorf("Sub = %v", dst)
+	}
+	if NormInfVec([]float64{-5, 3}) != 5 {
+		t.Error("NormInfVec wrong")
+	}
+	if n := Norm2([]float64{3, 4}, nil); math.Abs(n-5) > 1e-15 {
+		t.Errorf("Norm2 = %g, want 5", n)
+	}
+}
+
+func TestMaxRelDiff(t *testing.T) {
+	a := []float64{1.0, 2.0}
+	b := []float64{1.0, 2.0}
+	if MaxRelDiff(a, b, 1e-12, 1e-6) != 0 {
+		t.Error("identical vectors should have zero diff")
+	}
+	b[1] = 2.2
+	r := MaxRelDiff(a, b, 0, 0.1)
+	if math.Abs(r-0.2/0.22) > 1e-12 {
+		t.Errorf("MaxRelDiff = %g", r)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Error("finite vector misreported")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("Inf not detected")
+	}
+}

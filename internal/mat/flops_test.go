@@ -1,0 +1,45 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nanosim/internal/flop"
+)
+
+// TestLUFlopFormula: dense LU factorization costs ~(2/3)n³ flops and a
+// solve ~2n²+n — the accounting Table I relies on must match the
+// textbook formulas, not just be nonzero.
+func TestLUFlopFormula(t *testing.T) {
+	for _, n := range []int{16, 48, 96} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(2*n))
+		}
+		var fc flop.Counter
+		f, err := Factor(a, &fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factorFlops := float64(fc.Total())
+		want := 2.0 / 3.0 * float64(n*n*n)
+		if math.Abs(factorFlops-want)/want > 0.15 {
+			t.Errorf("n=%d: factor flops %g, want ~%g", n, factorFlops, want)
+		}
+		before := fc.Total()
+		x := make([]float64, n)
+		b := make([]float64, n)
+		b[0] = 1
+		f.Solve(b, x, &fc)
+		solveFlops := float64(fc.Total() - before)
+		wantSolve := float64(2*n*n + n)
+		if math.Abs(solveFlops-wantSolve)/wantSolve > 0.05 {
+			t.Errorf("n=%d: solve flops %g, want ~%g", n, solveFlops, wantSolve)
+		}
+	}
+}

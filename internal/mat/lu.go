@@ -1,0 +1,231 @@
+package mat
+
+import (
+	"errors"
+	"math"
+
+	"nanosim/internal/flop"
+)
+
+// ErrSingular is returned when factorization meets a pivot below the
+// singularity threshold. Circuit engines translate it into a diagnosable
+// topology or model error (floating node, zero-conductance loop, ...).
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LU holds an in-place LU factorization with partial (row) pivoting:
+// P*A = L*U with unit lower-triangular L.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	signD float64 // sign of determinant permutation factor
+}
+
+// pivotTol is the relative threshold under which a pivot is declared
+// numerically singular.
+const pivotTol = 1e-300
+
+// Factor computes the LU factorization of a (which is not modified).
+// Work is charged to fc.
+func Factor(a *Dense, fc *flop.Counter) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, errors.New("mat: Factor of non-square matrix")
+	}
+	n := a.rows
+	f := &LU{lu: a.Clone(), pivot: make([]int, n), signD: 1}
+	return f, f.refactor(fc)
+}
+
+// FactorInPlace factors a destructively, avoiding the clone. The caller
+// must not use a afterwards except through the returned LU.
+func FactorInPlace(a *Dense, fc *flop.Counter) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, errors.New("mat: Factor of non-square matrix")
+	}
+	n := a.rows
+	f := &LU{lu: a, pivot: make([]int, n), signD: 1}
+	return f, f.refactor(fc)
+}
+
+func (f *LU) refactor(fc *flop.Counter) error {
+	n := f.lu.rows
+	d := f.lu.data
+	scale := f.lu.NormInf()
+	if scale == 0 {
+		return ErrSingular
+	}
+	muls, adds, divs := 0, 0, 0
+	for k := 0; k < n; k++ {
+		// Partial pivot: find the largest |d[i][k]| for i >= k.
+		p, maxv := k, math.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(d[i*n+k]); a > maxv {
+				p, maxv = i, a
+			}
+		}
+		f.pivot[k] = p
+		if maxv <= pivotTol*scale || maxv == 0 {
+			fc.Mul(muls)
+			fc.Add(adds)
+			fc.Div(divs)
+			return ErrSingular
+		}
+		if p != k {
+			rk := d[k*n : k*n+n]
+			rp := d[p*n : p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.signD = -f.signD
+		}
+		pivotVal := d[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := d[i*n+k] / pivotVal
+			divs++
+			d[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := d[i*n : i*n+n]
+			rk := d[k*n : k*n+n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+			muls += n - k - 1
+			adds += n - k - 1
+		}
+	}
+	fc.Mul(muls)
+	fc.Add(adds)
+	fc.Div(divs)
+	return nil
+}
+
+// Solve solves A*x = b into x (which may alias b). Work is charged to fc.
+func (f *LU) Solve(b, x []float64, fc *flop.Counter) {
+	n := f.lu.rows
+	if len(b) != n || len(x) != n {
+		panic("mat: Solve dimension mismatch")
+	}
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	d := f.lu.data
+	// Apply row permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := d[i*n : i*n+n]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := d[i*n : i*n+n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	fc.Mul(n * n)
+	fc.Add(n * n)
+	fc.Div(n)
+	fc.Solve()
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	det := f.signD
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// SolveLinear factors a and solves a*x = b in one call, returning a fresh
+// solution vector. It is the convenience path for one-shot solves; engines
+// with a fixed sparsity pattern keep the LU around instead.
+func SolveLinear(a *Dense, b []float64, fc *flop.Counter) ([]float64, error) {
+	f, err := Factor(a, fc)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	f.Solve(b, x, fc)
+	return x, nil
+}
+
+// CondEst1 returns a lower-bound estimate of the 1-norm condition number
+// of a, using the classic Hager/Higham power iteration on A^-T and A^-1.
+// It is used by engines to warn about near-singular MNA systems.
+func CondEst1(a *Dense, fc *flop.Counter) (float64, error) {
+	n := a.rows
+	f, err := Factor(a, fc)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	norm := a.Norm1()
+	// Hager's estimator for ||A^-1||_1.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	y := make([]float64, n)
+	est := 0.0
+	for iter := 0; iter < 5; iter++ {
+		f.Solve(x, y, fc)
+		est = 0
+		for _, v := range y {
+			est += math.Abs(v)
+		}
+		// xi = sign(y)
+		for i, v := range y {
+			if v >= 0 {
+				x[i] = 1
+			} else {
+				x[i] = -1
+			}
+		}
+		// z = A^-T xi: solve transposed via factoring A^T (cheap for the
+		// small systems this estimator serves).
+		at := transpose(a)
+		ft, err := Factor(at, fc)
+		if err != nil {
+			break
+		}
+		z := make([]float64, n)
+		ft.Solve(x, z, fc)
+		// Next x is e_j for the largest |z_j|.
+		jmax, zmax := 0, math.Abs(z[0])
+		for j := 1; j < n; j++ {
+			if a := math.Abs(z[j]); a > zmax {
+				jmax, zmax = j, a
+			}
+		}
+		prev := x
+		x = make([]float64, n)
+		x[jmax] = 1
+		if zmax <= Dot(z, prev, fc) {
+			break
+		}
+	}
+	return est * norm, nil
+}
+
+func transpose(a *Dense) *Dense {
+	t := NewDense(a.cols, a.rows)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			t.data[j*t.cols+i] = a.data[i*a.cols+j]
+		}
+	}
+	return t
+}

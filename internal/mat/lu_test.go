@@ -1,0 +1,207 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nanosim/internal/flop"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewDenseFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveInPlaceAlias(t *testing.T) {
+	a := NewDenseFrom([][]float64{{4, 1}, {1, 3}})
+	f, err := Factor(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2}
+	f.Solve(b, b, nil) // aliased solve
+	// Check residual against the original matrix.
+	r0 := 4*b[0] + 1*b[1] - 1
+	r1 := 1*b[0] + 3*b[1] - 2
+	if math.Abs(r0) > 1e-12 || math.Abs(r1) > 1e-12 {
+		t.Errorf("aliased solve residual = %g, %g", r0, r1)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factor(a, nil); err == nil {
+		t.Error("singular matrix not detected")
+	}
+	z := NewDense(3, 3)
+	if _, err := Factor(z, nil); err == nil {
+		t.Error("zero matrix not detected as singular")
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	a := NewDense(2, 3)
+	if _, err := Factor(a, nil); err == nil {
+		t.Error("non-square Factor should error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewDenseFrom([][]float64{{3, 8}, {4, 6}})
+	f, err := Factor(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-(-14)) > 1e-12 {
+		t.Errorf("Det = %g, want -14", d)
+	}
+	// Permutation sign: swapping rows flips determinant sign.
+	b := NewDenseFrom([][]float64{{0, 1}, {1, 0}})
+	fb, err := Factor(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fb.Det(); math.Abs(d-(-1)) > 1e-12 {
+		t.Errorf("Det of permutation = %g, want -1", d)
+	}
+}
+
+func TestFactorInPlace(t *testing.T) {
+	a := NewDenseFrom([][]float64{{4, 3}, {6, 3}})
+	orig := a.Clone()
+	f, err := FactorInPlace(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve([]float64{10, 12}, x, nil)
+	// residual vs original
+	r0 := orig.At(0, 0)*x[0] + orig.At(0, 1)*x[1] - 10
+	r1 := orig.At(1, 0)*x[0] + orig.At(1, 1)*x[1] - 12
+	if math.Abs(r0) > 1e-12 || math.Abs(r1) > 1e-12 {
+		t.Errorf("in-place factor residual %g %g", r0, r1)
+	}
+}
+
+// TestSolveResidualProperty: random diagonally-dominant systems must solve
+// to tiny residuals. Diagonal dominance keeps condition numbers tame so
+// the tolerance can be strict.
+func TestSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := r.NormFloat64()
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+1+r.Float64())
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLinear(a, b, nil)
+		if err != nil {
+			return false
+		}
+		res := make([]float64, n)
+		a.MulVec(x, res, nil)
+		for i := range res {
+			if math.Abs(res[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondEst(t *testing.T) {
+	// Well conditioned identity: cond == 1.
+	c, err := CondEst1(Identity(5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-9 {
+		t.Errorf("cond(I) = %g, want 1", c)
+	}
+	// Badly scaled diagonal: cond = ratio of extremes.
+	a := Identity(3)
+	a.Set(0, 0, 1e-8)
+	c, err = CondEst1(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 1e7 {
+		t.Errorf("cond estimate %g too low for 1e8-conditioned matrix", c)
+	}
+}
+
+func TestSolveChargesFlops(t *testing.T) {
+	var fc flop.Counter
+	a := NewDenseFrom([][]float64{{4, 1}, {1, 3}})
+	if _, err := SolveLinear(a, []float64{1, 2}, &fc); err != nil {
+		t.Fatal(err)
+	}
+	s := fc.Snapshot()
+	if s.Total() == 0 || s.Solves != 1 {
+		t.Errorf("flops not charged: %+v", s)
+	}
+}
+
+func BenchmarkLUFactor(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		rng := rand.New(rand.NewSource(1))
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n))
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Factor(a, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 8:
+		return "n8"
+	case 32:
+		return "n32"
+	default:
+		return "n128"
+	}
+}

@@ -1,0 +1,102 @@
+package mat
+
+import (
+	"math"
+
+	"nanosim/internal/flop"
+)
+
+// Vector helpers shared by the engines. Vectors are plain []float64 so
+// the hot loops stay allocation-free; these functions centralize the
+// common reductions and their FLOP accounting.
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64, fc *flop.Counter) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	fc.Mul(len(a))
+	fc.Add(len(a))
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64, fc *flop.Counter) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+	fc.Mul(len(x))
+	fc.Add(len(x))
+}
+
+// Sub computes dst = a - b element-wise.
+func Sub(dst, a, b []float64, fc *flop.Counter) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("mat: Sub length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	fc.Add(len(a))
+}
+
+// NormInfVec returns the infinity norm of v.
+func NormInfVec(v []float64) float64 {
+	max := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64, fc *flop.Counter) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	fc.Mul(len(v))
+	fc.Add(len(v))
+	fc.Func(1)
+	return math.Sqrt(s)
+}
+
+// MaxRelDiff returns max_i |a_i-b_i| / (atol + rtol*max(|a_i|,|b_i|)),
+// the weighted update norm used by the Newton and SWEC convergence and
+// local-error tests. A result <= 1 means converged to tolerance.
+func MaxRelDiff(a, b []float64, atol, rtol float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: MaxRelDiff length mismatch")
+	}
+	worst := 0.0
+	for i := range a {
+		den := atol + rtol*math.Max(math.Abs(a[i]), math.Abs(b[i]))
+		if den == 0 {
+			continue
+		}
+		if r := math.Abs(a[i]-b[i]) / den; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// AllFinite reports whether every element of v is finite; engines use it
+// to detect numerical blow-up early.
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

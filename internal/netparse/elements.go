@@ -1,0 +1,330 @@
+package netparse
+
+import (
+	"strings"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/units"
+)
+
+// addElement instantiates one element line into the circuit. The element
+// kind is the first letter of the name's last dot-segment, so subcircuit
+// prefixes ("X1.R1") do not disturb classification.
+func addElement(c *circuit.Circuit, fields []string, line int, models map[string]modelCard) error {
+	name := fields[0]
+	base := name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 && i+1 < len(name) {
+		base = name[i+1:]
+	}
+	switch base[0] {
+	case 'r', 'R':
+		if len(fields) < 4 {
+			return errf(line, "resistor needs: Rxx a b value")
+		}
+		v, err := units.Parse(fields[3])
+		if err != nil {
+			return errf(line, "bad resistance: %v", err)
+		}
+		_, err = c.AddResistor(name, fields[1], fields[2], v)
+		return wrap(err, line)
+	case 'c', 'C':
+		if len(fields) < 4 {
+			return errf(line, "capacitor needs: Cxx a b value [IC=v]")
+		}
+		v, err := units.Parse(fields[3])
+		if err != nil {
+			return errf(line, "bad capacitance: %v", err)
+		}
+		cp, err := c.AddCapacitor(name, fields[1], fields[2], v)
+		if err != nil {
+			return wrap(err, line)
+		}
+		if p, err := parseParams(fields[4:], line); err == nil {
+			if ic, ok := p["IC"]; ok {
+				cp.IC = ic
+				cp.HasIC = true
+			}
+		} else {
+			return err
+		}
+		return nil
+	case 'l', 'L':
+		if len(fields) < 4 {
+			return errf(line, "inductor needs: Lxx a b value")
+		}
+		v, err := units.Parse(fields[3])
+		if err != nil {
+			return errf(line, "bad inductance: %v", err)
+		}
+		_, err = c.AddInductor(name, fields[1], fields[2], v)
+		return wrap(err, line)
+	case 'v', 'V':
+		if len(fields) < 4 {
+			return errf(line, "source needs: Vxx pos neg spec")
+		}
+		w, noise, err := parseSource(fields[3:], line)
+		if err != nil {
+			return err
+		}
+		vs, err := c.AddVSource(name, fields[1], fields[2], w)
+		if err != nil {
+			return wrap(err, line)
+		}
+		vs.NoiseSigma = noise
+		return nil
+	case 'i', 'I':
+		if len(fields) < 4 {
+			return errf(line, "source needs: Ixx pos neg spec")
+		}
+		w, noise, err := parseSource(fields[3:], line)
+		if err != nil {
+			return err
+		}
+		is, err := c.AddISource(name, fields[1], fields[2], w)
+		if err != nil {
+			return wrap(err, line)
+		}
+		is.NoiseSigma = noise
+		return nil
+	case 'd', 'D':
+		if len(fields) < 4 {
+			return errf(line, "diode needs: Dxx a b model")
+		}
+		m, err := buildIV(fields[3], line, models, "DIODE")
+		if err != nil {
+			return err
+		}
+		_, err = c.AddDevice(name, fields[1], fields[2], m)
+		return wrap(err, line)
+	case 'n', 'N', 'w', 'W':
+		if len(fields) < 4 {
+			return errf(line, "nanodevice needs: Nxx a b model")
+		}
+		m, err := buildIV(fields[3], line, models, "")
+		if err != nil {
+			return err
+		}
+		_, err = c.AddDevice(name, fields[1], fields[2], m)
+		return wrap(err, line)
+	case 'm', 'M':
+		if len(fields) < 5 {
+			return errf(line, "mosfet needs: Mxx d g s model")
+		}
+		card, ok := models[strings.ToLower(fields[4])]
+		if !ok {
+			return errf(line, "unknown model %q", fields[4])
+		}
+		fet, err := buildFET(card, fields[5:], line)
+		if err != nil {
+			return err
+		}
+		_, err = c.AddFET(name, fields[1], fields[2], fields[3], fet)
+		return wrap(err, line)
+	default:
+		return errf(line, "unknown element type %q", name)
+	}
+}
+
+func wrap(err error, line int) error {
+	if err == nil {
+		return nil
+	}
+	return errf(line, "%v", err)
+}
+
+// parseSource reads the waveform spec of a V/I source plus an optional
+// NOISE=sigma parameter.
+func parseSource(fields []string, line int) (device.Waveform, float64, error) {
+	if len(fields) == 0 {
+		return nil, 0, errf(line, "missing source value")
+	}
+	noise := 0.0
+	var specs []string
+	for _, f := range fields {
+		up := strings.ToUpper(f)
+		if strings.HasPrefix(up, "NOISE=") {
+			v, err := units.Parse(f[len("NOISE="):])
+			if err != nil {
+				return nil, 0, errf(line, "bad NOISE: %v", err)
+			}
+			noise = v
+			continue
+		}
+		specs = append(specs, f)
+	}
+	if len(specs) == 0 {
+		return nil, 0, errf(line, "missing source waveform")
+	}
+	head := strings.ToUpper(specs[0])
+	// Plain numeric value: DC.
+	if v, err := units.Parse(specs[0]); err == nil && !strings.Contains(specs[0], "(") {
+		return device.DC(v), noise, nil
+	}
+	if head == "DC" && len(specs) > 1 {
+		v, err := units.Parse(specs[1])
+		if err != nil {
+			return nil, 0, errf(line, "bad DC value: %v", err)
+		}
+		return device.DC(v), noise, nil
+	}
+	// Function forms: NAME(args...).
+	open := strings.IndexByte(specs[0], '(')
+	if open < 0 || !strings.HasSuffix(specs[0], ")") {
+		return nil, 0, errf(line, "unrecognized source spec %q", specs[0])
+	}
+	fn := strings.ToUpper(specs[0][:open])
+	argStr := specs[0][open+1 : len(specs[0])-1]
+	var args []float64
+	for _, a := range strings.FieldsFunc(argStr, func(r rune) bool { return r == ',' }) {
+		if strings.TrimSpace(a) == "" {
+			continue
+		}
+		v, err := units.Parse(strings.TrimSpace(a))
+		if err != nil {
+			return nil, 0, errf(line, "bad %s argument %q: %v", fn, a, err)
+		}
+		args = append(args, v)
+	}
+	at := func(i int) float64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	switch fn {
+	case "PULSE":
+		if len(args) < 2 {
+			return nil, 0, errf(line, "PULSE needs at least v1 v2")
+		}
+		return device.Pulse{
+			V1: at(0), V2: at(1), Delay: at(2),
+			Rise: at(3), Fall: at(4), Width: at(5), Period: at(6),
+		}, noise, nil
+	case "SIN":
+		if len(args) < 3 {
+			return nil, 0, errf(line, "SIN needs vo va freq")
+		}
+		return device.Sin{Offset: at(0), Amp: at(1), Freq: at(2), Delay: at(3), Damp: at(4)}, noise, nil
+	case "PWL":
+		if len(args) < 4 || len(args)%2 != 0 {
+			return nil, 0, errf(line, "PWL needs t/v pairs")
+		}
+		ts := make([]float64, 0, len(args)/2)
+		vs := make([]float64, 0, len(args)/2)
+		for i := 0; i < len(args); i += 2 {
+			ts = append(ts, args[i])
+			vs = append(vs, args[i+1])
+		}
+		w, err := device.NewPWL(ts, vs)
+		if err != nil {
+			return nil, 0, errf(line, "%v", err)
+		}
+		return w, noise, nil
+	case "EXP":
+		if len(args) < 2 {
+			return nil, 0, errf(line, "EXP needs v1 v2")
+		}
+		return device.Exp{V1: at(0), V2: at(1), Delay1: at(2), Tau1: at(3), Delay2: at(4), Tau2: at(5)}, noise, nil
+	default:
+		return nil, 0, errf(line, "unknown source function %q", fn)
+	}
+}
+
+// buildIV materializes a two-terminal device model from a .model card.
+// wantKind restricts the card kind ("" accepts any two-terminal kind).
+func buildIV(modelName string, line int, models map[string]modelCard, wantKind string) (device.IV, error) {
+	card, ok := models[strings.ToLower(modelName)]
+	if !ok {
+		return nil, errf(line, "unknown model %q", modelName)
+	}
+	if wantKind != "" && card.kind != wantKind {
+		return nil, errf(line, "model %q is %s, want %s", modelName, card.kind, wantKind)
+	}
+	get := func(key string, def float64) float64 {
+		if v, ok := card.params[key]; ok {
+			return v
+		}
+		return def
+	}
+	switch card.kind {
+	case "RTD":
+		var r *device.RTD
+		if card.params["DATE05"] != 0 {
+			r = device.NewRTDDate05()
+		} else {
+			base := device.NewRTD()
+			var err error
+			r, err = device.NewRTDParams(
+				get("A", base.A), get("B", base.B), get("C", base.C),
+				get("D", base.D), get("N1", base.N1), get("N2", base.N2),
+				get("H", base.H))
+			if err != nil {
+				return nil, errf(card.line, "%v", err)
+			}
+		}
+		if a := get("AREA", 1); a != 1 {
+			r = r.WithArea(a)
+		}
+		return r, nil
+	case "WIRE", "CNT":
+		w, err := device.NewNanowireParams(
+			int(get("STEPS", 4)), get("STEPV", 0.4), get("WIDTH", 0.025),
+			get("GQ", units.G0))
+		if err != nil {
+			return nil, errf(card.line, "%v", err)
+		}
+		return w, nil
+	case "RTT":
+		return device.NewRTTPeaks(int(get("PEAKS", 3)), get("SPACING", 1)), nil
+	case "DIODE":
+		d, err := device.NewDiodeParams(get("IS", 1e-15), get("N", 1))
+		if err != nil {
+			return nil, errf(card.line, "%v", err)
+		}
+		return d, nil
+	case "ESAKI", "TUNNEL":
+		e, err := device.NewEsakiParams(get("IP", 1e-3), get("VP", 0.065), get("IS", 1e-11))
+		if err != nil {
+			return nil, errf(card.line, "%v", err)
+		}
+		return e, nil
+	default:
+		return nil, errf(card.line, "model kind %q is not a two-terminal device", card.kind)
+	}
+}
+
+// buildFET materializes a MOSFET from its card plus instance overrides.
+func buildFET(card modelCard, overrides []string, line int) (*device.MOSFET, error) {
+	pol := device.NMOS
+	switch card.kind {
+	case "NMOS":
+	case "PMOS":
+		pol = device.PMOS
+	default:
+		return nil, errf(line, "model kind %q is not a MOSFET", card.kind)
+	}
+	get := func(key string, def float64) float64 {
+		if v, ok := card.params[key]; ok {
+			return v
+		}
+		return def
+	}
+	w, l := get("W", 1), get("L", 1)
+	if p, err := parseParams(overrides, line); err == nil {
+		if v, ok := p["W"]; ok {
+			w = v
+		}
+		if v, ok := p["L"]; ok {
+			l = v
+		}
+	} else {
+		return nil, err
+	}
+	m, err := device.NewMOSFET(pol, get("KP", 1e-3), w, l, get("VTO", 1))
+	if err != nil {
+		return nil, errf(line, "%v", err)
+	}
+	m.Lambda = get("LAMBDA", 0)
+	return m, nil
+}

@@ -1,0 +1,409 @@
+// Package netparse reads SPICE-flavoured netlists into nanosim circuits
+// plus analysis directives. The grammar is the familiar subset a
+// nanoelectronics deck needs:
+//
+//   - title and comment lines
+//     R1 in out 1k
+//     C1 out 0 1p IC=0.5
+//     L1 a b 1n
+//     V1 in 0 PULSE(0 1.2 100n 1n 1n 200n)   [NOISE=1e-9]
+//     I1 0 x DC 50u                          [NOISE=8e-10]
+//     D1 a 0 dmod
+//     N1 a 0 rtdmod        (two-terminal nanodevice)
+//     M1 d g s nmod
+//     .model rtdmod RTD  A=1e-4 B=0.155 C=0.105 D=0.02 N1=0.35 N2=0.0776 H=4.8e-5 AREA=1
+//     .model date  RTD   DATE05=1
+//     .model wmod  WIRE  STEPS=4 STEPV=0.4 WIDTH=25m
+//     .model rtt   RTT   PEAKS=3 SPACING=1
+//     .model dmod  DIODE IS=1f N=1
+//     .model td    ESAKI IP=1m VP=65m IS=10p
+//     .model nmod  NMOS  KP=5m VTO=0.5 W=1 L=1
+//     .subckt inv a y vcc / NL vcc y rtdmod / M1 y a 0 nmod / .ends
+//     X1 in out vdd inv   (ports map positionally; internals prefixed "X1.")
+//     .tran 1n 500n
+//     .dc V1 0 1.5 151 N1
+//     .op
+//     .em 1n 400 SEED=42
+//     .print v(out) i(V1)
+//     .end
+//
+// The first line is always the title (SPICE convention) unless it starts
+// with a dot-card. Continuation lines start with "+"; everything is
+// case-insensitive except node and element names. Values use SPICE
+// suffixes (1k, 10p, 1meg). Subcircuits nest up to 16 levels.
+package netparse
+
+import (
+	"fmt"
+	"strings"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/units"
+)
+
+// Analysis is one directive from the deck.
+type Analysis struct {
+	// Kind is "tran", "dc", "op" or "em".
+	Kind string
+	// TStep and TStop configure tran/em.
+	TStep, TStop float64
+	// Steps is the em grid size.
+	Steps int
+	// Seed is the em noise seed.
+	Seed uint64
+	// Src, From, To, Points, Device configure dc sweeps.
+	Src    string
+	From   float64
+	To     float64
+	Points int
+	Device string
+}
+
+// Deck is a parsed netlist.
+type Deck struct {
+	// Circuit is the netlist graph.
+	Circuit *circuit.Circuit
+	// Analyses lists the directives in deck order.
+	Analyses []Analysis
+	// Prints lists requested output signals ("v(out)", "i(V1)");
+	// empty means all node voltages.
+	Prints []string
+}
+
+// ParseError carries the offending line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error renders "netlist line N: msg".
+func (e *ParseError) Error() string { return fmt.Sprintf("netlist line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// modelCard is a deferred .model definition.
+type modelCard struct {
+	kind   string
+	params map[string]float64
+	line   int
+}
+
+// Parse reads a netlist.
+func Parse(src string) (*Deck, error) {
+	lines := logicalLines(src)
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("netparse: empty netlist")
+	}
+	deck := &Deck{}
+	// The first line is always the title, by SPICE convention (titles
+	// like "inverter cell" would otherwise parse as elements). A deck
+	// may start directly with a dot-card instead.
+	title := ""
+	start := 0
+	if !strings.HasPrefix(strings.TrimSpace(lines[0].text), ".") {
+		title = strings.TrimPrefix(strings.TrimSpace(lines[0].text), "*")
+		start = 1
+	}
+	deck.Circuit = circuit.New(strings.TrimSpace(title))
+
+	models := map[string]modelCard{}
+	subckts := map[string]*subcktDef{}
+	var openSub *subcktDef
+	type pending struct {
+		fields []string
+		line   int
+	}
+	var elements []pending
+
+	for _, ln := range lines[start:] {
+		text := strings.TrimSpace(ln.text)
+		if text == "" || strings.HasPrefix(text, "*") {
+			continue
+		}
+		fields := tokenize(text)
+		if len(fields) == 0 {
+			continue
+		}
+		head := strings.ToLower(fields[0])
+		// Inside a .subckt body, collect everything except .ends.
+		if openSub != nil && head != ".ends" {
+			if head == ".subckt" {
+				return nil, errf(ln.num, "nested .subckt definitions are not supported")
+			}
+			openSub.body = append(openSub.body, bodyLine{fields: fields, num: ln.num})
+			continue
+		}
+		switch {
+		case head == ".subckt":
+			if len(fields) < 3 {
+				return nil, errf(ln.num, ".subckt needs a name and at least one port")
+			}
+			openSub = &subcktDef{name: strings.ToLower(fields[1]), ports: fields[2:], line: ln.num}
+		case head == ".ends":
+			if openSub == nil {
+				return nil, errf(ln.num, ".ends without .subckt")
+			}
+			subckts[openSub.name] = openSub
+			openSub = nil
+		case head == ".end":
+			goto done
+		case head == ".model":
+			if len(fields) < 3 {
+				return nil, errf(ln.num, ".model needs a name and a kind")
+			}
+			name := strings.ToLower(fields[1])
+			kind := strings.ToUpper(fields[2])
+			params, err := parseParams(fields[3:], ln.num)
+			if err != nil {
+				return nil, err
+			}
+			models[name] = modelCard{kind: kind, params: params, line: ln.num}
+		case head == ".tran":
+			if len(fields) < 3 {
+				return nil, errf(ln.num, ".tran needs tstep and tstop")
+			}
+			tstep, err := units.Parse(fields[1])
+			if err != nil {
+				return nil, errf(ln.num, "bad tstep: %v", err)
+			}
+			tstop, err := units.Parse(fields[2])
+			if err != nil {
+				return nil, errf(ln.num, "bad tstop: %v", err)
+			}
+			deck.Analyses = append(deck.Analyses, Analysis{Kind: "tran", TStep: tstep, TStop: tstop})
+		case head == ".dc":
+			if len(fields) < 5 {
+				return nil, errf(ln.num, ".dc needs: source from to points [device]")
+			}
+			from, err1 := units.Parse(fields[2])
+			to, err2 := units.Parse(fields[3])
+			pts, err3 := units.Parse(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, errf(ln.num, "bad .dc numbers")
+			}
+			a := Analysis{Kind: "dc", Src: fields[1], From: from, To: to, Points: int(pts)}
+			if len(fields) > 5 {
+				a.Device = fields[5]
+			}
+			deck.Analyses = append(deck.Analyses, a)
+		case head == ".op":
+			deck.Analyses = append(deck.Analyses, Analysis{Kind: "op"})
+		case head == ".em":
+			if len(fields) < 3 {
+				return nil, errf(ln.num, ".em needs tstop and steps")
+			}
+			tstop, err := units.Parse(fields[1])
+			if err != nil {
+				return nil, errf(ln.num, "bad .em tstop: %v", err)
+			}
+			steps, err := units.Parse(fields[2])
+			if err != nil {
+				return nil, errf(ln.num, "bad .em steps: %v", err)
+			}
+			a := Analysis{Kind: "em", TStop: tstop, Steps: int(steps)}
+			if p, err := parseParams(fields[3:], ln.num); err == nil {
+				if s, ok := p["SEED"]; ok {
+					a.Seed = uint64(s)
+				}
+			} else {
+				return nil, err
+			}
+			deck.Analyses = append(deck.Analyses, a)
+		case head == ".print":
+			deck.Prints = append(deck.Prints, fields[1:]...)
+		case strings.HasPrefix(head, "."):
+			return nil, errf(ln.num, "unsupported card %q", fields[0])
+		default:
+			elements = append(elements, pending{fields: fields, line: ln.num})
+		}
+	}
+done:
+	if openSub != nil {
+		return nil, errf(openSub.line, ".subckt %s is missing .ends", openSub.name)
+	}
+	for _, el := range elements {
+		name := el.fields[0]
+		if name[0] == 'x' || name[0] == 'X' {
+			if err := expandSubckt(deck.Circuit, el.fields, el.line, models, subckts, 0); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := addElement(deck.Circuit, el.fields, el.line, models); err != nil {
+			return nil, err
+		}
+	}
+	if err := deck.Circuit.Validate(); err != nil {
+		return nil, fmt.Errorf("netparse: %w", err)
+	}
+	return deck, nil
+}
+
+// subcktDef is a recorded .subckt body awaiting expansion.
+type subcktDef struct {
+	name  string
+	ports []string
+	body  []bodyLine
+	line  int
+}
+
+type bodyLine struct {
+	fields []string
+	num    int
+}
+
+// maxSubcktDepth bounds recursive expansion.
+const maxSubcktDepth = 16
+
+// expandSubckt instantiates "Xname n1 n2 ... subname": subcircuit ports
+// map to the instance nodes, internal nodes and element names get the
+// instance prefix ("X1.n"), and nested X lines expand recursively.
+func expandSubckt(c *circuit.Circuit, fields []string, line int, models map[string]modelCard, subckts map[string]*subcktDef, depth int) error {
+	if depth > maxSubcktDepth {
+		return errf(line, "subcircuit nesting exceeds %d levels", maxSubcktDepth)
+	}
+	if len(fields) < 3 {
+		return errf(line, "subcircuit instance needs: Xname nodes... subname")
+	}
+	inst := fields[0]
+	subName := strings.ToLower(fields[len(fields)-1])
+	nodes := fields[1 : len(fields)-1]
+	def, ok := subckts[subName]
+	if !ok {
+		return errf(line, "unknown subcircuit %q", subName)
+	}
+	if len(nodes) != len(def.ports) {
+		return errf(line, "subcircuit %q needs %d nodes, got %d", subName, len(def.ports), len(nodes))
+	}
+	nodeMap := map[string]string{"0": "0", "gnd": "0", "GND": "0"}
+	for i, p := range def.ports {
+		nodeMap[p] = nodes[i]
+	}
+	mapNode := func(n string) string {
+		if m, ok := nodeMap[n]; ok {
+			return m
+		}
+		return inst + "." + n
+	}
+	for _, bl := range def.body {
+		mapped := append([]string(nil), bl.fields...)
+		mapped[0] = inst + "." + mapped[0]
+		// Node positions by element kind: two-terminal kinds use fields
+		// 1-2, MOSFETs 1-3, X instances all but the last.
+		switch mapped[0][len(inst)+1] {
+		case 'x', 'X':
+			for i := 1; i < len(mapped)-1; i++ {
+				mapped[i] = mapNode(mapped[i])
+			}
+			if err := expandSubckt(c, mapped, bl.num, models, subckts, depth+1); err != nil {
+				return err
+			}
+			continue
+		case 'm', 'M':
+			for i := 1; i <= 3 && i < len(mapped); i++ {
+				mapped[i] = mapNode(mapped[i])
+			}
+		default:
+			for i := 1; i <= 2 && i < len(mapped); i++ {
+				mapped[i] = mapNode(mapped[i])
+			}
+		}
+		if err := addElement(c, mapped, bl.num, models); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type numbered struct {
+	text string
+	num  int
+}
+
+// logicalLines joins "+" continuations and strips ";" comments.
+func logicalLines(src string) []numbered {
+	raw := strings.Split(src, "\n")
+	var out []numbered
+	for i, l := range raw {
+		if idx := strings.IndexByte(l, ';'); idx >= 0 {
+			l = l[:idx]
+		}
+		t := strings.TrimSpace(l)
+		if strings.HasPrefix(t, "+") && len(out) > 0 {
+			out[len(out)-1].text += " " + strings.TrimPrefix(t, "+")
+			continue
+		}
+		out = append(out, numbered{text: l, num: i + 1})
+	}
+	var res []numbered
+	for _, l := range out {
+		if strings.TrimSpace(l.text) != "" {
+			res = append(res, l)
+		}
+	}
+	return res
+}
+
+// tokenize splits fields but keeps source functions "PULSE(...)" as one
+// token group: "PULSE(0 1 2n)" -> ["PULSE(0", "1", "2n)"] would be
+// useless, so parentheses contents are folded into the function token
+// separated by commas.
+func tokenize(s string) []string {
+	s = strings.ReplaceAll(s, "=", " = ")
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && depth == 0:
+			flush()
+		case (r == ' ' || r == '\t') && depth > 0:
+			cur.WriteRune(',')
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	// Re-join "NAME = VALUE" triplets into NAME=VALUE.
+	var merged []string
+	for i := 0; i < len(out); i++ {
+		if out[i] == "=" && len(merged) > 0 && i+1 < len(out) {
+			merged[len(merged)-1] += "=" + out[i+1]
+			i++
+			continue
+		}
+		merged = append(merged, out[i])
+	}
+	return merged
+}
+
+// parseParams reads NAME=value fields.
+func parseParams(fields []string, line int) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq < 0 {
+			return nil, errf(line, "expected NAME=value, got %q", f)
+		}
+		v, err := units.Parse(f[eq+1:])
+		if err != nil {
+			return nil, errf(line, "bad value in %q: %v", f, err)
+		}
+		out[strings.ToUpper(f[:eq])] = v
+	}
+	return out, nil
+}

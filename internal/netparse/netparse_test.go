@@ -1,0 +1,280 @@
+package netparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+)
+
+const rtdDeck = `* RTD divider test deck
+V1 in 0 DC 0.8
+R1 in d 600
+N1 d 0 rtdmod
+CD d 0 10f
+.model rtdmod RTD AREA=1
+.op
+.dc V1 0 1.5 31 N1
+.tran 1n 100n
+.print v(d) i(V1)
+.end
+`
+
+func TestParseRTDDeck(t *testing.T) {
+	deck, err := Parse(rtdDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Circuit.Title != "RTD divider test deck" {
+		t.Errorf("title = %q", deck.Circuit.Title)
+	}
+	if len(deck.Circuit.Elements()) != 4 {
+		t.Fatalf("elements = %d, want 4", len(deck.Circuit.Elements()))
+	}
+	if len(deck.Analyses) != 3 {
+		t.Fatalf("analyses = %d, want 3", len(deck.Analyses))
+	}
+	if deck.Analyses[0].Kind != "op" || deck.Analyses[1].Kind != "dc" || deck.Analyses[2].Kind != "tran" {
+		t.Errorf("analysis kinds wrong: %+v", deck.Analyses)
+	}
+	dc := deck.Analyses[1]
+	if dc.Src != "V1" || dc.Points != 31 || dc.Device != "N1" || dc.To != 1.5 {
+		t.Errorf("dc card wrong: %+v", dc)
+	}
+	if len(deck.Prints) != 2 {
+		t.Errorf("prints = %v", deck.Prints)
+	}
+	// The parsed circuit must simulate.
+	res, err := core.Transient(deck.Circuit, core.Options{TStop: 100e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waves.Get("v(d)") == nil {
+		t.Error("missing node from parsed circuit")
+	}
+}
+
+func TestParseSources(t *testing.T) {
+	deck, err := Parse(`sources
+V1 a 0 PULSE(0 1.2 100n 1n 1n 200n 500n)
+V2 b 0 SIN(0 1 1meg)
+V3 c 0 PWL(0 0 1n 1 2n 0)
+V4 d 0 EXP(0 1 0 1n)
+I1 0 e DC 1m NOISE=1e-9
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+R5 e 0 1k
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := deck.Circuit.Element("V1").(*circuit.VSource)
+	p, ok := v1.W.(device.Pulse)
+	if !ok || p.V2 != 1.2 || math.Abs(p.Delay-100e-9) > 1e-18 || math.Abs(p.Period-500e-9) > 1e-18 {
+		t.Errorf("PULSE parsed wrong: %+v", v1.W)
+	}
+	v2 := deck.Circuit.Element("V2").(*circuit.VSource)
+	s, ok := v2.W.(device.Sin)
+	if !ok || s.Freq != 1e6 {
+		t.Errorf("SIN parsed wrong: %+v", v2.W)
+	}
+	v3 := deck.Circuit.Element("V3").(*circuit.VSource)
+	if pw, ok := v3.W.(*device.PWL); !ok || pw.At(1e-9) != 1 {
+		t.Errorf("PWL parsed wrong: %+v", v3.W)
+	}
+	v4 := deck.Circuit.Element("V4").(*circuit.VSource)
+	if _, ok := v4.W.(device.Exp); !ok {
+		t.Errorf("EXP parsed wrong: %+v", v4.W)
+	}
+	i1 := deck.Circuit.Element("I1").(*circuit.ISource)
+	if i1.NoiseSigma != 1e-9 {
+		t.Errorf("NOISE parsed wrong: %g", i1.NoiseSigma)
+	}
+	if i1.W.At(0) != 1e-3 {
+		t.Errorf("I1 DC value wrong")
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	deck, err := Parse(`models
+V1 in 0 1
+R0 in a 100
+Rb in b 100
+Rc in c 100
+Rd in d 100
+Re in e 100
+N1 a 0 r1
+N2 b 0 w1
+N3 c 0 t1
+D1 d 0 d1
+M1 e g 0 m1 W=2
+RG g 0 1meg
+.model r1 RTD A=2e-4 AREA=2
+.model w1 WIRE STEPS=3 STEPV=0.5
+.model t1 RTT PEAKS=2 SPACING=0.8
+.model d1 DIODE IS=1p N=1.5
+.model m1 NMOS KP=5m VTO=0.5
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtd := deck.Circuit.Element("N1").(*circuit.TwoTerm).Model.(*device.RTD)
+	if rtd.A != 2e-4 || rtd.Area != 2 {
+		t.Errorf("RTD card wrong: %+v", rtd)
+	}
+	wire := deck.Circuit.Element("N2").(*circuit.TwoTerm).Model.(*device.Nanowire)
+	if wire.Steps != 3 || wire.StepV != 0.5 {
+		t.Errorf("WIRE card wrong: %+v", wire)
+	}
+	rtt := deck.Circuit.Element("N3").(*circuit.TwoTerm).Model.(*device.RTT)
+	if rtt.NumPeaks() != 2 {
+		t.Errorf("RTT peaks = %d", rtt.NumPeaks())
+	}
+	d := deck.Circuit.Element("D1").(*circuit.TwoTerm).Model.(*device.Diode)
+	if d.Is != 1e-12 || d.N != 1.5 {
+		t.Errorf("DIODE card wrong: %+v", d)
+	}
+	m := deck.Circuit.Element("M1").(*circuit.FET).Model
+	if m.K != 5e-3 || m.Vth != 0.5 || m.W != 2 {
+		t.Errorf("MOSFET wrong: %+v", m)
+	}
+}
+
+func TestParseDate05Model(t *testing.T) {
+	deck, err := Parse(`date05
+V1 in 0 1
+R1 in a 300
+N1 a 0 d05
+.model d05 RTD DATE05=1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtd := deck.Circuit.Element("N1").(*circuit.TwoTerm).Model.(*device.RTD)
+	if rtd.B != 2 || rtd.C != 1.5 {
+		t.Errorf("DATE05 card did not select paper constants: %+v", rtd)
+	}
+}
+
+func TestContinuationAndComments(t *testing.T) {
+	deck, err := Parse(`continuations
+V1 in 0 ; trailing comment
++ PULSE(0 1
++ 1n 1n)
+* full comment line
+R1 in 0 1k
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := deck.Circuit.Element("V1").(*circuit.VSource)
+	p, ok := v.W.(device.Pulse)
+	if !ok || p.V2 != 1 || p.Delay != 1e-9 {
+		t.Errorf("continuation parse wrong: %+v", v.W)
+	}
+}
+
+func TestCapacitorIC(t *testing.T) {
+	deck, err := Parse(`ic
+V1 in 0 1
+R1 in out 1k
+C1 out 0 1p IC=0.5
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit.Element("C1").(*circuit.Capacitor)
+	if !c.HasIC || c.IC != 0.5 {
+		t.Errorf("IC not parsed: %+v", c)
+	}
+}
+
+func TestEMCard(t *testing.T) {
+	deck, err := Parse(`em card
+I1 0 x 50u NOISE=8e-10
+R1 x 0 1k
+C1 x 0 1p
+.em 1n 400 SEED=42
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deck.Analyses) != 1 {
+		t.Fatal("missing .em analysis")
+	}
+	a := deck.Analyses[0]
+	if a.Kind != "em" || a.TStop != 1e-9 || a.Steps != 400 || a.Seed != 42 {
+		t.Errorf("em card wrong: %+v", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"unknown element":   "t\nX1 a b c\n.end",
+		"unknown card":      "t\nR1 a 0 1k\n.wibble\n.end",
+		"bad resistance":    "t\nR1 a 0 bogus..\n.end",
+		"unknown model":     "t\nN1 a 0 nomodel\nR1 a 0 1\n.end",
+		"model kind clash":  "t\nD1 a 0 m\nR1 a 0 1\n.model m RTD\n.end",
+		"short tran":        "t\nR1 a 0 1\n.tran 1n\n.end",
+		"short dc":          "t\nR1 a 0 1\n.dc V1 0 1\n.end",
+		"bad param":         "t\nR1 a 0 1k foo\n.end",
+		"dangling topology": "t\nV1 in 0 1\nR1 in nowhere 1k\n.end",
+		"bad pwl pairs":     "t\nV1 a 0 PWL(0 0 1n)\nR1 a 0 1\n.end",
+		"bad source":        "t\nV1 a 0 WIBBLE(1 2)\nR1 a 0 1\n.end",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// ParseError formatting.
+	_, err := Parse("t\nR1 a 0 zz..9\n.end")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error without line number: %v", err)
+	}
+}
+
+func TestInductorParsing(t *testing.T) {
+	deck, err := Parse(`lc
+V1 in 0 SIN(0 1 1meg)
+L1 in out 1u
+C1 out 0 1n
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := deck.Circuit.Element("L1").(*circuit.Inductor)
+	if math.Abs(l.L-1e-6) > 1e-18 {
+		t.Errorf("L = %g", l.L)
+	}
+}
+
+func TestEsakiModelCard(t *testing.T) {
+	deck, err := Parse(`esaki
+V1 in 0 0.2
+R1 in d 100
+N1 d 0 td
+.model td ESAKI IP=2m VP=0.08
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := deck.Circuit.Element("N1").(*circuit.TwoTerm).Model.(*device.Esaki)
+	if e.Ip != 2e-3 || e.Vp != 0.08 {
+		t.Errorf("ESAKI card wrong: %+v", e)
+	}
+}

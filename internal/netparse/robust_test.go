@@ -1,0 +1,59 @@
+package netparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics: whatever garbage arrives, Parse must return an
+// error, not panic — the CLI feeds it arbitrary user files.
+func TestParserNeverPanics(t *testing.T) {
+	pieces := []string{
+		"R1", "C1", "V1", "I1", "N1", "M1", "X1", "D1", "L1", "W1",
+		"in", "out", "0", "gnd", "1k", "10p", "zz", "-", "=",
+		".model", ".tran", ".dc", ".op", ".em", ".end", ".ends", ".subckt", ".print", ".wibble",
+		"PULSE(0", "1)", "SIN(", ")", "PWL(0 0 1n 1)", "NOISE=", "IC=0.5", "A=1e-4",
+		"+", "*comment", ";tail", "RTD", "NMOS", "DIODE", "WIRE",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		lines := 1 + r.Intn(20)
+		for i := 0; i < lines; i++ {
+			toks := r.Intn(7)
+			for j := 0; j < toks; j++ {
+				b.WriteString(pieces[r.Intn(len(pieces))])
+				b.WriteByte(' ')
+			}
+			b.WriteByte('\n')
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("seed %d: parser panicked on:\n%s\n%v", seed, b.String(), p)
+			}
+		}()
+		_, _ = Parse(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserRejectsTruncations: every prefix of a valid deck must either
+// parse or error cleanly.
+func TestParserRejectsTruncations(t *testing.T) {
+	deck := rtdDeck
+	for i := 0; i < len(deck); i += 7 {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on truncation at %d: %v", i, p)
+				}
+			}()
+			_, _ = Parse(deck[:i])
+		}()
+	}
+}

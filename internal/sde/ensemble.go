@@ -1,0 +1,190 @@
+package sde
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/stats"
+	"nanosim/internal/wave"
+)
+
+// EnsembleOptions configures a Monte Carlo ensemble of EM paths.
+type EnsembleOptions struct {
+	// Base configures each path; Base.Seed seeds path 0 and subsequent
+	// paths derive independent streams.
+	Base Options
+	// Paths is the ensemble size (default 200).
+	Paths int
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// Signal selects the recorded series analyzed for the summary
+	// (default: the first node voltage series).
+	Signal string
+	// StatsFrom is the fraction of the window after which per-path
+	// extrema (PeakValues/MinValues) are measured, so start-up
+	// transients don't dominate them (default 0: whole window).
+	StatsFrom float64
+}
+
+// EnsembleResult summarizes a Monte Carlo run.
+type EnsembleResult struct {
+	// Mean, Std, Lo95 and Hi95 are pointwise summary series of the
+	// selected signal over the shared EM grid.
+	Mean, Std, Lo95, Hi95 *wave.Series
+	// PeakValues holds each path's maximum of the signal over the run;
+	// PeakTimes the corresponding times. Peak prediction (paper §4.2,
+	// Black-Scholes analogy) reads quantiles off these.
+	PeakValues, PeakTimes []float64
+	// MinValues holds each path's minimum (the voltage-drop side of the
+	// same window analysis, used by the power-grid workloads).
+	MinValues []float64
+	// Final collects each path's endpoint value.
+	Final []float64
+	// Paths is the number of paths actually run.
+	Paths int
+}
+
+// Ensemble runs paths independent EM simulations of ckt and aggregates
+// the selected signal. Paths are deterministic functions of (Base.Seed,
+// path index), so results are reproducible at any parallelism.
+func Ensemble(ckt *circuit.Circuit, opt EnsembleOptions) (*EnsembleResult, error) {
+	if opt.Paths <= 0 {
+		opt.Paths = 200
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	base, err := opt.Base.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Probe one path to learn the grid and default signal.
+	probe, err := Transient(ckt, withSeed(base, base.Seed))
+	if err != nil {
+		return nil, err
+	}
+	signal := opt.Signal
+	if signal == "" {
+		names := probe.Waves.Names()
+		if len(names) == 0 {
+			return nil, fmt.Errorf("sde: circuit records no signals")
+		}
+		signal = names[0]
+	}
+	ref := probe.Waves.Get(signal)
+	if ref == nil {
+		return nil, fmt.Errorf("sde: no signal %q in ensemble output", signal)
+	}
+	nT := ref.Len()
+
+	type pathOut struct {
+		vals  []float64
+		peakV float64
+		peakT float64
+		minV  float64
+	}
+	outs := make([]pathOut, opt.Paths)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Workers)
+	errCh := make(chan error, opt.Paths)
+	for p := 0; p < opt.Paths; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Derive an independent seed per path.
+			res, err := Transient(ckt, withSeed(base, base.Seed^(0x9e3779b97f4a7c15*uint64(p+1))))
+			if err != nil {
+				errCh <- fmt.Errorf("sde: path %d: %w", p, err)
+				return
+			}
+			s := res.Waves.Get(signal)
+			vals := append([]float64(nil), s.V...)
+			from := 0
+			if opt.StatsFrom > 0 && opt.StatsFrom < 1 {
+				from = int(opt.StatsFrom * float64(len(vals)))
+			}
+			vMin, vMax := vals[from], vals[from]
+			tMax := s.T[from]
+			for i := from; i < len(vals); i++ {
+				if vals[i] > vMax {
+					vMax, tMax = vals[i], s.T[i]
+				}
+				if vals[i] < vMin {
+					vMin = vals[i]
+				}
+			}
+			outs[p] = pathOut{vals: vals, peakV: vMax, peakT: tMax, minV: vMin}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+
+	res := &EnsembleResult{
+		Mean:  wave.NewSeries(signal+"-mean", nT),
+		Std:   wave.NewSeries(signal+"-std", nT),
+		Lo95:  wave.NewSeries(signal+"-lo95", nT),
+		Hi95:  wave.NewSeries(signal+"-hi95", nT),
+		Paths: opt.Paths,
+	}
+	for j := 0; j < nT; j++ {
+		var r stats.Running
+		for p := 0; p < opt.Paths; p++ {
+			if j < len(outs[p].vals) {
+				r.Push(outs[p].vals[j])
+			}
+		}
+		t := ref.T[j]
+		m, sd := r.Mean(), r.Std()
+		res.Mean.MustAppend(t, m)
+		res.Std.MustAppend(t, sd)
+		res.Lo95.MustAppend(t, m-1.96*sd)
+		res.Hi95.MustAppend(t, m+1.96*sd)
+	}
+	for p := 0; p < opt.Paths; p++ {
+		res.PeakValues = append(res.PeakValues, outs[p].peakV)
+		res.PeakTimes = append(res.PeakTimes, outs[p].peakT)
+		res.MinValues = append(res.MinValues, outs[p].minV)
+		if n := len(outs[p].vals); n > 0 {
+			res.Final = append(res.Final, outs[p].vals[n-1])
+		}
+	}
+	return res, nil
+}
+
+func withSeed(o Options, seed uint64) Options {
+	o.Seed = seed
+	return o
+}
+
+// PeakQuantile returns the q-quantile of the ensemble's per-path peak
+// values: "the peak performance within a certain time window" of paper
+// §4.2.
+func (r *EnsembleResult) PeakQuantile(q float64) (float64, error) {
+	return stats.Quantile(r.PeakValues, q)
+}
+
+// PeakExceedProb estimates P(max over window > level) with its binomial
+// standard error.
+func (r *EnsembleResult) PeakExceedProb(level float64) (p, stderr float64) {
+	n := len(r.PeakValues)
+	if n == 0 {
+		return 0, 0
+	}
+	k := 0
+	for _, v := range r.PeakValues {
+		if v > level {
+			k++
+		}
+	}
+	p = float64(k) / float64(n)
+	stderr = math.Sqrt(p * (1 - p) / float64(n))
+	return
+}

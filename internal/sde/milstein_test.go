@@ -1,0 +1,72 @@
+package sde
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/randx"
+	"nanosim/internal/stats"
+)
+
+// TestMilsteinStrongOrder: the Milstein correction lifts the strong
+// order from ~0.5 to ~1.0 on GBM (extension beyond the paper's EM).
+func TestMilsteinStrongOrder(t *testing.T) {
+	g := GBM{Lambda: 2, Sigma: 1, X0: 1}
+	strides := []int{1, 2, 4, 8, 16}
+	errs, err := StrongErrorOf(g, MilsteinScheme, 1, 512, 400, strides, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lh, le []float64
+	for i, st := range strides {
+		lh = append(lh, math.Log(float64(st)))
+		le = append(le, math.Log(errs[i]))
+	}
+	slope, _, err := stats.LinearFit(lh, le)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope < 0.8 || slope > 1.2 {
+		t.Errorf("Milstein strong order = %.2f, want ~1.0", slope)
+	}
+	// At the same step, Milstein must be meaningfully more accurate.
+	emErrs, err := StrongErrorOf(g, EulerMaruyama, 1, 512, 400, strides, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[len(errs)-1] >= emErrs[len(emErrs)-1] {
+		t.Errorf("Milstein %g not better than EM %g at coarsest step",
+			errs[len(errs)-1], emErrs[len(emErrs)-1])
+	}
+}
+
+// TestMilsteinZeroNoiseMatchesEuler: without noise, both schemes reduce
+// to deterministic Euler and agree exactly.
+func TestMilsteinZeroNoiseMatchesEuler(t *testing.T) {
+	g := GBM{Lambda: 1.5, Sigma: 0, X0: 2}
+	w := randx.NewWiener(randx.New(3), 1, 128)
+	em, err := g.EM(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mil, err := g.Milstein(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range em {
+		if em[i] != mil[i] {
+			t.Fatalf("schemes diverge at %d without noise: %g vs %g", i, em[i], mil[i])
+		}
+	}
+}
+
+func TestMilsteinValidation(t *testing.T) {
+	g := GBM{Lambda: 1, Sigma: 1, X0: 1}
+	w := randx.NewWiener(randx.New(1), 1, 10)
+	if _, err := g.Milstein(w, 3); err == nil {
+		t.Error("non-dividing stride accepted")
+	}
+	if _, err := g.Milstein(w, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package sde
+
+import (
+	"math"
+
+	"nanosim/internal/randx"
+)
+
+// Peak prediction utilities: the Black-Scholes-style running-maximum
+// analysis the paper invokes in §4.2 ("we can predict the peak
+// performance within certain time window ... a close analogy is the
+// stock price prediction").
+
+// BMExceedProb returns the exact P(max over [0,T] of a standard Wiener
+// process exceeds m), by the reflection principle:
+// P = 2·(1 - Φ(m/√T)) = erfc(m/√(2T)) for m >= 0.
+func BMExceedProb(m, tEnd float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	if tEnd <= 0 {
+		return 0
+	}
+	return math.Erfc(m / math.Sqrt(2*tEnd))
+}
+
+// BMExpectedMax returns E[max over [0,T]] = √(2T/π) for a standard
+// Wiener process.
+func BMExpectedMax(tEnd float64) float64 {
+	return math.Sqrt(2 * tEnd / math.Pi)
+}
+
+// MCRunningMax estimates the running-maximum distribution of a standard
+// Wiener process by Monte Carlo: it returns each path's maximum. Used to
+// cross-check the analytic reflection bounds and as the engine for peak
+// prediction on processes without closed forms.
+func MCRunningMax(seed uint64, tEnd float64, steps, paths int) []float64 {
+	out := make([]float64, paths)
+	for p := 0; p < paths; p++ {
+		w := randx.NewWiener(randx.Split(seed, p), tEnd, steps)
+		max := 0.0
+		for _, v := range w.W {
+			if v > max {
+				max = v
+			}
+		}
+		out[p] = max
+	}
+	return out
+}
+
+// OUExceedProbMC estimates P(max over [0,T] of the OU process > level)
+// by Monte Carlo with the exact transition sampler (no discretization
+// bias in the marginal law; the maximum is still grid-resolved).
+func OUExceedProbMC(o OU, tEnd float64, steps, paths int, level float64, seed uint64) float64 {
+	ts := make([]float64, steps+1)
+	for j := range ts {
+		ts[j] = tEnd * float64(j) / float64(steps)
+	}
+	hits := 0
+	for p := 0; p < paths; p++ {
+		xs, err := o.ExactPath(randx.Split(seed, p), ts)
+		if err != nil {
+			return math.NaN()
+		}
+		for _, x := range xs {
+			if x > level {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(paths)
+}

@@ -1,0 +1,85 @@
+package sde
+
+import (
+	"fmt"
+	"math"
+)
+
+// PSDWelch estimates the one-sided power spectral density of a uniformly
+// sampled signal by Welch's method: Hann-windowed segments with 50%
+// overlap, averaged periodograms. The DFT is evaluated directly (the
+// segment lengths circuit noise analysis needs are small enough that an
+// FFT would be premature). Frequencies run from 0 to the Nyquist rate.
+//
+// For the noisy RC node of Figure 10 — an Ornstein-Uhlenbeck process —
+// the result is the Lorentzian S(f) = 2σ²/(a² + (2πf)²), corner at
+// a/2π = 1/(2πRC): the spectral view of the paper's uncertainty model.
+func PSDWelch(vals []float64, dt float64, segLen int) (freqs, psd []float64, err error) {
+	if dt <= 0 {
+		return nil, nil, fmt.Errorf("sde: PSD needs dt > 0, got %g", dt)
+	}
+	if segLen < 8 || segLen%2 != 0 {
+		return nil, nil, fmt.Errorf("sde: PSD segment length %d must be even and >= 8", segLen)
+	}
+	if len(vals) < segLen {
+		return nil, nil, fmt.Errorf("sde: PSD needs >= %d samples, got %d", segLen, len(vals))
+	}
+	// Hann window and its power normalization.
+	win := make([]float64, segLen)
+	winPow := 0.0
+	for i := range win {
+		win[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(segLen-1)))
+		winPow += win[i] * win[i]
+	}
+	nBins := segLen/2 + 1
+	acc := make([]float64, nBins)
+	segs := 0
+	step := segLen / 2
+	buf := make([]float64, segLen)
+	for start := 0; start+segLen <= len(vals); start += step {
+		// Detrend (remove segment mean) and window.
+		mean := 0.0
+		for i := 0; i < segLen; i++ {
+			mean += vals[start+i]
+		}
+		mean /= float64(segLen)
+		for i := 0; i < segLen; i++ {
+			buf[i] = (vals[start+i] - mean) * win[i]
+		}
+		// Direct DFT bins 0..N/2, with an incremental complex rotation
+		// instead of per-sample trig calls.
+		for k := 0; k < nBins; k++ {
+			var re, im float64
+			w := -2 * math.Pi * float64(k) / float64(segLen)
+			wRe, wIm := math.Cos(w), math.Sin(w)
+			cRe, cIm := 1.0, 0.0
+			for n := 0; n < segLen; n++ {
+				re += buf[n] * cRe
+				im += buf[n] * cIm
+				cRe, cIm = cRe*wRe-cIm*wIm, cRe*wIm+cIm*wRe
+			}
+			p := (re*re + im*im) * dt / winPow
+			// One-sided: double the interior bins.
+			if k != 0 && k != nBins-1 {
+				p *= 2
+			}
+			acc[k] += p
+		}
+		segs++
+	}
+	freqs = make([]float64, nBins)
+	psd = make([]float64, nBins)
+	fs := 1 / dt
+	for k := 0; k < nBins; k++ {
+		freqs[k] = float64(k) * fs / float64(segLen)
+		psd[k] = acc[k] / float64(segs)
+	}
+	return freqs, psd, nil
+}
+
+// OUPSD returns the analytic one-sided PSD of the OU process at
+// frequency f: 2σ²/(a² + (2πf)²).
+func (o OU) PSD(f float64) float64 {
+	w := 2 * math.Pi * f
+	return 2 * o.Sigma * o.Sigma / (o.A*o.A + w*w)
+}

@@ -1,0 +1,214 @@
+// Package sde implements the paper's §4: transient simulation of
+// nanocircuits with uncertain (white-noise) inputs via the
+// Euler-Maruyama method, plus the scalar stochastic-calculus toolkit the
+// paper builds the exposition on (Itô vs Stratonovich sums, geometric
+// Brownian motion with its closed form, the Ornstein-Uhlenbeck process
+// with its analytic moments) and Black-Scholes-style peak prediction
+// within a time window.
+package sde
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nanosim/internal/randx"
+)
+
+// ItoWdW evaluates the left-endpoint (Itô) sum Σ W(t_j)·ΔW_j of paper
+// eq (15) over the path — the discretization of ∫W dW whose limit is
+// (W(T)² - T)/2.
+func ItoWdW(w *randx.Wiener) float64 {
+	s := 0.0
+	for j := 0; j < w.Steps(); j++ {
+		s += w.W[j] * w.Increment(j)
+	}
+	return s
+}
+
+// StratonovichWdW evaluates the midpoint sum Σ W((t_j+t_{j+1})/2)·ΔW_j
+// of paper eq (16), whose limit is W(T)²/2 — demonstrating that the two
+// discretizations of the *same* integral differ by T/2 no matter how
+// fine the grid (paper §4.2). Midpoint values come from the path's
+// linear interpolation, matching eq (16)'s deterministic reading.
+func StratonovichWdW(w *randx.Wiener) float64 {
+	s := 0.0
+	for j := 0; j < w.Steps(); j++ {
+		tm := 0.5 * (w.T[j] + w.T[j+1])
+		s += w.At(tm) * w.Increment(j)
+	}
+	return s
+}
+
+// GBM is geometric Brownian motion dX = λ·X·dt + σ·X·dW — the
+// Black-Scholes dynamics the paper's peak-prediction analogy references.
+// Its closed form X(t) = X0·exp((λ-σ²/2)t + σW(t)) is the standard
+// strong-convergence reference for EM (Higham, paper ref [13]).
+type GBM struct {
+	// Lambda is the drift rate, Sigma the volatility, X0 the start.
+	Lambda, Sigma, X0 float64
+}
+
+// Exact evaluates the closed form on the given Wiener path at its
+// sample times.
+func (g GBM) Exact(w *randx.Wiener) []float64 {
+	out := make([]float64, len(w.T))
+	for i, t := range w.T {
+		out[i] = g.X0 * math.Exp((g.Lambda-0.5*g.Sigma*g.Sigma)*t+g.Sigma*w.W[i])
+	}
+	return out
+}
+
+// EM integrates the GBM with Euler-Maruyama using every stride-th
+// increment of the path (stride lets convergence studies reuse one
+// path at several step sizes). It returns X at the subsampled times.
+func (g GBM) EM(w *randx.Wiener, stride int) ([]float64, error) {
+	if stride < 1 || w.Steps()%stride != 0 {
+		return nil, fmt.Errorf("sde: stride %d does not divide %d steps", stride, w.Steps())
+	}
+	n := w.Steps() / stride
+	out := make([]float64, n+1)
+	out[0] = g.X0
+	x := g.X0
+	for j := 0; j < n; j++ {
+		dt := w.T[(j+1)*stride] - w.T[j*stride]
+		dW := w.W[(j+1)*stride] - w.W[j*stride]
+		x += g.Lambda*x*dt + g.Sigma*x*dW
+		out[j+1] = x
+	}
+	return out, nil
+}
+
+// OU is the Ornstein-Uhlenbeck process dX = -A·(X-Mu)·dt + Sigma·dW:
+// the exact model of a noisy RC node (A = 1/RC), giving the "true
+// solution" curve of the paper's Figure 10.
+type OU struct {
+	// A is the mean-reversion rate (1/s), Mu the equilibrium level,
+	// Sigma the noise intensity, X0 the initial value.
+	A, Mu, Sigma, X0 float64
+}
+
+// Mean returns E[X(t)] = Mu + (X0-Mu)·e^(-A·t).
+func (o OU) Mean(t float64) float64 {
+	return o.Mu + (o.X0-o.Mu)*math.Exp(-o.A*t)
+}
+
+// Var returns Var[X(t)] = σ²/(2A)·(1-e^(-2A·t)).
+func (o OU) Var(t float64) float64 {
+	if o.A == 0 {
+		return o.Sigma * o.Sigma * t
+	}
+	return o.Sigma * o.Sigma / (2 * o.A) * (1 - math.Exp(-2*o.A*t))
+}
+
+// Std returns the standard deviation at t.
+func (o OU) Std(t float64) float64 { return math.Sqrt(o.Var(t)) }
+
+// ExactPath samples the exact transition density along the Wiener
+// path's grid using independent Gaussian transitions derived from the
+// same stream — the reference EM is judged against.
+func (o OU) ExactPath(s *randx.Stream, ts []float64) ([]float64, error) {
+	if len(ts) < 2 {
+		return nil, errors.New("sde: ExactPath needs at least 2 times")
+	}
+	out := make([]float64, len(ts))
+	out[0] = o.X0
+	x := o.X0
+	for j := 1; j < len(ts); j++ {
+		dt := ts[j] - ts[j-1]
+		if dt <= 0 {
+			return nil, fmt.Errorf("sde: non-increasing time at %d", j)
+		}
+		ed := math.Exp(-o.A * dt)
+		mean := o.Mu + (x-o.Mu)*ed
+		sd := math.Sqrt(o.Sigma * o.Sigma / (2 * o.A) * (1 - ed*ed))
+		x = mean + sd*s.Norm()
+		out[j] = x
+	}
+	return out, nil
+}
+
+// EM integrates the OU with explicit Euler-Maruyama on the given path.
+func (o OU) EM(w *randx.Wiener, stride int) ([]float64, error) {
+	if stride < 1 || w.Steps()%stride != 0 {
+		return nil, fmt.Errorf("sde: stride %d does not divide %d steps", stride, w.Steps())
+	}
+	n := w.Steps() / stride
+	out := make([]float64, n+1)
+	out[0] = o.X0
+	x := o.X0
+	for j := 0; j < n; j++ {
+		dt := w.T[(j+1)*stride] - w.T[j*stride]
+		dW := w.W[(j+1)*stride] - w.W[j*stride]
+		x += -o.A*(x-o.Mu)*dt + o.Sigma*dW
+		out[j+1] = x
+	}
+	return out, nil
+}
+
+// Milstein integrates the GBM with the Milstein scheme, which adds the
+// 0.5·σ²·X·(ΔW² - h) correction term and achieves strong order 1.0 —
+// the natural next step beyond the paper's Euler-Maruyama method
+// (extension; Higham §6).
+func (g GBM) Milstein(w *randx.Wiener, stride int) ([]float64, error) {
+	if stride < 1 || w.Steps()%stride != 0 {
+		return nil, fmt.Errorf("sde: stride %d does not divide %d steps", stride, w.Steps())
+	}
+	n := w.Steps() / stride
+	out := make([]float64, n+1)
+	out[0] = g.X0
+	x := g.X0
+	for j := 0; j < n; j++ {
+		dt := w.T[(j+1)*stride] - w.T[j*stride]
+		dW := w.W[(j+1)*stride] - w.W[j*stride]
+		x += g.Lambda*x*dt + g.Sigma*x*dW + 0.5*g.Sigma*g.Sigma*x*(dW*dW-dt)
+		out[j+1] = x
+	}
+	return out, nil
+}
+
+// Integrator selects the scheme StrongError measures.
+type Integrator int
+
+// Integrator choices.
+const (
+	// EulerMaruyama is the paper's eq (18) scheme (strong order 1/2).
+	EulerMaruyama Integrator = iota
+	// MilsteinScheme adds the Ito correction term (strong order 1).
+	MilsteinScheme
+)
+
+// StrongError measures E|X_num(T) - X_exact(T)| for the GBM over nPaths
+// at the given stride ladder, returning one error per stride. This is
+// the measurement behind the EM strong-order ablation.
+func StrongError(g GBM, tEnd float64, fineSteps, nPaths int, strides []int, seed uint64) ([]float64, error) {
+	return StrongErrorOf(g, EulerMaruyama, tEnd, fineSteps, nPaths, strides, seed)
+}
+
+// StrongErrorOf is StrongError with a selectable integrator.
+func StrongErrorOf(g GBM, scheme Integrator, tEnd float64, fineSteps, nPaths int, strides []int, seed uint64) ([]float64, error) {
+	errs := make([]float64, len(strides))
+	for p := 0; p < nPaths; p++ {
+		w := randx.NewWiener(randx.Split(seed, p), tEnd, fineSteps)
+		exact := g.Exact(w)
+		xT := exact[len(exact)-1]
+		for si, st := range strides {
+			var xs []float64
+			var err error
+			switch scheme {
+			case MilsteinScheme:
+				xs, err = g.Milstein(w, st)
+			default:
+				xs, err = g.EM(w, st)
+			}
+			if err != nil {
+				return nil, err
+			}
+			errs[si] += math.Abs(xs[len(xs)-1] - xT)
+		}
+	}
+	for i := range errs {
+		errs[i] /= float64(nPaths)
+	}
+	return errs, nil
+}

@@ -1,0 +1,355 @@
+package sde
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+	"nanosim/internal/randx"
+	"nanosim/internal/stats"
+)
+
+// TestItoVsStratonovich is paper §4.2's central demonstration: the two
+// Riemann-sum placements converge to answers differing by T/2, however
+// fine the grid.
+func TestItoVsStratonovich(t *testing.T) {
+	const tEnd = 1.0
+	var gap stats.Running
+	for p := 0; p < 400; p++ {
+		w := randx.NewWiener(randx.Split(3, p), tEnd, 512)
+		ito := ItoWdW(w)
+		strat := StratonovichWdW(w)
+		gap.Push(strat - ito)
+		// Per-path identities: midpoint telescopes to W(T)²/2 exactly.
+		wT := w.W[w.Steps()]
+		if math.Abs(strat-wT*wT/2) > 1e-9 {
+			t.Fatalf("midpoint sum != W(T)²/2: %g vs %g", strat, wT*wT/2)
+		}
+	}
+	// E[gap] = T/2; each gap is (ΣΔW²)/2 with std ~ T/√(2N).
+	if math.Abs(gap.Mean()-tEnd/2) > 0.02 {
+		t.Errorf("mean Ito/Stratonovich gap = %g, want %g", gap.Mean(), tEnd/2)
+	}
+	// The gap does NOT vanish with refinement.
+	w := randx.NewWiener(randx.New(9), tEnd, 4096)
+	if d := StratonovichWdW(w) - ItoWdW(w); d < 0.3 {
+		t.Errorf("refined gap = %g, should stay near 0.5", d)
+	}
+}
+
+// TestItoExpectation: E[∫W dW] = 0 under the Itô convention.
+func TestItoExpectation(t *testing.T) {
+	var r stats.Running
+	for p := 0; p < 2000; p++ {
+		w := randx.NewWiener(randx.Split(17, p), 1, 64)
+		r.Push(ItoWdW(w))
+	}
+	lo, hi := r.CI95()
+	if lo > 0 || hi < 0 {
+		t.Errorf("E[Ito ∫WdW] CI [%g, %g] excludes 0", lo, hi)
+	}
+}
+
+// TestGBMStrongOrder measures EM's strong convergence order on GBM;
+// the theoretical order is 1/2 (Higham, paper ref [13]).
+func TestGBMStrongOrder(t *testing.T) {
+	g := GBM{Lambda: 2, Sigma: 1, X0: 1}
+	strides := []int{1, 2, 4, 8, 16}
+	errs, err := StrongError(g, 1, 512, 400, strides, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lh, le []float64
+	for i, st := range strides {
+		lh = append(lh, math.Log(float64(st)))
+		le = append(le, math.Log(errs[i]))
+	}
+	slope, _, err := stats.LinearFit(lh, le)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope < 0.3 || slope > 0.7 {
+		t.Errorf("strong order = %.2f, want ~0.5", slope)
+	}
+}
+
+// TestOUMomentsViaEM: EM on the OU process reproduces the analytic mean
+// and variance within Monte Carlo error.
+func TestOUMomentsViaEM(t *testing.T) {
+	o := OU{A: 2, Mu: 0, Sigma: 0.5, X0: 1}
+	const tEnd = 1.0
+	var endVals stats.Running
+	for p := 0; p < 3000; p++ {
+		w := randx.NewWiener(randx.Split(23, p), tEnd, 256)
+		xs, err := o.EM(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		endVals.Push(xs[len(xs)-1])
+	}
+	wantMean := o.Mean(tEnd)
+	wantVar := o.Var(tEnd)
+	if math.Abs(endVals.Mean()-wantMean) > 4*endVals.StdErr()+0.01 {
+		t.Errorf("EM mean %g vs analytic %g", endVals.Mean(), wantMean)
+	}
+	if math.Abs(endVals.Var()-wantVar)/wantVar > 0.15 {
+		t.Errorf("EM variance %g vs analytic %g", endVals.Var(), wantVar)
+	}
+}
+
+func TestOUExactPathStationary(t *testing.T) {
+	// From X0 at the mean with tiny A*t the variance grows like σ²t;
+	// long-run it saturates at σ²/2A.
+	o := OU{A: 1e9, Mu: 0, Sigma: 1e3, X0: 0}
+	ts := []float64{0, 1e-9, 1e-8, 1e-7}
+	var r stats.Running
+	for p := 0; p < 2000; p++ {
+		xs, err := o.ExactPath(randx.Split(5, p), ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Push(xs[len(xs)-1])
+	}
+	want := o.Sigma * o.Sigma / (2 * o.A) // stationary variance
+	if math.Abs(r.Var()-want)/want > 0.15 {
+		t.Errorf("stationary variance %g vs %g", r.Var(), want)
+	}
+	if _, err := o.ExactPath(randx.New(1), []float64{0}); err == nil {
+		t.Error("single-time path accepted")
+	}
+	if _, err := o.ExactPath(randx.New(1), []float64{0, 0}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+// noisyRC builds the Figure 10 substrate: a parasitic RC node driven by
+// a noisy current source.
+func noisyRC(sigma float64) *circuit.Circuit {
+	c := circuit.New("noisy-rc")
+	is, _ := c.AddISource("IN", "0", "out", device.DC(0))
+	is.NoiseSigma = sigma
+	c.AddResistor("R1", "out", "0", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-12)
+	return c
+}
+
+// TestCircuitEMZeroNoiseMatchesDeterministic: with B = 0 the EM engine
+// must reduce to backward Euler (paper §4.2's consistency remark).
+func TestCircuitEMZeroNoiseMatchesDeterministic(t *testing.T) {
+	c := circuit.New("rc")
+	c.AddVSource("V1", "in", "0", device.DC(1))
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-9)
+	res, err := Transient(c, Options{TStop: 5e-6, Steps: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoiseSources != 0 {
+		t.Fatal("unexpected noise sources")
+	}
+	det, err := core.Transient(c, core.Options{TStop: 5e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Waves.Get("v(out)")
+	b := det.Waves.Get("v(out)")
+	for _, ts := range []float64{1e-6, 3e-6, 5e-6} {
+		if d := math.Abs(a.At(ts) - b.At(ts)); d > 0.01 {
+			t.Errorf("EM vs SWEC at %g differ by %g", ts, d)
+		}
+	}
+}
+
+// TestCircuitEMStationaryVariance: the noisy RC node is an OU process
+// with A = 1/RC and diffusion σ_i/C; its stationary voltage variance is
+// σ_i²·R/(2C).
+func TestCircuitEMStationaryVariance(t *testing.T) {
+	const sigma = 1e-6 // A/√s
+	ckt := noisyRC(sigma)
+	// tau = 1ns; run 20 tau and sample the second half.
+	res, err := Ensemble(ckt, EnsembleOptions{
+		Base:   Options{TStop: 20e-9, Steps: 2000, Seed: 77},
+		Paths:  300,
+		Signal: "v(out)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sigma * sigma * 1e3 / (2 * 1e-12) // σ²R/2C
+	// Average the pointwise variance over the settled half.
+	var avg stats.Running
+	for j := res.Std.Len() / 2; j < res.Std.Len(); j++ {
+		avg.Push(res.Std.V[j] * res.Std.V[j])
+	}
+	got := avg.Mean()
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("stationary variance %g vs analytic %g", got, want)
+	}
+}
+
+// TestExplicitMatchesImplicit on a well-conditioned all-C circuit.
+func TestExplicitMatchesImplicit(t *testing.T) {
+	ckt := noisyRC(0) // deterministic for exact comparison
+	exp, err := Transient(ckt, Options{TStop: 5e-9, Steps: 5000, Seed: 3, Explicit: true,
+		IC: map[string]float64{"out": 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Transient(ckt, Options{TStop: 5e-9, Steps: 5000, Seed: 3,
+		IC: map[string]float64{"out": 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := exp.Waves.Get("v(out)")
+	b := imp.Waves.Get("v(out)")
+	if d := math.Abs(a.At(3e-9) - b.At(3e-9)); d > 0.01 {
+		t.Errorf("explicit vs implicit differ by %g", d)
+	}
+}
+
+func TestExplicitRejectsVsourceAndInductor(t *testing.T) {
+	c := circuit.New("v")
+	c.AddVSource("V1", "in", "0", device.DC(1))
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-12)
+	if _, err := Transient(c, Options{TStop: 1e-9, Explicit: true}); err == nil {
+		t.Error("explicit EM accepted a voltage source")
+	}
+	l := circuit.New("l")
+	l.AddISource("I1", "0", "a", device.DC(1e-3))
+	l.AddInductor("L1", "a", "0", 1e-9)
+	l.AddCapacitor("C1", "a", "0", 1e-12)
+	if _, err := Transient(l, Options{TStop: 1e-9, Explicit: true}); err == nil {
+		t.Error("explicit EM accepted an inductor")
+	}
+	// Missing node capacitance -> singular C.
+	m := circuit.New("m")
+	m.AddISource("I1", "0", "a", device.DC(1e-3))
+	m.AddResistor("R1", "a", "b", 1e3)
+	m.AddResistor("R2", "b", "0", 1e3)
+	m.AddCapacitor("C1", "a", "0", 1e-12)
+	if _, err := Transient(m, Options{TStop: 1e-9, Explicit: true}); err == nil {
+		t.Error("explicit EM accepted singular C")
+	}
+}
+
+func TestReflectionPrinciple(t *testing.T) {
+	const tEnd = 1.0
+	maxes := MCRunningMax(31, tEnd, 512, 4000)
+	for _, m := range []float64{0.5, 1.0, 1.5} {
+		want := BMExceedProb(m, tEnd)
+		hits := 0
+		for _, v := range maxes {
+			if v > m {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(len(maxes))
+		// Grid-resolved maxima slightly undercount; allow one-sided slack.
+		if got > want+0.03 || got < want-0.06 {
+			t.Errorf("P(max > %g) = %g, analytic %g", m, got, want)
+		}
+	}
+	// E[max] = sqrt(2T/pi).
+	if m := stats.Mean(maxes); math.Abs(m-BMExpectedMax(tEnd)) > 0.05 {
+		t.Errorf("E[max] = %g, want %g", m, BMExpectedMax(tEnd))
+	}
+	if BMExceedProb(-1, 1) != 1 || BMExceedProb(1, 0) != 0 {
+		t.Error("edge cases wrong")
+	}
+}
+
+func TestEnsemblePeakHelpers(t *testing.T) {
+	ckt := noisyRC(1e-6)
+	res, err := Ensemble(ckt, EnsembleOptions{
+		Base:  Options{TStop: 5e-9, Steps: 500, Seed: 13},
+		Paths: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paths != 100 || len(res.PeakValues) != 100 {
+		t.Fatalf("ensemble bookkeeping wrong: %d/%d", res.Paths, len(res.PeakValues))
+	}
+	q90, err := res.PeakQuantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q50, err := res.PeakQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q90 < q50 {
+		t.Error("quantiles out of order")
+	}
+	p, se := res.PeakExceedProb(q50)
+	if p < 0.3 || p > 0.7 {
+		t.Errorf("P(peak > median) = %g, want ~0.5", p)
+	}
+	if se <= 0 {
+		t.Error("stderr should be positive")
+	}
+}
+
+func TestOUExceedProbMC(t *testing.T) {
+	o := OU{A: 1e9, Mu: 0, Sigma: 1e3, X0: 0}
+	// Stationary std = sigma/sqrt(2A) ~ 0.0224; exceeding 0 is certain.
+	if p := OUExceedProbMC(o, 10e-9, 200, 200, -1, 7); p != 1 {
+		t.Errorf("P(max > -1) = %g, want 1", p)
+	}
+	p := OUExceedProbMC(o, 10e-9, 200, 400, 0.02, 7)
+	if p <= 0.05 || p >= 1 {
+		t.Errorf("P(max > 1sigma) = %g, implausible", p)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	ckt := noisyRC(1e-6)
+	if _, err := Transient(ckt, Options{}); err == nil {
+		t.Error("TStop=0 accepted")
+	}
+	bad := circuit.New("bad")
+	bad.AddResistor("R1", "a", "b", 1)
+	if _, err := Transient(bad, Options{TStop: 1}); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+	if _, err := Transient(ckt, Options{TStop: 1e-9, IC: map[string]float64{"zz": 1}}); err == nil {
+		t.Error("unknown IC accepted")
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	ckt := noisyRC(1e-6)
+	a, err := Transient(ckt, Options{TStop: 2e-9, Steps: 200, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transient(ckt, Options{TStop: 2e-9, Steps: 200, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Transient(ckt, Options{TStop: 2e-9, Steps: 200, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := a.Waves.Get("v(out)")
+	sb := b.Waves.Get("v(out)")
+	scc := c.Waves.Get("v(out)")
+	same, diff := true, false
+	for j := 0; j < sa.Len(); j++ {
+		if sa.V[j] != sb.V[j] {
+			same = false
+		}
+		if sa.V[j] != scc.V[j] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different paths")
+	}
+	if !diff {
+		t.Error("different seeds produced identical paths")
+	}
+}

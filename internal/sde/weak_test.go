@@ -1,0 +1,48 @@
+package sde
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/randx"
+	"nanosim/internal/stats"
+)
+
+// TestEMWeakConvergence: EM's *weak* order is 1 — the error of the mean
+// E[X(T)] shrinks linearly in h (strong order is only 1/2). Measured on
+// GBM where E[X(T)] = X0·e^(λT) exactly. Weak error measurements are
+// noisy; the test uses common random numbers across step sizes and a
+// wide acceptance band.
+func TestEMWeakConvergence(t *testing.T) {
+	g := GBM{Lambda: 2, Sigma: 0.5, X0: 1}
+	const tEnd = 1.0
+	want := g.X0 * math.Exp(g.Lambda*tEnd)
+	strides := []int{2, 8, 32}
+	const fine = 512
+	const paths = 60000
+	errs := make([]float64, len(strides))
+	for p := 0; p < paths; p++ {
+		w := randx.NewWiener(randx.Split(99, p), tEnd, fine)
+		for si, st := range strides {
+			xs, err := g.EM(w, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[si] += xs[len(xs)-1]
+		}
+	}
+	var lh, le []float64
+	for si, st := range strides {
+		mean := errs[si] / paths
+		werr := math.Abs(mean - want)
+		lh = append(lh, math.Log(float64(st)))
+		le = append(le, math.Log(werr))
+	}
+	slope, _, err := stats.LinearFit(lh, le)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope < 0.6 || slope > 1.5 {
+		t.Errorf("weak order = %.2f, want ~1", slope)
+	}
+}

@@ -1,0 +1,145 @@
+// Package spmat implements the sparse linear algebra used for large
+// circuits: triplet assembly, CSR matrix-vector products and a sparse LU
+// factorization with Markowitz-style pivoting. The SWEC headline speedup
+// benches sweep circuit sizes into the thousands of nodes, where dense
+// O(n^3) factorization would dominate and hide the algorithmic comparison
+// the paper makes.
+package spmat
+
+import (
+	"fmt"
+	"sort"
+
+	"nanosim/internal/flop"
+)
+
+// Triplet is a coordinate-format sparse matrix accumulator. Duplicate
+// (i, j) entries sum, matching MNA stamping semantics.
+type Triplet struct {
+	rows, cols int
+	entries    map[[2]int]float64
+}
+
+// NewTriplet returns an empty r-by-c accumulator.
+func NewTriplet(r, c int) *Triplet {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("spmat: invalid dimensions %dx%d", r, c))
+	}
+	return &Triplet{rows: r, cols: c, entries: make(map[[2]int]float64)}
+}
+
+// Rows returns the number of rows.
+func (t *Triplet) Rows() int { return t.rows }
+
+// Cols returns the number of columns.
+func (t *Triplet) Cols() int { return t.cols }
+
+// Add accumulates v at (i, j).
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.rows || j < 0 || j >= t.cols {
+		panic(fmt.Sprintf("spmat: Add(%d,%d) out of range %dx%d", i, j, t.rows, t.cols))
+	}
+	if v == 0 {
+		return
+	}
+	t.entries[[2]int{i, j}] += v
+}
+
+// At returns the accumulated value at (i, j), zero when absent.
+func (t *Triplet) At(i, j int) float64 { return t.entries[[2]int{i, j}] }
+
+// NNZ returns the number of stored (possibly zero-summed) entries.
+func (t *Triplet) NNZ() int { return len(t.entries) }
+
+// Zero clears the accumulator for re-stamping, keeping capacity.
+func (t *Triplet) Zero() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+}
+
+// CSR is a compressed-sparse-row matrix built from a Triplet; it supports
+// fast matrix-vector products for residual checks and explicit
+// integrators.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// ToCSR freezes the triplet into CSR form.
+func (t *Triplet) ToCSR() *CSR {
+	type ent struct {
+		i, j int
+		v    float64
+	}
+	all := make([]ent, 0, len(t.entries))
+	for k, v := range t.entries {
+		all = append(all, ent{k[0], k[1], v})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].i != all[b].i {
+			return all[a].i < all[b].i
+		}
+		return all[a].j < all[b].j
+	})
+	c := &CSR{
+		rows:   t.rows,
+		cols:   t.cols,
+		rowPtr: make([]int, t.rows+1),
+		colIdx: make([]int, len(all)),
+		vals:   make([]float64, len(all)),
+	}
+	for n, e := range all {
+		c.rowPtr[e.i+1]++
+		c.colIdx[n] = e.j
+		c.vals[n] = e.v
+	}
+	for i := 0; i < t.rows; i++ {
+		c.rowPtr[i+1] += c.rowPtr[i]
+	}
+	return c
+}
+
+// Rows returns the number of rows.
+func (c *CSR) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *CSR) Cols() int { return c.cols }
+
+// NNZ returns the stored entry count.
+func (c *CSR) NNZ() int { return len(c.vals) }
+
+// At returns element (i, j) by binary search within the row.
+func (c *CSR) At(i, j int) float64 {
+	lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case c.colIdx[mid] == j:
+			return c.vals[mid]
+		case c.colIdx[mid] < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// MulVec computes y = C*x.
+func (c *CSR) MulVec(x, y []float64, fc *flop.Counter) {
+	if len(x) != c.cols || len(y) != c.rows {
+		panic("spmat: MulVec dimension mismatch")
+	}
+	for i := 0; i < c.rows; i++ {
+		s := 0.0
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			s += c.vals[k] * x[c.colIdx[k]]
+		}
+		y[i] = s
+	}
+	fc.Mul(len(c.vals))
+	fc.Add(len(c.vals))
+}

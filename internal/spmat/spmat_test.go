@@ -1,0 +1,224 @@
+package spmat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nanosim/internal/flop"
+	"nanosim/internal/mat"
+)
+
+func TestTripletAccumulates(t *testing.T) {
+	tr := NewTriplet(3, 3)
+	tr.Add(1, 2, 4)
+	tr.Add(1, 2, -1)
+	if tr.At(1, 2) != 3 {
+		t.Errorf("At(1,2) = %g, want 3", tr.At(1, 2))
+	}
+	tr.Add(0, 0, 0) // zero adds are dropped
+	if tr.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", tr.NNZ())
+	}
+	tr.Zero()
+	if tr.NNZ() != 0 || tr.At(1, 2) != 0 {
+		t.Error("Zero did not clear")
+	}
+}
+
+func TestTripletBounds(t *testing.T) {
+	tr := NewTriplet(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Add did not panic")
+		}
+	}()
+	tr.Add(2, 0, 1)
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	tr := NewTriplet(3, 4)
+	tr.Add(0, 1, 2)
+	tr.Add(2, 3, 5)
+	tr.Add(1, 0, -1)
+	tr.Add(1, 2, 7)
+	c := tr.ToCSR()
+	if c.Rows() != 3 || c.Cols() != 4 || c.NNZ() != 4 {
+		t.Fatalf("CSR dims/nnz wrong: %dx%d nnz=%d", c.Rows(), c.Cols(), c.NNZ())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if c.At(i, j) != tr.At(i, j) {
+				t.Errorf("CSR At(%d,%d) = %g, want %g", i, j, c.At(i, j), tr.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCSRMulVec(t *testing.T) {
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 1, 2)
+	tr.Add(1, 0, 3)
+	tr.Add(1, 1, 4)
+	c := tr.ToCSR()
+	y := make([]float64, 2)
+	var fc flop.Counter
+	c.MulVec([]float64{1, 1}, y, &fc)
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	if fc.Total() == 0 {
+		t.Error("MulVec did not charge flops")
+	}
+}
+
+func TestSparseSolveKnown(t *testing.T) {
+	tr := NewTriplet(3, 3)
+	rows := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	for i, r := range rows {
+		for j, v := range r {
+			tr.Add(i, j, v)
+		}
+	}
+	x, err := SolveLinear(tr, []float64{8, -11, -3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSparseSingular(t *testing.T) {
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 1, 2)
+	tr.Add(1, 0, 2)
+	tr.Add(1, 1, 4)
+	if _, err := Factor(tr, nil); err == nil {
+		t.Error("singular matrix not detected")
+	}
+	empty := NewTriplet(3, 3)
+	if _, err := Factor(empty, nil); err == nil {
+		t.Error("empty matrix not detected as singular")
+	}
+}
+
+func TestSparseNonSquare(t *testing.T) {
+	tr := NewTriplet(2, 3)
+	if _, err := Factor(tr, nil); err == nil {
+		t.Error("non-square Factor should error")
+	}
+}
+
+// TestSparseMatchesDense is the core cross-validation property: on random
+// diagonally dominant systems the sparse and dense solvers agree.
+func TestSparseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(15)
+		tr := NewTriplet(n, n)
+		d := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			// Sparse off-diagonal fill ~30%.
+			for j := 0; j < n; j++ {
+				if i != j && r.Float64() < 0.3 {
+					v := r.NormFloat64()
+					tr.Add(i, j, v)
+					d.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			diag := rowSum + 1 + r.Float64()
+			tr.Add(i, i, diag)
+			d.Set(i, i, diag)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		xs, err := SolveLinear(tr, b, nil)
+		if err != nil {
+			return false
+		}
+		xd, err := mat.SolveLinear(d, b, nil)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(xs[i]-xd[i]) > 1e-8*(1+math.Abs(xd[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTridiagonalLarge exercises the fill-reducing ordering on the ladder
+// topology the scaling benches use: fill-in must stay near-linear.
+func TestTridiagonalLarge(t *testing.T) {
+	n := 400
+	tr := NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 2.1)
+		if i > 0 {
+			tr.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			tr.Add(i, i+1, -1)
+		}
+	}
+	b := make([]float64, n)
+	b[0] = 1
+	var fc flop.Counter
+	x, err := SolveLinear(tr, b, &fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual check against CSR product.
+	c := tr.ToCSR()
+	y := make([]float64, n)
+	c.MulVec(x, y, nil)
+	for i := range y {
+		if math.Abs(y[i]-b[i]) > 1e-9 {
+			t.Fatalf("residual[%d] = %g", i, y[i]-b[i])
+		}
+	}
+	// Near-linear work: a tridiagonal solve must not behave like O(n^3).
+	if tot := fc.Snapshot().Total(); tot > int64(50*n) {
+		t.Errorf("tridiagonal factor+solve used %d flops, expected O(n)", tot)
+	}
+}
+
+func BenchmarkSparseFactorLadder(b *testing.B) {
+	n := 1000
+	tr := NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 2.1)
+		if i > 0 {
+			tr.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			tr.Add(i, i+1, -1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(tr, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package stamp builds the modified nodal analysis (MNA) view of a
+// circuit: the unknown ordering, the constant C (capacitance) and linear
+// G (conductance) stamps, source right-hand sides and noise columns.
+// The nodal equation it realizes is the paper's eq (1):
+//
+//	G(t)·V(t) + C·V̇(t) = b·u(t)
+//
+// Unknown ordering: node voltages 1..N-1 first (ground eliminated),
+// followed by one branch current per voltage source, then one per
+// inductor. Engines re-stamp the time-varying nonlinear conductances
+// themselves — how a device is linearized (Geq vs dI/dV vs PWL segment)
+// is exactly what distinguishes SWEC from its baselines.
+package stamp
+
+import (
+	"fmt"
+
+	"nanosim/internal/circuit"
+)
+
+// Adder receives matrix stamps; linsolve.Solver satisfies it.
+type Adder interface {
+	Add(i, j int, v float64)
+}
+
+// TwoTermRef is a nonlinear two-terminal device with its precomputed
+// matrix indices (-1 for a grounded terminal).
+type TwoTermRef struct {
+	Elem *circuit.TwoTerm
+	// IA and IB are the matrix rows of terminals A and B, -1 if ground.
+	IA, IB int
+}
+
+// FETRef is a MOSFET with precomputed indices.
+type FETRef struct {
+	Elem *circuit.FET
+	// ID, IG, IS are the matrix rows of drain, gate, source (-1 ground).
+	ID, IG, IS int
+}
+
+// SourceRef is an independent source with its stamp location.
+type SourceRef struct {
+	// V is non-nil for a voltage source, I for a current source.
+	V *circuit.VSource
+	I *circuit.ISource
+	// Branch is the branch-current row for voltage sources, -1 for
+	// current sources.
+	Branch int
+	// IPos and INeg are the node rows (-1 ground).
+	IPos, INeg int
+}
+
+// System is the frozen MNA structure of one circuit.
+type System struct {
+	ckt *circuit.Circuit
+
+	dim       int
+	nodeCount int
+
+	vsrcs     []SourceRef
+	isrcs     []SourceRef
+	resistors []*circuit.Resistor
+	caps      []*circuit.Capacitor
+	inductors []*circuit.Inductor
+	indBranch []int
+	twoTerms  []TwoTermRef
+	fets      []FETRef
+
+	nodeCapSum []float64 // per node row: total incident capacitance
+}
+
+// NewSystem validates the circuit and freezes its MNA structure.
+func NewSystem(c *circuit.Circuit) (*System, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{ckt: c, nodeCount: c.NumNodes() - 1}
+	branch := s.nodeCount
+	for _, e := range c.Elements() {
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			s.resistors = append(s.resistors, el)
+		case *circuit.Capacitor:
+			s.caps = append(s.caps, el)
+		case *circuit.Inductor:
+			s.inductors = append(s.inductors, el)
+			s.indBranch = append(s.indBranch, branch)
+			branch++
+		case *circuit.VSource:
+			s.vsrcs = append(s.vsrcs, SourceRef{
+				V: el, Branch: branch,
+				IPos: s.rowOf(el.Pos), INeg: s.rowOf(el.Neg),
+			})
+			branch++
+		case *circuit.ISource:
+			s.isrcs = append(s.isrcs, SourceRef{
+				I: el, Branch: -1,
+				IPos: s.rowOf(el.Pos), INeg: s.rowOf(el.Neg),
+			})
+		case *circuit.TwoTerm:
+			s.twoTerms = append(s.twoTerms, TwoTermRef{
+				Elem: el, IA: s.rowOf(el.A), IB: s.rowOf(el.B),
+			})
+		case *circuit.FET:
+			s.fets = append(s.fets, FETRef{
+				Elem: el, ID: s.rowOf(el.D), IG: s.rowOf(el.G), IS: s.rowOf(el.S),
+			})
+		default:
+			return nil, fmt.Errorf("stamp: unsupported element type %T (%s)", e, e.Name())
+		}
+	}
+	s.dim = branch
+	s.buildNodeCaps()
+	return s, nil
+}
+
+// rowOf maps a node to its matrix row; ground is -1.
+func (s *System) rowOf(n circuit.NodeID) int { return int(n) - 1 }
+
+// Dim returns the MNA dimension (nodes-1 + vsources + inductors).
+func (s *System) Dim() int { return s.dim }
+
+// NodeCount returns the number of non-ground nodes.
+func (s *System) NodeCount() int { return s.nodeCount }
+
+// Circuit returns the underlying netlist.
+func (s *System) Circuit() *circuit.Circuit { return s.ckt }
+
+// TwoTerms returns the nonlinear two-terminal devices.
+func (s *System) TwoTerms() []TwoTermRef { return s.twoTerms }
+
+// FETs returns the transistors.
+func (s *System) FETs() []FETRef { return s.fets }
+
+// VSources returns the voltage sources in branch order.
+func (s *System) VSources() []SourceRef { return s.vsrcs }
+
+// ISources returns the current sources.
+func (s *System) ISources() []SourceRef { return s.isrcs }
+
+// Inductors returns the inductors with their branch rows.
+func (s *System) Inductors() ([]*circuit.Inductor, []int) { return s.inductors, s.indBranch }
+
+// add stamps the standard two-terminal pattern between rows ia and ib.
+func add2(a Adder, ia, ib int, g float64) {
+	if ia >= 0 {
+		a.Add(ia, ia, g)
+	}
+	if ib >= 0 {
+		a.Add(ib, ib, g)
+	}
+	if ia >= 0 && ib >= 0 {
+		a.Add(ia, ib, -g)
+		a.Add(ib, ia, -g)
+	}
+}
+
+// Stamp2 stamps conductance g across the two-terminal pattern (exported
+// for the engines' per-step nonlinear stamping).
+func Stamp2(a Adder, ia, ib int, g float64) { add2(a, ia, ib, g) }
+
+// StampLinearG stamps the time-invariant conductance structure:
+// resistors, voltage-source incidence rows/columns, and inductor branch
+// incidence (the dI/dt term lives in C).
+func (s *System) StampLinearG(a Adder) {
+	for _, r := range s.resistors {
+		add2(a, s.rowOf(r.A), s.rowOf(r.B), r.Conductance())
+	}
+	for _, v := range s.vsrcs {
+		if v.IPos >= 0 {
+			a.Add(v.IPos, v.Branch, 1)
+			a.Add(v.Branch, v.IPos, 1)
+		}
+		if v.INeg >= 0 {
+			a.Add(v.INeg, v.Branch, -1)
+			a.Add(v.Branch, v.INeg, -1)
+		}
+	}
+	for k, l := range s.inductors {
+		br := s.indBranch[k]
+		ia, ib := s.rowOf(l.A), s.rowOf(l.B)
+		if ia >= 0 {
+			a.Add(ia, br, 1)
+			a.Add(br, ia, 1)
+		}
+		if ib >= 0 {
+			a.Add(ib, br, -1)
+			a.Add(br, ib, -1)
+		}
+	}
+}
+
+// StampC stamps the capacitance matrix: capacitors on node rows and
+// -L on inductor branch diagonals (branch equation
+// V(a)-V(b) - L·dI/dt = 0).
+func (s *System) StampC(a Adder) {
+	for _, c := range s.caps {
+		add2(a, s.rowOf(c.A), s.rowOf(c.B), c.C)
+	}
+	for k, l := range s.inductors {
+		a.Add(s.indBranch[k], s.indBranch[k], -l.L)
+	}
+}
+
+// Capacitors returns the capacitive elements in stamp order (the order
+// of the capCurrents state vector used by StampReactive).
+func (s *System) Capacitors() []*circuit.Capacitor { return s.caps }
+
+// StampReactive stamps the companion models of all reactive elements for
+// one implicit step of size h from state x, into matrix a and RHS rhs.
+//
+// With trap == false this is backward Euler, algebraically identical to
+// the (C/h) matrix formulation. With trap == true it is the trapezoidal
+// rule, which needs the previous capacitor currents capI (one entry per
+// element of Capacitors(), updated by UpdateCapCurrents after each
+// accepted step):
+//
+//	capacitor: i' = (2C/h)(v'-v) - i_old
+//	inductor:  v' = (2L/h)(i'-i) - v_old
+func (s *System) StampReactive(a Adder, rhs, x, capI []float64, h float64, trap bool) {
+	k := 1.0
+	if trap {
+		k = 2.0
+	}
+	for ci, c := range s.caps {
+		g := k * c.C / h
+		ia, ib := s.rowOf(c.A), s.rowOf(c.B)
+		add2(a, ia, ib, g)
+		v := s.Branch(x, c.A, c.B)
+		j := g * v
+		if trap {
+			j += capI[ci]
+		}
+		if ia >= 0 {
+			rhs[ia] += j
+		}
+		if ib >= 0 {
+			rhs[ib] -= j
+		}
+	}
+	for li, l := range s.inductors {
+		br := s.indBranch[li]
+		keff := k * l.L / h
+		a.Add(br, br, -keff)
+		r := -keff * x[br]
+		if trap {
+			r -= s.Branch(x, l.A, l.B)
+		}
+		rhs[br] += r
+	}
+}
+
+// UpdateCapCurrents refreshes the trapezoidal capacitor-current state
+// after a step from xOld to xNew of size h: i' = k·C/h·(v'-v) - i_old
+// with k = 2 under trap, k = 1 under backward Euler.
+func (s *System) UpdateCapCurrents(capI, xOld, xNew []float64, h float64, trap bool) {
+	k := 1.0
+	if trap {
+		k = 2.0
+	}
+	for ci, c := range s.caps {
+		dv := s.Branch(xNew, c.A, c.B) - s.Branch(xOld, c.A, c.B)
+		iNew := k * c.C / h * dv
+		if trap {
+			iNew -= capI[ci]
+		}
+		capI[ci] = iNew
+	}
+}
+
+// StampRHS writes the source excitation at time t into b (b must be
+// zeroed by the caller or reused knowingly).
+func (s *System) StampRHS(t float64, b []float64) {
+	for _, v := range s.vsrcs {
+		b[v.Branch] = v.V.W.At(t)
+	}
+	for _, i := range s.isrcs {
+		val := i.I.W.At(t)
+		if i.IPos >= 0 {
+			b[i.IPos] -= val
+		}
+		if i.INeg >= 0 {
+			b[i.INeg] += val
+		}
+	}
+}
+
+// NoiseColumns returns one column per stochastic source (NoiseSigma > 0):
+// the B matrix of the SDE C·dx = -G·x·dt + ... + B·dW (paper eq 13).
+// Voltage-source noise lands on the source's branch row; current-source
+// noise on its node rows.
+func (s *System) NoiseColumns() [][]float64 {
+	var cols [][]float64
+	for _, v := range s.vsrcs {
+		if v.V.NoiseSigma > 0 {
+			col := make([]float64, s.dim)
+			col[v.Branch] = v.V.NoiseSigma
+			cols = append(cols, col)
+		}
+	}
+	for _, i := range s.isrcs {
+		if i.I.NoiseSigma > 0 {
+			col := make([]float64, s.dim)
+			if i.IPos >= 0 {
+				col[i.IPos] -= i.I.NoiseSigma
+			}
+			if i.INeg >= 0 {
+				col[i.INeg] += i.I.NoiseSigma
+			}
+			cols = append(cols, col)
+		}
+	}
+	return cols
+}
+
+// buildNodeCaps accumulates the total capacitance touching each node row,
+// the C_j of the paper's eq (12) time-step bound.
+func (s *System) buildNodeCaps() {
+	s.nodeCapSum = make([]float64, s.dim)
+	for _, c := range s.caps {
+		if i := s.rowOf(c.A); i >= 0 {
+			s.nodeCapSum[i] += c.C
+		}
+		if i := s.rowOf(c.B); i >= 0 {
+			s.nodeCapSum[i] += c.C
+		}
+	}
+}
+
+// NodeCap returns the total capacitance on node row i.
+func (s *System) NodeCap(i int) float64 { return s.nodeCapSum[i] }
+
+// Voltage reads the node voltage of n from the solution vector x.
+func (s *System) Voltage(x []float64, n circuit.NodeID) float64 {
+	if n == circuit.Ground {
+		return 0
+	}
+	return x[int(n)-1]
+}
+
+// Branch reads the voltage across terminals (a, b) from x.
+func (s *System) Branch(x []float64, a, b circuit.NodeID) float64 {
+	return s.Voltage(x, a) - s.Voltage(x, b)
+}
+
+// BranchCurrent reads the branch current of voltage source ref from x.
+func (s *System) BranchCurrent(x []float64, ref SourceRef) float64 {
+	if ref.Branch < 0 {
+		return 0
+	}
+	return x[ref.Branch]
+}
+
+// InitialState builds the starting vector from a map of node name to
+// voltage (unknown names are an error). Capacitor ICs recorded on the
+// elements are applied for grounded capacitors.
+func (s *System) InitialState(ic map[string]float64) ([]float64, error) {
+	x := make([]float64, s.dim)
+	for name, v := range ic {
+		id := circuit.Ground
+		found := false
+		for _, nn := range append(s.ckt.NodeNames(), "0") {
+			if nn == name {
+				id = s.ckt.Node(nn)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("stamp: initial condition for unknown node %q", name)
+		}
+		if id != circuit.Ground {
+			x[int(id)-1] = v
+		}
+	}
+	for _, c := range s.caps {
+		if !c.HasIC {
+			continue
+		}
+		ia, ib := s.rowOf(c.A), s.rowOf(c.B)
+		switch {
+		case ia >= 0 && ib < 0:
+			x[ia] = c.IC
+		case ib >= 0 && ia < 0:
+			x[ib] = -c.IC
+		}
+	}
+	return x, nil
+}

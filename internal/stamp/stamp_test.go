@@ -1,0 +1,245 @@
+package stamp
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/linsolve"
+)
+
+// divider builds V1(5V) - R1(1k) - out - R2(1k) - gnd.
+func divider(t *testing.T) (*circuit.Circuit, *System) {
+	t.Helper()
+	c := circuit.New("divider")
+	c.AddVSource("V1", "in", "0", device.DC(5))
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddResistor("R2", "out", "0", 1e3)
+	s, err := NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestSystemDimensions(t *testing.T) {
+	_, s := divider(t)
+	// nodes: in, out (2) + vsource branch (1) = 3.
+	if s.Dim() != 3 || s.NodeCount() != 2 {
+		t.Fatalf("Dim=%d NodeCount=%d", s.Dim(), s.NodeCount())
+	}
+}
+
+// TestDividerDC solves the static MNA system and checks Ohm's law.
+func TestDividerDC(t *testing.T) {
+	c, s := divider(t)
+	sol := linsolve.NewDense(s.Dim(), nil)
+	s.StampLinearG(sol)
+	b := make([]float64, s.Dim())
+	s.StampRHS(0, b)
+	x := make([]float64, s.Dim())
+	if err := sol.Solve(b, x); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Voltage(x, c.Node("out")); math.Abs(v-2.5) > 1e-12 {
+		t.Errorf("v(out) = %g, want 2.5", v)
+	}
+	if v := s.Voltage(x, c.Node("in")); math.Abs(v-5) > 1e-12 {
+		t.Errorf("v(in) = %g, want 5", v)
+	}
+	if v := s.Voltage(x, circuit.Ground); v != 0 {
+		t.Error("ground voltage must read 0")
+	}
+	// Source current: 5V across 2k -> 2.5mA flowing out of the source.
+	i := s.BranchCurrent(x, s.VSources()[0])
+	if math.Abs(i+2.5e-3) > 1e-12 {
+		t.Errorf("i(V1) = %g, want -2.5mA (MNA convention)", i)
+	}
+}
+
+func TestISourceStamp(t *testing.T) {
+	c := circuit.New("isrc")
+	c.AddISource("I1", "0", "out", device.DC(1e-3)) // 1mA into out
+	c.AddResistor("R1", "out", "0", 2e3)
+	s, err := NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := linsolve.NewDense(s.Dim(), nil)
+	s.StampLinearG(sol)
+	b := make([]float64, s.Dim())
+	s.StampRHS(0, b)
+	x := make([]float64, s.Dim())
+	if err := sol.Solve(b, x); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Voltage(x, c.Node("out")); math.Abs(v-2) > 1e-12 {
+		t.Errorf("v(out) = %g, want 2 (1mA * 2k)", v)
+	}
+}
+
+func TestCapacitorAndInductorStamps(t *testing.T) {
+	c := circuit.New("lc")
+	c.AddVSource("V1", "in", "0", device.DC(1))
+	c.AddInductor("L1", "in", "out", 1e-9)
+	c.AddCapacitor("C1", "out", "0", 1e-12)
+	s, err := NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dims: 2 nodes + 1 vsrc branch + 1 inductor branch = 4.
+	if s.Dim() != 4 {
+		t.Fatalf("Dim = %d, want 4", s.Dim())
+	}
+	cm := linsolve.NewDense(s.Dim(), nil)
+	s.StampC(cm)
+	// Capacitor on out-node diagonal.
+	outRow := int(c.Node("out")) - 1
+	if cm.At(outRow, outRow) != 1e-12 {
+		t.Errorf("C stamp = %g", cm.At(outRow, outRow))
+	}
+	// Inductor -L on its branch diagonal.
+	_, brs := s.Inductors()
+	if cm.At(brs[0], brs[0]) != -1e-9 {
+		t.Errorf("L stamp = %g", cm.At(brs[0], brs[0]))
+	}
+	// NodeCap bookkeeping for the eq-12 step bound.
+	if s.NodeCap(outRow) != 1e-12 {
+		t.Errorf("NodeCap = %g", s.NodeCap(outRow))
+	}
+	// DC through an inductor: solve G system with inductor short.
+	sol := linsolve.NewDense(s.Dim(), nil)
+	s.StampLinearG(sol)
+	b := make([]float64, s.Dim())
+	s.StampRHS(0, b)
+	x := make([]float64, s.Dim())
+	if err := sol.Solve(b, x); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Voltage(x, c.Node("out")); math.Abs(v-1) > 1e-12 {
+		t.Errorf("inductor should short at DC: v(out) = %g", v)
+	}
+}
+
+func TestTwoTermAndFETRefs(t *testing.T) {
+	c := circuit.New("refs")
+	c.AddVSource("VDD", "vdd", "0", device.DC(2))
+	c.AddDevice("N1", "vdd", "out", device.NewRTD())
+	c.AddFET("M1", "out", "g", "0", device.NewNMOS())
+	c.AddResistor("RG", "g", "0", 1e6)
+	c.AddResistor("RO", "out", "0", 1e5)
+	s, err := NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := s.TwoTerms()
+	if len(tts) != 1 {
+		t.Fatalf("TwoTerms = %d", len(tts))
+	}
+	if tts[0].IA != int(c.Node("vdd"))-1 || tts[0].IB != int(c.Node("out"))-1 {
+		t.Error("TwoTerm rows wrong")
+	}
+	fets := s.FETs()
+	if len(fets) != 1 {
+		t.Fatalf("FETs = %d", len(fets))
+	}
+	if fets[0].IS != -1 {
+		t.Error("grounded source should have row -1")
+	}
+}
+
+func TestStamp2GroundHandling(t *testing.T) {
+	sol := linsolve.NewDense(2, nil)
+	Stamp2(sol, 0, -1, 5) // grounded second terminal
+	if sol.At(0, 0) != 5 || sol.At(1, 1) != 0 {
+		t.Error("grounded stamp wrong")
+	}
+	Stamp2(sol, 0, 1, 3)
+	if sol.At(0, 0) != 8 || sol.At(0, 1) != -3 || sol.At(1, 0) != -3 || sol.At(1, 1) != 3 {
+		t.Error("full stamp wrong")
+	}
+}
+
+func TestNoiseColumns(t *testing.T) {
+	c := circuit.New("noise")
+	vs, _ := c.AddVSource("V1", "in", "0", device.DC(0))
+	vs.NoiseSigma = 0.5
+	c.AddResistor("R1", "in", "out", 1e3)
+	is, _ := c.AddISource("I1", "0", "out", device.DC(0))
+	is.NoiseSigma = 1e-6
+	c.AddCapacitor("C1", "out", "0", 1e-12)
+	s, err := NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := s.NoiseColumns()
+	if len(cols) != 2 {
+		t.Fatalf("noise columns = %d, want 2", len(cols))
+	}
+	// First column: vsource branch row gets sigma.
+	if cols[0][s.VSources()[0].Branch] != 0.5 {
+		t.Error("vsource noise column wrong")
+	}
+	// Second: isource node rows.
+	outRow := int(c.Node("out")) - 1
+	if cols[1][outRow] != 1e-6 {
+		t.Errorf("isource noise column = %v", cols[1])
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	c := circuit.New("ic")
+	c.AddVSource("V1", "in", "0", device.DC(1))
+	c.AddResistor("R1", "in", "out", 1e3)
+	cap1, _ := c.AddCapacitor("C1", "out", "0", 1e-12)
+	cap1.IC = 0.25
+	cap1.HasIC = true
+	s, err := NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := s.InitialState(map[string]float64{"in": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Voltage(x, c.Node("in")) != 1 {
+		t.Error("IC map not applied")
+	}
+	if s.Voltage(x, c.Node("out")) != 0.25 {
+		t.Error("capacitor IC not applied")
+	}
+	if _, err := s.InitialState(map[string]float64{"bogus": 1}); err == nil {
+		t.Error("unknown IC node accepted")
+	}
+}
+
+func TestUnsupportedElement(t *testing.T) {
+	c := circuit.New("bad")
+	c.AddVSource("V1", "a", "0", device.DC(1))
+	c.AddResistor("R1", "a", "0", 1)
+	// Inject a foreign element type through the interface.
+	type alien struct{ circuit.Element }
+	// (cannot add aliens through the builder; NewSystem's default branch
+	// is still covered by future element kinds — here we just confirm
+	// the healthy path.)
+	if _, err := NewSystem(c); err != nil {
+		t.Fatalf("healthy system rejected: %v", err)
+	}
+	_ = alien{}
+}
+
+func TestBranchHelpers(t *testing.T) {
+	c, s := divider(t)
+	x := []float64{5, 2.5, -2.5e-3}
+	if got := s.Branch(x, c.Node("in"), c.Node("out")); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Branch = %g", got)
+	}
+	if len(s.ISources()) != 0 {
+		t.Error("unexpected isources")
+	}
+	// BranchCurrent with Branch=-1 returns 0.
+	if s.BranchCurrent(x, SourceRef{Branch: -1}) != 0 {
+		t.Error("Branch=-1 should read 0")
+	}
+}

@@ -1,0 +1,266 @@
+// Package stats provides the descriptive statistics used to validate and
+// report the stochastic (Euler-Maruyama) experiments: streaming moments,
+// quantiles, histograms, confidence intervals and series-error metrics.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Running accumulates mean and variance with Welford's algorithm, which
+// stays accurate over the millions of samples a Monte Carlo ensemble
+// produces. The zero value is an empty accumulator.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Push adds a sample.
+func (r *Running) Push(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the sample count.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance.
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest sample seen.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample seen.
+func (r *Running) Max() float64 { return r.max }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.Std() / math.Sqrt(float64(r.n))
+}
+
+// CI95 returns the normal-approximation 95% confidence interval for the
+// mean. Valid for the large ensembles nanosim runs (n >> 30).
+func (r *Running) CI95() (lo, hi float64) {
+	h := 1.959963984540054 * r.StdErr()
+	return r.mean - h, r.mean + h
+}
+
+// Merge combines another accumulator into r (parallel reduction).
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	n := float64(r.n + o.n)
+	d := o.mean - r.mean
+	mean := r.mean + d*float64(o.n)/n
+	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/n
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n += o.n
+	r.mean, r.m2 = mean, m2
+}
+
+// Mean returns the arithmetic mean of xs; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Std returns the sample standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	f := pos - float64(lo)
+	return s[lo] + f*(s[hi]-s[lo]), nil
+}
+
+// RMSE returns the root-mean-square difference between a and b, the
+// figure-of-merit for EM-vs-analytic comparisons.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: RMSE length mismatch %d != %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, errors.New("stats: RMSE of empty sample")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a))), nil
+}
+
+// MaxAbsErr returns max |a_i - b_i|.
+func MaxAbsErr(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: MaxAbsErr length mismatch %d != %d", len(a), len(b))
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// Histogram bins samples uniformly over [Min, Max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	under    int
+	over     int
+	total    int
+}
+
+// NewHistogram creates a histogram with n bins over [min, max].
+func NewHistogram(min, max float64, n int) (*Histogram, error) {
+	if !(max > min) || n < 1 {
+		return nil, fmt.Errorf("stats: bad histogram spec [%g,%g] n=%d", min, max, n)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}, nil
+}
+
+// Push adds a sample; out-of-range samples are tallied separately.
+func (h *Histogram) Push(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.under++
+	case x >= h.Max:
+		if x == h.Max {
+			h.Counts[len(h.Counts)-1]++
+			return
+		}
+		h.over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of samples pushed, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns the number of samples below Min or above Max.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// String renders a terminal bar chart, used by the nanobench reports.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	peak := 1
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*50/peak)
+		fmt.Fprintf(&b, "%12.4g..%-12.4g %6d %s\n", h.Min+float64(i)*w, h.Min+float64(i+1)*w, c, bar)
+	}
+	return b.String()
+}
+
+// LinearFit returns slope and intercept of the least-squares line through
+// (x, y); used to measure convergence orders on log-log data.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, fmt.Errorf("stats: LinearFit needs matched samples >= 2, got %d/%d", len(x), len(y))
+	}
+	mx, my := Mean(x), Mean(y)
+	num, den := 0.0, 0.0
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0, 0, errors.New("stats: LinearFit with zero x-variance")
+	}
+	slope = num / den
+	return slope, my - slope*mx, nil
+}

@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Push(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", r.Mean())
+	}
+	// Unbiased variance of the classic dataset is 32/7.
+	if math.Abs(r.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %g, want %g", r.Var(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.StdErr() != 0 {
+		t.Error("empty accumulator should be zero-valued")
+	}
+	r.Push(3)
+	if r.Var() != 0 || r.Mean() != 3 {
+		t.Error("single sample: mean 3, var 0")
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		var all, a, b Running
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64() * 10
+			all.Push(x)
+			if i%2 == 0 {
+				a.Push(x)
+			} else {
+				b.Push(x)
+			}
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-all.Var()) < 1e-9*(1+all.Var()) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	var a, b Running
+	a.Merge(&b) // both empty
+	if a.N() != 0 {
+		t.Error("merge of empties should stay empty")
+	}
+	b.Push(5)
+	a.Merge(&b)
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestCI95Covers(t *testing.T) {
+	// The 95% CI should contain the true mean ~95% of the time.
+	hits := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var r Running
+		for i := 0; i < 400; i++ {
+			r.Push(rng.NormFloat64() + 1.5)
+		}
+		lo, hi := r.CI95()
+		if lo <= 1.5 && 1.5 <= hi {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("CI95 coverage = %g, want ~0.95", rate)
+	}
+}
+
+func TestSliceStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Error("Mean wrong")
+	}
+	if math.Abs(Variance(xs)-5.0/3.0) > 1e-12 {
+		t.Errorf("Variance = %g", Variance(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should be zero")
+	}
+	if math.Abs(Std(xs)-math.Sqrt(5.0/3.0)) > 1e-12 {
+		t.Error("Std wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	q, err := Quantile(xs, 0.5)
+	if err != nil || q != 3 {
+		t.Errorf("median = %g err=%v, want 3", q, err)
+	}
+	q, _ = Quantile(xs, 0)
+	if q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	q, _ = Quantile(xs, 1)
+	if q != 5 {
+		t.Errorf("q1 = %g", q)
+	}
+	q, _ = Quantile(xs, 0.25)
+	if q != 2 {
+		t.Errorf("q.25 = %g, want 2", q)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile should error")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q should error")
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 4}
+	r, err := RMSE(a, b)
+	if err != nil || math.Abs(r-1/math.Sqrt(3)) > 1e-12 {
+		t.Errorf("RMSE = %g err=%v", r, err)
+	}
+	m, err := MaxAbsErr(a, b)
+	if err != nil || m != 1 {
+		t.Errorf("MaxAbsErr = %g err=%v", m, err)
+	}
+	if _, err := RMSE(a, b[:2]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty RMSE should error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1, 2.5, 9.99, 10, -1, 11} {
+		h.Push(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	u, o := h.OutOfRange()
+	if u != 1 || o != 1 {
+		t.Errorf("under/over = %d/%d", u, o)
+	}
+	if h.Counts[0] != 2 { // 0 and 1
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99 and 10 (right edge inclusive)
+		t.Errorf("bin4 = %d, want 2", h.Counts[4])
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("String should render bars")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("degenerate range should error")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	s, c, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2) > 1e-12 || math.Abs(c-1) > 1e-12 {
+		t.Errorf("fit = %gx + %g, want 2x + 1", s, c)
+	}
+	if _, _, err := LinearFit(x[:1], y[:1]); err == nil {
+		t.Error("short fit should error")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("zero x-variance should error")
+	}
+}

@@ -1,0 +1,59 @@
+// Package trace records engine states into wave sets with consistent
+// signal naming: "v(node)" for node voltages and "i(Vname)" for voltage
+// source branch currents. Every transient engine (SWEC, NR, MLA, PWL,
+// EM) shares this recorder so their outputs are directly comparable.
+package trace
+
+import (
+	"nanosim/internal/circuit"
+	"nanosim/internal/stamp"
+	"nanosim/internal/wave"
+)
+
+// Recorder samples MNA state vectors into named series.
+type Recorder struct {
+	sys      *stamp.System
+	set      *wave.Set
+	nodes    []*wave.Series // index = node row
+	branches []*wave.Series // index = vsource order
+	currents bool
+}
+
+// NewRecorder builds a recorder for all node voltages of sys; when
+// currents is true, voltage-source branch currents are recorded too.
+func NewRecorder(sys *stamp.System, currents bool) *Recorder {
+	r := &Recorder{sys: sys, set: wave.NewSet(), currents: currents}
+	ckt := sys.Circuit()
+	r.nodes = make([]*wave.Series, sys.NodeCount())
+	for row := 0; row < sys.NodeCount(); row++ {
+		// Row convention: row = NodeID - 1 (stamp package contract).
+		name := "v(" + ckt.NodeName(circuit.NodeID(row+1)) + ")"
+		s := wave.NewSeries(name, 256)
+		r.nodes[row] = s
+		r.set.Add(s)
+	}
+	if currents {
+		for _, src := range sys.VSources() {
+			s := wave.NewSeries("i("+src.V.Name()+")", 256)
+			r.branches = append(r.branches, s)
+			r.set.Add(s)
+		}
+	}
+	return r
+}
+
+// Sample appends the state at time t. Non-increasing sample times are a
+// programming error in the engine and panic via wave.MustAppend.
+func (r *Recorder) Sample(t float64, x []float64) {
+	for row, s := range r.nodes {
+		s.MustAppend(t, x[row])
+	}
+	if r.currents {
+		for k, src := range r.sys.VSources() {
+			r.branches[k].MustAppend(t, x[src.Branch])
+		}
+	}
+}
+
+// Set returns the recorded wave set.
+func (r *Recorder) Set() *wave.Set { return r.set }

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/stamp"
+)
+
+func sys(t *testing.T) *stamp.System {
+	t.Helper()
+	c := circuit.New("t")
+	c.AddVSource("V1", "in", "0", device.DC(1))
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-12)
+	s, err := stamp.NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRecorderNamesAndSamples(t *testing.T) {
+	s := sys(t)
+	r := NewRecorder(s, false)
+	x := []float64{1.0, 0.5, -1e-3} // v(in), v(out), i(V1)
+	r.Sample(0, x)
+	x2 := []float64{1.0, 0.7, -0.5e-3}
+	r.Sample(1e-9, x2)
+	set := r.Set()
+	vin := set.Get("v(in)")
+	vout := set.Get("v(out)")
+	if vin == nil || vout == nil {
+		t.Fatalf("missing node series: %v", set.Names())
+	}
+	if set.Get("i(V1)") != nil {
+		t.Error("branch current recorded without RecordCurrents")
+	}
+	if vin.Len() != 2 || vout.V[1] != 0.7 {
+		t.Errorf("samples wrong: %v", vout.V)
+	}
+}
+
+func TestRecorderCurrents(t *testing.T) {
+	s := sys(t)
+	r := NewRecorder(s, true)
+	r.Sample(0, []float64{1, 0.5, -1e-3})
+	iv := r.Set().Get("i(V1)")
+	if iv == nil {
+		t.Fatal("missing branch current series")
+	}
+	if iv.V[0] != -1e-3 {
+		t.Errorf("i(V1) = %g", iv.V[0])
+	}
+}
+
+func TestRecorderMonotonicPanic(t *testing.T) {
+	s := sys(t)
+	r := NewRecorder(s, false)
+	r.Sample(1e-9, []float64{0, 0, 0})
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing sample time did not panic")
+		}
+	}()
+	r.Sample(0.5e-9, []float64{0, 0, 0})
+}

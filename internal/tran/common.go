@@ -1,0 +1,226 @@
+// Package tran implements the baseline transient engines the paper
+// compares SWEC against:
+//
+//   - NR: a SPICE3-style simulator — backward Euler with full
+//     Newton-Raphson at every time point, stamping the *differential*
+//     conductance dI/dV. On NDR devices this is the engine that
+//     oscillates or falsely converges (paper §3.1, Fig 8c).
+//   - MLA: the Modified Limiting Algorithm of Bhattacharya & Mazumder
+//     (paper ref [1]): NR augmented with RTD-region voltage limiting and
+//     automatic time-step reduction. Converges, at a large iteration
+//     cost (Table I comparator).
+//   - PWL: an ACES-style engine (paper ref [2]) that replaces each
+//     nonlinear device by a piecewise-linear table and iterates segment
+//     selection instead of Newton steps (Fig 8d comparator).
+//
+// All engines share the MNA substrate, the FLOP accounting and the
+// recorder with the SWEC engine, so Table I and the Figure 8 waveforms
+// compare algorithms rather than plumbing.
+package tran
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nanosim/internal/device"
+	"nanosim/internal/flop"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/stamp"
+	"nanosim/internal/wave"
+)
+
+// Options configures a baseline transient run.
+type Options struct {
+	// TStop is the end time (required).
+	TStop float64
+	// TStart is the start time (default 0).
+	TStart float64
+	// HInit is the first step (default (TStop-TStart)/1000).
+	HInit float64
+	// HMin is the smallest allowed step (default HInit*1e-6).
+	HMin float64
+	// HMax is the largest allowed step (default (TStop-TStart)/50).
+	HMax float64
+	// Gmin is the diagonal leak conductance (default 1e-12 S).
+	Gmin float64
+	// MaxNRIter bounds Newton iterations per time point (default 50).
+	MaxNRIter int
+	// MinNRIter is the minimum iteration count before convergence may be
+	// declared (default 2, the SPICE behaviour: the first solve's result
+	// must be *verified* by a second).
+	MinNRIter int
+	// RelTol/AbsTol define Newton convergence (defaults 1e-3 / 1e-6 V).
+	RelTol, AbsTol float64
+	// MaxSteps bounds accepted steps (default 10_000_000).
+	MaxSteps int
+	// Solver picks the linear backend (default linsolve.Auto).
+	Solver linsolve.Factory
+	// FC receives FLOP accounting (may be nil).
+	FC *flop.Counter
+	// IC maps node names to initial voltages.
+	IC map[string]float64
+	// RecordCurrents adds voltage-source branch currents to the output.
+	RecordCurrents bool
+
+	// MLA tuning: LimitFraction is the largest RTD branch-voltage update
+	// per Newton iteration, as a fraction of the device's peak-to-valley
+	// span (default 0.5); only the MLA engine uses it.
+	LimitFraction float64
+
+	// PWL tuning: Segments is the table resolution for the ACES-style
+	// engine (default 64); SegRange is the tabulated voltage span
+	// (default ±2.5 V).
+	Segments int
+	SegRange float64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.TStop <= o.TStart {
+		return o, fmt.Errorf("tran: TStop %g must exceed TStart %g", o.TStop, o.TStart)
+	}
+	span := o.TStop - o.TStart
+	if o.HInit <= 0 {
+		o.HInit = span / 1000
+	}
+	if o.HMax <= 0 {
+		o.HMax = span / 50
+	}
+	if o.HMin <= 0 {
+		o.HMin = o.HInit * 1e-6
+	}
+	if o.HMin > o.HInit {
+		o.HMin = o.HInit
+	}
+	if o.Gmin <= 0 {
+		o.Gmin = 1e-12
+	}
+	if o.MaxNRIter <= 0 {
+		o.MaxNRIter = 50
+	}
+	if o.MinNRIter <= 0 {
+		o.MinNRIter = 2
+	}
+	if o.MinNRIter > o.MaxNRIter {
+		o.MinNRIter = o.MaxNRIter
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-3
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-6
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 10_000_000
+	}
+	if o.Solver == nil {
+		o.Solver = linsolve.Auto
+	}
+	if o.LimitFraction <= 0 {
+		o.LimitFraction = 0.5
+	}
+	if o.Segments <= 0 {
+		o.Segments = 64
+	}
+	if o.SegRange <= 0 {
+		o.SegRange = 2.5
+	}
+	return o, nil
+}
+
+// Stats reports baseline-engine work.
+type Stats struct {
+	// Steps is the number of accepted time steps.
+	Steps int
+	// Rejected counts halved steps (non-convergence retries).
+	Rejected int
+	// NRIters is the total Newton (or segment) iteration count.
+	NRIters int
+	// NonConverged counts time points where the engine gave up and
+	// accepted an unconverged solution (the SPICE3 failure signature).
+	NonConverged int
+	// DeviceEvals counts nonlinear model evaluations.
+	DeviceEvals int64
+	// Solves counts linear factor+solve events.
+	Solves int64
+	// Flops is the attributable flop snapshot.
+	Flops flop.Snapshot
+}
+
+// Result is a baseline transient outcome.
+type Result struct {
+	// Waves holds the recorded series.
+	Waves *wave.Set
+	// Stats reports the work and failure counters.
+	Stats Stats
+	// X is the final state.
+	X []float64
+}
+
+// chargeCost books one device evaluation.
+func chargeCost(fc *flop.Counter, c device.Cost, stats *Stats) {
+	stats.DeviceEvals++
+	if fc == nil {
+		return
+	}
+	fc.Add(c.Adds)
+	fc.Mul(c.Muls)
+	fc.Div(c.Divs)
+	fc.Func(c.Funcs)
+	fc.DeviceEval()
+}
+
+// breakTimes gathers waveform corners for a system within (t0, t1).
+func breakTimes(sys *stamp.System, t0, t1 float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	add := func(ts []float64) {
+		for _, t := range ts {
+			if t > t0 && t < t1 && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	for _, s := range sys.VSources() {
+		add(device.BreakTimes(s.V.W, t1))
+	}
+	for _, s := range sys.ISources() {
+		add(device.BreakTimes(s.I.W, t1))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// nextBreak returns the first corner strictly after t, or t1.
+func nextBreak(breaks []float64, t, t1 float64) float64 {
+	i := sort.SearchFloat64s(breaks, t)
+	for i < len(breaks) && breaks[i] <= t+1e-18 {
+		i++
+	}
+	if i < len(breaks) {
+		return breaks[i]
+	}
+	return t1
+}
+
+// maxUpdate returns the weighted Newton update norm.
+func maxUpdate(xNew, xOld []float64, abstol, reltol float64) float64 {
+	worst := 0.0
+	for i := range xNew {
+		den := abstol + reltol*math.Max(math.Abs(xNew[i]), math.Abs(xOld[i]))
+		if r := math.Abs(xNew[i]-xOld[i]) / den; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package tran
+
+import (
+	"math"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/stamp"
+)
+
+// MLA runs the Modified Limiting Algorithm of Bhattacharya & Mazumder
+// (paper ref [1]): the SPICE Newton loop augmented with two RTD-specific
+// aids —
+//
+//  1. per-iteration voltage limiting on every nonlinear two-terminal
+//     branch, clamping the Newton update to a fraction of the device's
+//     peak-to-valley span so an iterate cannot leap across the NDR
+//     region in one step; and
+//  2. automatic time-step reduction when the Newton iteration is
+//     detected oscillating between two solution branches.
+//
+// The result converges where plain NR cycles, at the cost of many more
+// iterations per time point — the denominator of the paper's Table I
+// FLOP ratio.
+func MLA(ckt *circuit.Circuit, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := stamp.NewSystem(ckt)
+	if err != nil {
+		return nil, err
+	}
+	e, err := newNREngine(sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	e.limiter = newRTDLimiter(sys, opt.LimitFraction)
+	return e.run()
+}
+
+// newRTDLimiter builds the per-iteration clamp. For each nonlinear
+// two-terminal device it derives the limiting window from the device's
+// NDR span (peak-to-valley voltage); devices without NDR get a generous
+// 1 V window. The whole update vector is scaled by the worst violation,
+// preserving the Newton direction (Bhattacharya-Mazumder's "voltage
+// limiting").
+func newRTDLimiter(sys *stamp.System, fraction float64) func(prev, raw []float64) []float64 {
+	type window struct {
+		ref  stamp.TwoTermRef
+		span float64
+	}
+	var wins []window
+	for _, tt := range sys.TwoTerms() {
+		span := 1.0
+		if vp, _, vv, _, ok := devicePeakValley(tt); ok {
+			span = vv - vp
+		}
+		wins = append(wins, window{ref: tt, span: span})
+	}
+	return func(prev, raw []float64) []float64 {
+		scale := 1.0
+		for _, w := range wins {
+			vPrev := branchOf(sys, prev, w.ref)
+			vRaw := branchOf(sys, raw, w.ref)
+			dv := math.Abs(vRaw - vPrev)
+			allowed := fraction * w.span
+			if dv > allowed && dv > 0 {
+				if s := allowed / dv; s < scale {
+					scale = s
+				}
+			}
+		}
+		if scale >= 1 {
+			return raw
+		}
+		out := make([]float64, len(raw))
+		for i := range raw {
+			out[i] = prev[i] + scale*(raw[i]-prev[i])
+		}
+		return out
+	}
+}
+
+// devicePeakValley probes the model for an NDR window on (0, 1.5] and
+// falls back to (0, 6] for high-voltage parameter sets.
+func devicePeakValley(tt stamp.TwoTermRef) (vp, ip, vv, iv float64, ok bool) {
+	if vp, ip, vv, iv, ok = peakValleyOf(tt); ok {
+		return
+	}
+	return 0, 0, 0, 0, false
+}
+
+// branchOf reads the device branch voltage from a state vector.
+func branchOf(sys *stamp.System, x []float64, ref stamp.TwoTermRef) float64 {
+	return sys.Branch(x, ref.Elem.A, ref.Elem.B)
+}

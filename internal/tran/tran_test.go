@@ -1,0 +1,249 @@
+package tran
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+	"nanosim/internal/flop"
+)
+
+func rcCircuit(w device.Waveform) *circuit.Circuit {
+	c := circuit.New("rc")
+	c.AddVSource("V1", "in", "0", w)
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-9)
+	return c
+}
+
+func TestNRLinearRC(t *testing.T) {
+	res, err := NR(rcCircuit(device.DC(1)), Options{TStop: 5e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Waves.Get("v(out)")
+	tau := 1e-6
+	for _, ts := range []float64{1e-6, 2e-6, 4e-6} {
+		want := 1 - math.Exp(-ts/tau)
+		if got := out.At(ts); math.Abs(got-want) > 0.03 {
+			t.Errorf("v(out) at %g = %g, want %g", ts, got, want)
+		}
+	}
+	if res.Stats.NonConverged != 0 {
+		t.Errorf("linear circuit should always converge, got %d failures", res.Stats.NonConverged)
+	}
+	// Linear circuit: one Newton iteration per accepted point would be
+	// ideal; two (solve + convergence check) is the realistic bound.
+	if ratio := float64(res.Stats.NRIters) / float64(res.Stats.Steps); ratio > 3 {
+		t.Errorf("NR iterations per step = %g on a linear circuit", ratio)
+	}
+}
+
+func TestNRDiodeClamp(t *testing.T) {
+	c := circuit.New("diode")
+	c.AddVSource("V1", "in", "0", device.DC(5))
+	c.AddResistor("R1", "in", "d", 10e3)
+	c.AddDevice("D1", "d", "0", device.NewDiode())
+	c.AddCapacitor("CD", "d", "0", 1e-12)
+	res, err := NR(c, Options{TStop: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := res.Waves.Get("v(d)").Final()
+	// ~0.43mA through the diode: forward drop in the 0.6-0.9 V band.
+	if vd < 0.5 || vd > 1.0 {
+		t.Errorf("diode clamp voltage = %g, want ~0.7", vd)
+	}
+	if res.Stats.NonConverged != 0 {
+		t.Error("diode circuit should converge with exponent capping")
+	}
+}
+
+func TestNRFETInverter(t *testing.T) {
+	m, _ := device.NewMOSFET(device.NMOS, 5e-3, 1, 1, 0.5)
+	mk := func(vin float64) *circuit.Circuit {
+		c := circuit.New("inv")
+		c.AddVSource("VDD", "vdd", "0", device.DC(2))
+		c.AddVSource("VIN", "in", "0", device.DC(vin))
+		c.AddResistor("RD", "vdd", "out", 1e3)
+		c.AddFET("M1", "out", "in", "0", m)
+		c.AddCapacitor("CL", "out", "0", 1e-13)
+		return c
+	}
+	hi, err := NR(mk(0), Options{TStop: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := hi.Waves.Get("v(out)").Final(); math.Abs(v-2) > 0.01 {
+		t.Errorf("off transistor: out = %g, want 2", v)
+	}
+	lo, err := NR(mk(2), Options{TStop: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := lo.Waves.Get("v(out)").Final(); v > 0.5 {
+		t.Errorf("on transistor: out = %g, want < 0.5", v)
+	}
+}
+
+// ndrDivider biases an RTD divider so the load line crosses the NDR
+// region with three intersections (bistable): the NR stress case.
+func ndrDivider(w device.Waveform) *circuit.Circuit {
+	c := circuit.New("ndr")
+	c.AddVSource("V1", "in", "0", w)
+	c.AddResistor("R1", "in", "d", 600)
+	c.AddDevice("N1", "d", "0", device.NewRTD())
+	c.AddCapacitor("CD", "d", "0", 100e-15)
+	return c
+}
+
+// TestNRStrugglesOnNDR: stepping the bistable divider across its
+// switching threshold must cost plain NR visible work (step rejections,
+// oscillation-driven halvings or outright non-convergence).
+func TestNRStrugglesOnNDR(t *testing.T) {
+	p := device.Pulse{V1: 0.4, V2: 1.1, Delay: 50e-9, Rise: 1e-9, Width: 200e-9}
+	res, err := NR(ndrDivider(p), Options{TStop: 300e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trouble := res.Stats.Rejected + res.Stats.NonConverged
+	iterRatio := float64(res.Stats.NRIters) / float64(res.Stats.Steps)
+	if trouble == 0 && iterRatio < 2.5 {
+		t.Errorf("expected NR distress on NDR switching: rejected=%d nonconv=%d iters/step=%.2f",
+			res.Stats.Rejected, res.Stats.NonConverged, iterRatio)
+	}
+}
+
+// TestMLAConvergesOnNDR: the limited algorithm must cross the same
+// threshold without giving up.
+func TestMLAConvergesOnNDR(t *testing.T) {
+	p := device.Pulse{V1: 0.4, V2: 1.1, Delay: 50e-9, Rise: 1e-9, Width: 200e-9}
+	res, err := MLA(ndrDivider(p), Options{TStop: 300e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NonConverged != 0 {
+		t.Errorf("MLA failed to converge at %d points", res.Stats.NonConverged)
+	}
+	// After the pulse settles high, the device must be past its peak.
+	vd := res.Waves.Get("v(d)")
+	if v := vd.At(240e-9); v < 0.3 {
+		t.Errorf("post-switch vd = %g, expected high-branch solution", v)
+	}
+}
+
+// TestEnginesAgreeOnRTDRamp: SWEC, MLA and PWL must agree on a slow NDR
+// traversal (the Fig 7(a) scenario).
+func TestEnginesAgreeOnRTDRamp(t *testing.T) {
+	ramp, _ := device.NewPWL([]float64{0, 1e-5}, []float64{0, 1.2})
+	mk := func() *circuit.Circuit {
+		c := circuit.New("ramp")
+		c.AddVSource("V1", "in", "0", ramp)
+		c.AddResistor("R1", "in", "d", 300)
+		c.AddDevice("N1", "d", "0", device.NewRTD())
+		c.AddCapacitor("CD", "d", "0", 10e-15)
+		return c
+	}
+	sw, err := core.Transient(mk(), core.Options{TStop: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := MLA(mk(), Options{TStop: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := PWL(mk(), Options{TStop: 1e-5, Segments: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vS := sw.Waves.Get("v(d)").Final()
+	vM := ml.Waves.Get("v(d)").Final()
+	vP := pw.Waves.Get("v(d)").Final()
+	if math.Abs(vS-vM) > 0.05 {
+		t.Errorf("SWEC %g vs MLA %g", vS, vM)
+	}
+	if math.Abs(vS-vP) > 0.08 {
+		t.Errorf("SWEC %g vs PWL %g (128 segments)", vS, vP)
+	}
+}
+
+// TestSWECCheaperThanMLA is the Table I claim in transient form: same
+// circuit, same window, strictly fewer FLOPs for SWEC.
+func TestSWECCheaperThanMLA(t *testing.T) {
+	ramp, _ := device.NewPWL([]float64{0, 1e-5}, []float64{0, 1.2})
+	mk := func() *circuit.Circuit {
+		c := circuit.New("ramp")
+		c.AddVSource("V1", "in", "0", ramp)
+		c.AddResistor("R1", "in", "d", 300)
+		c.AddDevice("N1", "d", "0", device.NewRTD())
+		c.AddCapacitor("CD", "d", "0", 10e-15)
+		return c
+	}
+	var fcS, fcM flop.Counter
+	sw, err := core.Transient(mk(), core.Options{TStop: 1e-5, FC: &fcS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := MLA(mk(), Options{TStop: 1e-5, FC: &fcM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPointS := float64(sw.Stats.Flops.Total()) / float64(sw.Stats.Steps)
+	perPointM := float64(ml.Stats.Flops.Total()) / float64(ml.Stats.Steps)
+	if perPointS >= perPointM {
+		t.Errorf("SWEC %.1f flops/point not below MLA %.1f", perPointS, perPointM)
+	}
+}
+
+func TestPWLSegmentsTrackDevice(t *testing.T) {
+	ramp, _ := device.NewPWL([]float64{0, 1e-6}, []float64{0, 1.0})
+	c := circuit.New("pwl")
+	c.AddVSource("V1", "in", "0", ramp)
+	c.AddResistor("R1", "in", "d", 300)
+	c.AddDevice("N1", "d", "0", device.NewNanowire())
+	c.AddCapacitor("CD", "d", "0", 1e-15)
+	res, err := PWL(c, Options{TStop: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NonConverged != 0 {
+		t.Errorf("PWL failed on a monotone device: %d", res.Stats.NonConverged)
+	}
+	if res.Waves.Get("v(d)").Final() <= 0 {
+		t.Error("no conduction recorded")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	c := rcCircuit(device.DC(1))
+	if _, err := NR(c, Options{}); err == nil {
+		t.Error("TStop=0 accepted")
+	}
+	if _, err := MLA(c, Options{TStop: -1}); err == nil {
+		t.Error("negative TStop accepted")
+	}
+	if _, err := PWL(c, Options{}); err == nil {
+		t.Error("PWL TStop=0 accepted")
+	}
+	bad := circuit.New("bad")
+	bad.AddResistor("R1", "a", "b", 1)
+	if _, err := NR(bad, Options{TStop: 1}); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	var fc flop.Counter
+	res, err := NR(rcCircuit(device.DC(1)), Options{TStop: 1e-6, FC: &fc, RecordCurrents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Steps == 0 || res.Stats.Solves == 0 || res.Stats.Flops.Total() == 0 {
+		t.Errorf("stats empty: %+v", res.Stats)
+	}
+	if res.Waves.Get("i(V1)") == nil {
+		t.Error("RecordCurrents did not record branch current")
+	}
+}

@@ -1,0 +1,189 @@
+// Package units parses and formats engineering quantities with SPICE-style
+// SI suffixes. The nanotechnology circuits simulated by nanosim mix scales
+// from femtoamps of RTD valley current to megaohm loads, so every value
+// that crosses a text boundary (netlists, reports, CLI flags) goes through
+// this package.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// suffix describes one SPICE scale suffix. Longer suffixes must be matched
+// before their prefixes ("meg" before "m", "mil" before "m").
+type suffix struct {
+	text  string
+	scale float64
+}
+
+// spiceSuffixes is ordered so that the longest match wins.
+var spiceSuffixes = []suffix{
+	{"meg", 1e6},
+	{"mil", 25.4e-6},
+	{"t", 1e12},
+	{"g", 1e9},
+	{"k", 1e3},
+	{"m", 1e-3},
+	{"u", 1e-6},
+	{"n", 1e-9},
+	{"p", 1e-12},
+	{"f", 1e-15},
+	{"a", 1e-18},
+}
+
+// Parse converts a SPICE-style number such as "1k", "2.5u", "1meg", "3e-9"
+// or "0.1f" into a float64. Suffix matching is case-insensitive and any
+// trailing unit letters after the suffix are ignored, mirroring SPICE
+// ("10pF" == "10p"). An empty string is an error.
+func Parse(s string) (float64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	if t == "" {
+		return 0, fmt.Errorf("units: empty value")
+	}
+	// Split the leading numeric part from the trailing alphabetic part.
+	end := len(t)
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= '0' && c <= '9' || c == '.' || c == '+' || c == '-' {
+			continue
+		}
+		// 'e' may introduce an exponent only when followed by a digit or sign.
+		if c == 'e' && i+1 < len(t) {
+			n := t[i+1]
+			if n >= '0' && n <= '9' || n == '+' || n == '-' {
+				continue
+			}
+		}
+		end = i
+		break
+	}
+	numPart, sufPart := t[:end], t[end:]
+	if numPart == "" {
+		return 0, fmt.Errorf("units: %q has no numeric part", s)
+	}
+	v, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parsing %q: %w", s, err)
+	}
+	if sufPart == "" {
+		return v, nil
+	}
+	for _, sf := range spiceSuffixes {
+		if strings.HasPrefix(sufPart, sf.text) {
+			return v * sf.scale, nil
+		}
+	}
+	// Unknown alphabetic tail is treated as a bare unit ("10V" -> 10),
+	// matching SPICE's forgiving grammar.
+	if isAlpha(sufPart) {
+		return v, nil
+	}
+	return 0, fmt.Errorf("units: %q has malformed suffix %q", s, sufPart)
+}
+
+// MustParse is Parse for trusted compile-time literals in tests and
+// examples; it panics on malformed input.
+func MustParse(s string) float64 {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func isAlpha(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// engSuffixes maps exponent/3 to the display suffix used by Format.
+var engSuffixes = map[int]string{
+	-6: "a", -5: "f", -4: "p", -3: "n", -2: "u", -1: "m",
+	0: "", 1: "k", 2: "meg", 3: "g", 4: "t",
+}
+
+// Format renders v in engineering notation with a SPICE suffix and the
+// given number of significant digits, e.g. Format(2.5e-6, 3) == "2.5u".
+// Values outside the suffix table fall back to scientific notation.
+func Format(v float64, digits int) string {
+	if digits < 1 {
+		digits = 3
+	}
+	if v == 0 {
+		return "0"
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	exp := int(math.Floor(math.Log10(math.Abs(v))))
+	eng := exp
+	if eng >= 0 {
+		eng = (eng / 3) * 3
+	} else {
+		eng = ((eng - 2) / 3) * 3
+	}
+	sfx, ok := engSuffixes[eng/3]
+	if !ok {
+		return strconv.FormatFloat(v, 'e', digits-1, 64)
+	}
+	m := v / math.Pow(10, float64(eng))
+	// The mantissa lies in [1, 1000); give it at least as many
+	// significant digits as integer digits so 'g' never switches to
+	// scientific notation ("577m", not "5.8e+02m").
+	switch a := math.Abs(m); {
+	case a >= 100 && digits < 3:
+		digits = 3
+	case a >= 10 && digits < 2:
+		digits = 2
+	}
+	s := strconv.FormatFloat(m, 'g', digits, 64)
+	// Rounding may push the mantissa to +-1000 ("999.99" at 3 digits);
+	// renormalize into the next suffix band.
+	if f, _ := strconv.ParseFloat(s, 64); math.Abs(f) >= 1000 {
+		eng += 3
+		sfx, ok = engSuffixes[eng/3]
+		if !ok {
+			return strconv.FormatFloat(v, 'e', digits-1, 64)
+		}
+		m = f / 1000
+		s = strconv.FormatFloat(m, 'g', digits, 64)
+	}
+	return s + sfx
+}
+
+// FormatSI renders v with the suffix and an explicit unit symbol,
+// e.g. FormatSI(1e-12, "F") == "1pF".
+func FormatSI(v float64, unit string) string {
+	return Format(v, 4) + unit
+}
+
+// Physical constants used across device models. Values follow CODATA;
+// the paper's RTD equations need q/kT at the device temperature.
+const (
+	// Q is the elementary charge in coulombs.
+	Q = 1.602176634e-19
+	// KB is the Boltzmann constant in J/K.
+	KB = 1.380649e-23
+	// G0 is the conductance quantum 2e^2/h in siemens, the step height of
+	// carbon-nanotube conductance staircases (paper Fig 1b).
+	G0 = 7.748091729e-5
+	// RoomTemp is the default simulation temperature in kelvin.
+	RoomTemp = 300.0
+)
+
+// Thermal returns the thermal voltage kT/q in volts at temperature tK.
+// At 300 K it is about 25.85 mV.
+func Thermal(tK float64) float64 {
+	if tK <= 0 {
+		tK = RoomTemp
+	}
+	return KB * tK / Q
+}

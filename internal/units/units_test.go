@@ -1,0 +1,144 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+func TestParseSuffixes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1k", 1e3},
+		{"1K", 1e3},
+		{"2.5u", 2.5e-6},
+		{"3n", 3e-9},
+		{"1meg", 1e6},
+		{"1MEG", 1e6},
+		{"0.1f", 0.1e-15},
+		{"10p", 10e-12},
+		{"7m", 7e-3},
+		{"1g", 1e9},
+		{"2t", 2e12},
+		{"4a", 4e-18},
+		{"1mil", 25.4e-6},
+		{"5", 5},
+		{"-3.5k", -3500},
+		{"1e-9", 1e-9},
+		{"1.5e3", 1500},
+		{"10pF", 10e-12},
+		{"4.7kOhm", 4700},
+		{"10V", 10},
+		{"+2u", 2e-6},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if !almost(got, c.want, 1e-12) {
+			t.Errorf("Parse(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "  ", "k", "abc", "1..2", "--3", "1e+"} {
+		if v, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %g, want error", in, v)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("notanumber")
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1e3, "1k"},
+		{2.5e-6, "2.5u"},
+		{1e6, "1meg"},
+		{3e-9, "3n"},
+		{-4.7e3, "-4.7k"},
+		{1.5, "1.5"},
+		{999, "999"},
+		{1e-15, "1f"},
+	}
+	for _, c := range cases {
+		if got := Format(c.v, 3); got != c.want {
+			t.Errorf("Format(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	if got := FormatSI(1e-12, "F"); got != "1pF" {
+		t.Errorf("FormatSI = %q, want 1pF", got)
+	}
+}
+
+// TestFormatParseRoundTrip is the core property: formatting then parsing
+// recovers the value to display precision across the suffix range.
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(mant float64, exp int) bool {
+		m := math.Mod(math.Abs(mant), 10)
+		if m == 0 {
+			m = 1
+		}
+		e := exp%30 - 15
+		v := m * math.Pow(10, float64(e))
+		s := Format(v, 9)
+		got, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		return almost(got, v, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThermal(t *testing.T) {
+	vt := Thermal(300)
+	if !almost(vt, 0.025852, 1e-3) {
+		t.Errorf("Thermal(300) = %g, want ~25.85mV", vt)
+	}
+	if Thermal(0) != Thermal(RoomTemp) {
+		t.Error("Thermal(0) should default to room temperature")
+	}
+	if Thermal(-5) != Thermal(RoomTemp) {
+		t.Error("Thermal(negative) should default to room temperature")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	// G0 = 2 q^2 / h must be self-consistent with Q.
+	const planck = 6.62607015e-34
+	want := 2 * Q * Q / planck
+	if !almost(G0, want, 1e-9) {
+		t.Errorf("G0 = %g, want %g", G0, want)
+	}
+}

@@ -1,0 +1,96 @@
+package wave
+
+import (
+	"fmt"
+	"math"
+)
+
+// Measurement utilities beyond the Series basics: propagation delay,
+// overshoot and period extraction, the numbers a datasheet (or the
+// paper's timing discussion) quotes.
+
+// Delay returns the time from the reference series crossing refLevel to
+// the target series crossing tgtLevel, both in the given direction
+// (+1 rising, -1 falling, 0 either), measured at the first such pair
+// with the target crossing after the reference crossing.
+func Delay(ref, tgt *Series, refLevel, tgtLevel float64, refDir, tgtDir int) (float64, error) {
+	rc := ref.Crossings(refLevel, refDir)
+	if len(rc) == 0 {
+		return 0, fmt.Errorf("wave: %q never crosses %g", ref.Name, refLevel)
+	}
+	tc := tgt.Crossings(tgtLevel, tgtDir)
+	for _, t := range tc {
+		if t >= rc[0] {
+			return t - rc[0], nil
+		}
+	}
+	return 0, fmt.Errorf("wave: %q never crosses %g after %q does", tgt.Name, tgtLevel, ref.Name)
+}
+
+// Overshoot returns the fraction by which the series exceeds its settled
+// final value at its peak, e.g. 0.1 for 10% overshoot. Series that never
+// exceed the final value report 0.
+func (s *Series) Overshoot() float64 {
+	if s.Len() < 2 {
+		return 0
+	}
+	final := s.SettleValue(0.1)
+	_, _, _, vMax := s.MinMax()
+	if final == 0 {
+		if vMax > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	over := (vMax - final) / math.Abs(final)
+	if over < 0 {
+		return 0
+	}
+	return over
+}
+
+// Period estimates the oscillation period from successive rising
+// crossings of the given level, averaging all available cycles.
+func (s *Series) Period(level float64) (float64, error) {
+	cross := s.Crossings(level, +1)
+	if len(cross) < 2 {
+		return 0, fmt.Errorf("wave: %q has %d rising crossings of %g, need >= 2", s.Name, len(cross), level)
+	}
+	return (cross[len(cross)-1] - cross[0]) / float64(len(cross)-1), nil
+}
+
+// RMS returns the root-mean-square value of the series over its domain,
+// computed with trapezoidal weighting on the (possibly non-uniform)
+// sample grid.
+func (s *Series) RMS() float64 {
+	n := s.Len()
+	if n < 2 {
+		if n == 1 {
+			return math.Abs(s.V[0])
+		}
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i < n; i++ {
+		dt := s.T[i] - s.T[i-1]
+		sum += 0.5 * dt * (s.V[i]*s.V[i] + s.V[i-1]*s.V[i-1])
+	}
+	return math.Sqrt(sum / (s.T[n-1] - s.T[0]))
+}
+
+// Mean returns the time-weighted average of the series.
+func (s *Series) Mean() float64 {
+	n := s.Len()
+	if n < 2 {
+		if n == 1 {
+			return s.V[0]
+		}
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i < n; i++ {
+		dt := s.T[i] - s.T[i-1]
+		sum += 0.5 * dt * (s.V[i] + s.V[i-1])
+	}
+	return sum / (s.T[n-1] - s.T[0])
+}

@@ -1,0 +1,116 @@
+package wave
+
+import (
+	"math"
+	"testing"
+)
+
+func sine(name string, f float64, n int, tEnd float64) *Series {
+	s := NewSeries(name, n)
+	for i := 0; i < n; i++ {
+		t := tEnd * float64(i) / float64(n-1)
+		s.MustAppend(t, math.Sin(2*math.Pi*f*t))
+	}
+	return s
+}
+
+func TestDelay(t *testing.T) {
+	// Target is the reference shifted by 0.2.
+	ref := NewSeries("ref", 0)
+	tgt := NewSeries("tgt", 0)
+	for i := 0; i <= 100; i++ {
+		tt := float64(i) / 100
+		ref.MustAppend(tt, step(tt, 0.3))
+		tgt.MustAppend(tt, step(tt, 0.5))
+	}
+	d, err := Delay(ref, tgt, 0.5, 0.5, +1, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.2) > 0.02 {
+		t.Errorf("Delay = %g, want 0.2", d)
+	}
+	// Missing crossings error cleanly.
+	flat := NewSeries("flat", 0)
+	flat.MustAppend(0, 0)
+	flat.MustAppend(1, 0)
+	if _, err := Delay(flat, tgt, 0.5, 0.5, +1, +1); err == nil {
+		t.Error("flat reference accepted")
+	}
+	if _, err := Delay(ref, flat, 0.5, 0.5, +1, +1); err == nil {
+		t.Error("flat target accepted")
+	}
+}
+
+func step(t, at float64) float64 {
+	if t < at {
+		return 0
+	}
+	return 1
+}
+
+func TestOvershoot(t *testing.T) {
+	// Damped response peaking at 1.3 then settling at 1.0.
+	s := NewSeries("o", 0)
+	for i := 0; i <= 200; i++ {
+		tt := float64(i) / 20
+		s.MustAppend(tt, 1+0.3*math.Exp(-tt)*math.Cos(3*tt))
+	}
+	over := s.Overshoot()
+	if over < 0.15 || over > 0.35 {
+		t.Errorf("Overshoot = %g, want ~0.3", over)
+	}
+	// Monotone series: no overshoot.
+	m := NewSeries("m", 0)
+	for i := 0; i <= 50; i++ {
+		tt := float64(i) / 50
+		m.MustAppend(tt, tt)
+	}
+	if m.Overshoot() > 0.05 {
+		t.Errorf("monotone overshoot = %g", m.Overshoot())
+	}
+	if NewSeries("e", 0).Overshoot() != 0 {
+		t.Error("empty overshoot should be 0")
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	s := sine("s", 5, 2001, 1) // 5 Hz over 1 s
+	p, err := s.Period(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.2) > 0.002 {
+		t.Errorf("Period = %g, want 0.2", p)
+	}
+	flat := NewSeries("f", 0)
+	flat.MustAppend(0, 1)
+	flat.MustAppend(1, 1)
+	if _, err := flat.Period(0); err == nil {
+		t.Error("flat series period accepted")
+	}
+}
+
+func TestRMSAndMean(t *testing.T) {
+	s := sine("s", 10, 4001, 1)
+	if r := s.RMS(); math.Abs(r-1/math.Sqrt2) > 0.01 {
+		t.Errorf("sine RMS = %g, want %g", r, 1/math.Sqrt2)
+	}
+	if m := s.Mean(); math.Abs(m) > 0.01 {
+		t.Errorf("sine mean = %g, want 0", m)
+	}
+	dc := NewSeries("dc", 0)
+	dc.MustAppend(0, 2)
+	dc.MustAppend(1, 2)
+	if dc.RMS() != 2 || dc.Mean() != 2 {
+		t.Error("DC RMS/mean wrong")
+	}
+	one := NewSeries("one", 0)
+	one.MustAppend(0, -3)
+	if one.RMS() != 3 || one.Mean() != -3 {
+		t.Error("single-sample RMS/mean wrong")
+	}
+	if NewSeries("e", 0).RMS() != 0 || NewSeries("e2", 0).Mean() != 0 {
+		t.Error("empty RMS/mean wrong")
+	}
+}

@@ -1,0 +1,147 @@
+package wave
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"nanosim/internal/units"
+)
+
+// WriteCSV emits the set as CSV with a shared, merged time axis; series
+// are linearly interpolated onto it. This is the machine-readable output
+// of cmd/nanosim.
+func (st *Set) WriteCSV(w io.Writer) error {
+	if st.Len() == 0 {
+		return fmt.Errorf("wave: empty set")
+	}
+	// Merge all time points.
+	seen := make(map[float64]bool)
+	var ts []float64
+	for _, name := range st.order {
+		for _, t := range st.series[name].T {
+			if !seen[t] {
+				seen[t] = true
+				ts = append(ts, t)
+			}
+		}
+	}
+	sortFloats(ts)
+	if _, err := fmt.Fprintf(w, "t,%s\n", strings.Join(st.order, ",")); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		row := make([]string, 0, st.Len()+1)
+		row = append(row, fmt.Sprintf("%.9g", t))
+		for _, name := range st.order {
+			row = append(row, fmt.Sprintf("%.9g", st.series[name].At(t)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortFloats(x []float64) {
+	// insertion-free path: use sort from stdlib
+	// (kept in a helper so render.go reads linearly)
+	sortSlice(x)
+}
+
+// Plot renders an ASCII chart of the given series (all when names empty)
+// with the given terminal dimensions. It is the human-readable output of
+// the examples and nanobench, standing in for the paper's figures.
+func (st *Set) Plot(w io.Writer, width, height int, names ...string) error {
+	if len(names) == 0 {
+		names = st.order
+	}
+	var list []*Series
+	for _, n := range names {
+		s := st.Get(n)
+		if s == nil {
+			return fmt.Errorf("wave: no series %q", n)
+		}
+		if s.Len() > 0 {
+			list = append(list, s)
+		}
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("wave: nothing to plot")
+	}
+	return PlotSeries(w, width, height, list...)
+}
+
+// markers distinguish overlaid series in PlotSeries.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// PlotSeries renders one ASCII chart overlaying the given series.
+func PlotSeries(w io.Writer, width, height int, list ...*Series) error {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("wave: nothing to plot")
+	}
+	tMin, tMax := math.Inf(1), math.Inf(-1)
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for _, s := range list {
+		if s.Len() == 0 {
+			continue
+		}
+		tMin = math.Min(tMin, s.T[0])
+		tMax = math.Max(tMax, s.T[s.Len()-1])
+		_, lo, _, hi := s.MinMax()
+		vMin = math.Min(vMin, lo)
+		vMax = math.Max(vMax, hi)
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range list {
+		mk := markers[si%len(markers)]
+		for c := 0; c < width; c++ {
+			t := tMin + (tMax-tMin)*float64(c)/float64(width-1)
+			v := s.At(t)
+			r := int(math.Round((vMax - v) / (vMax - vMin) * float64(height-1)))
+			if r >= 0 && r < height {
+				grid[r][c] = mk
+			}
+		}
+	}
+	// Legend.
+	var legend []string
+	for si, s := range list {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "  [%s]\n", strings.Join(legend, "  ")); err != nil {
+		return err
+	}
+	for r := 0; r < height; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = units.Format(vMax, 3)
+		case height - 1:
+			label = units.Format(vMin, 3)
+		case (height - 1) / 2:
+			label = units.Format((vMax+vMin)/2, 3)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%10s  %-*s%s\n", "", width-len(units.Format(tMax, 3)), units.Format(tMin, 3), units.Format(tMax, 3))
+	return err
+}

@@ -1,0 +1,7 @@
+package wave
+
+import "sort"
+
+// sortSlice sorts floats ascending; split out so render.go stays focused
+// on formatting.
+func sortSlice(x []float64) { sort.Float64s(x) }

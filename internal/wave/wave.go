@@ -1,0 +1,220 @@
+// Package wave represents simulation outputs as named time series and
+// provides the interpolation, measurement, export and terminal-plotting
+// utilities every nanosim experiment reports through. A Series is a
+// (t, v) sample sequence with strictly increasing time; a Set bundles the
+// signals of one simulation run.
+package wave
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is one named sampled signal. T must be strictly increasing.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// NewSeries allocates an empty named series with capacity hint n.
+func NewSeries(name string, n int) *Series {
+	return &Series{Name: name, T: make([]float64, 0, n), V: make([]float64, 0, n)}
+}
+
+// Append adds a sample; t must exceed the last time already stored.
+func (s *Series) Append(t, v float64) error {
+	if n := len(s.T); n > 0 && t <= s.T[n-1] {
+		return fmt.Errorf("wave: non-increasing time %g after %g in %q", t, s.T[n-1], s.Name)
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+	return nil
+}
+
+// MustAppend is Append for generator code whose monotonicity is
+// structural; it panics on misuse.
+func (s *Series) MustAppend(t, v float64) {
+	if err := s.Append(t, v); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.T) }
+
+// At evaluates the series at time t by linear interpolation, clamping to
+// the end values outside the domain.
+func (s *Series) At(t float64) float64 {
+	n := len(s.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= s.T[0] {
+		return s.V[0]
+	}
+	if t >= s.T[n-1] {
+		return s.V[n-1]
+	}
+	i := sort.SearchFloat64s(s.T, t)
+	// s.T[i-1] < t <= s.T[i]
+	if s.T[i] == t {
+		return s.V[i]
+	}
+	f := (t - s.T[i-1]) / (s.T[i] - s.T[i-1])
+	return s.V[i-1] + f*(s.V[i]-s.V[i-1])
+}
+
+// Resample returns the series sampled at n uniform points across its
+// domain; comparisons between engines with different adaptive step
+// sequences go through this.
+func (s *Series) Resample(n int) (*Series, error) {
+	if s.Len() < 2 {
+		return nil, fmt.Errorf("wave: resampling %q needs >= 2 samples", s.Name)
+	}
+	if n < 2 {
+		return nil, errors.New("wave: resample target must be >= 2")
+	}
+	r := NewSeries(s.Name, n)
+	t0, t1 := s.T[0], s.T[len(s.T)-1]
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		r.T = append(r.T, t)
+		r.V = append(r.V, s.At(t))
+	}
+	return r, nil
+}
+
+// MinMax returns the extreme values and their times.
+func (s *Series) MinMax() (tMin, vMin, tMax, vMax float64) {
+	if s.Len() == 0 {
+		return 0, 0, 0, 0
+	}
+	vMin, vMax = s.V[0], s.V[0]
+	tMin, tMax = s.T[0], s.T[0]
+	for i, v := range s.V {
+		if v < vMin {
+			vMin, tMin = v, s.T[i]
+		}
+		if v > vMax {
+			vMax, tMax = v, s.T[i]
+		}
+	}
+	return
+}
+
+// Final returns the last sample value (0 for an empty series).
+func (s *Series) Final() float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// Crossings returns the times at which the series crosses level with the
+// given direction: +1 rising only, -1 falling only, 0 both. Times are
+// linearly interpolated.
+func (s *Series) Crossings(level float64, direction int) []float64 {
+	var out []float64
+	for i := 1; i < s.Len(); i++ {
+		a, b := s.V[i-1], s.V[i]
+		rising := a < level && b >= level
+		falling := a > level && b <= level
+		if (direction >= 0 && rising) || (direction <= 0 && falling) {
+			f := (level - a) / (b - a)
+			out = append(out, s.T[i-1]+f*(s.T[i]-s.T[i-1]))
+		}
+	}
+	return out
+}
+
+// RiseTime returns the 10%-90% rise time of the first transition from
+// vLow to vHigh, or an error when the series never completes one.
+func (s *Series) RiseTime(vLow, vHigh float64) (float64, error) {
+	lo := vLow + 0.1*(vHigh-vLow)
+	hi := vLow + 0.9*(vHigh-vLow)
+	cLo := s.Crossings(lo, +1)
+	cHi := s.Crossings(hi, +1)
+	if len(cLo) == 0 || len(cHi) == 0 {
+		return 0, fmt.Errorf("wave: %q has no complete rise through [%g, %g]", s.Name, lo, hi)
+	}
+	for _, t1 := range cHi {
+		if t1 >= cLo[0] {
+			return t1 - cLo[0], nil
+		}
+	}
+	return 0, fmt.Errorf("wave: %q rise did not complete", s.Name)
+}
+
+// SettleValue returns the mean of the last fraction frac of the samples,
+// a robust "settled output" measure for latching circuits.
+func (s *Series) SettleValue(frac float64) float64 {
+	n := s.Len()
+	if n == 0 {
+		return 0
+	}
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	sum := 0.0
+	for _, v := range s.V[n-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// CompareOn resamples both series onto n shared points over the
+// intersection of their domains and returns the pointwise values, for
+// error metrics between engines.
+func CompareOn(a, b *Series, n int) (va, vb []float64, err error) {
+	if a.Len() < 2 || b.Len() < 2 {
+		return nil, nil, errors.New("wave: CompareOn needs >= 2 samples in each series")
+	}
+	t0 := math.Max(a.T[0], b.T[0])
+	t1 := math.Min(a.T[a.Len()-1], b.T[b.Len()-1])
+	if t1 <= t0 {
+		return nil, nil, errors.New("wave: series domains do not overlap")
+	}
+	va = make([]float64, n)
+	vb = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		va[i] = a.At(t)
+		vb[i] = b.At(t)
+	}
+	return va, vb, nil
+}
+
+// Set is an ordered collection of series keyed by name, the result type
+// of every analysis.
+type Set struct {
+	order  []string
+	series map[string]*Series
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set {
+	return &Set{series: make(map[string]*Series)}
+}
+
+// Add inserts a series; a duplicate name is an error.
+func (st *Set) Add(s *Series) error {
+	if _, dup := st.series[s.Name]; dup {
+		return fmt.Errorf("wave: duplicate series %q", s.Name)
+	}
+	st.series[s.Name] = s
+	st.order = append(st.order, s.Name)
+	return nil
+}
+
+// Get returns the named series or nil.
+func (st *Set) Get(name string) *Series { return st.series[name] }
+
+// Names returns the series names in insertion order.
+func (st *Set) Names() []string { return append([]string(nil), st.order...) }
+
+// Len returns the number of series.
+func (st *Set) Len() int { return len(st.order) }

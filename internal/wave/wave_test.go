@@ -1,0 +1,259 @@
+package wave
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ramp(name string, n int, f func(t float64) float64) *Series {
+	s := NewSeries(name, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		s.MustAppend(t, f(t))
+	}
+	return s
+}
+
+func TestAppendMonotonic(t *testing.T) {
+	s := NewSeries("v", 4)
+	if err := s.Append(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, 3); err == nil {
+		t.Error("equal time should be rejected")
+	}
+	if err := s.Append(0.5, 3); err == nil {
+		t.Error("decreasing time should be rejected")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	s := NewSeries("v", 2)
+	s.MustAppend(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend on bad time did not panic")
+		}
+	}()
+	s.MustAppend(0, 0)
+}
+
+func TestAtInterpolation(t *testing.T) {
+	s := NewSeries("v", 3)
+	s.MustAppend(0, 0)
+	s.MustAppend(1, 10)
+	s.MustAppend(3, 30)
+	cases := map[float64]float64{
+		-1:  0,  // clamp left
+		0:   0,  // exact
+		0.5: 5,  // interp
+		1:   10, // exact
+		2:   20, // interp
+		5:   30, // clamp right
+	}
+	for in, want := range cases {
+		if got := s.At(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", in, got, want)
+		}
+	}
+	empty := NewSeries("e", 0)
+	if empty.At(1) != 0 {
+		t.Error("empty At should be 0")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := ramp("r", 11, func(t float64) float64 { return 2 * t })
+	r, err := s.Resample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 || r.T[0] != 0 || r.T[4] != 1 {
+		t.Fatalf("resample shape wrong: %+v", r)
+	}
+	for i, tv := range r.T {
+		if math.Abs(r.V[i]-2*tv) > 1e-12 {
+			t.Errorf("V[%d] = %g, want %g", i, r.V[i], 2*tv)
+		}
+	}
+	if _, err := NewSeries("x", 0).Resample(5); err == nil {
+		t.Error("resampling empty should error")
+	}
+	if _, err := s.Resample(1); err == nil {
+		t.Error("resample n=1 should error")
+	}
+}
+
+func TestMinMaxFinal(t *testing.T) {
+	s := NewSeries("v", 4)
+	s.MustAppend(0, 5)
+	s.MustAppend(1, -3)
+	s.MustAppend(2, 8)
+	s.MustAppend(3, 1)
+	tMin, vMin, tMax, vMax := s.MinMax()
+	if vMin != -3 || tMin != 1 || vMax != 8 || tMax != 2 {
+		t.Errorf("MinMax = (%g,%g,%g,%g)", tMin, vMin, tMax, vMax)
+	}
+	if s.Final() != 1 {
+		t.Errorf("Final = %g", s.Final())
+	}
+}
+
+func TestCrossings(t *testing.T) {
+	// Triangle wave 0 -> 10 -> 0 over [0, 2].
+	s := NewSeries("v", 3)
+	s.MustAppend(0, 0)
+	s.MustAppend(1, 10)
+	s.MustAppend(2, 0)
+	rising := s.Crossings(5, +1)
+	falling := s.Crossings(5, -1)
+	both := s.Crossings(5, 0)
+	if len(rising) != 1 || math.Abs(rising[0]-0.5) > 1e-12 {
+		t.Errorf("rising = %v", rising)
+	}
+	if len(falling) != 1 || math.Abs(falling[0]-1.5) > 1e-12 {
+		t.Errorf("falling = %v", falling)
+	}
+	if len(both) != 2 {
+		t.Errorf("both = %v", both)
+	}
+}
+
+func TestRiseTime(t *testing.T) {
+	// Linear ramp 0->1 over [0,1]: 10%-90% takes 0.8.
+	s := ramp("r", 101, func(t float64) float64 { return t })
+	rt, err := s.RiseTime(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rt-0.8) > 1e-9 {
+		t.Errorf("RiseTime = %g, want 0.8", rt)
+	}
+	flat := ramp("f", 10, func(t float64) float64 { return 0 })
+	if _, err := flat.RiseTime(0, 1); err == nil {
+		t.Error("flat series should have no rise time")
+	}
+}
+
+func TestSettleValue(t *testing.T) {
+	s := NewSeries("v", 10)
+	for i := 0; i < 10; i++ {
+		v := 0.0
+		if i >= 5 {
+			v = 4
+		}
+		s.MustAppend(float64(i), v)
+	}
+	if got := s.SettleValue(0.3); got != 4 {
+		t.Errorf("SettleValue = %g, want 4", got)
+	}
+	if NewSeries("e", 0).SettleValue(0.5) != 0 {
+		t.Error("empty settle should be 0")
+	}
+}
+
+func TestCompareOn(t *testing.T) {
+	a := ramp("a", 50, func(t float64) float64 { return t })
+	b := ramp("b", 20, func(t float64) float64 { return t * t })
+	va, vb, err := CompareOn(a, b, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range va {
+		tt := float64(i) / 10
+		if math.Abs(va[i]-tt) > 0.01 || math.Abs(vb[i]-tt*tt) > 0.01 {
+			t.Errorf("CompareOn[%d] = %g/%g", i, va[i], vb[i])
+		}
+	}
+	short := NewSeries("s", 0)
+	if _, _, err := CompareOn(a, short, 5); err == nil {
+		t.Error("short input should error")
+	}
+}
+
+func TestSet(t *testing.T) {
+	st := NewSet()
+	if err := st.Add(ramp("x", 5, func(t float64) float64 { return t })); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(ramp("x", 5, func(t float64) float64 { return t })); err == nil {
+		t.Error("duplicate name should error")
+	}
+	if st.Get("x") == nil || st.Get("y") != nil {
+		t.Error("Get wrong")
+	}
+	if st.Len() != 1 || st.Names()[0] != "x" {
+		t.Error("set bookkeeping wrong")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	st := NewSet()
+	st.Add(ramp("a", 3, func(t float64) float64 { return t }))
+	st.Add(ramp("b", 3, func(t float64) float64 { return 1 - t }))
+	var buf bytes.Buffer
+	if err := st.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "t,a,b\n") {
+		t.Errorf("header = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 { // header + 3 rows
+		t.Errorf("CSV lines = %d, want 4\n%s", lines, out)
+	}
+	if err := NewSet().WriteCSV(&buf); err == nil {
+		t.Error("empty set CSV should error")
+	}
+}
+
+func TestPlot(t *testing.T) {
+	st := NewSet()
+	st.Add(ramp("sin", 100, func(t float64) float64 { return math.Sin(2 * math.Pi * t) }))
+	var buf bytes.Buffer
+	if err := st.Plot(&buf, 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "sin") {
+		t.Errorf("plot missing content:\n%s", out)
+	}
+	if err := st.Plot(&buf, 60, 12, "missing"); err == nil {
+		t.Error("unknown series should error")
+	}
+	if err := NewSet().Plot(&buf, 60, 12); err == nil {
+		t.Error("empty plot should error")
+	}
+}
+
+// Property: At() restricted to sample points returns the sample values.
+func TestAtExactSamples(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%50) + 2
+		if n < 2 {
+			n = 2
+		}
+		s := NewSeries("p", n)
+		for i := 0; i < n; i++ {
+			s.MustAppend(float64(i), math.Sin(float64(i)*0.7))
+		}
+		for i := 0; i < n; i++ {
+			if s.At(float64(i)) != s.V[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package nanosim is a statistical circuit simulator for nanotechnology
+// devices, reproducing "Nano-Sim: A Step Wise Equivalent Conductance
+// based Statistical Simulator for Nanotechnology Circuit Design"
+// (Sukhwani, Padmanabhan, Wang — DATE 2005).
+//
+// Nanodevices such as resonant tunneling diodes (RTDs), resonant
+// tunneling transistors (RTTs) and carbon nanotubes exhibit
+// non-monotonic I-V characteristics whose negative differential
+// resistance (NDR) regions make SPICE-style Newton-Raphson iteration
+// oscillate or converge falsely. Nano-Sim avoids the problem twice over:
+//
+//   - the SWEC transient engine replaces every nonlinear device with its
+//     step-wise equivalent conductance Geq(V) = I(V)/V — always positive
+//     for passive devices — and integrates a linear time-varying system
+//     with no Newton iteration at all (see Transient);
+//   - the Euler-Maruyama engine extends the same machinery to circuits
+//     with uncertain (white noise) inputs, predicting transient
+//     statistics and window peaks instead of averages (see Stochastic
+//     and MonteCarlo).
+//
+// Baseline engines (a SPICE3-style Newton simulator, the
+// Bhattacharya-Mazumder MLA, and an ACES-style piecewise-linear engine)
+// ship alongside so every comparison in the paper can be regenerated;
+// see cmd/nanobench.
+//
+// # Quick start
+//
+//	ckt := nanosim.NewCircuit("rtd divider")
+//	ckt.AddVSource("V1", "in", "0", nanosim.DC(0.8))
+//	ckt.AddResistor("R1", "in", "d", 600)
+//	ckt.AddDevice("N1", "d", "0", nanosim.NewRTD())
+//	ckt.AddCapacitor("CD", "d", "0", nanosim.MustParse("10f"))
+//
+//	res, err := nanosim.Transient(ckt, nanosim.TranOptions{TStop: 100e-9})
+//	if err != nil { ... }
+//	fmt.Println(res.Waves.Get("v(d)").Final())
+package nanosim
+
+import (
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/units"
+)
+
+// Circuit is a mutable netlist; build it with NewCircuit and the Add*
+// methods, then hand it to an analysis function. See internal/circuit
+// for the full builder surface.
+type Circuit = circuit.Circuit
+
+// Element is any circuit component.
+type Element = circuit.Element
+
+// NodeID identifies a circuit node; 0 is ground.
+type NodeID = circuit.NodeID
+
+// NewCircuit returns an empty circuit containing only the ground node
+// ("0", aliased "gnd"/"GND").
+func NewCircuit(title string) *Circuit { return circuit.New(title) }
+
+// IVModel is a voltage-controlled two-terminal device model: anything
+// implementing I(v) and dI/dV can be placed with Circuit.AddDevice.
+type IVModel = device.IV
+
+// RTD is the Schulman resonant tunneling diode model (paper eq 4).
+type RTD = device.RTD
+
+// NewRTD returns the default RTD: a sub-volt resonance with peak
+// 0.241 V / 1.23 mA, valley 0.515 V / 0.41 mA, PVR 3.0.
+func NewRTD() *RTD { return device.NewRTD() }
+
+// NewRTDDate05 returns the RTD with the literal constants printed in the
+// paper's §5.2 (resonance near 3.5 V; see DESIGN.md).
+func NewRTDDate05() *RTD { return device.NewRTDDate05() }
+
+// NewRTDParams builds an RTD from explicit Schulman parameters
+// (A, B, C, D, n1, n2, H) with thermal exponent scaling.
+func NewRTDParams(a, b, c, d, n1, n2, h float64) (*RTD, error) {
+	return device.NewRTDParams(a, b, c, d, n1, n2, h)
+}
+
+// Nanowire is the carbon-nanotube conductance-staircase model (paper
+// Fig 1b).
+type Nanowire = device.Nanowire
+
+// NewNanowire returns a 4-channel quantum wire with 0.4 V subband
+// spacing.
+func NewNanowire() *Nanowire { return device.NewNanowire() }
+
+// NewNanowireParams builds a custom wire: channel count, subband
+// spacing, thermal smearing and per-channel conductance.
+func NewNanowireParams(steps int, stepV, width, gq float64) (*Nanowire, error) {
+	return device.NewNanowireParams(steps, stepV, width, gq)
+}
+
+// RTT is a multi-peak resonant tunneling transistor characteristic
+// (paper Fig 1a).
+type RTT = device.RTT
+
+// NewRTT returns a 3-peak RTT.
+func NewRTT() *RTT { return device.NewRTT() }
+
+// Diode is the Shockley junction diode with exponent capping.
+type Diode = device.Diode
+
+// NewDiode returns a 1 fA, ideality-1 diode.
+func NewDiode() *Diode { return device.NewDiode() }
+
+// Esaki is the classic tunnel diode: closed-form NDR with the peak at
+// exactly (Vp, Ip).
+type Esaki = device.Esaki
+
+// NewEsaki returns a germanium-flavoured tunnel diode (1 mA peak at
+// 65 mV).
+func NewEsaki() *Esaki { return device.NewEsaki() }
+
+// NewEsakiParams builds a custom tunnel diode from peak current, peak
+// voltage and thermionic saturation current.
+func NewEsakiParams(ip, vp, is float64) (*Esaki, error) { return device.NewEsakiParams(ip, vp, is) }
+
+// MOSFET is the level-1 square-law transistor (paper eq 2).
+type MOSFET = device.MOSFET
+
+// FETPolarity selects NMOS or PMOS.
+type FETPolarity = device.FETPolarity
+
+// FET polarities.
+const (
+	NMOS = device.NMOS
+	PMOS = device.PMOS
+)
+
+// NewNMOS returns a generic NMOS (beta = 1 mA/V², Vth = 1 V).
+func NewNMOS() *MOSFET { return device.NewNMOS() }
+
+// NewPMOS returns a generic PMOS.
+func NewPMOS() *MOSFET { return device.NewPMOS() }
+
+// NewMOSFET builds a custom transistor.
+func NewMOSFET(p FETPolarity, k, w, l, vth float64) (*MOSFET, error) {
+	return device.NewMOSFET(p, k, w, l, vth)
+}
+
+// IVTable is a piecewise-linear tabulated device.
+type IVTable = device.Table
+
+// NewIVTable builds a PWL device from matched (voltage, current)
+// breakpoints.
+func NewIVTable(vs, is []float64) (*IVTable, error) { return device.NewTable(vs, is) }
+
+// Geq returns the step-wise equivalent conductance I(v)/v of any model,
+// with the analytic v -> 0 limit (paper eq 6).
+func Geq(m IVModel, v float64) float64 { return device.Geq(m, v) }
+
+// Waveform is a deterministic source value over time.
+type Waveform = device.Waveform
+
+// DC is a constant source value.
+type DC = device.DC
+
+// Pulse is the SPICE PULSE source.
+type Pulse = device.Pulse
+
+// Sin is the SPICE SIN source.
+type Sin = device.Sin
+
+// Exp is the SPICE EXP source.
+type Exp = device.Exp
+
+// PWLWave is the SPICE piecewise-linear source.
+type PWLWave = device.PWL
+
+// NewPWLWave builds a PWL source through (t, v) breakpoints.
+func NewPWLWave(ts, vs []float64) (*PWLWave, error) { return device.NewPWL(ts, vs) }
+
+// Clock returns a 50%-duty pulse train (first rising edge at period/2).
+func Clock(v1, v2, period, edge float64) Pulse { return device.Clock(v1, v2, period, edge) }
+
+// Parse converts a SPICE-style value string ("1k", "2.5u", "1meg") to a
+// float64.
+func Parse(s string) (float64, error) { return units.Parse(s) }
+
+// MustParse is Parse for literals; it panics on malformed input.
+func MustParse(s string) float64 { return units.MustParse(s) }
+
+// FormatValue renders a value in engineering notation ("2.5u").
+func FormatValue(v float64, digits int) string { return units.Format(v, digits) }

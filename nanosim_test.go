@@ -1,0 +1,251 @@
+package nanosim_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"nanosim"
+)
+
+// TestQuickstart mirrors the package-doc example: it is the first thing
+// a new user runs.
+func TestQuickstart(t *testing.T) {
+	ckt := nanosim.NewCircuit("rtd divider")
+	if _, err := ckt.AddVSource("V1", "in", "0", nanosim.DC(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckt.AddResistor("R1", "in", "d", 600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckt.AddDevice("N1", "d", "0", nanosim.NewRTD()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckt.AddCapacitor("CD", "d", "0", nanosim.MustParse("10f")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nanosim.Transient(ckt, nanosim.TranOptions{TStop: 100e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := res.Waves.Get("v(d)").Final()
+	// The settled point must sit on the RTD load line.
+	rtd := nanosim.NewRTD()
+	iR := (0.8 - vd) / 600
+	if math.Abs(iR-rtd.I(vd)) > 0.05*math.Max(iR, 1e-5) {
+		t.Errorf("settled point off load line: iR=%g iRTD=%g at vd=%g", iR, rtd.I(vd), vd)
+	}
+}
+
+// TestEngineAgreement drives all four transient engines through the
+// public API on the same linear circuit.
+func TestEngineAgreement(t *testing.T) {
+	build := func() *nanosim.Circuit {
+		c := nanosim.NewCircuit("rc")
+		c.AddVSource("V1", "in", "0", nanosim.DC(1))
+		c.AddResistor("R1", "in", "out", nanosim.MustParse("1k"))
+		c.AddCapacitor("C1", "out", "0", nanosim.MustParse("1n"))
+		return c
+	}
+	want := 1 - math.Exp(-3) // v(out) at t = 3*tau
+	sw, err := nanosim.Transient(build(), nanosim.TranOptions{TStop: 3e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sw.Waves.Get("v(out)").Final(); math.Abs(v-want) > 0.02 {
+		t.Errorf("SWEC endpoint %g, want %g", v, want)
+	}
+	for name, run := range map[string]func(*nanosim.Circuit, nanosim.BaselineOptions) (*nanosim.BaselineResult, error){
+		"NR":  nanosim.TransientNR,
+		"MLA": nanosim.TransientMLA,
+		"PWL": nanosim.TransientPWL,
+	} {
+		res, err := run(build(), nanosim.BaselineOptions{TStop: 3e-6})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v := res.Waves.Get("v(out)").Final(); math.Abs(v-want) > 0.03 {
+			t.Errorf("%s endpoint %g, want %g", name, v, want)
+		}
+	}
+}
+
+func TestDCThroughPublicAPI(t *testing.T) {
+	c := nanosim.NewCircuit("op")
+	c.AddVSource("V1", "in", "0", nanosim.DC(0.3))
+	c.AddResistor("R1", "in", "d", 300)
+	c.AddDevice("N1", "d", "0", nanosim.NewRTD())
+	op, err := nanosim.OperatingPoint(c, nanosim.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	nop, err := nanosim.NewtonOperatingPoint(c, nanosim.NewtonDCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nop.Converged {
+		t.Error("Newton op did not converge")
+	}
+	// Both methods agree on the bias point.
+	if d := math.Abs(op.X[1] - nop.X[1]); d > 1e-3 {
+		t.Errorf("SWEC and Newton op disagree by %g", d)
+	}
+	// Sweeps through both paths.
+	sw, err := nanosim.Sweep(c, "V1", 0, 1.2, 61, "N1", nanosim.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Waves.Get("i(dev)").Len() != 61 {
+		t.Error("sweep did not record 61 points")
+	}
+	ns, err := nanosim.NewtonSweep(c, "V1", 0, 1.2, 61, "N1", nanosim.NewtonDCOptions{Limit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns.Points) != 61 {
+		t.Error("newton sweep point count")
+	}
+}
+
+func TestStochasticThroughPublicAPI(t *testing.T) {
+	c := nanosim.NewCircuit("noisy")
+	is, err := c.AddISource("IN", "0", "x", nanosim.DC(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	is.NoiseSigma = 1e-9
+	c.AddResistor("R1", "x", "0", nanosim.MustParse("1k"))
+	c.AddCapacitor("C1", "x", "0", nanosim.MustParse("1p"))
+	one, err := nanosim.Stochastic(c, nanosim.NoiseOptions{TStop: 2e-9, Steps: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.NoiseSources != 1 {
+		t.Errorf("noise sources = %d", one.NoiseSources)
+	}
+	mc, err := nanosim.MonteCarlo(c, nanosim.EnsembleOptions{
+		Base:  nanosim.NoiseOptions{TStop: 2e-9, Steps: 200, Seed: 7},
+		Paths: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Paths != 50 || mc.Mean.Len() == 0 {
+		t.Error("ensemble incomplete")
+	}
+	if q, err := mc.PeakQuantile(0.5); err != nil || q < 0 {
+		t.Errorf("peak quantile: %g, %v", q, err)
+	}
+}
+
+func TestUnitsAndWavesExports(t *testing.T) {
+	if math.Abs(nanosim.MustParse("2.5u")-2.5e-6) > 1e-18 {
+		t.Error("MustParse wrong")
+	}
+	if _, err := nanosim.Parse("zzz"); err == nil {
+		t.Error("Parse should reject garbage")
+	}
+	if nanosim.FormatValue(1e3, 3) != "1k" {
+		t.Error("FormatValue wrong")
+	}
+	// Waveform helpers.
+	ck := nanosim.Clock(0, 1, 1e-6, 1e-9)
+	if ck.At(0.75e-6) != 1 {
+		t.Error("Clock high phase wrong")
+	}
+	p, err := nanosim.NewPWLWave([]float64{0, 1e-9}, []float64{0, 1})
+	if err != nil || p.At(0.5e-9) != 0.5 {
+		t.Error("PWL wave wrong")
+	}
+	// Model helpers.
+	if nanosim.Geq(nanosim.NewRTD(), 0.4) <= 0 {
+		t.Error("Geq must be positive")
+	}
+	if _, err := nanosim.NewRTDParams(0, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("invalid RTD params accepted")
+	}
+	if _, err := nanosim.NewNanowireParams(0, 0, 0, 0); err == nil {
+		t.Error("invalid nanowire accepted")
+	}
+	if _, err := nanosim.NewMOSFET(nanosim.NMOS, 0, 0, 0, 0); err == nil {
+		t.Error("invalid MOSFET accepted")
+	}
+	if _, err := nanosim.NewIVTable([]float64{0}, []float64{0}); err == nil {
+		t.Error("invalid table accepted")
+	}
+	if nanosim.NewDiode().I(0) != 0 || nanosim.NewRTT().I(0) != 0 {
+		t.Error("zero-bias currents should be zero")
+	}
+	if nanosim.NewNMOS().IDS(2, 1) <= 0 || nanosim.NewPMOS().IDS(-2, -1) >= 0 {
+		t.Error("FET polarities wrong")
+	}
+}
+
+func TestCSVAndPlotFromPublicAPI(t *testing.T) {
+	c := nanosim.NewCircuit("rc")
+	c.AddVSource("V1", "in", "0", nanosim.Pulse{V2: 1, Width: 1e-6, Rise: 1e-9, Fall: 1e-9})
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-10)
+	res, err := nanosim.Transient(c, nanosim.TranOptions{TStop: 2e-6, RecordCurrents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv, plot bytes.Buffer
+	if err := res.Waves.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if csv.Len() == 0 {
+		t.Error("empty CSV")
+	}
+	if err := res.Waves.Plot(&plot, 60, 10, "v(out)"); err != nil {
+		t.Fatal(err)
+	}
+	if plot.Len() == 0 {
+		t.Error("empty plot")
+	}
+}
+
+func TestFlopCounterSharing(t *testing.T) {
+	var fc nanosim.FlopCounter
+	c := nanosim.NewCircuit("rc")
+	c.AddVSource("V1", "in", "0", nanosim.DC(1))
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-9)
+	if _, err := nanosim.Transient(c, nanosim.TranOptions{TStop: 1e-6, FC: &fc, Solver: nanosim.DenseSolver}); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Total() == 0 {
+		t.Error("no flops recorded through public API")
+	}
+}
+
+func TestEsakiAndPSDThroughPublicAPI(t *testing.T) {
+	e := nanosim.NewEsaki()
+	if e.I(e.Vp) < 0.9e-3 {
+		t.Error("Esaki peak current implausible")
+	}
+	if _, err := nanosim.NewEsakiParams(0, 1, 1); err == nil {
+		t.Error("invalid Esaki accepted")
+	}
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = float64(i % 2) // alternating: power at Nyquist
+	}
+	freqs, psd, err := nanosim.PSDWelch(vals, 1e-9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != len(psd) || len(freqs) == 0 {
+		t.Error("PSD shape wrong")
+	}
+	// Energy concentrates in the top bin.
+	top := psd[len(psd)-1]
+	for _, p := range psd[1 : len(psd)-1] {
+		if p > top {
+			t.Fatal("Nyquist tone not dominant")
+		}
+	}
+}
