@@ -7,7 +7,7 @@
 // Shape expectations (documented in EXPERIMENTS.md): SWEC beats the
 // Newton engines per time point everywhere; the Table I cold-start
 // protocol shows the paper's 20-40x band; dense/sparse LU cross over
-// around n ≈ 160.
+// at linsolve.AutoCrossover (re-measured by BenchmarkSolverStep).
 package nanosim_test
 
 import (
@@ -21,6 +21,7 @@ import (
 	"nanosim/internal/linsolve"
 	"nanosim/internal/randx"
 	"nanosim/internal/sde"
+	"nanosim/internal/spmat"
 )
 
 // BenchmarkTable1DCSweep is Table I: the RTD divider I-V sweep under the
@@ -169,7 +170,7 @@ func BenchmarkFig10EM(b *testing.B) {
 func BenchmarkSpeedupChain(b *testing.B) {
 	step := nanosim.Pulse{V1: 0.3, V2: 1.1, Delay: 20e-9, Rise: 2e-9, Fall: 2e-9, Width: 100e-9}
 	const tStop, h = 200e-9, 0.5e-9
-	for _, n := range []int{5, 20, 60} {
+	for _, n := range []int{5, 20, 60, 200} {
 		b.Run(fmt.Sprintf("swec-n%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := nanosim.Transient(exp.RTDChain(n, step), nanosim.TranOptions{
@@ -190,7 +191,9 @@ func BenchmarkSpeedupChain(b *testing.B) {
 }
 
 // BenchmarkSolver locates the dense/sparse LU crossover that
-// linsolve.Auto encodes (ABL-SOLVE).
+// linsolve.Auto encodes (ABL-SOLVE). Each iteration is one repeated
+// solve against an unchanged matrix — both backends reuse their
+// factorization, so this isolates triangular-solve cost.
 func BenchmarkSolver(b *testing.B) {
 	for _, n := range []int{32, 128, 512} {
 		build := func(s linsolve.Solver) {
@@ -211,6 +214,7 @@ func BenchmarkSolver(b *testing.B) {
 			s := linsolve.NewDense(n, nil)
 			build(s)
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := s.Solve(rhs, out); err != nil {
 					b.Fatal(err)
@@ -221,8 +225,83 @@ func BenchmarkSolver(b *testing.B) {
 			s := linsolve.NewSparse(n, nil)
 			build(s)
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := s.Solve(rhs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverStep is the per-time-point hot path the tentpole
+// optimizes: a full Reset → restamp → Solve cycle with pattern-stable
+// values. "sparse" uses the compiled-pattern + symbolic-reuse path;
+// "sparse-naive" rebuilds the map triplet and re-runs the full
+// min-degree factorization every cycle (the pre-optimization behaviour,
+// kept as the regression reference). The dense/sparse crossover measured
+// here calibrates linsolve.AutoCrossover; `nanobench -solverbench`
+// records the same measurement to BENCH_solver.json.
+func BenchmarkSolverStep(b *testing.B) {
+	for _, n := range []int{16, 24, 32, 64, 200, 512} {
+		rhs := make([]float64, n)
+		rhs[0] = 1
+		out := make([]float64, n)
+		b.Run(fmt.Sprintf("dense-n%d", n), func(b *testing.B) {
+			s := linsolve.NewDense(n, nil)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp.StampLadderSystem(s, n, 1e-3+1e-9*float64(i%7))
+				if err := s.Solve(rhs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sparse-n%d", n), func(b *testing.B) {
+			s := linsolve.NewSparse(n, nil)
+			exp.StampLadderSystem(s, n, 1e-3)
+			if err := s.Solve(rhs, out); err != nil {
+				b.Fatal(err) // compile pattern + symbolic analysis once
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp.StampLadderSystem(s, n, 1e-3+1e-9*float64(i%7))
+				if err := s.Solve(rhs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sparse-naive-n%d", n), func(b *testing.B) {
+			t := spmat.NewTriplet(n, n)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t.Zero()
+				exp.StampLadderEntries(t, n, 1e-3+1e-9*float64(i%7))
+				f, err := spmat.Factor(t, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Solve(rhs, out, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkLadderRC is the n≥200 scaling bench on a pure RC ladder: the
+// steady-state transient stepping cost with no device evaluations, so
+// the solver hot path dominates. Run with -benchmem: the sparse path
+// must report 0 allocs/op in steady state.
+func BenchmarkLadderRC(b *testing.B) {
+	step := nanosim.Pulse{V1: 0, V2: 1, Delay: 5e-9, Rise: 1e-9, Fall: 1e-9, Width: 60e-9}
+	for _, n := range []int{200, 500} {
+		b.Run(fmt.Sprintf("swec-n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := nanosim.Transient(exp.RCLadder(n, step), nanosim.TranOptions{
+					TStop: 100e-9, FixedStep: true, HInit: 0.5e-9}); err != nil {
 					b.Fatal(err)
 				}
 			}

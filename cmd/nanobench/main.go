@@ -7,6 +7,8 @@
 //	nanobench -exp fig5           run one experiment
 //	nanobench -all                run everything (the EXPERIMENTS.md run)
 //	nanobench -all -quick         reduced workloads
+//	nanobench -solverbench        measure the per-step solver hot path
+//	                              and record it to BENCH_solver.json
 package main
 
 import (
@@ -24,10 +26,17 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced workloads (CI sizes)")
 	seed := flag.Uint64("seed", 0, "override the stochastic seed")
+	solverBench := flag.Bool("solverbench", false, "measure the per-step solver hot path and write BENCH_solver.json")
+	solverBenchOut := flag.String("solverbench-out", "BENCH_solver.json", "output path for -solverbench")
 	flag.Parse()
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	switch {
+	case *solverBench:
+		if err := runSolverBench(*solverBenchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "nanobench:", err)
+			os.Exit(1)
+		}
 	case *list:
 		entries := exp.All()
 		sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nanosim/internal/exp"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/spmat"
+)
+
+// SolverBenchEntry is one backend × size measurement of the per-step
+// hot path (Reset → restamp → Solve with pattern-stable values).
+type SolverBenchEntry struct {
+	Backend     string  `json:"backend"`
+	N           int     `json:"n"`
+	NsPerStep   float64 `json:"ns_per_step"`
+	AllocsPerOp int64   `json:"allocs_per_step"`
+	BytesPerOp  int64   `json:"bytes_per_step"`
+}
+
+// SolverBenchReport is the machine-readable solver perf record emitted
+// as BENCH_solver.json so the hot-path trajectory is tracked PR to PR.
+type SolverBenchReport struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	Timestamp  string             `json:"timestamp"`
+	Workload   string             `json:"workload"`
+	Crossover  int                `json:"auto_crossover"`
+	Results    []SolverBenchEntry `json:"results"`
+	SpeedupVs  string             `json:"speedup_vs"`
+	MinSpeedup float64            `json:"min_speedup_n200_plus"`
+}
+
+// runSolverBench measures the per-step solver cost across sizes and
+// backends and writes the JSON report to path.
+func runSolverBench(path string) error {
+	sizes := []int{16, 32, 64, 200, 512}
+	rep := SolverBenchReport{
+		Schema:    "nanosim/bench-solver/v1",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Workload:  "tridiagonal ladder + source incidence; Reset/restamp/Solve per step",
+		Crossover: linsolve.AutoCrossover,
+		SpeedupVs: "sparse-naive (map triplet + full min-degree factorization per step, the pre-PR hot path)",
+	}
+
+	measure := func(fn func(b *testing.B)) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+	}
+
+	naive := map[int]float64{}
+	compiled := map[int]float64{}
+	for _, n := range sizes {
+		rhs := make([]float64, n)
+		rhs[0] = 1
+		out := make([]float64, n)
+
+		{
+			s := linsolve.NewDense(n, nil)
+			r := measure(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					exp.StampLadderSystem(s, n, 1e-3+1e-9*float64(i%7))
+					if err := s.Solve(rhs, out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rep.Results = append(rep.Results, entry("dense", n, r))
+		}
+
+		s := linsolve.NewSparse(n, nil)
+		exp.StampLadderSystem(s, n, 1e-3)
+		if err := s.Solve(rhs, out); err != nil {
+			return err
+		}
+		r := measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exp.StampLadderSystem(s, n, 1e-3+1e-9*float64(i%7))
+				if err := s.Solve(rhs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, entry("sparse", n, r))
+		compiled[n] = float64(r.NsPerOp())
+
+		t := spmat.NewTriplet(n, n)
+		r = measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t.Zero()
+				exp.StampLadderEntries(t, n, 1e-3+1e-9*float64(i%7))
+				f, err := spmat.Factor(t, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Solve(rhs, out, nil)
+			}
+		})
+		rep.Results = append(rep.Results, entry("sparse-naive", n, r))
+		naive[n] = float64(r.NsPerOp())
+	}
+
+	rep.MinSpeedup = 0
+	for _, n := range sizes {
+		if n < 200 || compiled[n] == 0 {
+			continue
+		}
+		sp := naive[n] / compiled[n]
+		if rep.MinSpeedup == 0 || sp < rep.MinSpeedup {
+			rep.MinSpeedup = sp
+		}
+	}
+
+	for _, e := range rep.Results {
+		fmt.Printf("%-14s n=%-4d %12.0f ns/step  %4d allocs/step\n",
+			e.Backend, e.N, e.NsPerStep, e.AllocsPerOp)
+	}
+	fmt.Printf("auto crossover: %d; min speedup vs naive at n>=200: %.1fx\n",
+		rep.Crossover, rep.MinSpeedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func entry(backend string, n int, r testing.BenchmarkResult) SolverBenchEntry {
+	return SolverBenchEntry{
+		Backend:     backend,
+		N:           n,
+		NsPerStep:   float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}

@@ -1,0 +1,3 @@
+module nanosim
+
+go 1.24

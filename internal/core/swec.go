@@ -178,6 +178,7 @@ type engine struct {
 	// Per-device history for the eq (5) predictor and eq (9) dV/dt.
 	ttV    []float64 // branch voltage at last accepted point
 	ttGeq  []float64
+	ttDG   []float64 // dGeq/dV at the last accepted point (fused eval)
 	fetVGS []float64
 	fetVDS []float64
 	fetGeq []float64
@@ -204,6 +205,7 @@ func newEngine(sys *stamp.System, opt Options) (*engine, error) {
 	e.capI = make([]float64, len(sys.Capacitors()))
 	e.ttV = make([]float64, len(sys.TwoTerms()))
 	e.ttGeq = make([]float64, len(sys.TwoTerms()))
+	e.ttDG = make([]float64, len(sys.TwoTerms()))
 	e.fetVGS = make([]float64, len(sys.FETs()))
 	e.fetVDS = make([]float64, len(sys.FETs()))
 	e.fetGeq = make([]float64, len(sys.FETs()))
@@ -290,8 +292,7 @@ func (e *engine) seedDeviceState() {
 	for k, tt := range e.sys.TwoTerms() {
 		v := e.sys.Branch(e.x, tt.Elem.A, tt.Elem.B)
 		e.ttV[k] = v
-		e.ttGeq[k] = device.Geq(tt.Elem.Model, v)
-		e.chargeCost(tt.Elem.Model.Cost(), 1)
+		e.ttGeq[k], e.ttDG[k] = e.evalGeqSlope(tt.Elem.Model, v)
 	}
 	for k, f := range e.sys.FETs() {
 		vgs := e.sys.Branch(e.x, f.Elem.G, f.Elem.S)
@@ -302,8 +303,23 @@ func (e *engine) seedDeviceState() {
 	}
 }
 
+// evalGeqSlope evaluates a device's equivalent conductance and (when the
+// predictor is active) its voltage slope in one fused model evaluation,
+// charging the cost. With the predictor disabled only Geq is needed.
+func (e *engine) evalGeqSlope(m device.IV, v float64) (geq, dg float64) {
+	if e.opt.NoPredictor {
+		geq = device.Geq(m, v)
+	} else {
+		geq, dg = device.GeqAndSlope(m, v)
+	}
+	e.chargeCost(m.Cost(), 1)
+	return geq, dg
+}
+
 // predictGeq returns the eq (5) prediction for two-terminal device k over
 // step h, given the eq (9) dV/dt estimate from the last accepted step.
+// The dGeq/dV factor was cached by the fused evaluation at the last
+// accepted point, so the predictor itself costs no model evaluation.
 func (e *engine) predictGeq(k int, m device.IV, h float64) float64 {
 	g := e.ttGeq[k]
 	if e.opt.NoPredictor || e.hPrev <= 0 {
@@ -312,8 +328,7 @@ func (e *engine) predictGeq(k int, m device.IV, h float64) float64 {
 	vNow := e.ttV[k]
 	vPrevStep := e.prevBranchTT(k)
 	dvdt := (vNow - vPrevStep) / e.hPrev
-	gp := g + 0.5*h*device.DGeq(m, vNow)*dvdt
-	e.chargeCost(m.Cost(), 1) // DGeq evaluation
+	gp := g + 0.5*h*e.ttDG[k]*dvdt
 	if fc := e.opt.FC; fc != nil {
 		fc.Mul(3)
 		fc.Add(2)
@@ -358,26 +373,20 @@ func (e *engine) predictGeqFET(k int, f stamp.FETRef, h float64) float64 {
 }
 
 // assemble stamps (G_pred + C/h) into the solver and builds the RHS
-// (C/h)·x + b(t+h). It returns the predicted conductances for the error
-// check after the solve.
-func (e *engine) assemble(t, h float64) (gtt, gfet []float64) {
+// (C/h)·x + b(t+h). The whole cycle is allocation-free in steady state:
+// the solver's compiled pattern handles the matrix side.
+func (e *engine) assemble(t, h float64) {
 	e.sol.Reset()
 	e.sys.StampLinearG(e.sol)
 	// Gmin leak keeps pure-C or floating-ish nodes nonsingular.
 	for i := 0; i < e.sys.NodeCount(); i++ {
 		e.sol.Add(i, i, e.opt.Gmin)
 	}
-	gtt = make([]float64, len(e.sys.TwoTerms()))
 	for k, tt := range e.sys.TwoTerms() {
-		g := e.predictGeq(k, tt.Elem.Model, h)
-		gtt[k] = g
-		stamp.Stamp2(e.sol, tt.IA, tt.IB, g)
+		stamp.Stamp2(e.sol, tt.IA, tt.IB, e.predictGeq(k, tt.Elem.Model, h))
 	}
-	gfet = make([]float64, len(e.sys.FETs()))
 	for k, f := range e.sys.FETs() {
-		g := e.predictGeqFET(k, f, h)
-		gfet[k] = g
-		stamp.Stamp2(e.sol, f.ID, f.IS, g)
+		stamp.Stamp2(e.sol, f.ID, f.IS, e.predictGeqFET(k, f, h))
 	}
 	// Reactive companions (BE or trapezoidal) and the source RHS.
 	for i := range e.rhs {
@@ -390,7 +399,6 @@ func (e *engine) assemble(t, h float64) (gtt, gfet []float64) {
 		fc.Add(e.dim)
 	}
 	e.sys.StampRHS(t+h, e.rhs)
-	return gtt, gfet
 }
 
 // trapNow reports whether this step uses the trapezoidal companion. The
@@ -533,8 +541,7 @@ func (e *engine) refreshDeviceState(xNew []float64) {
 	for k, tt := range e.sys.TwoTerms() {
 		v := e.sys.Branch(xNew, tt.Elem.A, tt.Elem.B)
 		e.ttV[k] = v
-		e.ttGeq[k] = device.Geq(tt.Elem.Model, v)
-		e.chargeCost(tt.Elem.Model.Cost(), 1)
+		e.ttGeq[k], e.ttDG[k] = e.evalGeqSlope(tt.Elem.Model, v)
 	}
 	for k, f := range e.sys.FETs() {
 		vgs := e.sys.Branch(xNew, f.Elem.G, f.Elem.S)

@@ -286,3 +286,41 @@ func TestSparseDenseAgree(t *testing.T) {
 		t.Errorf("backends disagree by %g", diff)
 	}
 }
+
+// TestTransientReusesFactorization verifies the tentpole hot-path
+// property end to end: during a transient on the sparse backend, the
+// compiled stamp pattern is built exactly once and essentially every
+// accepted step reuses the symbolic factorization (numeric-only
+// refactorization), with no pattern rebuilds.
+func TestTransientReusesFactorization(t *testing.T) {
+	ckt := circuit.New("chain")
+	ckt.AddVSource("V1", "in", "0", device.Pulse{V1: 0.2, V2: 1.0, Delay: 10e-9, Rise: 2e-9, Fall: 2e-9, Width: 50e-9})
+	for i := 0; i < 40; i++ {
+		nd := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		ckt.AddResistor("R"+nd, "in", nd, 400)
+		ckt.AddDevice("N"+nd, nd, "0", device.NewRTD())
+		ckt.AddCapacitor("C"+nd, nd, "0", 10e-15)
+	}
+	var captured linsolve.Solver
+	res, err := Transient(ckt, Options{
+		TStop: 100e-9,
+		Solver: func(n int, fc *flop.Counter) linsolve.Solver {
+			captured = linsolve.NewSparse(n, fc)
+			return captured
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := captured.(linsolve.Refactorable).SolveStats()
+	if st.PatternRebuild != 0 {
+		t.Fatalf("fixed circuit must never rebuild its stamp pattern: %+v", st)
+	}
+	if st.FullFactor > 2 {
+		t.Errorf("expected at most the initial (plus one fallback) full factorization, got %+v", st)
+	}
+	if int64(st.NumericRefactor) < res.Stats.Solves-4 {
+		t.Errorf("numeric refactor engaged on %d of %d solves: %+v",
+			st.NumericRefactor, res.Stats.Solves, st)
+	}
+}

@@ -111,15 +111,22 @@ type Result struct {
 
 // solver bundles Newton assembly for DC.
 type solver struct {
-	sys *stamp.System
-	sol linsolve.Solver
-	opt Options
-	b   []float64
-	lim func(prev, raw []float64) []float64
+	sys  *stamp.System
+	sol  linsolve.Solver
+	opt  Options
+	b    []float64
+	xk   []float64 // Newton iterate scratch
+	xNew []float64 // raw solution scratch
+	lim  func(prev, raw []float64) []float64
 }
 
 func newSolver(sys *stamp.System, opt Options) *solver {
-	s := &solver{sys: sys, sol: opt.Solver(sys.Dim(), opt.FC), opt: opt, b: make([]float64, sys.Dim())}
+	s := &solver{
+		sys: sys, sol: opt.Solver(sys.Dim(), opt.FC), opt: opt,
+		b:    make([]float64, sys.Dim()),
+		xk:   make([]float64, sys.Dim()),
+		xNew: make([]float64, sys.Dim()),
+	}
 	if opt.Limit {
 		s.lim = newLimiter(sys, opt.LimitFraction)
 	}
@@ -156,11 +163,11 @@ func newLimiter(sys *stamp.System, fraction float64) func(prev, raw []float64) [
 		if scale >= 1 {
 			return raw
 		}
-		out := make([]float64, len(raw))
+		// Damp in place to keep the Newton loop allocation-free.
 		for i := range raw {
-			out[i] = prev[i] + scale*(raw[i]-prev[i])
+			raw[i] = prev[i] + scale*(raw[i]-prev[i])
 		}
-		return out
+		return raw
 	}
 }
 
@@ -179,8 +186,8 @@ func (s *solver) chargeCost(c device.Cost, stats *Stats) {
 // newton runs the Newton loop at source scale `srcScale` and extra
 // diagonal conductance `gExtra`, starting from x (modified in place).
 func (s *solver) newton(x []float64, srcScale, gExtra float64, stats *Stats) (bool, error) {
-	xk := append([]float64(nil), x...)
-	xNew := make([]float64, len(x))
+	xk, xNew := s.xk, s.xNew
+	copy(xk, x)
 	for iter := 0; iter < s.opt.MaxIter; iter++ {
 		stats.Iterations++
 		if fc := s.opt.FC; fc != nil {
@@ -202,8 +209,7 @@ func (s *solver) newton(x []float64, srcScale, gExtra float64, stats *Stats) (bo
 		}
 		for _, tt := range s.sys.TwoTerms() {
 			v := s.sys.Branch(xk, tt.Elem.A, tt.Elem.B)
-			i := tt.Elem.Model.I(v)
-			g := tt.Elem.Model.G(v)
+			i, g := device.IAndG(tt.Elem.Model, v)
 			// Fused I+G evaluation, as in the transient engines.
 			s.chargeCost(tt.Elem.Model.Cost(), stats)
 			stamp.Stamp2(s.sol, tt.IA, tt.IB, g)

@@ -62,6 +62,37 @@ func DGeq(m IV, v float64) float64 {
 	return (m.G(v) - Geq(m, v)) / v
 }
 
+// IG is the optional fused-evaluation capability: a model implementing
+// it returns I(v) and G(v) in one pass, sharing the transcendental
+// subexpressions the two formulas have in common. The transient hot
+// paths prefer it — on the Schulman RTD it cuts the libm calls of an
+// I+G pair by more than half.
+type IG interface {
+	IG(v float64) (i, g float64)
+}
+
+// IAndG returns I(v) and G(v), fused when the model supports it.
+func IAndG(m IV, v float64) (float64, float64) {
+	if f, ok := m.(IG); ok {
+		return f.IG(v)
+	}
+	return m.I(v), m.G(v)
+}
+
+// GeqAndSlope returns Geq(v) and dGeq/dV(v) from a single (fused when
+// possible) model evaluation — the pair the SWEC eq (5)/(7) predictor
+// consumes each accepted step. Algebraically identical to calling Geq
+// and DGeq separately.
+func GeqAndSlope(m IV, v float64) (geq, dgeq float64) {
+	if math.Abs(v) < geqEps {
+		const h = 1e-6
+		return m.G(0), (m.G(h) - m.G(-h)) / (4 * h)
+	}
+	i, g := IAndG(m, v)
+	geq = i / v
+	return geq, (g - geq) / v
+}
+
 // Resistive is the trivial linear model, useful in tests and as the
 // no-op reference device.
 type Resistive struct {

@@ -183,3 +183,38 @@ func TestPeakValleyMonotoneDevice(t *testing.T) {
 		t.Error("resistor misreported as having NDR")
 	}
 }
+
+// TestRTDFusedIGMatchesSeparate checks the fused IG evaluation against
+// the separate I and G formulas across the full bias range, including
+// both NDR edges and negative bias (the fused form must be bit-for-bit
+// compatible in the stable regions and well within 1 ulp-scale tolerance
+// everywhere).
+func TestRTDFusedIGMatchesSeparate(t *testing.T) {
+	for _, r := range []*RTD{NewRTD(), NewRTDDate05(), NewRTD().WithArea(1.5)} {
+		for v := -2.0; v <= 2.0; v += 1e-3 {
+			i, g := r.IG(v)
+			wantI, wantG := r.I(v), r.G(v)
+			if math.Abs(i-wantI) > 1e-12*(1+math.Abs(wantI)) {
+				t.Fatalf("IG(%g) current mismatch: %g vs %g", v, i, wantI)
+			}
+			if math.Abs(g-wantG) > 1e-12*(1+math.Abs(wantG)) {
+				t.Fatalf("IG(%g) conductance mismatch: %g vs %g", v, g, wantG)
+			}
+		}
+	}
+}
+
+// TestGeqAndSlopeMatchesSeparate checks the fused Geq+slope helper used
+// by the SWEC predictor against the reference Geq/DGeq pair.
+func TestGeqAndSlopeMatchesSeparate(t *testing.T) {
+	r := NewRTD()
+	for _, v := range []float64{-1, -0.3, 0, 1e-12, 0.1, 0.241, 0.4, 0.515, 1.1} {
+		geq, dg := GeqAndSlope(r, v)
+		if want := Geq(r, v); math.Abs(geq-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("GeqAndSlope(%g) geq %g, want %g", v, geq, want)
+		}
+		if want := DGeq(r, v); math.Abs(dg-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("GeqAndSlope(%g) slope %g, want %g", v, dg, want)
+		}
+	}
+}

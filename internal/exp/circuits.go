@@ -3,6 +3,8 @@ package exp
 import (
 	"nanosim/internal/circuit"
 	"nanosim/internal/device"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/stamp"
 )
 
 // Canonical experiment circuits. Constants here were tuned once against
@@ -112,6 +114,47 @@ func RTDChain(n int, w device.Waveform) *circuit.Circuit {
 		c.AddResistor("R"+nd, "in", nd, 300+float64(i%7)*20)
 		c.AddDevice("N"+nd, nd, "0", device.NewRTD())
 		c.AddCapacitor("C"+nd, nd, "0", 10e-15)
+	}
+	return c
+}
+
+// StampLadderSystem restamps the canonical solver-bench system into s: a
+// tridiagonal conductance ladder plus one source-incidence pair, shaped
+// like a transient engine's per-step assembly. BenchmarkSolverStep
+// (bench_test.go) and `nanobench -solverbench` share this single
+// definition so the committed BENCH_solver.json always records the same
+// workload the Go benchmark measures.
+func StampLadderSystem(s linsolve.Solver, n int, g float64) {
+	s.Reset()
+	StampLadderEntries(s, n, g)
+}
+
+// StampLadderEntries stamps the ladder-system entries into any Adder —
+// the caller clears the accumulator first. Shared with the naive-path
+// reference measurements, which stamp a bare Triplet.
+func StampLadderEntries(a stamp.Adder, n int, g float64) {
+	for i := 0; i < n-1; i++ {
+		a.Add(i, i, 2*g)
+		if i > 0 {
+			a.Add(i, i-1, -g)
+		}
+		if i < n-2 {
+			a.Add(i, i+1, -g)
+		}
+	}
+	a.Add(0, n-1, 1)
+	a.Add(n-1, 0, 1)
+}
+
+// RCLadder builds an n-section RC transmission-line ladder driven by w:
+// the linear scaling workload where per-step cost is pure solver work
+// (no device evaluations). Section impedance 100 Ω / 20 fF.
+func RCLadder(n int, w device.Waveform) *circuit.Circuit {
+	c := circuit.New("rc-ladder")
+	c.AddVSource("V1", nodeName(0), "0", w)
+	for i := 1; i <= n; i++ {
+		c.AddResistor("R"+nodeName(i), nodeName(i-1), nodeName(i), 100)
+		c.AddCapacitor("C"+nodeName(i), nodeName(i), "0", 20e-15)
 	}
 	return c
 }

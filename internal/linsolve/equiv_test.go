@@ -1,0 +1,339 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nanosim/internal/spmat"
+)
+
+// circuitShape is a randomly generated MNA-like stamping plan: a set of
+// two-terminal "devices" between node rows (or ground), plus source-style
+// incidence pairs. The pattern is fixed; per-cycle conductance values
+// vary. This mirrors how every engine drives a Solver.
+type circuitShape struct {
+	n       int
+	devA    []int // -1 means ground
+	devB    []int
+	srcRow  []int // incidence rows: A[node][branch] = ±1
+	srcNode []int
+}
+
+func randShape(rng *rand.Rand, nodes, branches int) circuitShape {
+	s := circuitShape{n: nodes + branches}
+	devs := nodes * 2
+	for d := 0; d < devs; d++ {
+		a := rng.Intn(nodes+1) - 1 // allow ground
+		b := rng.Intn(nodes+1) - 1
+		if a == b {
+			b = -1
+			if a == -1 {
+				a = rng.Intn(nodes)
+			}
+		}
+		s.devA = append(s.devA, a)
+		s.devB = append(s.devB, b)
+	}
+	for k := 0; k < branches; k++ {
+		s.srcRow = append(s.srcRow, nodes+k)
+		s.srcNode = append(s.srcNode, rng.Intn(nodes))
+	}
+	return s
+}
+
+// stamp assembles the shape with the given per-device conductances. A
+// fixed backbone leak on every row keeps diagonals bounded away from the
+// Gmin floor, like the C/h companions of a real transient system.
+func (s circuitShape) stamp(sol Solver, g []float64, gmin, backbone float64) {
+	sol.Reset()
+	for i := 0; i < s.n; i++ {
+		sol.Add(i, i, gmin)
+		sol.Add(i, i, backbone)
+	}
+	for d := range s.devA {
+		ia, ib, gd := s.devA[d], s.devB[d], g[d]
+		if ia >= 0 {
+			sol.Add(ia, ia, gd)
+		}
+		if ib >= 0 {
+			sol.Add(ib, ib, gd)
+		}
+		if ia >= 0 && ib >= 0 {
+			sol.Add(ia, ib, -gd)
+			sol.Add(ib, ia, -gd)
+		}
+	}
+	for k := range s.srcRow {
+		sol.Add(s.srcNode[k], s.srcRow[k], 1)
+		sol.Add(s.srcRow[k], s.srcNode[k], 1)
+	}
+}
+
+// TestSolverEquivalenceProperty stamps random circuit-shaped systems and
+// checks that dense LU, a fresh sparse LU per cycle, and the
+// pattern-reusing sparse solver agree across repeated
+// Reset → restamp → Solve cycles with pattern-stable value changes.
+func TestSolverEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	totalRefactors, totalReuseCycles := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		nodes := 3 + rng.Intn(30)
+		branches := rng.Intn(3)
+		shape := randShape(rng, nodes, branches)
+		n := shape.n
+
+		dn := NewDense(n, nil)
+		reused := NewSparse(n, nil)
+		g := make([]float64, len(shape.devA))
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		xd := make([]float64, n)
+		xf := make([]float64, n)
+		xr := make([]float64, n)
+
+		const cycles = 6
+		for cyc := 0; cyc < cycles; cyc++ {
+			for d := range g {
+				// Conductances over several decades, like Geq across an
+				// I-V curve; occasionally exactly zero (device cut off)
+				// to exercise structural-zero slots.
+				g[d] = math.Pow(10, -4+6*rng.Float64())
+				if rng.Intn(10) == 0 {
+					g[d] = 0
+				}
+			}
+			fresh := NewSparse(n, nil) // never reuses anything
+			shape.stamp(dn, g, 1e-9, 1e-3)
+			shape.stamp(fresh, g, 1e-9, 1e-3)
+			shape.stamp(reused, g, 1e-9, 1e-3)
+			if err := dn.Solve(rhs, xd); err != nil {
+				t.Fatalf("trial %d cycle %d: dense: %v", trial, cyc, err)
+			}
+			if err := fresh.Solve(rhs, xf); err != nil {
+				t.Fatalf("trial %d cycle %d: fresh sparse: %v", trial, cyc, err)
+			}
+			if err := reused.Solve(rhs, xr); err != nil {
+				t.Fatalf("trial %d cycle %d: reused sparse: %v", trial, cyc, err)
+			}
+			scale := 0.0
+			for i := range xd {
+				if a := math.Abs(xd[i]); a > scale {
+					scale = a
+				}
+			}
+			tol := 1e-8 * math.Max(scale, 1)
+			for i := range xd {
+				if math.Abs(xd[i]-xf[i]) > tol {
+					t.Fatalf("trial %d cycle %d: dense vs fresh sparse differ at %d: %g vs %g",
+						trial, cyc, i, xd[i], xf[i])
+				}
+				if math.Abs(xd[i]-xr[i]) > tol {
+					t.Fatalf("trial %d cycle %d: dense vs reused sparse differ at %d: %g vs %g",
+						trial, cyc, i, xd[i], xr[i])
+				}
+			}
+		}
+		st := reused.(Refactorable).SolveStats()
+		if st.PatternRebuild != 0 {
+			t.Fatalf("trial %d: stable stamp order must not rebuild the pattern: %+v", trial, st)
+		}
+		totalRefactors += st.NumericRefactor
+		totalReuseCycles += cycles - 1
+	}
+	// A reused pivot may legitimately drift (a device conductance hitting
+	// exactly zero reshapes the numerics), so individual cycles may fall
+	// back — but across the run the numeric-refactor path must dominate.
+	if totalRefactors*2 < totalReuseCycles {
+		t.Fatalf("pattern reuse engaged on only %d of %d eligible cycles", totalRefactors, totalReuseCycles)
+	}
+}
+
+// TestSolverPivotFallback drives a pattern-stable value change that
+// invalidates the reused pivot order: the entry the first factorization
+// pivoted on collapses to (near) zero while the matrix stays nonsingular.
+// The solver must detect the drift, redo the full factorization, and
+// still produce the right answer.
+func TestSolverPivotFallback(t *testing.T) {
+	// 2x2: A = [[a, 1], [1, 0]]. With a=5 the (0,0) entry is a valid
+	// pivot; with a=0 it is not, but the matrix stays well-conditioned
+	// (det = -1). The (1,1) slot is stamped as a structural zero so the
+	// pattern covers every entry either factorization needs.
+	s := NewSparse(2, nil)
+	build := func(a float64) {
+		s.Reset()
+		s.Add(0, 0, a)
+		s.Add(0, 1, 1)
+		s.Add(1, 0, 1)
+		s.Add(1, 1, 0)
+	}
+	rhs := []float64{3, 2}
+	x := make([]float64, 2)
+
+	build(5)
+	if err := s.Solve(rhs, x); err != nil {
+		t.Fatal(err)
+	}
+	// a=5: x1 = 2, x0+5·2... A·x = [5x0+x1, x0] => x0 = 2, x1 = 3-5·2 = -7.
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-(-7)) > 1e-12 {
+		t.Fatalf("warmup solve wrong: %v", x)
+	}
+	build(0)
+	if err := s.Solve(rhs, x); err != nil {
+		t.Fatal(err)
+	}
+	// a=0: x1 = 3, x0 = 2.
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("post-drift solve wrong: %v", x)
+	}
+	st := s.(Refactorable).SolveStats()
+	if st.FullFactor < 2 {
+		t.Fatalf("pivot drift did not force a full refactorization: %+v", st)
+	}
+	if st.PatternRebuild != 0 {
+		t.Fatalf("value-only change must not rebuild the pattern: %+v", st)
+	}
+}
+
+// TestSolverPatternDivergence checks the self-healing path: when the
+// stamp sequence changes (a different circuit on the same solver), the
+// compiled pattern is re-recorded and results stay correct.
+func TestSolverPatternDivergence(t *testing.T) {
+	s := NewSparse(3, nil)
+	rhs := []float64{1, 2, 3}
+	x := make([]float64, 3)
+
+	s.Reset()
+	for i := 0; i < 3; i++ {
+		s.Add(i, i, 2)
+	}
+	if err := s.Solve(rhs, x); err != nil {
+		t.Fatal(err)
+	}
+	// Different structure: add off-diagonal coupling.
+	s.Reset()
+	for i := 0; i < 3; i++ {
+		s.Add(i, i, 2)
+	}
+	s.Add(0, 2, 1)
+	if err := s.Solve(rhs, x); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(0, 2); got != 1 {
+		t.Fatalf("At(0,2) = %g after divergence, want 1", got)
+	}
+	want0 := (1.0 - 1.0*1.5) / 2 // x2 = 1.5, row0: 2·x0 + x2 = 1
+	if math.Abs(x[0]-want0) > 1e-12 || math.Abs(x[2]-1.5) > 1e-12 {
+		t.Fatalf("post-divergence solve wrong: %v", x)
+	}
+	st := s.(Refactorable).SolveStats()
+	if st.PatternRebuild != 1 {
+		t.Fatalf("expected exactly one pattern rebuild, got %+v", st)
+	}
+}
+
+// TestSolverSteadyStateAllocs asserts the headline property: once the
+// pattern is compiled, a full Reset → restamp → Solve cycle performs zero
+// allocations on both backends.
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shape := randShape(rng, 40, 2)
+	g := make([]float64, len(shape.devA))
+	for d := range g {
+		g[d] = 1e-3 * float64(d+1)
+	}
+	rhs := make([]float64, shape.n)
+	rhs[0] = 1
+	x := make([]float64, shape.n)
+
+	for _, tc := range []struct {
+		name string
+		sol  Solver
+	}{
+		{"sparse", NewSparse(shape.n, nil)},
+		{"dense", NewDense(shape.n, nil)},
+	} {
+		// Warm up: compile pattern + symbolic analysis.
+		shape.stamp(tc.sol, g, 1e-9, 1e-3)
+		if err := tc.sol.Solve(rhs, x); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			for d := range g {
+				g[d] += 1e-6
+			}
+			shape.stamp(tc.sol, g, 1e-9, 1e-3)
+			if err := tc.sol.Solve(rhs, x); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: steady-state cycle allocates %.1f times, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestRefactorMatchesFullFactor cross-checks RefactorNumeric against a
+// from-scratch factorization at the spmat level across many random
+// pattern-stable value sets.
+func TestRefactorMatchesFullFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(40)
+		var seq []int64
+		for i := 0; i < n; i++ {
+			seq = append(seq, spmat.Key(i, i))
+			if i > 0 {
+				seq = append(seq, spmat.Key(i, i-1), spmat.Key(i-1, i))
+			}
+			if rng.Intn(3) == 0 {
+				seq = append(seq, spmat.Key(i, rng.Intn(n)))
+			}
+		}
+		pat, slots := spmat.CompilePattern(n, seq)
+		fill := func() {
+			pat.Zero()
+			for k := range seq {
+				i := int(seq[k] >> 32)
+				j := int(seq[k] & 0xffffffff)
+				v := rng.NormFloat64()
+				if i == j {
+					v = 4 + rng.Float64() // diagonally dominant
+				}
+				pat.AddSlot(slots[k], v)
+			}
+		}
+		fill()
+		lu, err := spmat.FactorPattern(pat, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lu.PrepareReuse()
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xRef := make([]float64, n)
+		xNew := make([]float64, n)
+		for cyc := 0; cyc < 4; cyc++ {
+			fill()
+			if err := lu.RefactorNumeric(pat, nil); err != nil {
+				t.Fatalf("trial %d cycle %d: refactor: %v", trial, cyc, err)
+			}
+			lu.Solve(b, xNew, nil)
+			ref, err := spmat.FactorPattern(pat, nil)
+			if err != nil {
+				t.Fatalf("trial %d cycle %d: full: %v", trial, cyc, err)
+			}
+			ref.Solve(b, xRef, nil)
+			for i := range xRef {
+				if math.Abs(xRef[i]-xNew[i]) > 1e-9*(1+math.Abs(xRef[i])) {
+					t.Fatalf("trial %d cycle %d: refactor diverges at %d: %g vs %g",
+						trial, cyc, i, xNew[i], xRef[i])
+				}
+			}
+		}
+	}
+}

@@ -124,12 +124,12 @@ func TestSingularReported(t *testing.T) {
 }
 
 func TestAuto(t *testing.T) {
-	small := Auto(10, nil)
+	small := Auto(AutoCrossover, nil)
 	if _, ok := small.(*dense); !ok {
-		t.Error("Auto(10) should pick dense")
+		t.Errorf("Auto(%d) should pick dense", AutoCrossover)
 	}
-	big := Auto(500, nil)
+	big := Auto(AutoCrossover+1, nil)
 	if _, ok := big.(*sparse); !ok {
-		t.Error("Auto(500) should pick sparse")
+		t.Errorf("Auto(%d) should pick sparse", AutoCrossover+1)
 	}
 }

@@ -46,6 +46,20 @@ func FactorInPlace(a *Dense, fc *flop.Counter) (*LU, error) {
 	return f, f.refactor(fc)
 }
 
+// Refactor re-runs the factorization on a new matrix of the same
+// dimension, destructively and reusing the LU's pivot storage — the
+// dense counterpart of the sparse numeric refactorization, so per-step
+// dense solves allocate nothing in steady state. The caller must not use
+// a afterwards except through f.
+func (f *LU) Refactor(a *Dense, fc *flop.Counter) error {
+	if a.rows != a.cols || a.rows != len(f.pivot) {
+		return errors.New("mat: Refactor dimension mismatch")
+	}
+	f.lu = a
+	f.signD = 1
+	return f.refactor(fc)
+}
+
 func (f *LU) refactor(fc *flop.Counter) error {
 	n := f.lu.rows
 	d := f.lu.data

@@ -202,9 +202,75 @@ type scaledAdder struct {
 // Add implements stamp.Adder.
 func (sa scaledAdder) Add(i, j int, v float64) { sa.a.Add(i, j, v*sa.s) }
 
-// explicitC factors the capacitance matrix once for the explicit update.
+// gStamper accumulates the per-step G matrix with deterministic
+// summation order: the first assembly records the stamp sequence into a
+// map-backed Triplet, which is compiled into a Pattern; later assemblies
+// replay positionally into compiled slots and the product runs in fixed
+// CSR row order. Determinism matters here — the Options contract
+// promises the same seed reproduces the same path bit for bit, which a
+// map-iteration product would break.
+type gStamper struct {
+	n     int
+	t     *spmat.Triplet
+	seq   []int64
+	pat   *spmat.Pattern
+	slots []int32
+	cur   int
+}
+
+func newGStamper(n int) *gStamper { return &gStamper{n: n, t: spmat.NewTriplet(n, n)} }
+
+// Add implements stamp.Adder.
+func (g *gStamper) Add(i, j int, v float64) {
+	if g.pat != nil {
+		if g.cur < len(g.seq) && g.seq[g.cur] == spmat.Key(i, j) {
+			g.pat.AddSlot(g.slots[g.cur], v)
+			g.cur++
+			return
+		}
+		// Stamp order diverged (cannot happen for a fixed circuit, but
+		// stay correct): spill back to the map accumulator.
+		g.t = spmat.NewTriplet(g.n, g.n)
+		g.pat.EachNonzero(func(i2, j2 int, v2 float64) { g.t.Add(i2, j2, v2) })
+		g.seq = g.seq[:g.cur]
+		g.pat, g.slots = nil, nil
+	}
+	g.t.Add(i, j, v)
+	g.seq = append(g.seq, spmat.Key(i, j))
+}
+
+// reset clears values for the next assembly, keeping the compiled
+// structure.
+func (g *gStamper) reset() {
+	if g.pat != nil {
+		g.pat.Zero()
+		g.cur = 0
+		return
+	}
+	g.t.Zero()
+	g.seq = g.seq[:0]
+}
+
+// mulVec computes y = G*x, compiling the pattern on first use.
+func (g *gStamper) mulVec(x, y []float64, fc *flop.Counter) {
+	if g.pat == nil {
+		pat, slots := spmat.CompilePattern(g.n, g.seq)
+		g.t.Each(func(i, j int, v float64) { pat.SetAt(i, j, v) })
+		g.pat, g.slots = pat, slots
+		g.t = nil
+		g.cur = len(g.seq)
+	}
+	g.pat.MulVec(x, y, fc)
+}
+
+// explicitC factors the capacitance matrix once for the explicit update
+// and keeps the per-step assembly scratch so stepping stays cheap.
 type explicitC struct {
 	sol linsolve.Solver
+	gt  *gStamper
+	r   []float64
+	b   []float64
+	dx  []float64
 }
 
 // newExplicitC validates the circuit for explicit EM and factors C.
@@ -227,25 +293,34 @@ func newExplicitC(sys *stamp.System, opt Options) (*explicitC, error) {
 	if err := sol.Solve(probe, tmp); err != nil {
 		return nil, fmt.Errorf("sde: explicit EM needs capacitance on every node: %w", err)
 	}
-	return &explicitC{sol: sol}, nil
+	return &explicitC{
+		sol: sol,
+		gt:  newGStamper(sys.Dim()),
+		r:   make([]float64, sys.Dim()),
+		b:   make([]float64, sys.Dim()),
+		dx:  make([]float64, sys.Dim()),
+	}, nil
 }
 
 // step performs one explicit EM update.
 func (ec *explicitC) step(sys *stamp.System, x, xNew []float64, t, h float64, dW []float64, noiseCols [][]float64, opt Options) error {
-	dim := sys.Dim()
 	// r = -G·x + b(t), with G including Geq companions at x.
-	gt := spmat.NewTriplet(dim, dim)
+	gt := ec.gt
+	gt.reset()
 	sys.StampLinearG(gt)
 	for i := 0; i < sys.NodeCount(); i++ {
 		gt.Add(i, i, opt.Gmin)
 	}
 	stampGeq(sys, gt, x, opt.FC)
-	r := make([]float64, dim)
-	gt.ToCSR().MulVec(x, r, opt.FC)
+	r := ec.r
+	gt.mulVec(x, r, opt.FC)
 	for i := range r {
 		r[i] = -r[i]
 	}
-	b := make([]float64, dim)
+	b := ec.b
+	for i := range b {
+		b[i] = 0
+	}
 	sys.StampRHS(t, b)
 	for i := range r {
 		r[i] = h * (r[i] + b[i])
@@ -257,8 +332,9 @@ func (ec *explicitC) step(sys *stamp.System, x, xNew []float64, t, h float64, dW
 			}
 		}
 	}
-	// xNew = x + C^-1 r.
-	dx := make([]float64, dim)
+	// xNew = x + C^-1 r (the C factorization is reused across all steps:
+	// nothing is restamped, so the solver skips refactorization).
+	dx := ec.dx
 	if err := ec.sol.Solve(r, dx); err != nil {
 		return fmt.Errorf("sde: explicit step solve: %w", err)
 	}
@@ -266,8 +342,8 @@ func (ec *explicitC) step(sys *stamp.System, x, xNew []float64, t, h float64, dW
 		xNew[i] = x[i] + dx[i]
 	}
 	if fc := opt.FC; fc != nil {
-		fc.Add(dim * 3)
-		fc.Mul(dim)
+		fc.Add(sys.Dim() * 3)
+		fc.Mul(sys.Dim())
 	}
 	return nil
 }

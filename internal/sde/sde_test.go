@@ -353,3 +353,28 @@ func TestSeedReproducibility(t *testing.T) {
 		t.Error("different seeds produced identical paths")
 	}
 }
+
+// TestExplicitSameSeedBitIdentical guards the Options contract that the
+// same seed reproduces the same path exactly: the explicit-mode drift
+// product must use a deterministic summation order (the compiled
+// gStamper pattern), not map iteration.
+func TestExplicitSameSeedBitIdentical(t *testing.T) {
+	ckt := circuit.New("det")
+	is, _ := ckt.AddISource("IN", "0", "x", device.DC(50e-6))
+	is.NoiseSigma = 8e-10
+	ckt.AddResistor("R1", "x", "0", 1e3)
+	ckt.AddCapacitor("C1", "x", "0", 1e-12)
+	run := func() []float64 {
+		res, err := Transient(ckt, Options{TStop: 1e-9, Steps: 300, Seed: 42, Explicit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.X
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed explicit paths differ at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

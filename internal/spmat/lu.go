@@ -22,6 +22,11 @@ type sent struct {
 // matrices, numerically safe on the badly-scaled systems NDR devices
 // produce. Rows are slice-based: circuit rows stay short, so linear
 // scans beat hashing in both time and allocation.
+//
+// After PrepareReuse the object additionally carries the symbolic
+// program (pivot order + fill structure + per-row elimination schedule)
+// needed to redo the numerics of the factorization without repeating
+// the symbolic analysis — see RefactorNumeric.
 type LU struct {
 	n          int
 	rowPerm    []int // rowPerm[k] = original row eliminated at step k
@@ -30,11 +35,38 @@ type LU struct {
 	uRows      [][]sent
 	uDiag      []float64
 	invColPerm []int
+
+	// Symbolic-reuse program (PrepareReuse) — rowSteps[r] schedules, in
+	// elimination order, the steps that update original row r before its
+	// own pivot step, each with the slot of r's multiplier in lRows.
+	rowSteps [][]stepRef
+	work     []float64 // dense scatter row for RefactorNumeric
+	ySol     []float64 // Solve scratch (forward pass)
+	zSol     []float64 // Solve scratch (backward pass)
+}
+
+// stepRef locates one elimination update in the symbolic program.
+type stepRef struct {
+	step int32 // elimination step m whose pivot row updates this row
+	slot int32 // index of this row's multiplier within lRows[m]
 }
 
 // pivotThreshold is the fraction of the column maximum a pivot candidate
 // must reach to be numerically acceptable.
 const pivotThreshold = 1e-3
+
+// refactorPivotTol is the fraction of its own eliminated row's maximum a
+// reused pivot must retain to stay numerically acceptable; below it
+// RefactorNumeric returns ErrPivotDrift and the caller falls back to a
+// fresh full factorization (new pivot order). The ratio is taken within
+// the row — not against the global matrix maximum — because MNA systems
+// legitimately span ~12 decades (Gmin leaks vs unit source incidence)
+// while individual rows stay well scaled.
+const refactorPivotTol = 1e-6
+
+// ErrPivotDrift reports that a numeric refactorization met a pivot that
+// the reused elimination order can no longer support.
+var ErrPivotDrift = errors.New("spmat: reused pivot drifted below threshold; full refactorization required")
 
 // rowFind returns the index of column j in r, or -1.
 func rowFind(r []sent, j int) int {
@@ -62,6 +94,38 @@ func Factor(t *Triplet, fc *flop.Counter) (*LU, error) {
 			}
 		}
 	}
+	return factorRows(n, rows, maxAbs, fc)
+}
+
+// FactorPattern computes a sparse LU of a compiled pattern. Structural
+// entries are kept even when numerically zero so the factorization's
+// fill structure stays valid for every matrix sharing the pattern — the
+// precondition RefactorNumeric relies on.
+func FactorPattern(p *Pattern, fc *flop.Counter) (*LU, error) {
+	n := p.n
+	rows := make([][]sent, n)
+	maxAbs := 0.0
+	for i := 0; i < n; i++ {
+		lo, hi := p.rowPtr[i], p.rowPtr[i+1]
+		if lo == hi {
+			continue
+		}
+		r := make([]sent, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			v := p.vals[k]
+			r = append(r, sent{j: int(p.colIdx[k]), v: v})
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		rows[i] = r
+	}
+	return factorRows(n, rows, maxAbs, fc)
+}
+
+// factorRows runs the minimum-degree elimination on an initial row
+// structure (consumed destructively).
+func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, error) {
 	if maxAbs == 0 {
 		return nil, ErrSingular
 	}
@@ -209,6 +273,96 @@ func Factor(t *Triplet, fc *flop.Counter) (*LU, error) {
 	return f, nil
 }
 
+// PrepareReuse builds the symbolic program that lets RefactorNumeric
+// redo the factorization arithmetic without repeating the min-degree
+// analysis, and preallocates the Solve scratch so steady-state
+// refactor+solve cycles perform zero allocations.
+func (f *LU) PrepareReuse() {
+	f.rowSteps = make([][]stepRef, f.n)
+	for m := 0; m < f.n; m++ {
+		for slot, e := range f.lRows[m] {
+			r := e.j // lRows entries address the eliminated original row
+			f.rowSteps[r] = append(f.rowSteps[r], stepRef{step: int32(m), slot: int32(slot)})
+		}
+	}
+	f.work = make([]float64, f.n)
+	f.ySol = make([]float64, f.n)
+	f.zSol = make([]float64, f.n)
+}
+
+// RefactorNumeric redoes the numeric factorization of a matrix sharing
+// this LU's compiled pattern, reusing the pivot order and fill structure
+// from the original symbolic analysis. It performs no allocations and no
+// structural searches: each original row is scattered into a dense work
+// row, the recorded elimination schedule is replayed, and the surviving
+// entries are gathered back into the fixed U structure.
+//
+// Returns ErrPivotDrift when a reused pivot falls below threshold (the
+// caller should run a fresh FactorPattern) and ErrSingular on an all-zero
+// matrix. PrepareReuse must have been called on f.
+func (f *LU) RefactorNumeric(p *Pattern, fc *flop.Counter) error {
+	n := f.n
+	if p.n != n {
+		return errors.New("spmat: RefactorNumeric dimension mismatch")
+	}
+	if f.rowSteps == nil {
+		return errors.New("spmat: RefactorNumeric before PrepareReuse")
+	}
+	w := f.work
+	muls, adds, divs := 0, 0, 0
+	for k := 0; k < n; k++ {
+		r := f.rowPerm[k]
+		for idx := p.rowPtr[r]; idx < p.rowPtr[r+1]; idx++ {
+			w[p.colIdx[idx]] = p.vals[idx]
+		}
+		for _, sr := range f.rowSteps[r] {
+			m := int(sr.step)
+			c := f.colPerm[m]
+			mult := w[c] / f.uDiag[m]
+			divs++
+			w[c] = 0
+			f.lRows[m][sr.slot].v = mult
+			if mult != 0 {
+				u := f.uRows[m]
+				for i := range u {
+					w[u[i].j] -= mult * u[i].v
+				}
+				muls += len(u)
+				adds += len(u)
+			}
+		}
+		piv := w[f.colPerm[k]]
+		w[f.colPerm[k]] = 0
+		u := f.uRows[k]
+		rowMax := math.Abs(piv)
+		for i := range u {
+			v := w[u[i].j]
+			u[i].v = v
+			w[u[i].j] = 0
+			if a := math.Abs(v); a > rowMax {
+				rowMax = a
+			}
+		}
+		if rowMax == 0 || math.Abs(piv) < refactorPivotTol*rowMax {
+			// The LU's numeric content is now partially overwritten; that
+			// is fine — any later successful refactorization or the
+			// caller's fallback full factorization rewrites all of it.
+			fc.Mul(muls)
+			fc.Add(adds)
+			fc.Div(divs)
+			if rowMax == 0 {
+				return ErrSingular
+			}
+			return ErrPivotDrift
+		}
+		f.uDiag[k] = piv
+	}
+	fc.Mul(muls)
+	fc.Add(adds)
+	fc.Div(divs)
+	return nil
+}
+
 // Solve solves A*x = b; x and b must have length n and may not alias.
 func (f *LU) Solve(b, x []float64, fc *flop.Counter) {
 	n := f.n
@@ -216,7 +370,10 @@ func (f *LU) Solve(b, x []float64, fc *flop.Counter) {
 		panic("spmat: Solve dimension mismatch")
 	}
 	// Forward elimination on a work copy of b, replaying the multipliers.
-	y := make([]float64, n)
+	y := f.ySol
+	if y == nil {
+		y = make([]float64, n)
+	}
 	copy(y, b)
 	muls, adds, divs := 0, 0, 0
 	for k := 0; k < n; k++ {
@@ -231,7 +388,10 @@ func (f *LU) Solve(b, x []float64, fc *flop.Counter) {
 		}
 	}
 	// Back substitution in permuted order.
-	z := make([]float64, n)
+	z := f.zSol
+	if z == nil {
+		z = make([]float64, n)
+	}
 	for k := n - 1; k >= 0; k-- {
 		s := y[f.rowPerm[k]]
 		for _, e := range f.uRows[k] {

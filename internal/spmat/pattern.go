@@ -1,0 +1,165 @@
+package spmat
+
+import (
+	"fmt"
+	"sort"
+
+	"nanosim/internal/flop"
+)
+
+// Pattern is a compiled stamp pattern: the frozen sparsity structure of a
+// square matrix plus its current numeric values, laid out CSR-style. It
+// is the allocation-free counterpart of Triplet for the per-step hot
+// path: the structure is compiled once (from the first assembly's Add
+// sequence) and every later restamp is a pure array write through a
+// precomputed slot index — no map operations, no allocations.
+type Pattern struct {
+	n      int
+	rowPtr []int32
+	colIdx []int32
+	vals   []float64
+}
+
+// Key packs an (i, j) coordinate into the int64 form the compiler and
+// the slot-verification fast path share.
+func Key(i, j int) int64 { return int64(i)<<32 | int64(j) }
+
+// CompilePattern builds the frozen sparsity from a recorded sequence of
+// stamp coordinates (duplicates allowed — MNA stamping hits the same
+// entry from several devices) and returns, for each position of the
+// input sequence, the slot its value accumulates into. Values start at
+// zero; the caller scatters the first assembly in through Add.
+func CompilePattern(n int, seq []int64) (*Pattern, []int32) {
+	if n <= 0 {
+		panic(fmt.Sprintf("spmat: invalid pattern dimension %d", n))
+	}
+	uniq := make([]int64, len(seq))
+	copy(uniq, seq)
+	sort.Slice(uniq, func(a, b int) bool { return uniq[a] < uniq[b] })
+	w := 0
+	for r := 0; r < len(uniq); r++ {
+		if w == 0 || uniq[r] != uniq[w-1] {
+			uniq[w] = uniq[r]
+			w++
+		}
+	}
+	uniq = uniq[:w]
+	p := &Pattern{
+		n:      n,
+		rowPtr: make([]int32, n+1),
+		colIdx: make([]int32, len(uniq)),
+		vals:   make([]float64, len(uniq)),
+	}
+	for k, key := range uniq {
+		i, j := int(key>>32), int(key&0xffffffff)
+		if i < 0 || i >= n || j < 0 || j >= n {
+			panic(fmt.Sprintf("spmat: pattern key (%d,%d) out of range %dx%d", i, j, n, n))
+		}
+		p.rowPtr[i+1]++
+		p.colIdx[k] = int32(j)
+	}
+	for i := 0; i < n; i++ {
+		p.rowPtr[i+1] += p.rowPtr[i]
+	}
+	slots := make([]int32, len(seq))
+	for k, key := range seq {
+		// Binary search within the (already sorted) unique key list.
+		lo, hi := 0, len(uniq)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if uniq[mid] < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		slots[k] = int32(lo)
+	}
+	return p, slots
+}
+
+// Rows returns the matrix dimension.
+func (p *Pattern) Rows() int { return p.n }
+
+// Cols returns the matrix dimension.
+func (p *Pattern) Cols() int { return p.n }
+
+// NNZ returns the number of structural entries.
+func (p *Pattern) NNZ() int { return len(p.vals) }
+
+// Zero clears all values, keeping the structure.
+func (p *Pattern) Zero() {
+	for i := range p.vals {
+		p.vals[i] = 0
+	}
+}
+
+// AddSlot accumulates v into a compiled slot (from CompilePattern).
+func (p *Pattern) AddSlot(slot int32, v float64) { p.vals[slot] += v }
+
+// At returns element (i, j) by binary search within the row; structural
+// absences read as zero. Diagnostics path — the hot path uses AddSlot.
+func (p *Pattern) At(i, j int) float64 {
+	lo, hi := p.rowPtr[i], p.rowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case int(p.colIdx[mid]) == j:
+			return p.vals[mid]
+		case int(p.colIdx[mid]) < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// SetAt overwrites the value of structural entry (i, j); it panics when
+// the entry is absent from the pattern. One-time scatter path (compile),
+// not the per-step hot path.
+func (p *Pattern) SetAt(i, j int, v float64) {
+	lo, hi := p.rowPtr[i], p.rowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case int(p.colIdx[mid]) == j:
+			p.vals[mid] = v
+			return
+		case int(p.colIdx[mid]) < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	panic(fmt.Sprintf("spmat: SetAt(%d,%d) outside compiled pattern", i, j))
+}
+
+// EachNonzero visits every structural entry with a nonzero value in row
+// order.
+func (p *Pattern) EachNonzero(visit func(i, j int, v float64)) {
+	for i := 0; i < p.n; i++ {
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			if p.vals[k] != 0 {
+				visit(i, int(p.colIdx[k]), p.vals[k])
+			}
+		}
+	}
+}
+
+// MulVec computes y = P*x in fixed row order — deterministic summation,
+// unlike iterating a map-backed Triplet.
+func (p *Pattern) MulVec(x, y []float64, fc *flop.Counter) {
+	if len(x) != p.n || len(y) != p.n {
+		panic("spmat: MulVec dimension mismatch")
+	}
+	for i := 0; i < p.n; i++ {
+		s := 0.0
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			s += p.vals[k] * x[p.colIdx[k]]
+		}
+		y[i] = s
+	}
+	fc.Mul(len(p.vals))
+	fc.Add(len(p.vals))
+}

@@ -51,6 +51,13 @@ func (t *Triplet) At(i, j int) float64 { return t.entries[[2]int{i, j}] }
 // NNZ returns the number of stored (possibly zero-summed) entries.
 func (t *Triplet) NNZ() int { return len(t.entries) }
 
+// Each visits every stored entry in unspecified order.
+func (t *Triplet) Each(visit func(i, j int, v float64)) {
+	for k, v := range t.entries {
+		visit(k[0], k[1], v)
+	}
+}
+
 // Zero clears the accumulator for re-stamping, keeping capacity.
 func (t *Triplet) Zero() {
 	for k := range t.entries {

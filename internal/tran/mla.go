@@ -73,11 +73,12 @@ func newRTDLimiter(sys *stamp.System, fraction float64) func(prev, raw []float64
 		if scale >= 1 {
 			return raw
 		}
-		out := make([]float64, len(raw))
+		// Damp in place, preserving the Newton direction without
+		// allocating a fresh iterate each call.
 		for i := range raw {
-			out[i] = prev[i] + scale*(raw[i]-prev[i])
+			raw[i] = prev[i] + scale*(raw[i]-prev[i])
 		}
-		return out
+		return raw
 	}
 }
 

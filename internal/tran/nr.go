@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nanosim/internal/circuit"
+	"nanosim/internal/device"
 	"nanosim/internal/flop"
 	"nanosim/internal/linsolve"
 	"nanosim/internal/spmat"
@@ -22,10 +23,12 @@ type nrEngine struct {
 	cmat *spmat.CSR
 	dim  int
 
-	x    []float64 // accepted state
-	xk   []float64 // Newton iterate
-	rhs  []float64
-	work []float64
+	x      []float64 // accepted state
+	xk     []float64 // Newton iterate
+	xNew   []float64 // raw Newton solution scratch
+	xPrev2 []float64 // iterate k-1 for oscillation detection
+	rhs    []float64
+	work   []float64
 
 	breaks []float64
 	stats  Stats
@@ -75,6 +78,8 @@ func newNREngine(sys *stamp.System, opt Options) (*nrEngine, error) {
 	}
 	e.x = x0
 	e.xk = make([]float64, e.dim)
+	e.xNew = make([]float64, e.dim)
+	e.xPrev2 = make([]float64, e.dim)
 	e.rhs = make([]float64, e.dim)
 	e.work = make([]float64, e.dim)
 	e.breaks = breakTimes(sys, opt.TStart, opt.TStop)
@@ -108,8 +113,7 @@ func (e *nrEngine) assembleNewton(t, h float64, xPrev []float64) {
 	// Nonlinear companions at xk with *differential* conductance.
 	for _, tt := range e.sys.TwoTerms() {
 		v := e.sys.Branch(e.xk, tt.Elem.A, tt.Elem.B)
-		i := tt.Elem.Model.I(v)
-		g := tt.Elem.Model.G(v)
+		i, g := device.IAndG(tt.Elem.Model, v)
 		// One fused model evaluation computes I and G together (they
 		// share the transcendental subexpressions), matching the FLOP
 		// accounting convention in DESIGN.md.
@@ -176,8 +180,8 @@ func (sa scaledAdder) Add(i, j int, v float64) { sa.a.Add(i, j, v*sa.s) }
 // the accepted state. It returns the converged flag.
 func (e *nrEngine) solvePoint(t, h float64) (bool, error) {
 	copy(e.xk, e.x)
-	xNew := make([]float64, e.dim)
-	var xPrev2 []float64
+	xNew := e.xNew
+	havePrev2 := false
 	e.oscillating = false
 	for iter := 0; iter < e.opt.MaxNRIter; iter++ {
 		e.stats.NRIters++
@@ -197,13 +201,14 @@ func (e *nrEngine) solvePoint(t, h float64) (bool, error) {
 		}
 		upd := maxUpdate(xNew, e.xk, e.opt.AbsTol, e.opt.RelTol)
 		// Oscillation detection: iterate k+1 returns to iterate k-1.
-		if xPrev2 != nil {
-			back := maxUpdate(xNew, xPrev2, e.opt.AbsTol, e.opt.RelTol)
+		if havePrev2 {
+			back := maxUpdate(xNew, e.xPrev2, e.opt.AbsTol, e.opt.RelTol)
 			if back < 1 && upd >= 1 {
 				e.oscillating = true
 			}
 		}
-		xPrev2 = append(xPrev2[:0], e.xk...)
+		copy(e.xPrev2, e.xk)
+		havePrev2 = true
 		copy(e.xk, xNew)
 		if upd < 1 && iter+1 >= e.opt.MinNRIter {
 			return true, nil

@@ -1,0 +1,13 @@
+* FET-RTD inverter (Figure 8a): series RTD pair with NMOS pull-down
+VDD vdd 0 1.2
+VIN in 0 PULSE(0 1.2 100n 1n 1n 200n)
+NL vdd out rtdload
+ND out 0 rtdmod
+M1 out in 0 nmod
+CL out 0 20f
+CIN in 0 1f
+.model rtdmod RTD
+.model rtdload RTD AREA=1.5
+.model nmod NMOS KP=5m VTO=0.5 W=1 L=1
+.tran 1n 500n
+.end

@@ -1,0 +1,6 @@
+* Noisy parasitic RC node (Figure 10): white-noise current into R||C
+IN 0 x DC 50u NOISE=0.8n
+R1 x 0 1k
+C1 x 0 1p
+.em 1n 200 SEED=7
+.end

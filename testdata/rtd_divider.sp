@@ -1,0 +1,10 @@
+* RTD voltage divider (Figure 7a): step through the NDR region
+V1 in 0 PULSE(0 1.5 5n 2n 2n 40n)
+R1 in d 100
+N1 d 0 rtdmod
+CD d 0 10f
+.model rtdmod RTD
+.op
+.dc V1 0 1.5 61 N1
+.tran 0.2n 50n
+.end
