@@ -8,9 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"nanosim/internal/core"
+	"nanosim/internal/device"
 	"nanosim/internal/exp"
 	"nanosim/internal/linsolve"
 	"nanosim/internal/spmat"
+	"nanosim/internal/vary"
 )
 
 // SolverBenchEntry is one backend × size measurement of the per-step
@@ -21,6 +24,20 @@ type SolverBenchEntry struct {
 	NsPerStep   float64 `json:"ns_per_step"`
 	AllocsPerOp int64   `json:"allocs_per_step"`
 	BytesPerOp  int64   `json:"bytes_per_step"`
+}
+
+// VarySmoke records the process-variation batch smoke: a 32-trial
+// Monte Carlo on the FET-RTD inverter, asserting same-seed determinism
+// across worker counts and reporting the per-trial cost with the
+// per-worker solver-state reuse engaged.
+type VarySmoke struct {
+	Trials          int     `json:"trials"`
+	Workers         int     `json:"workers"`
+	Deterministic   bool    `json:"deterministic_vs_workers_1"`
+	NsPerTrial      float64 `json:"ns_per_trial"`
+	NumericRefactor int     `json:"numeric_refactors"`
+	FullFactor      int     `json:"full_factorizations"`
+	Yield           float64 `json:"yield"`
 }
 
 // SolverBenchReport is the machine-readable solver perf record emitted
@@ -36,6 +53,7 @@ type SolverBenchReport struct {
 	Results    []SolverBenchEntry `json:"results"`
 	SpeedupVs  string             `json:"speedup_vs"`
 	MinSpeedup float64            `json:"min_speedup_n200_plus"`
+	Vary       *VarySmoke         `json:"vary_smoke,omitempty"`
 }
 
 // runSolverBench measures the per-step solver cost across sizes and
@@ -123,6 +141,12 @@ func runSolverBench(path string) error {
 		}
 	}
 
+	smoke, err := runVarySmoke()
+	if err != nil {
+		return err
+	}
+	rep.Vary = smoke
+
 	for _, e := range rep.Results {
 		fmt.Printf("%-14s n=%-4d %12.0f ns/step  %4d allocs/step\n",
 			e.Backend, e.N, e.NsPerStep, e.AllocsPerOp)
@@ -140,6 +164,61 @@ func runSolverBench(path string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// runVarySmoke runs the 32-trial process-variation batch on the RTD
+// chain (sparse backend, so solver-state reuse is visible) and asserts
+// same-seed determinism between Workers=1 and all-core runs.
+func runVarySmoke() (*VarySmoke, error) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	batch := func(w int) (*vary.Result, error) {
+		return vary.MonteCarlo(exp.RTDChain(16, device.DC(0.8)), vary.Options{
+			Trials:  32,
+			Seed:    20050307,
+			Workers: w,
+			Specs:   []vary.Spec{{Elem: "N*", Param: "A", Sigma: 0.05, Rel: true}},
+			Job: vary.Job{Analysis: "tran", Tran: core.Options{
+				TStop: 10e-9, HInit: 0.25e-9}},
+			Signals: []string{"v(n0)"},
+			Limits:  []vary.Limit{{Signal: "v(n0)", Stat: "final", Lo: 0, Hi: 1.5}},
+		})
+	}
+	r1, err := batch(1)
+	if err != nil {
+		return nil, fmt.Errorf("vary smoke (workers=1): %w", err)
+	}
+	start := time.Now()
+	rN, err := batch(workers)
+	if err != nil {
+		return nil, fmt.Errorf("vary smoke (workers=%d): %w", workers, err)
+	}
+	elapsed := time.Since(start)
+	s1, sN := r1.Signal("v(n0)"), rN.Signal("v(n0)")
+	deterministic := r1.Yield == rN.Yield
+	for i := range s1.Final {
+		if s1.Final[i] != sN.Final[i] || s1.Min[i] != sN.Min[i] || s1.Max[i] != sN.Max[i] {
+			deterministic = false
+			break
+		}
+	}
+	smoke := &VarySmoke{
+		Trials:          rN.Trials,
+		Workers:         workers,
+		Deterministic:   deterministic,
+		NsPerTrial:      float64(elapsed.Nanoseconds()) / float64(rN.Trials),
+		NumericRefactor: rN.Solve.NumericRefactor,
+		FullFactor:      rN.Solve.FullFactor,
+		Yield:           rN.Yield,
+	}
+	fmt.Printf("vary smoke: %d trials, %.0f ns/trial at %d workers, %d numeric refactors / %d full, deterministic=%v\n",
+		smoke.Trials, smoke.NsPerTrial, workers, smoke.NumericRefactor, smoke.FullFactor, deterministic)
+	if !deterministic {
+		return nil, fmt.Errorf("vary smoke: Workers=1 and Workers=%d batches differ for the same seed", workers)
+	}
+	return smoke, nil
 }
 
 func entry(backend string, n int, r testing.BenchmarkResult) SolverBenchEntry {

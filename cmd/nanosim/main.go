@@ -6,46 +6,89 @@
 //	.tran ...      SWEC transient
 //	.em ...        Euler-Maruyama transient with NOISE= sources
 //
+// Process-variation cards switch the deck into batch mode instead of
+// running the analyses one by one:
+//
+//	.step ...      deterministic parameter sweep (cartesian over cards)
+//	.mc N ...      Monte Carlo over the deck's .vary specs, with yield
+//	               against the .limit cards
+//
 // Usage:
 //
 //	nanosim [-engine swec|nr|mla|pwl] [-csv out.csv] [-plot] deck.sp
+//	nanosim -mc 500 -workers 8 deck.sp     (override .mc trial count)
+//	nanosim -step deck.sp                  (run only the .step sweep)
 //
 // The -engine flag switches the transient engine so the paper's
-// comparisons can be run on any deck; DC and EM always use the SWEC
-// machinery.
+// comparisons can be run on any deck; DC, EM and the batch modes always
+// use the SWEC machinery.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
+	"strings"
 
 	"nanosim"
 	"nanosim/internal/netparse"
 )
 
+// config carries the CLI flags into run.
+type config struct {
+	engine  string
+	csvPath string
+	plot    bool
+	width   int
+	height  int
+	mc      int  // override .mc trial count (0 = deck value)
+	step    bool // run only the .step sweep
+	workers int
+	seed    uint64
+	seedSet bool
+}
+
 func main() {
-	engine := flag.String("engine", "swec", "transient engine: swec, nr, mla or pwl")
-	csvPath := flag.String("csv", "", "write analysis waveforms as CSV to this file")
-	plot := flag.Bool("plot", true, "render ASCII plots of the results")
-	width := flag.Int("width", 78, "plot width in characters")
-	height := flag.Int("height", 16, "plot height in characters")
+	var cfg config
+	flag.StringVar(&cfg.engine, "engine", "swec", "transient engine: swec, nr, mla or pwl")
+	flag.StringVar(&cfg.csvPath, "csv", "", "write analysis waveforms as CSV to this file")
+	flag.BoolVar(&cfg.plot, "plot", true, "render ASCII plots of the results")
+	flag.IntVar(&cfg.width, "width", 78, "plot width in characters")
+	flag.IntVar(&cfg.height, "height", 16, "plot height in characters")
+	flag.IntVar(&cfg.mc, "mc", 0, "run a Monte Carlo with this many trials (overrides the .mc card count)")
+	flag.BoolVar(&cfg.step, "step", false, "run only the deck's .step parameter sweep")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel workers for -mc/-step batches (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0, "override the Monte Carlo seed")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nanosim [flags] deck.sp\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	cfg.seedSet = flagWasSet("seed")
+	cfg.seed = *seed
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *engine, *csvPath, *plot, *width, *height); err != nil {
+	if err := run(flag.Arg(0), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nanosim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, engine, csvPath string, plot bool, width, height int) error {
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func run(path string, cfg config) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -57,10 +100,26 @@ func run(path, engine, csvPath string, plot bool, width, height int) error {
 	fmt.Printf("* %s\n", deck.Circuit.Title)
 	fmt.Printf("* %d elements, %d nodes, %d analyses\n\n",
 		len(deck.Circuit.Elements()), deck.Circuit.NumNodes()-1, len(deck.Analyses))
+
+	wantMC := cfg.mc > 0 || deck.MC != nil
+	wantStep := cfg.step || len(deck.Steps) > 0
+	if wantMC || wantStep {
+		if wantStep {
+			if err := runStep(deck, cfg); err != nil {
+				return err
+			}
+		}
+		if wantMC && !cfg.step {
+			if err := runMC(deck, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	if len(deck.Analyses) == 0 {
 		return fmt.Errorf("deck has no analysis cards (.op/.dc/.tran/.em)")
 	}
-
 	var lastWaves *nanosim.WaveSet
 	for _, a := range deck.Analyses {
 		switch a.Kind {
@@ -83,25 +142,25 @@ func run(path, engine, csvPath string, plot bool, width, height int) error {
 			}
 			fmt.Printf("== .dc %s %g -> %g (%d points) ==\n", a.Src, a.From, a.To, a.Points)
 			lastWaves = res.Waves
-			if plot {
+			if cfg.plot {
 				names := []string{}
 				if a.Device != "" {
 					names = append(names, "i(dev)")
 				}
-				if err := res.Waves.Plot(os.Stdout, width, height, names...); err != nil {
+				if err := res.Waves.Plot(os.Stdout, cfg.width, cfg.height, names...); err != nil {
 					return err
 				}
 			}
 			fmt.Println()
 		case "tran":
-			waves, stats, err := runTransient(deck.Circuit, engine, a)
+			waves, stats, err := runTransient(deck.Circuit, cfg.engine, a)
 			if err != nil {
 				return fmt.Errorf(".tran: %w", err)
 			}
-			fmt.Printf("== .tran to %s (%s engine) ==\n%s\n", nanosim.FormatValue(a.TStop, 3), engine, stats)
+			fmt.Printf("== .tran to %s (%s engine) ==\n%s\n", nanosim.FormatValue(a.TStop, 3), cfg.engine, stats)
 			lastWaves = waves
-			if plot {
-				if err := waves.Plot(os.Stdout, width, height, deck.Prints...); err != nil {
+			if cfg.plot {
+				if err := waves.Plot(os.Stdout, cfg.width, cfg.height, deck.Prints...); err != nil {
 					return err
 				}
 			}
@@ -115,25 +174,229 @@ func run(path, engine, csvPath string, plot bool, width, height int) error {
 			fmt.Printf("== .em to %s (%d steps, %d noise sources, seed %d) ==\n",
 				nanosim.FormatValue(a.TStop, 3), a.Steps, res.NoiseSources, a.Seed)
 			lastWaves = res.Waves
-			if plot {
-				if err := res.Waves.Plot(os.Stdout, width, height, deck.Prints...); err != nil {
+			if cfg.plot {
+				if err := res.Waves.Plot(os.Stdout, cfg.width, cfg.height, deck.Prints...); err != nil {
 					return err
 				}
 			}
 			fmt.Println()
 		}
 	}
-	if csvPath != "" && lastWaves != nil {
-		f, err := os.Create(csvPath)
-		if err != nil {
+	if cfg.csvPath != "" && lastWaves != nil {
+		if err := writeCSV(cfg.csvPath, lastWaves); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := lastWaves.WriteCSV(f); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", csvPath)
 	}
+	return nil
+}
+
+func writeCSV(path string, waves *nanosim.WaveSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := waves.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// batchJob builds the per-trial analysis from the deck's cards: the .mc
+// analysis keyword when given, else the first .tran, else .em, else .op.
+func batchJob(deck *netparse.Deck) (nanosim.VaryJob, error) {
+	kind := ""
+	if deck.MC != nil {
+		kind = deck.MC.Analysis
+	}
+	var tran, em *netparse.Analysis
+	for i := range deck.Analyses {
+		a := &deck.Analyses[i]
+		switch {
+		case a.Kind == "tran" && tran == nil:
+			tran = a
+		case a.Kind == "em" && em == nil:
+			em = a
+		}
+	}
+	if kind == "" {
+		switch {
+		case tran != nil:
+			kind = "tran"
+		case em != nil:
+			kind = "em"
+		default:
+			kind = "op"
+		}
+	}
+	job := nanosim.VaryJob{Analysis: kind}
+	switch kind {
+	case "tran":
+		if tran == nil {
+			return job, fmt.Errorf(".mc tran needs a .tran card")
+		}
+		job.Tran = nanosim.TranOptions{TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true}
+	case "em":
+		if em == nil {
+			return job, fmt.Errorf(".mc em needs a .em card")
+		}
+		job.EM = nanosim.NoiseOptions{TStop: em.TStop, Steps: em.Steps, Seed: em.Seed}
+	}
+	return job, nil
+}
+
+// printSignals filters the .print list to the batch's measurable series;
+// empty means every recorded signal.
+func printSignals(deck *netparse.Deck) []string {
+	return append([]string(nil), deck.Prints...)
+}
+
+// runMC executes the deck's Monte Carlo cards.
+func runMC(deck *netparse.Deck, cfg config) error {
+	if len(deck.Varies) == 0 {
+		return fmt.Errorf("-mc/.mc needs at least one .vary card")
+	}
+	job, err := batchJob(deck)
+	if err != nil {
+		return err
+	}
+	opt := nanosim.VaryOptions{Job: job, Signals: printSignals(deck), Workers: cfg.workers}
+	if deck.MC != nil {
+		opt.Trials = deck.MC.Trials
+		opt.Seed = deck.MC.Seed
+		if opt.Workers == 0 {
+			opt.Workers = deck.MC.Workers
+		}
+	}
+	if cfg.mc > 0 {
+		opt.Trials = cfg.mc
+	}
+	if cfg.seedSet {
+		opt.Seed = cfg.seed
+	}
+	for _, v := range deck.Varies {
+		dist, err := nanosim.ParseVaryDist(v.Dist)
+		if err != nil {
+			return fmt.Errorf("netlist line %d: %w", v.Line, err)
+		}
+		opt.Specs = append(opt.Specs, nanosim.VarySpec{
+			Elem: v.Elem, Param: v.Param, Dist: dist,
+			Sigma: v.Sigma, Rel: v.Rel, Lot: v.Lot,
+		})
+	}
+	for _, l := range deck.Limits {
+		opt.Limits = append(opt.Limits, nanosim.VaryLimit{Signal: l.Signal, Stat: l.Stat, Lo: l.Lo, Hi: l.Hi})
+	}
+
+	res, err := nanosim.Vary(deck.Circuit, opt)
+	if err != nil {
+		return fmt.Errorf(".mc: %w", err)
+	}
+	fmt.Printf("== .mc %d trials (%s job, seed %d) ==\n", res.Trials, job.Analysis, opt.Seed)
+	for _, sp := range opt.Specs {
+		fmt.Printf("  vary %s\n", sp)
+	}
+	if res.Failed > 0 {
+		fmt.Printf("  %d trials FAILED; first: %v\n", res.Failed, res.TrialErrors[0])
+	}
+	env := nanosim.NewWaveSet()
+	for _, sg := range res.Signals {
+		nom := res.Nominal.Get(sg.Name)
+		q50, _ := sg.Quantile(0.5)
+		qlo, _ := sg.Quantile(0.05)
+		qhi, _ := sg.Quantile(0.95)
+		fmt.Printf("\n  %s final: nominal %s | median %s [q05 %s, q95 %s]\n",
+			sg.Name, nanosim.FormatValue(nom.Final(), 4), nanosim.FormatValue(q50, 4),
+			nanosim.FormatValue(qlo, 4), nanosim.FormatValue(qhi, 4))
+		if sg.FinalHist != nil {
+			fmt.Print(indent(sg.FinalHist.String(), "  "))
+		}
+		for _, s := range []*nanosim.Series{sg.Mean, sg.QLo, sg.QHi} {
+			if s != nil {
+				if err := env.Add(s); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(opt.Limits) > 0 {
+		for _, l := range opt.Limits {
+			fmt.Printf("  limit %s\n", l)
+		}
+		fmt.Printf("  yield: %.1f%% +/- %.1f%% (%d/%d trials pass)\n",
+			100*res.Yield, 100*res.YieldSE, res.Passed, res.Trials)
+	}
+	if cfg.plot && env.Len() > 0 {
+		fmt.Println("\n  envelope (mean with quantile band):")
+		if err := env.Plot(os.Stdout, cfg.width, cfg.height); err != nil {
+			return err
+		}
+	}
+	if cfg.csvPath != "" && env.Len() > 0 {
+		if err := writeCSV(cfg.csvPath, env); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\n  solver reuse: %d numeric refactors, %d full factorizations\n",
+		res.Solve.NumericRefactor, res.Solve.FullFactor)
+	return nil
+}
+
+// runStep executes the deck's .step sweep.
+func runStep(deck *netparse.Deck, cfg config) error {
+	if len(deck.Steps) == 0 {
+		return fmt.Errorf("-step needs at least one .step card")
+	}
+	job, err := batchJob(deck)
+	if err != nil {
+		return err
+	}
+	opt := nanosim.ParamSweepOptions{Job: job, Signals: printSignals(deck), Workers: cfg.workers}
+	for _, s := range deck.Steps {
+		opt.Axes = append(opt.Axes, nanosim.ParamSweepAxis{
+			Elem: s.Elem, Param: s.Param, From: s.From, To: s.To, Points: s.Points, Log: s.Log,
+		})
+	}
+	res, err := nanosim.ParamSweep(deck.Circuit, opt)
+	if err != nil {
+		return fmt.Errorf(".step: %w", err)
+	}
+	fmt.Printf("== .step sweep: %d points (%s job) ==\n", res.Runs(), job.Analysis)
+	header := make([]string, 0, len(res.Axes)+len(res.Signals))
+	for _, a := range res.Axes {
+		name := a.Elem
+		if a.Param != "" {
+			name += "(" + a.Param + ")"
+		}
+		header = append(header, name)
+	}
+	// Sort a copy: res.Signals documents the selection order.
+	signals := append([]string(nil), res.Signals...)
+	sort.Strings(signals)
+	for _, s := range signals {
+		header = append(header, "final "+s)
+	}
+	fmt.Printf("  %s\n", strings.Join(header, "\t"))
+	for r := 0; r < res.Runs(); r++ {
+		row := make([]string, 0, len(header))
+		for _, v := range res.Values[r] {
+			row = append(row, nanosim.FormatValue(v, 4))
+		}
+		for _, s := range signals {
+			v := res.Final[s][r]
+			if math.IsNaN(v) {
+				row = append(row, "FAILED")
+			} else {
+				row = append(row, nanosim.FormatValue(v, 4))
+			}
+		}
+		fmt.Printf("  %s\n", strings.Join(row, "\t"))
+	}
+	if res.Failed > 0 {
+		fmt.Printf("  %d points FAILED; first: %v\n", res.Failed, res.TrialErrors[0])
+	}
+	fmt.Println()
 	return nil
 }
 
@@ -168,4 +431,13 @@ func runTransient(ckt *nanosim.Circuit, engine string, a netparse.Analysis) (*na
 	default:
 		return nil, "", fmt.Errorf("unknown engine %q (want swec, nr, mla or pwl)", engine)
 	}
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

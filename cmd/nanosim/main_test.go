@@ -20,6 +20,20 @@ CD d 0 10f
 .end
 `
 
+// testCfg fills the config defaults the flag package would provide.
+func testCfg(cfg config) config {
+	if cfg.engine == "" {
+		cfg.engine = "swec"
+	}
+	if cfg.width == 0 {
+		cfg.width = 60
+	}
+	if cfg.height == 0 {
+		cfg.height = 10
+	}
+	return cfg
+}
+
 func writeDeck(t *testing.T, content string) string {
 	t.Helper()
 	dir := t.TempDir()
@@ -33,7 +47,7 @@ func writeDeck(t *testing.T, content string) string {
 func TestRunAllAnalyses(t *testing.T) {
 	path := writeDeck(t, testDeck)
 	csv := filepath.Join(filepath.Dir(path), "out.csv")
-	if err := run(path, "swec", csv, false, 60, 10); err != nil {
+	if err := run(path, testCfg(config{csvPath: csv})); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csv)
@@ -48,25 +62,25 @@ func TestRunAllAnalyses(t *testing.T) {
 func TestRunEngines(t *testing.T) {
 	path := writeDeck(t, testDeck)
 	for _, engine := range []string{"swec", "nr", "mla", "pwl"} {
-		if err := run(path, engine, "", false, 60, 10); err != nil {
+		if err := run(path, testCfg(config{engine: engine})); err != nil {
 			t.Errorf("engine %s: %v", engine, err)
 		}
 	}
-	if err := run(path, "bogus", "", false, 60, 10); err == nil {
+	if err := run(path, testCfg(config{engine: "bogus"})); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent/deck.sp", "swec", "", false, 60, 10); err == nil {
+	if err := run("/nonexistent/deck.sp", testCfg(config{})); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeDeck(t, "title only, no elements\n.end\n")
-	if err := run(bad, "swec", "", false, 60, 10); err == nil {
+	if err := run(bad, testCfg(config{})); err == nil {
 		t.Error("empty circuit accepted")
 	}
 	noAnalysis := writeDeck(t, "t\nV1 a 0 1\nR1 a 0 1k\n.end\n")
-	if err := run(noAnalysis, "swec", "", false, 60, 10); err == nil {
+	if err := run(noAnalysis, testCfg(config{})); err == nil {
 		t.Error("deck without analyses accepted")
 	}
 }
@@ -74,7 +88,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWithPlots(t *testing.T) {
 	// Plot path writes to stdout; just confirm it does not error.
 	path := writeDeck(t, testDeck)
-	if err := run(path, "swec", "", true, 60, 8); err != nil {
+	if err := run(path, testCfg(config{plot: true, height: 8})); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -86,8 +100,62 @@ func TestRunRepositoryDecks(t *testing.T) {
 		"../../testdata/fet_rtd_inverter.sp",
 		"../../testdata/noisy_rc.sp",
 	} {
-		if err := run(deck, "swec", "", false, 60, 8); err != nil {
+		if err := run(deck, testCfg(config{height: 8})); err != nil {
 			t.Errorf("%s: %v", deck, err)
 		}
+	}
+}
+
+func TestRunRepositoryBatchDecks(t *testing.T) {
+	// The .mc and .step demo decks run in batch mode; trials trimmed
+	// via the -mc override to keep the test quick.
+	if err := run("../../testdata/mc_rtd_inverter.sp", testCfg(config{mc: 16, height: 8})); err != nil {
+		t.Errorf("mc deck: %v", err)
+	}
+	if err := run("../../testdata/step_rtd_divider.sp", testCfg(config{height: 8})); err != nil {
+		t.Errorf("step deck: %v", err)
+	}
+}
+
+const mcDeck = `* CLI Monte Carlo deck
+V1 in 0 0.8
+R1 in d 600
+N1 d 0 rtdmod
+CD d 0 10f
+.model rtdmod RTD
+.tran 0.5n 10n
+.mc 8 SEED=3
+.vary N1(A) DEV=5%
+.limit v(d) final 0 1
+.print v(d)
+.end
+`
+
+func TestRunMonteCarloCSV(t *testing.T) {
+	path := writeDeck(t, mcDeck)
+	csv := filepath.Join(filepath.Dir(path), "env.csv")
+	if err := run(path, testCfg(config{csvPath: csv})); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "v(d)-mean") {
+		t.Errorf("envelope CSV missing mean column: %q", string(data[:60]))
+	}
+}
+
+func TestRunMCWithoutVaryCards(t *testing.T) {
+	path := writeDeck(t, testDeck)
+	if err := run(path, testCfg(config{mc: 4})); err == nil {
+		t.Error("-mc without .vary cards accepted")
+	}
+}
+
+func TestRunStepFlagWithoutCards(t *testing.T) {
+	path := writeDeck(t, testDeck)
+	if err := run(path, testCfg(config{step: true})); err == nil {
+		t.Error("-step without .step cards accepted")
 	}
 }

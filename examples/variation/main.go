@@ -1,0 +1,99 @@
+// Command variation demonstrates the process-variation half of
+// Nano-Sim's "statistical simulator" claim: nanodevice parameters are
+// uncertain (the paper motivates with RTD peak spread and nanowire
+// geometry), so a single nominal transient says little about a
+// manufactured population. A Monte Carlo over device parameters turns
+// one circuit into a yield number and a response envelope.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"nanosim"
+)
+
+const vdd = 1.2
+
+// inverter builds the Figure 8(a) FET-RTD inverter with the input held
+// high, so the nominal output settles at its logic-low level, 0.181 V.
+func inverter() *nanosim.Circuit {
+	c := nanosim.NewCircuit("FET-RTD inverter (input high)")
+	c.AddVSource("VDD", "vdd", "0", nanosim.DC(vdd))
+	c.AddVSource("VIN", "in", "0", nanosim.DC(vdd))
+	c.AddDevice("RL", "vdd", "out", nanosim.NewRTD().WithArea(1.5))
+	c.AddDevice("RD", "out", "0", nanosim.NewRTD())
+	m, err := nanosim.NewMOSFET(nanosim.NMOS, 5e-3, 1, 1, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.AddFET("M1", "out", "in", "0", m)
+	c.AddCapacitor("CL", "out", "0", nanosim.MustParse("20f"))
+	c.AddCapacitor("CIN", "in", "0", nanosim.MustParse("1f"))
+	return c
+}
+
+func main() {
+	// 500 trials; every RTD's peak-current scale A varies independently
+	// by 8% (DEV), the NMOS threshold by 3%, and the cell passes when
+	// the low state stays within spec.
+	res, err := nanosim.Vary(inverter(), nanosim.VaryOptions{
+		Trials: 500,
+		Seed:   42,
+		Specs: []nanosim.VarySpec{
+			{Elem: "R*", Param: "A", Sigma: 0.08, Rel: true},
+			{Elem: "M1", Param: "VTO", Sigma: 0.03, Rel: true},
+		},
+		Job: nanosim.VaryJob{Analysis: "tran",
+			Tran: nanosim.TranOptions{TStop: 60e-9, HInit: 1e-9}},
+		Signals: []string{"v(out)"},
+		Limits:  []nanosim.VaryLimit{{Signal: "v(out)", Stat: "final", Lo: 0, Hi: 0.2}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := res.Signal("v(out)")
+	fmt.Printf("%d trials, %d failed\n", res.Trials, res.Failed)
+	fmt.Printf("nominal low state: %s\n", nanosim.FormatValue(res.Nominal.Get("v(out)").Final(), 4))
+	q05, _ := out.Quantile(0.05)
+	q50, _ := out.Quantile(0.5)
+	q95, _ := out.Quantile(0.95)
+	fmt.Printf("population:        median %s, q05 %s, q95 %s\n",
+		nanosim.FormatValue(q50, 4), nanosim.FormatValue(q05, 4), nanosim.FormatValue(q95, 4))
+	fmt.Printf("yield (v(out) <= 0.2 V): %.1f%% +/- %.1f%%\n\n", 100*res.Yield, 100*res.YieldSE)
+
+	fmt.Println("settling envelope (mean and 5%/95% quantile band):")
+	env := nanosim.NewWaveSet()
+	env.Add(out.Mean)
+	env.Add(out.QLo)
+	env.Add(out.QHi)
+	if err := env.Plot(os.Stdout, 72, 14); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ndistribution of the settled output:")
+	fmt.Print(out.FinalHist)
+
+	// The same circuit, explored deterministically: sweep the load RTD
+	// area (the MOBILE driver/load ratio) and watch the low state move.
+	sweep, err := nanosim.ParamSweep(inverter(), nanosim.ParamSweepOptions{
+		Axes: []nanosim.ParamSweepAxis{{Elem: "RL", Param: "AREA", From: 1.1, To: 2.0, Points: 7}},
+		Job: nanosim.VaryJob{Analysis: "tran",
+			Tran: nanosim.TranOptions{TStop: 60e-9, HInit: 1e-9}},
+		Signals: []string{"v(out)"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n.step equivalent: low state vs load/driver area ratio")
+	for r, pt := range sweep.Values {
+		v := sweep.Final["v(out)"][r]
+		if math.IsNaN(v) {
+			continue
+		}
+		fmt.Printf("  AREA=%.2f  v(out)=%s\n", pt[0], nanosim.FormatValue(v, 4))
+	}
+}

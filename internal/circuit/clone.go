@@ -1,0 +1,62 @@
+package circuit
+
+import "nanosim/internal/device"
+
+// Clone returns an independent deep copy of the circuit: node tables and
+// element structs are copied, nonlinear device models are deep-copied
+// through device.CloneIV, and every FET gets its own MOSFET instance.
+// Waveforms are shared — they are immutable by contract.
+//
+// Clone preserves element insertion order exactly, which matters beyond
+// aesthetics: the MNA stamp sequence of a clone is identical to the
+// original's, so a solver whose compiled stamp pattern and symbolic LU
+// were warmed on one copy replays allocation-free on any other. The
+// process-variation runner (internal/vary) leans on this to reuse one
+// solver per worker across all Monte Carlo trials.
+func (c *Circuit) Clone() *Circuit {
+	nc := &Circuit{
+		Title:     c.Title,
+		nodeNames: append([]string(nil), c.nodeNames...),
+		nodeIndex: make(map[string]NodeID, len(c.nodeIndex)),
+		elems:     make([]Element, 0, len(c.elems)),
+		byName:    make(map[string]Element, len(c.byName)),
+	}
+	for k, v := range c.nodeIndex {
+		nc.nodeIndex[k] = v
+	}
+	for _, e := range c.elems {
+		var ce Element
+		switch t := e.(type) {
+		case *Resistor:
+			cp := *t
+			ce = &cp
+		case *Capacitor:
+			cp := *t
+			ce = &cp
+		case *Inductor:
+			cp := *t
+			ce = &cp
+		case *VSource:
+			cp := *t
+			ce = &cp
+		case *ISource:
+			cp := *t
+			ce = &cp
+		case *TwoTerm:
+			cp := *t
+			cp.Model = device.CloneIV(t.Model)
+			ce = &cp
+		case *FET:
+			cp := *t
+			cp.Model = t.Model.Clone()
+			ce = &cp
+		default:
+			// Unknown element kinds are shared; nothing in this package
+			// constructs them.
+			ce = e
+		}
+		nc.elems = append(nc.elems, ce)
+		nc.byName[ce.Name()] = ce
+	}
+	return nc
+}

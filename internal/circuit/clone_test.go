@@ -1,0 +1,92 @@
+package circuit
+
+import (
+	"testing"
+
+	"nanosim/internal/device"
+)
+
+// buildCloneFixture assembles a circuit exercising every element kind.
+func buildCloneFixture(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("clone fixture")
+	mustOK := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := c.AddVSource("V1", "in", "0", device.DC(1.2))
+	mustOK(err)
+	_, err = c.AddResistor("R1", "in", "d", 600)
+	mustOK(err)
+	_, err = c.AddCapacitor("CD", "d", "0", 10e-15)
+	mustOK(err)
+	_, err = c.AddInductor("L1", "d", "x", 1e-9)
+	mustOK(err)
+	_, err = c.AddISource("I1", "0", "x", device.DC(1e-6))
+	mustOK(err)
+	_, err = c.AddDevice("N1", "d", "0", device.NewRTD())
+	mustOK(err)
+	m, err := device.NewMOSFET(device.NMOS, 5e-3, 1, 1, 0.5)
+	mustOK(err)
+	_, err = c.AddFET("M1", "d", "in", "0", m)
+	mustOK(err)
+	return c
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := buildCloneFixture(t)
+	cl := orig.Clone()
+
+	if cl.NumNodes() != orig.NumNodes() || len(cl.Elements()) != len(orig.Elements()) {
+		t.Fatalf("clone shape mismatch: %d/%d nodes, %d/%d elements",
+			cl.NumNodes(), orig.NumNodes(), len(cl.Elements()), len(orig.Elements()))
+	}
+	for i, e := range orig.Elements() {
+		ce := cl.Elements()[i]
+		if e.Name() != ce.Name() {
+			t.Fatalf("element %d order changed: %q vs %q", i, e.Name(), ce.Name())
+		}
+		if e == ce {
+			t.Errorf("element %q shared between clone and original", e.Name())
+		}
+	}
+
+	// Mutating clone values must not write through.
+	cl.Element("R1").(*Resistor).R = 1e6
+	if r := orig.Element("R1").(*Resistor).R; r != 600 {
+		t.Errorf("clone resistor mutation leaked: R=%g", r)
+	}
+	rtd := cl.Element("N1").(*TwoTerm).Model.(*device.RTD)
+	if err := rtd.SetParam("A", rtd.A*3); err != nil {
+		t.Fatal(err)
+	}
+	origRTD := orig.Element("N1").(*TwoTerm).Model.(*device.RTD)
+	if origRTD.I(0.3) == rtd.I(0.3) {
+		t.Error("clone RTD perturbation leaked into original")
+	}
+	fet := cl.Element("M1").(*FET).Model
+	if err := fet.SetParam("VTO", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Element("M1").(*FET).Model.Vth != 0.5 {
+		t.Error("clone FET perturbation leaked into original")
+	}
+}
+
+func TestCloneNodeTablesIndependent(t *testing.T) {
+	orig := buildCloneFixture(t)
+	cl := orig.Clone()
+	if err := cl.Validate(); err != nil {
+		t.Errorf("clone does not validate: %v", err)
+	}
+	n0 := orig.NumNodes()
+	cl.Node("fresh")
+	if orig.NumNodes() != n0 {
+		t.Error("adding a node to the clone grew the original")
+	}
+	if cl.Node("d") != orig.Node("d") {
+		t.Error("clone renumbered existing nodes")
+	}
+}

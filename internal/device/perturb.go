@@ -1,0 +1,329 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Perturber is implemented by parametric models whose parameters can be
+// read and written by name. It is the device-side contract of the
+// process-variation machinery (internal/vary): a Monte Carlo trial
+// clones the circuit, looks a parameter up by the same upper-case name
+// the netlist .model card uses ("A", "IS", "VTO", ...), and writes a
+// perturbed value back. Setters re-validate and re-derive any cached
+// state, so a perturbed model is indistinguishable from one built with
+// the perturbed value.
+type Perturber interface {
+	// Params returns the perturbable parameter names in a fixed,
+	// documentation-friendly order.
+	Params() []string
+	// Param returns the named parameter's current value; ok is false
+	// for unknown names.
+	Param(name string) (float64, bool)
+	// SetParam writes the named parameter, re-validating and
+	// re-initializing derived state. Unknown names and out-of-range
+	// values are errors.
+	SetParam(name string, v float64) error
+}
+
+// Cloner is implemented by IV models that support deep copying. Models
+// that carry no mutable parameters may omit it; CloneIV then shares the
+// instance, which is safe because plain IV models are stateless.
+type Cloner interface {
+	// CloneIV returns an independent deep copy of the model.
+	CloneIV() IV
+}
+
+// CloneIV deep-copies m when it supports cloning and shares it
+// otherwise. Circuit.Clone routes every nonlinear model through this, so
+// perturbing a cloned circuit can never write through to the original.
+func CloneIV(m IV) IV {
+	if c, ok := m.(Cloner); ok {
+		return c.CloneIV()
+	}
+	return m
+}
+
+// errUnknownParam formats the uniform unknown-parameter error.
+func errUnknownParam(model, name string, known []string) error {
+	return fmt.Errorf("device: %s has no parameter %q (have %v)", model, name, known)
+}
+
+// errBadParam formats the uniform out-of-range error.
+func errBadParam(model, name string, v float64, want string) error {
+	return fmt.Errorf("device: %s parameter %s=%g out of range (want %s)", model, name, v, want)
+}
+
+// rtdParams is the RTD's perturbable surface, matching the .model card.
+var rtdParams = []string{"A", "B", "C", "D", "N1", "N2", "H", "AREA"}
+
+// CloneIV implements Cloner.
+func (r *RTD) CloneIV() IV { c := *r; return &c }
+
+// Params implements Perturber.
+func (r *RTD) Params() []string { return rtdParams }
+
+// Param implements Perturber.
+func (r *RTD) Param(name string) (float64, bool) {
+	switch name {
+	case "A":
+		return r.A, true
+	case "B":
+		return r.B, true
+	case "C":
+		return r.C, true
+	case "D":
+		return r.D, true
+	case "N1":
+		return r.N1, true
+	case "N2":
+		return r.N2, true
+	case "H":
+		return r.H, true
+	case "AREA":
+		return r.Area, true
+	}
+	return 0, false
+}
+
+// SetParam implements Perturber, enforcing the NewRTDParams constraints.
+func (r *RTD) SetParam(name string, v float64) error {
+	switch name {
+	case "A":
+		if v <= 0 {
+			return errBadParam("RTD", name, v, "> 0")
+		}
+		r.A = v
+	case "B":
+		r.B = v
+	case "C":
+		r.C = v
+	case "D":
+		if v <= 0 {
+			return errBadParam("RTD", name, v, "> 0")
+		}
+		r.D = v
+	case "N1":
+		if v <= 0 {
+			return errBadParam("RTD", name, v, "> 0")
+		}
+		r.N1 = v
+	case "N2":
+		r.N2 = v
+	case "H":
+		if v < 0 {
+			return errBadParam("RTD", name, v, ">= 0")
+		}
+		r.H = v
+	case "AREA":
+		if v <= 0 {
+			return errBadParam("RTD", name, v, "> 0")
+		}
+		r.Area = v
+	default:
+		return errUnknownParam("RTD", name, rtdParams)
+	}
+	r.init()
+	return nil
+}
+
+// nanowireParams matches the WIRE/CNT .model card; STEPS is rounded to
+// the nearest channel count.
+var nanowireParams = []string{"STEPS", "STEPV", "WIDTH", "GQ"}
+
+// CloneIV implements Cloner.
+func (n *Nanowire) CloneIV() IV { c := *n; return &c }
+
+// Params implements Perturber.
+func (n *Nanowire) Params() []string { return nanowireParams }
+
+// Param implements Perturber.
+func (n *Nanowire) Param(name string) (float64, bool) {
+	switch name {
+	case "STEPS":
+		return float64(n.Steps), true
+	case "STEPV":
+		return n.StepV, true
+	case "WIDTH":
+		return n.Width, true
+	case "GQ":
+		return n.GQuantum, true
+	}
+	return 0, false
+}
+
+// SetParam implements Perturber with the NewNanowireParams constraints.
+func (n *Nanowire) SetParam(name string, v float64) error {
+	switch name {
+	case "STEPS":
+		k := int(math.Round(v))
+		if k < 1 {
+			return errBadParam("nanowire", name, v, ">= 1")
+		}
+		n.Steps = k
+	case "STEPV":
+		if v <= 0 {
+			return errBadParam("nanowire", name, v, "> 0")
+		}
+		n.StepV = v
+	case "WIDTH":
+		if v <= 0 {
+			return errBadParam("nanowire", name, v, "> 0")
+		}
+		n.Width = v
+	case "GQ":
+		if v <= 0 {
+			return errBadParam("nanowire", name, v, "> 0")
+		}
+		n.GQuantum = v
+	default:
+		return errUnknownParam("nanowire", name, nanowireParams)
+	}
+	return nil
+}
+
+// diodeParams matches the DIODE .model card.
+var diodeParams = []string{"IS", "N"}
+
+// CloneIV implements Cloner.
+func (d *Diode) CloneIV() IV { c := *d; return &c }
+
+// Params implements Perturber.
+func (d *Diode) Params() []string { return diodeParams }
+
+// Param implements Perturber.
+func (d *Diode) Param(name string) (float64, bool) {
+	switch name {
+	case "IS":
+		return d.Is, true
+	case "N":
+		return d.N, true
+	}
+	return 0, false
+}
+
+// SetParam implements Perturber with the NewDiodeParams constraints.
+func (d *Diode) SetParam(name string, v float64) error {
+	switch name {
+	case "IS":
+		if v <= 0 {
+			return errBadParam("diode", name, v, "> 0")
+		}
+		d.Is = v
+	case "N":
+		if v <= 0 {
+			return errBadParam("diode", name, v, "> 0")
+		}
+		d.N = v
+	default:
+		return errUnknownParam("diode", name, diodeParams)
+	}
+	d.init()
+	return nil
+}
+
+// esakiParams matches the ESAKI/TUNNEL .model card.
+var esakiParams = []string{"IP", "VP", "IS"}
+
+// CloneIV implements Cloner.
+func (e *Esaki) CloneIV() IV { c := *e; return &c }
+
+// Params implements Perturber.
+func (e *Esaki) Params() []string { return esakiParams }
+
+// Param implements Perturber.
+func (e *Esaki) Param(name string) (float64, bool) {
+	switch name {
+	case "IP":
+		return e.Ip, true
+	case "VP":
+		return e.Vp, true
+	case "IS":
+		return e.Is, true
+	}
+	return 0, false
+}
+
+// SetParam implements Perturber with the NewEsakiParams constraints.
+func (e *Esaki) SetParam(name string, v float64) error {
+	switch name {
+	case "IP":
+		if v <= 0 {
+			return errBadParam("Esaki", name, v, "> 0")
+		}
+		e.Ip = v
+	case "VP":
+		if v <= 0 {
+			return errBadParam("Esaki", name, v, "> 0")
+		}
+		e.Vp = v
+	case "IS":
+		if v <= 0 {
+			return errBadParam("Esaki", name, v, "> 0")
+		}
+		e.Is = v
+	default:
+		return errUnknownParam("Esaki", name, esakiParams)
+	}
+	e.init()
+	return nil
+}
+
+// mosfetParams matches the NMOS/PMOS .model card.
+var mosfetParams = []string{"KP", "W", "L", "VTO", "LAMBDA"}
+
+// Clone returns an independent deep copy of the transistor. MOSFET is
+// not a two-terminal IV model, so it carries its own clone method;
+// circuit.Clone calls it for every FET instance.
+func (m *MOSFET) Clone() *MOSFET { c := *m; return &c }
+
+// Params implements Perturber.
+func (m *MOSFET) Params() []string { return mosfetParams }
+
+// Param implements Perturber.
+func (m *MOSFET) Param(name string) (float64, bool) {
+	switch name {
+	case "KP":
+		return m.K, true
+	case "W":
+		return m.W, true
+	case "L":
+		return m.L, true
+	case "VTO":
+		return m.Vth, true
+	case "LAMBDA":
+		return m.Lambda, true
+	}
+	return 0, false
+}
+
+// SetParam implements Perturber with the NewMOSFET constraints.
+func (m *MOSFET) SetParam(name string, v float64) error {
+	switch name {
+	case "KP":
+		if v <= 0 {
+			return errBadParam("MOSFET", name, v, "> 0")
+		}
+		m.K = v
+	case "W":
+		if v <= 0 {
+			return errBadParam("MOSFET", name, v, "> 0")
+		}
+		m.W = v
+	case "L":
+		if v <= 0 {
+			return errBadParam("MOSFET", name, v, "> 0")
+		}
+		m.L = v
+	case "VTO":
+		m.Vth = v
+	case "LAMBDA":
+		if v < 0 {
+			return errBadParam("MOSFET", name, v, ">= 0")
+		}
+		m.Lambda = v
+	default:
+		return errUnknownParam("MOSFET", name, mosfetParams)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPerturberRoundTrip checks Param/SetParam round trips on every
+// perturbable model.
+func TestPerturberRoundTrip(t *testing.T) {
+	models := map[string]Perturber{
+		"rtd":      NewRTD(),
+		"nanowire": NewNanowire(),
+		"diode":    NewDiode(),
+		"esaki":    NewEsaki(),
+		"mosfet":   NewNMOS(),
+	}
+	for name, m := range models {
+		for _, p := range m.Params() {
+			v, ok := m.Param(p)
+			if !ok {
+				t.Fatalf("%s: Params lists %q but Param rejects it", name, p)
+			}
+			if err := m.SetParam(p, v*1.01); err != nil {
+				t.Fatalf("%s: SetParam(%s, %g): %v", name, p, v*1.01, err)
+			}
+			got, _ := m.Param(p)
+			want := v * 1.01
+			if name == "nanowire" && p == "STEPS" {
+				want = math.Round(v * 1.01)
+			}
+			if math.Abs(got-want) > 1e-12*math.Abs(want) {
+				t.Errorf("%s: %s round trip got %g want %g", name, p, got, want)
+			}
+		}
+		if _, ok := m.Param("NOPE"); ok {
+			t.Errorf("%s: Param accepted unknown name", name)
+		}
+		if err := m.SetParam("NOPE", 1); err == nil {
+			t.Errorf("%s: SetParam accepted unknown name", name)
+		}
+	}
+}
+
+// TestPerturberValidation checks that out-of-range writes are refused
+// and leave the model untouched.
+func TestPerturberValidation(t *testing.T) {
+	r := NewRTD()
+	a0 := r.A
+	if err := r.SetParam("A", -1); err == nil {
+		t.Error("RTD accepted A = -1")
+	}
+	if r.A != a0 {
+		t.Errorf("failed SetParam mutated A: %g", r.A)
+	}
+	d := NewDiode()
+	if err := d.SetParam("IS", 0); err == nil {
+		t.Error("diode accepted IS = 0")
+	}
+	m := NewNMOS()
+	if err := m.SetParam("L", -2); err == nil {
+		t.Error("MOSFET accepted L = -2")
+	}
+}
+
+// TestCloneIVIndependence checks that perturbing a clone does not write
+// through to the original, and that derived state is re-initialized.
+func TestCloneIVIndependence(t *testing.T) {
+	r := NewRTD()
+	i0 := r.I(0.3)
+	c := CloneIV(r).(*RTD)
+	if err := c.SetParam("A", r.A*2); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.I(0.3); got != i0 {
+		t.Errorf("perturbing clone changed original: I=%g want %g", got, i0)
+	}
+	if c.I(0.3) == i0 {
+		t.Error("clone perturbation had no effect")
+	}
+
+	// Esaki caches vt from TempK; SetParam must keep it consistent.
+	e := NewEsaki()
+	ec := CloneIV(e).(*Esaki)
+	if err := ec.SetParam("VP", e.Vp*1.2); err != nil {
+		t.Fatal(err)
+	}
+	vp, _, _, _, ok := PeakValley(ec, 0.6)
+	if !ok {
+		t.Fatal("perturbed Esaki lost its peak")
+	}
+	if math.Abs(vp-e.Vp*1.2) > 0.01 {
+		t.Errorf("perturbed Esaki peak at %g, want near %g", vp, e.Vp*1.2)
+	}
+}
+
+// TestCloneIVSharesStateless checks that models without parameters are
+// shared rather than copied.
+func TestCloneIVSharesStateless(t *testing.T) {
+	tab, err := NewTable([]float64{0, 1}, []float64{0, 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CloneIV(tab) != IV(tab) {
+		t.Error("stateless table model was copied, expected shared instance")
+	}
+}

@@ -1,0 +1,7 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (plus the ablations DESIGN.md calls out) as runnable
+// experiments. Each experiment produces a text report — measured series
+// rendered as ASCII charts and tables — and a set of machine-checkable
+// findings that the integration tests and EXPERIMENTS.md assert against
+// the paper's claims.
+package exp

@@ -144,6 +144,10 @@ func runExtHysteresis(cfg Config) (*Result, error) {
 	return r.done(), nil
 }
 
+// runExtVariation predates internal/vary and keeps its hand-rolled
+// serial loop so its findings stay comparable PR to PR; the subsystem
+// route (parallel, solver-reusing, netlist-driven) is the vary-yield
+// experiment in fig_vary.go.
 func runExtVariation(cfg Config) (*Result, error) {
 	r := newReport(cfg, "Extension: process variation Monte Carlo",
 		"RTD resonance parameters vary +/-5%; inverter static levels respond")

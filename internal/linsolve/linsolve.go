@@ -1,19 +1,3 @@
-// Package linsolve gives the circuit engines one assembly-and-solve
-// interface with interchangeable dense and sparse backends. Engines stamp
-// coefficients with Add, then Solve; whether an O(n^3) dense LU or a
-// Markowitz sparse LU runs underneath is a per-simulation option, which is
-// how the scaling benchmarks isolate algorithmic speedups (SWEC vs NR)
-// from backend effects.
-//
-// Both backends exploit the fact that a circuit's sparsity pattern is
-// fixed for the life of a run. The sparse backend records the first
-// assembly's Add sequence, compiles it into a slot table (every later
-// Reset/Add is a pure array write — zero map operations), performs the
-// min-degree symbolic analysis once, and redoes only the numerics on
-// later steps, falling back to a fresh full factorization when a reused
-// pivot drifts numerically bad. The dense backend reuses its
-// factorization storage. In steady state neither backend allocates on
-// the Reset → Add... → Solve cycle. See DESIGN.md §7.
 package linsolve
 
 import (
@@ -59,6 +43,25 @@ type SolveStats struct {
 // it to verify the hot path engaged.
 type Refactorable interface {
 	SolveStats() SolveStats
+}
+
+// orderCarrying marks backends whose factorization reuses a pivot order
+// chosen by an earlier full factorization, so later solves depend on
+// which matrix was factored first. The dense backend recomputes its
+// pivots from scratch on every refactor and is therefore history-free.
+type orderCarrying interface {
+	carriesPivotOrder() bool
+}
+
+// CarriesPivotOrder reports whether s reuses a previously chosen pivot
+// order across Solve calls. Batch runners that share one solver across
+// many independent simulations (internal/vary) use this to decide when a
+// drift-triggered refactorization replaced the pivot order mid-batch and
+// the solver must be re-warmed to keep results independent of batch
+// partitioning.
+func CarriesPivotOrder(s Solver) bool {
+	o, ok := s.(orderCarrying)
+	return ok && o.carriesPivotOrder()
 }
 
 // Factory builds a Solver of dimension n with work charged to fc.
@@ -239,6 +242,10 @@ func (s *sparse) Solve(b, x []float64) error {
 }
 
 func (s *sparse) SolveStats() SolveStats { return s.stats }
+
+// carriesPivotOrder implements orderCarrying: the sparse backend keeps
+// the min-degree pivot order of its last full factorization.
+func (s *sparse) carriesPivotOrder() bool { return true }
 
 // AutoCrossover is the dense/sparse crossover dimension used by Auto,
 // re-measured against the compiled-pattern sparse path by

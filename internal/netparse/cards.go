@@ -1,0 +1,179 @@
+package netparse
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"nanosim/internal/units"
+)
+
+// parseElemParam splits "N1(A)" into ("N1", "A"); a bare name selects
+// the element's principal value.
+func parseElemParam(s string, line int) (elem, param string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return s, "", nil
+	}
+	if !strings.HasSuffix(s, ")") || open == 0 {
+		return "", "", errf(line, "bad parameter reference %q (want elem or elem(PARAM))", s)
+	}
+	return s[:open], strings.ToUpper(s[open+1 : len(s)-1]), nil
+}
+
+// parseTol reads a tolerance value: "5%" is relative (0.05 of nominal),
+// a plain SPICE value is absolute.
+func parseTol(s string, line int) (sigma float64, rel bool, err error) {
+	if strings.HasSuffix(s, "%") {
+		v, err := units.Parse(strings.TrimSuffix(s, "%"))
+		if err != nil {
+			return 0, false, errf(line, "bad tolerance %q: %v", s, err)
+		}
+		return v / 100, true, nil
+	}
+	v, err := units.Parse(s)
+	if err != nil {
+		return 0, false, errf(line, "bad tolerance %q: %v", s, err)
+	}
+	return v, false, nil
+}
+
+// parseStep reads ".step elem[(PARAM)] from to points [LOG]".
+func parseStep(fields []string, line int) (StepCard, error) {
+	if len(fields) < 5 {
+		return StepCard{}, errf(line, ".step needs: elem[(PARAM)] from to points [LOG]")
+	}
+	elem, param, err := parseElemParam(fields[1], line)
+	if err != nil {
+		return StepCard{}, err
+	}
+	from, err1 := units.Parse(fields[2])
+	to, err2 := units.Parse(fields[3])
+	pts, err3 := units.Parse(fields[4])
+	if err1 != nil || err2 != nil || err3 != nil || pts < 1 {
+		return StepCard{}, errf(line, "bad .step numbers %q %q %q", fields[2], fields[3], fields[4])
+	}
+	card := StepCard{Elem: elem, Param: param, From: from, To: to, Points: int(pts), Line: line}
+	for _, f := range fields[5:] {
+		switch strings.ToUpper(f) {
+		case "LOG", "DEC":
+			card.Log = true
+		case "LIN":
+			card.Log = false
+		default:
+			return StepCard{}, errf(line, "unknown .step keyword %q", f)
+		}
+	}
+	return card, nil
+}
+
+// parseMC reads ".mc trials [tran|op|em] [SEED=n] [WORKERS=n]".
+func parseMC(fields []string, line int) (MCCard, error) {
+	if len(fields) < 2 {
+		return MCCard{}, errf(line, ".mc needs a trial count")
+	}
+	trials, err := units.Parse(fields[1])
+	if err != nil || trials < 1 {
+		return MCCard{}, errf(line, "bad .mc trial count %q", fields[1])
+	}
+	card := MCCard{Trials: int(trials), Line: line}
+	for _, f := range fields[2:] {
+		up := strings.ToUpper(f)
+		switch {
+		case up == "TRAN" || up == "OP" || up == "EM":
+			card.Analysis = strings.ToLower(up)
+		case strings.HasPrefix(up, "SEED="):
+			// Seeds are exact 64-bit identities, not engineering values:
+			// a float round trip would silently corrupt negative or
+			// > 2^53 seeds and break the reproducibility contract.
+			v, err := strconv.ParseUint(f[len("SEED="):], 10, 64)
+			if err != nil {
+				return MCCard{}, errf(line, "bad SEED %q (want a decimal uint64)", f)
+			}
+			card.Seed = v
+		case strings.HasPrefix(up, "WORKERS="):
+			v, err := strconv.Atoi(f[len("WORKERS="):])
+			if err != nil || v < 0 {
+				return MCCard{}, errf(line, "bad WORKERS %q", f)
+			}
+			card.Workers = v
+		default:
+			return MCCard{}, errf(line, "unknown .mc keyword %q", f)
+		}
+	}
+	return card, nil
+}
+
+// parseVary reads ".vary elem[(PARAM)] DEV=tol|LOT=tol [DIST=name]".
+func parseVary(fields []string, line int) (VaryCard, error) {
+	if len(fields) < 3 {
+		return VaryCard{}, errf(line, ".vary needs: elem[(PARAM)] DEV=tol|LOT=tol [DIST=name]")
+	}
+	elem, param, err := parseElemParam(fields[1], line)
+	if err != nil {
+		return VaryCard{}, err
+	}
+	card := VaryCard{Elem: elem, Param: param, Line: line}
+	haveTol := false
+	for _, f := range fields[2:] {
+		up := strings.ToUpper(f)
+		switch {
+		case strings.HasPrefix(up, "DEV=") || strings.HasPrefix(up, "LOT="):
+			if haveTol {
+				return VaryCard{}, errf(line, ".vary takes exactly one DEV= or LOT= tolerance")
+			}
+			sigma, rel, err := parseTol(f[len("DEV="):], line)
+			if err != nil {
+				return VaryCard{}, err
+			}
+			if sigma < 0 {
+				return VaryCard{}, errf(line, "negative tolerance in %q", f)
+			}
+			card.Sigma, card.Rel, card.Lot = sigma, rel, strings.HasPrefix(up, "LOT=")
+			haveTol = true
+		case strings.HasPrefix(up, "DIST="):
+			card.Dist = up[len("DIST="):]
+		default:
+			return VaryCard{}, errf(line, "unknown .vary keyword %q", f)
+		}
+	}
+	if !haveTol {
+		return VaryCard{}, errf(line, ".vary needs a DEV= or LOT= tolerance")
+	}
+	return card, nil
+}
+
+// parseLimit reads ".limit signal stat lo hi" where lo/hi accept '*'
+// for an unbounded side.
+func parseLimit(fields []string, line int) (LimitCard, error) {
+	if len(fields) < 5 {
+		return LimitCard{}, errf(line, ".limit needs: signal final|min|max lo hi")
+	}
+	card := LimitCard{Signal: fields[1], Stat: strings.ToLower(fields[2]), Line: line}
+	switch card.Stat {
+	case "final", "min", "max":
+	default:
+		return LimitCard{}, errf(line, "bad .limit stat %q (want final, min or max)", fields[2])
+	}
+	bound := func(s string, side float64) (float64, error) {
+		if s == "*" {
+			return side, nil
+		}
+		v, err := units.Parse(s)
+		if err != nil {
+			return 0, errf(line, "bad .limit bound %q: %v", s, err)
+		}
+		return v, nil
+	}
+	var err error
+	if card.Lo, err = bound(fields[3], math.Inf(-1)); err != nil {
+		return LimitCard{}, err
+	}
+	if card.Hi, err = bound(fields[4], math.Inf(1)); err != nil {
+		return LimitCard{}, err
+	}
+	if card.Hi < card.Lo {
+		return LimitCard{}, errf(line, ".limit bounds out of order: %g > %g", card.Lo, card.Hi)
+	}
+	return card, nil
+}

@@ -1,0 +1,49 @@
+// Package netparse reads SPICE-flavoured netlists into nanosim circuits
+// plus analysis directives. The grammar is the familiar subset a
+// nanoelectronics deck needs (docs/NETLIST.md documents every card with
+// a runnable deck):
+//
+//   - title and comment lines
+//     R1 in out 1k
+//     C1 out 0 1p IC=0.5
+//     L1 a b 1n
+//     V1 in 0 PULSE(0 1.2 100n 1n 1n 200n)   [NOISE=1e-9]
+//     I1 0 x DC 50u                          [NOISE=8e-10]
+//     D1 a 0 dmod
+//     N1 a 0 rtdmod        (two-terminal nanodevice)
+//     M1 d g s nmod
+//     .model rtdmod RTD  A=1e-4 B=0.155 C=0.105 D=0.02 N1=0.35 N2=0.0776 H=4.8e-5 AREA=1
+//     .model date  RTD   DATE05=1
+//     .model wmod  WIRE  STEPS=4 STEPV=0.4 WIDTH=25m
+//     .model rtt   RTT   PEAKS=3 SPACING=1
+//     .model dmod  DIODE IS=1f N=1
+//     .model td    ESAKI IP=1m VP=65m IS=10p
+//     .model nmod  NMOS  KP=5m VTO=0.5 W=1 L=1
+//     .subckt inv a y vcc / NL vcc y rtdmod / M1 y a 0 nmod / .ends
+//     X1 in out vdd inv   (ports map positionally; internals prefixed "X1.")
+//     .tran 1n 500n
+//     .dc V1 0 1.5 151 N1
+//     .op
+//     .em 1n 400 SEED=42
+//     .print v(out) i(V1)
+//     .end
+//
+// Process-variation cards feed the internal/vary batch runner:
+//
+//	.step N1(A) 5e-5 2e-4 16 [LOG]      deterministic parameter sweep axis
+//	.step R1 500 2k 4                   (principal value when no param named)
+//	.mc 200 [tran|op|em] SEED=42 [WORKERS=8]
+//	.vary N1(A) DEV=5%                  independent gauss draw per matched element
+//	.vary R* LOT=10% DIST=UNIFORM       one shared draw for all matches per trial
+//	.limit v(out) FINAL 0.9 1.3         yield spec; '*' leaves a side unbounded
+//
+// Tolerances accept a '%' suffix for relative spread ("DEV=5%" is
+// sigma = 0.05 of the nominal value) or a plain SPICE value for an
+// absolute one. .vary patterns match element names exactly, or by
+// prefix with a trailing '*'.
+//
+// The first line is always the title (SPICE convention) unless it starts
+// with a dot-card. Continuation lines start with "+"; everything is
+// case-insensitive except node and element names. Values use SPICE
+// suffixes (1k, 10p, 1meg). Subcircuits nest up to 16 levels.
+package netparse

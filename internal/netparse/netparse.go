@@ -1,36 +1,3 @@
-// Package netparse reads SPICE-flavoured netlists into nanosim circuits
-// plus analysis directives. The grammar is the familiar subset a
-// nanoelectronics deck needs:
-//
-//   - title and comment lines
-//     R1 in out 1k
-//     C1 out 0 1p IC=0.5
-//     L1 a b 1n
-//     V1 in 0 PULSE(0 1.2 100n 1n 1n 200n)   [NOISE=1e-9]
-//     I1 0 x DC 50u                          [NOISE=8e-10]
-//     D1 a 0 dmod
-//     N1 a 0 rtdmod        (two-terminal nanodevice)
-//     M1 d g s nmod
-//     .model rtdmod RTD  A=1e-4 B=0.155 C=0.105 D=0.02 N1=0.35 N2=0.0776 H=4.8e-5 AREA=1
-//     .model date  RTD   DATE05=1
-//     .model wmod  WIRE  STEPS=4 STEPV=0.4 WIDTH=25m
-//     .model rtt   RTT   PEAKS=3 SPACING=1
-//     .model dmod  DIODE IS=1f N=1
-//     .model td    ESAKI IP=1m VP=65m IS=10p
-//     .model nmod  NMOS  KP=5m VTO=0.5 W=1 L=1
-//     .subckt inv a y vcc / NL vcc y rtdmod / M1 y a 0 nmod / .ends
-//     X1 in out vdd inv   (ports map positionally; internals prefixed "X1.")
-//     .tran 1n 500n
-//     .dc V1 0 1.5 151 N1
-//     .op
-//     .em 1n 400 SEED=42
-//     .print v(out) i(V1)
-//     .end
-//
-// The first line is always the title (SPICE convention) unless it starts
-// with a dot-card. Continuation lines start with "+"; everything is
-// case-insensitive except node and element names. Values use SPICE
-// suffixes (1k, 10p, 1meg). Subcircuits nest up to 16 levels.
 package netparse
 
 import (
@@ -59,6 +26,64 @@ type Analysis struct {
 	Device string
 }
 
+// MCCard is a parsed .mc directive: a process-variation Monte Carlo
+// over the deck's .vary specs.
+type MCCard struct {
+	// Trials is the batch size.
+	Trials int
+	// Analysis selects the per-trial engine: "tran", "op" or "em";
+	// "" lets the runner default (tran when the deck has one, else op).
+	Analysis string
+	// Seed drives the parameter draws.
+	Seed uint64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Line is the source line for diagnostics.
+	Line int
+}
+
+// StepCard is one parsed .step axis of a deterministic parameter sweep.
+type StepCard struct {
+	// Elem and Param select the swept parameter ("" = principal value).
+	Elem, Param string
+	// From and To bound the grid, Points sizes it, Log spaces it
+	// geometrically.
+	From, To float64
+	Points   int
+	Log      bool
+	// Line is the source line for diagnostics.
+	Line int
+}
+
+// VaryCard is one parsed .vary spec.
+type VaryCard struct {
+	// Elem (exact name or trailing-'*' prefix pattern) and Param select
+	// the varied parameter.
+	Elem, Param string
+	// Sigma is the tolerance; Rel marks a '%' (relative) tolerance.
+	Sigma float64
+	Rel   bool
+	// Lot selects one shared draw across matches (LOT=) instead of
+	// independent per-element draws (DEV=).
+	Lot bool
+	// Dist is the DIST= keyword ("", "GAUSS", "UNIFORM", "LOGNORMAL").
+	Dist string
+	// Line is the source line for diagnostics.
+	Line int
+}
+
+// LimitCard is one parsed .limit yield spec.
+type LimitCard struct {
+	// Signal names the measured series ("v(out)").
+	Signal string
+	// Stat is "final", "min" or "max".
+	Stat string
+	// Lo and Hi bound the acceptable range (±Inf for '*').
+	Lo, Hi float64
+	// Line is the source line for diagnostics.
+	Line int
+}
+
 // Deck is a parsed netlist.
 type Deck struct {
 	// Circuit is the netlist graph.
@@ -68,6 +93,15 @@ type Deck struct {
 	// Prints lists requested output signals ("v(out)", "i(V1)");
 	// empty means all node voltages.
 	Prints []string
+	// MC holds the .mc directive, nil when absent.
+	MC *MCCard
+	// Steps lists the .step sweep axes in deck order (their cartesian
+	// product is the sweep grid, last card fastest).
+	Steps []StepCard
+	// Varies lists the .vary specs in deck order.
+	Varies []VaryCard
+	// Limits lists the .limit yield specs.
+	Limits []LimitCard
 }
 
 // ParseError carries the offending line number.
@@ -211,6 +245,33 @@ func Parse(src string) (*Deck, error) {
 				return nil, err
 			}
 			deck.Analyses = append(deck.Analyses, a)
+		case head == ".step":
+			card, err := parseStep(fields, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			deck.Steps = append(deck.Steps, card)
+		case head == ".mc":
+			if deck.MC != nil {
+				return nil, errf(ln.num, "duplicate .mc card (first on line %d)", deck.MC.Line)
+			}
+			card, err := parseMC(fields, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			deck.MC = &card
+		case head == ".vary":
+			card, err := parseVary(fields, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			deck.Varies = append(deck.Varies, card)
+		case head == ".limit":
+			card, err := parseLimit(fields, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			deck.Limits = append(deck.Limits, card)
 		case head == ".print":
 			deck.Prints = append(deck.Prints, fields[1:]...)
 		case strings.HasPrefix(head, "."):

@@ -50,6 +50,11 @@ func (s *Stream) Float64() float64 { return s.rng.Float64() }
 // Norm returns a standard normal variate.
 func (s *Stream) Norm() float64 { return s.rng.NormFloat64() }
 
+// Uint64 returns a uniform 64-bit value, used to derive child seeds
+// (e.g. the per-trial Euler-Maruyama seed of a process-variation run)
+// from a stream without coupling them to the stream's variate draws.
+func (s *Stream) Uint64() uint64 { return s.rng.Uint64() }
+
 // NormVec fills dst with independent standard normal variates.
 func (s *Stream) NormVec(dst []float64) {
 	for i := range dst {

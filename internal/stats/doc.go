@@ -1,0 +1,6 @@
+// Package stats provides the descriptive statistics used to validate
+// and report the statistical simulations — Euler-Maruyama ensembles and
+// process-variation Monte Carlo batches (internal/vary): streaming
+// moments, quantiles, histograms, confidence intervals and series-error
+// metrics.
+package stats

@@ -1,6 +1,3 @@
-// Package stats provides the descriptive statistics used to validate and
-// report the stochastic (Euler-Maruyama) experiments: streaming moments,
-// quantiles, histograms, confidence intervals and series-error metrics.
 package stats
 
 import (

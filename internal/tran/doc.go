@@ -1,0 +1,19 @@
+// Package tran implements the baseline transient engines the paper
+// compares SWEC against:
+//
+//   - NR: a SPICE3-style simulator — backward Euler with full
+//     Newton-Raphson at every time point, stamping the *differential*
+//     conductance dI/dV. On NDR devices this is the engine that
+//     oscillates or falsely converges (paper §3.1, Fig 8c).
+//   - MLA: the Modified Limiting Algorithm of Bhattacharya & Mazumder
+//     (paper ref [1]): NR augmented with RTD-region voltage limiting and
+//     automatic time-step reduction. Converges, at a large iteration
+//     cost (Table I comparator).
+//   - PWL: an ACES-style engine (paper ref [2]) that replaces each
+//     nonlinear device by a piecewise-linear table and iterates segment
+//     selection instead of Newton steps (Fig 8d comparator).
+//
+// All engines share the MNA substrate, the FLOP accounting and the
+// recorder with the SWEC engine, so Table I and the Figure 8 waveforms
+// compare algorithms rather than plumbing.
+package tran

@@ -1,0 +1,42 @@
+// Package vary adds the missing half of Nano-Sim's "statistical"
+// promise: device-parameter uncertainty. The paper motivates its
+// simulator with nanodevice process spread — RTD peak/valley currents
+// and nanowire geometry vary die to die — and this package turns any
+// nanosim analysis into a design-space exploration over that spread.
+//
+// Two batch modes share one runner:
+//
+//   - MonteCarlo draws each trial's parameters from per-spec
+//     distributions (gauss, uniform, lognormal; absolute or relative
+//     tolerances, independent DEV or shared LOT draws) and aggregates
+//     the results into per-signal mean/std/quantile envelopes, scalar
+//     measure samples, histograms and — against user spec limits —
+//     a yield estimate with its binomial standard error.
+//   - Sweep steps parameters across a deterministic cartesian grid
+//     (the netlist .step card), recording scalar measures per point.
+//
+// Both drive any of the SWEC analyses per trial: Transient, the DC
+// operating point, or a stochastic Euler-Maruyama path (which combines
+// parameter and input uncertainty in one run).
+//
+// # Reproducibility
+//
+// Results are bit-identical for the same seed at any Workers count.
+// Trial t draws everything it needs from randx.Split(Seed, t): first a
+// child seed for the trial's Euler-Maruyama path, then one variate per
+// spec draw in declaration order — exactly the per-path stream protocol
+// of sde.Ensemble. Aggregation runs in trial order over an indexed
+// result slice, so worker scheduling cannot reorder arithmetic.
+//
+// # Solver-state reuse
+//
+// Every trial simulates the same topology, so the per-worker solver is
+// created once, warmed on the nominal circuit, and reused across all
+// trials: the compiled stamp pattern replays allocation-free and the LU
+// refactorization is numeric-only (see DESIGN.md §9). Because the
+// sparse backend carries its pivot order from one factorization to the
+// next, the runner re-warms a worker's solver whenever a trial forced a
+// full refactorization — keeping each trial's arithmetic a pure
+// function of (nominal warm-up state, trial values), independent of
+// which worker ran it.
+package vary

@@ -1,0 +1,366 @@
+package vary
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/core"
+	"nanosim/internal/flop"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/randx"
+	"nanosim/internal/sde"
+	"nanosim/internal/wave"
+)
+
+// Job selects the analysis every trial runs.
+type Job struct {
+	// Analysis is "tran" (SWEC transient, the default), "op" (SWEC DC
+	// operating point) or "em" (one Euler-Maruyama path per trial,
+	// combining parameter and input uncertainty).
+	Analysis string
+	// Tran configures the "tran" analysis. Its Solver field is ignored:
+	// the runner supplies the per-worker reusing factory.
+	Tran core.Options
+	// OP configures the "op" analysis (Solver likewise ignored).
+	OP core.DCOptions
+	// EM configures the "em" analysis. Solver and Seed are ignored: the
+	// per-trial seed derives from the batch seed and the trial index.
+	EM sde.Options
+}
+
+// withDefaults normalizes the analysis keyword.
+func (j Job) withDefaults() (Job, error) {
+	switch strings.ToLower(j.Analysis) {
+	case "", "tran":
+		j.Analysis = "tran"
+	case "op":
+		j.Analysis = "op"
+	case "em":
+		j.Analysis = "em"
+	default:
+		return j, fmt.Errorf("vary: unknown analysis %q (want tran, op or em)", j.Analysis)
+	}
+	return j, nil
+}
+
+// run executes the job on ckt with the given solver factory. emSeed
+// replaces the EM seed for "em" jobs and is ignored otherwise.
+func (j Job) run(ckt *circuit.Circuit, solver linsolve.Factory, emSeed uint64) (*wave.Set, error) {
+	switch j.Analysis {
+	case "op":
+		o := j.OP
+		o.Solver = solver
+		res, err := core.OperatingPoint(ckt, o)
+		if err != nil {
+			return nil, err
+		}
+		return opWaves(ckt, res.X), nil
+	case "em":
+		o := j.EM
+		o.Solver = solver
+		o.Seed = emSeed
+		res, err := sde.Transient(ckt, o)
+		if err != nil {
+			return nil, err
+		}
+		return res.Waves, nil
+	default:
+		o := j.Tran
+		o.Solver = solver
+		res, err := core.Transient(ckt, o)
+		if err != nil {
+			return nil, err
+		}
+		return res.Waves, nil
+	}
+}
+
+// opWaves renders an operating point as single-sample series, so DC and
+// transient trials aggregate through one code path.
+func opWaves(ckt *circuit.Circuit, x []float64) *wave.Set {
+	set := wave.NewSet()
+	for id := 1; id < ckt.NumNodes(); id++ {
+		s := wave.NewSeries("v("+ckt.NodeName(circuit.NodeID(id))+")", 1)
+		s.MustAppend(0, x[id-1])
+		if err := set.Add(s); err != nil {
+			// Node names are unique by construction.
+			panic(err)
+		}
+	}
+	return set
+}
+
+// worker owns one goroutine's reusable solver state. The base circuit is
+// shared read-only; every trial works on its own clone.
+type worker struct {
+	base    *circuit.Circuit
+	job     Job
+	factory linsolve.Factory
+
+	sols   map[int]linsolve.Solver
+	ffBase map[int]int // FullFactor count at warm-up per dimension
+	stats  linsolve.SolveStats
+	broken bool // re-warm failed: stop reusing, run every trial cold
+}
+
+func newWorker(base *circuit.Circuit, job Job, factory linsolve.Factory) *worker {
+	return &worker{
+		base:    base,
+		job:     job,
+		factory: factory,
+		sols:    map[int]linsolve.Solver{},
+		ffBase:  map[int]int{},
+	}
+}
+
+// solver is the caching linsolve.Factory handed to every trial's engine:
+// one solver per dimension, created once and reused so the compiled
+// stamp pattern and symbolic LU persist across trials.
+func (w *worker) solver(n int, fc *flop.Counter) linsolve.Solver {
+	if s, ok := w.sols[n]; ok {
+		return s
+	}
+	s := w.factory(n, fc)
+	w.sols[n] = s
+	return s
+}
+
+// warm runs the nominal job once so every reused solver's compiled
+// pattern and pivot order come from the unperturbed circuit — a fixed
+// reference no trial outcome can influence.
+func (w *worker) warm() {
+	if _, err := w.job.run(w.base.Clone(), w.solver, w.job.EM.Seed); err != nil {
+		// The nominal circuit was validated by the probe run; if it
+		// fails here, stop reusing state rather than guessing.
+		w.drop()
+		w.broken = true
+		return
+	}
+	for n, s := range w.sols {
+		if r, ok := s.(linsolve.Refactorable); ok && linsolve.CarriesPivotOrder(s) {
+			w.ffBase[n] = r.SolveStats().FullFactor
+		}
+	}
+}
+
+// drop accumulates and discards all cached solvers.
+func (w *worker) drop() {
+	w.collect()
+	w.sols = map[int]linsolve.Solver{}
+	w.ffBase = map[int]int{}
+}
+
+// collect folds the cached solvers' stats into the worker total.
+func (w *worker) collect() {
+	for _, s := range w.sols {
+		if r, ok := s.(linsolve.Refactorable); ok {
+			st := r.SolveStats()
+			w.stats.FullFactor += st.FullFactor
+			w.stats.NumericRefactor += st.NumericRefactor
+			w.stats.PatternRebuild += st.PatternRebuild
+			w.stats.Reused += st.Reused
+		}
+	}
+}
+
+// postTrial restores the determinism invariant after a trial: if the
+// trial errored, or an order-carrying solver performed a full
+// factorization (pivot-drift fallback), its pivot order now reflects
+// that trial's values — so the state is dropped and re-warmed from the
+// nominal circuit before the next trial runs.
+func (w *worker) postTrial(failed bool) {
+	if w.broken {
+		w.drop()
+		return
+	}
+	rewarm := failed
+	if !rewarm {
+		for n, s := range w.sols {
+			r, ok := s.(linsolve.Refactorable)
+			if ok && linsolve.CarriesPivotOrder(s) && r.SolveStats().FullFactor > w.ffBase[n] {
+				rewarm = true
+				break
+			}
+		}
+	}
+	if rewarm {
+		w.drop()
+		w.warm()
+	}
+}
+
+// trialRun is one unit of batch work: prepare mutates the trial's clone
+// (drawing parameters or applying grid values) and returns the trial's
+// EM seed.
+type trialRun struct {
+	index   int
+	prepare func(clone *circuit.Circuit) (emSeed uint64, err error)
+}
+
+// trialOut is the measured outcome of one trial, held per-index so
+// aggregation runs in trial order regardless of worker scheduling.
+type trialOut struct {
+	err   error
+	vals  [][]float64 // [signal][grid point], nil when no envelope grid
+	final []float64   // per signal
+	min   []float64
+	max   []float64
+	waves *wave.Set // retained only when requested
+}
+
+// batchConfig is the shared setup of MonteCarlo and Sweep.
+type batchConfig struct {
+	base      *circuit.Circuit
+	job       Job
+	factory   linsolve.Factory
+	workers   int
+	signals   []string
+	grid      []float64 // resampling times, nil for scalar-only
+	keepWaves bool
+}
+
+// runBatch executes the trials over a worker pool and returns outcomes
+// in trial order plus the summed solver stats.
+func runBatch(cfg batchConfig, trials []trialRun) ([]trialOut, linsolve.SolveStats) {
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outs := make([]trialOut, len(trials))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total linsolve.SolveStats
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := newWorker(cfg.base, cfg.job, cfg.factory)
+			w.warm()
+			for i := range idx {
+				outs[i] = runTrial(cfg, w, trials[i])
+				w.postTrial(outs[i].err != nil)
+			}
+			w.collect()
+			mu.Lock()
+			total.FullFactor += w.stats.FullFactor
+			total.NumericRefactor += w.stats.NumericRefactor
+			total.PatternRebuild += w.stats.PatternRebuild
+			total.Reused += w.stats.Reused
+			mu.Unlock()
+		}()
+	}
+	for i := range trials {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return outs, total
+}
+
+// runTrial clones, perturbs, simulates and measures one trial.
+func runTrial(cfg batchConfig, w *worker, tr trialRun) trialOut {
+	clone := cfg.base.Clone()
+	emSeed, err := tr.prepare(clone)
+	if err != nil {
+		return trialOut{err: fmt.Errorf("trial %d: %w", tr.index, err)}
+	}
+	waves, err := cfg.job.run(clone, w.solver, emSeed)
+	if err != nil {
+		return trialOut{err: fmt.Errorf("trial %d: %w", tr.index, err)}
+	}
+	out := trialOut{
+		final: make([]float64, len(cfg.signals)),
+		min:   make([]float64, len(cfg.signals)),
+		max:   make([]float64, len(cfg.signals)),
+	}
+	if cfg.grid != nil {
+		out.vals = make([][]float64, len(cfg.signals))
+	}
+	if cfg.keepWaves {
+		out.waves = waves
+	}
+	for k, name := range cfg.signals {
+		s := waves.Get(name)
+		if s == nil || s.Len() == 0 {
+			return trialOut{err: fmt.Errorf("trial %d: no signal %q in output", tr.index, name)}
+		}
+		out.final[k] = s.Final()
+		_, vMin, _, vMax := s.MinMax()
+		out.min[k], out.max[k] = vMin, vMax
+		if cfg.grid != nil {
+			row := make([]float64, len(cfg.grid))
+			for g, t := range cfg.grid {
+				row[g] = s.At(t)
+			}
+			out.vals[k] = row
+		}
+	}
+	return out
+}
+
+// resolvedSpec pairs a spec with the base-circuit element indices it
+// matched, so trials address their clones by index instead of
+// re-scanning element names.
+type resolvedSpec struct {
+	spec Spec
+	idxs []int
+}
+
+// resolveSpecs validates every spec against the base circuit once and
+// records the matched indices.
+func resolveSpecs(ckt *circuit.Circuit, specs []Spec) ([]resolvedSpec, error) {
+	out := make([]resolvedSpec, 0, len(specs))
+	for _, sp := range specs {
+		idxs, err := matchIndices(ckt, sp.Elem)
+		if err != nil {
+			return nil, err
+		}
+		// Fail fast on a parameter typo before any trial runs.
+		if _, err := targetsAt(ckt, idxs, sp.Param); err != nil {
+			return nil, err
+		}
+		out = append(out, resolvedSpec{spec: sp, idxs: idxs})
+	}
+	return out, nil
+}
+
+// mcPrepare builds trial t's prepare function: the per-trial stream
+// yields the EM seed first, then one standardized variate per spec draw
+// in declaration order — LOT specs one draw total, DEV specs one per
+// matched element in circuit insertion order.
+func mcPrepare(seed uint64, t int, specs []resolvedSpec) func(clone *circuit.Circuit) (uint64, error) {
+	return func(clone *circuit.Circuit) (uint64, error) {
+		stream := randx.Split(seed, t)
+		emSeed := stream.Uint64()
+		for _, rs := range specs {
+			targets, err := targetsAt(clone, rs.idxs, rs.spec.Param)
+			if err != nil {
+				return 0, err
+			}
+			sp := rs.spec
+			var z float64
+			if sp.Lot {
+				z = sp.draw(stream)
+			}
+			for _, tg := range targets {
+				if !sp.Lot {
+					z = sp.draw(stream)
+				}
+				if err := tg.set(sp.apply(tg.get(), z)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return emSeed, nil
+	}
+}

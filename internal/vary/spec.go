@@ -1,0 +1,334 @@
+package vary
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/randx"
+)
+
+// Dist selects the sampling distribution of a Spec.
+type Dist int
+
+// Supported distributions.
+const (
+	// Gauss perturbs additively: value = nominal + sigma·N(0,1).
+	Gauss Dist = iota
+	// Uniform perturbs additively: value = nominal + sigma·U(-1,1);
+	// Sigma is the half-range.
+	Uniform
+	// Lognormal perturbs multiplicatively: value = nominal·exp(sigma·N(0,1));
+	// Sigma is the log-domain standard deviation and Rel is ignored.
+	Lognormal
+)
+
+// String names the distribution as the netlist DIST= keyword spells it.
+func (d Dist) String() string {
+	switch d {
+	case Gauss:
+		return "GAUSS"
+	case Uniform:
+		return "UNIFORM"
+	case Lognormal:
+		return "LOGNORMAL"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// ParseDist reads a DIST= keyword (case-insensitive).
+func ParseDist(s string) (Dist, error) {
+	switch strings.ToUpper(s) {
+	case "", "GAUSS", "NORMAL":
+		return Gauss, nil
+	case "UNIFORM", "FLAT":
+		return Uniform, nil
+	case "LOGNORMAL":
+		return Lognormal, nil
+	default:
+		return Gauss, fmt.Errorf("vary: unknown distribution %q (want GAUSS, UNIFORM or LOGNORMAL)", s)
+	}
+}
+
+// Spec declares one Monte Carlo variation: which parameter varies, how
+// it is distributed, and whether matched elements share a draw.
+type Spec struct {
+	// Elem selects elements by name; a trailing '*' matches by prefix
+	// ("N*" varies every nanodevice).
+	Elem string
+	// Param names the parameter. "" selects the element's principal
+	// value (R, C, L, or the DC level of a source); device models use
+	// their .model card names ("A", "VTO", "IS", ...).
+	Param string
+	// Dist is the sampling distribution.
+	Dist Dist
+	// Sigma is the tolerance: the standard deviation for Gauss, the
+	// half-range for Uniform, the log-sigma for Lognormal.
+	Sigma float64
+	// Rel scales Sigma by |nominal| (a "5%" tolerance is Sigma=0.05,
+	// Rel=true). Ignored for Lognormal, which is inherently relative.
+	Rel bool
+	// Lot makes all elements matched by this spec share one draw per
+	// trial (SPICE LOT semantics: lot-to-lot shift). The default is
+	// DEV semantics: an independent draw per matched element.
+	Lot bool
+}
+
+// String renders the spec for reports: "N*(A) DEV=5% GAUSS".
+func (s Spec) String() string {
+	name := s.Elem
+	if s.Param != "" {
+		name += "(" + s.Param + ")"
+	}
+	kind := "DEV"
+	if s.Lot {
+		kind = "LOT"
+	}
+	tol := fmt.Sprintf("%g", s.Sigma)
+	if s.Rel {
+		tol = fmt.Sprintf("%g%%", s.Sigma*100)
+	}
+	return fmt.Sprintf("%s %s=%s %s", name, kind, tol, s.Dist)
+}
+
+// SweepAxis declares one deterministic sweep dimension of a parameter
+// grid (the netlist .step card).
+type SweepAxis struct {
+	// Elem and Param select the parameter as in Spec (no patterns: a
+	// sweep axis names exactly one element).
+	Elem, Param string
+	// From and To are the first and last grid values (inclusive).
+	From, To float64
+	// Points is the number of grid points (>= 1).
+	Points int
+	// Log spaces the grid geometrically; From and To must then share a
+	// sign and be nonzero.
+	Log bool
+}
+
+// Values materializes the axis grid.
+func (a SweepAxis) Values() []float64 {
+	out := make([]float64, a.Points)
+	if a.Points == 1 {
+		out[0] = a.From
+		return out
+	}
+	for i := range out {
+		f := float64(i) / float64(a.Points-1)
+		if a.Log {
+			out[i] = a.From * math.Pow(a.To/a.From, f)
+		} else {
+			out[i] = a.From + (a.To-a.From)*f
+		}
+	}
+	return out
+}
+
+// validate checks the axis is well-formed.
+func (a SweepAxis) validate() error {
+	if a.Elem == "" {
+		return fmt.Errorf("vary: sweep axis needs an element name")
+	}
+	if a.Points < 1 {
+		return fmt.Errorf("vary: sweep axis %s needs >= 1 points, got %d", a.Elem, a.Points)
+	}
+	if a.Log && (a.From == 0 || a.To == 0 || (a.From < 0) != (a.To < 0)) {
+		return fmt.Errorf("vary: log sweep axis %s needs nonzero same-sign bounds, got [%g, %g]", a.Elem, a.From, a.To)
+	}
+	return nil
+}
+
+// target is one resolved parameter accessor on a (cloned) circuit.
+type target struct {
+	name string // "N1(A)" for diagnostics
+	get  func() float64
+	set  func(float64) error
+}
+
+// matchIndices returns the insertion-order indices of the elements of
+// ckt matched by elem (exact name, or prefix when elem ends in '*').
+// Clone preserves element order, so indices resolved against the base
+// circuit address the same elements in every trial's clone — trials
+// skip the name scan entirely.
+func matchIndices(ckt *circuit.Circuit, elem string) ([]int, error) {
+	prefix := ""
+	if strings.HasSuffix(elem, "*") {
+		prefix = strings.TrimSuffix(elem, "*")
+	}
+	var out []int
+	for i, e := range ckt.Elements() {
+		if prefix == "" {
+			if e.Name() != elem {
+				continue
+			}
+		} else if !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		out = append(out, i)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vary: no element matches %q", elem)
+	}
+	return out, nil
+}
+
+// resolveTargets resolves elem/param against ckt in one pass: match,
+// then build one accessor per matched element.
+func resolveTargets(ckt *circuit.Circuit, elem, param string) ([]target, error) {
+	idxs, err := matchIndices(ckt, elem)
+	if err != nil {
+		return nil, err
+	}
+	return targetsAt(ckt, idxs, param)
+}
+
+// targetsAt builds accessors for the given element indices.
+func targetsAt(ckt *circuit.Circuit, idxs []int, param string) ([]target, error) {
+	out := make([]target, 0, len(idxs))
+	for _, i := range idxs {
+		tg, err := resolveParam(ckt.Elements()[i], param)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tg)
+	}
+	return out, nil
+}
+
+// resolveParam builds the accessor for one element's parameter.
+func resolveParam(e circuit.Element, param string) (target, error) {
+	p := strings.ToUpper(param)
+	label := e.Name()
+	if param != "" {
+		label += "(" + p + ")"
+	}
+	fail := func(format string, args ...any) (target, error) {
+		return target{}, fmt.Errorf("vary: %s: "+format, append([]any{label}, args...)...)
+	}
+	switch el := e.(type) {
+	case *circuit.Resistor:
+		if p != "" && p != "R" {
+			return fail("resistors only expose R")
+		}
+		return target{name: label, get: func() float64 { return el.R },
+			set: func(v float64) error {
+				if v <= 0 {
+					return fmt.Errorf("vary: %s: R must stay > 0, got %g", label, v)
+				}
+				el.R = v
+				return nil
+			}}, nil
+	case *circuit.Capacitor:
+		switch p {
+		case "", "C":
+			return target{name: label, get: func() float64 { return el.C },
+				set: func(v float64) error {
+					if v <= 0 {
+						return fmt.Errorf("vary: %s: C must stay > 0, got %g", label, v)
+					}
+					el.C = v
+					return nil
+				}}, nil
+		case "IC":
+			return target{name: label, get: func() float64 { return el.IC },
+				set: func(v float64) error { el.IC, el.HasIC = v, true; return nil }}, nil
+		default:
+			return fail("capacitors expose C and IC")
+		}
+	case *circuit.Inductor:
+		if p != "" && p != "L" {
+			return fail("inductors only expose L")
+		}
+		return target{name: label, get: func() float64 { return el.L },
+			set: func(v float64) error {
+				if v <= 0 {
+					return fmt.Errorf("vary: %s: L must stay > 0, got %g", label, v)
+				}
+				el.L = v
+				return nil
+			}}, nil
+	case *circuit.VSource:
+		return sourceTarget(label, p, &el.W, &el.NoiseSigma)
+	case *circuit.ISource:
+		return sourceTarget(label, p, &el.W, &el.NoiseSigma)
+	case *circuit.TwoTerm:
+		pm, ok := el.Model.(device.Perturber)
+		if !ok {
+			return fail("model %T has no perturbable parameters", el.Model)
+		}
+		if p == "" {
+			return fail("device parameters must be named explicitly (have %v)", pm.Params())
+		}
+		if _, ok := pm.Param(p); !ok {
+			return fail("model has no parameter %q (have %v)", p, pm.Params())
+		}
+		return target{name: label,
+			get: func() float64 { v, _ := pm.Param(p); return v },
+			set: func(v float64) error { return pm.SetParam(p, v) }}, nil
+	case *circuit.FET:
+		m := el.Model
+		if p == "" {
+			return fail("FET parameters must be named explicitly (have %v)", m.Params())
+		}
+		if _, ok := m.Param(p); !ok {
+			return fail("MOSFET has no parameter %q (have %v)", p, m.Params())
+		}
+		return target{name: label,
+			get: func() float64 { v, _ := m.Param(p); return v },
+			set: func(v float64) error { return m.SetParam(p, v) }}, nil
+	default:
+		return fail("element kind %T cannot be varied", e)
+	}
+}
+
+// sourceTarget resolves V/I source parameters: the DC level (requiring a
+// DC waveform) or the NOISE intensity.
+func sourceTarget(label, p string, w *device.Waveform, noise *float64) (target, error) {
+	switch p {
+	case "", "DC":
+		dc, ok := (*w).(device.DC)
+		if !ok {
+			return target{}, fmt.Errorf("vary: %s: only DC sources expose a DC level (waveform is %T)", label, *w)
+		}
+		cur := float64(dc)
+		return target{name: label,
+			get: func() float64 { return cur },
+			set: func(v float64) error { cur = v; *w = device.DC(v); return nil }}, nil
+	case "NOISE":
+		return target{name: label,
+			get: func() float64 { return *noise },
+			set: func(v float64) error {
+				if v < 0 {
+					return fmt.Errorf("vary: %s: NOISE must stay >= 0, got %g", label, v)
+				}
+				*noise = v
+				return nil
+			}}, nil
+	default:
+		return target{}, fmt.Errorf("vary: %s: sources expose DC and NOISE", label)
+	}
+}
+
+// draw returns the standardized variate of a distribution: N(0,1) for
+// Gauss and Lognormal, U(-1,1) for Uniform.
+func (s Spec) draw(st *randx.Stream) float64 {
+	if s.Dist == Uniform {
+		return 2*st.Float64() - 1
+	}
+	return st.Norm()
+}
+
+// apply maps the standardized variate z onto the nominal value.
+func (s Spec) apply(nominal, z float64) float64 {
+	if s.Dist == Lognormal {
+		return nominal * math.Exp(s.Sigma*z)
+	}
+	sigma := s.Sigma
+	if s.Rel {
+		sigma *= math.Abs(nominal)
+	}
+	return nominal + sigma*z
+}

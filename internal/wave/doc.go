@@ -1,0 +1,6 @@
+// Package wave represents simulation outputs as named time series and
+// provides the interpolation, measurement, export and terminal-plotting
+// utilities every nanosim experiment reports through. A Series is a
+// (t, v) sample sequence with strictly increasing time; a Set bundles the
+// signals of one simulation run.
+package wave

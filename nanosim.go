@@ -18,6 +18,12 @@
 //     statistics and window peaks instead of averages (see Stochastic
 //     and MonteCarlo).
 //
+// The statistical machinery also covers the paper's other uncertainty
+// axis, device-parameter spread: Vary runs a process-variation Monte
+// Carlo (envelopes, histograms, yield against spec limits) and
+// ParamSweep explores deterministic parameter grids, both reusing
+// per-worker solver state across trials.
+//
 // Baseline engines (a SPICE3-style Newton simulator, the
 // Bhattacharya-Mazumder MLA, and an ACES-style piecewise-linear engine)
 // ship alongside so every comparison in the paper can be regenerated;

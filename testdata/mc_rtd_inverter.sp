@@ -1,0 +1,18 @@
+* FET-RTD inverter: RTD peak-spread Monte Carlo (low-state yield)
+VDD vdd 0 1.2
+VIN in 0 1.2
+NL vdd out rtdload
+ND out 0 rtdmod
+M1 out in 0 nmod
+CL out 0 20f
+CIN in 0 1f
+.model rtdmod RTD
+.model rtdload RTD AREA=1.5
+.model nmod NMOS KP=5m VTO=0.5 W=1 L=1
+.tran 1n 60n
+.mc 200 tran SEED=42
+.vary N*(A) DEV=5%
+.vary M1(VTO) DEV=3%
+.limit v(out) final * 0.4
+.print v(out)
+.end

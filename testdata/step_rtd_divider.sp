@@ -1,0 +1,11 @@
+* RTD divider: .step the load resistor and the RTD area grid
+V1 in 0 0.8
+R1 in d 600
+N1 d 0 rtdmod
+CD d 0 10f
+.model rtdmod RTD
+.op
+.step R1 200 1200 6
+.step N1(AREA) 1 2 2
+.print v(d)
+.end

@@ -1,0 +1,92 @@
+package nanosim
+
+import (
+	"nanosim/internal/vary"
+)
+
+// VarySpec declares one Monte Carlo parameter variation: which element
+// and parameter vary, the distribution, the tolerance (absolute or
+// relative) and whether matched elements share a draw (LOT) or draw
+// independently (DEV).
+type VarySpec = vary.Spec
+
+// VaryDist selects a VarySpec's sampling distribution.
+type VaryDist = vary.Dist
+
+// Sampling distributions for VarySpec.
+const (
+	// VaryGauss perturbs additively with a normal draw.
+	VaryGauss VaryDist = vary.Gauss
+	// VaryUniform perturbs additively with a uniform draw; Sigma is the
+	// half-range.
+	VaryUniform VaryDist = vary.Uniform
+	// VaryLognormal perturbs multiplicatively, preserving positivity.
+	VaryLognormal VaryDist = vary.Lognormal
+)
+
+// ParseVaryDist reads a netlist DIST= keyword ("GAUSS", "UNIFORM",
+// "LOGNORMAL"; case-insensitive, "" = gauss) into a VaryDist.
+func ParseVaryDist(s string) (VaryDist, error) { return vary.ParseDist(s) }
+
+// VaryJob selects the analysis every Monte Carlo trial or sweep point
+// runs: SWEC transient ("tran", default), SWEC DC operating point
+// ("op"), or one Euler-Maruyama path ("em") — the last combining device
+// parameter spread with input noise in a single statistical run.
+type VaryJob = vary.Job
+
+// VaryLimit is one yield specification: a trial passes when the chosen
+// measure ("final", "min" or "max") of a signal lies within [Lo, Hi].
+type VaryLimit = vary.Limit
+
+// VaryOptions configures a process-variation Monte Carlo batch.
+type VaryOptions = vary.Options
+
+// VaryResult aggregates a Monte Carlo batch: per-signal mean/std and
+// quantile envelopes, per-trial measure samples, histograms, and yield
+// against the spec limits.
+type VaryResult = vary.Result
+
+// VarySignalStats is one signal's aggregate within a VaryResult.
+type VarySignalStats = vary.SignalStats
+
+// Vary runs a process-variation Monte Carlo: opt.Trials independently
+// perturbed copies of the circuit, each simulated by the selected
+// analysis and aggregated per signal. This is the paper's "statistical
+// simulator for nanotechnology circuit design" applied to the device
+// axis — RTD peak spread, nanowire geometry — rather than the input
+// noise axis of MonteCarlo.
+//
+// Results are reproducible: trial t derives everything from
+// (opt.Seed, t), so the batch is bit-identical at any Workers count.
+// Each worker reuses one solver across its trials — the compiled stamp
+// pattern and symbolic LU factorization carry over, so per-step work
+// stays allocation-free (see DESIGN.md §9).
+func Vary(ckt *Circuit, opt VaryOptions) (*VaryResult, error) {
+	return vary.MonteCarlo(ckt, opt)
+}
+
+// ParamSweepAxis declares one dimension of a deterministic parameter
+// grid (the netlist .step card).
+type ParamSweepAxis = vary.SweepAxis
+
+// ParamSweepOptions configures a parameter sweep.
+type ParamSweepOptions = vary.SweepOptions
+
+// ParamSweepResult holds per-grid-point scalar measures of the swept
+// circuit.
+type ParamSweepResult = vary.SweepResult
+
+// ParamSweep steps circuit parameters across the cartesian grid of the
+// axes (last axis fastest), running the job at every point with the
+// same per-worker solver reuse as Vary. It is the design-space
+// exploration counterpart of Sweep, which sweeps a source's DC bias
+// within one analysis.
+func ParamSweep(ckt *Circuit, opt ParamSweepOptions) (*ParamSweepResult, error) {
+	return vary.Sweep(ckt, opt)
+}
+
+// CloneCircuit returns an independent deep copy of a circuit; device
+// models are deep-copied, so perturbing the clone never mutates the
+// original. Vary and ParamSweep clone internally — reach for this only
+// when building perturbed circuits by hand.
+func CloneCircuit(c *Circuit) *Circuit { return c.Clone() }

@@ -1,0 +1,133 @@
+package nanosim_test
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"nanosim"
+	"nanosim/internal/netparse"
+)
+
+// loadMCInverterDeck parses the shipped Monte Carlo demo deck.
+func loadMCInverterDeck(t *testing.T) *netparse.Deck {
+	t.Helper()
+	src, err := os.ReadFile("testdata/mc_rtd_inverter.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck, err := netparse.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return deck
+}
+
+// varyOptionsFromDeck translates the deck's variation cards.
+func varyOptionsFromDeck(t *testing.T, deck *netparse.Deck, workers int) nanosim.VaryOptions {
+	t.Helper()
+	tran := deck.Analyses[0]
+	opt := nanosim.VaryOptions{
+		Trials:  200,
+		Seed:    deck.MC.Seed,
+		Workers: workers,
+		Signals: deck.Prints,
+		Job: nanosim.VaryJob{Analysis: "tran", Tran: nanosim.TranOptions{
+			TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true}},
+	}
+	for _, v := range deck.Varies {
+		dist, err := nanosim.ParseVaryDist(v.Dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Specs = append(opt.Specs, nanosim.VarySpec{
+			Elem: v.Elem, Param: v.Param, Dist: dist, Sigma: v.Sigma, Rel: v.Rel, Lot: v.Lot})
+	}
+	for _, l := range deck.Limits {
+		opt.Limits = append(opt.Limits, nanosim.VaryLimit{Signal: l.Signal, Stat: l.Stat, Lo: l.Lo, Hi: l.Hi})
+	}
+	return opt
+}
+
+// TestVaryDeckDeterministicAcrossWorkers is the repo acceptance check:
+// 200 trials of the RTD-inverter Monte Carlo deck are bit-identical for
+// the same seed at Workers=1 and Workers=8.
+func TestVaryDeckDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-trial batch skipped in -short mode")
+	}
+	deck1 := loadMCInverterDeck(t)
+	r1, err := nanosim.Vary(deck1.Circuit, varyOptionsFromDeck(t, deck1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck8 := loadMCInverterDeck(t)
+	r8, err := nanosim.Vary(deck8.Circuit, varyOptionsFromDeck(t, deck8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Failed != 0 || r8.Failed != 0 {
+		t.Fatalf("failed trials: %d / %d (%v %v)", r1.Failed, r8.Failed, r1.TrialErrors, r8.TrialErrors)
+	}
+	s1, s8 := r1.Signal("v(out)"), r8.Signal("v(out)")
+	if s1 == nil || s8 == nil {
+		t.Fatal("v(out) not aggregated")
+	}
+	for i := range s1.Final {
+		if s1.Final[i] != s8.Final[i] || s1.Min[i] != s8.Min[i] || s1.Max[i] != s8.Max[i] {
+			t.Fatalf("trial %d differs between Workers=1 and Workers=8: %v vs %v",
+				i, s1.Final[i], s8.Final[i])
+		}
+	}
+	for i := range s1.Mean.V {
+		if s1.Mean.V[i] != s8.Mean.V[i] || s1.Std.V[i] != s8.Std.V[i] ||
+			s1.QLo.V[i] != s8.QLo.V[i] || s1.QHi.V[i] != s8.QHi.V[i] {
+			t.Fatalf("envelope grid point %d differs between worker counts", i)
+		}
+	}
+	if r1.Yield != r8.Yield || r1.Passed != r8.Passed {
+		t.Fatalf("yield differs: %g (%d) vs %g (%d)", r1.Yield, r1.Passed, r8.Yield, r8.Passed)
+	}
+	// The deck's spec limit: the inverter low state must sit below 0.4 V
+	// for essentially every 5% RTD spread trial.
+	if r1.Yield < 0.95 {
+		t.Errorf("inverter low-state yield %g, expected near 1", r1.Yield)
+	}
+}
+
+// TestParamSweepDeck runs the shipped .step deck through the library API
+// and sanity-checks monotonicity of the divider bias point along R1.
+func TestParamSweepDeck(t *testing.T) {
+	src, err := os.ReadFile("testdata/step_rtd_divider.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck, err := netparse.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nanosim.ParamSweepOptions{Job: nanosim.VaryJob{Analysis: "op"}}
+	for _, s := range deck.Steps {
+		opt.Axes = append(opt.Axes, nanosim.ParamSweepAxis{
+			Elem: s.Elem, Param: s.Param, From: s.From, To: s.To, Points: s.Points, Log: s.Log})
+	}
+	res, err := nanosim.ParamSweep(deck.Circuit, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs() != 12 || res.Failed != 0 {
+		t.Fatalf("runs=%d failed=%d (%v)", res.Runs(), res.Failed, res.TrialErrors)
+	}
+	vd := res.Final["v(d)"]
+	for r, v := range vd {
+		if math.IsNaN(v) || v < 0 || v > 0.8 {
+			t.Errorf("run %d: v(d)=%g out of physical range", r, v)
+		}
+	}
+	// Larger area at fixed R1 sinks more current: v(d) must not rise.
+	for r := 0; r+1 < res.Runs(); r += 2 {
+		if vd[r+1] > vd[r]+1e-9 {
+			t.Errorf("area step raised v(d): run %d %g -> %g", r, vd[r], vd[r+1])
+		}
+	}
+}
