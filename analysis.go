@@ -6,6 +6,7 @@ import (
 	"nanosim/internal/dcop"
 	"nanosim/internal/flop"
 	"nanosim/internal/linsolve"
+	"nanosim/internal/part"
 	"nanosim/internal/sde"
 	"nanosim/internal/tran"
 	"nanosim/internal/wave"
@@ -46,6 +47,12 @@ var (
 // TranOptions configures the SWEC transient engine (see internal/core
 // for field-by-field documentation; zero values select defaults).
 type TranOptions = core.Options
+
+// PartitionOptions configures the torn-block SWEC engine: set
+// TranOptions.Partition to a (possibly zero) PartitionOptions to split
+// the circuit into weakly coupled blocks with per-block solvers and
+// dormancy-based latency exploitation (see internal/part).
+type PartitionOptions = part.Options
 
 // TranResult is a SWEC transient outcome: Waves plus work Stats.
 type TranResult = core.Result

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -12,8 +13,10 @@ import (
 	"nanosim/internal/device"
 	"nanosim/internal/exp"
 	"nanosim/internal/linsolve"
+	"nanosim/internal/part"
 	"nanosim/internal/spmat"
 	"nanosim/internal/vary"
+	"nanosim/internal/wave"
 )
 
 // SolverBenchEntry is one backend × size measurement of the per-step
@@ -40,6 +43,24 @@ type VarySmoke struct {
 	Yield           float64 `json:"yield"`
 }
 
+// PartitionBench records the torn-block engine against the monolithic
+// one on the mostly-quiescent RTD pipeline (exp.RTDPipeline): the
+// latency-exploitation speedup the partition exists for, plus the
+// accuracy cost, tracked PR to PR.
+type PartitionBench struct {
+	Stages        int     `json:"stages"`
+	Nodes         int     `json:"nodes"`
+	Blocks        int     `json:"blocks"`
+	Tears         int     `json:"tears"`
+	MonolithicMs  float64 `json:"monolithic_ms"`
+	PartitionedMs float64 `json:"partitioned_ms"`
+	Speedup       float64 `json:"speedup"`
+	BlockSolves   int64   `json:"block_solves"`
+	BlockSkips    int64   `json:"dormant_block_steps_skipped"`
+	SkipFraction  float64 `json:"dormant_skip_fraction"`
+	MaxAbsDevV    float64 `json:"max_abs_deviation_v"`
+}
+
 // SolverBenchReport is the machine-readable solver perf record emitted
 // as BENCH_solver.json so the hot-path trajectory is tracked PR to PR.
 type SolverBenchReport struct {
@@ -54,6 +75,7 @@ type SolverBenchReport struct {
 	SpeedupVs  string             `json:"speedup_vs"`
 	MinSpeedup float64            `json:"min_speedup_n200_plus"`
 	Vary       *VarySmoke         `json:"vary_smoke,omitempty"`
+	Partition  *PartitionBench    `json:"partition_bench,omitempty"`
 }
 
 // runSolverBench measures the per-step solver cost across sizes and
@@ -147,6 +169,12 @@ func runSolverBench(path string) error {
 	}
 	rep.Vary = smoke
 
+	pb, err := runPartitionBench()
+	if err != nil {
+		return err
+	}
+	rep.Partition = pb
+
 	for _, e := range rep.Results {
 		fmt.Printf("%-14s n=%-4d %12.0f ns/step  %4d allocs/step\n",
 			e.Backend, e.N, e.NsPerStep, e.AllocsPerOp)
@@ -219,6 +247,78 @@ func runVarySmoke() (*VarySmoke, error) {
 		return nil, fmt.Errorf("vary smoke: Workers=1 and Workers=%d batches differ for the same seed", workers)
 	}
 	return smoke, nil
+}
+
+// runPartitionBench times the monolithic and torn-block engines on the
+// >= 1k-node mostly-quiescent RTD pipeline and cross-checks their
+// waveforms; only the pulsed head of the pipeline (and its immediate
+// neighborhood) should ever solve once dormancy engages.
+func runPartitionBench() (*PartitionBench, error) {
+	const stages, pulsed = 1024, 4
+	opt := core.Options{TStop: 20e-9, HInit: 0.1e-9}
+
+	ckt := exp.RTDPipeline(stages, pulsed)
+	runtime.GC() // don't bill earlier benchmarks' garbage to either engine
+	start := time.Now()
+	mono, err := core.Transient(ckt, opt)
+	if err != nil {
+		return nil, fmt.Errorf("partition bench (monolithic): %w", err)
+	}
+	monoMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	opt.Partition = &part.Options{}
+	runtime.GC()
+	start = time.Now()
+	pr, err := core.Transient(ckt, opt)
+	if err != nil {
+		return nil, fmt.Errorf("partition bench (partitioned): %w", err)
+	}
+	partMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	// Accuracy cross-check on the pulsed head, the quiet tail and a
+	// mid-pipeline stage.
+	worst := 0.0
+	for _, sig := range []string{"v(n0)", "v(n512)", "v(n1023)"} {
+		a, b := mono.Waves.Get(sig), pr.Waves.Get(sig)
+		if a == nil || b == nil {
+			return nil, fmt.Errorf("partition bench: signal %s missing", sig)
+		}
+		va, vb, err := wave.CompareOn(a, b, 400)
+		if err != nil {
+			return nil, err
+		}
+		for i := range va {
+			if d := math.Abs(va[i] - vb[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.03 {
+		return nil, fmt.Errorf("partition bench: engines deviate by %.4g V", worst)
+	}
+
+	total := pr.Stats.BlockSolves + pr.Stats.BlockSkips
+	pb := &PartitionBench{
+		Stages:        stages,
+		Nodes:         ckt.NumNodes() - 1,
+		Blocks:        pr.Stats.Blocks,
+		Tears:         pr.Stats.Tears,
+		MonolithicMs:  monoMs,
+		PartitionedMs: partMs,
+		Speedup:       monoMs / partMs,
+		BlockSolves:   pr.Stats.BlockSolves,
+		BlockSkips:    pr.Stats.BlockSkips,
+		SkipFraction:  float64(pr.Stats.BlockSkips) / float64(total),
+		// The Finite guard keeps any degenerate measure out of the JSON
+		// record (encoding/json rejects non-finite floats).
+		MaxAbsDevV: wave.Finite(worst, -1),
+	}
+	fmt.Printf("partition bench: %d stages (%d nodes) -> %d blocks/%d tears; mono %.0f ms, part %.0f ms (%.1fx), %.0f%% block-steps dormant, max dev %.3g V\n",
+		pb.Stages, pb.Nodes, pb.Blocks, pb.Tears, pb.MonolithicMs, pb.PartitionedMs, pb.Speedup, 100*pb.SkipFraction, pb.MaxAbsDevV)
+	if pb.Speedup < 2 {
+		return nil, fmt.Errorf("partition bench: speedup %.2fx below the 2x acceptance floor", pb.Speedup)
+	}
+	return pb, nil
 }
 
 func entry(backend string, n int, r testing.BenchmarkResult) SolverBenchEntry {

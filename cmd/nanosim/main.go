@@ -18,6 +18,8 @@
 //	nanosim [-engine swec|nr|mla|pwl] [-csv out.csv] [-plot] deck.sp
 //	nanosim -mc 500 -workers 8 deck.sp     (override .mc trial count)
 //	nanosim -step deck.sp                  (run only the .step sweep)
+//	nanosim -partition deck.sp             (torn-block SWEC engine, like
+//	                                        a '.options partition' card)
 //
 // The -engine flag switches the transient engine so the paper's
 // comparisons can be run on any deck; DC, EM and the batch modes always
@@ -38,16 +40,18 @@ import (
 
 // config carries the CLI flags into run.
 type config struct {
-	engine  string
-	csvPath string
-	plot    bool
-	width   int
-	height  int
-	mc      int  // override .mc trial count (0 = deck value)
-	step    bool // run only the .step sweep
-	workers int
-	seed    uint64
-	seedSet bool
+	engine    string
+	csvPath   string
+	plot      bool
+	width     int
+	height    int
+	mc        int  // override .mc trial count (0 = deck value)
+	step      bool // run only the .step sweep
+	workers   int
+	seed      uint64
+	seedSet   bool
+	partition bool    // force the torn-block SWEC engine
+	gcouple   float64 // partitioner coupling threshold (0 = default)
 }
 
 func main() {
@@ -60,6 +64,8 @@ func main() {
 	flag.IntVar(&cfg.mc, "mc", 0, "run a Monte Carlo with this many trials (overrides the .mc card count)")
 	flag.BoolVar(&cfg.step, "step", false, "run only the deck's .step parameter sweep")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel workers for -mc/-step batches (0 = GOMAXPROCS)")
+	flag.BoolVar(&cfg.partition, "partition", false, "run SWEC transients on the torn-block engine (like a '.options partition' card)")
+	flag.Float64Var(&cfg.gcouple, "gcouple", 0, "partitioner coupling threshold in (0,1) (0 = engine default)")
 	seed := flag.Uint64("seed", 0, "override the Monte Carlo seed")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nanosim [flags] deck.sp\n\n")
@@ -100,17 +106,21 @@ func run(path string, cfg config) error {
 	fmt.Printf("* %s\n", deck.Circuit.Title)
 	fmt.Printf("* %d elements, %d nodes, %d analyses\n\n",
 		len(deck.Circuit.Elements()), deck.Circuit.NumNodes()-1, len(deck.Analyses))
+	popt, err := partitionOpts(deck, cfg)
+	if err != nil {
+		return err
+	}
 
 	wantMC := cfg.mc > 0 || deck.MC != nil
 	wantStep := cfg.step || len(deck.Steps) > 0
 	if wantMC || wantStep {
 		if wantStep {
-			if err := runStep(deck, cfg); err != nil {
+			if err := runStep(deck, cfg, popt); err != nil {
 				return err
 			}
 		}
 		if wantMC && !cfg.step {
-			if err := runMC(deck, cfg); err != nil {
+			if err := runMC(deck, cfg, popt); err != nil {
 				return err
 			}
 		}
@@ -153,7 +163,7 @@ func run(path string, cfg config) error {
 			}
 			fmt.Println()
 		case "tran":
-			waves, stats, err := runTransient(deck.Circuit, cfg.engine, a)
+			waves, stats, err := runTransient(deck.Circuit, cfg.engine, a, popt)
 			if err != nil {
 				return fmt.Errorf(".tran: %w", err)
 			}
@@ -203,9 +213,35 @@ func writeCSV(path string, waves *nanosim.WaveSet) error {
 	return nil
 }
 
+// partitionOpts merges the deck's .options card with the CLI flags into
+// the torn-block engine configuration (nil = monolithic engine). The
+// flag gets the same validation as the card, and asking for a threshold
+// without enabling the engine is an error rather than a silent no-op.
+func partitionOpts(deck *netparse.Deck, cfg config) (*nanosim.PartitionOptions, error) {
+	if cfg.gcouple != 0 && (cfg.gcouple <= 0 || cfg.gcouple >= 1) {
+		return nil, fmt.Errorf("-gcouple %g out of range (want a ratio in (0,1))", cfg.gcouple)
+	}
+	enabled := cfg.partition
+	popt := nanosim.PartitionOptions{GCouple: cfg.gcouple}
+	if o := deck.Options; o != nil {
+		enabled = enabled || o.Partition
+		popt.NoDormancy = o.NoDormancy
+		if popt.GCouple == 0 {
+			popt.GCouple = o.GCouple
+		}
+	}
+	if !enabled {
+		if cfg.gcouple != 0 {
+			return nil, fmt.Errorf("-gcouple needs -partition (or a '.options partition' card in the deck)")
+		}
+		return nil, nil
+	}
+	return &popt, nil
+}
+
 // batchJob builds the per-trial analysis from the deck's cards: the .mc
 // analysis keyword when given, else the first .tran, else .em, else .op.
-func batchJob(deck *netparse.Deck) (nanosim.VaryJob, error) {
+func batchJob(deck *netparse.Deck, popt *nanosim.PartitionOptions) (nanosim.VaryJob, error) {
 	kind := ""
 	if deck.MC != nil {
 		kind = deck.MC.Analysis
@@ -236,7 +272,7 @@ func batchJob(deck *netparse.Deck) (nanosim.VaryJob, error) {
 		if tran == nil {
 			return job, fmt.Errorf(".mc tran needs a .tran card")
 		}
-		job.Tran = nanosim.TranOptions{TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true}
+		job.Tran = nanosim.TranOptions{TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true, Partition: popt}
 	case "em":
 		if em == nil {
 			return job, fmt.Errorf(".mc em needs a .em card")
@@ -253,11 +289,11 @@ func printSignals(deck *netparse.Deck) []string {
 }
 
 // runMC executes the deck's Monte Carlo cards.
-func runMC(deck *netparse.Deck, cfg config) error {
+func runMC(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions) error {
 	if len(deck.Varies) == 0 {
 		return fmt.Errorf("-mc/.mc needs at least one .vary card")
 	}
-	job, err := batchJob(deck)
+	job, err := batchJob(deck, popt)
 	if err != nil {
 		return err
 	}
@@ -344,11 +380,11 @@ func runMC(deck *netparse.Deck, cfg config) error {
 }
 
 // runStep executes the deck's .step sweep.
-func runStep(deck *netparse.Deck, cfg config) error {
+func runStep(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions) error {
 	if len(deck.Steps) == 0 {
 		return fmt.Errorf("-step needs at least one .step card")
 	}
-	job, err := batchJob(deck)
+	job, err := batchJob(deck, popt)
 	if err != nil {
 		return err
 	}
@@ -401,16 +437,21 @@ func runStep(deck *netparse.Deck, cfg config) error {
 }
 
 // runTransient dispatches on the engine flag.
-func runTransient(ckt *nanosim.Circuit, engine string, a netparse.Analysis) (*nanosim.WaveSet, string, error) {
+func runTransient(ckt *nanosim.Circuit, engine string, a netparse.Analysis, popt *nanosim.PartitionOptions) (*nanosim.WaveSet, string, error) {
 	switch engine {
 	case "swec", "":
 		res, err := nanosim.Transient(ckt, nanosim.TranOptions{
-			TStop: a.TStop, HInit: a.TStep, RecordCurrents: true})
+			TStop: a.TStop, HInit: a.TStep, RecordCurrents: true, Partition: popt})
 		if err != nil {
 			return nil, "", err
 		}
-		return res.Waves, fmt.Sprintf("steps=%d rejected=%d solves=%d (no Newton iterations)",
-			res.Stats.Steps, res.Stats.Rejected, res.Stats.Solves), nil
+		desc := fmt.Sprintf("steps=%d rejected=%d solves=%d (no Newton iterations)",
+			res.Stats.Steps, res.Stats.Rejected, res.Stats.Solves)
+		if res.Stats.Blocks > 0 {
+			desc += fmt.Sprintf("\npartition: %d blocks, %d tears, %d block-solves, %d dormant block-steps skipped",
+				res.Stats.Blocks, res.Stats.Tears, res.Stats.BlockSolves, res.Stats.BlockSkips)
+		}
+		return res.Waves, desc, nil
 	case "nr", "mla", "pwl":
 		opt := nanosim.BaselineOptions{TStop: a.TStop, HInit: a.TStep, RecordCurrents: true}
 		var res *nanosim.BaselineResult

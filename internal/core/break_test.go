@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+)
+
+// TestBreakSetSpanRelativeTolerance is the regression for the old
+// absolute 1e-18 s guard in nextBreak: on a femtosecond-scale run,
+// 1e-18 s is a visible fraction of the span, so an accepted step landing
+// within it of a breakpoint silently skipped the breakpoint.
+func TestBreakSetSpanRelativeTolerance(t *testing.T) {
+	b := newBreakSet(0, 1e-15)
+	b.ts = []float64{3e-16, 6e-16}
+	b.seal()
+	// A step landed 5e-19 s before the first breakpoint. The old code
+	// compared against t+1e-18 and skipped it; the span-relative
+	// tolerance (1e-24 here) must still land on it.
+	if got := b.next(3e-16 - 5e-19); got != 3e-16 {
+		t.Fatalf("next(just before 3e-16) = %g, want 3e-16 (breakpoint skipped)", got)
+	}
+	// At (or within tolerance past) the breakpoint, move on to the next.
+	if got := b.next(3e-16); got != 6e-16 {
+		t.Fatalf("next(3e-16) = %g, want 6e-16", got)
+	}
+	if got := b.next(7e-16); got != 1e-15 {
+		t.Fatalf("next(past all) = %g, want TStop", got)
+	}
+}
+
+// TestBreakSetRevisitGuard covers the opposite failure: on long spans
+// the accumulated float64 roundoff of the time variable exceeds 1e-18,
+// so a step that numerically lands a hair before a breakpoint must not
+// schedule a second landing on it (a stall producing zero-length steps).
+func TestBreakSetRevisitGuard(t *testing.T) {
+	b := newBreakSet(0, 1.0)
+	b.ts = []float64{0.5}
+	b.seal()
+	// Landing 3 ulps short of the breakpoint (roundoff) must skip past
+	// it rather than revisit: 3 ulps << tol = 1e-9·span.
+	tLand := math.Nextafter(math.Nextafter(math.Nextafter(0.5, 0), 0), 0)
+	if got := b.next(tLand); got != 1.0 {
+		t.Fatalf("next(0.5 - 3ulp) = %g, want TStop 1.0 (stalled revisiting the breakpoint)", got)
+	}
+}
+
+// TestBreakSetDeduplicates covers collectBreaks sharing the tolerance:
+// two sources with corner times within tolerance must produce one
+// breakpoint, not a zero-length step pair.
+func TestBreakSetDeduplicates(t *testing.T) {
+	b := newBreakSet(0, 1e-15)
+	b.ts = []float64{3e-16, 3e-16 + 1e-28, 3e-16 + 2e-28, 6e-16}
+	b.seal()
+	if len(b.ts) != 2 {
+		t.Fatalf("seal kept %d breakpoints %v, want 2", len(b.ts), b.ts)
+	}
+}
+
+// TestFemtosecondTransientLandsBreakpoints integrates an RC at
+// femtosecond scale and checks the recorder sampled the PWL corner
+// times — end-to-end proof the engine no longer skips sub-1e-18-spaced
+// breakpoints.
+func TestFemtosecondTransientLandsBreakpoints(t *testing.T) {
+	w, err := device.NewPWL(
+		[]float64{0, 3e-16, 3.2e-16, 7e-16},
+		[]float64{0, 0, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("fs-rc")
+	c.AddVSource("V1", "in", "0", w)
+	c.AddResistor("R1", "in", "out", 10)
+	c.AddCapacitor("C1", "out", "0", 1e-18) // tau = 10 as
+	if _, err := Transient(c, Options{TStop: 1e-15}); err != nil {
+		t.Fatalf("fs transient: %v", err)
+	}
+	res, err := Transient(c, Options{TStop: 1e-15, HInit: 1e-16})
+	if err != nil {
+		t.Fatalf("fs transient: %v", err)
+	}
+	out := res.Waves.Get("v(out)")
+	for _, want := range []float64{3e-16, 3.2e-16} {
+		found := false
+		for _, ts := range out.T {
+			if math.Abs(ts-want) <= 1e-15*breakRelTol+1e-30 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no sample landed on breakpoint %g; times %v", want, out.T)
+		}
+	}
+	if f := out.Final(); math.Abs(f-1) > 0.05 {
+		t.Fatalf("fs RC final = %g, want ~1", f)
+	}
+}

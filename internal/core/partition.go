@@ -1,0 +1,688 @@
+package core
+
+// The partitioned SWEC driver: one stamped system + compiled-pattern
+// solver per tear block (internal/part), a single global adaptive time
+// step, Gauss-Jacobi coupling across blocks through their tear-branch
+// currents (exact within a block, one-step-lagged across a tear), and a
+// per-block activity state so quiescent blocks skip stamping, solving
+// and device evaluation entirely — the latency/dormancy exploitation the
+// SWEC formulation makes safe (every coupling is a positive conductance
+// whose strength the partitioner bounded at tear time).
+//
+// Time stepping is deliberately global and shared with the monolithic
+// engine (localErrorOf / stepBoundOf), so a partitioned run obeys the
+// same eq (10)-(12) accuracy contract; the partition changes *where*
+// work happens, not the error control.
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/flop"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/part"
+	"nanosim/internal/stamp"
+	"nanosim/internal/trace"
+)
+
+const (
+	// dormFrac scales Eps·vScale into the per-step dormancy threshold: a
+	// block may sleep only while every owned unknown moves less than
+	// dormFrac·Eps·vScale per accepted step, and any boundary input that
+	// drifts past the same threshold (measured against the value the
+	// block last solved with, so slow creep accumulates) wakes it.
+	dormFrac = 0.05
+	// dormantAfter is the number of consecutive quiet accepted steps a
+	// block must string together before it may sleep. The streak guards
+	// the turning points of autonomous oscillators, where dV/dt dips
+	// through zero for a step or two without the block being done.
+	dormantAfter = 4
+)
+
+// tearStamp is one block-side half of a torn branch, precompiled to the
+// block's local row and the remote voltage source it reads.
+type tearStamp struct {
+	tear      int // index into part.Partition.Tears
+	local     int // block row of the local terminal
+	remoteRow int // global row of the remote terminal
+	// src/sign are set when the remote terminal is stiff (pinned by a
+	// grounded voltage source): the remote voltage at t+h is then
+	// sign·W(t+h), exactly, instead of the previous-step value.
+	src  *circuit.VSource
+	sign float64
+}
+
+// pBlock is the per-run state of one partition block.
+type pBlock struct {
+	blk *part.Block
+	sys *stamp.System
+	sol linsolve.Solver
+
+	rhs              []float64
+	xb, xbPrev, xbNe []float64 // gathered previous states and the solve target
+	capI             []float64
+
+	// Per-device history mirroring the monolithic engine, indexed by the
+	// block system's device order.
+	ttGeq, ttDG []float64
+	fetGeq      []float64
+
+	tstamps []tearStamp
+
+	// Dormancy state. Source values split by physical kind: voltage-like
+	// inputs (own voltage sources, stiff tear remotes) compare against
+	// the absolute volt-scaled threshold, current sources against a
+	// relative one — a current delta has no fixed voltage meaning, and
+	// through a high-impedance node a small absolute delta can be a
+	// large voltage.
+	dormant bool
+	quiet   int       // consecutive accepted steps below dormTol
+	bndRows []int     // global rows read as boundary inputs
+	bndVal  []float64 // boundary values applied at the last assembly
+	vSrcs   []device.Waveform
+	vSrcVal []float64 // voltage-source values applied at the last assembly
+	iSrcs   []device.Waveform
+	iSrcVal []float64 // current-source values applied at the last assembly
+	brk     *breakSet // breakpoints of internal + stiff-remote sources
+}
+
+// partEngine integrates a torn circuit from TStart to TStop.
+type partEngine struct {
+	sys      *stamp.System // global MNA view (recording, error control)
+	opt      Options
+	par      *part.Partition
+	blocks   []*pBlock
+	dormancy bool
+
+	x, xPrev, xNew []float64 // global accepted states and step target
+	xTrial         []float64 // corrector-pass snapshot of xNew
+	hPrev          float64
+
+	// Tear-device history and per-attempt predicted conductances,
+	// indexed by tear order.
+	tearGeq, tearDG, tearGPred []float64
+
+	brk     *breakSet
+	vScale  float64
+	dormTol float64
+
+	stats      Stats
+	rec        *trace.Recorder
+	startFlops flop.Snapshot
+}
+
+func newPartEngine(sys *stamp.System, p *part.Partition, opt Options) (*partEngine, error) {
+	e := &partEngine{sys: sys, opt: opt, par: p, dormancy: !p.Opt.NoDormancy}
+	x0, err := sys.InitialState(opt.IC)
+	if err != nil {
+		return nil, err
+	}
+	e.x = x0
+	e.xPrev = append([]float64(nil), x0...)
+	e.xNew = make([]float64, sys.Dim())
+	e.xTrial = make([]float64, sys.Dim())
+	e.vScale = vScaleOf(sys, opt, e.x)
+	e.dormTol = dormFrac * opt.Eps * e.vScale
+	e.brk = newBreakSet(opt.TStart, opt.TStop)
+	e.brk.addSources(sys)
+	e.brk.seal()
+	e.rec = trace.NewRecorder(sys, opt.RecordCurrents)
+	// Dormant blocks keep their rows bit-frozen; run-length recording
+	// turns those thousands of identical samples per series into two.
+	e.rec.SetCompress(true)
+
+	nt := len(p.Tears)
+	e.tearGeq = make([]float64, nt)
+	e.tearDG = make([]float64, nt)
+	e.tearGPred = make([]float64, nt)
+
+	for _, blk := range p.Blocks {
+		b := &pBlock{
+			blk:    blk,
+			sys:    blk.Sys,
+			sol:    opt.Solver(blk.Sys.Dim(), opt.FC),
+			rhs:    make([]float64, blk.Sys.Dim()),
+			xb:     make([]float64, blk.Sys.Dim()),
+			xbPrev: make([]float64, blk.Sys.Dim()),
+			xbNe:   make([]float64, blk.Sys.Dim()),
+			capI:   make([]float64, len(blk.Sys.Capacitors())),
+			ttGeq:  make([]float64, len(blk.Sys.TwoTerms())),
+			ttDG:   make([]float64, len(blk.Sys.TwoTerms())),
+			fetGeq: make([]float64, len(blk.Sys.FETs())),
+		}
+		b.brk = newBreakSet(opt.TStart, opt.TStop)
+		b.brk.addSources(blk.Sys)
+		for _, ti := range blk.Tears {
+			tr := &p.Tears[ti]
+			ts := tearStamp{tear: ti}
+			if tr.BlockA == blk.Index {
+				ts.local = blk.Local[tr.A]
+				ts.remoteRow = tr.B
+				if tr.StiffB {
+					ts.src, ts.sign = tr.SrcB, tr.SignB
+				}
+			} else {
+				ts.local = blk.Local[tr.B]
+				ts.remoteRow = tr.A
+				if tr.StiffA {
+					ts.src, ts.sign = tr.SrcA, tr.SignA
+				}
+			}
+			if ts.src != nil {
+				// A stiff remote is tracked as a waveform input (its
+				// value and breakpoints), not as a neighbor voltage.
+				b.vSrcs = append(b.vSrcs, ts.src.W)
+				b.brk.addWave(ts.src.W)
+			} else {
+				b.bndRows = append(b.bndRows, ts.remoteRow)
+			}
+			b.tstamps = append(b.tstamps, ts)
+		}
+		for _, rg := range blk.RemoteGates {
+			b.bndRows = append(b.bndRows, rg.GlobalRow)
+		}
+		for _, s := range blk.Sys.VSources() {
+			b.vSrcs = append(b.vSrcs, s.V.W)
+		}
+		for _, s := range blk.Sys.ISources() {
+			b.iSrcs = append(b.iSrcs, s.I.W)
+		}
+		b.bndVal = make([]float64, len(b.bndRows))
+		b.vSrcVal = make([]float64, len(b.vSrcs))
+		b.iSrcVal = make([]float64, len(b.iSrcs))
+		b.brk.seal()
+		e.blocks = append(e.blocks, b)
+	}
+	e.stats.Blocks = len(e.blocks)
+	e.stats.Tears = nt
+	return e, nil
+}
+
+// gather copies the rows of src selected by rows into dst.
+func gather(dst, src []float64, rows []int) {
+	for i, r := range rows {
+		dst[i] = src[r]
+	}
+}
+
+// trapNow mirrors the monolithic damped start.
+func (e *partEngine) trapNow() bool { return e.opt.Trapezoidal && e.stats.Steps > 0 }
+
+// seedDeviceState initializes device histories from the initial state.
+func (e *partEngine) seedDeviceState() {
+	for _, b := range e.blocks {
+		gather(b.xb, e.x, b.blk.Rows)
+		for k, tt := range b.sys.TwoTerms() {
+			v := b.sys.Branch(b.xb, tt.Elem.A, tt.Elem.B)
+			b.ttGeq[k], b.ttDG[k] = e.evalGeqSlope(tt.Elem.Model, v)
+		}
+		for k, f := range b.sys.FETs() {
+			vgs := b.sys.Branch(b.xb, f.Elem.G, f.Elem.S)
+			vds := b.sys.Branch(b.xb, f.Elem.D, f.Elem.S)
+			b.fetGeq[k] = f.Elem.Model.GeqDS(vgs, vds)
+			chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
+		}
+	}
+	for i := range e.par.Tears {
+		tr := &e.par.Tears[i]
+		if tr.TT == nil {
+			e.tearGPred[i] = tr.R.Conductance()
+			continue
+		}
+		v := e.x[tr.A] - e.x[tr.B]
+		e.tearGeq[i], e.tearDG[i] = e.evalGeqSlope(tr.TT.Model, v)
+	}
+}
+
+// evalGeqSlope mirrors the monolithic fused evaluation.
+func (e *partEngine) evalGeqSlope(m device.IV, v float64) (geq, dg float64) {
+	if e.opt.NoPredictor {
+		geq = device.Geq(m, v)
+	} else {
+		geq, dg = device.GeqAndSlope(m, v)
+	}
+	chargeDeviceCost(&e.stats, e.opt.FC, m.Cost(), 1)
+	return geq, dg
+}
+
+// predictTT is the eq (5) predictor for block device k over step h.
+func (e *partEngine) predictTT(b *pBlock, k int, tt stamp.TwoTermRef, h float64) float64 {
+	g := b.ttGeq[k]
+	if e.opt.NoPredictor || e.hPrev <= 0 {
+		return g
+	}
+	vNow := b.sys.Branch(b.xb, tt.Elem.A, tt.Elem.B)
+	vPrev := b.sys.Branch(b.xbPrev, tt.Elem.A, tt.Elem.B)
+	dvdt := (vNow - vPrev) / e.hPrev
+	gp := g + 0.5*h*b.ttDG[k]*dvdt
+	if fc := e.opt.FC; fc != nil {
+		fc.Mul(3)
+		fc.Add(2)
+		fc.Div(1)
+	}
+	if gp < 0.01*g {
+		gp = 0.01 * g
+	}
+	return gp
+}
+
+// predictFET mirrors the monolithic finite-difference FET predictor.
+func (e *partEngine) predictFET(b *pBlock, k int, f stamp.FETRef, h float64) float64 {
+	g := b.fetGeq[k]
+	if e.opt.NoPredictor || e.hPrev <= 0 {
+		return g
+	}
+	vgsPrev := b.sys.Branch(b.xbPrev, f.Elem.G, f.Elem.S)
+	vdsPrev := b.sys.Branch(b.xbPrev, f.Elem.D, f.Elem.S)
+	gPrev := f.Elem.Model.GeqDS(vgsPrev, vdsPrev)
+	chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
+	dgdt := (g - gPrev) / e.hPrev
+	gp := g + 0.5*h*dgdt
+	if fc := e.opt.FC; fc != nil {
+		fc.Mul(2)
+		fc.Add(2)
+		fc.Div(1)
+	}
+	if gp < 0 {
+		gp = 0
+	}
+	return gp
+}
+
+// predictTears fills tearGPred for this attempt from the tear-device
+// histories (no model evaluations — the slope was cached on accept).
+func (e *partEngine) predictTears(h float64) {
+	for i := range e.par.Tears {
+		tr := &e.par.Tears[i]
+		if tr.TT == nil {
+			continue // resistor: constant, set at seed time
+		}
+		g := e.tearGeq[i]
+		if !e.opt.NoPredictor && e.hPrev > 0 {
+			vNow := e.x[tr.A] - e.x[tr.B]
+			vPrev := e.xPrev[tr.A] - e.xPrev[tr.B]
+			dvdt := (vNow - vPrev) / e.hPrev
+			gp := g + 0.5*h*e.tearDG[i]*dvdt
+			if fc := e.opt.FC; fc != nil {
+				fc.Mul(3)
+				fc.Add(2)
+				fc.Div(1)
+			}
+			if gp < 0.01*g {
+				gp = 0.01 * g
+			}
+			g = gp
+		}
+		e.tearGPred[i] = g
+	}
+}
+
+// wantSolve decides whether a block participates in this step: active
+// blocks always do; a dormant block wakes on an upcoming breakpoint of
+// its own (or stiff-remote) sources, on a boundary voltage that drifted
+// past the threshold since the block last solved, or on a source value
+// that did the same.
+func (e *partEngine) wantSolve(b *pBlock, t, h float64) bool {
+	if !e.dormancy || !b.dormant {
+		return true
+	}
+	if b.brk.upcoming(t, h) {
+		return true
+	}
+	for i, row := range b.bndRows {
+		if math.Abs(e.x[row]-b.bndVal[i]) > e.dormTol {
+			return true
+		}
+	}
+	tn := t + h
+	for j, w := range b.vSrcs {
+		if math.Abs(w.At(tn)-b.vSrcVal[j]) > e.dormTol {
+			return true
+		}
+	}
+	for j, w := range b.iSrcs {
+		if e.iSourceDrifted(w.At(tn), b.iSrcVal[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// iSourceDrifted is the current-source wake criterion: relative to the
+// source's own magnitude rather than the volt-scaled dormTol. Through a
+// node of conductance g the voltage error of sleeping past a current
+// drift ΔI is ΔI/g = (ΔI/I)·V_true, so an Eps-scaled relative bound on
+// the current bounds the voltage error Eps-scaled relative to the
+// node's true swing — at any impedance.
+func (e *partEngine) iSourceDrifted(now, applied float64) bool {
+	scale := math.Max(math.Abs(now), math.Abs(applied))
+	return math.Abs(now-applied) > dormFrac*e.opt.Eps*scale
+}
+
+// assembleBlock stamps block b for the step (t, t+h] and records the
+// boundary/source values it is about to solve with.
+func (e *partEngine) assembleBlock(b *pBlock, t, h float64) {
+	gather(b.xb, e.x, b.blk.Rows)
+	gather(b.xbPrev, e.xPrev, b.blk.Rows)
+	bs := b.sys
+	b.sol.Reset()
+	bs.StampLinearG(b.sol)
+	for i := 0; i < bs.NodeCount(); i++ {
+		b.sol.Add(i, i, e.opt.Gmin)
+	}
+	for k, tt := range bs.TwoTerms() {
+		stamp.Stamp2(b.sol, tt.IA, tt.IB, e.predictTT(b, k, tt, h))
+	}
+	for k, f := range bs.FETs() {
+		stamp.Stamp2(b.sol, f.ID, f.IS, e.predictFET(b, k, f, h))
+	}
+	for i := range b.rhs {
+		b.rhs[i] = 0
+	}
+	bs.StampReactive(b.sol, b.rhs, b.xb, b.capI, h, e.trapNow())
+	if fc := e.opt.FC; fc != nil {
+		fc.Div(bs.Dim())
+		fc.Mul(2 * bs.Dim())
+		fc.Add(bs.Dim())
+	}
+	bs.StampRHS(t+h, b.rhs)
+	// Tear half-branches: g on the local diagonal, g·V(remote) as a
+	// Norton current. Stiff remotes use the exact source value at t+h;
+	// free remotes the previous accepted step (Gauss-Jacobi).
+	for _, ts := range b.tstamps {
+		g := e.tearGPred[ts.tear]
+		b.sol.Add(ts.local, ts.local, g)
+		var v float64
+		if ts.src != nil {
+			v = ts.sign * ts.src.W.At(t+h)
+		} else {
+			v = e.x[ts.remoteRow]
+		}
+		b.rhs[ts.local] += g * v
+		if fc := e.opt.FC; fc != nil {
+			fc.Mul(1)
+			fc.Add(1)
+		}
+	}
+	// Record the inputs this solve consumes: the dormancy wake rules
+	// compare future inputs against them.
+	for i, row := range b.bndRows {
+		b.bndVal[i] = e.x[row]
+	}
+	for j, w := range b.vSrcs {
+		b.vSrcVal[j] = w.At(t + h)
+	}
+	for j, w := range b.iSrcs {
+		b.iSrcVal[j] = w.At(t + h)
+	}
+}
+
+// correctBlock restamps block b with conductances evaluated at the
+// trial state (one corrector pass), mirroring the monolithic
+// correctAssemble: internal devices and tear conductances read the
+// global trial vector xTrial, reactive companions and sources restamp
+// unchanged.
+func (e *partEngine) correctBlock(b *pBlock, t, h float64, xTrial []float64) {
+	gather(b.xbNe, xTrial, b.blk.Rows)
+	bs := b.sys
+	b.sol.Reset()
+	bs.StampLinearG(b.sol)
+	for i := 0; i < bs.NodeCount(); i++ {
+		b.sol.Add(i, i, e.opt.Gmin)
+	}
+	for _, tt := range bs.TwoTerms() {
+		v := bs.Branch(b.xbNe, tt.Elem.A, tt.Elem.B)
+		g := device.Geq(tt.Elem.Model, v)
+		chargeDeviceCost(&e.stats, e.opt.FC, tt.Elem.Model.Cost(), 1)
+		stamp.Stamp2(b.sol, tt.IA, tt.IB, g)
+	}
+	for _, f := range bs.FETs() {
+		vgs := bs.Branch(b.xbNe, f.Elem.G, f.Elem.S)
+		vds := bs.Branch(b.xbNe, f.Elem.D, f.Elem.S)
+		g := f.Elem.Model.GeqDS(vgs, vds)
+		chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
+		stamp.Stamp2(b.sol, f.ID, f.IS, g)
+	}
+	for i := range b.rhs {
+		b.rhs[i] = 0
+	}
+	bs.StampReactive(b.sol, b.rhs, b.xb, b.capI, h, e.trapNow())
+	if fc := e.opt.FC; fc != nil {
+		fc.Div(bs.Dim())
+		fc.Mul(2 * bs.Dim())
+		fc.Add(bs.Dim())
+	}
+	bs.StampRHS(t+h, b.rhs)
+	for _, ts := range b.tstamps {
+		tr := &e.par.Tears[ts.tear]
+		g := e.tearGPred[ts.tear]
+		if tr.TT != nil {
+			g = device.Geq(tr.TT.Model, xTrial[tr.A]-xTrial[tr.B])
+			chargeDeviceCost(&e.stats, e.opt.FC, tr.TT.Model.Cost(), 1)
+		}
+		b.sol.Add(ts.local, ts.local, g)
+		var v float64
+		if ts.src != nil {
+			v = ts.sign * ts.src.W.At(t+h)
+		} else {
+			v = e.x[ts.remoteRow]
+		}
+		b.rhs[ts.local] += g * v
+		if fc := e.opt.FC; fc != nil {
+			fc.Mul(1)
+			fc.Add(1)
+		}
+	}
+}
+
+// refreshBlock re-evaluates block b's device conductances at the newly
+// accepted global state (remote gate rows read the neighbor's fresh
+// value through the gather).
+func (e *partEngine) refreshBlock(b *pBlock) {
+	gather(b.xb, e.x, b.blk.Rows)
+	for k, tt := range b.sys.TwoTerms() {
+		v := b.sys.Branch(b.xb, tt.Elem.A, tt.Elem.B)
+		b.ttGeq[k], b.ttDG[k] = e.evalGeqSlope(tt.Elem.Model, v)
+	}
+	for k, f := range b.sys.FETs() {
+		vgs := b.sys.Branch(b.xb, f.Elem.G, f.Elem.S)
+		vds := b.sys.Branch(b.xb, f.Elem.D, f.Elem.S)
+		b.fetGeq[k] = f.Elem.Model.GeqDS(vgs, vds)
+		chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
+	}
+}
+
+// run integrates from TStart to TStop with the global adaptive step.
+func (e *partEngine) run() (*Result, error) {
+	opt := e.opt
+	if opt.FC != nil {
+		e.startFlops = opt.FC.Snapshot()
+	}
+	t := opt.TStart
+	hCruise := opt.HInit
+	e.seedDeviceState()
+	e.rec.Sample(t, e.x)
+	active := make([]bool, len(e.blocks))
+
+	for t < opt.TStop-e.brk.tol {
+		if e.stats.Steps >= opt.MaxSteps {
+			return nil, fmt.Errorf("core: exceeded MaxSteps=%d at t=%g", opt.MaxSteps, t)
+		}
+		h := hCruise
+		limit := e.brk.next(t)
+		truncated := false
+		if t+h > limit {
+			h = limit - t
+			truncated = true
+		}
+		if h < opt.HMin && !truncated {
+			h = opt.HMin
+		}
+		e.predictTears(h)
+		copy(e.xNew, e.x) // dormant rows carry the frozen state forward
+		for bi, b := range e.blocks {
+			act := e.wantSolve(b, t, h)
+			active[bi] = act
+			if !act {
+				e.stats.BlockSkips++
+				continue
+			}
+			if b.dormant {
+				b.dormant = false
+				b.quiet = 0
+			}
+			e.assembleBlock(b, t, h)
+			if err := b.sol.Solve(b.rhs, b.xbNe); err != nil {
+				return nil, fmt.Errorf("core: singular block %d at t=%g: %w", bi, t, err)
+			}
+			e.stats.Solves++
+			e.stats.BlockSolves++
+			if !allFinite(b.xbNe) {
+				return nil, fmt.Errorf("core: non-finite solution in block %d at t=%g", bi, t)
+			}
+			for r, owned := range b.blk.Owned {
+				if owned {
+					e.xNew[b.blk.Rows[r]] = b.xbNe[r]
+				}
+			}
+		}
+		// Optional corrector passes (still derivative-free): re-evaluate
+		// conductances at the trial state and re-solve each active
+		// block, Jacobi-style against a pass-start snapshot.
+		for pass := 0; pass < opt.Correctors; pass++ {
+			copy(e.xTrial, e.xNew)
+			for bi, b := range e.blocks {
+				if !active[bi] {
+					continue
+				}
+				e.correctBlock(b, t, h, e.xTrial)
+				if err := b.sol.Solve(b.rhs, b.xbNe); err != nil {
+					return nil, fmt.Errorf("core: singular corrector block %d at t=%g: %w", bi, t, err)
+				}
+				e.stats.Solves++
+				e.stats.BlockSolves++
+				if !allFinite(b.xbNe) {
+					return nil, fmt.Errorf("core: non-finite corrector solution in block %d at t=%g", bi, t)
+				}
+				for r, owned := range b.blk.Owned {
+					if owned {
+						e.xNew[b.blk.Rows[r]] = b.xbNe[r]
+					}
+				}
+			}
+		}
+		// Accept/reject on the shared eq (10) proxy over the global state.
+		if !opt.FixedStep {
+			if le := localErrorOf(e.sys, e.x, e.xPrev, e.xNew, e.hPrev, h, e.vScale, opt.FC); le > 50*opt.Eps && h > opt.HMin*1.0001 {
+				e.stats.Rejected++
+				hCruise = math.Max(h/2, opt.HMin)
+				continue
+			}
+		}
+		bound := opt.HMax
+		if !opt.FixedStep {
+			bound = stepBoundOf(e.sys, e.x, e.xNew, h, opt.Eps, opt.HMax, e.vScale, opt.FC)
+		}
+		// Accept.
+		trap := e.trapNow()
+		for bi, b := range e.blocks {
+			if !active[bi] {
+				continue
+			}
+			gather(b.xbNe, e.xNew, b.blk.Rows)
+			b.sys.UpdateCapCurrents(b.capI, b.xb, b.xbNe, h, trap)
+		}
+		copy(e.xPrev, e.x)
+		copy(e.x, e.xNew)
+		e.hPrev = h
+		t += h
+		e.stats.Steps++
+		for bi, b := range e.blocks {
+			if active[bi] {
+				e.refreshBlock(b)
+			}
+		}
+		e.refreshTears(active)
+		e.rec.Sample(t, e.x)
+		e.updateDormancy(active, h)
+		if opt.FixedStep {
+			hCruise = opt.HInit
+		} else {
+			base := h
+			if truncated && hCruise > h {
+				base = hCruise
+			}
+			hCruise = math.Min(math.Min(bound, 2*base), opt.HMax)
+			hCruise = math.Max(hCruise, opt.HMin)
+		}
+	}
+	e.rec.Flush()
+	if opt.FC != nil {
+		e.stats.Flops = opt.FC.Snapshot().Sub(e.startFlops)
+	}
+	return &Result{Waves: e.rec.Set(), Stats: e.stats, X: e.x}, nil
+}
+
+// refreshTears re-evaluates tear-device conductances at the accepted
+// state when either adjacent block was active (both-dormant tears are
+// frozen by construction).
+func (e *partEngine) refreshTears(active []bool) {
+	for i := range e.par.Tears {
+		tr := &e.par.Tears[i]
+		if tr.TT == nil {
+			continue
+		}
+		if !active[tr.BlockA] && !active[tr.BlockB] {
+			continue
+		}
+		v := e.x[tr.A] - e.x[tr.B]
+		e.tearGeq[i], e.tearDG[i] = e.evalGeqSlope(tr.TT.Model, v)
+	}
+}
+
+// updateDormancy advances each active block's quiet streak after an
+// accepted step of size h and puts it to sleep once the streak is long
+// enough.
+func (e *partEngine) updateDormancy(active []bool, h float64) {
+	if !e.dormancy {
+		return
+	}
+	for bi, b := range e.blocks {
+		if !active[bi] {
+			continue
+		}
+		maxDx := 0.0
+		for r, owned := range b.blk.Owned {
+			if !owned {
+				continue
+			}
+			row := b.blk.Rows[r]
+			if d := math.Abs(e.x[row] - e.xPrev[row]); d > maxDx {
+				maxDx = d
+			}
+		}
+		// Rate criterion: the block counts as quiet only if its realized
+		// dV/dt would move it less than dormTol even across a full HMax
+		// step. A per-step |dx| test would misfire whenever the *global*
+		// step is small for someone else's sake — a slewing block then
+		// shows a tiny per-step move despite a large rate.
+		if maxDx/h*e.opt.HMax < e.dormTol {
+			b.quiet++
+		} else {
+			b.quiet = 0
+		}
+		if b.quiet >= dormantAfter {
+			b.dormant = true
+			if e.opt.Trapezoidal {
+				// A quiescent capacitor carries ~no current; zeroing the
+				// trapezoidal state kills the ±i companion ringing that
+				// would otherwise be replayed stale on wake.
+				for i := range b.capI {
+					b.capI[i] = 0
+				}
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"nanosim/internal/device"
 	"nanosim/internal/flop"
 	"nanosim/internal/linsolve"
+	"nanosim/internal/part"
 	"nanosim/internal/stamp"
 	"nanosim/internal/trace"
 	"nanosim/internal/wave"
@@ -82,6 +83,14 @@ type Options struct {
 	IC map[string]float64
 	// RecordCurrents adds voltage-source branch currents to the output.
 	RecordCurrents bool
+	// Partition enables the torn-block engine (internal/part): the
+	// circuit is split into weakly coupled blocks, each with its own
+	// stamped system and compiled-pattern solver, coupled Gauss-Jacobi
+	// through their tear-branch currents, and quiescent (dormant) blocks
+	// skip stamping and solving entirely until an input breakpoint or
+	// neighbor activity wakes them. nil runs the monolithic engine; a
+	// partition that degenerates to one block falls back to it too.
+	Partition *part.Options
 }
 
 // withDefaults validates and fills in defaults.
@@ -130,6 +139,14 @@ type Stats struct {
 	// Flops is the flop snapshot attributable to this run (zero when no
 	// counter was supplied).
 	Flops flop.Snapshot
+	// Blocks and Tears describe the partition when the torn-block engine
+	// ran (both zero for the monolithic engine).
+	Blocks int
+	Tears  int
+	// BlockSolves counts per-block linear solves and BlockSkips the
+	// block-steps dormancy skipped; their ratio is the latency win.
+	BlockSolves int64
+	BlockSkips  int64
 }
 
 // Result is a transient analysis outcome.
@@ -155,11 +172,96 @@ func Transient(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.Partition != nil {
+		p, err := part.Build(ckt, sys, *opt.Partition)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Blocks) > 1 {
+			pe, err := newPartEngine(sys, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			return pe.run()
+		}
+		// Degenerate single-block partition: the monolithic engine is
+		// the same computation without the tear bookkeeping.
+	}
 	e, err := newEngine(sys, opt)
 	if err != nil {
 		return nil, err
 	}
 	return e.run()
+}
+
+// breakSet is a deduplicated, sorted breakpoint schedule with a
+// span-relative tolerance. The tolerance replaces the old absolute
+// 1e-18 s guard, which silently skipped breakpoints on femtosecond-scale
+// runs (where 1e-18 is a visible fraction of the span) and could revisit
+// one on long runs (where accumulated time roundoff exceeds 1e-18).
+type breakSet struct {
+	ts     []float64
+	tol    float64
+	tstart float64
+	tstop  float64
+}
+
+// breakRelTol scales the run span into the breakpoint tolerance: large
+// enough to absorb accumulated float64 step roundoff (a few thousand
+// ulps), small enough that merging breakpoints within it is invisible
+// at any simulated scale.
+const breakRelTol = 1e-9
+
+func newBreakSet(tstart, tstop float64) *breakSet {
+	return &breakSet{tol: (tstop - tstart) * breakRelTol, tstart: tstart, tstop: tstop}
+}
+
+// addWave collects a waveform's corner times within the run window.
+func (b *breakSet) addWave(w device.Waveform) {
+	for _, t := range device.BreakTimes(w, b.tstop) {
+		if t > b.tstart+b.tol && t < b.tstop-b.tol {
+			b.ts = append(b.ts, t)
+		}
+	}
+}
+
+// addSources collects every source waveform of sys.
+func (b *breakSet) addSources(sys *stamp.System) {
+	for _, s := range sys.VSources() {
+		b.addWave(s.V.W)
+	}
+	for _, s := range sys.ISources() {
+		b.addWave(s.I.W)
+	}
+}
+
+// seal sorts the schedule and merges breakpoints within tolerance.
+func (b *breakSet) seal() {
+	sort.Float64s(b.ts)
+	out := b.ts[:0]
+	for _, t := range b.ts {
+		if len(out) == 0 || t-out[len(out)-1] > b.tol {
+			out = append(out, t)
+		}
+	}
+	b.ts = out
+}
+
+// next returns the first breakpoint more than tol after t, or TStop.
+func (b *breakSet) next(t float64) float64 {
+	i := sort.SearchFloat64s(b.ts, t)
+	for i < len(b.ts) && b.ts[i] <= t+b.tol {
+		i++
+	}
+	if i < len(b.ts) {
+		return b.ts[i]
+	}
+	return b.tstop
+}
+
+// upcoming reports whether a breakpoint lies within the step (t, t+h].
+func (b *breakSet) upcoming(t, h float64) bool {
+	return b.next(t) <= t+h+b.tol
 }
 
 // engine holds the per-run state of a SWEC integration.
@@ -183,7 +285,7 @@ type engine struct {
 	fetVDS []float64
 	fetGeq []float64
 
-	breaks []float64 // source breakpoints (sorted, within run window)
+	brk    *breakSet // source breakpoints (sorted, within run window)
 	vScale float64   // circuit voltage scale for relative-error floors
 
 	stats Stats
@@ -222,61 +324,48 @@ func newEngine(sys *stamp.System, opt Options) (*engine, error) {
 // sampled across the run window (plus any initial condition), so the
 // relative-accuracy floors don't collapse while signals sit near 0 V.
 func (e *engine) initVScale() {
-	e.vScale = vFloor
+	e.vScale = vScaleOf(e.sys, e.opt, e.x)
+}
+
+// vScaleOf estimates the circuit's voltage scale for both drivers.
+func vScaleOf(sys *stamp.System, opt Options, x []float64) float64 {
+	vs := vFloor
 	probe := func(w device.Waveform) {
 		for k := 0; k <= 32; k++ {
-			t := e.opt.TStart + (e.opt.TStop-e.opt.TStart)*float64(k)/32
-			if a := math.Abs(w.At(t)); a > e.vScale {
-				e.vScale = a
+			t := opt.TStart + (opt.TStop-opt.TStart)*float64(k)/32
+			if a := math.Abs(w.At(t)); a > vs {
+				vs = a
 			}
 		}
 	}
-	for _, s := range e.sys.VSources() {
+	for _, s := range sys.VSources() {
 		probe(s.V.W)
 	}
-	for _, x := range e.x {
-		if a := math.Abs(x); a > e.vScale {
-			e.vScale = a
+	for _, v := range x {
+		if a := math.Abs(v); a > vs {
+			vs = a
 		}
 	}
+	return vs
 }
 
-// collectBreaks gathers waveform corner times within the run window.
+// collectBreaks gathers waveform corner times within the run window,
+// deduplicated within the span-relative tolerance.
 func (e *engine) collectBreaks() {
-	seen := map[float64]bool{}
-	add := func(ts []float64) {
-		for _, t := range ts {
-			if t > e.opt.TStart && t < e.opt.TStop && !seen[t] {
-				seen[t] = true
-				e.breaks = append(e.breaks, t)
-			}
-		}
-	}
-	for _, s := range e.sys.VSources() {
-		add(device.BreakTimes(s.V.W, e.opt.TStop))
-	}
-	for _, s := range e.sys.ISources() {
-		add(device.BreakTimes(s.I.W, e.opt.TStop))
-	}
-	sort.Float64s(e.breaks)
-}
-
-// nextBreak returns the first breakpoint strictly after t, or TStop.
-func (e *engine) nextBreak(t float64) float64 {
-	i := sort.SearchFloat64s(e.breaks, t)
-	for i < len(e.breaks) && e.breaks[i] <= t+1e-18 {
-		i++
-	}
-	if i < len(e.breaks) {
-		return e.breaks[i]
-	}
-	return e.opt.TStop
+	e.brk = newBreakSet(e.opt.TStart, e.opt.TStop)
+	e.brk.addSources(e.sys)
+	e.brk.seal()
 }
 
 // chargeCost records one device evaluation against the FLOP counter.
 func (e *engine) chargeCost(c device.Cost, evals int) {
-	e.stats.DeviceEvals += int64(evals)
-	if fc := e.opt.FC; fc != nil {
+	chargeDeviceCost(&e.stats, e.opt.FC, c, evals)
+}
+
+// chargeDeviceCost is the engine-independent device-evaluation account.
+func chargeDeviceCost(st *Stats, fc *flop.Counter, c device.Cost, evals int) {
+	st.DeviceEvals += int64(evals)
+	if fc != nil {
 		fc.Add(c.Adds * evals)
 		fc.Mul(c.Muls * evals)
 		fc.Div(c.Divs * evals)
@@ -454,24 +543,30 @@ func (sa scaledAdder) Add(i, j int, v float64) { sa.a.Add(i, j, v*sa.s) }
 // denominator is floored at a small fraction of the circuit voltage
 // scale so microvolt creep never triggers rejections.
 func (e *engine) localError(xNew []float64, h float64) float64 {
-	if e.hPrev <= 0 {
+	return localErrorOf(e.sys, e.x, e.xPrev, xNew, e.hPrev, h, e.vScale, e.opt.FC)
+}
+
+// localErrorOf is the engine-independent eq (10) proxy shared by the
+// monolithic and partitioned drivers.
+func localErrorOf(sys *stamp.System, x, xPrev, xNew []float64, hPrev, h, vScale float64, fc *flop.Counter) float64 {
+	if hPrev <= 0 {
 		return 0
 	}
-	floor := 1e-3 * e.vScale
+	floor := 1e-3 * vScale
 	worst := 0.0
-	for i := 0; i < e.sys.NodeCount(); i++ {
-		dxdt := (e.x[i] - e.xPrev[i]) / e.hPrev
+	for i := 0; i < sys.NodeCount(); i++ {
+		dxdt := (x[i] - xPrev[i]) / hPrev
 		est := h * dxdt
-		actual := xNew[i] - e.x[i]
+		actual := xNew[i] - x[i]
 		den := math.Max(math.Abs(actual), floor)
 		if r := math.Abs(actual-est) / den; r > worst {
 			worst = r
 		}
 	}
-	if fc := e.opt.FC; fc != nil {
-		fc.Add(3 * e.sys.NodeCount())
-		fc.Mul(e.sys.NodeCount())
-		fc.Div(2 * e.sys.NodeCount())
+	if fc != nil {
+		fc.Add(3 * sys.NodeCount())
+		fc.Mul(sys.NodeCount())
+		fc.Div(2 * sys.NodeCount())
 	}
 	return worst
 }
@@ -488,14 +583,20 @@ func (e *engine) localError(xNew []float64, h float64) float64 {
 // when the node is static. Device bounds use the paper's 3·ε·V/α form
 // with α the realized controlling-voltage rate (eq 9).
 func (e *engine) stepBound(xNew []float64, h float64) float64 {
-	eps := e.opt.Eps
-	bound := e.opt.HMax
+	return stepBoundOf(e.sys, e.x, xNew, h, e.opt.Eps, e.opt.HMax, e.vScale, e.opt.FC)
+}
+
+// stepBoundOf is the engine-independent eq (11)-(12) bound shared by the
+// monolithic and partitioned drivers; it reads branch voltages only (no
+// model evaluations), so it runs over the global system either way.
+func stepBoundOf(sys *stamp.System, x, xNew []float64, h, eps, hMax, vScale float64, fc *flop.Counter) float64 {
+	bound := hMax
 	// vRef keeps the relative-error denominators meaningful near 0 V.
-	vRef := 0.05 * e.vScale
+	vRef := 0.05 * vScale
 	// Device bounds: 3·ε·|V_dev| / α.
-	for _, tt := range e.sys.TwoTerms() {
-		vNew := e.sys.Branch(xNew, tt.Elem.A, tt.Elem.B)
-		vOld := e.sys.Branch(e.x, tt.Elem.A, tt.Elem.B)
+	for _, tt := range sys.TwoTerms() {
+		vNew := sys.Branch(xNew, tt.Elem.A, tt.Elem.B)
+		vOld := sys.Branch(x, tt.Elem.A, tt.Elem.B)
 		alpha := math.Abs(vNew-vOld) / h
 		if alpha <= 0 {
 			continue
@@ -504,21 +605,21 @@ func (e *engine) stepBound(xNew []float64, h float64) float64 {
 			bound = b
 		}
 	}
-	for _, f := range e.sys.FETs() {
-		vgsNew := e.sys.Branch(xNew, f.Elem.G, f.Elem.S)
-		vgsOld := e.sys.Branch(e.x, f.Elem.G, f.Elem.S)
+	for _, f := range sys.FETs() {
+		vgsNew := sys.Branch(xNew, f.Elem.G, f.Elem.S)
+		vgsOld := sys.Branch(x, f.Elem.G, f.Elem.S)
 		alpha := math.Abs(vgsNew-vgsOld) / h
 		if alpha <= 0 {
 			continue
 		}
-		vds := math.Max(math.Abs(e.sys.Branch(xNew, f.Elem.D, f.Elem.S)), vRef)
+		vds := math.Max(math.Abs(sys.Branch(xNew, f.Elem.D, f.Elem.S)), vRef)
 		if b := 3 * eps * vds / alpha; b < bound {
 			bound = b
 		}
 	}
 	// Node bounds: ε·|V_j| / |dV_j/dt| (eq 12 in rate form).
-	for i := 0; i < e.sys.NodeCount(); i++ {
-		rate := math.Abs(xNew[i]-e.x[i]) / h
+	for i := 0; i < sys.NodeCount(); i++ {
+		rate := math.Abs(xNew[i]-x[i]) / h
 		if rate <= 0 {
 			continue
 		}
@@ -526,8 +627,8 @@ func (e *engine) stepBound(xNew []float64, h float64) float64 {
 			bound = b
 		}
 	}
-	if fc := e.opt.FC; fc != nil {
-		n := len(e.sys.TwoTerms()) + len(e.sys.FETs()) + e.sys.NodeCount()
+	if fc != nil {
+		n := len(sys.TwoTerms()) + len(sys.FETs()) + sys.NodeCount()
 		fc.Add(2 * n)
 		fc.Mul(2 * n)
 		fc.Div(2 * n)
@@ -564,13 +665,13 @@ func (e *engine) run() (*Result, error) {
 	e.rec.Sample(t, e.x)
 	xNew := make([]float64, e.dim)
 
-	for t < opt.TStop-1e-18 {
+	for t < opt.TStop-e.brk.tol {
 		if e.stats.Steps >= opt.MaxSteps {
 			return nil, fmt.Errorf("core: exceeded MaxSteps=%d at t=%g", opt.MaxSteps, t)
 		}
 		// Land exactly on breakpoints and TStop.
 		h := hCruise
-		limit := e.nextBreak(t)
+		limit := e.brk.next(t)
 		truncated := false
 		if t+h > limit {
 			h = limit - t

@@ -118,6 +118,39 @@ func RTDChain(n int, w device.Waveform) *circuit.Circuit {
 	return c
 }
 
+// RTDPipeline builds the partitioned-engine workload: n RC-loaded RTD
+// stages hanging off a shared DC rail, the first `pulsed` stages driven
+// instead by their own pulse sources, and adjacent stages coupled by
+// weak (250 kΩ) resistors so activity has a conductive path into the
+// pipeline yet almost all of it stays quiescent. Under the node-tearing
+// partitioner every stage becomes its own block (the rail tears exactly
+// at the grounded sources, the stage couplings tear on strength), and
+// with dormancy on only the pulsed head of the pipeline does any work
+// between breakpoints — the latency-exploitation benchmark of
+// `nanobench -solverbench`.
+func RTDPipeline(n, pulsed int) *circuit.Circuit {
+	c := circuit.New("rtd-pipeline")
+	c.AddVSource("VDD", "vdd", "0", device.DC(0.55))
+	for i := 0; i < n; i++ {
+		nd := nodeName(i)
+		rail := "vdd"
+		if i < pulsed {
+			rail = "p" + nd
+			c.AddVSource("VP"+nd, rail, "0", device.Pulse{
+				V1: 0.1, V2: 0.9, Delay: 2e-9, Rise: 0.5e-9, Fall: 0.5e-9,
+				Width: 3e-9, Period: 8e-9,
+			})
+		}
+		c.AddResistor("R"+nd, rail, nd, 300+float64(i%7)*20)
+		c.AddDevice("N"+nd, nd, "0", device.NewRTD())
+		c.AddCapacitor("C"+nd, nd, "0", 10e-15)
+		if i > 0 {
+			c.AddResistor("RC"+nd, nodeName(i-1), nd, 250e3)
+		}
+	}
+	return c
+}
+
 // StampLadderSystem restamps the canonical solver-bench system into s: a
 // tridiagonal conductance ladder plus one source-incidence pair, shaped
 // like a transient engine's per-step assembly. BenchmarkSolverStep

@@ -38,6 +38,14 @@ type SolveStats struct {
 	Reused int
 }
 
+// Accumulate folds another stats record into s (batch reductions).
+func (s *SolveStats) Accumulate(o SolveStats) {
+	s.FullFactor += o.FullFactor
+	s.NumericRefactor += o.NumericRefactor
+	s.PatternRebuild += o.PatternRebuild
+	s.Reused += o.Reused
+}
+
 // Refactorable is the capability interface backends implement when they
 // reuse factorization structure across Solve calls; engines and tests use
 // it to verify the hot path engaged.

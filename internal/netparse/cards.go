@@ -143,6 +143,37 @@ func parseVary(fields []string, line int) (VaryCard, error) {
 	return card, nil
 }
 
+// parseOptions reads ".options [partition] [gcouple=x] [nodormancy]".
+// Multiple .options cards accumulate into one record (SPICE style).
+func parseOptions(fields []string, line int, prev *OptionsCard) (*OptionsCard, error) {
+	card := &OptionsCard{Line: line}
+	if prev != nil {
+		*card = *prev
+		card.Line = line
+	}
+	if len(fields) < 2 {
+		return nil, errf(line, ".options needs at least one keyword (partition, gcouple=, nodormancy)")
+	}
+	for _, f := range fields[1:] {
+		up := strings.ToUpper(f)
+		switch {
+		case up == "PARTITION":
+			card.Partition = true
+		case strings.HasPrefix(up, "GCOUPLE="):
+			v, err := units.Parse(f[len("GCOUPLE="):])
+			if err != nil || v <= 0 || v >= 1 {
+				return nil, errf(line, "bad GCOUPLE %q (want a ratio in (0,1))", f)
+			}
+			card.GCouple = v
+		case up == "NODORMANCY":
+			card.NoDormancy = true
+		default:
+			return nil, errf(line, "unknown .options keyword %q", f)
+		}
+	}
+	return card, nil
+}
+
 // parseLimit reads ".limit signal stat lo hi" where lo/hi accept '*'
 // for an unbounded side.
 func parseLimit(fields []string, line int) (LimitCard, error) {

@@ -116,3 +116,40 @@ func TestParseVariationCardErrors(t *testing.T) {
 		t.Errorf("duplicate .mc: got %v", err)
 	}
 }
+
+func TestParseOptionsCard(t *testing.T) {
+	deck, err := Parse("* t\nV1 in 0 1\nR1 in 0 1k\n.options partition gcouple=0.02\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := deck.Options
+	if o == nil || !o.Partition || o.GCouple != 0.02 || o.NoDormancy {
+		t.Fatalf(".options parsed wrong: %+v", o)
+	}
+	// Multiple cards accumulate, SPICE style; .option is an alias.
+	deck, err = Parse("* t\nV1 in 0 1\nR1 in 0 1k\n.options partition\n.option nodormancy\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o = deck.Options
+	if o == nil || !o.Partition || !o.NoDormancy || o.GCouple != 0 {
+		t.Fatalf("accumulated .options parsed wrong: %+v", o)
+	}
+	// A deck without the card leaves Options nil.
+	deck, err = Parse("* t\nV1 in 0 1\nR1 in 0 1k\n.end\n")
+	if err != nil || deck.Options != nil {
+		t.Fatalf("bare deck: err=%v options=%+v", err, deck.Options)
+	}
+	bad := []struct{ card, want string }{
+		{".options", ".options needs"},
+		{".options turbo", "unknown .options keyword"},
+		{".options gcouple=2", "bad GCOUPLE"},
+		{".options gcouple=0", "bad GCOUPLE"},
+	}
+	for _, c := range bad {
+		_, err := Parse("* t\nV1 in 0 1\nR1 in 0 1k\n" + c.card + "\n.end\n")
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: got %v, want mention of %q", c.card, err, c.want)
+		}
+	}
+}

@@ -72,6 +72,19 @@ type VaryCard struct {
 	Line int
 }
 
+// OptionsCard is a parsed .options directive (engine tuning knobs).
+type OptionsCard struct {
+	// Partition enables the torn-block SWEC engine for transients.
+	Partition bool
+	// GCouple overrides the partitioner's relative coupling threshold
+	// (0 keeps the engine default).
+	GCouple float64
+	// NoDormancy keeps every block solving every step.
+	NoDormancy bool
+	// Line is the source line for diagnostics.
+	Line int
+}
+
 // LimitCard is one parsed .limit yield spec.
 type LimitCard struct {
 	// Signal names the measured series ("v(out)").
@@ -102,6 +115,8 @@ type Deck struct {
 	Varies []VaryCard
 	// Limits lists the .limit yield specs.
 	Limits []LimitCard
+	// Options holds the .options directive, nil when absent.
+	Options *OptionsCard
 }
 
 // ParseError carries the offending line number.
@@ -272,6 +287,12 @@ func Parse(src string) (*Deck, error) {
 				return nil, err
 			}
 			deck.Limits = append(deck.Limits, card)
+		case head == ".options" || head == ".option":
+			card, err := parseOptions(fields, ln.num, deck.Options)
+			if err != nil {
+				return nil, err
+			}
+			deck.Options = card
 		case head == ".print":
 			deck.Prints = append(deck.Prints, fields[1:]...)
 		case strings.HasPrefix(head, "."):

@@ -1,0 +1,541 @@
+// Package part tears a circuit into weakly coupled blocks so the SWEC
+// engine can solve several small linear systems per step — and skip the
+// quiescent ones entirely — instead of one monolithic matrix.
+//
+// SWEC makes this safe: every nonlinear device is replaced by a positive
+// equivalent conductance, so the per-step system is linear time-varying
+// and the coupling between two node groups is an ordinary conductance
+// whose magnitude can be read off the stamped graph. The partitioner
+// groups strongly coupled nodes with a union-find over the conductance
+// graph and leaves weak couplings as tear branches, which the driver
+// (internal/core) relaxes Gauss-Jacobi style across blocks using the
+// previous step's neighbor voltages.
+//
+// Three structural rules keep the tearing exact where it can be and
+// conservative where it cannot:
+//
+//   - voltage sources, storage elements (C, L), current sources and FET
+//     drain-source pairs always keep their terminals in one block;
+//   - a node pinned by a grounded voltage source is "stiff": its voltage
+//     at t+h is the source waveform, exactly, so any conductive branch
+//     into it can be torn with zero voltage error (only the reported
+//     source current lags one step);
+//   - a FET gate stamps no conductance, so a gate may live in another
+//     block ("remote gate") with zero coupling error — the gate is a pure
+//     sensing input tracked by the dormancy wake rules.
+package part
+
+import (
+	"fmt"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/stamp"
+)
+
+// Options configures the partitioner. The zero value selects the
+// documented defaults.
+type Options struct {
+	// GCouple is the relative coupling threshold: a conductive branch of
+	// strength g between nodes i and j keeps them in one block when
+	// g >= GCouple * min(diag_i, diag_j), where diag is the node's total
+	// incident conductance. Smaller values tear less. Default 0.05.
+	GCouple float64
+	// VProbe is the half-range over which nonlinear-device coupling
+	// strength is probed (max Geq over [-VProbe, VProbe]). Default 1 V.
+	VProbe float64
+	// NoDormancy disables latency exploitation in the driver: every
+	// block is solved every step (partitioning still applies).
+	NoDormancy bool
+}
+
+// WithDefaults fills in the documented defaults.
+func (o Options) WithDefaults() Options {
+	if o.GCouple <= 0 {
+		o.GCouple = 0.05
+	}
+	if o.VProbe <= 0 {
+		o.VProbe = 1.0
+	}
+	return o
+}
+
+// Tear is one conductive branch (resistor or nonlinear two-terminal)
+// whose terminals landed in different blocks. The driver stamps g on
+// each side's diagonal and g·V(other side, previous step) into the RHS —
+// the Norton half of the branch — so each block sees the tear as a known
+// current injection.
+type Tear struct {
+	// R and TT hold the torn element; exactly one is non-nil.
+	R  *circuit.Resistor
+	TT *circuit.TwoTerm
+	// A and B are the global matrix rows of the terminals (never ground:
+	// a grounded element is always internal to its block).
+	A, B int
+	// BlockA and BlockB are the adjacent block indices.
+	BlockA, BlockB int
+	// StiffA/StiffB mark a terminal pinned by a grounded voltage source;
+	// the driver then uses SignA·W(t+h) of SrcA (resp. B) instead of the
+	// previous-step voltage, making that side of the tear exact.
+	StiffA, StiffB bool
+	SrcA, SrcB     *circuit.VSource
+	SignA, SignB   float64
+}
+
+// RemoteGate marks a FET in a block whose gate node is owned elsewhere.
+type RemoteGate struct {
+	// FET indexes Block.Sys.FETs().
+	FET int
+	// GlobalRow is the gate node's global matrix row.
+	GlobalRow int
+}
+
+// Block is one torn sub-circuit with its frozen MNA view.
+type Block struct {
+	// Index is the block's position in Partition.Blocks.
+	Index int
+	// Ckt and Sys are the block's sub-circuit and MNA structure. Node
+	// names are shared with the parent circuit; element structs are
+	// fresh but device models are shared (pointer) with the parent.
+	Ckt *circuit.Circuit
+	Sys *stamp.System
+	// Rows maps block matrix row -> global matrix row.
+	Rows []int
+	// Owned marks block rows this block computes. A remote FET gate gets
+	// a placeholder row in the block system (it stamps nothing and is
+	// excluded from scatter); its Owned entry is false.
+	Owned []bool
+	// Local maps global row -> block row for every row in Rows.
+	Local map[int]int
+	// Tears indexes Partition.Tears incident on this block.
+	Tears []int
+	// RemoteGates lists FETs whose gate is owned by another block.
+	RemoteGates []RemoteGate
+}
+
+// Partition is the tearing of one circuit.
+type Partition struct {
+	// Blocks lists the sub-circuits in deterministic (first-node) order.
+	Blocks []*Block
+	// Tears lists the torn branches.
+	Tears []Tear
+	// NodeBlock maps global node row -> owning block index.
+	NodeBlock []int
+	// Opt echoes the (defaulted) options the partition was built with.
+	Opt Options
+}
+
+// probePoints is the per-device sample count for coupling strength.
+const probePoints = 17
+
+// diagFloor keeps the threshold ratio finite on conductance-free nodes.
+const diagFloor = 1e-12
+
+// Build partitions ckt (with its frozen MNA view sys) into tear blocks.
+// The result depends only on circuit structure and device parameters, so
+// identical circuits partition identically — the determinism contract
+// the vary runner's solver reuse leans on.
+func Build(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Partition, error) {
+	opt = opt.WithDefaults()
+	nNodes := sys.NodeCount()
+	p := &Partition{Opt: opt, NodeBlock: make([]int, nNodes)}
+
+	// Stiff nodes: pinned by a grounded voltage source.
+	stiff := make([]bool, nNodes)
+	stiffSrc := make([]*circuit.VSource, nNodes)
+	stiffSign := make([]float64, nNodes)
+	for _, v := range sys.VSources() {
+		switch {
+		case v.IPos >= 0 && v.INeg < 0:
+			stiff[v.IPos], stiffSrc[v.IPos], stiffSign[v.IPos] = true, v.V, +1
+		case v.INeg >= 0 && v.IPos < 0:
+			stiff[v.INeg], stiffSrc[v.INeg], stiffSign[v.INeg] = true, v.V, -1
+		}
+	}
+
+	// Representative conductance per conductive element, and per-node
+	// conductive diagonals for the relative threshold.
+	diag := make([]float64, nNodes)
+	gRep := map[circuit.Element]float64{}
+	addDiag := func(row int, g float64) {
+		if row >= 0 {
+			diag[row] += g
+		}
+	}
+	for _, e := range ckt.Elements() {
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			g := el.Conductance()
+			gRep[e] = g
+			addDiag(row(el.A), g)
+			addDiag(row(el.B), g)
+		case *circuit.TwoTerm:
+			g := probeGeq(el.Model, opt.VProbe)
+			gRep[e] = g
+			addDiag(row(el.A), g)
+			addDiag(row(el.B), g)
+		case *circuit.FET:
+			g := probeGeqDS(el.Model, opt.VProbe)
+			gRep[e] = g
+			addDiag(row(el.D), g)
+			addDiag(row(el.S), g)
+		}
+	}
+
+	// Union pass: structural merges first, then strong couplings.
+	uf := newUnionFind(nNodes)
+	union2 := func(a, b circuit.NodeID) {
+		if ra, rb := row(a), row(b); ra >= 0 && rb >= 0 {
+			uf.union(ra, rb)
+		}
+	}
+	for _, e := range ckt.Elements() {
+		switch el := e.(type) {
+		case *circuit.Capacitor:
+			union2(el.A, el.B)
+		case *circuit.Inductor:
+			union2(el.A, el.B)
+		case *circuit.VSource:
+			union2(el.Pos, el.Neg)
+		case *circuit.ISource:
+			union2(el.Pos, el.Neg)
+		case *circuit.FET:
+			union2(el.D, el.S)
+		}
+	}
+	for _, e := range ckt.Elements() {
+		var a, b int
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			a, b = row(el.A), row(el.B)
+		case *circuit.TwoTerm:
+			a, b = row(el.A), row(el.B)
+		default:
+			continue
+		}
+		if a < 0 || b < 0 {
+			continue // grounded: internal to the other terminal's block
+		}
+		if stiff[a] || stiff[b] {
+			continue // exact tear candidate regardless of strength
+		}
+		g := gRep[e]
+		d := diag[a]
+		if diag[b] < d {
+			d = diag[b]
+		}
+		if d < diagFloor {
+			d = diagFloor
+		}
+		if g >= opt.GCouple*d {
+			uf.union(a, b)
+		}
+	}
+
+	// Number the components in first-appearance order (deterministic).
+	blockOf := map[int]int{}
+	for n := 0; n < nNodes; n++ {
+		r := uf.find(n)
+		b, ok := blockOf[r]
+		if !ok {
+			b = len(blockOf)
+			blockOf[r] = b
+		}
+		p.NodeBlock[n] = b
+	}
+	nBlocks := len(blockOf)
+
+	// Assign elements: internal to a block, or a tear between two.
+	elemBlock := make([]int, len(ckt.Elements()))
+	type tearRef struct {
+		elemIdx int
+		a, b    int
+	}
+	var tears []tearRef
+	for i, e := range ckt.Elements() {
+		rows := terminalRows(e)
+		home := -1
+		torn := false
+		for _, r := range rows {
+			if r < 0 {
+				continue
+			}
+			if isGate(e, r) {
+				continue // a remote gate does not bind the FET's home
+			}
+			b := p.NodeBlock[r]
+			if home < 0 {
+				home = b
+			} else if b != home {
+				torn = true
+			}
+		}
+		if home < 0 {
+			// All terminals grounded — degenerate but harmless; park it
+			// in block 0.
+			home = 0
+		}
+		if torn {
+			var a, b int
+			switch el := e.(type) {
+			case *circuit.Resistor:
+				a, b = row(el.A), row(el.B)
+			case *circuit.TwoTerm:
+				a, b = row(el.A), row(el.B)
+			default:
+				return nil, fmt.Errorf("part: element %s of type %T spans blocks but is not tearable", e.Name(), e)
+			}
+			tears = append(tears, tearRef{elemIdx: i, a: a, b: b})
+			elemBlock[i] = -1
+			continue
+		}
+		elemBlock[i] = home
+	}
+
+	// Materialize the block sub-circuits.
+	builders := make([]*circuit.Circuit, nBlocks)
+	for b := range builders {
+		builders[b] = circuit.New(fmt.Sprintf("%s [block %d]", ckt.Title, b))
+	}
+	for i, e := range ckt.Elements() {
+		b := elemBlock[i]
+		if b < 0 {
+			continue
+		}
+		if err := addToBlock(builders[b], ckt, e); err != nil {
+			return nil, err
+		}
+	}
+	for b := 0; b < nBlocks; b++ {
+		bsys, err := stamp.NewSystemUnchecked(builders[b])
+		if err != nil {
+			return nil, fmt.Errorf("part: block %d: %w", b, err)
+		}
+		blk := &Block{Index: b, Ckt: builders[b], Sys: bsys, Local: map[int]int{}}
+		if err := mapRows(blk, ckt, sys, p.NodeBlock); err != nil {
+			return nil, err
+		}
+		p.Blocks = append(p.Blocks, blk)
+	}
+
+	// Tears with block-side metadata.
+	for _, tr := range tears {
+		e := ckt.Elements()[tr.elemIdx]
+		t := Tear{
+			A: tr.a, B: tr.b,
+			BlockA: p.NodeBlock[tr.a], BlockB: p.NodeBlock[tr.b],
+			StiffA: stiff[tr.a], SrcA: stiffSrc[tr.a], SignA: stiffSign[tr.a],
+			StiffB: stiff[tr.b], SrcB: stiffSrc[tr.b], SignB: stiffSign[tr.b],
+		}
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			t.R = el
+		case *circuit.TwoTerm:
+			t.TT = el
+		}
+		idx := len(p.Tears)
+		p.Tears = append(p.Tears, t)
+		p.Blocks[t.BlockA].Tears = append(p.Blocks[t.BlockA].Tears, idx)
+		p.Blocks[t.BlockB].Tears = append(p.Blocks[t.BlockB].Tears, idx)
+	}
+
+	// Remote gates.
+	for _, blk := range p.Blocks {
+		for k, f := range blk.Sys.FETs() {
+			gid := f.Elem.G
+			if gid == circuit.Ground {
+				continue
+			}
+			gRow := int(ckt.Node(blk.Ckt.NodeName(gid))) - 1
+			if p.NodeBlock[gRow] != blk.Index {
+				blk.RemoteGates = append(blk.RemoteGates, RemoteGate{FET: k, GlobalRow: gRow})
+			}
+		}
+	}
+
+	// Coverage check: every global row must be owned by exactly one block.
+	owned := make([]int, sys.Dim())
+	for _, blk := range p.Blocks {
+		for r, ok := range blk.Owned {
+			if ok {
+				owned[blk.Rows[r]]++
+			}
+		}
+	}
+	for r, c := range owned {
+		if c != 1 {
+			return nil, fmt.Errorf("part: internal error: global row %d owned by %d blocks", r, c)
+		}
+	}
+	return p, nil
+}
+
+// row maps a NodeID to its global matrix row (ground -> -1), mirroring
+// the stamp package's convention.
+func row(n circuit.NodeID) int { return int(n) - 1 }
+
+// terminalRows returns the global rows of an element's terminals.
+func terminalRows(e circuit.Element) []int {
+	nodes := e.Nodes()
+	rows := make([]int, len(nodes))
+	for i, n := range nodes {
+		rows[i] = row(n)
+	}
+	return rows
+}
+
+// isGate reports whether global row r is the gate terminal of FET e
+// (and not also its drain or source).
+func isGate(e circuit.Element, r int) bool {
+	f, ok := e.(*circuit.FET)
+	if !ok {
+		return false
+	}
+	return row(f.G) == r && row(f.D) != r && row(f.S) != r
+}
+
+// probeGeq samples a two-terminal device's equivalent conductance over
+// [-vp, vp] and returns the maximum — the worst-case coupling strength
+// the tear threshold must judge.
+func probeGeq(m device.IV, vp float64) float64 {
+	max := 0.0
+	for k := -probePoints / 2; k <= probePoints/2; k++ {
+		v := vp * float64(k) / float64(probePoints/2)
+		if g := device.Geq(m, v); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// probeGeqDS samples a FET's drain-source equivalent conductance over a
+// small (vgs, vds) grid.
+func probeGeqDS(m *device.MOSFET, vp float64) float64 {
+	max := 0.0
+	for _, vgs := range [...]float64{0, 0.5 * vp, vp, 2 * vp} {
+		for _, vds := range [...]float64{0.1 * vp, 0.5 * vp, vp} {
+			if g := m.GeqDS(vgs, vds); g > max {
+				max = g
+			}
+		}
+	}
+	return max
+}
+
+// addToBlock re-creates element e inside the block builder, sharing node
+// names and device models with the parent circuit.
+func addToBlock(b *circuit.Circuit, parent *circuit.Circuit, e circuit.Element) error {
+	name := func(n circuit.NodeID) string { return parent.NodeName(n) }
+	var err error
+	switch el := e.(type) {
+	case *circuit.Resistor:
+		_, err = b.AddResistor(el.Name(), name(el.A), name(el.B), el.R)
+	case *circuit.Capacitor:
+		var cp *circuit.Capacitor
+		cp, err = b.AddCapacitor(el.Name(), name(el.A), name(el.B), el.C)
+		if err == nil {
+			cp.IC, cp.HasIC = el.IC, el.HasIC
+		}
+	case *circuit.Inductor:
+		_, err = b.AddInductor(el.Name(), name(el.A), name(el.B), el.L)
+	case *circuit.VSource:
+		var cp *circuit.VSource
+		cp, err = b.AddVSource(el.Name(), name(el.Pos), name(el.Neg), el.W)
+		if err == nil {
+			cp.NoiseSigma = el.NoiseSigma
+		}
+	case *circuit.ISource:
+		var cp *circuit.ISource
+		cp, err = b.AddISource(el.Name(), name(el.Pos), name(el.Neg), el.W)
+		if err == nil {
+			cp.NoiseSigma = el.NoiseSigma
+		}
+	case *circuit.TwoTerm:
+		_, err = b.AddDevice(el.Name(), name(el.A), name(el.B), el.Model)
+	case *circuit.FET:
+		_, err = b.AddFET(el.Name(), name(el.D), name(el.G), name(el.S), el.Model)
+	default:
+		err = fmt.Errorf("part: unsupported element type %T (%s)", e, e.Name())
+	}
+	return err
+}
+
+// mapRows fills Block.Rows/Owned/Local: node rows map by shared node
+// name, branch rows by element name.
+func mapRows(blk *Block, gckt *circuit.Circuit, gsys *stamp.System, nodeBlock []int) error {
+	dim := blk.Sys.Dim()
+	blk.Rows = make([]int, dim)
+	blk.Owned = make([]bool, dim)
+	for r := 0; r < blk.Sys.NodeCount(); r++ {
+		nm := blk.Ckt.NodeName(circuit.NodeID(r + 1))
+		gid := gckt.Node(nm)
+		gRow := int(gid) - 1
+		if gRow < 0 || gRow >= gsys.NodeCount() {
+			return fmt.Errorf("part: block %d node %q has no global row", blk.Index, nm)
+		}
+		blk.Rows[r] = gRow
+		blk.Owned[r] = nodeBlock[gRow] == blk.Index
+		blk.Local[gRow] = r
+	}
+	gBranch := map[string]int{}
+	for _, v := range gsys.VSources() {
+		gBranch[v.V.Name()] = v.Branch
+	}
+	gInd, gIndRows := gsys.Inductors()
+	for k, l := range gInd {
+		gBranch[l.Name()] = gIndRows[k]
+	}
+	setBranch := func(name string, blockRow int) error {
+		gRow, ok := gBranch[name]
+		if !ok {
+			return fmt.Errorf("part: block %d branch element %q has no global branch row", blk.Index, name)
+		}
+		blk.Rows[blockRow] = gRow
+		blk.Owned[blockRow] = true
+		blk.Local[gRow] = blockRow
+		return nil
+	}
+	for _, v := range blk.Sys.VSources() {
+		if err := setBranch(v.V.Name(), v.Branch); err != nil {
+			return err
+		}
+	}
+	bInd, bIndRows := blk.Sys.Inductors()
+	for k, l := range bInd {
+		if err := setBranch(l.Name(), bIndRows[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unionFind is a plain union-find with path halving.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		// Deterministic: smaller root wins, so component roots (and with
+		// them block numbering) never depend on union order.
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		u.parent[rb] = ra
+	}
+}

@@ -1,0 +1,155 @@
+package part
+
+import (
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/stamp"
+)
+
+// build is the test harness: stamp + partition with defaults.
+func build(t *testing.T, c *circuit.Circuit, opt Options) *Partition {
+	t.Helper()
+	sys, err := stamp.NewSystem(c)
+	if err != nil {
+		t.Fatalf("stamp: %v", err)
+	}
+	p, err := Build(c, sys, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+// rcPair is two grounded RC tanks coupled by rc ohms, node n1 driven.
+func rcPair(rc float64) *circuit.Circuit {
+	c := circuit.New("rc-pair")
+	c.AddISource("I1", "0", "n1", device.DC(1e-3))
+	c.AddResistor("R1", "n1", "0", 1e3)
+	c.AddCapacitor("C1", "n1", "0", 1e-12)
+	c.AddResistor("R2", "n2", "0", 1e3)
+	c.AddCapacitor("C2", "n2", "0", 1e-12)
+	c.AddResistor("RC", "n1", "n2", rc)
+	return c
+}
+
+func TestThresholdSplitsWeakCoupling(t *testing.T) {
+	// Strong coupling (ratio 0.5): one block, no tears.
+	p := build(t, rcPair(1e3), Options{})
+	if len(p.Blocks) != 1 || len(p.Tears) != 0 {
+		t.Fatalf("strong coupling: got %d blocks / %d tears, want 1/0", len(p.Blocks), len(p.Tears))
+	}
+	// Weak coupling (ratio 1e-3): two blocks joined by one tear.
+	p = build(t, rcPair(1e6), Options{})
+	if len(p.Blocks) != 2 || len(p.Tears) != 1 {
+		t.Fatalf("weak coupling: got %d blocks / %d tears, want 2/1", len(p.Blocks), len(p.Tears))
+	}
+	tr := p.Tears[0]
+	if tr.R == nil || tr.R.Name() != "RC" {
+		t.Fatalf("tear should be the coupling resistor, got %+v", tr)
+	}
+	if tr.StiffA || tr.StiffB {
+		t.Fatalf("no stiff terminals expected, got %+v", tr)
+	}
+}
+
+func TestStorageAndSourcesUnionTerminals(t *testing.T) {
+	// Same weak pair, but a capacitor bridges the tanks: one block.
+	c := rcPair(1e6)
+	c.AddCapacitor("CX", "n1", "n2", 1e-15)
+	p := build(t, c, Options{})
+	if len(p.Blocks) != 1 {
+		t.Fatalf("capacitor bridge: got %d blocks, want 1", len(p.Blocks))
+	}
+}
+
+// rail builds n RTD stages off a shared grounded source.
+func rail(n int, w device.Waveform) *circuit.Circuit {
+	c := circuit.New("rail")
+	c.AddVSource("V1", "in", "0", w)
+	for i := 0; i < n; i++ {
+		nd := "s" + string(rune('a'+i))
+		c.AddResistor("R"+nd, "in", nd, 300)
+		c.AddDevice("N"+nd, nd, "0", device.NewRTD())
+		c.AddCapacitor("C"+nd, nd, "0", 10e-15)
+	}
+	return c
+}
+
+func TestStiffRailTearsPerStage(t *testing.T) {
+	p := build(t, rail(4, device.DC(0.8)), Options{})
+	// One block per stage plus the rail block.
+	if len(p.Blocks) != 5 {
+		t.Fatalf("got %d blocks, want 5", len(p.Blocks))
+	}
+	if len(p.Tears) != 4 {
+		t.Fatalf("got %d tears, want 4", len(p.Tears))
+	}
+	for _, tr := range p.Tears {
+		if !(tr.StiffA || tr.StiffB) {
+			t.Fatalf("rail tear should have a stiff terminal: %+v", tr)
+		}
+		stiffSrc := tr.SrcA
+		if tr.StiffB {
+			stiffSrc = tr.SrcB
+		}
+		if stiffSrc == nil || stiffSrc.Name() != "V1" {
+			t.Fatalf("stiff terminal should pin to V1, got %+v", tr)
+		}
+	}
+}
+
+func TestRemoteGateDetection(t *testing.T) {
+	c := circuit.New("fet-chain")
+	c.AddVSource("VDD", "vdd", "0", device.DC(5))
+	c.AddVSource("VG", "g1", "0", device.DC(2))
+	c.AddResistor("RG", "g1", "0", 1e6)
+	c.AddResistor("R1", "vdd", "o1", 1e3)
+	c.AddFET("M1", "o1", "g1", "0", device.NewNMOS())
+	c.AddCapacitor("C1", "o1", "0", 1e-15)
+	c.AddResistor("R2", "vdd", "o2", 1e3)
+	c.AddFET("M2", "o2", "o1", "0", device.NewNMOS())
+	c.AddCapacitor("C2", "o2", "0", 1e-15)
+	p := build(t, c, Options{})
+	// Blocks: {vdd}, {g1}, {o1}, {o2}; tears: R1, R2 (stiff at vdd).
+	if len(p.Blocks) != 4 || len(p.Tears) != 2 {
+		t.Fatalf("got %d blocks / %d tears, want 4/2", len(p.Blocks), len(p.Tears))
+	}
+	remotes := 0
+	for _, b := range p.Blocks {
+		remotes += len(b.RemoteGates)
+	}
+	// Both FET gates live outside their drain-source blocks.
+	if remotes != 2 {
+		t.Fatalf("got %d remote gates, want 2", remotes)
+	}
+}
+
+func TestRowCoverageAndOwnership(t *testing.T) {
+	p := build(t, rail(3, device.DC(0.8)), Options{})
+	for _, b := range p.Blocks {
+		if len(b.Rows) != b.Sys.Dim() || len(b.Owned) != b.Sys.Dim() {
+			t.Fatalf("block %d: row map sized %d/%d for dim %d",
+				b.Index, len(b.Rows), len(b.Owned), b.Sys.Dim())
+		}
+		for r, g := range b.Rows {
+			if lr, ok := b.Local[g]; !ok || lr != r {
+				t.Fatalf("block %d: Local map inconsistent at row %d", b.Index, r)
+			}
+		}
+	}
+}
+
+func TestDeterministicBlockNumbering(t *testing.T) {
+	a := build(t, rail(6, device.DC(0.8)), Options{})
+	b := build(t, rail(6, device.DC(0.8)), Options{})
+	if len(a.Blocks) != len(b.Blocks) || len(a.Tears) != len(b.Tears) {
+		t.Fatalf("partitions differ across identical builds")
+	}
+	for i := range a.NodeBlock {
+		if a.NodeBlock[i] != b.NodeBlock[i] {
+			t.Fatalf("node %d maps to block %d vs %d", i, a.NodeBlock[i], b.NodeBlock[i])
+		}
+	}
+}

@@ -74,6 +74,16 @@ func NewSystem(c *circuit.Circuit) (*System, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	return NewSystemUnchecked(c)
+}
+
+// NewSystemUnchecked freezes the MNA structure without running
+// circuit.Validate. The partitioned engine (internal/part) builds one
+// sub-circuit per tear block; a block is a legal simulation target even
+// though the validator — which cannot see the tear-branch stamps the
+// driver adds per step — would flag its boundary nodes as dangling.
+// Every other caller should use NewSystem.
+func NewSystemUnchecked(c *circuit.Circuit) (*System, error) {
 	s := &System{ckt: c, nodeCount: c.NumNodes() - 1}
 	branch := s.nodeCount
 	for _, e := range c.Elements() {

@@ -128,27 +128,39 @@ func Variance(xs []float64) float64 {
 func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation between order statistics. xs is not modified.
+// interpolation between order statistics. xs is not modified. Each call
+// copies and sorts the sample; callers extracting several quantiles from
+// one sample (the vary envelope pass does, per time point) should sort
+// once and use QuantileSorted instead.
 func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
+		return 0, errors.New("stats: quantile of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile over a sample already sorted ascending: no
+// copy, no sort, no allocation — the multi-quantile hot path.
+func QuantileSorted(sorted []float64, q float64) (float64, error) {
+	if len(sorted) == 0 {
 		return 0, errors.New("stats: quantile of empty sample")
 	}
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if len(s) == 1 {
-		return s[0], nil
+	if len(sorted) == 1 {
+		return sorted[0], nil
 	}
-	pos := q * float64(len(s)-1)
+	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return s[lo], nil
+		return sorted[lo], nil
 	}
 	f := pos - float64(lo)
-	return s[lo] + f*(s[hi]-s[lo]), nil
+	return sorted[lo] + f*(sorted[hi]-sorted[lo]), nil
 }
 
 // RMSE returns the root-mean-square difference between a and b, the

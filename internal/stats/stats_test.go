@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -142,6 +143,70 @@ func TestQuantile(t *testing.T) {
 	// Input must not be reordered.
 	if xs[0] != 3 {
 		t.Error("Quantile mutated input")
+	}
+}
+
+// TestQuantileSortedMatchesQuantile pins the sorted-input fast path to
+// the reference implementation across random samples and quantiles.
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0, 0.05, 0.25, 0.5, 0.9, 0.95, 1} {
+			want, err1 := Quantile(xs, q)
+			got, err2 := QuantileSorted(sorted, q)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("quantile errors: %v / %v", err1, err2)
+			}
+			if want != got {
+				t.Fatalf("n=%d q=%g: QuantileSorted=%g, Quantile=%g", n, q, got, want)
+			}
+		}
+	}
+	if _, err := QuantileSorted(nil, 0.5); err == nil {
+		t.Error("empty sorted quantile should error")
+	}
+	if _, err := QuantileSorted([]float64{1}, -0.1); err == nil {
+		t.Error("out-of-range q should error")
+	}
+}
+
+// TestQuantileSortedNoRealloc asserts the envelope hot path neither
+// copies nor re-sorts: extracting both band quantiles from a sorted
+// sample must not allocate (stats.Quantile allocates a copy per call).
+func TestQuantileSortedNoRealloc(t *testing.T) {
+	xs := make([]float64, 512)
+	rng := rand.New(rand.NewSource(11))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sort.Float64s(xs)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := QuantileSorted(xs, 0.05); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := QuantileSorted(xs, 0.95); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("QuantileSorted allocates %.1f per band extraction, want 0", allocs)
+	}
+	// Reference: the copying path does allocate — the waste the vary
+	// envelope pass no longer pays per quantile per time point.
+	ref := testing.AllocsPerRun(100, func() {
+		if _, err := Quantile(xs, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ref == 0 {
+		t.Fatal("Quantile reference unexpectedly allocation-free; comparison vacuous")
 	}
 }
 

@@ -17,6 +17,18 @@ type Recorder struct {
 	nodes    []*wave.Series // index = node row
 	branches []*wave.Series // index = vsource order
 	currents bool
+
+	// Run-length compression (SetCompress): a sample equal to the row's
+	// previous value is held back instead of appended; when the value
+	// changes, the held sample is appended first so linear interpolation
+	// between retained samples reproduces the flat run exactly. The
+	// partitioned engine enables this — dormant blocks keep their rows
+	// bit-frozen for thousands of steps, and recording each frozen step
+	// into >1k series dominates the run otherwise.
+	compress bool
+	lastT    []float64
+	lastV    []float64
+	held     []bool
 }
 
 // NewRecorder builds a recorder for all node voltages of sys; when
@@ -42,9 +54,33 @@ func NewRecorder(sys *stamp.System, currents bool) *Recorder {
 	return r
 }
 
+// SetCompress switches the recorder into run-length mode. Call before
+// the first Sample, and call Flush once after the last one so held
+// trailing samples reach the series.
+func (r *Recorder) SetCompress(on bool) {
+	r.compress = on
+	if on && r.lastT == nil {
+		n := len(r.nodes) + len(r.branches)
+		r.lastT = make([]float64, n)
+		r.lastV = make([]float64, n)
+		r.held = make([]bool, n)
+	}
+}
+
 // Sample appends the state at time t. Non-increasing sample times are a
 // programming error in the engine and panic via wave.MustAppend.
 func (r *Recorder) Sample(t float64, x []float64) {
+	if r.compress {
+		for row, s := range r.nodes {
+			r.sampleCompressed(row, s, t, x[row])
+		}
+		if r.currents {
+			for k, src := range r.sys.VSources() {
+				r.sampleCompressed(len(r.nodes)+k, r.branches[k], t, x[src.Branch])
+			}
+		}
+		return
+	}
 	for row, s := range r.nodes {
 		s.MustAppend(t, x[row])
 	}
@@ -52,6 +88,47 @@ func (r *Recorder) Sample(t float64, x []float64) {
 		for k, src := range r.sys.VSources() {
 			r.branches[k].MustAppend(t, x[src.Branch])
 		}
+	}
+}
+
+// sampleCompressed is one row of run-length recording.
+func (r *Recorder) sampleCompressed(i int, s *wave.Series, t, v float64) {
+	if s.Len() == 0 {
+		s.MustAppend(t, v)
+		r.lastT[i], r.lastV[i], r.held[i] = t, v, false
+		return
+	}
+	if v == r.lastV[i] {
+		// Flat run: hold the sample; Flush or the next change emits it.
+		r.lastT[i], r.held[i] = t, true
+		return
+	}
+	if r.held[i] {
+		// Close the flat run at its true end so interpolation between
+		// the retained samples stays exact.
+		s.MustAppend(r.lastT[i], r.lastV[i])
+	}
+	s.MustAppend(t, v)
+	r.lastT[i], r.lastV[i], r.held[i] = t, v, false
+}
+
+// Flush appends any held run-end samples (compressed mode); call once
+// after the final Sample.
+func (r *Recorder) Flush() {
+	if !r.compress {
+		return
+	}
+	flush := func(i int, s *wave.Series) {
+		if r.held[i] {
+			s.MustAppend(r.lastT[i], r.lastV[i])
+			r.held[i] = false
+		}
+	}
+	for row, s := range r.nodes {
+		flush(row, s)
+	}
+	for k, s := range r.branches {
+		flush(len(r.nodes)+k, s)
 	}
 }
 

@@ -66,3 +66,46 @@ func TestRecorderMonotonicPanic(t *testing.T) {
 	}()
 	r.Sample(0.5e-9, []float64{0, 0, 0})
 }
+
+// TestRecorderCompression covers run-length mode: flat runs collapse to
+// their endpoints, the sample before each change is retained so linear
+// interpolation reproduces the plateau exactly, and Flush emits held
+// trailing samples.
+func TestRecorderCompression(t *testing.T) {
+	s := sys(t)
+	r := NewRecorder(s, true)
+	r.SetCompress(true)
+	// v(out) sits flat at 0.5 for four steps, jumps to 0.9, flattens.
+	times := []float64{0, 1, 2, 3, 4, 5, 6}
+	vout := []float64{0.5, 0.5, 0.5, 0.5, 0.9, 0.9, 0.9}
+	for i, tt := range times {
+		r.Sample(tt, []float64{1.0, vout[i], -1e-3})
+	}
+	r.Flush()
+	out := r.Set().Get("v(out)")
+	// Retained: (0,0.5) (3,0.5) run-end, (4,0.9) change, (6,0.9) flush.
+	if out.Len() != 4 {
+		t.Fatalf("compressed to %d samples %v / %v, want 4", out.Len(), out.T, out.V)
+	}
+	// The plateau interpolates exactly despite the dropped samples.
+	for _, tt := range []float64{0.5, 1.5, 2.9} {
+		if v := out.At(tt); v != 0.5 {
+			t.Fatalf("plateau At(%g) = %g, want 0.5", tt, v)
+		}
+	}
+	if v := out.At(5); v != 0.9 {
+		t.Fatalf("post-jump At(5) = %g, want 0.9", v)
+	}
+	// The jump is confined to (3, 4), not smeared back to t=0.
+	if v := out.At(3.5); v <= 0.5 || v >= 0.9 {
+		t.Fatalf("jump At(3.5) = %g, want inside (0.5, 0.9)", v)
+	}
+	// Branch currents compress through the same path.
+	iv := r.Set().Get("i(V1)")
+	if iv.Len() != 2 {
+		t.Fatalf("constant branch current kept %d samples, want 2", iv.Len())
+	}
+	if iv.T[1] != 6 {
+		t.Fatalf("flush kept t=%g as the final sample, want 6", iv.T[1])
+	}
+}

@@ -121,6 +121,69 @@ func TestFormatParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFormatParseRoundTripProperty strengthens the round trip into a
+// property over the whole suffix table: any value whose engineering
+// exponent lands in [-18, 12] (both signs, including the negative-
+// exponent band computation) must survive Parse(Format(v, d)) within
+// the rounding error of d significant digits, for every digit count.
+func TestFormatParseRoundTripProperty(t *testing.T) {
+	f := func(mant float64, exp int, digits uint8) bool {
+		m := math.Mod(math.Abs(mant), 9) + 1 // [1, 10)
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return true
+		}
+		e := exp%31 - 18 // full suffix span: 1e-18 .. 1e12
+		d := int(digits%8) + 1
+		for _, sign := range []float64{1, -1} {
+			v := sign * m * math.Pow(10, float64(e))
+			s := Format(v, d)
+			got, err := Parse(s)
+			if err != nil {
+				t.Logf("Parse(Format(%g, %d) = %q) failed: %v", v, d, s, err)
+				return false
+			}
+			// d significant digits round within 5·10^-d relative.
+			if !almost(got, v, 5*math.Pow(10, float64(-d))) {
+				t.Logf("round trip %g -> %q -> %g at %d digits", v, s, got, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMegMilliAmbiguity pins the suffix table's sharpest edge: "meg" is
+// 1e6 while "m" is 1e-3, and Format must emit (and Parse must keep) the
+// right one on both sides of the boundary.
+func TestMegMilliAmbiguity(t *testing.T) {
+	cases := []struct {
+		v float64
+		s string
+	}{
+		{2.5e6, "2.5meg"},
+		{2.5e-3, "2.5m"},
+		{1e6, "1meg"},
+		{999e3, "999k"},
+		{1e-3, "1m"},
+	}
+	for _, c := range cases {
+		if got := Format(c.v, 4); got != c.s {
+			t.Errorf("Format(%g) = %q, want %q", c.v, got, c.s)
+		}
+		back, err := Parse(c.s)
+		if err != nil || !almost(back, c.v, 1e-12) {
+			t.Errorf("Parse(%q) = %g, %v; want %g", c.s, back, err, c.v)
+		}
+	}
+	// Case-insensitivity must not collapse MEG into milli.
+	if v := MustParse("2.5MEG"); !almost(v, 2.5e6, 1e-12) {
+		t.Errorf("Parse(2.5MEG) = %g, want 2.5e6", v)
+	}
+}
+
 func TestThermal(t *testing.T) {
 	vt := Thermal(300)
 	if !almost(vt, 0.025852, 1e-3) {

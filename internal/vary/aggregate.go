@@ -3,6 +3,7 @@ package vary
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"nanosim/internal/circuit"
@@ -144,7 +145,10 @@ type SignalStats struct {
 // Quantile returns the q-quantile of the signal's final values over
 // successful trials.
 func (s *SignalStats) Quantile(q float64) (float64, error) {
-	return stats.Quantile(compact(s.Final), q)
+	// compact already copies, so sort in place and skip Quantile's copy.
+	fin := compact(s.Final)
+	sort.Float64s(fin)
+	return stats.QuantileSorted(fin, q)
 }
 
 // Result is a Monte Carlo outcome.
@@ -358,8 +362,12 @@ func aggregateSignal(name string, k int, outs []trialOut, grid []float64, opt Op
 				col = append(col, v)
 				r.Push(v)
 			}
-			qlo, _ := stats.Quantile(col, opt.QLo)
-			qhi, _ := stats.Quantile(col, opt.QHi)
+			// One sort serves both quantiles: the per-call copy+sort of
+			// stats.Quantile is pure waste at one call per quantile per
+			// grid point.
+			sort.Float64s(col)
+			qlo, _ := stats.QuantileSorted(col, opt.QLo)
+			qhi, _ := stats.QuantileSorted(col, opt.QHi)
 			sg.Mean.MustAppend(t, r.Mean())
 			sg.Std.MustAppend(t, r.Std())
 			sg.QLo.MustAppend(t, qlo)

@@ -95,43 +95,67 @@ func opWaves(ckt *circuit.Circuit, x []float64) *wave.Set {
 
 // worker owns one goroutine's reusable solver state. The base circuit is
 // shared read-only; every trial works on its own clone.
+//
+// Solvers are cached by factory-call ORDER, not by dimension: every
+// trial runs the identical job on a clone of the same circuit, so its
+// engine requests solvers in an identical sequence. Sequence keying is
+// what lets a partitioned transient (one solver per tear block, blocks
+// of equal dimension being common) reuse each block's compiled pattern
+// and symbolic LU across trials — a dimension-keyed cache would hand two
+// same-sized blocks the same solver and thrash both patterns.
 type worker struct {
 	base    *circuit.Circuit
 	job     Job
 	factory linsolve.Factory
 
-	sols   map[int]linsolve.Solver
-	ffBase map[int]int // FullFactor count at warm-up per dimension
-	stats  linsolve.SolveStats
-	broken bool // re-warm failed: stop reusing, run every trial cold
+	sols     []linsolve.Solver // in factory-call order
+	cursor   int               // next call index within the current run
+	warmLen  int               // cache length after the nominal warm-up
+	ffBase   []int             // FullFactor count at warm-up, per solver
+	mismatch bool              // this run's call sequence diverged
+	stats    linsolve.SolveStats
+	broken   bool // re-warm failed: stop reusing, run every trial cold
 }
 
 func newWorker(base *circuit.Circuit, job Job, factory linsolve.Factory) *worker {
-	return &worker{
-		base:    base,
-		job:     job,
-		factory: factory,
-		sols:    map[int]linsolve.Solver{},
-		ffBase:  map[int]int{},
-	}
+	return &worker{base: base, job: job, factory: factory}
 }
 
-// solver is the caching linsolve.Factory handed to every trial's engine:
-// one solver per dimension, created once and reused so the compiled
-// stamp pattern and symbolic LU persist across trials.
+// beginRun resets the call cursor before a job run replays the sequence.
+func (w *worker) beginRun() {
+	w.cursor = 0
+	w.mismatch = false
+}
+
+// solver is the caching linsolve.Factory handed to every trial's engine.
+// A call whose dimension diverges from the cached sequence (a perturbed
+// circuit partitioning differently, say) gets a fresh uncached solver
+// and flags the run, so postTrial restores the nominal-warmed state.
+// The divergence is itself deterministic — it depends only on the
+// trial's own clone — so results stay independent of worker scheduling.
 func (w *worker) solver(n int, fc *flop.Counter) linsolve.Solver {
-	if s, ok := w.sols[n]; ok {
+	if !w.mismatch && w.cursor < len(w.sols) {
+		if s := w.sols[w.cursor]; s.N() == n {
+			w.cursor++
+			return s
+		}
+		w.mismatch = true
+		return w.factory(n, fc)
+	}
+	if !w.mismatch {
+		s := w.factory(n, fc)
+		w.sols = append(w.sols, s)
+		w.cursor++
 		return s
 	}
-	s := w.factory(n, fc)
-	w.sols[n] = s
-	return s
+	return w.factory(n, fc)
 }
 
 // warm runs the nominal job once so every reused solver's compiled
 // pattern and pivot order come from the unperturbed circuit — a fixed
 // reference no trial outcome can influence.
 func (w *worker) warm() {
+	w.beginRun()
 	if _, err := w.job.run(w.base.Clone(), w.solver, w.job.EM.Seed); err != nil {
 		// The nominal circuit was validated by the probe run; if it
 		// fails here, stop reusing state rather than guessing.
@@ -139,48 +163,50 @@ func (w *worker) warm() {
 		w.broken = true
 		return
 	}
-	for n, s := range w.sols {
+	w.warmLen = len(w.sols)
+	w.ffBase = w.ffBase[:0]
+	for _, s := range w.sols {
+		ff := 0
 		if r, ok := s.(linsolve.Refactorable); ok && linsolve.CarriesPivotOrder(s) {
-			w.ffBase[n] = r.SolveStats().FullFactor
+			ff = r.SolveStats().FullFactor
 		}
+		w.ffBase = append(w.ffBase, ff)
 	}
 }
 
 // drop accumulates and discards all cached solvers.
 func (w *worker) drop() {
 	w.collect()
-	w.sols = map[int]linsolve.Solver{}
-	w.ffBase = map[int]int{}
+	w.sols = nil
+	w.ffBase = nil
+	w.warmLen = 0
 }
 
 // collect folds the cached solvers' stats into the worker total.
 func (w *worker) collect() {
 	for _, s := range w.sols {
 		if r, ok := s.(linsolve.Refactorable); ok {
-			st := r.SolveStats()
-			w.stats.FullFactor += st.FullFactor
-			w.stats.NumericRefactor += st.NumericRefactor
-			w.stats.PatternRebuild += st.PatternRebuild
-			w.stats.Reused += st.Reused
+			w.stats.Accumulate(r.SolveStats())
 		}
 	}
 }
 
 // postTrial restores the determinism invariant after a trial: if the
-// trial errored, or an order-carrying solver performed a full
-// factorization (pivot-drift fallback), its pivot order now reflects
-// that trial's values — so the state is dropped and re-warmed from the
-// nominal circuit before the next trial runs.
+// trial errored, its factory-call sequence diverged from the warmed one,
+// it grew the cache past the nominal sequence, or an order-carrying
+// solver performed a full factorization (pivot-drift fallback) — then
+// some cached state now reflects that trial's values, so it is dropped
+// and re-warmed from the nominal circuit before the next trial runs.
 func (w *worker) postTrial(failed bool) {
 	if w.broken {
 		w.drop()
 		return
 	}
-	rewarm := failed
+	rewarm := failed || w.mismatch || len(w.sols) > w.warmLen
 	if !rewarm {
-		for n, s := range w.sols {
+		for i, s := range w.sols {
 			r, ok := s.(linsolve.Refactorable)
-			if ok && linsolve.CarriesPivotOrder(s) && r.SolveStats().FullFactor > w.ffBase[n] {
+			if ok && linsolve.CarriesPivotOrder(s) && r.SolveStats().FullFactor > w.ffBase[i] {
 				rewarm = true
 				break
 			}
@@ -252,10 +278,7 @@ func runBatch(cfg batchConfig, trials []trialRun) ([]trialOut, linsolve.SolveSta
 			}
 			w.collect()
 			mu.Lock()
-			total.FullFactor += w.stats.FullFactor
-			total.NumericRefactor += w.stats.NumericRefactor
-			total.PatternRebuild += w.stats.PatternRebuild
-			total.Reused += w.stats.Reused
+			total.Accumulate(w.stats)
 			mu.Unlock()
 		}()
 	}
@@ -274,6 +297,7 @@ func runTrial(cfg batchConfig, w *worker, tr trialRun) trialOut {
 	if err != nil {
 		return trialOut{err: fmt.Errorf("trial %d: %w", tr.index, err)}
 	}
+	w.beginRun()
 	waves, err := cfg.job.run(clone, w.solver, emSeed)
 	if err != nil {
 		return trialOut{err: fmt.Errorf("trial %d: %w", tr.index, err)}

@@ -7,6 +7,7 @@ import (
 	"nanosim/internal/circuit"
 	"nanosim/internal/core"
 	"nanosim/internal/device"
+	"nanosim/internal/part"
 	"nanosim/internal/sde"
 	"nanosim/internal/wave"
 )
@@ -120,6 +121,80 @@ func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
 	seriesEqual(t, s1.QHi, s8.QHi)
 	if r1.Passed != r8.Passed || r1.Yield != r8.Yield {
 		t.Fatalf("yield differs: %d/%g vs %d/%g", r1.Passed, r1.Yield, r8.Passed, r8.Yield)
+	}
+}
+
+// TestPartitionedMonteCarloDeterministicAcrossWorkers extends the
+// reproducibility contract to partitioned per-trial transients: with
+// one solver per tear block reused across trials (sequence-keyed worker
+// cache), the same seed must stay bit-identical at any parallelism.
+func TestPartitionedMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	// A rail of multi-node stages so the partitioner produces several
+	// same-dimension blocks (the sequence-cache's hard case), each large
+	// enough for the sparse backend whose pattern/LU reuse we assert.
+	ckt := circuit.New("rail")
+	if _, err := ckt.AddVSource("V1", "in", "0", device.DC(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	mustOK := func(_ any, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const depth = 10 // internal ladder nodes per stage (> AutoCrossover)
+	for i := 0; i < 3; i++ {
+		nd := func(k int) string { return "s" + string(rune('a'+i)) + string(rune('a'+k)) }
+		mustOK(ckt.AddResistor("R"+nd(0), "in", nd(0), 300))
+		for k := 1; k < depth; k++ {
+			mustOK(ckt.AddResistor("R"+nd(k), nd(k-1), nd(k), 100))
+			mustOK(ckt.AddCapacitor("C"+nd(k), nd(k), "0", 10e-15))
+		}
+		mustOK(ckt.AddDevice("N"+nd(depth-1), nd(depth-1), "0", device.NewRTD()))
+	}
+	job := Job{Analysis: "tran", Tran: core.Options{
+		TStop: 2e-9, HInit: 5e-11, Partition: &part.Options{}}}
+	base := Options{
+		Trials: 24,
+		Seed:   20050307,
+		Specs:  []Spec{{Elem: "N*", Param: "A", Sigma: 0.05, Rel: true}},
+		Job:    job,
+		Limits: []Limit{{Signal: "v(saa)", Stat: "final", Lo: 0, Hi: 1}},
+	}
+	o1 := base
+	o1.Workers = 1
+	r1, err := MonteCarlo(ckt, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o8 := base
+	o8.Workers = 8
+	r8, err := MonteCarlo(ckt, o8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Failed != 0 || r8.Failed != 0 {
+		t.Fatalf("unexpected failures: %d / %d (%v)", r1.Failed, r8.Failed, append(r1.TrialErrors, r8.TrialErrors...))
+	}
+	for _, name := range []string{"v(saa)", "v(scj)"} {
+		s1, s8 := r1.Signal(name), r8.Signal(name)
+		for i := range s1.Final {
+			if s1.Final[i] != s8.Final[i] || s1.Min[i] != s8.Min[i] || s1.Max[i] != s8.Max[i] {
+				t.Fatalf("%s: trial %d measures differ between 1 and 8 workers", name, i)
+			}
+		}
+		seriesEqual(t, s1.Mean, s8.Mean)
+		seriesEqual(t, s1.QLo, s8.QLo)
+		seriesEqual(t, s1.QHi, s8.QHi)
+	}
+	if r1.Passed != r8.Passed || r1.Yield != r8.Yield {
+		t.Fatalf("yield differs: %d/%g vs %d/%g", r1.Passed, r1.Yield, r8.Passed, r8.Yield)
+	}
+	// The sequence cache must actually reuse each block's solver: the
+	// sparse stage blocks should run on numeric refactors, not rebuild
+	// their pattern or full-factor per step.
+	if r8.Solve.NumericRefactor == 0 || r8.Solve.NumericRefactor < r8.Solve.FullFactor {
+		t.Fatalf("cross-trial block-solver reuse not engaged: %+v", r8.Solve)
 	}
 }
 

@@ -9,22 +9,57 @@ import (
 // overshoot and period extraction, the numbers a datasheet (or the
 // paper's timing discussion) quotes.
 
-// Delay returns the time from the reference series crossing refLevel to
-// the target series crossing tgtLevel, both in the given direction
-// (+1 rising, -1 falling, 0 either), measured at the first such pair
-// with the target crossing after the reference crossing.
+// Delay returns the time from the reference series' first crossing of
+// refLevel to the target series crossing tgtLevel, both in the given
+// direction (+1 rising, -1 falling, 0 either). It is DelayEdge for edge
+// index 0; multi-edge stimuli measure later edges through DelayEdge.
 func Delay(ref, tgt *Series, refLevel, tgtLevel float64, refDir, tgtDir int) (float64, error) {
+	return DelayEdge(ref, tgt, refLevel, tgtLevel, refDir, tgtDir, 0)
+}
+
+// DelayEdge measures the propagation delay of reference edge `edge`
+// (0-indexed among the reference crossings in the given direction): the
+// time from that reference crossing to the first later target crossing.
+//
+// Each reference crossing is paired with the first target crossing at
+// or after it — never with the response to an earlier edge, and never
+// (the old Delay bug) with responses measured only against the first
+// reference edge, which reported the wrong edge's delay on multi-pulse
+// stimuli. When the chosen reference edge produces no target response
+// before the next same-direction reference edge, the pairing is
+// ambiguous and an error is returned rather than a misattributed delay.
+func DelayEdge(ref, tgt *Series, refLevel, tgtLevel float64, refDir, tgtDir, edge int) (float64, error) {
 	rc := ref.Crossings(refLevel, refDir)
 	if len(rc) == 0 {
 		return 0, fmt.Errorf("wave: %q never crosses %g", ref.Name, refLevel)
 	}
-	tc := tgt.Crossings(tgtLevel, tgtDir)
-	for _, t := range tc {
-		if t >= rc[0] {
-			return t - rc[0], nil
-		}
+	if edge < 0 || edge >= len(rc) {
+		return 0, fmt.Errorf("wave: %q has %d crossings of %g, no edge %d", ref.Name, len(rc), refLevel, edge)
 	}
-	return 0, fmt.Errorf("wave: %q never crosses %g after %q does", tgt.Name, tgtLevel, ref.Name)
+	t0 := rc[edge]
+	for _, t := range tgt.Crossings(tgtLevel, tgtDir) {
+		if t < t0 {
+			continue
+		}
+		if edge+1 < len(rc) && t >= rc[edge+1] {
+			return 0, fmt.Errorf("wave: %q responds to reference edge %d of %q only after edge %d fired",
+				tgt.Name, edge, ref.Name, edge+1)
+		}
+		return t - t0, nil
+	}
+	return 0, fmt.Errorf("wave: %q never crosses %g after %q edge %d", tgt.Name, tgtLevel, ref.Name, edge)
+}
+
+// Finite is the export guard for measurement results: it passes finite
+// values through and substitutes fallback for NaN/±Inf, so measures
+// with degenerate cases (Overshoot returns +Inf when the settled value
+// is zero) never reach a JSON or CSV emitter un-sanitized —
+// encoding/json rejects non-finite floats outright.
+func Finite(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fallback
+	}
+	return v
 }
 
 // Overshoot returns the fraction by which the series exceeds its settled

@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -49,6 +50,61 @@ func step(t, at float64) float64 {
 	return 1
 }
 
+// pulses builds a series of unit pulses rising at the given times (each
+// 0.05 wide, 0.002 edge resolution) over [0, 1].
+func pulses(name string, rises ...float64) *Series {
+	s := NewSeries(name, 0)
+	for i := 0; i <= 500; i++ {
+		tt := float64(i) / 500
+		v := 0.0
+		for _, r := range rises {
+			if tt >= r && tt < r+0.05 {
+				v = 1
+			}
+		}
+		s.MustAppend(tt, v)
+	}
+	return s
+}
+
+// TestDelayEdgePairing is the regression for the multi-edge Delay bug:
+// the old code paired every target crossing against the *first*
+// reference crossing, so asking about a later stimulus edge silently
+// measured the wrong one.
+func TestDelayEdgePairing(t *testing.T) {
+	// Two stimulus pulses; the response follows each by 0.02.
+	ref := pulses("ref", 0.1, 0.5)
+	tgt := pulses("tgt", 0.12, 0.52)
+	for edge, want := range []float64{0.02, 0.02} {
+		d, err := DelayEdge(ref, tgt, 0.5, 0.5, +1, +1, edge)
+		if err != nil {
+			t.Fatalf("edge %d: %v", edge, err)
+		}
+		if math.Abs(d-want) > 0.005 {
+			t.Errorf("edge %d delay = %g, want %g", edge, d, want)
+		}
+	}
+	// The old pairing bug, made visible: the target only responds to
+	// the SECOND pulse (first one too narrow to propagate). Pairing the
+	// lone response against reference edge 0 would report 0.42; edge 1
+	// must report the true 0.02 and edge 0 must refuse.
+	lazy := pulses("lazy", 0.52)
+	if _, err := DelayEdge(ref, lazy, 0.5, 0.5, +1, +1, 0); err == nil {
+		t.Error("edge 0 with no response before edge 1 should error, not misattribute")
+	}
+	d, err := DelayEdge(ref, lazy, 0.5, 0.5, +1, +1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.02) > 0.005 {
+		t.Errorf("edge 1 delay = %g, want 0.02", d)
+	}
+	// Out-of-range edge index errors cleanly.
+	if _, err := DelayEdge(ref, tgt, 0.5, 0.5, +1, +1, 7); err == nil {
+		t.Error("edge 7 of a 2-edge reference accepted")
+	}
+}
+
 func TestOvershoot(t *testing.T) {
 	// Damped response peaking at 1.3 then settling at 1.0.
 	s := NewSeries("o", 0)
@@ -71,6 +127,42 @@ func TestOvershoot(t *testing.T) {
 	}
 	if NewSeries("e", 0).Overshoot() != 0 {
 		t.Error("empty overshoot should be 0")
+	}
+}
+
+// TestOvershootInfGuard pins the degenerate Overshoot case (+Inf when
+// the settled value is 0) and the Finite export guard that keeps it out
+// of JSON/CSV emitters: encoding/json refuses non-finite floats.
+func TestOvershootInfGuard(t *testing.T) {
+	// Positive peak decaying to an exactly-zero settled value.
+	s := NewSeries("z", 0)
+	for i := 0; i <= 100; i++ {
+		tt := float64(i) / 10
+		v := 0.0
+		if i < 20 {
+			v = 1 - float64(i)/20
+		}
+		s.MustAppend(tt, v)
+	}
+	over := s.Overshoot()
+	if !math.IsInf(over, 1) {
+		t.Fatalf("zero-settle overshoot = %g, want +Inf", over)
+	}
+	if _, err := json.Marshal(over); err == nil {
+		t.Fatal("json accepted +Inf; the guard test is vacuous")
+	}
+	got := Finite(over, 0)
+	if got != 0 {
+		t.Fatalf("Finite(+Inf, 0) = %g", got)
+	}
+	if _, err := json.Marshal(got); err != nil {
+		t.Fatalf("sanitized overshoot still unmarshalable: %v", err)
+	}
+	if Finite(math.NaN(), -1) != -1 {
+		t.Error("Finite(NaN) did not substitute")
+	}
+	if Finite(0.25, -1) != 0.25 {
+		t.Error("Finite altered a finite value")
 	}
 }
 

@@ -1,0 +1,24 @@
+* partitioned RTD pipeline: pulsed head stage, quiescent tail stages
+* off a shared rail; the .options card runs the torn-block SWEC engine
+.options partition gcouple=0.05
+VP p0 0 PULSE(0.1 0.9 2n 0.5n 0.5n 3n 8n)
+VDD vdd 0 0.55
+R0 p0 s0 300
+N0 s0 0 rtdmod
+C0 s0 0 10f
+R1 vdd s1 320
+N1 s1 0 rtdmod
+C1 s1 0 10f
+RC1 s0 s1 250k
+R2 vdd s2 340
+N2 s2 0 rtdmod
+C2 s2 0 10f
+RC2 s1 s2 250k
+R3 vdd s3 300
+N3 s3 0 rtdmod
+C3 s3 0 10f
+RC3 s2 s3 250k
+.model rtdmod RTD
+.tran 0.1n 20n
+.print v(s0) v(s3)
+.end
