@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenCheckMatchesCommittedReferences re-runs every testdata deck
+// against the committed reference waveforms — the in-test twin of the CI
+// golden gate, so `go test ./...` also catches silent numeric drift.
+func TestGoldenCheckMatchesCommittedReferences(t *testing.T) {
+	if err := runGolden("check", "../../testdata", "../../testdata/golden", 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenCheckDetectsDrift(t *testing.T) {
+	// Record a deck, then check it against a perturbed circuit: the
+	// tampered run must be flagged.
+	dir := t.TempDir()
+	deckDir := filepath.Join(dir, "decks")
+	goldDir := filepath.Join(dir, "golden")
+	if err := os.MkdirAll(deckDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	deck := "* drift probe\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1p\n.tran 0.1n 10n\n.end\n"
+	path := filepath.Join(deckDir, "probe.sp")
+	if err := os.WriteFile(path, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGolden("record", deckDir, goldDir, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGolden("check", deckDir, goldDir, 1e-6); err != nil {
+		t.Fatalf("freshly recorded deck drifted: %v", err)
+	}
+	// A 2% resistor change is way beyond tol=1e-6 of the signal range.
+	tampered := strings.Replace(deck, "R1 in out 1k", "R1 in out 1.02k", 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runGolden("check", deckDir, goldDir, 1e-6)
+	if err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("tampered deck passed the golden check: %v", err)
+	}
+	// Missing golden file: a new deck without a record must fail check.
+	extra := filepath.Join(deckDir, "new.sp")
+	if err := os.WriteFile(extra, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGolden("check", deckDir, goldDir, 1e-6); err == nil {
+		t.Fatal("deck without a golden record passed the check")
+	}
+}

@@ -9,6 +9,12 @@
 //	nanobench -all -quick         reduced workloads
 //	nanobench -solverbench        measure the per-step solver hot path
 //	                              and record it to BENCH_solver.json
+//	nanobench -solverbench-compare old.json new.json -tol 10%
+//	                              fail when any recorded case slowed
+//	                              down beyond the tolerance (CI gate)
+//	nanobench -golden record      record reference waveforms for the
+//	                              testdata decks
+//	nanobench -golden check       fail on drift from the references
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"nanosim/internal/exp"
 )
@@ -28,10 +35,34 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the stochastic seed")
 	solverBench := flag.Bool("solverbench", false, "measure the per-step solver hot path and write BENCH_solver.json")
 	solverBenchOut := flag.String("solverbench-out", "BENCH_solver.json", "output path for -solverbench")
+	benchCompare := flag.Bool("solverbench-compare", false, "compare two BENCH_solver.json files: nanobench -solverbench-compare old.json new.json [-tol 10%]")
+	tol := flag.String("tol", "10%", "slowdown tolerance for -solverbench-compare (e.g. 10% or 0.1)")
+	normalize := flag.Bool("normalize", false, "divide -solverbench-compare ratios by their median first (cancels a uniform hardware offset between the two machines)")
+	golden := flag.String("golden", "", "golden-deck regression: 'record' or 'check'")
+	goldenDecks := flag.String("golden-decks", "testdata", "deck directory for -golden")
+	goldenDir := flag.String("golden-dir", "testdata/golden", "reference-waveform directory for -golden")
+	goldenTol := flag.Float64("golden-tol", 1e-6, "per-wave relative tolerance for -golden check (fraction of each recorded signal's range)")
 	flag.Parse()
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	switch {
+	case *benchCompare:
+		oldPath, newPath, tolStr, norm, err := compareArgs(flag.Args(), *tol, *normalize)
+		if err == nil {
+			var t float64
+			if t, err = parseTol(tolStr); err == nil {
+				err = runSolverBenchCompare(oldPath, newPath, t, norm)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nanobench:", err)
+			os.Exit(1)
+		}
+	case *golden != "":
+		if err := runGolden(*golden, *goldenDecks, *goldenDir, *goldenTol); err != nil {
+			fmt.Fprintln(os.Stderr, "nanobench:", err)
+			os.Exit(1)
+		}
 	case *solverBench:
 		if err := runSolverBench(*solverBenchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "nanobench:", err)
@@ -71,6 +102,36 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// compareArgs reads the positional `old.json new.json [-tol V]
+// [-normalize]` form of -solverbench-compare. The flag package stops
+// flag parsing at the first positional argument, so trailing options
+// land here instead of in the registered flags; both spellings work.
+func compareArgs(args []string, tolFlag string, normFlag bool) (oldPath, newPath, tol string, normalize bool, err error) {
+	tol, normalize = tolFlag, normFlag
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-tol" || a == "--tol":
+			if i+1 >= len(args) {
+				return "", "", "", false, fmt.Errorf("-tol needs a value")
+			}
+			i++
+			tol = args[i]
+		case strings.HasPrefix(a, "-tol=") || strings.HasPrefix(a, "--tol="):
+			tol = a[strings.IndexByte(a, '=')+1:]
+		case a == "-normalize" || a == "--normalize":
+			normalize = true
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		return "", "", "", false, fmt.Errorf("-solverbench-compare needs exactly two reports (old.json new.json), got %d args", len(files))
+	}
+	return files[0], files[1], tol, normalize, nil
 }
 
 func printFindings(res *exp.Result) {

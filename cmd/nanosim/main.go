@@ -376,6 +376,12 @@ func runMC(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions) erro
 	}
 	fmt.Printf("\n  solver reuse: %d numeric refactors, %d full factorizations\n",
 		res.Solve.NumericRefactor, res.Solve.FullFactor)
+	// Failed trials were reported above; they must also fail the exit
+	// status, or batch drivers (CI, scripts) read a broken batch as
+	// success.
+	if res.Failed > 0 {
+		return fmt.Errorf(".mc: %d of %d trials failed (first: %v)", res.Failed, res.Trials, res.TrialErrors[0])
+	}
 	return nil
 }
 
@@ -429,10 +435,11 @@ func runStep(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions) er
 		}
 		fmt.Printf("  %s\n", strings.Join(row, "\t"))
 	}
-	if res.Failed > 0 {
-		fmt.Printf("  %d points FAILED; first: %v\n", res.Failed, res.TrialErrors[0])
-	}
 	fmt.Println()
+	// As with .mc: failed grid points fail the exit status.
+	if res.Failed > 0 {
+		return fmt.Errorf(".step: %d of %d points failed (first: %v)", res.Failed, res.Runs(), res.TrialErrors[0])
+	}
 	return nil
 }
 

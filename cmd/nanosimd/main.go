@@ -1,0 +1,78 @@
+// Command nanosimd serves the Nano-Sim engines as a long-running
+// HTTP/JSON batch-simulation service.
+//
+// Netlist decks are submitted as jobs, run on a bounded worker pool and
+// streamed back as NDJSON waveforms; a deck-compile cache keyed by
+// content hash keeps the parsed circuit, compiled stamp pattern and
+// symbolic LU analysis of each topology alive across submissions, so
+// repeated or parameter-varied runs of the same deck skip parse and
+// symbolic work entirely. See docs/API.md for the endpoints and wire
+// schemas.
+//
+// Usage:
+//
+//	nanosimd [-addr :8086] [-workers N] [-queue 256] [-max-decks 128]
+//
+// Example session:
+//
+//	nanosimd -addr :8086 &
+//	curl -s :8086/v1/jobs -d '{"deck":"* rc\nV1 in 0 PULSE(0 1 1n 1n 1n 20n)\nR1 in out 1k\nC1 out 0 1p\n.tran 0.1n 50n\n.end\n"}'
+//	curl -s :8086/v1/jobs/job-1/result
+//	curl -s :8086/v1/jobs/job-1/stream
+//	curl -s :8086/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nanosim/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8086", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "pending-job queue depth (0 = default 256)")
+	maxDecks := flag.Int("max-decks", 0, "deck-compile cache entries (0 = default 128)")
+	maxDeckKB := flag.Int("max-deck-kb", 0, "largest accepted deck in KiB (0 = default 1024)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxDecks:     *maxDecks,
+		MaxDeckBytes: int64(*maxDeckKB) << 10,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: stop listening, cancel in-flight jobs, drain.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sig
+		log.Print("nanosimd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("nanosimd: shutdown: %v", err)
+		}
+		srv.Close()
+	}()
+
+	log.Printf("nanosimd: listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "nanosimd:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/part"
+)
+
+// cancelCircuit is a small RC divider for the cancellation tests.
+func cancelCircuit() *circuit.Circuit {
+	ckt := circuit.New("cancel")
+	ckt.AddVSource("V1", "in", "0", device.DC(1))
+	ckt.AddResistor("R1", "in", "out", 1e3)
+	ckt.AddCapacitor("C1", "out", "0", 1e-12)
+	return ckt
+}
+
+func TestTransientCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("operator said stop")
+	cancel(cause)
+	_, err := Transient(cancelCircuit(), Options{TStop: 1e-9, Ctx: ctx})
+	if err == nil {
+		t.Fatal("canceled transient returned no error")
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("error %v does not wrap the cancellation cause", err)
+	}
+}
+
+func TestTransientCanceledMidRun(t *testing.T) {
+	// A fixed femtosecond step across a one-second span is ~1e15 steps:
+	// unfinishable, so a prompt return proves the per-step context poll.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel(errors.New("mid-run cancel"))
+	}()
+	start := time.Now()
+	_, err := Transient(cancelCircuit(), Options{
+		TStop: 1, HInit: 1e-15, FixedStep: true, Ctx: ctx,
+	})
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+func TestPartitionedTransientCanceledMidRun(t *testing.T) {
+	// Two weakly coupled dividers so the torn-block driver engages.
+	ckt := circuit.New("cancel-part")
+	ckt.AddVSource("V1", "a", "0", device.DC(1))
+	ckt.AddResistor("R1", "a", "x", 1e3)
+	ckt.AddCapacitor("C1", "x", "0", 1e-12)
+	ckt.AddVSource("V2", "b", "0", device.DC(1))
+	ckt.AddResistor("R2", "b", "y", 1e3)
+	ckt.AddCapacitor("C2", "y", "0", 1e-12)
+	ckt.AddResistor("RC", "x", "y", 1e12)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel(errors.New("mid-run cancel"))
+	}()
+	_, err := Transient(ckt, Options{
+		TStop: 1, HInit: 1e-15, FixedStep: true, Ctx: ctx,
+		Partition: &part.Options{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+}
+
+func TestOperatingPointCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errors.New("stop"))
+	if _, err := OperatingPoint(cancelCircuit(), DCOptions{Ctx: ctx}); err == nil {
+		t.Error("canceled operating point returned no error")
+	}
+	if _, err := Sweep(cancelCircuit(), "V1", 0, 1, 5, "", DCOptions{Ctx: ctx}); err == nil {
+		t.Error("canceled sweep returned no error")
+	}
+}

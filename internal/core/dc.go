@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,6 +34,10 @@ type DCOptions struct {
 	Solver linsolve.Factory
 	// FC receives FLOP accounting (may be nil).
 	FC *flop.Counter
+	// Ctx, when non-nil, is polled once per fixed-point iteration
+	// (operating point) or sweep point; a canceled context aborts the
+	// analysis with context.Cause.
+	Ctx context.Context
 }
 
 func (o DCOptions) withDefaults() DCOptions {
@@ -243,6 +248,9 @@ func OperatingPoint(ckt *circuit.Circuit, opt DCOptions) (*DCResult, error) {
 	x := make([]float64, sys.Dim())
 	res := &DCResult{}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, fmt.Errorf("core: operating point canceled at iteration %d: %w", iter, err)
+		}
 		if opt.FC != nil {
 			opt.FC.Iter()
 		}
@@ -334,6 +342,9 @@ func Sweep(ckt *circuit.Circuit, srcName string, v0, v1 float64, n int, deviceNa
 	}
 	x := make([]float64, sys.Dim())
 	for k := 0; k < n; k++ {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, fmt.Errorf("core: sweep canceled at point %d: %w", k, err)
+		}
 		bias := v0 + (v1-v0)*float64(k)/float64(n-1)
 		src.W = device.DC(bias)
 		res.Points = append(res.Points, bias)

@@ -507,6 +507,9 @@ func (e *partEngine) run() (*Result, error) {
 	active := make([]bool, len(e.blocks))
 
 	for t < opt.TStop-e.brk.tol {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, fmt.Errorf("core: transient canceled at t=%g: %w", t, err)
+		}
 		if e.stats.Steps >= opt.MaxSteps {
 			return nil, fmt.Errorf("core: exceeded MaxSteps=%d at t=%g", opt.MaxSteps, t)
 		}

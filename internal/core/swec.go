@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -83,6 +84,11 @@ type Options struct {
 	IC map[string]float64
 	// RecordCurrents adds voltage-source branch currents to the output.
 	RecordCurrents bool
+	// Ctx, when non-nil, is polled once per attempted step; a canceled
+	// context aborts the run with context.Cause. This is the hook that
+	// lets a long-running service (cmd/nanosimd) stop a job mid-transient
+	// instead of waiting out the whole integration.
+	Ctx context.Context
 	// Partition enables the torn-block engine (internal/part): the
 	// circuit is split into weakly coupled blocks, each with its own
 	// stamped system and compiled-pattern solver, coupled Gauss-Jacobi
@@ -666,6 +672,9 @@ func (e *engine) run() (*Result, error) {
 	xNew := make([]float64, e.dim)
 
 	for t < opt.TStop-e.brk.tol {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, fmt.Errorf("core: transient canceled at t=%g: %w", t, err)
+		}
 		if e.stats.Steps >= opt.MaxSteps {
 			return nil, fmt.Errorf("core: exceeded MaxSteps=%d at t=%g", opt.MaxSteps, t)
 		}
@@ -735,6 +744,17 @@ func (e *engine) run() (*Result, error) {
 		e.stats.Flops = opt.FC.Snapshot().Sub(e.startFlops)
 	}
 	return &Result{Waves: e.rec.Set(), Stats: e.stats, X: e.x}, nil
+}
+
+// ctxErr reports a pending cancellation on an options context; a nil
+// context never cancels. context.Cause surfaces the canceler's reason
+// (e.g. "job canceled by DELETE /v1/jobs/{id}") instead of the generic
+// context.Canceled.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return context.Cause(ctx)
 }
 
 func allFinite(v []float64) bool {

@@ -1,0 +1,68 @@
+package linsolve
+
+import "nanosim/internal/flop"
+
+// SeqCache caches solvers by factory-call ORDER, not by dimension. Any
+// driver that re-runs the same circuit configuration requests solvers
+// in an identical sequence (one for a monolithic system, or one per
+// tear block — blocks of equal dimension being common), so replaying by
+// position lets every call site keep its own compiled stamp pattern and
+// symbolic LU across runs, where a dimension-keyed cache would hand two
+// same-sized blocks the same solver and thrash both patterns.
+//
+// Shared by internal/vary's batch workers (cross-trial reuse) and
+// internal/serve's deck cache (cross-job reuse). Call Begin before each
+// run replays the sequence; a call whose dimension diverges from the
+// recorded one gets a fresh uncached solver and marks the cache
+// Mismatched, letting the owner decide whether to drop or re-warm it.
+type SeqCache struct {
+	// Base builds solvers on cache misses (required).
+	Base Factory
+
+	sols     []Solver
+	cursor   int
+	mismatch bool
+}
+
+// Begin resets the call cursor before a run replays the sequence.
+func (c *SeqCache) Begin() {
+	c.cursor = 0
+	c.mismatch = false
+}
+
+// Factory is the linsolve.Factory to hand to the run's engine.
+func (c *SeqCache) Factory(n int, fc *flop.Counter) Solver {
+	if !c.mismatch && c.cursor < len(c.sols) {
+		if s := c.sols[c.cursor]; s.N() == n {
+			c.cursor++
+			return s
+		}
+		c.mismatch = true
+		return c.Base(n, fc)
+	}
+	if !c.mismatch {
+		s := c.Base(n, fc)
+		c.sols = append(c.sols, s)
+		c.cursor++
+		return s
+	}
+	return c.Base(n, fc)
+}
+
+// Mismatched reports whether the current run's call sequence diverged
+// from the cached one (cleared by Begin).
+func (c *SeqCache) Mismatched() bool { return c.mismatch }
+
+// Len returns the number of cached solvers.
+func (c *SeqCache) Len() int { return len(c.sols) }
+
+// Solvers exposes the cached solvers in call order (stats collection
+// and warm-state bookkeeping; do not mutate the slice).
+func (c *SeqCache) Solvers() []Solver { return c.sols }
+
+// Drop discards all cached solvers.
+func (c *SeqCache) Drop() {
+	c.sols = nil
+	c.cursor = 0
+	c.mismatch = false
+}

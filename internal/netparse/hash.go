@@ -1,0 +1,38 @@
+package netparse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+)
+
+// DeckHash returns a stable content hash of a netlist source, the key
+// the nanosimd deck-compile cache is built on. The hash is computed over
+// the deck's *logical* content — continuation lines joined, comments and
+// blank lines dropped, interior whitespace collapsed — so two decks
+// that parse identically hash identically even when their formatting
+// differs. Case is deliberately NOT folded: this dialect's node and
+// element names are case-sensitive ("IN" and "in" are different nodes),
+// so a case-folding key would alias semantically different decks and
+// hand one deck's cached circuit to another. Likewise no semantic
+// canonicalization (element reordering changes the hash): the cache
+// only needs "same deck submitted twice" to collide, and a conservative
+// key can never alias two different circuits.
+func DeckHash(src string) string {
+	h := sha256.New()
+	for i, ln := range logicalLines(src) {
+		t := strings.TrimSpace(ln.text)
+		// The first logical line is the deck title (even when it starts
+		// with '*'); it is part of the parsed deck, so it is part of the
+		// key. Later '*' lines are pure comments.
+		if i > 0 && (t == "" || strings.HasPrefix(t, "*")) {
+			continue
+		}
+		// Collapse runs of interior whitespace so re-indented decks and
+		// retabbed continuations share a key. SPICE tokens never contain
+		// meaningful whitespace (tokenize folds parenthesized groups).
+		h.Write([]byte(strings.Join(strings.Fields(t), " ")))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,48 @@
+package netparse
+
+import "testing"
+
+func TestDeckHashStableAcrossFormatting(t *testing.T) {
+	a := `* rc deck
+V1 in 0 1
+R1 in out 1k
+C1 out 0 1p
+.tran 1n 100n
+.end
+`
+	// Same logical deck: comments, blank lines, a continuation and
+	// extra interior whitespace.
+	b := `* rc deck
+
+V1   in  0   1
+* a comment line
+R1 in out
++ 1k   ; trailing comment
+C1 out 0 1p
+.tran 1n 100n
+.end
+`
+	ha, hb := DeckHash(a), DeckHash(b)
+	if ha != hb {
+		t.Errorf("formatting-only variants hash differently:\n %s\n %s", ha, hb)
+	}
+	if len(ha) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(ha))
+	}
+}
+
+func TestDeckHashDistinguishesContent(t *testing.T) {
+	base := "* d\nV1 in 0 1\nR1 in 0 1k\n.op\n.end\n"
+	variants := []string{
+		"* d\nV1 in 0 1\nR1 in 0 2k\n.op\n.end\n",         // value change
+		"* d\nV1 in 0 1\nR1 in 0 1k\n.tran 1n 9n\n.end\n", // analysis change
+		"* other\nV1 in 0 1\nR1 in 0 1k\n.op\n.end\n",     // title change
+		"* d\nV1 IN 0 1\nR1 IN 0 1k\n.op\n.end\n",         // node case: different nodes
+	}
+	h0 := DeckHash(base)
+	for _, v := range variants {
+		if DeckHash(v) == h0 {
+			t.Errorf("distinct deck collides with base:\n%s", v)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sde
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,6 +44,9 @@ type Options struct {
 	IC map[string]float64
 	// RecordCurrents adds voltage-source branch currents to the output.
 	RecordCurrents bool
+	// Ctx, when non-nil, is polled once per step; a canceled context
+	// aborts the path with context.Cause.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -117,6 +121,9 @@ func run(sys *stamp.System, opt Options) (*Result, error) {
 	sqh := math.Sqrt(h)
 
 	for n := 0; n < opt.Steps; n++ {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return nil, fmt.Errorf("sde: path canceled at step %d: %w", n, context.Cause(opt.Ctx))
+		}
 		t := float64(n) * h
 		for k := range dW {
 			dW[k] = sqh * stream.Norm()

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"sync"
+
+	"nanosim/internal/flop"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/netparse"
+)
+
+// deckCache is the service's compile cache: one entry per distinct deck
+// content (netparse.DeckHash), holding the parsed deck plus a free list
+// of warmed solver sequences. The parse happens exactly once per content
+// hash under a per-entry latch — N concurrent submissions of the same
+// deck all wait on the first submission's compile.
+type deckCache struct {
+	mu      sync.Mutex
+	entries map[string]*deckEntry
+	clock   int64 // logical LRU clock
+	max     int
+	met     *metrics
+}
+
+func newDeckCache(max int, met *metrics) *deckCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &deckCache{entries: map[string]*deckEntry{}, max: max, met: met}
+}
+
+// deckEntry is one cached compilation. deck and err are immutable once
+// ready is closed; the free list is guarded by mu.
+type deckEntry struct {
+	hash  string
+	ready chan struct{}
+	deck  *netparse.Deck
+	err   error
+
+	mu sync.Mutex
+	// free holds checked-in solver sets keyed by run profile (analysis
+	// kind + engine configuration): a "tran" run and a "dcop" run of the
+	// same deck stamp different sequences, and handing one the other's
+	// compiled pattern would just thrash both.
+	free     map[string][]*solverSet
+	lastUsed int64
+}
+
+// get returns the entry for src, compiling it if this is the first
+// submission of its content. hit reports whether the compile was skipped.
+// The call blocks until the entry is ready (compiled or failed).
+func (c *deckCache) get(src string) (e *deckEntry, hit bool) {
+	hash := netparse.DeckHash(src)
+	c.mu.Lock()
+	c.clock++
+	now := c.clock
+	e, hit = c.entries[hash]
+	if !hit {
+		e = &deckEntry{hash: hash, ready: make(chan struct{}), lastUsed: now}
+		c.entries[hash] = e
+		c.evictLocked()
+		c.mu.Unlock()
+		// Compile outside the cache lock: a slow parse must not block
+		// unrelated submissions.
+		e.deck, e.err = netparse.Parse(src)
+		close(e.ready)
+		if e.err != nil {
+			// Don't cache poison: a stream of distinct malformed decks
+			// would otherwise occupy LRU slots and evict every warm
+			// compiled entry. Waiters already holding e still read the
+			// error through the closed latch.
+			c.mu.Lock()
+			if c.entries[hash] == e {
+				delete(c.entries, hash)
+			}
+			c.mu.Unlock()
+			return e, false
+		}
+		c.met.deckCompiles.Add(1)
+		return e, false
+	}
+	e.mu.Lock()
+	e.lastUsed = now
+	e.mu.Unlock()
+	c.mu.Unlock()
+	<-e.ready
+	if e.err == nil {
+		// A waiter on a poison entry is not a cache hit: nothing was
+		// compiled, so counting it would break the submissions =
+		// compiles + hits + rejections accounting an operator reads
+		// from /metrics.
+		c.met.deckHits.Add(1)
+	}
+	return e, true
+}
+
+// evictLocked drops the least-recently-used entries above the bound.
+// Evicted entries stay usable by jobs already holding them; they just
+// stop being findable (and their solver free lists become garbage once
+// those jobs finish).
+func (c *deckCache) evictLocked() {
+	for len(c.entries) > c.max {
+		var worst *deckEntry
+		for _, e := range c.entries {
+			e.mu.Lock()
+			lu := e.lastUsed
+			e.mu.Unlock()
+			if worst == nil || lu < worstUsed(worst) {
+				worst = e
+			}
+		}
+		delete(c.entries, worst.hash)
+		c.met.deckEvicted.Add(1)
+	}
+}
+
+func worstUsed(e *deckEntry) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastUsed
+}
+
+// size reports the entry count.
+func (c *deckCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// checkout hands a solver set to a job: a warmed one from the profile's
+// free list when available, else a fresh empty set that the job's first
+// run will warm. met counters record whether the checkout skipped
+// symbolic work.
+func (e *deckEntry) checkout(profile string, met *metrics) *solverSet {
+	met.solverCheckouts.Add(1)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if list := e.free[profile]; len(list) > 0 {
+		ss := list[len(list)-1]
+		e.free[profile] = list[:len(list)-1]
+		met.solverWarm.Add(1)
+		ss.seq.Begin()
+		return ss
+	}
+	return &solverSet{seq: linsolve.SeqCache{Base: linsolve.Auto}, profile: profile}
+}
+
+// checkin returns a solver set to the free list. Sets whose run failed,
+// whose stamp sequence diverged from the warmed one, or whose reused
+// pivot order drifted are dropped: the cached state may differ from
+// what a fresh compile would build, and handing it to the next job of
+// the same deck would break the bit-for-bit agreement between
+// submissions (the same invariant internal/vary's postTrial re-warm
+// protects; see worker.postTrial).
+func (e *deckEntry) checkin(ss *solverSet, met *metrics, ok bool) {
+	if !ok || ss.seq.Mismatched() || ss.pivotDrifted() {
+		met.solverDropped.Add(1)
+		return
+	}
+	e.mu.Lock()
+	if e.free == nil {
+		e.free = map[string][]*solverSet{}
+	}
+	e.free[ss.profile] = append(e.free[ss.profile], ss)
+	e.mu.Unlock()
+}
+
+// solverSet is one checked-out compiled-solver sequence: the shared
+// call-sequence-keyed cache (linsolve.SeqCache, also behind the vary
+// batch workers) plus the run profile its free list is keyed by. Every
+// run of the same deck profile requests solvers in an identical
+// factory-call order, so each position keeps its own compiled stamp
+// pattern and symbolic LU even when two tear blocks share a dimension.
+type solverSet struct {
+	seq     linsolve.SeqCache
+	profile string
+	// ffBase records each order-carrying solver's FullFactor count at
+	// the last check-in (aligned with seq.Solvers(); 0 for solvers the
+	// drift check ignores). New solvers perform exactly one full
+	// factorization when their pattern compiles; anything beyond the
+	// baseline means a pivot-drift fallback replaced the pivot order
+	// mid-run and the set must not be reused.
+	ffBase []int
+}
+
+// factory is the linsolve.Factory handed to the job's engine. A call
+// whose dimension diverges from the cached sequence gets a fresh
+// uncached solver and flags the set so checkin drops it.
+func (ss *solverSet) factory(n int, fc *flop.Counter) linsolve.Solver {
+	return ss.seq.Factory(n, fc)
+}
+
+// pivotDrifted reports whether any reused pivot order was replaced by a
+// drift-triggered full factorization during the last run, updating the
+// baseline for the next check-out when it did not.
+func (ss *solverSet) pivotDrifted() bool {
+	sols := ss.seq.Solvers()
+	counts := make([]int, len(sols))
+	for i, s := range sols {
+		r, isRef := s.(linsolve.Refactorable)
+		if !isRef || !linsolve.CarriesPivotOrder(s) {
+			continue
+		}
+		ff := r.SolveStats().FullFactor
+		base := 1 // a fresh solver's one-time pattern factorization
+		if i < len(ss.ffBase) {
+			base = ss.ffBase[i]
+		}
+		if ff > base {
+			return true
+		}
+		counts[i] = ff
+	}
+	ss.ffBase = counts
+	return false
+}

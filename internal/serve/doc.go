@@ -1,0 +1,26 @@
+// Package serve implements nanosimd: a long-running HTTP/JSON batch
+// simulation service in front of the Nano-Sim engines.
+//
+// A one-shot CLI invocation re-parses and re-compiles its deck on every
+// run, throwing away exactly the state PRs 1-3 made reusable: the parsed
+// circuit, the compiled stamp pattern and the symbolic LU analysis. The
+// service keeps that state alive across requests in a deck-compile cache
+// keyed by content hash (netparse.DeckHash): the first submission of a
+// topology compiles it, every later submission — repeated or
+// parameter-varied — checks the compiled state out of the entry's
+// free list, runs, and checks it back in. Jobs run on a bounded worker
+// pool, stream their waveforms as NDJSON (internal/trace), and are
+// cancellable mid-run through the context hooks threaded into the
+// engines (core.Options.Ctx, vary.Options.Ctx, sde.Options.Ctx).
+//
+// Endpoints (see docs/API.md for wire schemas):
+//
+//	POST   /v1/jobs             submit a deck + analysis request
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result scalar result document (waits for done)
+//	GET    /v1/jobs/{id}/stream waveforms as NDJSON chunks
+//	DELETE /v1/jobs/{id}        cancel (also POST /v1/jobs/{id}/cancel)
+//	GET    /metrics             expvar-style counters
+//	GET    /healthz             liveness
+package serve

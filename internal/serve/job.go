@@ -1,0 +1,492 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nanosim/internal/core"
+	"nanosim/internal/netparse"
+	"nanosim/internal/part"
+	"nanosim/internal/sde"
+	"nanosim/internal/trace"
+	"nanosim/internal/vary"
+	"nanosim/internal/wave"
+)
+
+// job is one submitted analysis moving through the queue.
+type job struct {
+	id    string
+	req   SubmitRequest
+	entry *deckEntry
+	kind  string
+	popt  *part.Options
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	mu           sync.Mutex
+	info         JobInfo
+	result       *Result
+	waves        *wave.Set // stream payload (waveforms or mc envelopes)
+	wavesDropped bool      // payload evicted by the MaxWaveJobs bound
+}
+
+// hasWaves reports whether the job still holds a streamable payload.
+// Only finished jobs hold one, so eviction never races a running job.
+func (j *job) hasWaves() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.waves != nil && j.waves.Len() > 0
+}
+
+// dropWaves releases the waveform payload, remembering that it existed
+// so the stream endpoint can answer 410 instead of 204.
+func (j *job) dropWaves() {
+	j.mu.Lock()
+	j.waves, j.wavesDropped = nil, true
+	j.mu.Unlock()
+}
+
+// snapshot returns the job's current JobInfo.
+func (j *job) snapshot() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+// terminal reports whether the job already finished.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// resolveAnalysis maps a submission onto an analysis kind and validates
+// that the deck can actually run it — submit-time validation so a bad
+// request is a 4xx, not a failed job.
+func resolveAnalysis(deck *netparse.Deck, req SubmitRequest) (string, error) {
+	kind := strings.ToLower(req.Analysis)
+	if kind == "op" {
+		kind = "dcop"
+	}
+	if kind == "" {
+		switch {
+		case deck.MC != nil:
+			kind = "mc"
+		case len(deck.Steps) > 0:
+			kind = "step"
+		default:
+			for _, a := range deck.Analyses {
+				switch a.Kind {
+				case "tran":
+					kind = "tran"
+				case "dc":
+					kind = "dc"
+				case "op":
+					kind = "dcop"
+				case "em":
+					kind = "em"
+				}
+				break
+			}
+		}
+		if kind == "" {
+			return "", fmt.Errorf("deck has no analysis cards (.op/.dc/.tran/.em/.mc/.step) and no analysis was requested")
+		}
+	}
+	switch kind {
+	case "tran":
+		if firstAnalysis(deck, "tran") == nil && req.TStop <= 0 {
+			return "", fmt.Errorf("tran job needs a .tran card or a tstop override")
+		}
+	case "dc":
+		if firstAnalysis(deck, "dc") == nil {
+			return "", fmt.Errorf("dc job needs a .dc card")
+		}
+	case "dcop":
+		// Always runnable.
+	case "em":
+		if firstAnalysis(deck, "em") == nil && req.TStop <= 0 {
+			return "", fmt.Errorf("em job needs a .em card or a tstop override")
+		}
+	case "mc":
+		if len(deck.Varies) == 0 {
+			return "", fmt.Errorf("mc job needs at least one .vary card")
+		}
+		mcKind := ""
+		if deck.MC != nil {
+			mcKind = deck.MC.Analysis
+		}
+		if mcKind == "tran" && firstAnalysis(deck, "tran") == nil {
+			return "", fmt.Errorf(".mc tran needs a .tran card")
+		}
+		if mcKind == "em" && firstAnalysis(deck, "em") == nil {
+			return "", fmt.Errorf(".mc em needs a .em card")
+		}
+	case "step":
+		if len(deck.Steps) == 0 {
+			return "", fmt.Errorf("step job needs at least one .step card")
+		}
+	default:
+		return "", fmt.Errorf("unknown analysis %q (want tran, dc, dcop/op, em, mc or step)", req.Analysis)
+	}
+	return kind, nil
+}
+
+// firstAnalysis returns the deck's first card of the given kind, or nil.
+func firstAnalysis(deck *netparse.Deck, kind string) *netparse.Analysis {
+	for i := range deck.Analyses {
+		if deck.Analyses[i].Kind == kind {
+			return &deck.Analyses[i]
+		}
+	}
+	return nil
+}
+
+// resolvePartition merges the deck's .options card with the request into
+// the torn-block engine configuration (nil = monolithic engine).
+func resolvePartition(deck *netparse.Deck, req SubmitRequest) (*part.Options, error) {
+	enabled := req.Partition != nil
+	popt := part.Options{}
+	if req.Partition != nil {
+		popt.GCouple = req.Partition.GCouple
+		popt.NoDormancy = req.Partition.NoDormancy
+	}
+	if o := deck.Options; o != nil {
+		enabled = enabled || o.Partition
+		if popt.GCouple == 0 {
+			popt.GCouple = o.GCouple
+		}
+		popt.NoDormancy = popt.NoDormancy || o.NoDormancy
+	}
+	if !enabled {
+		return nil, nil
+	}
+	if popt.GCouple != 0 && (popt.GCouple <= 0 || popt.GCouple >= 1) {
+		return nil, fmt.Errorf("partition gcouple %g out of range (want a ratio in (0,1))", popt.GCouple)
+	}
+	return &popt, nil
+}
+
+// profile keys the solver free list: runs with the same profile stamp
+// identical factory-call sequences.
+func (j *job) profile() string {
+	p := j.kind
+	if j.popt != nil {
+		p += fmt.Sprintf("+part(g=%g,nd=%v)", j.popt.GCouple, j.popt.NoDormancy)
+	}
+	return p
+}
+
+// run executes the resolved analysis. It returns the scalar result and
+// the streamable wave set; the solver checkout/checkin happens here so
+// the compiled stamp pattern and symbolic LU of this deck profile carry
+// over to the next job.
+func (j *job) run(met *metrics) (*Result, *wave.Set, error) {
+	deck := j.entry.deck
+	start := time.Now()
+	var (
+		res   *Result
+		waves *wave.Set
+		err   error
+	)
+	switch j.kind {
+	case "mc":
+		res, waves, err = j.runMC(deck)
+	case "step":
+		res, waves, err = j.runStep(deck)
+	default:
+		// Single-run analyses share the entry's compiled solver state.
+		ss := j.entry.checkout(j.profile(), met)
+		res, waves, err = j.runSingle(deck, ss)
+		j.entry.checkin(ss, met, err == nil)
+	}
+	met.observe(j.kind, time.Since(start))
+	return res, waves, err
+}
+
+// runSingle executes tran/dc/dcop/em on a clone of the cached circuit.
+// Cloning keeps the cached deck immutable (core.Sweep mutates the swept
+// source) and costs a circuit walk — the parse and the solver state are
+// what the cache is for.
+func (j *job) runSingle(deck *netparse.Deck, ss *solverSet) (*Result, *wave.Set, error) {
+	ckt := deck.Circuit.Clone()
+	switch j.kind {
+	case "tran":
+		opt := core.Options{RecordCurrents: true, Partition: j.popt, Ctx: j.ctx, Solver: ss.factory}
+		if a := firstAnalysis(deck, "tran"); a != nil {
+			opt.TStop, opt.HInit = a.TStop, a.TStep
+		}
+		if j.req.TStop > 0 {
+			opt.TStop = j.req.TStop
+		}
+		if j.req.TStep > 0 {
+			opt.HInit = j.req.TStep
+		}
+		r, err := core.Transient(ckt, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{
+			Kind:    "tran",
+			Signals: r.Waves.Names(),
+			Tran: &TranResult{
+				Steps:    r.Stats.Steps,
+				Rejected: r.Stats.Rejected,
+				Solves:   r.Stats.Solves,
+				Blocks:   r.Stats.Blocks,
+				Final:    finals(r.Waves),
+			},
+		}, r.Waves, nil
+	case "dc":
+		a := firstAnalysis(deck, "dc")
+		r, err := core.Sweep(ckt, a.Src, a.From, a.To, a.Points, a.Device,
+			core.DCOptions{RefineIters: 3, Ctx: j.ctx, Solver: ss.factory})
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{
+			Kind:    "dc",
+			Signals: r.Waves.Names(),
+			DC:      &DCSweepResult{Points: a.Points, From: a.From, To: a.To},
+		}, r.Waves, nil
+	case "dcop":
+		r, err := core.OperatingPoint(ckt, core.DCOptions{Ctx: j.ctx, Solver: ss.factory})
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes := map[string]float64{}
+		for _, name := range ckt.NodeNames() {
+			nodes[name] = r.X[int(ckt.Node(name))-1]
+		}
+		set := trace.OPWaves(ckt, r.X)
+		return &Result{
+			Kind:    "dcop",
+			Signals: set.Names(),
+			OP:      &OPResult{Iterations: r.Iterations, Nodes: nodes},
+		}, set, nil
+	case "em":
+		opt := sde.Options{RecordCurrents: true, Ctx: j.ctx, Solver: ss.factory}
+		if a := firstAnalysis(deck, "em"); a != nil {
+			opt.TStop, opt.Steps, opt.Seed = a.TStop, a.Steps, a.Seed
+		}
+		if j.req.TStop > 0 {
+			opt.TStop = j.req.TStop
+		}
+		if j.req.Seed != nil {
+			opt.Seed = *j.req.Seed
+		}
+		r, err := sde.Transient(ckt, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{
+			Kind:    "em",
+			Signals: r.Waves.Names(),
+			EM: &EMResult{
+				Steps:        opt.Steps,
+				NoiseSources: r.NoiseSources,
+				Seed:         opt.Seed,
+				Final:        finals(r.Waves),
+			},
+		}, r.Waves, nil
+	}
+	return nil, nil, fmt.Errorf("serve: unreachable analysis kind %q", j.kind)
+}
+
+// batchJob builds the per-trial analysis for mc/step jobs from the
+// deck's cards, mirroring the CLI's precedence: the .mc keyword, else
+// the first .tran, else .em, else .op.
+func (j *job) batchJob(deck *netparse.Deck) (vary.Job, error) {
+	kind := ""
+	if j.kind == "mc" && deck.MC != nil {
+		kind = deck.MC.Analysis
+	}
+	tran, em := firstAnalysis(deck, "tran"), firstAnalysis(deck, "em")
+	if kind == "" {
+		switch {
+		case tran != nil:
+			kind = "tran"
+		case em != nil:
+			kind = "em"
+		default:
+			kind = "op"
+		}
+	}
+	vj := vary.Job{Analysis: kind}
+	switch kind {
+	case "tran":
+		if tran == nil {
+			return vj, fmt.Errorf(".mc tran needs a .tran card")
+		}
+		vj.Tran = core.Options{TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true, Partition: j.popt}
+		if j.req.TStop > 0 {
+			vj.Tran.TStop = j.req.TStop
+		}
+		if j.req.TStep > 0 {
+			vj.Tran.HInit = j.req.TStep
+		}
+	case "em":
+		if em == nil {
+			return vj, fmt.Errorf(".mc em needs a .em card")
+		}
+		vj.EM = sde.Options{TStop: em.TStop, Steps: em.Steps, Seed: em.Seed}
+		if j.req.TStop > 0 {
+			vj.EM.TStop = j.req.TStop
+		}
+	}
+	return vj, nil
+}
+
+// runMC executes the deck's Monte Carlo cards; the stream payload is the
+// envelope set (mean and quantile bands per signal).
+func (j *job) runMC(deck *netparse.Deck) (*Result, *wave.Set, error) {
+	vj, err := j.batchJob(deck)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := vary.Options{
+		Job:     vj,
+		Signals: append([]string(nil), deck.Prints...),
+		Workers: 1,
+		Ctx:     j.ctx,
+	}
+	if deck.MC != nil {
+		opt.Trials = deck.MC.Trials
+		opt.Seed = deck.MC.Seed
+	}
+	if j.req.Trials > 0 {
+		opt.Trials = j.req.Trials
+	}
+	if j.req.Seed != nil {
+		opt.Seed = *j.req.Seed
+	}
+	if j.req.Workers > 0 {
+		opt.Workers = j.req.Workers
+	}
+	for _, v := range deck.Varies {
+		dist, err := vary.ParseDist(v.Dist)
+		if err != nil {
+			return nil, nil, fmt.Errorf("netlist line %d: %w", v.Line, err)
+		}
+		opt.Specs = append(opt.Specs, vary.Spec{
+			Elem: v.Elem, Param: v.Param, Dist: dist,
+			Sigma: v.Sigma, Rel: v.Rel, Lot: v.Lot,
+		})
+	}
+	for _, l := range deck.Limits {
+		opt.Limits = append(opt.Limits, vary.Limit{Signal: l.Signal, Stat: l.Stat, Lo: l.Lo, Hi: l.Hi})
+	}
+	r, err := vary.MonteCarlo(deck.Circuit, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	mc := &MCResult{
+		Trials:             r.Trials,
+		Failed:             r.Failed,
+		NumericRefactors:   r.Solve.NumericRefactor,
+		FullFactorizations: r.Solve.FullFactor,
+	}
+	if len(opt.Limits) > 0 {
+		mc.Yield = &MCYield{Passed: r.Passed, Yield: r.Yield, YieldSE: r.YieldSE}
+	}
+	env := wave.NewSet()
+	for _, sg := range r.Signals {
+		st := MCSignal{Name: sg.Name}
+		st.Mean, st.Std = meanStd(sg.Final)
+		st.Q05, _ = sg.Quantile(0.05)
+		st.Median, _ = sg.Quantile(0.5)
+		st.Q95, _ = sg.Quantile(0.95)
+		mc.Stats = append(mc.Stats, st)
+		for _, s := range []*wave.Series{sg.Mean, sg.QLo, sg.QHi} {
+			if s != nil {
+				if err := env.Add(s); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return &Result{Kind: "mc", Signals: env.Names(), MC: mc}, env, nil
+}
+
+// runStep executes the deck's .step sweep.
+func (j *job) runStep(deck *netparse.Deck) (*Result, *wave.Set, error) {
+	vj, err := j.batchJob(deck)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := vary.SweepOptions{
+		Job:     vj,
+		Signals: append([]string(nil), deck.Prints...),
+		Workers: 1,
+		Ctx:     j.ctx,
+	}
+	if j.req.Workers > 0 {
+		opt.Workers = j.req.Workers
+	}
+	for _, s := range deck.Steps {
+		opt.Axes = append(opt.Axes, vary.SweepAxis{
+			Elem: s.Elem, Param: s.Param, From: s.From, To: s.To, Points: s.Points, Log: s.Log,
+		})
+	}
+	r, err := vary.Sweep(deck.Circuit, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &StepResult{Failed: r.Failed, Values: r.Values, Final: map[string][]*float64{}}
+	for _, a := range r.Axes {
+		name := a.Elem
+		if a.Param != "" {
+			name += "(" + a.Param + ")"
+		}
+		st.Axes = append(st.Axes, name)
+	}
+	signals := append([]string(nil), r.Signals...)
+	sort.Strings(signals)
+	for _, name := range signals {
+		col := make([]*float64, r.Runs())
+		for i, v := range r.Final[name] {
+			if !math.IsNaN(v) {
+				vv := v
+				col[i] = &vv
+			}
+		}
+		st.Final[name] = col
+	}
+	return &Result{Kind: "step", Signals: signals, Step: st}, nil, nil
+}
+
+// finals maps every series to its last sample.
+func finals(set *wave.Set) map[string]float64 {
+	out := map[string]float64{}
+	for _, name := range set.Names() {
+		out[name] = wave.Finite(set.Get(name).Final(), 0)
+	}
+	return out
+}
+
+// meanStd computes the mean and (population) standard deviation of the
+// finite entries of vals; NaN entries mark failed trials.
+func meanStd(vals []float64) (mean, std float64) {
+	n := 0
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			mean += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	mean /= float64(n)
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			std += (v - mean) * (v - mean)
+		}
+	}
+	return mean, math.Sqrt(std / float64(n))
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the service counters exposed at /metrics. All
+// fields are safe for concurrent update; the snapshot marshals to the
+// expvar-style JSON document of MetricsSnapshot.
+type metrics struct {
+	deckCompiles atomic.Int64 // cache entries built (parse + compile)
+	deckHits     atomic.Int64 // submissions served from the cache
+	deckEvicted  atomic.Int64 // entries dropped by the LRU bound
+
+	solverCheckouts atomic.Int64 // compiled-state checkouts handed to jobs
+	solverWarm      atomic.Int64 // checkouts that replayed a warmed sequence
+	solverDropped   atomic.Int64 // checkouts discarded (diverged or failed)
+
+	jobsSubmitted atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+
+	mu      sync.Mutex
+	latency map[string]*LatencyBucket // per analysis kind
+}
+
+// LatencyBucket accumulates run durations of one analysis kind.
+type LatencyBucket struct {
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+func newMetrics() *metrics {
+	return &metrics{latency: map[string]*LatencyBucket{}}
+}
+
+// observe records one finished run of the given analysis kind.
+func (m *metrics) observe(kind string, d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	m.mu.Lock()
+	b := m.latency[kind]
+	if b == nil {
+		b = &LatencyBucket{}
+		m.latency[kind] = b
+	}
+	b.Count++
+	b.TotalMs += ms
+	if ms > b.MaxMs {
+		b.MaxMs = ms
+	}
+	m.mu.Unlock()
+}
+
+// CacheMetrics is the deck-compile cache section of /metrics.
+type CacheMetrics struct {
+	// Compiles counts cache entries built: one parse + pattern/symbolic
+	// compile per distinct deck content. The load-test invariant is that
+	// N concurrent submissions of one deck leave this at 1.
+	Compiles int64 `json:"compiles"`
+	// Hits counts submissions that found their deck already compiled.
+	Hits int64 `json:"hits"`
+	// Evicted counts entries dropped by the LRU bound.
+	Evicted int64 `json:"evicted"`
+	// Entries is the current cache size.
+	Entries int `json:"entries"`
+}
+
+// SolverMetrics is the compiled-solver checkout section of /metrics.
+type SolverMetrics struct {
+	// Checkouts counts solver-state checkouts handed to jobs.
+	Checkouts int64 `json:"checkouts"`
+	// Warm counts checkouts that replayed an already-warmed stamp
+	// sequence (the job skipped symbolic analysis entirely).
+	Warm int64 `json:"warm"`
+	// Dropped counts checkouts discarded instead of returned (stamp
+	// sequence diverged, or the job failed).
+	Dropped int64 `json:"dropped"`
+}
+
+// JobMetrics is the job-lifecycle section of /metrics.
+type JobMetrics struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+}
+
+// MetricsSnapshot is the /metrics response document.
+type MetricsSnapshot struct {
+	DeckCache CacheMetrics  `json:"deck_cache"`
+	Solver    SolverMetrics `json:"solver"`
+	Jobs      JobMetrics    `json:"jobs"`
+	// EngineLatency maps analysis kind ("tran", "mc", ...) to its
+	// accumulated run-duration counters.
+	EngineLatency map[string]LatencyBucket `json:"engine_latency_ms"`
+}
+
+// snapshot captures the counters; entries/queued/running are supplied by
+// the server, which owns that state.
+func (m *metrics) snapshot(entries, queued, running int) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		DeckCache: CacheMetrics{
+			Compiles: m.deckCompiles.Load(),
+			Hits:     m.deckHits.Load(),
+			Evicted:  m.deckEvicted.Load(),
+			Entries:  entries,
+		},
+		Solver: SolverMetrics{
+			Checkouts: m.solverCheckouts.Load(),
+			Warm:      m.solverWarm.Load(),
+			Dropped:   m.solverDropped.Load(),
+		},
+		Jobs: JobMetrics{
+			Submitted: m.jobsSubmitted.Load(),
+			Completed: m.jobsCompleted.Load(),
+			Failed:    m.jobsFailed.Load(),
+			Canceled:  m.jobsCanceled.Load(),
+			Queued:    queued,
+			Running:   running,
+		},
+		EngineLatency: map[string]LatencyBucket{},
+	}
+	m.mu.Lock()
+	for k, b := range m.latency {
+		snap.EngineLatency[k] = *b
+	}
+	m.mu.Unlock()
+	return snap
+}

@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"nanosim/internal/trace"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	// It bounds how many analyses run concurrently; further submissions
+	// queue.
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 256). A full
+	// queue rejects submissions with 503 rather than buffering without
+	// bound.
+	QueueDepth int
+	// MaxDeckBytes bounds the submitted netlist size (default 1 MiB).
+	MaxDeckBytes int64
+	// MaxDecks bounds the compile cache (default 128 entries, LRU).
+	MaxDecks int
+	// MaxJobs bounds the retained job records (default 1024; oldest
+	// finished jobs are evicted first).
+	MaxJobs int
+	// MaxWaveJobs bounds how many finished jobs keep their waveform
+	// payload in memory for re-streaming (default 64). Older finished
+	// jobs keep their status and scalar result but drop the waves — a
+	// long partitioned transient's wave set runs to tens of megabytes,
+	// so retaining one per MaxJobs record would pin gigabytes.
+	MaxWaveJobs int
+	// ChunkSamples bounds the samples per NDJSON stream chunk (default
+	// trace.DefaultChunkSamples).
+	ChunkSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxDeckBytes <= 0 {
+		c.MaxDeckBytes = 1 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxWaveJobs <= 0 {
+		c.MaxWaveJobs = 64
+	}
+	return c
+}
+
+// Server is the nanosimd simulation service: a deck-compile cache, a
+// bounded worker pool and the HTTP front door. Create with New, serve
+// its Handler, and Close it on shutdown.
+type Server struct {
+	cfg   Config
+	cache *deckCache
+	met   *metrics
+
+	baseCtx  context.Context
+	baseStop context.CancelCauseFunc
+	queue    chan *job
+	wg       sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // submission order, for listing and eviction
+	nextID    int64
+	queued    int
+	running   int
+	withWaves int // finished jobs still holding a waveform payload
+	closed    bool
+}
+
+// New starts a server with cfg.Workers simulation workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		met:   newMetrics(),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  map[string]*job{},
+	}
+	s.cache = newDeckCache(cfg.MaxDecks, s.met)
+	s.baseCtx, s.baseStop = context.WithCancelCause(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, cancels everything in flight and waits for
+// the workers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.baseStop(errors.New("server shutting down"))
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Metrics returns the current counter snapshot (also served at
+// /metrics).
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	queued, running := s.queued, s.running
+	s.mu.Unlock()
+	return s.met.snapshot(s.cache.size(), queued, running)
+}
+
+// worker drains the job queue.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runOne(j)
+	}
+}
+
+// runOne moves a job through running to a terminal state.
+func (s *Server) runOne(j *job) {
+	s.mu.Lock()
+	s.queued--
+	if j.ctx.Err() != nil {
+		// Canceled while queued.
+		j.mu.Lock()
+		j.info.State = StateCanceled
+		j.info.Error = context.Cause(j.ctx).Error()
+		j.info.Finished = time.Now().UTC()
+		j.mu.Unlock()
+		s.met.jobsCanceled.Add(1)
+		s.mu.Unlock()
+		close(j.done)
+		return
+	}
+	s.running++
+	s.mu.Unlock()
+	j.mu.Lock()
+	j.info.State = StateRunning
+	j.info.Started = time.Now().UTC()
+	j.mu.Unlock()
+
+	res, waves, err := j.run(s.met)
+
+	s.mu.Lock()
+	s.running--
+	if err == nil && waves != nil && waves.Len() > 0 {
+		s.withWaves++
+	}
+	s.mu.Unlock()
+	j.mu.Lock()
+	j.info.Finished = time.Now().UTC()
+	switch {
+	case err == nil:
+		j.info.State = StateDone
+		j.result, j.waves = res, waves
+		s.met.jobsCompleted.Add(1)
+	case j.ctx.Err() != nil && errors.Is(err, context.Cause(j.ctx)):
+		// Canceled only when the error actually carries the cancellation
+		// cause: a genuine engine failure racing with a DELETE must stay
+		// a failure, not masquerade as a user cancellation.
+		j.info.State = StateCanceled
+		j.info.Error = err.Error()
+		s.met.jobsCanceled.Add(1)
+	default:
+		j.info.State = StateFailed
+		j.info.Error = err.Error()
+		s.met.jobsFailed.Add(1)
+	}
+	j.mu.Unlock()
+	close(j.done)
+	// Release the job's context now that it is terminal: a live child
+	// context stays registered with the server's base context, so
+	// skipping this would leak one context per completed job for the
+	// process lifetime. Classification above reads j.ctx.Err(), so this
+	// must stay last.
+	j.cancel(errors.New("job finished"))
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON emits a JSON document with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already out; an encode failure here can only
+	// be logged by the caller's middleware.
+	_ = enc.Encode(v)
+}
+
+// writeError emits the uniform error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit parses, validates, compiles (or cache-hits) and enqueues.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxDeckBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxDeckBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", s.cfg.MaxDeckBytes)
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request JSON: %v", err)
+		return
+	}
+	if req.Deck == "" {
+		writeError(w, http.StatusBadRequest, "request has no deck")
+		return
+	}
+	entry, hit := s.cache.get(req.Deck)
+	if entry.err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "deck does not parse: %v", entry.err)
+		return
+	}
+	kind, err := resolveAnalysis(entry.deck, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	popt, err := resolvePartition(entry.deck, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The deck text is only needed for the cache key and the (now done)
+	// parse; retained job records must not pin up to MaxDeckBytes of
+	// netlist source each for the rest of the process lifetime.
+	req.Deck = ""
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	j := &job{
+		id:     id,
+		req:    req,
+		entry:  entry,
+		kind:   kind,
+		popt:   popt,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		info: JobInfo{
+			ID:        id,
+			State:     StateQueued,
+			Analysis:  kind,
+			DeckHash:  entry.hash,
+			CacheHit:  hit,
+			Submitted: time.Now().UTC(),
+		},
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel(errors.New("queue full"))
+		writeError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		return
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queued++
+	s.evictJobsLocked()
+	s.mu.Unlock()
+	s.met.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// evictJobsLocked drops the oldest finished job records above MaxJobs
+// and the oldest retained waveform payloads above MaxWaveJobs (those
+// jobs keep their status and scalar result; only the re-streamable
+// waves go).
+func (s *Server) evictJobsLocked() {
+	if len(s.jobs) > s.cfg.MaxJobs {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if len(s.jobs) > s.cfg.MaxJobs && j != nil && terminal(j.snapshot().State) {
+				if j.hasWaves() {
+					s.withWaves--
+				}
+				delete(s.jobs, id)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+	// s.withWaves is maintained by runOne, so the common case is a
+	// single comparison; the oldest-first walk only runs while over the
+	// bound.
+	for _, id := range s.order {
+		if s.withWaves <= s.cfg.MaxWaveJobs {
+			break
+		}
+		if j := s.jobs[id]; j != nil && j.hasWaves() {
+			j.dropWaves()
+			s.withWaves--
+		}
+	}
+}
+
+// jobFor resolves the {id} path segment; nil means the response was
+// already written.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]JobInfo, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			infos = append(infos, j.snapshot())
+		}
+	}
+	s.mu.Unlock()
+	// s.order is submission order already; no sort needed.
+	writeJSON(w, http.StatusOK, JobList{Jobs: infos})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel(fmt.Errorf("job %s canceled by %s %s", j.id, r.Method, r.URL.Path))
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// waitDone blocks until the job finishes or the request context ends;
+// it reports whether the job finished.
+func waitDone(r *http.Request, j *job) bool {
+	select {
+	case <-j.done:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	if !waitDone(r, j) {
+		return // client went away
+	}
+	info := j.snapshot()
+	if info.State != StateDone {
+		writeError(w, http.StatusConflict, "job %s %s: %s", j.id, info.State, info.Error)
+		return
+	}
+	j.mu.Lock()
+	res := j.result
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	if !waitDone(r, j) {
+		return
+	}
+	info := j.snapshot()
+	if info.State != StateDone {
+		writeError(w, http.StatusConflict, "job %s %s: %s", j.id, info.State, info.Error)
+		return
+	}
+	j.mu.Lock()
+	waves, dropped := j.waves, j.wavesDropped
+	j.mu.Unlock()
+	if dropped {
+		writeError(w, http.StatusGone, "job %s waveforms were evicted (MaxWaveJobs bound); resubmit the deck to regenerate them", j.id)
+		return
+	}
+	if waves == nil || waves.Len() == 0 {
+		// Some jobs (step sweeps) have only a scalar result document.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// WriteNDJSON flushes per chunk when the writer supports it.
+	_, _ = trace.WriteNDJSON(w, waves, s.cfg.ChunkSamples)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,179 @@
+package serve
+
+import "time"
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	// Deck is the SPICE-flavoured netlist source (required).
+	Deck string `json:"deck"`
+	// Analysis selects what to run: "tran", "dc", "dcop", "em", "mc" or
+	// "step". Empty picks from the deck's cards: .mc batch first, then
+	// .step sweep, then the deck's first analysis card.
+	Analysis string `json:"analysis,omitempty"`
+	// TStop and TStep (seconds) override the deck's .tran/.em timing for
+	// "tran"/"em" jobs; zero keeps the card values.
+	TStop float64 `json:"tstop,omitempty"`
+	TStep float64 `json:"tstep,omitempty"`
+	// Trials overrides the .mc trial count for "mc" jobs.
+	Trials int `json:"trials,omitempty"`
+	// Seed, when non-nil, overrides the .mc/.em seed.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Workers bounds a batch job's *inner* parallelism. The service
+	// default is 1: cross-job parallelism comes from the job pool, and a
+	// single mc job fanning out to every core would starve its
+	// neighbours.
+	Workers int `json:"workers,omitempty"`
+	// Partition forces the torn-block SWEC engine for transients (the
+	// deck's own ".options partition" card also enables it).
+	Partition *PartitionRequest `json:"partition,omitempty"`
+}
+
+// PartitionRequest mirrors the '.options partition' card on the wire.
+type PartitionRequest struct {
+	// GCouple is the relative coupling threshold in (0,1); 0 keeps the
+	// engine default.
+	GCouple float64 `json:"gcouple,omitempty"`
+	// NoDormancy keeps every block solving every step.
+	NoDormancy bool `json:"no_dormancy,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobInfo is the status document of one job (submit response, status
+// endpoint, list entries).
+type JobInfo struct {
+	// ID addresses the job in every per-job endpoint.
+	ID string `json:"id"`
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Analysis is the resolved analysis kind.
+	Analysis string `json:"analysis"`
+	// DeckHash is the compile-cache key of the submitted deck.
+	DeckHash string `json:"deck_hash"`
+	// CacheHit reports whether submission found the deck already
+	// compiled.
+	CacheHit bool `json:"cache_hit"`
+	// Error carries the failure or cancellation cause.
+	Error string `json:"error,omitempty"`
+	// Submitted, Started and Finished stamp the lifecycle (zero until
+	// reached).
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// JobList is the GET /v1/jobs response.
+type JobList struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// Result is the GET /v1/jobs/{id}/result document: the scalar outcome of
+// a finished job. Kind selects which section is populated; waveforms are
+// served by the stream endpoint instead (NDJSON trace.Chunk lines).
+type Result struct {
+	Kind string `json:"kind"`
+	// Signals lists the streamable series names.
+	Signals []string `json:"signals,omitempty"`
+	// Tran is set for "tran" jobs.
+	Tran *TranResult `json:"tran,omitempty"`
+	// OP is set for "dcop" jobs.
+	OP *OPResult `json:"dcop,omitempty"`
+	// DC is set for "dc" sweep jobs.
+	DC *DCSweepResult `json:"dc,omitempty"`
+	// EM is set for "em" jobs.
+	EM *EMResult `json:"em,omitempty"`
+	// MC is set for "mc" jobs.
+	MC *MCResult `json:"mc,omitempty"`
+	// Step is set for "step" jobs.
+	Step *StepResult `json:"step,omitempty"`
+}
+
+// TranResult summarizes a SWEC transient.
+type TranResult struct {
+	Steps    int                `json:"steps"`
+	Rejected int                `json:"rejected"`
+	Solves   int64              `json:"solves"`
+	Blocks   int                `json:"blocks,omitempty"`
+	Final    map[string]float64 `json:"final"`
+}
+
+// OPResult is a DC operating point: node voltages by node name.
+type OPResult struct {
+	Iterations int                `json:"iterations"`
+	Nodes      map[string]float64 `json:"nodes"`
+}
+
+// DCSweepResult summarizes a DC sweep; the per-point curves stream as
+// waveforms against the swept bias.
+type DCSweepResult struct {
+	Points int     `json:"points"`
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+}
+
+// EMResult summarizes one Euler-Maruyama path.
+type EMResult struct {
+	Steps        int                `json:"steps"`
+	NoiseSources int                `json:"noise_sources"`
+	Seed         uint64             `json:"seed"`
+	Final        map[string]float64 `json:"final"`
+}
+
+// MCResult summarizes a process-variation Monte Carlo batch. The
+// envelope series (mean and quantile bands per signal) stream from the
+// stream endpoint.
+type MCResult struct {
+	Trials int `json:"trials"`
+	Failed int `json:"failed"`
+	// Yield is present exactly when the deck declared .limit cards; a
+	// measured 0% yield therefore stays distinguishable from "no limits
+	// configured" on the wire.
+	Yield *MCYield `json:"yield,omitempty"`
+	// Stats holds per-signal final-value aggregates.
+	Stats []MCSignal `json:"stats"`
+	// NumericRefactors / FullFactorizations report the per-worker solver
+	// reuse inside the batch.
+	NumericRefactors   int `json:"numeric_refactors"`
+	FullFactorizations int `json:"full_factorizations"`
+}
+
+// MCYield is the yield section of an mc result.
+type MCYield struct {
+	// Passed counts trials inside every limit.
+	Passed int `json:"passed"`
+	// Yield is Passed/Trials; YieldSE its binomial standard error.
+	Yield   float64 `json:"yield"`
+	YieldSE float64 `json:"yield_se"`
+}
+
+// MCSignal is one signal's final-value aggregate.
+type MCSignal struct {
+	Name   string  `json:"name"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Q05    float64 `json:"q05"`
+	Median float64 `json:"median"`
+	Q95    float64 `json:"q95"`
+}
+
+// StepResult is a deterministic parameter sweep outcome: one row per
+// grid point, axis values then per-signal finals (NaN for failed points
+// is encoded as null).
+type StepResult struct {
+	Axes   []string              `json:"axes"`
+	Values [][]float64           `json:"values"`
+	Final  map[string][]*float64 `json:"final"`
+	Failed int                   `json:"failed"`
+}

@@ -134,3 +134,20 @@ func (r *Recorder) Flush() {
 
 // Set returns the recorded wave set.
 func (r *Recorder) Set() *wave.Set { return r.set }
+
+// OPWaves renders a DC operating point as single-sample "v(node)"
+// series in node order, so scalar solutions flow through the same wave
+// plumbing as transients (vary aggregation, serve results, golden
+// records). x is the MNA state with the usual row = NodeID-1 layout.
+func OPWaves(ckt *circuit.Circuit, x []float64) *wave.Set {
+	set := wave.NewSet()
+	for id := 1; id < ckt.NumNodes(); id++ {
+		s := wave.NewSeries("v("+ckt.NodeName(circuit.NodeID(id))+")", 1)
+		s.MustAppend(0, x[id-1])
+		if err := set.Add(s); err != nil {
+			// Node names are unique by construction.
+			panic(err)
+		}
+	}
+	return set
+}

@@ -1,6 +1,7 @@
 package vary
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -78,6 +79,10 @@ type Options struct {
 	// KeepWaves retains every trial's full wave set in the result
 	// (memory-heavy; off by default).
 	KeepWaves bool
+	// Ctx, when non-nil, cancels the batch: no further trials start and
+	// in-flight trials abort mid-analysis. MonteCarlo then returns the
+	// cancellation cause instead of a partial result.
+	Ctx context.Context
 }
 
 // withDefaults validates and fills defaults.
@@ -209,7 +214,7 @@ func MonteCarlo(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	// Nominal probe: learns signal names and the envelope time domain,
 	// and doubles as the reference run reported alongside the envelopes.
-	nominal, err := job.run(ckt.Clone(), opt.Solver, job.EM.Seed)
+	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.EM.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("vary: nominal run failed: %w", err)
 	}
@@ -237,7 +242,11 @@ func MonteCarlo(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		signals:   signals,
 		grid:      grid,
 		keepWaves: opt.KeepWaves,
+		ctx:       opt.Ctx,
 	}, trials)
+	if err := batchCanceled(opt.Ctx); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Trials:  opt.Trials,
@@ -431,6 +440,8 @@ type SweepOptions struct {
 	Solver linsolve.Factory
 	// KeepWaves retains every point's full wave set.
 	KeepWaves bool
+	// Ctx, when non-nil, cancels the sweep as in Options.Ctx.
+	Ctx context.Context
 }
 
 // SweepResult is a parameter-sweep outcome.
@@ -493,7 +504,7 @@ func Sweep(ckt *circuit.Circuit, opt SweepOptions) (*SweepResult, error) {
 		runs *= a.Points
 	}
 
-	nominal, err := job.run(ckt.Clone(), opt.Solver, job.EM.Seed)
+	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.EM.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("vary: nominal run failed: %w", err)
 	}
@@ -541,7 +552,11 @@ func Sweep(ckt *circuit.Circuit, opt SweepOptions) (*SweepResult, error) {
 		workers:   opt.Workers,
 		signals:   signals,
 		keepWaves: opt.KeepWaves,
+		ctx:       opt.Ctx,
 	}, trials)
+	if err := batchCanceled(opt.Ctx); err != nil {
+		return nil, err
+	}
 	res.Solve = solve
 	if opt.KeepWaves {
 		res.Waves = make([]*wave.Set, len(outs))

@@ -87,7 +87,7 @@ func BenchmarkMonteCarloTrial(b *testing.B) {
 		factory: linsolve.Auto,
 		signals: []string{"v(na)"},
 	}
-	w := newWorker(ckt, job, linsolve.Auto)
+	w := newWorker(ckt, job, linsolve.Auto, nil)
 	w.warm()
 	b.ReportAllocs()
 	b.ResetTimer()

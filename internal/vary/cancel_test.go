@@ -1,0 +1,43 @@
+package vary
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+)
+
+func cancelCircuit() *circuit.Circuit {
+	ckt := circuit.New("cancel")
+	ckt.AddVSource("V1", "in", "0", device.DC(0.8))
+	ckt.AddResistor("R1", "in", "d", 600)
+	ckt.AddDevice("N1", "d", "0", device.NewRTD())
+	ckt.AddCapacitor("CD", "d", "0", 10e-15)
+	return ckt
+}
+
+func TestMonteCarloCanceledMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel(errors.New("batch cancel"))
+	}()
+	// A batch this size runs for minutes uncanceled.
+	_, err := MonteCarlo(cancelCircuit(), Options{
+		Trials:  1_000_000,
+		Seed:    7,
+		Workers: 2,
+		Ctx:     ctx,
+		Specs:   []Spec{{Elem: "N1", Param: "A", Sigma: 0.05, Rel: true}},
+		Job:     Job{Analysis: "tran", Tran: core.Options{TStop: 10e-9, HInit: 0.25e-9}},
+		Signals: []string{"v(d)"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want batch cancellation", err)
+	}
+}

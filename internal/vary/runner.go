@@ -1,6 +1,7 @@
 package vary
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"nanosim/internal/linsolve"
 	"nanosim/internal/randx"
 	"nanosim/internal/sde"
+	"nanosim/internal/trace"
 	"nanosim/internal/wave"
 )
 
@@ -21,13 +23,14 @@ type Job struct {
 	// operating point) or "em" (one Euler-Maruyama path per trial,
 	// combining parameter and input uncertainty).
 	Analysis string
-	// Tran configures the "tran" analysis. Its Solver field is ignored:
-	// the runner supplies the per-worker reusing factory.
+	// Tran configures the "tran" analysis. Its Solver and Ctx fields are
+	// ignored: the runner supplies the per-worker reusing factory and
+	// threads the batch context (Options.Ctx) in.
 	Tran core.Options
-	// OP configures the "op" analysis (Solver likewise ignored).
+	// OP configures the "op" analysis (Solver and Ctx likewise ignored).
 	OP core.DCOptions
-	// EM configures the "em" analysis. Solver and Seed are ignored: the
-	// per-trial seed derives from the batch seed and the trial index.
+	// EM configures the "em" analysis. Solver, Seed and Ctx are ignored:
+	// the per-trial seed derives from the batch seed and the trial index.
 	EM sde.Options
 }
 
@@ -46,22 +49,25 @@ func (j Job) withDefaults() (Job, error) {
 	return j, nil
 }
 
-// run executes the job on ckt with the given solver factory. emSeed
-// replaces the EM seed for "em" jobs and is ignored otherwise.
-func (j Job) run(ckt *circuit.Circuit, solver linsolve.Factory, emSeed uint64) (*wave.Set, error) {
+// run executes the job on ckt with the given solver factory. ctx, when
+// non-nil, cancels the underlying analysis mid-run. emSeed replaces the
+// EM seed for "em" jobs and is ignored otherwise.
+func (j Job) run(ctx context.Context, ckt *circuit.Circuit, solver linsolve.Factory, emSeed uint64) (*wave.Set, error) {
 	switch j.Analysis {
 	case "op":
 		o := j.OP
 		o.Solver = solver
+		o.Ctx = ctx
 		res, err := core.OperatingPoint(ckt, o)
 		if err != nil {
 			return nil, err
 		}
-		return opWaves(ckt, res.X), nil
+		return trace.OPWaves(ckt, res.X), nil
 	case "em":
 		o := j.EM
 		o.Solver = solver
 		o.Seed = emSeed
+		o.Ctx = ctx
 		res, err := sde.Transient(ckt, o)
 		if err != nil {
 			return nil, err
@@ -70,6 +76,7 @@ func (j Job) run(ckt *circuit.Circuit, solver linsolve.Factory, emSeed uint64) (
 	default:
 		o := j.Tran
 		o.Solver = solver
+		o.Ctx = ctx
 		res, err := core.Transient(ckt, o)
 		if err != nil {
 			return nil, err
@@ -78,77 +85,41 @@ func (j Job) run(ckt *circuit.Circuit, solver linsolve.Factory, emSeed uint64) (
 	}
 }
 
-// opWaves renders an operating point as single-sample series, so DC and
-// transient trials aggregate through one code path.
-func opWaves(ckt *circuit.Circuit, x []float64) *wave.Set {
-	set := wave.NewSet()
-	for id := 1; id < ckt.NumNodes(); id++ {
-		s := wave.NewSeries("v("+ckt.NodeName(circuit.NodeID(id))+")", 1)
-		s.MustAppend(0, x[id-1])
-		if err := set.Add(s); err != nil {
-			// Node names are unique by construction.
-			panic(err)
-		}
-	}
-	return set
-}
-
 // worker owns one goroutine's reusable solver state. The base circuit is
 // shared read-only; every trial works on its own clone.
 //
-// Solvers are cached by factory-call ORDER, not by dimension: every
-// trial runs the identical job on a clone of the same circuit, so its
-// engine requests solvers in an identical sequence. Sequence keying is
-// what lets a partitioned transient (one solver per tear block, blocks
-// of equal dimension being common) reuse each block's compiled pattern
-// and symbolic LU across trials — a dimension-keyed cache would hand two
-// same-sized blocks the same solver and thrash both patterns.
+// Solvers are cached by factory-call ORDER, not by dimension
+// (linsolve.SeqCache): every trial runs the identical job on a clone of
+// the same circuit, so its engine requests solvers in an identical
+// sequence, and sequence keying lets a partitioned transient reuse each
+// tear block's compiled pattern and symbolic LU across trials. A call
+// whose dimension diverges from the cached sequence (a perturbed
+// circuit partitioning differently, say) gets a fresh uncached solver
+// and flags the run, so postTrial restores the nominal-warmed state;
+// the divergence is itself deterministic — it depends only on the
+// trial's own clone — so results stay independent of worker scheduling.
 type worker struct {
-	base    *circuit.Circuit
-	job     Job
-	factory linsolve.Factory
+	base *circuit.Circuit
+	job  Job
+	ctx  context.Context // batch cancellation (may be nil)
 
-	sols     []linsolve.Solver // in factory-call order
-	cursor   int               // next call index within the current run
-	warmLen  int               // cache length after the nominal warm-up
-	ffBase   []int             // FullFactor count at warm-up, per solver
-	mismatch bool              // this run's call sequence diverged
-	stats    linsolve.SolveStats
-	broken   bool // re-warm failed: stop reusing, run every trial cold
+	seq     linsolve.SeqCache
+	warmLen int   // cache length after the nominal warm-up
+	ffBase  []int // FullFactor count at warm-up, per solver
+	stats   linsolve.SolveStats
+	broken  bool // re-warm failed: stop reusing, run every trial cold
 }
 
-func newWorker(base *circuit.Circuit, job Job, factory linsolve.Factory) *worker {
-	return &worker{base: base, job: job, factory: factory}
+func newWorker(base *circuit.Circuit, job Job, factory linsolve.Factory, ctx context.Context) *worker {
+	return &worker{base: base, job: job, seq: linsolve.SeqCache{Base: factory}, ctx: ctx}
 }
 
 // beginRun resets the call cursor before a job run replays the sequence.
-func (w *worker) beginRun() {
-	w.cursor = 0
-	w.mismatch = false
-}
+func (w *worker) beginRun() { w.seq.Begin() }
 
 // solver is the caching linsolve.Factory handed to every trial's engine.
-// A call whose dimension diverges from the cached sequence (a perturbed
-// circuit partitioning differently, say) gets a fresh uncached solver
-// and flags the run, so postTrial restores the nominal-warmed state.
-// The divergence is itself deterministic — it depends only on the
-// trial's own clone — so results stay independent of worker scheduling.
 func (w *worker) solver(n int, fc *flop.Counter) linsolve.Solver {
-	if !w.mismatch && w.cursor < len(w.sols) {
-		if s := w.sols[w.cursor]; s.N() == n {
-			w.cursor++
-			return s
-		}
-		w.mismatch = true
-		return w.factory(n, fc)
-	}
-	if !w.mismatch {
-		s := w.factory(n, fc)
-		w.sols = append(w.sols, s)
-		w.cursor++
-		return s
-	}
-	return w.factory(n, fc)
+	return w.seq.Factory(n, fc)
 }
 
 // warm runs the nominal job once so every reused solver's compiled
@@ -156,16 +127,16 @@ func (w *worker) solver(n int, fc *flop.Counter) linsolve.Solver {
 // reference no trial outcome can influence.
 func (w *worker) warm() {
 	w.beginRun()
-	if _, err := w.job.run(w.base.Clone(), w.solver, w.job.EM.Seed); err != nil {
+	if _, err := w.job.run(w.ctx, w.base.Clone(), w.solver, w.job.EM.Seed); err != nil {
 		// The nominal circuit was validated by the probe run; if it
 		// fails here, stop reusing state rather than guessing.
 		w.drop()
 		w.broken = true
 		return
 	}
-	w.warmLen = len(w.sols)
+	w.warmLen = w.seq.Len()
 	w.ffBase = w.ffBase[:0]
-	for _, s := range w.sols {
+	for _, s := range w.seq.Solvers() {
 		ff := 0
 		if r, ok := s.(linsolve.Refactorable); ok && linsolve.CarriesPivotOrder(s) {
 			ff = r.SolveStats().FullFactor
@@ -177,14 +148,14 @@ func (w *worker) warm() {
 // drop accumulates and discards all cached solvers.
 func (w *worker) drop() {
 	w.collect()
-	w.sols = nil
+	w.seq.Drop()
 	w.ffBase = nil
 	w.warmLen = 0
 }
 
 // collect folds the cached solvers' stats into the worker total.
 func (w *worker) collect() {
-	for _, s := range w.sols {
+	for _, s := range w.seq.Solvers() {
 		if r, ok := s.(linsolve.Refactorable); ok {
 			w.stats.Accumulate(r.SolveStats())
 		}
@@ -202,9 +173,9 @@ func (w *worker) postTrial(failed bool) {
 		w.drop()
 		return
 	}
-	rewarm := failed || w.mismatch || len(w.sols) > w.warmLen
+	rewarm := failed || w.seq.Mismatched() || w.seq.Len() > w.warmLen
 	if !rewarm {
-		for i, s := range w.sols {
+		for i, s := range w.seq.Solvers() {
 			r, ok := s.(linsolve.Refactorable)
 			if ok && linsolve.CarriesPivotOrder(s) && r.SolveStats().FullFactor > w.ffBase[i] {
 				rewarm = true
@@ -216,6 +187,15 @@ func (w *worker) postTrial(failed bool) {
 		w.drop()
 		w.warm()
 	}
+}
+
+// batchCanceled reports a batch context cancellation as the error the
+// public entry points return; a nil context never cancels.
+func batchCanceled(ctx context.Context) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return fmt.Errorf("vary: batch canceled: %w", context.Cause(ctx))
 }
 
 // trialRun is one unit of batch work: prepare mutates the trial's clone
@@ -246,6 +226,7 @@ type batchConfig struct {
 	signals   []string
 	grid      []float64 // resampling times, nil for scalar-only
 	keepWaves bool
+	ctx       context.Context // batch cancellation (may be nil)
 }
 
 // runBatch executes the trials over a worker pool and returns outcomes
@@ -270,7 +251,7 @@ func runBatch(cfg batchConfig, trials []trialRun) ([]trialOut, linsolve.SolveSta
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := newWorker(cfg.base, cfg.job, cfg.factory)
+			w := newWorker(cfg.base, cfg.job, cfg.factory, cfg.ctx)
 			w.warm()
 			for i := range idx {
 				outs[i] = runTrial(cfg, w, trials[i])
@@ -283,6 +264,11 @@ func runBatch(cfg batchConfig, trials []trialRun) ([]trialOut, linsolve.SolveSta
 		}()
 	}
 	for i := range trials {
+		// Stop feeding once the batch is canceled; trials already in
+		// flight abort through the job context.
+		if cfg.ctx != nil && cfg.ctx.Err() != nil {
+			break
+		}
 		idx <- i
 	}
 	close(idx)
@@ -298,7 +284,7 @@ func runTrial(cfg batchConfig, w *worker, tr trialRun) trialOut {
 		return trialOut{err: fmt.Errorf("trial %d: %w", tr.index, err)}
 	}
 	w.beginRun()
-	waves, err := cfg.job.run(clone, w.solver, emSeed)
+	waves, err := cfg.job.run(cfg.ctx, clone, w.solver, emSeed)
 	if err != nil {
 		return trialOut{err: fmt.Errorf("trial %d: %w", tr.index, err)}
 	}
