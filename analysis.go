@@ -1,6 +1,7 @@
 package nanosim
 
 import (
+	"nanosim/internal/acan"
 	"nanosim/internal/circuit"
 	"nanosim/internal/core"
 	"nanosim/internal/dcop"
@@ -143,6 +144,46 @@ type NewtonSweepResult = dcop.SweepResult
 func NewtonSweep(ckt *Circuit, srcName string, v0, v1 float64, n int, deviceName string, opt NewtonDCOptions) (*NewtonSweepResult, error) {
 	return dcop.Sweep(ckt, srcName, v0, v1, n, deviceName, opt)
 }
+
+// ACOptions configures the AC small-signal analysis (see internal/acan
+// for field-by-field documentation; zero values select a 10-points-per-
+// decade sweep).
+type ACOptions = acan.Options
+
+// ACResult is an AC sweep outcome: per-node magnitude ("vm"), phase
+// ("vp"), decibel ("vdb") and — with NOISE= sources — output-noise
+// ("onoise") series against frequency, plus the DC operating point the
+// devices were linearized at.
+type ACResult = acan.Result
+
+// ACStats reports AC sweep work counters.
+type ACStats = acan.Stats
+
+// ComplexSolverFactory selects the complex linear backend of the AC
+// analysis; SparseComplexSolver is the (only, and default) shipped one.
+type ComplexSolverFactory = linsolve.ComplexFactory
+
+// SparseComplexSolver is the compiled-pattern sparse complex backend:
+// one symbolic analysis per sweep, one numeric refactor per frequency
+// point.
+var SparseComplexSolver ComplexSolverFactory = linsolve.NewSparseComplex
+
+// AC runs the small-signal frequency sweep: every nonlinear device is
+// linearized at the SWEC DC operating point (differential conductance
+// from the cached Geq/dGeq pair — no Newton anywhere), and the phasor
+// system (G + jωC)X = B is solved across the grid. Mark sources with
+// ACMag/ACPhase for transfer functions; NOISE=-annotated sources
+// additionally produce output-noise spectral densities.
+func AC(ckt *Circuit, opt ACOptions) (*ACResult, error) {
+	return acan.AC(ckt, opt)
+}
+
+// AC grid spacing keywords (ACOptions.Grid).
+const (
+	ACGridDec = acan.GridDec
+	ACGridOct = acan.GridOct
+	ACGridLin = acan.GridLin
+)
 
 // NoiseOptions configures the Euler-Maruyama engine (paper §4). Mark
 // sources stochastic by setting their NoiseSigma field.

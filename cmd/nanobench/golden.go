@@ -128,6 +128,13 @@ func goldenRun(path string) (*GoldenFile, error) {
 				return nil, fmt.Errorf(".dc: %w", err)
 			}
 			waves = res.Waves
+		case "ac":
+			res, err := nanosim.AC(deck.Circuit, nanosim.ACOptions{
+				Grid: a.ACGrid, Points: a.Points, FStart: a.From, FStop: a.To})
+			if err != nil {
+				return nil, fmt.Errorf(".ac: %w", err)
+			}
+			waves = res.Waves
 		case "tran":
 			res, err := nanosim.Transient(deck.Circuit, nanosim.TranOptions{
 				TStop: a.TStop, HInit: a.TStep, RecordCurrents: true, Partition: popt})

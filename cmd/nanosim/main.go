@@ -3,6 +3,7 @@
 //
 //	.op            SWEC operating point
 //	.dc ...        SWEC DC sweep (Figure 7 style I-V extraction)
+//	.ac ...        small-signal frequency sweep + noise spectra
 //	.tran ...      SWEC transient
 //	.em ...        Euler-Maruyama transient with NOISE= sources
 //
@@ -18,6 +19,7 @@
 //	nanosim [-engine swec|nr|mla|pwl] [-csv out.csv] [-plot] deck.sp
 //	nanosim -mc 500 -workers 8 deck.sp     (override .mc trial count)
 //	nanosim -step deck.sp                  (run only the .step sweep)
+//	nanosim -ac deck.sp                    (run only the .ac analyses)
 //	nanosim -partition deck.sp             (torn-block SWEC engine, like
 //	                                        a '.options partition' card)
 //
@@ -47,6 +49,7 @@ type config struct {
 	height    int
 	mc        int  // override .mc trial count (0 = deck value)
 	step      bool // run only the .step sweep
+	ac        bool // run only the .ac analyses
 	workers   int
 	seed      uint64
 	seedSet   bool
@@ -63,6 +66,7 @@ func main() {
 	flag.IntVar(&cfg.height, "height", 16, "plot height in characters")
 	flag.IntVar(&cfg.mc, "mc", 0, "run a Monte Carlo with this many trials (overrides the .mc card count)")
 	flag.BoolVar(&cfg.step, "step", false, "run only the deck's .step parameter sweep")
+	flag.BoolVar(&cfg.ac, "ac", false, "run only the deck's .ac small-signal analyses")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel workers for -mc/-step batches (0 = GOMAXPROCS)")
 	flag.BoolVar(&cfg.partition, "partition", false, "run SWEC transients on the torn-block engine (like a '.options partition' card)")
 	flag.Float64Var(&cfg.gcouple, "gcouple", 0, "partitioner coupling threshold in (0,1) (0 = engine default)")
@@ -127,11 +131,23 @@ func run(path string, cfg config) error {
 		return nil
 	}
 
-	if len(deck.Analyses) == 0 {
-		return fmt.Errorf("deck has no analysis cards (.op/.dc/.tran/.em)")
+	analyses := deck.Analyses
+	if cfg.ac {
+		analyses = nil
+		for _, a := range deck.Analyses {
+			if a.Kind == "ac" {
+				analyses = append(analyses, a)
+			}
+		}
+		if len(analyses) == 0 {
+			return fmt.Errorf("-ac needs a .ac card in the deck")
+		}
+	}
+	if len(analyses) == 0 {
+		return fmt.Errorf("deck has no analysis cards (.op/.dc/.ac/.tran/.em)")
 	}
 	var lastWaves *nanosim.WaveSet
-	for _, a := range deck.Analyses {
+	for _, a := range analyses {
 		switch a.Kind {
 		case "op":
 			res, err := nanosim.OperatingPoint(deck.Circuit, nanosim.DCOptions{})
@@ -162,6 +178,34 @@ func run(path string, cfg config) error {
 				}
 			}
 			fmt.Println()
+		case "ac":
+			res, err := nanosim.AC(deck.Circuit, nanosim.ACOptions{
+				Grid: a.ACGrid, Points: a.Points, FStart: a.From, FStop: a.To})
+			if err != nil {
+				return fmt.Errorf(".ac: %w", err)
+			}
+			fmt.Printf("== .ac %s %d %s -> %s (%d points, %d noise sources, OP in %d iterations) ==\n",
+				a.ACGrid, a.Points, nanosim.FormatValue(a.From, 3), nanosim.FormatValue(a.To, 3),
+				len(res.Freqs), res.NoiseSources, res.OPIterations)
+			lastWaves = res.Waves
+			if cfg.plot {
+				// A shared .print list may mix time-domain names into an
+				// AC deck; keep only the names this sweep produced.
+				names := presentNames(res.Waves, deck.Prints)
+				if len(names) == 0 {
+					// Every vm/vp/vdb/onoise series at once is unreadable;
+					// default to the magnitude curves.
+					for _, n := range res.Waves.Names() {
+						if strings.HasPrefix(n, "vdb(") {
+							names = append(names, n)
+						}
+					}
+				}
+				if err := res.Waves.Plot(os.Stdout, cfg.width, cfg.height, names...); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
 		case "tran":
 			waves, stats, err := runTransient(deck.Circuit, cfg.engine, a, popt)
 			if err != nil {
@@ -170,7 +214,7 @@ func run(path string, cfg config) error {
 			fmt.Printf("== .tran to %s (%s engine) ==\n%s\n", nanosim.FormatValue(a.TStop, 3), cfg.engine, stats)
 			lastWaves = waves
 			if cfg.plot {
-				if err := waves.Plot(os.Stdout, cfg.width, cfg.height, deck.Prints...); err != nil {
+				if err := waves.Plot(os.Stdout, cfg.width, cfg.height, presentNames(waves, deck.Prints)...); err != nil {
 					return err
 				}
 			}
@@ -185,7 +229,7 @@ func run(path string, cfg config) error {
 				nanosim.FormatValue(a.TStop, 3), a.Steps, res.NoiseSources, a.Seed)
 			lastWaves = res.Waves
 			if cfg.plot {
-				if err := res.Waves.Plot(os.Stdout, cfg.width, cfg.height, deck.Prints...); err != nil {
+				if err := res.Waves.Plot(os.Stdout, cfg.width, cfg.height, presentNames(res.Waves, deck.Prints)...); err != nil {
 					return err
 				}
 			}
@@ -479,6 +523,21 @@ func runTransient(ckt *nanosim.Circuit, engine string, a netparse.Analysis, popt
 	default:
 		return nil, "", fmt.Errorf("unknown engine %q (want swec, nr, mla or pwl)", engine)
 	}
+}
+
+// presentNames filters a .print list to the series an analysis actually
+// produced: one deck-wide list legitimately mixes time-domain names
+// ("v(out)") with frequency-domain ones ("vdb(out)"), and each plot
+// should show its own subset instead of erroring on the other
+// analysis's names. An empty result means "no filter" (Plot shows all).
+func presentNames(set *nanosim.WaveSet, prints []string) []string {
+	var out []string
+	for _, n := range prints {
+		if set.Get(n) != nil {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // indent prefixes every line of s.

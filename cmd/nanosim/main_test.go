@@ -99,6 +99,7 @@ func TestRunRepositoryDecks(t *testing.T) {
 		"../../testdata/rtd_divider.sp",
 		"../../testdata/fet_rtd_inverter.sp",
 		"../../testdata/noisy_rc.sp",
+		"../../testdata/ac_rc_filter.sp",
 	} {
 		if err := run(deck, testCfg(config{height: 8})); err != nil {
 			t.Errorf("%s: %v", deck, err)

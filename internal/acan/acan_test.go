@@ -1,0 +1,216 @@
+package acan
+
+import (
+	"context"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+)
+
+// rcLowpass builds V1 -> R -> out -> C -> gnd with AC 1 on the source.
+func rcLowpass(r, c float64) *circuit.Circuit {
+	ckt := circuit.New("rc lowpass")
+	vs, err := ckt.AddVSource("V1", "in", "0", device.DC(0))
+	if err != nil {
+		panic(err)
+	}
+	vs.ACMag = 1
+	if _, err := ckt.AddResistor("R1", "in", "out", r); err != nil {
+		panic(err)
+	}
+	if _, err := ckt.AddCapacitor("C1", "out", "0", c); err != nil {
+		panic(err)
+	}
+	return ckt
+}
+
+// TestRCLowpassAnalytic is the acceptance check: the solved transfer of
+// a first-order RC lowpass must match 1/(1+jωRC) within 0.1 dB in
+// magnitude and 0.5° in phase across four decades around the corner.
+func TestRCLowpassAnalytic(t *testing.T) {
+	const (
+		r = 1e3
+		c = 1e-9 // corner at 1/(2πRC) ≈ 159 kHz
+	)
+	ckt := rcLowpass(r, c)
+	res, err := AC(ckt, Options{Grid: GridDec, Points: 20, FStart: 1.59e3, FStop: 1.59e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Waves.AxisName(); got != "f" {
+		t.Fatalf("AC waves axis = %q, want f", got)
+	}
+	vdb := res.Waves.Get("vdb(out)")
+	vp := res.Waves.Get("vp(out)")
+	if vdb == nil || vp == nil {
+		t.Fatalf("missing vdb/vp series; have %v", res.Waves.Names())
+	}
+	if vdb.Len() < 4*20 {
+		t.Fatalf("expected >= 80 grid points over 4 decades, got %d", vdb.Len())
+	}
+	for i, f := range res.Freqs {
+		h := 1 / (1 + complex(0, 2*math.Pi*f*r*c))
+		wantDB := 20 * math.Log10(cmplx.Abs(h))
+		wantPh := cmplx.Phase(h) * 180 / math.Pi
+		if d := math.Abs(vdb.V[i] - wantDB); d > 0.1 {
+			t.Fatalf("at %g Hz: vdb(out) = %g, want %g (Δ %g dB > 0.1)", f, vdb.V[i], wantDB, d)
+		}
+		if d := math.Abs(vp.V[i] - wantPh); d > 0.5 {
+			t.Fatalf("at %g Hz: vp(out) = %g°, want %g° (Δ %g° > 0.5)", f, vp.V[i], wantPh, d)
+		}
+	}
+	// The input node tracks the source exactly.
+	vmIn := res.Waves.Get("vm(in)")
+	for i := range res.Freqs {
+		if math.Abs(vmIn.V[i]-1) > 1e-9 {
+			t.Fatalf("vm(in)[%d] = %g, want 1", i, vmIn.V[i])
+		}
+	}
+}
+
+// TestSolverReuseAcrossPoints asserts the tentpole's cost model: one
+// symbolic analysis (full factorization) for the whole sweep, then one
+// numeric refactor per remaining frequency point, with noise transfers
+// riding the same factorization for free.
+func TestSolverReuseAcrossPoints(t *testing.T) {
+	ckt := circuit.New("noisy divider")
+	vs, _ := ckt.AddVSource("V1", "in", "0", device.DC(0.5))
+	vs.ACMag = 1
+	ckt.AddResistor("R1", "in", "out", 2e3)
+	ckt.AddDevice("N1", "out", "0", device.NewRTD())
+	ckt.AddCapacitor("C1", "out", "0", 1e-12)
+	is, _ := ckt.AddISource("IN1", "0", "out", device.DC(0))
+	is.NoiseSigma = 1e-9
+
+	res, err := AC(ckt, Options{Grid: GridDec, Points: 5, FStart: 1e3, FStop: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Stats.Points
+	if pts < 15 {
+		t.Fatalf("expected >= 15 grid points, got %d", pts)
+	}
+	if res.NoiseSources != 1 {
+		t.Fatalf("NoiseSources = %d, want 1", res.NoiseSources)
+	}
+	st := res.Stats.Solve
+	if st.FullFactor != 1 {
+		t.Fatalf("AC sweep ran %d full factorizations, want exactly 1 (stats %+v)", st.FullFactor, st)
+	}
+	if st.NumericRefactor != pts-1 {
+		t.Fatalf("numeric refactors = %d, want %d (one per later point)", st.NumericRefactor, pts-1)
+	}
+	// One noise solve per point reused the already-clean factorization.
+	if st.Reused != pts {
+		t.Fatalf("reused solves = %d, want %d (one noise transfer per point)", st.Reused, pts)
+	}
+	if st.PatternRebuild != 0 {
+		t.Fatalf("stamp sequence diverged across frequency points: %+v", st)
+	}
+	if got := int64(2 * pts); res.Stats.Solves != got {
+		t.Fatalf("Solves = %d, want %d", res.Stats.Solves, got)
+	}
+}
+
+// TestNoiseSpectrumAnalytic checks onoise against the Lorentzian of the
+// noisy RC node (the PSDWelch doc's reference): a white current source
+// σ into R||C has one-sided output PSD 2σ²R²/(1+(ωRC)²).
+func TestNoiseSpectrumAnalytic(t *testing.T) {
+	const (
+		r   = 1e3
+		c   = 1e-12
+		sig = 0.8e-9
+	)
+	ckt := circuit.New("noisy rc")
+	is, _ := ckt.AddISource("IN", "0", "x", device.DC(50e-6))
+	is.NoiseSigma = sig
+	ckt.AddResistor("R1", "x", "0", r)
+	ckt.AddCapacitor("C1", "x", "0", c)
+
+	res, err := AC(ckt, Options{Grid: GridDec, Points: 10, FStart: 1e6, FStop: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := res.Waves.Get("onoise(x)")
+	if on == nil {
+		t.Fatalf("missing onoise(x); have %v", res.Waves.Names())
+	}
+	for i, f := range res.Freqs {
+		wrc := 2 * math.Pi * f * r * c
+		want := math.Sqrt(2 * sig * sig * r * r / (1 + wrc*wrc))
+		if d := math.Abs(on.V[i]-want) / want; d > 1e-9 {
+			t.Fatalf("at %g Hz: onoise = %g, want %g (rel Δ %g)", f, on.V[i], want, d)
+		}
+	}
+}
+
+// TestGrids checks the three spacings produce the documented densities.
+func TestGrids(t *testing.T) {
+	ckt := rcLowpass(1e3, 1e-9)
+	for _, tc := range []struct {
+		grid   string
+		points int
+		fstart float64
+		fstop  float64
+		want   int
+	}{
+		{GridDec, 10, 1, 1e3, 31},
+		{GridOct, 4, 1, 16, 17},
+		{GridLin, 7, 10, 70, 7},
+	} {
+		res, err := AC(ckt, Options{Grid: tc.grid, Points: tc.points, FStart: tc.fstart, FStop: tc.fstop})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.grid, err)
+		}
+		if len(res.Freqs) != tc.want {
+			t.Errorf("%s grid: %d points, want %d", tc.grid, len(res.Freqs), tc.want)
+		}
+		if res.Freqs[0] != tc.fstart {
+			t.Errorf("%s grid starts at %g, want %g", tc.grid, res.Freqs[0], tc.fstart)
+		}
+		last := res.Freqs[len(res.Freqs)-1]
+		if math.Abs(last-tc.fstop) > 1e-6*tc.fstop {
+			t.Errorf("%s grid ends at %g, want %g", tc.grid, last, tc.fstop)
+		}
+	}
+}
+
+// TestBadOptions exercises the validation errors.
+func TestBadOptions(t *testing.T) {
+	ckt := rcLowpass(1e3, 1e-9)
+	for name, opt := range map[string]Options{
+		"zero fstart":  {FStart: 0, FStop: 1e6},
+		"neg fstop":    {FStart: 1, FStop: -1},
+		"reversed":     {FStart: 1e6, FStop: 1},
+		"unknown grid": {Grid: "log", FStart: 1, FStop: 1e6},
+	} {
+		if _, err := AC(ckt, opt); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// TestQuietDeckRejected fails loud when no source carries an AC or
+// NOISE spec — the sweep would be identically zero.
+func TestQuietDeckRejected(t *testing.T) {
+	ckt := circuit.New("quiet")
+	ckt.AddVSource("V1", "in", "0", device.DC(1))
+	ckt.AddResistor("R1", "in", "out", 1e3)
+	ckt.AddCapacitor("C1", "out", "0", 1e-9)
+	if _, err := AC(ckt, Options{FStart: 1, FStop: 1e6}); err == nil {
+		t.Fatal("quiet deck accepted")
+	}
+}
+
+// TestCancel aborts mid-sweep through the context.
+func TestCancel(t *testing.T) {
+	ckt := rcLowpass(1e3, 1e-9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AC(ckt, Options{FStart: 1, FStop: 1e6, Ctx: ctx}); err == nil {
+		t.Fatal("canceled context did not abort the sweep")
+	}
+}

@@ -1,0 +1,94 @@
+package acan
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+	"nanosim/internal/netparse"
+)
+
+// loadDeck parses a committed testdata deck.
+func loadDeck(t *testing.T, name string) *netparse.Deck {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck, err := netparse.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return deck
+}
+
+// dcTransfer measures dV(out)/dV(src) by central finite difference: two
+// SWEC operating-point solves with the source perturbed ±delta.
+func dcTransfer(t *testing.T, ckt *circuit.Circuit, src *circuit.VSource, out string, bias, delta float64, opt core.DCOptions) float64 {
+	t.Helper()
+	row := int(ckt.Node(out)) - 1
+	solve := func(v float64) float64 {
+		src.W = device.DC(v)
+		res, err := core.OperatingPoint(ckt, opt)
+		if err != nil {
+			t.Fatalf("operating point at %g: %v", v, err)
+		}
+		return res.X[row]
+	}
+	return (solve(bias+delta) - solve(bias-delta)) / (2 * delta)
+}
+
+// TestACMatchesDCTransfer is the cross-engine property of the issue: at
+// the bottom of the frequency grid — far below every circuit pole — the
+// AC gain magnitude must equal the finite-difference DC transfer of the
+// same deck, tying the complex small-signal path to the real
+// operating-point engine it linearizes around. Checked on the RTD
+// divider (NDR load line) and the FET-RTD inverter (gm path through the
+// transistor) at a bias inside their transition regions.
+func TestACMatchesDCTransfer(t *testing.T) {
+	const (
+		fLow  = 1.0  // Hz; circuit poles live in the GHz range
+		delta = 1e-3 // FD perturbation, V
+	)
+	for _, tc := range []struct {
+		deck string
+		src  string
+		out  string
+		bias float64
+	}{
+		{"rtd_divider.sp", "V1", "d", 0.8},
+		{"fet_rtd_inverter.sp", "VIN", "out", 0.6},
+	} {
+		t.Run(tc.deck, func(t *testing.T) {
+			deck := loadDeck(t, tc.deck)
+			ckt := deck.Circuit
+			src, ok := ckt.Element(tc.src).(*circuit.VSource)
+			if !ok {
+				t.Fatalf("source %q missing", tc.src)
+			}
+			// Tight OP tolerance: the FD quotient amplifies the fixed
+			// point's residual by 1/delta.
+			dcOpt := core.DCOptions{Tol: 1e-10, MaxIter: 2000}
+
+			src.W = device.DC(tc.bias)
+			src.ACMag = 1
+			res, err := AC(ckt, Options{Grid: GridDec, Points: 5, FStart: fLow, FStop: 10, DC: dcOpt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gain := res.Waves.Get("vm(" + tc.out + ")").V[0]
+
+			fd := dcTransfer(t, ckt, src, tc.out, tc.bias, delta, dcOpt)
+			if math.Abs(fd) < 1e-6 {
+				t.Fatalf("degenerate bias: FD transfer %g too small to compare", fd)
+			}
+			if rel := math.Abs(gain-math.Abs(fd)) / math.Abs(fd); rel > 0.02 {
+				t.Fatalf("AC gain %g vs FD DC transfer %g: rel deviation %.3g > 2%%", gain, fd, rel)
+			}
+		})
+	}
+}

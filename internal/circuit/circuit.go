@@ -212,6 +212,9 @@ type VSource struct {
 	W device.Waveform
 	// NoiseSigma is the white-noise intensity (0 = deterministic).
 	NoiseSigma float64
+	// ACMag and ACPhase (degrees) define the small-signal excitation for
+	// .ac analysis; ACMag == 0 means the source is AC-quiet.
+	ACMag, ACPhase float64
 }
 
 // Name implements Element.
@@ -240,6 +243,9 @@ type ISource struct {
 	W device.Waveform
 	// NoiseSigma is the white-noise intensity (0 = deterministic).
 	NoiseSigma float64
+	// ACMag and ACPhase (degrees) define the small-signal excitation for
+	// .ac analysis; ACMag == 0 means the source is AC-quiet.
+	ACMag, ACPhase float64
 }
 
 // Name implements Element.

@@ -1,0 +1,135 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stampC mirrors circuitShape.stamp onto the complex solver with zero
+// imaginary parts.
+func (s circuitShape) stampC(sol ComplexSolver, g []float64, gmin, backbone float64) {
+	sol.Reset()
+	for i := 0; i < s.n; i++ {
+		sol.Add(i, i, complex(gmin, 0))
+		sol.Add(i, i, complex(backbone, 0))
+	}
+	for d := range s.devA {
+		ia, ib, gd := s.devA[d], s.devB[d], complex(g[d], 0)
+		if ia >= 0 {
+			sol.Add(ia, ia, gd)
+		}
+		if ib >= 0 {
+			sol.Add(ib, ib, gd)
+		}
+		if ia >= 0 && ib >= 0 {
+			sol.Add(ia, ib, -gd)
+			sol.Add(ib, ia, -gd)
+		}
+	}
+	for k := range s.srcRow {
+		sol.Add(s.srcNode[k], s.srcRow[k], 1)
+		sol.Add(s.srcRow[k], s.srcNode[k], 1)
+	}
+}
+
+// TestComplexZeroImagBitIdentical is the guard rail of the spmat/linsolve
+// generics refactor: on randomized circuit-shaped stamped systems with
+// zero imaginary parts, the complex instantiation must follow the exact
+// arithmetic of the real path — same pivot choices (cmplx.Abs(x+0i) is
+// exactly |x|), same elimination order, same rounding — so every
+// solution component is bit-identical to the real solver's, across
+// repeated restamp cycles exercising both the compiled fast path and the
+// numeric-refactor program.
+func TestComplexZeroImagBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	refactors := 0
+	for trial := 0; trial < 25; trial++ {
+		nodes := 3 + rng.Intn(30)
+		branches := rng.Intn(3)
+		shape := randShape(rng, nodes, branches)
+		n := shape.n
+
+		re := NewSparse(n, nil)
+		co := NewSparseComplex(n, nil)
+		g := make([]float64, len(shape.devA))
+		rhs := make([]float64, n)
+		rhsC := make([]complex128, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+			rhsC[i] = complex(rhs[i], 0)
+		}
+		xr := make([]float64, n)
+		xc := make([]complex128, n)
+
+		for cyc := 0; cyc < 6; cyc++ {
+			for d := range g {
+				g[d] = math.Pow(10, -4+6*rng.Float64())
+				if rng.Intn(10) == 0 {
+					g[d] = 0
+				}
+			}
+			shape.stamp(re, g, 1e-9, 1e-3)
+			shape.stampC(co, g, 1e-9, 1e-3)
+			if err := re.Solve(rhs, xr); err != nil {
+				t.Fatalf("trial %d cycle %d: real: %v", trial, cyc, err)
+			}
+			if err := co.Solve(rhsC, xc); err != nil {
+				t.Fatalf("trial %d cycle %d: complex: %v", trial, cyc, err)
+			}
+			for i := range xr {
+				creal, cimag := real(xc[i]), imag(xc[i])
+				if math.Float64bits(creal) != math.Float64bits(xr[i]) {
+					t.Fatalf("trial %d cycle %d: component %d differs: real %x (%g) vs complex %x (%g)",
+						trial, cyc, i, math.Float64bits(xr[i]), xr[i], math.Float64bits(creal), creal)
+				}
+				if cimag != 0 {
+					t.Fatalf("trial %d cycle %d: component %d grew an imaginary part %g", trial, cyc, i, cimag)
+				}
+			}
+		}
+		// Both backends must have taken the same amortization decisions.
+		rs := re.(Refactorable).SolveStats()
+		cs := co.(Refactorable).SolveStats()
+		if rs != cs {
+			t.Fatalf("trial %d: solve stats diverge: real %+v vs complex %+v", trial, rs, cs)
+		}
+		refactors += cs.NumericRefactor
+	}
+	if refactors == 0 {
+		t.Fatal("property never exercised the numeric-refactor path")
+	}
+}
+
+// TestComplexSolverSteadyStateAllocs extends the zero-allocation
+// guarantee to the complex instantiation: once the pattern is compiled,
+// a full Reset -> restamp -> Solve cycle is allocation-free.
+func TestComplexSolverSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shape := randShape(rng, 40, 2)
+	g := make([]float64, len(shape.devA))
+	for d := range g {
+		g[d] = 1e-3 * float64(d+1)
+	}
+	rhs := make([]complex128, shape.n)
+	rhs[0] = 1
+	x := make([]complex128, shape.n)
+
+	sol := NewSparseComplex(shape.n, nil)
+	shape.stampC(sol, g, 1e-9, 1e-3)
+	if err := sol.Solve(rhs, x); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for d := range g {
+			g[d] += 1e-6
+		}
+		shape.stampC(sol, g, 1e-9, 1e-3)
+		if err := sol.Solve(rhs, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("complex steady-state cycle allocates %.1f times, want 0", allocs)
+	}
+}

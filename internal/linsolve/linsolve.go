@@ -124,8 +124,12 @@ func (d *dense) Solve(b, x []float64) error {
 }
 func (d *dense) SolveStats() SolveStats { return d.stats }
 
-// sparse adapts spmat to the Solver interface with a compiled stamp
-// pattern and symbolic-reuse factorization.
+// sparseOf adapts spmat to the Solver shape with a compiled stamp
+// pattern and symbolic-reuse factorization, generic over the scalar
+// domain: the float64 instantiation is the Solver backend of every
+// transient/DC engine, the complex128 instantiation backs the AC
+// small-signal sweep (same pattern across frequency points, numeric
+// refactor per point).
 //
 // Lifecycle: the first assembly runs in recording mode — stamps go into
 // a map-backed Triplet while the Add sequence is logged. The first Solve
@@ -135,30 +139,34 @@ func (d *dense) SolveStats() SolveStats { return d.stats }
 // recorded sequence and lands in a compiled slot: zero map operations,
 // zero allocations. If the stamp order ever diverges (a different
 // circuit configuration on the same solver), the pattern is re-recorded.
-type sparse struct {
+type sparseOf[T spmat.Scalar] struct {
 	n  int
 	fc *flop.Counter
 
-	t   *spmat.Triplet // recording mode accumulator (nil once compiled)
-	seq []int64        // recorded Add-coordinate sequence
+	t   *spmat.TripletOf[T] // recording mode accumulator (nil once compiled)
+	seq []int64             // recorded Add-coordinate sequence
 
-	pat    *spmat.Pattern // compiled pattern (nil while recording)
-	slots  []int32        // per-sequence-position slot into pat
-	cursor int            // next expected position during compiled assembly
+	pat    *spmat.PatternOf[T] // compiled pattern (nil while recording)
+	slots  []int32             // per-sequence-position slot into pat
+	cursor int                 // next expected position during compiled assembly
 
-	lu    *spmat.LU
+	lu    *spmat.LUOf[T]
 	dirty bool
 	stats SolveStats
 }
 
 // NewSparse returns a sparse-backend solver for large circuits.
 func NewSparse(n int, fc *flop.Counter) Solver {
-	return &sparse{n: n, fc: fc, t: spmat.NewTriplet(n, n), dirty: true}
+	return newSparseOf[float64](n, fc)
 }
 
-func (s *sparse) N() int { return s.n }
+func newSparseOf[T spmat.Scalar](n int, fc *flop.Counter) *sparseOf[T] {
+	return &sparseOf[T]{n: n, fc: fc, t: spmat.NewTripletOf[T](n, n), dirty: true}
+}
 
-func (s *sparse) Reset() {
+func (s *sparseOf[T]) N() int { return s.n }
+
+func (s *sparseOf[T]) Reset() {
 	s.dirty = true
 	if s.pat != nil {
 		s.pat.Zero()
@@ -169,7 +177,7 @@ func (s *sparse) Reset() {
 	s.seq = s.seq[:0]
 }
 
-func (s *sparse) Add(i, j int, v float64) {
+func (s *sparseOf[T]) Add(i, j int, v T) {
 	s.dirty = true
 	if s.pat != nil {
 		// Compiled fast path: positional slot lookup, no map, no alloc.
@@ -188,28 +196,28 @@ func (s *sparse) Add(i, j int, v float64) {
 // divergence: the values accumulated so far are spilled into the map
 // accumulator and the sequence prefix that did match is kept, so the
 // next Solve re-records and re-compiles the pattern.
-func (s *sparse) decompile() {
+func (s *sparseOf[T]) decompile() {
 	s.stats.PatternRebuild++
-	t := spmat.NewTriplet(s.n, s.n)
-	s.pat.EachNonzero(func(i, j int, v float64) { t.Add(i, j, v) })
+	t := spmat.NewTripletOf[T](s.n, s.n)
+	s.pat.EachNonzero(func(i, j int, v T) { t.Add(i, j, v) })
 	s.t = t
 	s.seq = s.seq[:s.cursor]
 	s.pat, s.slots, s.lu, s.cursor = nil, nil, nil, 0
 }
 
-func (s *sparse) At(i, j int) float64 {
+func (s *sparseOf[T]) At(i, j int) T {
 	if s.pat != nil {
 		return s.pat.At(i, j)
 	}
 	return s.t.At(i, j)
 }
 
-func (s *sparse) Solve(b, x []float64) error {
+func (s *sparseOf[T]) Solve(b, x []T) error {
 	if s.pat == nil {
 		// First assembly (or post-divergence): compile the recorded
 		// sequence, scatter the accumulated values in, full-factor.
-		pat, slots := spmat.CompilePattern(s.n, s.seq)
-		s.t.Each(func(i, j int, v float64) { pat.SetAt(i, j, v) })
+		pat, slots := spmat.CompilePatternOf[T](s.n, s.seq)
+		s.t.Each(func(i, j int, v T) { pat.SetAt(i, j, v) })
 		s.pat, s.slots = pat, slots
 		s.t = nil
 		s.cursor = len(s.seq)
@@ -249,11 +257,39 @@ func (s *sparse) Solve(b, x []float64) error {
 	return nil
 }
 
-func (s *sparse) SolveStats() SolveStats { return s.stats }
+func (s *sparseOf[T]) SolveStats() SolveStats { return s.stats }
 
 // carriesPivotOrder implements orderCarrying: the sparse backend keeps
 // the min-degree pivot order of its last full factorization.
-func (s *sparse) carriesPivotOrder() bool { return true }
+func (s *sparseOf[T]) carriesPivotOrder() bool { return true }
+
+// ComplexSolver is the complex-valued counterpart of Solver, the linear
+// backend of the AC small-signal analysis. The sparse implementation
+// shares the compiled-pattern + symbolic-LU machinery with the real
+// path through the spmat generics: across an AC frequency sweep the
+// stamp sequence is identical at every point, so after the first solve
+// each frequency costs one allocation-free numeric refactor.
+type ComplexSolver interface {
+	// N returns the system dimension.
+	N() int
+	// Reset clears all stamped coefficients.
+	Reset()
+	// Add accumulates v into A[i][j].
+	Add(i, j int, v complex128)
+	// At reports the accumulated A[i][j] (diagnostics and tests).
+	At(i, j int) complex128
+	// Solve factors A and solves A*x = b, writing into x.
+	Solve(b, x []complex128) error
+}
+
+// NewSparseComplex returns the sparse complex-valued solver.
+func NewSparseComplex(n int, fc *flop.Counter) ComplexSolver {
+	return newSparseOf[complex128](n, fc)
+}
+
+// ComplexFactory builds a ComplexSolver of dimension n; the AC engine
+// receives one so tests can substitute instrumented backends.
+type ComplexFactory func(n int, fc *flop.Counter) ComplexSolver
 
 // AutoCrossover is the dense/sparse crossover dimension used by Auto,
 // re-measured against the compiled-pattern sparse path by

@@ -129,7 +129,7 @@ func TestAuto(t *testing.T) {
 		t.Errorf("Auto(%d) should pick dense", AutoCrossover)
 	}
 	big := Auto(AutoCrossover+1, nil)
-	if _, ok := big.(*sparse); !ok {
+	if _, ok := big.(*sparseOf[float64]); !ok {
 		t.Errorf("Auto(%d) should pick sparse", AutoCrossover+1)
 	}
 }

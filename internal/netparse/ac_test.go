@@ -1,0 +1,85 @@
+package netparse
+
+import (
+	"testing"
+
+	"nanosim/internal/circuit"
+)
+
+func TestParseACCard(t *testing.T) {
+	deck, err := Parse(`* ac deck
+VIN in 0 DC 0.5 AC 1 45
+R1 in out 1k
+C1 out 0 1n
+IB 0 out DC 1u AC 2m NOISE=1n
+.ac dec 20 1.59k 15.9meg
+.print vdb(out) vp(out) onoise(out)
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deck.Analyses) != 1 {
+		t.Fatalf("got %d analyses, want 1", len(deck.Analyses))
+	}
+	a := deck.Analyses[0]
+	if a.Kind != "ac" || a.ACGrid != "dec" || a.Points != 20 {
+		t.Fatalf("bad .ac card: %+v", a)
+	}
+	if a.From != 1590 || a.To != 15.9e6 {
+		t.Fatalf("bad .ac bounds: %+v", a)
+	}
+	vs := deck.Circuit.Element("VIN").(*circuit.VSource)
+	if vs.ACMag != 1 || vs.ACPhase != 45 {
+		t.Fatalf("VIN AC spec = (%g, %g), want (1, 45)", vs.ACMag, vs.ACPhase)
+	}
+	if v := vs.W.At(0); v != 0.5 {
+		t.Fatalf("VIN DC bias = %g, want 0.5", v)
+	}
+	is := deck.Circuit.Element("IB").(*circuit.ISource)
+	if is.ACMag != 2e-3 || is.ACPhase != 0 {
+		t.Fatalf("IB AC spec = (%g, %g), want (2m, 0)", is.ACMag, is.ACPhase)
+	}
+	if is.NoiseSigma != 1e-9 {
+		t.Fatalf("IB NoiseSigma = %g, want 1n", is.NoiseSigma)
+	}
+	if len(deck.Prints) != 3 || deck.Prints[0] != "vdb(out)" {
+		t.Fatalf("prints = %v", deck.Prints)
+	}
+}
+
+func TestParseACOnlySourceDefaultsToZeroBias(t *testing.T) {
+	deck, err := Parse(`* pure small-signal source
+VIN in 0 AC 1
+R1 in 0 1k
+.ac lin 11 1k 10k
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := deck.Circuit.Element("VIN").(*circuit.VSource)
+	if vs.ACMag != 1 || vs.W.At(0) != 0 {
+		t.Fatalf("AC-only source = mag %g bias %g, want 1 and 0", vs.ACMag, vs.W.At(0))
+	}
+	if a := deck.Analyses[0]; a.ACGrid != "lin" || a.Points != 11 {
+		t.Fatalf("bad lin card: %+v", a)
+	}
+}
+
+func TestParseACRejections(t *testing.T) {
+	for name, tc := range map[string]struct{ src, card string }{
+		"missing grid":    {"AC 1", ".ac 10 1 1k"},
+		"bad grid":        {"AC 1", ".ac log 10 1 1k"},
+		"zero fstart":     {"AC 1", ".ac dec 10 0 1k"},
+		"reversed bounds": {"AC 1", ".ac dec 10 1k 1"},
+		"zero points":     {"AC 1", ".ac dec 0 1 1k"},
+		"short card":      {"AC 1", ".ac dec 10 1"},
+		"magless AC":      {"DC 1 AC", ".ac dec 10 1 1k"},
+		"duplicate AC":    {"AC 1 AC 2", ".ac dec 10 1 1k"},
+		"bad magnitude":   {"AC foo", ".ac dec 10 1 1k"},
+	} {
+		deckSrc := "* t\nVIN in 0 " + tc.src + "\nR1 in 0 1k\n" + tc.card + "\n.end"
+		if _, err := Parse(deckSrc); err == nil {
+			t.Errorf("%s: deck accepted:\n%s", name, deckSrc)
+		}
+	}
+}

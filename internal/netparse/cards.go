@@ -67,6 +67,35 @@ func parseStep(fields []string, line int) (StepCard, error) {
 	return card, nil
 }
 
+// parseAC reads ".ac dec|oct|lin points fstart fstop".
+func parseAC(fields []string, line int) (Analysis, error) {
+	if len(fields) < 5 {
+		return Analysis{}, errf(line, ".ac needs: dec|oct|lin points fstart fstop")
+	}
+	grid := strings.ToLower(fields[1])
+	switch grid {
+	case "dec", "oct", "lin":
+	default:
+		return Analysis{}, errf(line, "bad .ac grid %q (want dec, oct or lin)", fields[1])
+	}
+	pts, err := units.Parse(fields[2])
+	if err != nil || pts < 1 {
+		return Analysis{}, errf(line, "bad .ac point count %q", fields[2])
+	}
+	fstart, err1 := units.Parse(fields[3])
+	fstop, err2 := units.Parse(fields[4])
+	if err1 != nil || err2 != nil {
+		return Analysis{}, errf(line, "bad .ac frequency bounds %q %q", fields[3], fields[4])
+	}
+	if fstart <= 0 || fstop <= 0 {
+		return Analysis{}, errf(line, ".ac frequencies must be > 0, got %g and %g", fstart, fstop)
+	}
+	if fstop < fstart {
+		return Analysis{}, errf(line, ".ac fstop %g below fstart %g", fstop, fstart)
+	}
+	return Analysis{Kind: "ac", ACGrid: grid, Points: int(pts), From: fstart, To: fstop}, nil
+}
+
 // parseMC reads ".mc trials [tran|op|em] [SEED=n] [WORKERS=n]".
 func parseMC(fields []string, line int) (MCCard, error) {
 	if len(fields) < 2 {

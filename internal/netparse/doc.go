@@ -9,6 +9,8 @@
 //     L1 a b 1n
 //     V1 in 0 PULSE(0 1.2 100n 1n 1n 200n)   [NOISE=1e-9]
 //     I1 0 x DC 50u                          [NOISE=8e-10]
+//     V2 in 0 DC 0.5 AC 1 45   (AC mag [phase°] marks a .ac input;
+//     V3 in 0 AC 1              bias defaults to DC 0 when AC-only)
 //     D1 a 0 dmod
 //     N1 a 0 rtdmod        (two-terminal nanodevice)
 //     M1 d g s nmod
@@ -24,8 +26,10 @@
 //     .tran 1n 500n
 //     .dc V1 0 1.5 151 N1
 //     .op
+//     .ac dec 20 1k 10g    (dec|oct|lin points fstart fstop)
 //     .em 1n 400 SEED=42
 //     .print v(out) i(V1)
+//     .print vdb(out) vp(out) vm(out) onoise(out)   (.ac signal names)
 //     .end
 //
 // Process-variation cards feed the internal/vary batch runner:

@@ -63,29 +63,31 @@ func addElement(c *circuit.Circuit, fields []string, line int, models map[string
 		if len(fields) < 4 {
 			return errf(line, "source needs: Vxx pos neg spec")
 		}
-		w, noise, err := parseSource(fields[3:], line)
+		spec, err := parseSource(fields[3:], line)
 		if err != nil {
 			return err
 		}
-		vs, err := c.AddVSource(name, fields[1], fields[2], w)
+		vs, err := c.AddVSource(name, fields[1], fields[2], spec.w)
 		if err != nil {
 			return wrap(err, line)
 		}
-		vs.NoiseSigma = noise
+		vs.NoiseSigma = spec.noise
+		vs.ACMag, vs.ACPhase = spec.acMag, spec.acPhase
 		return nil
 	case 'i', 'I':
 		if len(fields) < 4 {
 			return errf(line, "source needs: Ixx pos neg spec")
 		}
-		w, noise, err := parseSource(fields[3:], line)
+		spec, err := parseSource(fields[3:], line)
 		if err != nil {
 			return err
 		}
-		is, err := c.AddISource(name, fields[1], fields[2], w)
+		is, err := c.AddISource(name, fields[1], fields[2], spec.w)
 		if err != nil {
 			return wrap(err, line)
 		}
-		is.NoiseSigma = noise
+		is.NoiseSigma = spec.noise
+		is.ACMag, is.ACPhase = spec.acMag, spec.acPhase
 		return nil
 	case 'd', 'D':
 		if len(fields) < 4 {
@@ -133,45 +135,86 @@ func wrap(err error, line int) error {
 	return errf(line, "%v", err)
 }
 
-// parseSource reads the waveform spec of a V/I source plus an optional
-// NOISE=sigma parameter.
-func parseSource(fields []string, line int) (device.Waveform, float64, error) {
+// sourceSpec is the parsed right-hand side of a V/I element line.
+type sourceSpec struct {
+	w     device.Waveform
+	noise float64
+	// acMag and acPhase (degrees) are the "AC mag [phase]" small-signal
+	// excitation; acMag 0 means the source is quiet in .ac sweeps.
+	acMag, acPhase float64
+}
+
+// parseSource reads the waveform spec of a V/I source plus the optional
+// NOISE=sigma parameter and "AC mag [phase]" small-signal group.
+func parseSource(fields []string, line int) (sourceSpec, error) {
+	var out sourceSpec
 	if len(fields) == 0 {
-		return nil, 0, errf(line, "missing source value")
+		return out, errf(line, "missing source value")
 	}
-	noise := 0.0
+	acGiven := false
 	var specs []string
-	for _, f := range fields {
-		up := strings.ToUpper(f)
+	for i := 0; i < len(fields); i++ {
+		up := strings.ToUpper(fields[i])
 		if strings.HasPrefix(up, "NOISE=") {
-			v, err := units.Parse(f[len("NOISE="):])
+			v, err := units.Parse(fields[i][len("NOISE="):])
 			if err != nil {
-				return nil, 0, errf(line, "bad NOISE: %v", err)
+				return out, errf(line, "bad NOISE: %v", err)
 			}
-			noise = v
+			out.noise = v
 			continue
 		}
-		specs = append(specs, f)
+		if up == "AC" {
+			if acGiven {
+				return out, errf(line, "duplicate AC spec")
+			}
+			if i+1 >= len(fields) {
+				return out, errf(line, "AC needs a magnitude")
+			}
+			mag, err := units.Parse(fields[i+1])
+			if err != nil {
+				return out, errf(line, "bad AC magnitude %q: %v", fields[i+1], err)
+			}
+			out.acMag = mag
+			i++
+			// Optional phase: the next bare number (function groups like
+			// PULSE(...) never parse as one).
+			if i+1 < len(fields) && !strings.Contains(fields[i+1], "(") {
+				if ph, err := units.Parse(fields[i+1]); err == nil {
+					out.acPhase = ph
+					i++
+				}
+			}
+			acGiven = true
+			continue
+		}
+		specs = append(specs, fields[i])
 	}
 	if len(specs) == 0 {
-		return nil, 0, errf(line, "missing source waveform")
+		if acGiven {
+			// Pure small-signal source: DC bias 0, AC excitation only.
+			out.w = device.DC(0)
+			return out, nil
+		}
+		return out, errf(line, "missing source waveform")
 	}
 	head := strings.ToUpper(specs[0])
 	// Plain numeric value: DC.
 	if v, err := units.Parse(specs[0]); err == nil && !strings.Contains(specs[0], "(") {
-		return device.DC(v), noise, nil
+		out.w = device.DC(v)
+		return out, nil
 	}
 	if head == "DC" && len(specs) > 1 {
 		v, err := units.Parse(specs[1])
 		if err != nil {
-			return nil, 0, errf(line, "bad DC value: %v", err)
+			return out, errf(line, "bad DC value: %v", err)
 		}
-		return device.DC(v), noise, nil
+		out.w = device.DC(v)
+		return out, nil
 	}
 	// Function forms: NAME(args...).
 	open := strings.IndexByte(specs[0], '(')
 	if open < 0 || !strings.HasSuffix(specs[0], ")") {
-		return nil, 0, errf(line, "unrecognized source spec %q", specs[0])
+		return out, errf(line, "unrecognized source spec %q", specs[0])
 	}
 	fn := strings.ToUpper(specs[0][:open])
 	argStr := specs[0][open+1 : len(specs[0])-1]
@@ -182,7 +225,7 @@ func parseSource(fields []string, line int) (device.Waveform, float64, error) {
 		}
 		v, err := units.Parse(strings.TrimSpace(a))
 		if err != nil {
-			return nil, 0, errf(line, "bad %s argument %q: %v", fn, a, err)
+			return out, errf(line, "bad %s argument %q: %v", fn, a, err)
 		}
 		args = append(args, v)
 	}
@@ -195,20 +238,22 @@ func parseSource(fields []string, line int) (device.Waveform, float64, error) {
 	switch fn {
 	case "PULSE":
 		if len(args) < 2 {
-			return nil, 0, errf(line, "PULSE needs at least v1 v2")
+			return out, errf(line, "PULSE needs at least v1 v2")
 		}
-		return device.Pulse{
+		out.w = device.Pulse{
 			V1: at(0), V2: at(1), Delay: at(2),
 			Rise: at(3), Fall: at(4), Width: at(5), Period: at(6),
-		}, noise, nil
+		}
+		return out, nil
 	case "SIN":
 		if len(args) < 3 {
-			return nil, 0, errf(line, "SIN needs vo va freq")
+			return out, errf(line, "SIN needs vo va freq")
 		}
-		return device.Sin{Offset: at(0), Amp: at(1), Freq: at(2), Delay: at(3), Damp: at(4)}, noise, nil
+		out.w = device.Sin{Offset: at(0), Amp: at(1), Freq: at(2), Delay: at(3), Damp: at(4)}
+		return out, nil
 	case "PWL":
 		if len(args) < 4 || len(args)%2 != 0 {
-			return nil, 0, errf(line, "PWL needs t/v pairs")
+			return out, errf(line, "PWL needs t/v pairs")
 		}
 		ts := make([]float64, 0, len(args)/2)
 		vs := make([]float64, 0, len(args)/2)
@@ -218,16 +263,18 @@ func parseSource(fields []string, line int) (device.Waveform, float64, error) {
 		}
 		w, err := device.NewPWL(ts, vs)
 		if err != nil {
-			return nil, 0, errf(line, "%v", err)
+			return out, errf(line, "%v", err)
 		}
-		return w, noise, nil
+		out.w = w
+		return out, nil
 	case "EXP":
 		if len(args) < 2 {
-			return nil, 0, errf(line, "EXP needs v1 v2")
+			return out, errf(line, "EXP needs v1 v2")
 		}
-		return device.Exp{V1: at(0), V2: at(1), Delay1: at(2), Tau1: at(3), Delay2: at(4), Tau2: at(5)}, noise, nil
+		out.w = device.Exp{V1: at(0), V2: at(1), Delay1: at(2), Tau1: at(3), Delay2: at(4), Tau2: at(5)}
+		return out, nil
 	default:
-		return nil, 0, errf(line, "unknown source function %q", fn)
+		return out, errf(line, "unknown source function %q", fn)
 	}
 }
 

@@ -1,0 +1,72 @@
+package netparse
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseDeck throws arbitrary netlist text at Parse. The invariants:
+//
+//   - Parse never panics — every malformed deck is a returned error
+//     (ParseError with a line number, or a wrapped validation error);
+//   - an accepted deck re-parses deterministically: a second Parse of
+//     the same source yields the same circuit (element/node structure),
+//     the same analysis cards and the same DeckHash — the property the
+//     nanosimd deck-compile cache stakes its correctness on.
+//
+// The corpus is seeded from every committed testdata deck plus targeted
+// card shapes; `go test -fuzz FuzzParseDeck` explores from there (CI
+// runs a short -fuzztime smoke).
+func FuzzParseDeck(f *testing.F) {
+	decks, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.sp"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(decks) == 0 {
+		f.Fatal("no seed decks under testdata")
+	}
+	for _, path := range decks {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, seed := range []string{
+		"",
+		"* title only\n",
+		"* t\nR1 a 0 1k\nV1 a 0 1\n.end",
+		"* t\nV1 in 0 AC 1 45\nR1 in 0 1k\n.ac dec 10 1 1g\n.end",
+		"* t\nV1 in 0 PULSE(0 1 1n 1n 1n 5n 10n) NOISE=1n\nR1 in 0 50\n.em 1n 100 SEED=3\n.end",
+		"* t\nX1 a b bad\n.subckt bad a b\nR1 a b 1\n.ends\n.step R1 1 2 3\n.mc 5\n.vary X1.R1 DEV=5%\n.end",
+		"* t\n+ continued\n; comment\n.options partition gcouple=0.5\n.end",
+		".model m RTD\n.print v(x)\n.limit v(x) final * *\n",
+		"* t\nC1 x 0 1p IC=0.5\nL1 x y 1n\nD1 y 0 dm\n.model dm DIODE IS=1f\n.tran 1p 1n\n.end",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		deck, err := Parse(src) // must not panic, whatever src is
+		if err != nil {
+			return
+		}
+		again, err := Parse(src)
+		if err != nil {
+			t.Fatalf("accepted deck failed to re-parse: %v", err)
+		}
+		if got, want := deck.Circuit.String(), again.Circuit.String(); got != want {
+			t.Fatalf("non-deterministic circuit:\n first: %s\nsecond: %s", want, got)
+		}
+		if !reflect.DeepEqual(deck.Analyses, again.Analyses) {
+			t.Fatalf("non-deterministic analyses: %+v vs %+v", deck.Analyses, again.Analyses)
+		}
+		if !reflect.DeepEqual(deck.Prints, again.Prints) {
+			t.Fatalf("non-deterministic prints: %v vs %v", deck.Prints, again.Prints)
+		}
+		if DeckHash(src) != DeckHash(src) {
+			t.Fatal("DeckHash is not a function of its input")
+		}
+	})
+}

@@ -10,7 +10,7 @@ import (
 
 // Analysis is one directive from the deck.
 type Analysis struct {
-	// Kind is "tran", "dc", "op" or "em".
+	// Kind is "tran", "dc", "op", "ac" or "em".
 	Kind string
 	// TStep and TStop configure tran/em.
 	TStep, TStop float64
@@ -18,12 +18,15 @@ type Analysis struct {
 	Steps int
 	// Seed is the em noise seed.
 	Seed uint64
-	// Src, From, To, Points, Device configure dc sweeps.
+	// Src, From, To, Points, Device configure dc sweeps; ac reuses From,
+	// To and Points for fstart, fstop and the grid density.
 	Src    string
 	From   float64
 	To     float64
 	Points int
 	Device string
+	// ACGrid is the .ac spacing keyword: "dec", "oct" or "lin".
+	ACGrid string
 }
 
 // MCCard is a parsed .mc directive: a process-variation Monte Carlo
@@ -239,6 +242,12 @@ func Parse(src string) (*Deck, error) {
 			deck.Analyses = append(deck.Analyses, a)
 		case head == ".op":
 			deck.Analyses = append(deck.Analyses, Analysis{Kind: "op"})
+		case head == ".ac":
+			a, err := parseAC(fields, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			deck.Analyses = append(deck.Analyses, a)
 		case head == ".em":
 			if len(fields) < 3 {
 				return nil, errf(ln.num, ".em needs tstop and steps")

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"nanosim/internal/acan"
 	"nanosim/internal/core"
 	"nanosim/internal/netparse"
 	"nanosim/internal/part"
@@ -88,6 +89,8 @@ func resolveAnalysis(deck *netparse.Deck, req SubmitRequest) (string, error) {
 					kind = "dc"
 				case "op":
 					kind = "dcop"
+				case "ac":
+					kind = "ac"
 				case "em":
 					kind = "em"
 				}
@@ -106,6 +109,10 @@ func resolveAnalysis(deck *netparse.Deck, req SubmitRequest) (string, error) {
 	case "dc":
 		if firstAnalysis(deck, "dc") == nil {
 			return "", fmt.Errorf("dc job needs a .dc card")
+		}
+	case "ac":
+		if firstAnalysis(deck, "ac") == nil {
+			return "", fmt.Errorf("ac job needs a .ac card")
 		}
 	case "dcop":
 		// Always runnable.
@@ -132,7 +139,7 @@ func resolveAnalysis(deck *netparse.Deck, req SubmitRequest) (string, error) {
 			return "", fmt.Errorf("step job needs at least one .step card")
 		}
 	default:
-		return "", fmt.Errorf("unknown analysis %q (want tran, dc, dcop/op, em, mc or step)", req.Analysis)
+		return "", fmt.Errorf("unknown analysis %q (want tran, dc, dcop/op, ac, em, mc or step)", req.Analysis)
 	}
 	return kind, nil
 }
@@ -253,6 +260,23 @@ func (j *job) runSingle(deck *netparse.Deck, ss *solverSet) (*Result, *wave.Set,
 			Kind:    "dc",
 			Signals: r.Waves.Names(),
 			DC:      &DCSweepResult{Points: a.Points, From: a.From, To: a.To},
+		}, r.Waves, nil
+	case "ac":
+		a := firstAnalysis(deck, "ac")
+		r, err := acan.AC(ckt, acan.Options{
+			Grid: a.ACGrid, Points: a.Points, FStart: a.From, FStop: a.To,
+			Ctx: j.ctx, DC: core.DCOptions{Ctx: j.ctx, Solver: ss.factory},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{
+			Kind:    "ac",
+			Signals: r.Waves.Names(),
+			AC: &ACSweepResult{
+				Grid: a.ACGrid, Points: len(r.Freqs), FStart: a.From, FStop: a.To,
+				NoiseSources: r.NoiseSources, OPIterations: r.OPIterations,
+			},
 		}, r.Waves, nil
 	case "dcop":
 		r, err := core.OperatingPoint(ckt, core.DCOptions{Ctx: j.ctx, Solver: ss.factory})

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"nanosim/internal/trace"
+)
+
+const acDeck = `* noisy rc lowpass ac
+VIN in 0 DC 0 AC 1 0
+R1 in out 1k
+C1 out 0 1n
+IB 0 out DC 10u NOISE=0.5n
+.ac dec 10 1.59k 1.59meg
+.end
+`
+
+// TestJobLifecycleAC runs an .ac deck through submit/result/stream: the
+// resolved kind, the AC summary section and the frequency-axis waveform
+// stream must all come back.
+func TestJobLifecycleAC(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	info := submit(t, ts, SubmitRequest{Deck: acDeck}, http.StatusAccepted)
+	if info.Analysis != "ac" {
+		t.Fatalf("resolved analysis %q, want ac", info.Analysis)
+	}
+	done := waitState(t, ts, info.ID, StateDone)
+	if done.Error != "" {
+		t.Fatalf("job error: %s", done.Error)
+	}
+
+	var res Result
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+info.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if res.Kind != "ac" || res.AC == nil {
+		t.Fatalf("result kind %q (ac section %v)", res.Kind, res.AC)
+	}
+	if res.AC.Grid != "dec" || res.AC.Points != 31 {
+		t.Errorf("ac summary %+v, want dec grid with 31 points", res.AC)
+	}
+	if res.AC.NoiseSources != 1 {
+		t.Errorf("noise sources = %d, want 1", res.AC.NoiseSources)
+	}
+
+	// The stream carries the vm/vp/vdb/onoise series, 31 samples each.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	samples := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var c trace.Chunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		samples[c.Signal] += len(c.T)
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	for _, sig := range []string{"vm(out)", "vp(out)", "vdb(out)", "onoise(out)"} {
+		if samples[sig] != res.AC.Points {
+			t.Errorf("streamed %d samples of %s, want %d", samples[sig], sig, res.AC.Points)
+		}
+	}
+}
+
+// TestSubmitACNeedsCard rejects an explicit ac job on a deck without a
+// .ac card at submit time (4xx, not a failed job).
+func TestSubmitACNeedsCard(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	submit(t, ts, SubmitRequest{Deck: tranDeck, Analysis: "ac"}, http.StatusBadRequest)
+}

@@ -6,9 +6,9 @@ import "time"
 type SubmitRequest struct {
 	// Deck is the SPICE-flavoured netlist source (required).
 	Deck string `json:"deck"`
-	// Analysis selects what to run: "tran", "dc", "dcop", "em", "mc" or
-	// "step". Empty picks from the deck's cards: .mc batch first, then
-	// .step sweep, then the deck's first analysis card.
+	// Analysis selects what to run: "tran", "dc", "dcop", "ac", "em",
+	// "mc" or "step". Empty picks from the deck's cards: .mc batch first,
+	// then .step sweep, then the deck's first analysis card.
 	Analysis string `json:"analysis,omitempty"`
 	// TStop and TStep (seconds) override the deck's .tran/.em timing for
 	// "tran"/"em" jobs; zero keeps the card values.
@@ -92,6 +92,8 @@ type Result struct {
 	OP *OPResult `json:"dcop,omitempty"`
 	// DC is set for "dc" sweep jobs.
 	DC *DCSweepResult `json:"dc,omitempty"`
+	// AC is set for "ac" small-signal jobs.
+	AC *ACSweepResult `json:"ac,omitempty"`
 	// EM is set for "em" jobs.
 	EM *EMResult `json:"em,omitempty"`
 	// MC is set for "mc" jobs.
@@ -121,6 +123,17 @@ type DCSweepResult struct {
 	Points int     `json:"points"`
 	From   float64 `json:"from"`
 	To     float64 `json:"to"`
+}
+
+// ACSweepResult summarizes an AC small-signal sweep; the per-node
+// vm/vp/vdb (and onoise) curves stream as waveforms against frequency.
+type ACSweepResult struct {
+	Grid         string  `json:"grid"`
+	Points       int     `json:"points"`
+	FStart       float64 `json:"fstart"`
+	FStop        float64 `json:"fstop"`
+	NoiseSources int     `json:"noise_sources"`
+	OPIterations int     `json:"op_iterations"`
 }
 
 // EMResult summarizes one Euler-Maruyama path.

@@ -2,7 +2,6 @@ package spmat
 
 import (
 	"errors"
-	"math"
 
 	"nanosim/internal/flop"
 )
@@ -10,13 +9,13 @@ import (
 // ErrSingular mirrors mat.ErrSingular for the sparse path.
 var ErrSingular = errors.New("spmat: matrix is singular to working precision")
 
-// sent is one stored entry of a sparse row.
-type sent struct {
+// sentOf is one stored entry of a sparse row.
+type sentOf[T Scalar] struct {
 	j int
-	v float64
+	v T
 }
 
-// LU is a sparse LU factorization P*A*Q = L*U produced by
+// LUOf is a sparse LU factorization P*A*Q = L*U produced by
 // minimum-degree column selection with threshold pivoting inside the
 // chosen column — the classic SPICE strategy: low fill-in on circuit
 // matrices, numerically safe on the badly-scaled systems NDR devices
@@ -27,23 +26,26 @@ type sent struct {
 // program (pivot order + fill structure + per-row elimination schedule)
 // needed to redo the numerics of the factorization without repeating
 // the symbolic analysis — see RefactorNumeric.
-type LU struct {
+type LUOf[T Scalar] struct {
 	n          int
 	rowPerm    []int // rowPerm[k] = original row eliminated at step k
 	colPerm    []int // colPerm[k] = original column eliminated at step k
-	lRows      [][]sent
-	uRows      [][]sent
-	uDiag      []float64
+	lRows      [][]sentOf[T]
+	uRows      [][]sentOf[T]
+	uDiag      []T
 	invColPerm []int
 
 	// Symbolic-reuse program (PrepareReuse) — rowSteps[r] schedules, in
 	// elimination order, the steps that update original row r before its
 	// own pivot step, each with the slot of r's multiplier in lRows.
 	rowSteps [][]stepRef
-	work     []float64 // dense scatter row for RefactorNumeric
-	ySol     []float64 // Solve scratch (forward pass)
-	zSol     []float64 // Solve scratch (backward pass)
+	work     []T // dense scatter row for RefactorNumeric
+	ySol     []T // Solve scratch (forward pass)
+	zSol     []T // Solve scratch (backward pass)
 }
+
+// LU is the real-valued factorization of the transient/DC hot path.
+type LU = LUOf[float64]
 
 // stepRef locates one elimination update in the symbolic program.
 type stepRef struct {
@@ -69,7 +71,7 @@ const refactorPivotTol = 1e-6
 var ErrPivotDrift = errors.New("spmat: reused pivot drifted below threshold; full refactorization required")
 
 // rowFind returns the index of column j in r, or -1.
-func rowFind(r []sent, j int) int {
+func rowFind[T Scalar](r []sentOf[T], j int) int {
 	for k := range r {
 		if r[k].j == j {
 			return k
@@ -79,17 +81,17 @@ func rowFind(r []sent, j int) int {
 }
 
 // Factor computes a sparse LU of the triplet matrix, charging work to fc.
-func Factor(t *Triplet, fc *flop.Counter) (*LU, error) {
+func Factor[T Scalar](t *TripletOf[T], fc *flop.Counter) (*LUOf[T], error) {
 	if t.rows != t.cols {
 		return nil, errors.New("spmat: Factor of non-square matrix")
 	}
 	n := t.rows
-	rows := make([][]sent, n)
+	rows := make([][]sentOf[T], n)
 	maxAbs := 0.0
 	for k, v := range t.entries {
 		if v != 0 {
-			rows[k[0]] = append(rows[k[0]], sent{j: k[1], v: v})
-			if a := math.Abs(v); a > maxAbs {
+			rows[k[0]] = append(rows[k[0]], sentOf[T]{j: k[1], v: v})
+			if a := absS(v); a > maxAbs {
 				maxAbs = a
 			}
 		}
@@ -101,20 +103,20 @@ func Factor(t *Triplet, fc *flop.Counter) (*LU, error) {
 // entries are kept even when numerically zero so the factorization's
 // fill structure stays valid for every matrix sharing the pattern — the
 // precondition RefactorNumeric relies on.
-func FactorPattern(p *Pattern, fc *flop.Counter) (*LU, error) {
+func FactorPattern[T Scalar](p *PatternOf[T], fc *flop.Counter) (*LUOf[T], error) {
 	n := p.n
-	rows := make([][]sent, n)
+	rows := make([][]sentOf[T], n)
 	maxAbs := 0.0
 	for i := 0; i < n; i++ {
 		lo, hi := p.rowPtr[i], p.rowPtr[i+1]
 		if lo == hi {
 			continue
 		}
-		r := make([]sent, 0, hi-lo)
+		r := make([]sentOf[T], 0, hi-lo)
 		for k := lo; k < hi; k++ {
 			v := p.vals[k]
-			r = append(r, sent{j: int(p.colIdx[k]), v: v})
-			if a := math.Abs(v); a > maxAbs {
+			r = append(r, sentOf[T]{j: int(p.colIdx[k]), v: v})
+			if a := absS(v); a > maxAbs {
 				maxAbs = a
 			}
 		}
@@ -125,7 +127,7 @@ func FactorPattern(p *Pattern, fc *flop.Counter) (*LU, error) {
 
 // factorRows runs the minimum-degree elimination on an initial row
 // structure (consumed destructively).
-func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, error) {
+func factorRows[T Scalar](n int, rows [][]sentOf[T], maxAbs float64, fc *flop.Counter) (*LUOf[T], error) {
 	if maxAbs == 0 {
 		return nil, ErrSingular
 	}
@@ -147,13 +149,13 @@ func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, er
 		colActive[i] = true
 	}
 
-	f := &LU{
+	f := &LUOf[T]{
 		n:       n,
 		rowPerm: make([]int, 0, n),
 		colPerm: make([]int, 0, n),
-		lRows:   make([][]sent, n),
-		uRows:   make([][]sent, n),
-		uDiag:   make([]float64, n),
+		lRows:   make([][]sentOf[T], n),
+		uRows:   make([][]sentOf[T], n),
+		uDiag:   make([]T, n),
 	}
 	muls, adds, divs := 0, 0, 0
 
@@ -181,7 +183,7 @@ func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, er
 				continue
 			}
 			live = append(live, i)
-			if a := math.Abs(rows[i][k].v); a > colMax {
+			if a := absS(rows[i][k].v); a > colMax {
 				colMax = a
 			}
 		}
@@ -193,7 +195,7 @@ func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, er
 		bestAbs := 0.0
 		for _, i := range live {
 			k := rowFind(rows[i], bestCol)
-			v := math.Abs(rows[i][k].v)
+			v := absS(rows[i][k].v)
 			if v < pivotThreshold*colMax || v == 0 {
 				continue
 			}
@@ -206,13 +208,13 @@ func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, er
 		}
 		pk := rowFind(rows[bestRow], bestCol)
 		p := rows[bestRow][pk].v
-		if math.Abs(p) <= 1e-300*maxAbs {
+		if absS(p) <= 1e-300*maxAbs {
 			return nil, ErrSingular
 		}
 		f.rowPerm = append(f.rowPerm, bestRow)
 		f.colPerm = append(f.colPerm, bestCol)
 		// U row: pivot row without the pivot entry.
-		u := make([]sent, 0, len(rows[bestRow])-1)
+		u := make([]sentOf[T], 0, len(rows[bestRow])-1)
 		for _, e := range rows[bestRow] {
 			if e.j != bestCol {
 				u = append(u, e)
@@ -222,7 +224,7 @@ func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, er
 		f.uDiag[step] = p
 
 		// Eliminate from every other live row in this column.
-		var lrow []sent
+		var lrow []sentOf[T]
 		for _, i := range live {
 			if i == bestRow {
 				continue
@@ -234,7 +236,7 @@ func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, er
 			}
 			m := ri[k].v / p
 			divs++
-			lrow = append(lrow, sent{j: i, v: m})
+			lrow = append(lrow, sentOf[T]{j: i, v: m})
 			// Remove the pivot-column entry (swap delete).
 			ri[k] = ri[len(ri)-1]
 			ri = ri[:len(ri)-1]
@@ -246,7 +248,7 @@ func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, er
 				if kk >= 0 {
 					ri[kk].v -= m * ue.v
 				} else {
-					ri = append(ri, sent{j: ue.j, v: -m * ue.v})
+					ri = append(ri, sentOf[T]{j: ue.j, v: -m * ue.v})
 					colRows[ue.j] = append(colRows[ue.j], i)
 					colCount[ue.j]++
 				}
@@ -277,7 +279,7 @@ func factorRows(n int, rows [][]sent, maxAbs float64, fc *flop.Counter) (*LU, er
 // redo the factorization arithmetic without repeating the min-degree
 // analysis, and preallocates the Solve scratch so steady-state
 // refactor+solve cycles perform zero allocations.
-func (f *LU) PrepareReuse() {
+func (f *LUOf[T]) PrepareReuse() {
 	f.rowSteps = make([][]stepRef, f.n)
 	for m := 0; m < f.n; m++ {
 		for slot, e := range f.lRows[m] {
@@ -285,9 +287,9 @@ func (f *LU) PrepareReuse() {
 			f.rowSteps[r] = append(f.rowSteps[r], stepRef{step: int32(m), slot: int32(slot)})
 		}
 	}
-	f.work = make([]float64, f.n)
-	f.ySol = make([]float64, f.n)
-	f.zSol = make([]float64, f.n)
+	f.work = make([]T, f.n)
+	f.ySol = make([]T, f.n)
+	f.zSol = make([]T, f.n)
 }
 
 // RefactorNumeric redoes the numeric factorization of a matrix sharing
@@ -300,124 +302,47 @@ func (f *LU) PrepareReuse() {
 // Returns ErrPivotDrift when a reused pivot falls below threshold (the
 // caller should run a fresh FactorPattern) and ErrSingular on an all-zero
 // matrix. PrepareReuse must have been called on f.
-func (f *LU) RefactorNumeric(p *Pattern, fc *flop.Counter) error {
-	n := f.n
-	if p.n != n {
+//
+// The method dispatches once to a concrete per-scalar kernel
+// (lu_kernels.go): the per-step arithmetic must compile without gcshape
+// dictionaries or generic abs helpers, which BenchmarkSolverStep showed
+// cost the real path 10-20%.
+func (f *LUOf[T]) RefactorNumeric(p *PatternOf[T], fc *flop.Counter) error {
+	if p.n != f.n {
 		return errors.New("spmat: RefactorNumeric dimension mismatch")
 	}
 	if f.rowSteps == nil {
 		return errors.New("spmat: RefactorNumeric before PrepareReuse")
 	}
-	w := f.work
-	muls, adds, divs := 0, 0, 0
-	for k := 0; k < n; k++ {
-		r := f.rowPerm[k]
-		for idx := p.rowPtr[r]; idx < p.rowPtr[r+1]; idx++ {
-			w[p.colIdx[idx]] = p.vals[idx]
-		}
-		for _, sr := range f.rowSteps[r] {
-			m := int(sr.step)
-			c := f.colPerm[m]
-			mult := w[c] / f.uDiag[m]
-			divs++
-			w[c] = 0
-			f.lRows[m][sr.slot].v = mult
-			if mult != 0 {
-				u := f.uRows[m]
-				for i := range u {
-					w[u[i].j] -= mult * u[i].v
-				}
-				muls += len(u)
-				adds += len(u)
-			}
-		}
-		piv := w[f.colPerm[k]]
-		w[f.colPerm[k]] = 0
-		u := f.uRows[k]
-		rowMax := math.Abs(piv)
-		for i := range u {
-			v := w[u[i].j]
-			u[i].v = v
-			w[u[i].j] = 0
-			if a := math.Abs(v); a > rowMax {
-				rowMax = a
-			}
-		}
-		if rowMax == 0 || math.Abs(piv) < refactorPivotTol*rowMax {
-			// The LU's numeric content is now partially overwritten; that
-			// is fine — any later successful refactorization or the
-			// caller's fallback full factorization rewrites all of it.
-			fc.Mul(muls)
-			fc.Add(adds)
-			fc.Div(divs)
-			if rowMax == 0 {
-				return ErrSingular
-			}
-			return ErrPivotDrift
-		}
-		f.uDiag[k] = piv
+	switch ff := any(f).(type) {
+	case *LUOf[float64]:
+		return refactorNumericReal(ff, any(p).(*PatternOf[float64]), fc)
+	default:
+		return refactorNumericCplx(ff.(*LUOf[complex128]), any(p).(*PatternOf[complex128]), fc)
 	}
-	fc.Mul(muls)
-	fc.Add(adds)
-	fc.Div(divs)
-	return nil
 }
 
 // Solve solves A*x = b; x and b must have length n and may not alias.
-func (f *LU) Solve(b, x []float64, fc *flop.Counter) {
-	n := f.n
-	if len(b) != n || len(x) != n {
+// Like RefactorNumeric it dispatches to a concrete kernel per scalar.
+func (f *LUOf[T]) Solve(b, x []T, fc *flop.Counter) {
+	if len(b) != f.n || len(x) != f.n {
 		panic("spmat: Solve dimension mismatch")
 	}
-	// Forward elimination on a work copy of b, replaying the multipliers.
-	y := f.ySol
-	if y == nil {
-		y = make([]float64, n)
+	switch ff := any(f).(type) {
+	case *LUOf[float64]:
+		solveReal(ff, any(b).([]float64), any(x).([]float64), fc)
+	default:
+		solveCplx(ff.(*LUOf[complex128]), any(b).([]complex128), any(x).([]complex128), fc)
 	}
-	copy(y, b)
-	muls, adds, divs := 0, 0, 0
-	for k := 0; k < n; k++ {
-		yk := y[f.rowPerm[k]]
-		if yk == 0 {
-			continue
-		}
-		for _, e := range f.lRows[k] {
-			y[e.j] -= e.v * yk
-			muls++
-			adds++
-		}
-	}
-	// Back substitution in permuted order.
-	z := f.zSol
-	if z == nil {
-		z = make([]float64, n)
-	}
-	for k := n - 1; k >= 0; k-- {
-		s := y[f.rowPerm[k]]
-		for _, e := range f.uRows[k] {
-			s -= e.v * z[f.invColPerm[e.j]]
-			muls++
-			adds++
-		}
-		z[k] = s / f.uDiag[k]
-		divs++
-	}
-	for k := 0; k < n; k++ {
-		x[f.colPerm[k]] = z[k]
-	}
-	fc.Mul(muls)
-	fc.Add(adds)
-	fc.Div(divs)
-	fc.Solve()
 }
 
 // SolveLinear factors t and solves t*x = b in one call.
-func SolveLinear(t *Triplet, b []float64, fc *flop.Counter) ([]float64, error) {
+func SolveLinear[T Scalar](t *TripletOf[T], b []T, fc *flop.Counter) ([]T, error) {
 	f, err := Factor(t, fc)
 	if err != nil {
 		return nil, err
 	}
-	x := make([]float64, len(b))
+	x := make([]T, len(b))
 	f.Solve(b, x, fc)
 	return x, nil
 }

@@ -1,0 +1,224 @@
+package spmat
+
+import (
+	"math"
+	"math/cmplx"
+
+	"nanosim/internal/flop"
+)
+
+// This file holds the concrete per-scalar bodies of the two per-step hot
+// kernels, RefactorNumeric and Solve. The float64 and complex128 bodies
+// are intentionally textual twins (modulo math.Abs vs cmplx.Abs): the
+// generic methods on LUOf dispatch here once per call so the inner loops
+// compile as plain concrete code — measured on BenchmarkSolverStep, a
+// shared gcshape-generic body costs the real transient path 10-20%
+// (dictionary-bearing codegen plus an out-of-line generic abs per
+// entry), which the bench-regression gate does not allow. Any change to
+// one kernel must be mirrored in its twin; TestComplexZeroImagBitIdentical
+// (linsolve) locks the two to bit-identical results on real inputs.
+
+// refactorNumericReal is the float64 RefactorNumeric body.
+func refactorNumericReal(f *LUOf[float64], p *PatternOf[float64], fc *flop.Counter) error {
+	n := f.n
+	w := f.work
+	muls, adds, divs := 0, 0, 0
+	for k := 0; k < n; k++ {
+		r := f.rowPerm[k]
+		for idx := p.rowPtr[r]; idx < p.rowPtr[r+1]; idx++ {
+			w[p.colIdx[idx]] = p.vals[idx]
+		}
+		for _, sr := range f.rowSteps[r] {
+			m := int(sr.step)
+			c := f.colPerm[m]
+			mult := w[c] / f.uDiag[m]
+			divs++
+			w[c] = 0
+			f.lRows[m][sr.slot].v = mult
+			if mult != 0 {
+				u := f.uRows[m]
+				for i := range u {
+					w[u[i].j] -= mult * u[i].v
+				}
+				muls += len(u)
+				adds += len(u)
+			}
+		}
+		piv := w[f.colPerm[k]]
+		w[f.colPerm[k]] = 0
+		u := f.uRows[k]
+		rowMax := math.Abs(piv)
+		for i := range u {
+			v := w[u[i].j]
+			u[i].v = v
+			w[u[i].j] = 0
+			if a := math.Abs(v); a > rowMax {
+				rowMax = a
+			}
+		}
+		if rowMax == 0 || math.Abs(piv) < refactorPivotTol*rowMax {
+			// The LU's numeric content is now partially overwritten; that
+			// is fine — any later successful refactorization or the
+			// caller's fallback full factorization rewrites all of it.
+			fc.Mul(muls)
+			fc.Add(adds)
+			fc.Div(divs)
+			if rowMax == 0 {
+				return ErrSingular
+			}
+			return ErrPivotDrift
+		}
+		f.uDiag[k] = piv
+	}
+	fc.Mul(muls)
+	fc.Add(adds)
+	fc.Div(divs)
+	return nil
+}
+
+// refactorNumericCplx is the complex128 RefactorNumeric body — keep in
+// lockstep with refactorNumericReal.
+func refactorNumericCplx(f *LUOf[complex128], p *PatternOf[complex128], fc *flop.Counter) error {
+	n := f.n
+	w := f.work
+	muls, adds, divs := 0, 0, 0
+	for k := 0; k < n; k++ {
+		r := f.rowPerm[k]
+		for idx := p.rowPtr[r]; idx < p.rowPtr[r+1]; idx++ {
+			w[p.colIdx[idx]] = p.vals[idx]
+		}
+		for _, sr := range f.rowSteps[r] {
+			m := int(sr.step)
+			c := f.colPerm[m]
+			mult := w[c] / f.uDiag[m]
+			divs++
+			w[c] = 0
+			f.lRows[m][sr.slot].v = mult
+			if mult != 0 {
+				u := f.uRows[m]
+				for i := range u {
+					w[u[i].j] -= mult * u[i].v
+				}
+				muls += len(u)
+				adds += len(u)
+			}
+		}
+		piv := w[f.colPerm[k]]
+		w[f.colPerm[k]] = 0
+		u := f.uRows[k]
+		rowMax := cmplx.Abs(piv)
+		for i := range u {
+			v := w[u[i].j]
+			u[i].v = v
+			w[u[i].j] = 0
+			if a := cmplx.Abs(v); a > rowMax {
+				rowMax = a
+			}
+		}
+		if rowMax == 0 || cmplx.Abs(piv) < refactorPivotTol*rowMax {
+			// See refactorNumericReal: partially overwritten content is
+			// rewritten by whichever factorization runs next.
+			fc.Mul(muls)
+			fc.Add(adds)
+			fc.Div(divs)
+			if rowMax == 0 {
+				return ErrSingular
+			}
+			return ErrPivotDrift
+		}
+		f.uDiag[k] = piv
+	}
+	fc.Mul(muls)
+	fc.Add(adds)
+	fc.Div(divs)
+	return nil
+}
+
+// solveReal is the float64 Solve body.
+func solveReal(f *LUOf[float64], b, x []float64, fc *flop.Counter) {
+	n := f.n
+	// Forward elimination on a work copy of b, replaying the multipliers.
+	y := f.ySol
+	if y == nil {
+		y = make([]float64, n)
+	}
+	copy(y, b)
+	muls, adds, divs := 0, 0, 0
+	for k := 0; k < n; k++ {
+		yk := y[f.rowPerm[k]]
+		if yk == 0 {
+			continue
+		}
+		for _, e := range f.lRows[k] {
+			y[e.j] -= e.v * yk
+			muls++
+			adds++
+		}
+	}
+	// Back substitution in permuted order.
+	z := f.zSol
+	if z == nil {
+		z = make([]float64, n)
+	}
+	for k := n - 1; k >= 0; k-- {
+		s := y[f.rowPerm[k]]
+		for _, e := range f.uRows[k] {
+			s -= e.v * z[f.invColPerm[e.j]]
+			muls++
+			adds++
+		}
+		z[k] = s / f.uDiag[k]
+		divs++
+	}
+	for k := 0; k < n; k++ {
+		x[f.colPerm[k]] = z[k]
+	}
+	fc.Mul(muls)
+	fc.Add(adds)
+	fc.Div(divs)
+	fc.Solve()
+}
+
+// solveCplx is the complex128 Solve body — keep in lockstep with
+// solveReal.
+func solveCplx(f *LUOf[complex128], b, x []complex128, fc *flop.Counter) {
+	n := f.n
+	y := f.ySol
+	if y == nil {
+		y = make([]complex128, n)
+	}
+	copy(y, b)
+	muls, adds, divs := 0, 0, 0
+	for k := 0; k < n; k++ {
+		yk := y[f.rowPerm[k]]
+		if yk == 0 {
+			continue
+		}
+		for _, e := range f.lRows[k] {
+			y[e.j] -= e.v * yk
+			muls++
+			adds++
+		}
+	}
+	z := f.zSol
+	if z == nil {
+		z = make([]complex128, n)
+	}
+	for k := n - 1; k >= 0; k-- {
+		s := y[f.rowPerm[k]]
+		for _, e := range f.uRows[k] {
+			s -= e.v * z[f.invColPerm[e.j]]
+			muls++
+			adds++
+		}
+		z[k] = s / f.uDiag[k]
+		divs++
+	}
+	for k := 0; k < n; k++ {
+		x[f.colPerm[k]] = z[k]
+	}
+	fc.Mul(muls)
+	fc.Add(adds)
+	fc.Div(divs)
+	fc.Solve()
+}

@@ -7,29 +7,40 @@ import (
 	"nanosim/internal/flop"
 )
 
-// Pattern is a compiled stamp pattern: the frozen sparsity structure of a
-// square matrix plus its current numeric values, laid out CSR-style. It
+// PatternOf is a compiled stamp pattern: the frozen sparsity structure of
+// a square matrix plus its current numeric values, laid out CSR-style. It
 // is the allocation-free counterpart of Triplet for the per-step hot
 // path: the structure is compiled once (from the first assembly's Add
 // sequence) and every later restamp is a pure array write through a
-// precomputed slot index — no map operations, no allocations.
-type Pattern struct {
+// precomputed slot index — no map operations, no allocations. The complex
+// instantiation carries the same property across AC frequency points,
+// where only the jωC values change between solves.
+type PatternOf[T Scalar] struct {
 	n      int
 	rowPtr []int32
 	colIdx []int32
-	vals   []float64
+	vals   []T
 }
+
+// Pattern is the real-valued compiled pattern of the transient hot path.
+type Pattern = PatternOf[float64]
 
 // Key packs an (i, j) coordinate into the int64 form the compiler and
 // the slot-verification fast path share.
 func Key(i, j int) int64 { return int64(i)<<32 | int64(j) }
 
-// CompilePattern builds the frozen sparsity from a recorded sequence of
+// CompilePattern builds the real-valued frozen sparsity from a recorded
+// stamp-coordinate sequence; see CompilePatternOf.
+func CompilePattern(n int, seq []int64) (*Pattern, []int32) {
+	return CompilePatternOf[float64](n, seq)
+}
+
+// CompilePatternOf builds the frozen sparsity from a recorded sequence of
 // stamp coordinates (duplicates allowed — MNA stamping hits the same
 // entry from several devices) and returns, for each position of the
 // input sequence, the slot its value accumulates into. Values start at
 // zero; the caller scatters the first assembly in through Add.
-func CompilePattern(n int, seq []int64) (*Pattern, []int32) {
+func CompilePatternOf[T Scalar](n int, seq []int64) (*PatternOf[T], []int32) {
 	if n <= 0 {
 		panic(fmt.Sprintf("spmat: invalid pattern dimension %d", n))
 	}
@@ -44,11 +55,11 @@ func CompilePattern(n int, seq []int64) (*Pattern, []int32) {
 		}
 	}
 	uniq = uniq[:w]
-	p := &Pattern{
+	p := &PatternOf[T]{
 		n:      n,
 		rowPtr: make([]int32, n+1),
 		colIdx: make([]int32, len(uniq)),
-		vals:   make([]float64, len(uniq)),
+		vals:   make([]T, len(uniq)),
 	}
 	for k, key := range uniq {
 		i, j := int(key>>32), int(key&0xffffffff)
@@ -79,27 +90,27 @@ func CompilePattern(n int, seq []int64) (*Pattern, []int32) {
 }
 
 // Rows returns the matrix dimension.
-func (p *Pattern) Rows() int { return p.n }
+func (p *PatternOf[T]) Rows() int { return p.n }
 
 // Cols returns the matrix dimension.
-func (p *Pattern) Cols() int { return p.n }
+func (p *PatternOf[T]) Cols() int { return p.n }
 
 // NNZ returns the number of structural entries.
-func (p *Pattern) NNZ() int { return len(p.vals) }
+func (p *PatternOf[T]) NNZ() int { return len(p.vals) }
 
 // Zero clears all values, keeping the structure.
-func (p *Pattern) Zero() {
+func (p *PatternOf[T]) Zero() {
 	for i := range p.vals {
 		p.vals[i] = 0
 	}
 }
 
 // AddSlot accumulates v into a compiled slot (from CompilePattern).
-func (p *Pattern) AddSlot(slot int32, v float64) { p.vals[slot] += v }
+func (p *PatternOf[T]) AddSlot(slot int32, v T) { p.vals[slot] += v }
 
 // At returns element (i, j) by binary search within the row; structural
 // absences read as zero. Diagnostics path — the hot path uses AddSlot.
-func (p *Pattern) At(i, j int) float64 {
+func (p *PatternOf[T]) At(i, j int) T {
 	lo, hi := p.rowPtr[i], p.rowPtr[i+1]
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -112,13 +123,14 @@ func (p *Pattern) At(i, j int) float64 {
 			hi = mid
 		}
 	}
-	return 0
+	var zero T
+	return zero
 }
 
 // SetAt overwrites the value of structural entry (i, j); it panics when
 // the entry is absent from the pattern. One-time scatter path (compile),
 // not the per-step hot path.
-func (p *Pattern) SetAt(i, j int, v float64) {
+func (p *PatternOf[T]) SetAt(i, j int, v T) {
 	lo, hi := p.rowPtr[i], p.rowPtr[i+1]
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -137,7 +149,7 @@ func (p *Pattern) SetAt(i, j int, v float64) {
 
 // EachNonzero visits every structural entry with a nonzero value in row
 // order.
-func (p *Pattern) EachNonzero(visit func(i, j int, v float64)) {
+func (p *PatternOf[T]) EachNonzero(visit func(i, j int, v T)) {
 	for i := 0; i < p.n; i++ {
 		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
 			if p.vals[k] != 0 {
@@ -149,12 +161,12 @@ func (p *Pattern) EachNonzero(visit func(i, j int, v float64)) {
 
 // MulVec computes y = P*x in fixed row order — deterministic summation,
 // unlike iterating a map-backed Triplet.
-func (p *Pattern) MulVec(x, y []float64, fc *flop.Counter) {
+func (p *PatternOf[T]) MulVec(x, y []T, fc *flop.Counter) {
 	if len(x) != p.n || len(y) != p.n {
 		panic("spmat: MulVec dimension mismatch")
 	}
 	for i := 0; i < p.n; i++ {
-		s := 0.0
+		var s T
 		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
 			s += p.vals[k] * x[p.colIdx[k]]
 		}

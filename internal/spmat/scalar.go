@@ -1,0 +1,33 @@
+package spmat
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Scalar is the element domain the sparse kernels are generic over. The
+// real instantiation is the transient/DC hot path (zero-alloc compiled
+// stamping, symbolic-LU reuse); the complex instantiation carries the
+// same machinery into AC small-signal analysis, where the matrix is
+// G + jωC and one symbolic analysis serves every frequency point.
+type Scalar interface {
+	float64 | complex128
+}
+
+// absS returns the magnitude of v. The real branch is kept small enough
+// to inline into the factorization hot loops (float64 and complex128
+// live in different gcshapes, so the assertion is a cheap dictionary
+// compare, not a boxing allocation); the complex branch is split out —
+// cmplx.Abs is a call anyway on that instantiation.
+func absS[T Scalar](v T) float64 {
+	if x, ok := any(v).(float64); ok {
+		return math.Abs(x)
+	}
+	return cmplxAbsS(v)
+}
+
+// cmplxAbsS is the complex half of absS, kept out of the inlinable fast
+// path.
+func cmplxAbsS[T Scalar](v T) float64 {
+	return cmplx.Abs(any(v).(complex128))
+}

@@ -4,6 +4,12 @@
 // benches sweep circuit sizes into the thousands of nodes, where dense
 // O(n^3) factorization would dominate and hide the algorithmic comparison
 // the paper makes.
+//
+// The kernels are generic over Scalar (float64 | complex128): the real
+// instantiation is the transient hot path, the complex one backs the AC
+// small-signal analysis. The unparameterized names (Triplet, Pattern,
+// LU) remain aliases of the float64 instantiations so the real path's
+// API is unchanged.
 package spmat
 
 import (
@@ -13,29 +19,35 @@ import (
 	"nanosim/internal/flop"
 )
 
-// Triplet is a coordinate-format sparse matrix accumulator. Duplicate
+// TripletOf is a coordinate-format sparse matrix accumulator. Duplicate
 // (i, j) entries sum, matching MNA stamping semantics.
-type Triplet struct {
+type TripletOf[T Scalar] struct {
 	rows, cols int
-	entries    map[[2]int]float64
+	entries    map[[2]int]T
 }
 
-// NewTriplet returns an empty r-by-c accumulator.
-func NewTriplet(r, c int) *Triplet {
+// Triplet is the real-valued accumulator used by the transient/DC path.
+type Triplet = TripletOf[float64]
+
+// NewTriplet returns an empty r-by-c real accumulator.
+func NewTriplet(r, c int) *Triplet { return NewTripletOf[float64](r, c) }
+
+// NewTripletOf returns an empty r-by-c accumulator over T.
+func NewTripletOf[T Scalar](r, c int) *TripletOf[T] {
 	if r <= 0 || c <= 0 {
 		panic(fmt.Sprintf("spmat: invalid dimensions %dx%d", r, c))
 	}
-	return &Triplet{rows: r, cols: c, entries: make(map[[2]int]float64)}
+	return &TripletOf[T]{rows: r, cols: c, entries: make(map[[2]int]T)}
 }
 
 // Rows returns the number of rows.
-func (t *Triplet) Rows() int { return t.rows }
+func (t *TripletOf[T]) Rows() int { return t.rows }
 
 // Cols returns the number of columns.
-func (t *Triplet) Cols() int { return t.cols }
+func (t *TripletOf[T]) Cols() int { return t.cols }
 
 // Add accumulates v at (i, j).
-func (t *Triplet) Add(i, j int, v float64) {
+func (t *TripletOf[T]) Add(i, j int, v T) {
 	if i < 0 || i >= t.rows || j < 0 || j >= t.cols {
 		panic(fmt.Sprintf("spmat: Add(%d,%d) out of range %dx%d", i, j, t.rows, t.cols))
 	}
@@ -46,40 +58,43 @@ func (t *Triplet) Add(i, j int, v float64) {
 }
 
 // At returns the accumulated value at (i, j), zero when absent.
-func (t *Triplet) At(i, j int) float64 { return t.entries[[2]int{i, j}] }
+func (t *TripletOf[T]) At(i, j int) T { return t.entries[[2]int{i, j}] }
 
 // NNZ returns the number of stored (possibly zero-summed) entries.
-func (t *Triplet) NNZ() int { return len(t.entries) }
+func (t *TripletOf[T]) NNZ() int { return len(t.entries) }
 
 // Each visits every stored entry in unspecified order.
-func (t *Triplet) Each(visit func(i, j int, v float64)) {
+func (t *TripletOf[T]) Each(visit func(i, j int, v T)) {
 	for k, v := range t.entries {
 		visit(k[0], k[1], v)
 	}
 }
 
 // Zero clears the accumulator for re-stamping, keeping capacity.
-func (t *Triplet) Zero() {
+func (t *TripletOf[T]) Zero() {
 	for k := range t.entries {
 		delete(t.entries, k)
 	}
 }
 
-// CSR is a compressed-sparse-row matrix built from a Triplet; it supports
-// fast matrix-vector products for residual checks and explicit
+// CSROf is a compressed-sparse-row matrix built from a triplet; it
+// supports fast matrix-vector products for residual checks and explicit
 // integrators.
-type CSR struct {
+type CSROf[T Scalar] struct {
 	rows, cols int
 	rowPtr     []int
 	colIdx     []int
-	vals       []float64
+	vals       []T
 }
 
+// CSR is the real-valued compressed-sparse-row matrix.
+type CSR = CSROf[float64]
+
 // ToCSR freezes the triplet into CSR form.
-func (t *Triplet) ToCSR() *CSR {
+func (t *TripletOf[T]) ToCSR() *CSROf[T] {
 	type ent struct {
 		i, j int
-		v    float64
+		v    T
 	}
 	all := make([]ent, 0, len(t.entries))
 	for k, v := range t.entries {
@@ -91,12 +106,12 @@ func (t *Triplet) ToCSR() *CSR {
 		}
 		return all[a].j < all[b].j
 	})
-	c := &CSR{
+	c := &CSROf[T]{
 		rows:   t.rows,
 		cols:   t.cols,
 		rowPtr: make([]int, t.rows+1),
 		colIdx: make([]int, len(all)),
-		vals:   make([]float64, len(all)),
+		vals:   make([]T, len(all)),
 	}
 	for n, e := range all {
 		c.rowPtr[e.i+1]++
@@ -110,16 +125,16 @@ func (t *Triplet) ToCSR() *CSR {
 }
 
 // Rows returns the number of rows.
-func (c *CSR) Rows() int { return c.rows }
+func (c *CSROf[T]) Rows() int { return c.rows }
 
 // Cols returns the number of columns.
-func (c *CSR) Cols() int { return c.cols }
+func (c *CSROf[T]) Cols() int { return c.cols }
 
 // NNZ returns the stored entry count.
-func (c *CSR) NNZ() int { return len(c.vals) }
+func (c *CSROf[T]) NNZ() int { return len(c.vals) }
 
 // At returns element (i, j) by binary search within the row.
-func (c *CSR) At(i, j int) float64 {
+func (c *CSROf[T]) At(i, j int) T {
 	lo, hi := c.rowPtr[i], c.rowPtr[i+1]
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -132,16 +147,17 @@ func (c *CSR) At(i, j int) float64 {
 			hi = mid
 		}
 	}
-	return 0
+	var zero T
+	return zero
 }
 
 // MulVec computes y = C*x.
-func (c *CSR) MulVec(x, y []float64, fc *flop.Counter) {
+func (c *CSROf[T]) MulVec(x, y []T, fc *flop.Counter) {
 	if len(x) != c.cols || len(y) != c.rows {
 		panic("spmat: MulVec dimension mismatch")
 	}
 	for i := 0; i < c.rows; i++ {
-		s := 0.0
+		var s T
 		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
 			s += c.vals[k] * x[c.colIdx[k]]
 		}

@@ -1,0 +1,121 @@
+package stamp
+
+import "math"
+
+// CAdder receives complex matrix stamps; linsolve.ComplexSolver
+// satisfies it. It is the complex counterpart of Adder for the AC
+// small-signal system (G + jωC)·X = B.
+type CAdder interface {
+	Add(i, j int, v complex128)
+}
+
+// add2c stamps the standard two-terminal pattern between rows ia and ib
+// with a complex admittance.
+func add2c(a CAdder, ia, ib int, y complex128) {
+	if ia >= 0 {
+		a.Add(ia, ia, y)
+	}
+	if ib >= 0 {
+		a.Add(ib, ib, y)
+	}
+	if ia >= 0 && ib >= 0 {
+		a.Add(ia, ib, -y)
+		a.Add(ib, ia, -y)
+	}
+}
+
+// Stamp2C stamps admittance y across the two-terminal pattern (exported
+// for the AC engine's per-device small-signal stamping).
+func Stamp2C(a CAdder, ia, ib int, y complex128) { add2c(a, ia, ib, y) }
+
+// StampACLinear stamps the frequency-dependent linear structure of the
+// AC system at angular frequency omega: resistor conductances,
+// voltage-source and inductor branch incidence, capacitor admittances
+// jωC on the node rows and the inductor branch equation
+// V(a) - V(b) - jωL·I = 0. Together with the engine's small-signal
+// device conductances this assembles G + jωC, where C is exactly the
+// matrix StampC builds for the time-domain companion models — the two
+// analyses share one MNA structure, so the compiled stamp pattern of an
+// AC sweep is frequency-invariant.
+func (s *System) StampACLinear(a CAdder, omega float64) {
+	for _, r := range s.resistors {
+		add2c(a, s.rowOf(r.A), s.rowOf(r.B), complex(r.Conductance(), 0))
+	}
+	for _, v := range s.vsrcs {
+		if v.IPos >= 0 {
+			a.Add(v.IPos, v.Branch, 1)
+			a.Add(v.Branch, v.IPos, 1)
+		}
+		if v.INeg >= 0 {
+			a.Add(v.INeg, v.Branch, -1)
+			a.Add(v.Branch, v.INeg, -1)
+		}
+	}
+	for k, l := range s.inductors {
+		br := s.indBranch[k]
+		ia, ib := s.rowOf(l.A), s.rowOf(l.B)
+		if ia >= 0 {
+			a.Add(ia, br, 1)
+			a.Add(br, ia, 1)
+		}
+		if ib >= 0 {
+			a.Add(ib, br, -1)
+			a.Add(br, ib, -1)
+		}
+		a.Add(br, br, complex(0, -omega*l.L))
+	}
+	for _, c := range s.caps {
+		add2c(a, s.rowOf(c.A), s.rowOf(c.B), complex(0, omega*c.C))
+	}
+}
+
+// StampACRHS writes the AC excitation phasors into b (zeroed first):
+// each source's ACMag∠ACPhase lands on its branch row (voltage sources)
+// or node rows (current sources). Sources without an AC spec contribute
+// nothing — their DC bias already shaped the operating point the sweep
+// is linearized around.
+func (s *System) StampACRHS(b []complex128) {
+	for i := range b {
+		b[i] = 0
+	}
+	for _, v := range s.vsrcs {
+		if v.V.ACMag != 0 {
+			b[v.Branch] = acPhasor(v.V.ACMag, v.V.ACPhase)
+		}
+	}
+	for _, i := range s.isrcs {
+		if i.I.ACMag == 0 {
+			continue
+		}
+		ph := acPhasor(i.I.ACMag, i.I.ACPhase)
+		if i.IPos >= 0 {
+			b[i.IPos] -= ph
+		}
+		if i.INeg >= 0 {
+			b[i.INeg] += ph
+		}
+	}
+}
+
+// acPhasor builds the complex excitation from magnitude and phase in
+// degrees (the netlist convention).
+func acPhasor(mag, phaseDeg float64) complex128 {
+	rad := phaseDeg * math.Pi / 180
+	return complex(mag*math.Cos(rad), mag*math.Sin(rad))
+}
+
+// HasACSources reports whether any independent source carries an AC
+// excitation spec.
+func (s *System) HasACSources() bool {
+	for _, v := range s.vsrcs {
+		if v.V.ACMag != 0 {
+			return true
+		}
+	}
+	for _, i := range s.isrcs {
+		if i.I.ACMag != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -28,7 +28,7 @@ func (st *Set) WriteCSV(w io.Writer) error {
 		}
 	}
 	sortFloats(ts)
-	if _, err := fmt.Fprintf(w, "t,%s\n", strings.Join(st.order, ",")); err != nil {
+	if _, err := fmt.Fprintf(w, "%s,%s\n", st.AxisName(), strings.Join(st.order, ",")); err != nil {
 		return err
 	}
 	for _, t := range ts {

@@ -186,8 +186,21 @@ func CompareOn(a, b *Series, n int) (va, vb []float64, err error) {
 // Set is an ordered collection of series keyed by name, the result type
 // of every analysis.
 type Set struct {
+	// Axis names the shared horizontal axis of the set's series for
+	// emitters (CSV headers, plot labels): "t" when empty — the transient
+	// convention — "f" for frequency-domain results (.ac sweeps).
+	Axis string
+
 	order  []string
 	series map[string]*Series
+}
+
+// AxisName returns the horizontal-axis label, defaulting to "t".
+func (st *Set) AxisName() string {
+	if st.Axis == "" {
+		return "t"
+	}
+	return st.Axis
 }
 
 // NewSet returns an empty set.

@@ -1,0 +1,8 @@
+* RC lowpass with a noisy bias: .ac transfer + output-noise spectrum
+VIN in 0 DC 0 AC 1 0
+R1 in out 1k
+C1 out 0 1n
+IB 0 out DC 10u NOISE=0.5n
+.ac dec 20 1.59k 15.9meg
+.print vdb(out) vp(out) onoise(out)
+.end

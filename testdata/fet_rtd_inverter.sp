@@ -9,5 +9,7 @@ CIN in 0 1f
 .model rtdmod RTD
 .model rtdload RTD AREA=1.5
 .model nmod NMOS KP=5m VTO=0.5 W=1 L=1
+.op
+.dc VIN 0 1.2 61
 .tran 1n 500n
 .end
