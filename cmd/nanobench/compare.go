@@ -71,14 +71,6 @@ func readBenchReport(path string) (*SolverBenchReport, error) {
 // runSolverBenchCompare implements the bench-regression gate:
 // `nanobench -solverbench-compare old.json new.json -tol 10%` fails when
 // any case recorded in both reports slowed down by more than tol.
-//
-// normalize divides every ratio by the median ratio across cases before
-// the tolerance applies. Absolute wall-times only compare meaningfully
-// on the hardware that recorded the baseline; a CI runner that is
-// uniformly 2x slower than the recording machine would otherwise flag
-// every case. The median is the hardware offset (a real regression
-// moves a few cases, not the median), so normalized mode catches the
-// same relative regressions machine-independently.
 func runSolverBenchCompare(oldPath, newPath string, tol float64, normalize bool) error {
 	oldRep, err := readBenchReport(oldPath)
 	if err != nil {
@@ -88,11 +80,26 @@ func runSolverBenchCompare(oldPath, newPath string, tol float64, normalize bool)
 	if err != nil {
 		return err
 	}
+	return compareBenchCases(oldPath, benchCases(oldRep), benchCases(newRep), tol, normalize)
+}
+
+// compareBenchCases is the shared gate engine behind
+// -solverbench-compare and -servebench-compare: it fails when any case
+// recorded in both reports slowed down by more than tol.
+//
+// normalize divides every ratio by the median ratio across cases before
+// the tolerance applies. Absolute wall-times only compare meaningfully
+// on the hardware that recorded the baseline; a CI runner that is
+// uniformly 2x slower than the recording machine would otherwise flag
+// every case. The median is the hardware offset (a real regression
+// moves a few cases, not the median), so normalized mode catches the
+// same relative regressions machine-independently.
+func compareBenchCases(oldPath string, old, cases []benchCase, tol float64, normalize bool) error {
 	oldCases := map[string]float64{}
-	for _, c := range benchCases(oldRep) {
+	for _, c := range old {
 		oldCases[c.key] = c.val
 	}
-	newCases := benchCases(newRep)
+	newCases := append([]benchCase(nil), cases...)
 	sort.Slice(newCases, func(i, j int) bool { return newCases[i].key < newCases[j].key })
 
 	scale := 1.0
@@ -136,7 +143,7 @@ func runSolverBenchCompare(oldPath, newPath string, tol float64, normalize bool)
 			c.key, base, c.val, 100*ratio, mark)
 	}
 	if compared == 0 {
-		return fmt.Errorf("bench-compare: no common cases between %s and %s", oldPath, newPath)
+		return fmt.Errorf("bench-compare: no common cases with %s", oldPath)
 	}
 	if regressed > 0 {
 		return fmt.Errorf("bench-compare: %d of %d cases slowed down more than %.0f%%", regressed, compared, 100*tol)

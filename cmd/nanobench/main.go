@@ -12,6 +12,11 @@
 //	nanobench -solverbench-compare old.json new.json -tol 10%
 //	                              fail when any recorded case slowed
 //	                              down beyond the tolerance (CI gate)
+//	nanobench -servebench         load-test the batch service end to
+//	                              end (steady-state latency + overload
+//	                              shed + drain) into BENCH_serve.json
+//	nanobench -servebench-compare old.json new.json -tol 40%
+//	                              regression gate for BENCH_serve.json
 //	nanobench -golden record      record reference waveforms for the
 //	                              testdata decks
 //	nanobench -golden check       fail on drift from the references
@@ -36,6 +41,9 @@ func main() {
 	solverBench := flag.Bool("solverbench", false, "measure the per-step solver hot path and write BENCH_solver.json")
 	solverBenchOut := flag.String("solverbench-out", "BENCH_solver.json", "output path for -solverbench")
 	benchCompare := flag.Bool("solverbench-compare", false, "compare two BENCH_solver.json files: nanobench -solverbench-compare old.json new.json [-tol 10%]")
+	serveBench := flag.Bool("servebench", false, "load-test the batch-simulation service and write BENCH_serve.json")
+	serveBenchOut := flag.String("servebench-out", "BENCH_serve.json", "output path for -servebench")
+	serveCompare := flag.Bool("servebench-compare", false, "compare two BENCH_serve.json files: nanobench -servebench-compare old.json new.json [-tol 40%]")
 	tol := flag.String("tol", "10%", "slowdown tolerance for -solverbench-compare (e.g. 10% or 0.1)")
 	normalize := flag.Bool("normalize", false, "divide -solverbench-compare ratios by their median first (cancels a uniform hardware offset between the two machines)")
 	golden := flag.String("golden", "", "golden-deck regression: 'record' or 'check'")
@@ -46,15 +54,24 @@ func main() {
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	switch {
-	case *benchCompare:
+	case *benchCompare, *serveCompare:
 		oldPath, newPath, tolStr, norm, err := compareArgs(flag.Args(), *tol, *normalize)
 		if err == nil {
 			var t float64
 			if t, err = parseTol(tolStr); err == nil {
-				err = runSolverBenchCompare(oldPath, newPath, t, norm)
+				if *serveCompare {
+					err = runServeBenchCompare(oldPath, newPath, t, norm)
+				} else {
+					err = runSolverBenchCompare(oldPath, newPath, t, norm)
+				}
 			}
 		}
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "nanobench:", err)
+			os.Exit(1)
+		}
+	case *serveBench:
+		if err := runServeBench(*serveBenchOut, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "nanobench:", err)
 			os.Exit(1)
 		}

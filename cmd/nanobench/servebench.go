@@ -1,0 +1,381 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"nanosim/internal/faultpoint"
+	"nanosim/internal/serve"
+)
+
+// ServeLoadBench records the steady-state scenario: N concurrent
+// clients each running a private submit → wait-for-result loop against
+// an in-process nanosimd, half tran decks and half Monte Carlo decks,
+// all forced fresh so every job does real engine work. Latencies are
+// end-to-end as a client sees them (POST accepted through result body
+// received), which is the number an operator capacity-plans against.
+type ServeLoadBench struct {
+	Clients       int `json:"clients"`
+	JobsPerClient int `json:"jobs_per_client"`
+	Jobs          int `json:"jobs"`
+	Errors        int `json:"errors"`
+
+	WallMs           float64 `json:"wall_ms"`
+	MsPerJob         float64 `json:"ms_per_job"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	MaxMs            float64 `json:"max_ms"`
+	ThroughputPerSec float64 `json:"throughput_jobs_per_sec"`
+
+	// Server-side corroboration from /metrics.
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	DeckCompiles   int64   `json:"deck_compiles"`
+	WarmCheckouts  int64   `json:"warm_solver_checkouts"`
+}
+
+// ServeOverloadBench records the shed-and-drain scenario: a one-worker
+// server with a tiny queue, per-client rate limits and live-job caps is
+// blasted with more submissions than it can hold while a fault point
+// slows the worker down. The assertions are behavioral, not timed:
+// overload must surface as 429/503 with Retry-After (never a hang or a
+// 500), and the SIGTERM-style drain that follows must finish every
+// accepted job.
+type ServeOverloadBench struct {
+	Submitted   int `json:"submitted"`
+	Accepted    int `json:"accepted"`
+	RateLimited int `json:"rate_limited_429"`
+	Shed        int `json:"shed_503"`
+
+	RetryAfterOnReject bool    `json:"retry_after_on_reject"`
+	DrainMs            float64 `json:"drain_ms"`
+	DrainClean         bool    `json:"drain_clean"`
+}
+
+// ServeBenchReport is the machine-readable service perf record emitted
+// as BENCH_serve.json so end-to-end latency and overload behavior are
+// tracked PR to PR alongside the solver hot path in BENCH_solver.json.
+type ServeBenchReport struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Timestamp string `json:"timestamp"`
+	Workers   int    `json:"workers"`
+
+	Load     *ServeLoadBench     `json:"load"`
+	Overload *ServeOverloadBench `json:"overload"`
+}
+
+// serveBenchCases flattens a serve report into the wall-time cases the
+// regression gate compares. Overload numbers are behavioral (counts and
+// booleans) and fault-stretched, so only the steady-state latencies
+// gate.
+func serveBenchCases(rep *ServeBenchReport) []benchCase {
+	var out []benchCase
+	if rep.Load != nil {
+		out = append(out,
+			benchCase{"serve/ms_per_job", rep.Load.MsPerJob},
+			benchCase{"serve/p50_ms", rep.Load.P50Ms},
+			benchCase{"serve/p99_ms", rep.Load.P99Ms},
+		)
+	}
+	return out
+}
+
+// runServeBenchCompare is the BENCH_serve.json regression gate,
+// sharing the tolerance/normalization engine with -solverbench-compare.
+func runServeBenchCompare(oldPath, newPath string, tol float64, normalize bool) error {
+	read := func(path string) (*ServeBenchReport, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep ServeBenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &rep, nil
+	}
+	oldRep, err := read(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := read(newPath)
+	if err != nil {
+		return err
+	}
+	return compareBenchCases(oldPath, serveBenchCases(oldRep), serveBenchCases(newRep), tol, normalize)
+}
+
+// serveBenchTranDeck / serveBenchMCDeck are the client workloads. Each
+// client stamps its own comment line into the deck so distinct clients
+// exercise distinct cache entries while a client's own jobs stay warm.
+const serveBenchTranDeck = `* servebench rc client %d
+V1 in 0 PULSE(0 1 5n 1n 1n 100n)
+R1 in out 1k
+C1 out 0 1p
+.tran 0.1n 60n
+.end
+`
+
+const serveBenchMCDeck = `* servebench rtd mc client %d
+V1 in 0 0.8
+R1 in d 600
+N1 d 0 rtdmod
+CD d 0 10f
+.model rtdmod RTD
+.tran 0.25n 10n
+.mc 24 SEED=1
+.vary N1(A) DEV=5%%
+.limit v(d) final 0 1.5
+.print v(d)
+.end
+`
+
+// runServeBench measures the batch-simulation service end to end and
+// writes the report to outPath.
+func runServeBench(outPath string, quick bool) error {
+	workers := runtime.NumCPU()
+	if workers > 4 {
+		workers = 4
+	}
+	rep := &ServeBenchReport{
+		Schema:    "nanosim/bench-serve/v1",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Workers:   workers,
+	}
+
+	load, err := serveBenchLoad(workers, quick)
+	if err != nil {
+		return err
+	}
+	rep.Load = load
+
+	overload, err := serveBenchOverload()
+	if err != nil {
+		return err
+	}
+	rep.Overload = overload
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("servebench: %d jobs, %d clients x %d workers\n", load.Jobs, load.Clients, workers)
+	fmt.Printf("  e2e latency     p50 %.2f ms  p99 %.2f ms  max %.2f ms\n", load.P50Ms, load.P99Ms, load.MaxMs)
+	fmt.Printf("  throughput      %.1f jobs/s (%.2f ms/job over %.0f ms wall)\n", load.ThroughputPerSec, load.MsPerJob, load.WallMs)
+	fmt.Printf("  server          queue-wait p99 %.2f ms, %d compiles, %d warm checkouts\n",
+		load.QueueWaitP99Ms, load.DeckCompiles, load.WarmCheckouts)
+	fmt.Printf("  overload        %d submitted: %d accepted, %d x 429, %d x 503 (Retry-After %v)\n",
+		overload.Submitted, overload.Accepted, overload.RateLimited, overload.Shed, overload.RetryAfterOnReject)
+	fmt.Printf("  drain           %.0f ms, clean=%v\n", overload.DrainMs, overload.DrainClean)
+	fmt.Printf("servebench: wrote %s\n", outPath)
+	return nil
+}
+
+// serveBenchLoad runs the steady-state scenario.
+func serveBenchLoad(workers int, quick bool) (*ServeLoadBench, error) {
+	clients, perClient := 8, 24
+	if quick {
+		clients, perClient = 4, 8
+	}
+
+	srv, err := serve.New(serve.Config{Workers: workers, QueueDepth: 1024})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	type clientOut struct {
+		lat  []time.Duration
+		errs int
+	}
+	outs := make([]clientOut, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			hc := ts.Client()
+			decks := []string{
+				fmt.Sprintf(serveBenchTranDeck, c),
+				fmt.Sprintf(serveBenchMCDeck, c),
+			}
+			for i := 0; i < perClient; i++ {
+				d, err := serveBenchOneJob(hc, ts.URL, fmt.Sprintf("bench-%d", c), decks[i%len(decks)])
+				if err != nil {
+					outs[c].errs++
+					continue
+				}
+				outs[c].lat = append(outs[c].lat, d)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lat []time.Duration
+	errs := 0
+	for _, o := range outs {
+		lat = append(lat, o.lat...)
+		errs += o.errs
+	}
+	if len(lat) == 0 {
+		return nil, fmt.Errorf("servebench: all %d jobs failed", clients*perClient)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Millisecond)
+	}
+
+	met := srv.Metrics()
+	return &ServeLoadBench{
+		Clients:          clients,
+		JobsPerClient:    perClient,
+		Jobs:             len(lat),
+		Errors:           errs,
+		WallMs:           float64(wall) / float64(time.Millisecond),
+		MsPerJob:         float64(wall) / float64(time.Millisecond) / float64(len(lat)),
+		P50Ms:            q(0.50),
+		P99Ms:            q(0.99),
+		MaxMs:            q(1.0),
+		ThroughputPerSec: float64(len(lat)) / wall.Seconds(),
+		QueueWaitP99Ms:   met.Admission.QueueWait.P99Ms,
+		DeckCompiles:     met.DeckCache.Compiles,
+		WarmCheckouts:    met.Solver.Warm,
+	}, nil
+}
+
+// serveBenchOneJob submits one fresh deck and blocks on the result
+// endpoint, returning the client-observed end-to-end latency.
+func serveBenchOneJob(hc *http.Client, base, clientID, deck string) (time.Duration, error) {
+	body, _ := json.Marshal(serve.SubmitRequest{Deck: deck, Fresh: true})
+	start := time.Now()
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", clientID)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	var info serve.JobInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	resp, err = hc.Get(base + "/v1/jobs/" + info.ID + "/result")
+	if err != nil {
+		return 0, err
+	}
+	var res serve.Result
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("result: HTTP %d", resp.StatusCode)
+	}
+	return time.Since(start), nil
+}
+
+// serveBenchOverload runs the shed-and-drain scenario.
+func serveBenchOverload() (*ServeOverloadBench, error) {
+	srv, err := serve.New(serve.Config{
+		Workers:       1,
+		QueueDepth:    2,
+		RatePerSec:    200,
+		RateBurst:     8,
+		MaxClientJobs: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// Slow the single worker down so the queue genuinely backs up.
+	faultpoint.Set(faultpoint.WorkerRun, faultpoint.Fault{Delay: 20 * time.Millisecond})
+	defer faultpoint.Reset()
+
+	out := &ServeOverloadBench{RetryAfterOnReject: true}
+	hc := ts.Client()
+	const blast = 96
+	for i := 0; i < blast; i++ {
+		deck := fmt.Sprintf(serveBenchTranDeck, 1000+i)
+		body, _ := json.Marshal(serve.SubmitRequest{Deck: deck, Fresh: true})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client-ID", fmt.Sprintf("tenant-%d", i%4))
+		resp, err := hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		out.Submitted++
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			out.Accepted++
+		case http.StatusTooManyRequests:
+			out.RateLimited++
+			if resp.Header.Get("Retry-After") == "" {
+				out.RetryAfterOnReject = false
+			}
+		case http.StatusServiceUnavailable:
+			out.Shed++
+			if resp.Header.Get("Retry-After") == "" {
+				out.RetryAfterOnReject = false
+			}
+		default:
+			return nil, fmt.Errorf("overload submit %d: unexpected HTTP %d", i, resp.StatusCode)
+		}
+	}
+	if out.Accepted == 0 || out.RateLimited+out.Shed == 0 {
+		return nil, fmt.Errorf("overload scenario did not overload: %d accepted, %d rejected", out.Accepted, out.RateLimited+out.Shed)
+	}
+
+	// SIGTERM-style drain: every accepted job must reach a terminal
+	// state before the deadline.
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	start := time.Now()
+	drainErr := srv.Drain(dctx)
+	out.DrainMs = float64(time.Since(start)) / float64(time.Millisecond)
+
+	met := srv.Metrics()
+	terminal := met.Jobs.Completed + met.Jobs.Failed + met.Jobs.Canceled
+	out.DrainClean = drainErr == nil &&
+		met.Jobs.Queued == 0 && met.Jobs.Running == 0 &&
+		terminal == int64(out.Accepted)
+	if !out.DrainClean {
+		return nil, fmt.Errorf("drain not clean: err=%v queued=%d running=%d terminal=%d accepted=%d",
+			drainErr, met.Jobs.Queued, met.Jobs.Running, terminal, out.Accepted)
+	}
+	return out, nil
+}

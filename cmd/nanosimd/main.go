@@ -6,20 +6,32 @@
 // content hash keeps the parsed circuit, compiled stamp pattern and
 // symbolic LU analysis of each topology alive across submissions, so
 // repeated or parameter-varied runs of the same deck skip parse and
-// symbolic work entirely. See docs/API.md for the endpoints and wire
-// schemas.
+// symbolic work entirely. With -data the service is restart-safe: job
+// lifecycle is journaled, results and waveform payloads are spilled
+// under the data dir, and a restart replays the journal and re-queues
+// jobs the previous process never finished. See docs/API.md for the
+// endpoints, wire schemas and operating notes.
 //
 // Usage:
 //
 //	nanosimd [-addr :8086] [-workers N] [-queue 256] [-max-decks 128]
+//	         [-data DIR] [-fsync] [-drain-timeout 30s] [-job-timeout 0]
+//	         [-rate 0] [-burst 0] [-client-jobs 0] [-queue-wait 0]
 //
 // Example session:
 //
-//	nanosimd -addr :8086 &
+//	nanosimd -addr :8086 -data /var/lib/nanosimd &
 //	curl -s :8086/v1/jobs -d '{"deck":"* rc\nV1 in 0 PULSE(0 1 1n 1n 1n 20n)\nR1 in out 1k\nC1 out 0 1p\n.tran 0.1n 50n\n.end\n"}'
 //	curl -s :8086/v1/jobs/job-1/result
 //	curl -s :8086/v1/jobs/job-1/stream
 //	curl -s :8086/metrics
+//
+// On SIGTERM the service drains: readiness (/readyz) flips to 503 so
+// load balancers stop routing here, new submissions are rejected with
+// Retry-After, in-flight jobs get -drain-timeout to finish, and
+// whatever is still running at the deadline is checkpointed to the
+// journal for the next boot to re-queue. SIGINT (ctrl-C) does the same
+// with a short deadline.
 package main
 
 import (
@@ -43,30 +55,54 @@ func main() {
 	queue := flag.Int("queue", 0, "pending-job queue depth (0 = default 256)")
 	maxDecks := flag.Int("max-decks", 0, "deck-compile cache entries (0 = default 128)")
 	maxDeckKB := flag.Int("max-deck-kb", 0, "largest accepted deck in KiB (0 = default 1024)")
+	data := flag.String("data", "", "durable job-store directory (empty = in-memory only)")
+	fsync := flag.Bool("fsync", false, "fsync the journal per event (restart-safe across power loss)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain deadline before in-flight jobs are checkpointed")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock limit (0 = unlimited)")
+	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client submission burst (0 = 2x rate)")
+	clientJobs := flag.Int("client-jobs", 0, "per-client live-job cap (0 = unlimited)")
+	queueWait := flag.Duration("queue-wait", 0, "queue-wait deadline; longer estimated waits are shed with 503 (0 = unlimited)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxDecks:     *maxDecks,
-		MaxDeckBytes: int64(*maxDeckKB) << 10,
+	srv, err := serve.New(serve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MaxDecks:      *maxDecks,
+		MaxDeckBytes:  int64(*maxDeckKB) << 10,
+		DataDir:       *data,
+		FsyncJournal:  *fsync,
+		JobTimeout:    *jobTimeout,
+		QueueWaitMax:  *queueWait,
+		RatePerSec:    *rate,
+		RateBurst:     *burst,
+		MaxClientJobs: *clientJobs,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nanosimd:", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	// Graceful shutdown: stop listening, cancel in-flight jobs, drain.
+	// Graceful drain: keep serving HTTP (status polls, result fetches,
+	// health probes) while in-flight jobs finish, then stop the listener.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		<-sig
-		log.Print("nanosimd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("nanosimd: draining (deadline %v)", *drainTimeout)
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("nanosimd: %v", err)
+		}
+		dcancel()
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("nanosimd: shutdown: %v", err)
 		}
-		srv.Close()
 	}()
 
 	log.Printf("nanosimd: listening on %s", *addr)

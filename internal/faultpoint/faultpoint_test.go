@@ -1,0 +1,66 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInertByDefault(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("registry enabled with nothing armed")
+	}
+	if err := Hit("nowhere"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+	if _, _, ok := Torn("nowhere"); ok {
+		t.Fatal("unarmed Torn fired")
+	}
+}
+
+func TestTimesBudgetAndHitCounting(t *testing.T) {
+	t.Cleanup(Reset)
+	want := errors.New("injected")
+	Set("x", Fault{Err: want, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := Hit("x"); !errors.Is(err, want) {
+			t.Fatalf("hit %d: %v", i, err)
+		}
+	}
+	if err := Hit("x"); err != nil {
+		t.Fatalf("budget-exhausted hit returned %v", err)
+	}
+	if got := Hits("x"); got != 3 {
+		t.Fatalf("Hits = %d, want 3 (counting past the budget)", got)
+	}
+}
+
+func TestDelayAndClear(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("slow", Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay not injected (%v)", d)
+	}
+	Clear("slow")
+	if Enabled() {
+		t.Fatal("registry still enabled after clearing the only site")
+	}
+}
+
+func TestTorn(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("disk died")
+	Set("w", Fault{Err: boom, TornBytes: 7, Times: 1})
+	n, err, ok := Torn("w")
+	if !ok || n != 7 || !errors.Is(err, boom) {
+		t.Fatalf("Torn = (%d, %v, %v)", n, err, ok)
+	}
+	if _, _, ok := Torn("w"); ok {
+		t.Fatal("torn fired past its budget")
+	}
+}

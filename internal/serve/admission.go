@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// admission is the per-client token-bucket rate limiter. Each client
+// (X-Client-ID header, else remote host) gets a bucket refilled at
+// rate tokens/second up to burst; a submission spends one token or is
+// rejected with the time until the next token as its Retry-After.
+type admission struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newAdmission returns nil when rate limiting is disabled (rate <= 0);
+// callers nil-check.
+func newAdmission(rate float64, burst int) *admission {
+	if rate <= 0 {
+		return nil
+	}
+	return &admission{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from client's bucket. When the bucket is dry
+// it reports false and how long until a token accrues.
+func (a *admission) allow(client string, now time.Time) (bool, time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[client]
+	if b == nil {
+		a.pruneLocked(now)
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.rate
+	if b.tokens > a.burst {
+		b.tokens = a.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / a.rate * float64(time.Second))
+}
+
+// maxBuckets bounds the tracked clients; above it, full (long idle)
+// buckets are dropped so a remote-address churn cannot grow the map
+// without bound. A dropped client just starts a fresh full bucket.
+const maxBuckets = 4096
+
+func (a *admission) pruneLocked(now time.Time) {
+	if len(a.buckets) < maxBuckets {
+		return
+	}
+	for c, b := range a.buckets {
+		t := b.tokens + now.Sub(b.last).Seconds()*a.rate
+		if t >= a.burst {
+			delete(a.buckets, c)
+		}
+	}
+}

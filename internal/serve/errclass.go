@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"errors"
+	"math/rand/v2"
+	"syscall"
+	"time"
+)
+
+// transientError marks an error as retryable: the failure came from the
+// environment (I/O pressure, injected faults, resource exhaustion that
+// may clear), not from the computation itself. A convergence failure or
+// a malformed deck is fatal — retrying re-runs the same deterministic
+// failure.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so IsTransient reports it retryable. nil stays
+// nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient classifies an error as retry-worthy: explicitly wrapped
+// by Transient, or one of the OS-level conditions that can clear on
+// their own (interrupted syscalls, temporary resource exhaustion).
+// Disk-full is deliberately transient — an operator pruning the data
+// dir fixes it without a resubmit.
+func IsTransient(err error) bool {
+	var te *transientError
+	if errors.As(err, &te) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{syscall.EINTR, syscall.EAGAIN, syscall.ENOSPC, syscall.EMFILE, syscall.ENFILE} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// backoffSleep sleeps the jittered exponential backoff for the given
+// attempt (1-based), or returns early when ctx ends. The jitter is a
+// uniform draw over [base·2^(a-1), 2·base·2^(a-1)) so synchronized
+// retries de-correlate.
+func backoffSleep(ctx interface{ Done() <-chan struct{} }, base time.Duration, attempt int) {
+	d := base << (attempt - 1)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	d += time.Duration(rand.Int64N(int64(d) + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

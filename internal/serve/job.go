@@ -21,11 +21,13 @@ import (
 
 // job is one submitted analysis moving through the queue.
 type job struct {
-	id    string
-	req   SubmitRequest
-	entry *deckEntry
-	kind  string
-	popt  *part.Options
+	id     string
+	key    string // idempotency key: (deck hash, kind, seed, overrides)
+	client string // submitting client, for the per-client live-job cap
+	req    SubmitRequest
+	entry  *deckEntry
+	kind   string
+	popt   *part.Options
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -64,6 +66,35 @@ func (j *job) snapshot() JobInfo {
 // terminal reports whether the job already finished.
 func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// jobKey builds the idempotency key of a submission: deck content hash,
+// analysis kind, and every request field that changes the result. The
+// deck hash already covers card-level seeds/trials, so only request
+// overrides appear. Workers is deliberately absent — batch results are
+// bit-identical at any worker count, so two submissions differing only
+// there are the same computation.
+func jobKey(hash, kind string, req SubmitRequest, popt *part.Options) string {
+	var b strings.Builder
+	b.WriteString(hash)
+	b.WriteByte('|')
+	b.WriteString(kind)
+	if req.Seed != nil {
+		fmt.Fprintf(&b, "|seed=%d", *req.Seed)
+	}
+	if req.TStop > 0 {
+		fmt.Fprintf(&b, "|tstop=%g", req.TStop)
+	}
+	if req.TStep > 0 {
+		fmt.Fprintf(&b, "|tstep=%g", req.TStep)
+	}
+	if req.Trials > 0 {
+		fmt.Fprintf(&b, "|trials=%d", req.Trials)
+	}
+	if popt != nil {
+		fmt.Fprintf(&b, "|part(g=%g,nd=%v)", popt.GCouple, popt.NoDormancy)
+	}
+	return b.String()
 }
 
 // resolveAnalysis maps a submission onto an analysis kind and validates

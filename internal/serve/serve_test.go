@@ -40,7 +40,10 @@ CD d 0 10f
 // newTestServer wires a Server into an httptest front end.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -280,7 +283,7 @@ func TestConcurrentSubmissionsCompileOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, _ := json.Marshal(SubmitRequest{Deck: tranDeck})
+			body, _ := json.Marshal(SubmitRequest{Deck: tranDeck, Fresh: true})
 			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 			if err != nil {
 				errs[i] = err
@@ -341,7 +344,9 @@ func TestConcurrentSubmissionsCompileOnce(t *testing.T) {
 func TestSequentialSubmissionsReuseSolverState(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
 	for i := 0; i < 3; i++ {
-		info := submit(t, ts, SubmitRequest{Deck: tranDeck}, http.StatusAccepted)
+		// Fresh forces the re-execution this test is about; the default
+		// would idempotent-hit the first job.
+		info := submit(t, ts, SubmitRequest{Deck: tranDeck, Fresh: true}, http.StatusAccepted)
 		waitState(t, ts, info.ID, StateDone)
 	}
 	m := s.Metrics()
@@ -402,12 +407,12 @@ func TestWaveformEvictionBound(t *testing.T) {
 	// With MaxWaveJobs=1, an older finished job loses its stream payload
 	// (410) but keeps its scalar result; the newest job still streams.
 	_, ts := newTestServer(t, Config{Workers: 1, MaxWaveJobs: 1})
-	first := submit(t, ts, SubmitRequest{Deck: tranDeck}, http.StatusAccepted)
+	first := submit(t, ts, SubmitRequest{Deck: tranDeck, Fresh: true}, http.StatusAccepted)
 	waitState(t, ts, first.ID, StateDone)
-	second := submit(t, ts, SubmitRequest{Deck: tranDeck}, http.StatusAccepted)
+	second := submit(t, ts, SubmitRequest{Deck: tranDeck, Fresh: true}, http.StatusAccepted)
 	waitState(t, ts, second.ID, StateDone)
 	// Eviction runs at submit time; a third submission trims the first.
-	third := submit(t, ts, SubmitRequest{Deck: tranDeck}, http.StatusAccepted)
+	third := submit(t, ts, SubmitRequest{Deck: tranDeck, Fresh: true}, http.StatusAccepted)
 	waitState(t, ts, third.ID, StateDone)
 
 	if code := getJSON(t, ts.URL+"/v1/jobs/"+first.ID+"/stream", nil); code != http.StatusGone {

@@ -26,6 +26,12 @@ type SubmitRequest struct {
 	// Partition forces the torn-block SWEC engine for transients (the
 	// deck's own ".options partition" card also enables it).
 	Partition *PartitionRequest `json:"partition,omitempty"`
+	// Fresh forces re-execution. By default a submission whose
+	// idempotency key (deck hash, analysis, seed and result-affecting
+	// overrides) matches a live or completed job returns that job with
+	// 200 instead of recomputing — the safe behavior for client retries
+	// after a timeout or a restart.
+	Fresh bool `json:"fresh,omitempty"`
 }
 
 // PartitionRequest mirrors the '.options partition' card on the wire.
@@ -51,6 +57,10 @@ const (
 type JobInfo struct {
 	// ID addresses the job in every per-job endpoint.
 	ID string `json:"id"`
+	// Key is the submission's idempotency key: (deck hash, analysis,
+	// seed plus any result-affecting overrides). Resubmitting the same
+	// key returns this job instead of recomputing.
+	Key string `json:"key,omitempty"`
 	// State is one of the State* constants.
 	State string `json:"state"`
 	// Analysis is the resolved analysis kind.
@@ -62,6 +72,11 @@ type JobInfo struct {
 	CacheHit bool `json:"cache_hit"`
 	// Error carries the failure or cancellation cause.
 	Error string `json:"error,omitempty"`
+	// Attempts counts engine runs (>1 when transient failures were
+	// retried).
+	Attempts int `json:"attempts,omitempty"`
+	// Requeued marks a job re-run after a restart interrupted it.
+	Requeued bool `json:"requeued,omitempty"`
 	// Submitted, Started and Finished stamp the lifecycle (zero until
 	// reached).
 	Submitted time.Time `json:"submitted"`

@@ -101,6 +101,15 @@ type flusher interface{ Flush() }
 // http.ResponseWriter behind a streaming handler). Returns the number of
 // chunks written.
 func WriteNDJSON(w io.Writer, set *wave.Set, chunkSamples int) (int, error) {
+	return WriteNDJSONFunc(w, set, chunkSamples, nil)
+}
+
+// WriteNDJSONFunc is WriteNDJSON with a per-chunk hook: pre (when
+// non-nil) runs before each chunk is encoded and aborts the stream by
+// returning an error. The serve layer uses it to arm a write deadline
+// per chunk and to honor client cancellation between chunks — the hook
+// runs before the write that would block on a stalled reader.
+func WriteNDJSONFunc(w io.Writer, set *wave.Set, chunkSamples int, pre func(chunk int) error) (int, error) {
 	enc := json.NewEncoder(w)
 	rd := NewReader(set, chunkSamples)
 	n := 0
@@ -108,6 +117,11 @@ func WriteNDJSON(w io.Writer, set *wave.Set, chunkSamples int) (int, error) {
 		c, ok := rd.Next()
 		if !ok {
 			return n, nil
+		}
+		if pre != nil {
+			if err := pre(n); err != nil {
+				return n, fmt.Errorf("trace: NDJSON chunk %d: %w", n, err)
+			}
 		}
 		// Encode appends the newline NDJSON needs.
 		if err := enc.Encode(c); err != nil {
