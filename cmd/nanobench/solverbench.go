@@ -61,6 +61,22 @@ type PartitionBench struct {
 	MaxAbsDevV    float64 `json:"max_abs_deviation_v"`
 }
 
+// ParallelBench records the multi-core scaling of the partitioned
+// engine: the RTD pipeline with dormancy off (every block solves every
+// step, so the curve measures the worker pool and nothing else) stepped
+// at each worker count, with the waveforms asserted bit-identical
+// between every run. Wall-times only mean something next to the machine
+// that produced them, so GOMAXPROCS and NumCPU ride along.
+type ParallelBench struct {
+	Stages       int       `json:"stages"`
+	Blocks       int       `json:"blocks"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	Workers      []int     `json:"workers"`
+	Ms           []float64 `json:"ms"`
+	Speedup      []float64 `json:"speedup_vs_serial"`
+	BitIdentical bool      `json:"bit_identical"`
+}
+
 // SolverBenchReport is the machine-readable solver perf record emitted
 // as BENCH_solver.json so the hot-path trajectory is tracked PR to PR.
 type SolverBenchReport struct {
@@ -68,6 +84,7 @@ type SolverBenchReport struct {
 	GoVersion  string             `json:"go_version"`
 	GOARCH     string             `json:"goarch"`
 	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
 	Timestamp  string             `json:"timestamp"`
 	Workload   string             `json:"workload"`
 	Crossover  int                `json:"auto_crossover"`
@@ -76,6 +93,7 @@ type SolverBenchReport struct {
 	MinSpeedup float64            `json:"min_speedup_n200_plus"`
 	Vary       *VarySmoke         `json:"vary_smoke,omitempty"`
 	Partition  *PartitionBench    `json:"partition_bench,omitempty"`
+	Parallel   *ParallelBench     `json:"parallel_bench,omitempty"`
 }
 
 // runSolverBench measures the per-step solver cost across sizes and
@@ -83,14 +101,15 @@ type SolverBenchReport struct {
 func runSolverBench(path string) error {
 	sizes := []int{16, 32, 64, 200, 512}
 	rep := SolverBenchReport{
-		Schema:    "nanosim/bench-solver/v1",
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Workload:  "tridiagonal ladder + source incidence; Reset/restamp/Solve per step",
-		Crossover: linsolve.AutoCrossover,
-		SpeedupVs: "sparse-naive (map triplet + full min-degree factorization per step, the pre-PR hot path)",
+		Schema:     "nanosim/bench-solver/v1",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Workload:   "tridiagonal ladder + source incidence; Reset/restamp/Solve per step",
+		Crossover:  linsolve.AutoCrossover,
+		SpeedupVs:  "sparse-naive (map triplet + full min-degree factorization per step, the pre-PR hot path)",
 	}
 
 	measure := func(fn func(b *testing.B)) testing.BenchmarkResult {
@@ -174,6 +193,12 @@ func runSolverBench(path string) error {
 		return err
 	}
 	rep.Partition = pb
+
+	plb, err := runParallelBench()
+	if err != nil {
+		return err
+	}
+	rep.Parallel = plb
 
 	for _, e := range rep.Results {
 		fmt.Printf("%-14s n=%-4d %12.0f ns/step  %4d allocs/step\n",
@@ -319,6 +344,85 @@ func runPartitionBench() (*PartitionBench, error) {
 		return nil, fmt.Errorf("partition bench: speedup %.2fx below the 2x acceptance floor", pb.Speedup)
 	}
 	return pb, nil
+}
+
+// runParallelBench steps the RTD pipeline with dormancy disabled at 1,
+// 2 and 4 workers, asserting every run answers bit-identical waveforms
+// (the tentpole determinism contract) and recording the cores-vs-speedup
+// curve. The >= 2x acceptance floor at 4 workers only applies on
+// machines with >= 4 CPUs; on smaller runners the curve is recorded but
+// flat by construction.
+func runParallelBench() (*ParallelBench, error) {
+	const stages, pulsed = 256, 8
+	workerCounts := []int{1, 2, 4}
+	ckt := exp.RTDPipeline(stages, pulsed)
+
+	pb := &ParallelBench{
+		Stages:       stages,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      workerCounts,
+		BitIdentical: true,
+	}
+	var ref *core.Result
+	for _, w := range workerCounts {
+		opt := core.Options{
+			TStop: 10e-9, HInit: 0.1e-9,
+			Partition: &part.Options{NoDormancy: true},
+			Workers:   w,
+		}
+		runtime.GC()
+		start := time.Now()
+		r, err := core.Transient(ckt, opt)
+		if err != nil {
+			return nil, fmt.Errorf("parallel bench (workers=%d): %w", w, err)
+		}
+		ms := float64(time.Since(start).Nanoseconds()) / 1e6
+		pb.Ms = append(pb.Ms, ms)
+		if ref == nil {
+			ref = r
+			pb.Blocks = r.Stats.Blocks
+			pb.Speedup = append(pb.Speedup, 1)
+			continue
+		}
+		pb.Speedup = append(pb.Speedup, pb.Ms[0]/ms)
+		if err := identicalWaves(ref.Waves, r.Waves); err != nil {
+			pb.BitIdentical = false
+			return nil, fmt.Errorf("parallel bench (workers=%d): %w", w, err)
+		}
+	}
+	fmt.Printf("parallel bench: %d stages, %d blocks, dormancy off; workers %v -> ms %v (speedup %v), bit-identical=%v\n",
+		pb.Stages, pb.Blocks, pb.Workers, pb.Ms, pb.Speedup, pb.BitIdentical)
+	if runtime.NumCPU() >= 4 && pb.Speedup[len(pb.Speedup)-1] < 2 {
+		return nil, fmt.Errorf("parallel bench: %.2fx at 4 workers is below the 2x acceptance floor on a %d-CPU machine",
+			pb.Speedup[len(pb.Speedup)-1], runtime.NumCPU())
+	}
+	return pb, nil
+}
+
+// identicalWaves demands bitwise-equal waveform sets: same signals, same
+// timepoints, same values. Any drift between worker counts is a
+// determinism bug, not a tolerance question.
+func identicalWaves(a, b *wave.Set) error {
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		return fmt.Errorf("signal counts differ: %d vs %d", len(an), len(bn))
+	}
+	for _, name := range an {
+		sa, sb := a.Get(name), b.Get(name)
+		if sb == nil {
+			return fmt.Errorf("signal %s missing from one run", name)
+		}
+		if len(sa.T) != len(sb.T) {
+			return fmt.Errorf("signal %s: %d vs %d samples", name, len(sa.T), len(sb.T))
+		}
+		for i := range sa.T {
+			if sa.T[i] != sb.T[i] || sa.V[i] != sb.V[i] {
+				return fmt.Errorf("signal %s diverges at sample %d: (%g, %g) vs (%g, %g)",
+					name, i, sa.T[i], sa.V[i], sb.T[i], sb.V[i])
+			}
+		}
+	}
+	return nil
 }
 
 func entry(backend string, n int, r testing.BenchmarkResult) SolverBenchEntry {

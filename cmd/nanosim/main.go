@@ -55,6 +55,7 @@ type config struct {
 	seedSet   bool
 	partition bool    // force the torn-block SWEC engine
 	gcouple   float64 // partitioner coupling threshold (0 = default)
+	threads   int     // engine worker pools (-j; 0 = deck/default)
 }
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel workers for -mc/-step batches (0 = GOMAXPROCS)")
 	flag.BoolVar(&cfg.partition, "partition", false, "run SWEC transients on the torn-block engine (like a '.options partition' card)")
 	flag.Float64Var(&cfg.gcouple, "gcouple", 0, "partitioner coupling threshold in (0,1) (0 = engine default)")
+	flag.IntVar(&cfg.threads, "j", 0, "worker threads for the partitioned-transient and AC engines (like a '.options threads=' card; results are bit-identical at any value)")
 	seed := flag.Uint64("seed", 0, "override the Monte Carlo seed")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nanosim [flags] deck.sp\n\n")
@@ -114,17 +116,21 @@ func run(path string, cfg config) error {
 	if err != nil {
 		return err
 	}
+	threads, err := threadsOf(deck, cfg)
+	if err != nil {
+		return err
+	}
 
 	wantMC := cfg.mc > 0 || deck.MC != nil
 	wantStep := cfg.step || len(deck.Steps) > 0
 	if wantMC || wantStep {
 		if wantStep {
-			if err := runStep(deck, cfg, popt); err != nil {
+			if err := runStep(deck, cfg, popt, threads); err != nil {
 				return err
 			}
 		}
 		if wantMC && !cfg.step {
-			if err := runMC(deck, cfg, popt); err != nil {
+			if err := runMC(deck, cfg, popt, threads); err != nil {
 				return err
 			}
 		}
@@ -180,7 +186,7 @@ func run(path string, cfg config) error {
 			fmt.Println()
 		case "ac":
 			res, err := nanosim.AC(deck.Circuit, nanosim.ACOptions{
-				Grid: a.ACGrid, Points: a.Points, FStart: a.From, FStop: a.To})
+				Grid: a.ACGrid, Points: a.Points, FStart: a.From, FStop: a.To, Workers: threads})
 			if err != nil {
 				return fmt.Errorf(".ac: %w", err)
 			}
@@ -207,7 +213,7 @@ func run(path string, cfg config) error {
 			}
 			fmt.Println()
 		case "tran":
-			waves, stats, err := runTransient(deck.Circuit, cfg.engine, a, popt)
+			waves, stats, err := runTransient(deck.Circuit, cfg.engine, a, popt, threads)
 			if err != nil {
 				return fmt.Errorf(".tran: %w", err)
 			}
@@ -283,9 +289,25 @@ func partitionOpts(deck *netparse.Deck, cfg config) (*nanosim.PartitionOptions, 
 	return &popt, nil
 }
 
+// threadsOf merges the deck's '.options threads=' with the -j flag (the
+// flag wins). Thread counts only change wall-clock time, never results:
+// every engine's parallel path is bit-identical at any worker count.
+func threadsOf(deck *netparse.Deck, cfg config) (int, error) {
+	if cfg.threads < 0 {
+		return 0, fmt.Errorf("-j %d out of range (want an integer >= 0)", cfg.threads)
+	}
+	if cfg.threads > 0 {
+		return cfg.threads, nil
+	}
+	if o := deck.Options; o != nil {
+		return o.Threads, nil
+	}
+	return 0, nil
+}
+
 // batchJob builds the per-trial analysis from the deck's cards: the .mc
 // analysis keyword when given, else the first .tran, else .em, else .op.
-func batchJob(deck *netparse.Deck, popt *nanosim.PartitionOptions) (nanosim.VaryJob, error) {
+func batchJob(deck *netparse.Deck, popt *nanosim.PartitionOptions, threads int) (nanosim.VaryJob, error) {
 	kind := ""
 	if deck.MC != nil {
 		kind = deck.MC.Analysis
@@ -316,7 +338,7 @@ func batchJob(deck *netparse.Deck, popt *nanosim.PartitionOptions) (nanosim.Vary
 		if tran == nil {
 			return job, fmt.Errorf(".mc tran needs a .tran card")
 		}
-		job.Tran = nanosim.TranOptions{TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true, Partition: popt}
+		job.Tran = nanosim.TranOptions{TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true, Partition: popt, Workers: threads}
 	case "em":
 		if em == nil {
 			return job, fmt.Errorf(".mc em needs a .em card")
@@ -333,11 +355,11 @@ func printSignals(deck *netparse.Deck) []string {
 }
 
 // runMC executes the deck's Monte Carlo cards.
-func runMC(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions) error {
+func runMC(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions, threads int) error {
 	if len(deck.Varies) == 0 {
 		return fmt.Errorf("-mc/.mc needs at least one .vary card")
 	}
-	job, err := batchJob(deck, popt)
+	job, err := batchJob(deck, popt, threads)
 	if err != nil {
 		return err
 	}
@@ -430,11 +452,11 @@ func runMC(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions) erro
 }
 
 // runStep executes the deck's .step sweep.
-func runStep(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions) error {
+func runStep(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions, threads int) error {
 	if len(deck.Steps) == 0 {
 		return fmt.Errorf("-step needs at least one .step card")
 	}
-	job, err := batchJob(deck, popt)
+	job, err := batchJob(deck, popt, threads)
 	if err != nil {
 		return err
 	}
@@ -488,11 +510,11 @@ func runStep(deck *netparse.Deck, cfg config, popt *nanosim.PartitionOptions) er
 }
 
 // runTransient dispatches on the engine flag.
-func runTransient(ckt *nanosim.Circuit, engine string, a netparse.Analysis, popt *nanosim.PartitionOptions) (*nanosim.WaveSet, string, error) {
+func runTransient(ckt *nanosim.Circuit, engine string, a netparse.Analysis, popt *nanosim.PartitionOptions, threads int) (*nanosim.WaveSet, string, error) {
 	switch engine {
 	case "swec", "":
 		res, err := nanosim.Transient(ckt, nanosim.TranOptions{
-			TStop: a.TStop, HInit: a.TStep, RecordCurrents: true, Partition: popt})
+			TStop: a.TStop, HInit: a.TStep, RecordCurrents: true, Partition: popt, Workers: threads})
 		if err != nil {
 			return nil, "", err
 		}

@@ -73,6 +73,12 @@ type Options struct {
 	// Ctx, when non-nil, is polled once per frequency point; a canceled
 	// context aborts the sweep with context.Cause.
 	Ctx context.Context
+	// Workers bounds how many goroutines sweep frequency points
+	// concurrently (contiguous chunks, each worker warming a private
+	// solver on point 0's matrix so every point reuses the same canonical
+	// pivot order; see sweep.go). <= 1 sweeps on the calling goroutine;
+	// results are bit-identical at any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,8 +116,11 @@ type Stats struct {
 	Solves int64
 	// DeviceEvals counts small-signal linearization evaluations.
 	DeviceEvals int64
-	// Solve reports how the complex backend amortized factorization
-	// work: one full factorization then numeric refactors per point.
+	// Solve reports how the complex backends amortized factorization
+	// work: warm-up full factorizations (one per sweep worker) then
+	// numeric refactors per point. Unlike the waveforms, which are
+	// bit-identical at any Workers count, this record includes the
+	// per-worker warm-up and therefore depends on Workers.
 	Solve linsolve.SolveStats
 	// Flops is the attributable snapshot.
 	Flops flop.Snapshot
@@ -214,11 +223,7 @@ func AC(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	res.Freqs = freqs
 	res.Stats.Points = len(freqs)
 
-	dim := sys.Dim()
-	sol := opt.Solver(dim, opt.FC)
-	b := make([]complex128, dim)
-	x := make([]complex128, dim)
-	noiseAcc := make([]float64, dim) // per-row Σ 2σ²|H|² at the current point
+	sw := newSweeper(sys, &opt, ttG, fets, noiseCols, freqs)
 
 	// Output series, one group per node.
 	nNodes := sys.NodeCount()
@@ -242,63 +247,25 @@ func AC(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		}
 	}
 
-	for _, f := range freqs {
-		if err := ctxErr(opt.Ctx); err != nil {
-			return nil, fmt.Errorf("acan: sweep canceled at %g Hz: %w", f, err)
-		}
-		omega := 2 * math.Pi * f
-		// Assemble G + jωC. The stamp order is frequency-invariant, so
-		// from the second point on every Add lands in a compiled slot and
-		// the factorization is a numeric refactor of the first symbolic
-		// analysis.
-		sol.Reset()
-		sys.StampACLinear(sol, omega)
-		for i := 0; i < nNodes; i++ {
-			sol.Add(i, i, complex(opt.Gmin, 0))
-		}
-		for k, tt := range sys.TwoTerms() {
-			stamp.Stamp2C(sol, tt.IA, tt.IB, complex(ttG[k], 0))
-		}
-		for _, fs := range fets {
-			stampFET(sol, fs)
-		}
-		sys.StampACRHS(b)
-		if err := sol.Solve(b, x); err != nil {
-			return nil, fmt.Errorf("acan: singular AC system at %g Hz: %w", f, err)
-		}
-		res.Stats.Solves++
+	// Sweep the grid — across workers when Workers > 1, with the batched
+	// multi-RHS kernels either way (see sweep.go) — then emit the series
+	// serially in point order from the per-point solutions.
+	if err := sw.run(opt.Workers, &res.Stats); err != nil {
+		return nil, err
+	}
+	for pi, f := range freqs {
 		for row := 0; row < nNodes; row++ {
-			mag := cmplx.Abs(x[row])
+			xv := sw.xs[pi*nNodes+row]
+			mag := cmplx.Abs(xv)
 			vm[row].MustAppend(f, mag)
-			vp[row].MustAppend(f, cmplx.Phase(x[row])*180/math.Pi)
+			vp[row].MustAppend(f, cmplx.Phase(xv)*180/math.Pi)
 			db := VdbFloor
 			if mag > 0 {
 				db = math.Max(20*math.Log10(mag), VdbFloor)
 			}
 			vdb[row].MustAppend(f, db)
-		}
-		// Noise transfers reuse the factorization: the matrix is clean
-		// after the AC solve, so each column is a forward/back
-		// substitution only.
-		if len(noiseCols) > 0 {
-			for i := range noiseAcc {
-				noiseAcc[i] = 0
-			}
-			for _, col := range noiseCols {
-				for i := range b {
-					b[i] = complex(col[i], 0)
-				}
-				if err := sol.Solve(b, x); err != nil {
-					return nil, fmt.Errorf("acan: noise transfer at %g Hz: %w", f, err)
-				}
-				res.Stats.Solves++
-				for row := 0; row < nNodes; row++ {
-					re, im := real(x[row]), imag(x[row])
-					noiseAcc[row] += 2 * (re*re + im*im)
-				}
-			}
-			for row := 0; row < nNodes; row++ {
-				onoise[row].MustAppend(f, math.Sqrt(noiseAcc[row]))
+			if onoise != nil {
+				onoise[row].MustAppend(f, sw.noise[pi*nNodes+row])
 			}
 		}
 	}
@@ -316,9 +283,6 @@ func AC(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		}
 	}
 	res.Waves = set
-	if r, ok := sol.(linsolve.Refactorable); ok {
-		res.Stats.Solve = r.SolveStats()
-	}
 	if opt.FC != nil {
 		res.Stats.Flops = opt.FC.Snapshot().Sub(start)
 	}

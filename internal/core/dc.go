@@ -86,27 +86,36 @@ func newDCSolver(sys *stamp.System, opt DCOptions) *dcSolver {
 	}
 }
 
+// assembleDCG stamps G(x) — linear conductances, the Gmin leak and the
+// SWEC equivalent conductances evaluated at state x — into a. Device
+// evaluations are charged to fc/stats; the batched operating point
+// (dc_batch.go) passes nil/scratch for frozen lanes so converged lanes
+// keep their matrices factorable without inflating any trial's counters.
+func assembleDCG(sys *stamp.System, a stamp.Adder, x []float64, gmin float64, fc *flop.Counter, stats *Stats) {
+	sys.StampLinearG(a)
+	for i := 0; i < sys.NodeCount(); i++ {
+		a.Add(i, i, gmin)
+	}
+	for _, tt := range sys.TwoTerms() {
+		v := sys.Branch(x, tt.Elem.A, tt.Elem.B)
+		g := device.Geq(tt.Elem.Model, v)
+		chargeDC(fc, tt.Elem.Model.Cost(), stats)
+		stamp.Stamp2(a, tt.IA, tt.IB, g)
+	}
+	for _, f := range sys.FETs() {
+		vgs := sys.Branch(x, f.Elem.G, f.Elem.S)
+		vds := sys.Branch(x, f.Elem.D, f.Elem.S)
+		g := f.Elem.Model.GeqDS(vgs, vds)
+		chargeDC(fc, f.Elem.Model.Cost(), stats)
+		stamp.Stamp2(a, f.ID, f.IS, g)
+	}
+}
+
 // solveAt assembles G(x) with SWEC equivalent conductances evaluated at
 // state x, and solves for the new state at source time t.
 func (d *dcSolver) solveAt(t float64, x []float64, stats *Stats) ([]float64, error) {
 	d.sol.Reset()
-	d.sys.StampLinearG(d.sol)
-	for i := 0; i < d.sys.NodeCount(); i++ {
-		d.sol.Add(i, i, d.opt.Gmin)
-	}
-	for _, tt := range d.sys.TwoTerms() {
-		v := d.sys.Branch(x, tt.Elem.A, tt.Elem.B)
-		g := device.Geq(tt.Elem.Model, v)
-		chargeDC(d.opt.FC, tt.Elem.Model.Cost(), stats)
-		stamp.Stamp2(d.sol, tt.IA, tt.IB, g)
-	}
-	for _, f := range d.sys.FETs() {
-		vgs := d.sys.Branch(x, f.Elem.G, f.Elem.S)
-		vds := d.sys.Branch(x, f.Elem.D, f.Elem.S)
-		g := f.Elem.Model.GeqDS(vgs, vds)
-		chargeDC(d.opt.FC, f.Elem.Model.Cost(), stats)
-		stamp.Stamp2(d.sol, f.ID, f.IS, g)
-	}
+	assembleDCG(d.sys, d.sol, x, d.opt.Gmin, d.opt.FC, stats)
 	for i := range d.b {
 		d.b[i] = 0
 	}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/stamp"
+)
+
+// This file is the Monte-Carlo consumer of the batched multi-RHS
+// kernels: k perturbed operating points advance one damped Picard
+// iteration per lockstep pass, sharing one numeric refactorization
+// sweep (linsolve.SparseMultiOf) against the warm base solver's
+// compiled pattern and pivot order.
+//
+// Determinism contract: lane c's iterates are bit-identical to running
+// OperatingPoint on lane c's circuit alone with the same warm solver —
+// the per-lane refactor and solve kernels replay the scalar op
+// sequence exactly, and the damped update below is the scalar loop
+// verbatim. A lane that converges is frozen: its state stops changing
+// and its device evaluations stop being charged, but its matrix keeps
+// being assembled (uncharged) so the lockstep refactor stays
+// well-posed. Anything the lockstep path cannot reproduce exactly —
+// pattern mismatch, pivot drift, a singular lane, non-convergence,
+// cancellation — aborts the whole batch with an error and the base
+// solver untouched, so the caller redoes the trials through the scalar
+// path and gets the exact scalar outcome (including error text).
+
+// DCBatchResult reports one lockstep operating-point batch.
+type DCBatchResult struct {
+	// Lanes holds one converged DCResult per input circuit, in order.
+	Lanes []DCResult
+	// Solve is the batch wrapper's factorization accounting (the base
+	// solver's own stats are never touched by a batch).
+	Solve linsolve.SolveStats
+}
+
+// OperatingPointBatch solves the DC operating points of k structurally
+// identical circuits in lockstep against one warm sparse solver. base
+// must be a compiled+factored sparse backend whose pattern came from a
+// circuit with the same stamp sequence as every ckts[i] (the Monte
+// Carlo runner warms it on the nominal deck). On any error the caller
+// must fall back to per-circuit OperatingPoint; base is never mutated.
+func OperatingPointBatch(ckts []*circuit.Circuit, base linsolve.Solver, opt DCOptions) (*DCBatchResult, error) {
+	opt = opt.withDefaults()
+	k := len(ckts)
+	if k == 0 {
+		return nil, fmt.Errorf("core: operating point batch needs at least one circuit")
+	}
+	m, ok := linsolve.NewSparseMulti(base, k)
+	if !ok {
+		return nil, fmt.Errorf("core: base solver does not support lane batching")
+	}
+	dim := m.N()
+	systems := make([]*stamp.System, k)
+	for c, ckt := range ckts {
+		sys, err := stamp.NewSystem(ckt)
+		if err != nil {
+			return nil, err
+		}
+		if sys.Dim() != dim {
+			return nil, fmt.Errorf("core: lane %d dimension %d != base %d", c, sys.Dim(), dim)
+		}
+		systems[c] = sys
+	}
+
+	res := &DCBatchResult{Lanes: make([]DCResult, k)}
+	xs := make([][]float64, k)
+	for c := range xs {
+		xs[c] = make([]float64, dim)
+	}
+	b := make([]float64, k*dim)
+	xNew := make([]float64, k*dim)
+	done := make([]bool, k)
+	var scratch Stats // frozen-lane assembly: evaluated but never charged
+	remaining := k
+	for iter := 1; iter <= opt.MaxIter && remaining > 0; iter++ {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, fmt.Errorf("core: operating point batch canceled at iteration %d: %w", iter, err)
+		}
+		m.Begin()
+		for c := range ckts {
+			if done[c] {
+				assembleDCG(systems[c], m.LaneAdder(c), xs[c], opt.Gmin, nil, &scratch)
+				continue
+			}
+			if opt.FC != nil {
+				opt.FC.Iter()
+			}
+			assembleDCG(systems[c], m.LaneAdder(c), xs[c], opt.Gmin, opt.FC, &res.Lanes[c].Stats)
+			bc := b[c*dim : (c+1)*dim]
+			for i := range bc {
+				bc[i] = 0
+			}
+			systems[c].StampRHS(0, bc)
+		}
+		if err := m.Refactor(); err != nil {
+			return nil, err
+		}
+		m.SolveEach(b, xNew)
+		for c := range ckts {
+			if done[c] {
+				continue
+			}
+			lane := &res.Lanes[c]
+			lane.Stats.Solves++
+			x, xn := xs[c], xNew[c*dim:(c+1)*dim]
+			if !allFinite(xn) {
+				return nil, fmt.Errorf("core: non-finite operating point in lane %d at iteration %d", c, iter)
+			}
+			// Damped update, verbatim from OperatingPoint: converged when
+			// the relative change of every unknown is below Tol.
+			worst := 0.0
+			for i := range x {
+				upd := opt.Damping*xn[i] + (1-opt.Damping)*x[i]
+				den := 1e-9 + math.Max(math.Abs(upd), math.Abs(x[i]))
+				if r := math.Abs(upd-x[i]) / den; r > worst {
+					worst = r
+				}
+				x[i] = upd
+			}
+			lane.Iterations = iter
+			if worst <= opt.Tol {
+				lane.X = x
+				done[c] = true
+				remaining--
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("core: operating point batch: %w after %d iterations (%d of %d lanes)",
+			ErrNoConvergence, opt.MaxIter, remaining, k)
+	}
+	res.Solve = m.SolveStats()
+	return res, nil
+}

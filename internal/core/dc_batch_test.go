@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/flop"
+	"nanosim/internal/linsolve"
+)
+
+// dcLadder builds an n-stage R+RTD ladder whose resistors are scaled by
+// rscale — structurally identical decks with different values, the
+// Monte-Carlo lane shape.
+func dcLadder(n int, rscale float64) *circuit.Circuit {
+	c := circuit.New("dc ladder")
+	if _, err := c.AddVSource("V1", "in", "0", device.DC(0.8)); err != nil {
+		panic(err)
+	}
+	prev := "in"
+	for i := 0; i < n; i++ {
+		node := fmt.Sprintf("n%d", i)
+		if _, err := c.AddResistor("R"+node, prev, node, 300*rscale*(1+0.02*float64(i))); err != nil {
+			panic(err)
+		}
+		if _, err := c.AddDevice("N"+node, node, "0", device.NewRTD()); err != nil {
+			panic(err)
+		}
+		prev = node
+	}
+	return c
+}
+
+// TestOperatingPointBatchBitIdenticalDeterministic proves the lockstep
+// multi-RHS operating point equals the scalar path bit for bit: every
+// lane's state, iteration count and work counters must match running
+// OperatingPoint on that lane alone against the same warm solver, and
+// repeat batches must reproduce themselves exactly.
+func TestOperatingPointBatchBitIdenticalDeterministic(t *testing.T) {
+	const n = 12
+	scales := []float64{1.0, 0.97, 1.03, 1.01, 0.99}
+
+	// Warm one sparse solver on the nominal deck, the way the vary
+	// runner's nominal warm-up does.
+	var base linsolve.Solver
+	capture := func(dim int, fc *flop.Counter) linsolve.Solver {
+		base = linsolve.NewSparse(dim, fc)
+		return base
+	}
+	if _, err := OperatingPoint(dcLadder(n, 1.0), DCOptions{Solver: capture}); err != nil {
+		t.Fatal(err)
+	}
+
+	lanes := make([]*circuit.Circuit, len(scales))
+	for c, s := range scales {
+		lanes[c] = dcLadder(n, s)
+	}
+	run := func() *DCBatchResult {
+		res, err := OperatingPointBatch(lanes, base, DCOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	rep := run()
+	for c := range scales {
+		a, b := res.Lanes[c], rep.Lanes[c]
+		if a.Iterations != b.Iterations || a.Stats != b.Stats {
+			t.Fatalf("lane %d: repeat batch diverged: %+v vs %+v", c, a.Stats, b.Stats)
+		}
+		for i := range a.X {
+			if a.X[i] != b.X[i] {
+				t.Fatalf("lane %d: repeat batch state row %d differs", c, i)
+			}
+		}
+	}
+
+	// Scalar reference per lane, reusing the same warm base solver the
+	// batch read from (the batch never mutated it).
+	reuse := func(dim int, fc *flop.Counter) linsolve.Solver { return base }
+	for c, ckt := range lanes {
+		ref, err := OperatingPoint(ckt, DCOptions{Solver: reuse})
+		if err != nil {
+			t.Fatalf("lane %d scalar reference: %v", c, err)
+		}
+		got := res.Lanes[c]
+		if got.Iterations != ref.Iterations {
+			t.Fatalf("lane %d: iterations %d, scalar %d", c, got.Iterations, ref.Iterations)
+		}
+		if len(got.X) != len(ref.X) {
+			t.Fatalf("lane %d: dim %d, scalar %d", c, len(got.X), len(ref.X))
+		}
+		for i := range got.X {
+			if got.X[i] != ref.X[i] {
+				t.Fatalf("lane %d: state row %d differs: %g vs %g (Δ %g)",
+					c, i, got.X[i], ref.X[i], got.X[i]-ref.X[i])
+			}
+		}
+		if got.Stats.DeviceEvals != ref.Stats.DeviceEvals || got.Stats.Solves != ref.Stats.Solves {
+			t.Fatalf("lane %d: work counters differ: %+v vs %+v", c, got.Stats, ref.Stats)
+		}
+	}
+
+	// The wrapper accounted one numeric refactor per lane per pass and
+	// no full factorizations — the amortization the batch exists for.
+	if res.Solve.FullFactor != 0 || res.Solve.NumericRefactor == 0 {
+		t.Fatalf("batch factorization accounting off: %+v", res.Solve)
+	}
+}
+
+// TestOperatingPointBatchRejectsDense pins the fallback contract: a
+// dense base solver cannot lane-batch and the batch must say so instead
+// of guessing.
+func TestOperatingPointBatchRejectsDense(t *testing.T) {
+	var base linsolve.Solver
+	capture := func(dim int, fc *flop.Counter) linsolve.Solver {
+		base = linsolve.NewDense(dim, fc)
+		return base
+	}
+	if _, err := OperatingPoint(dcLadder(4, 1.0), DCOptions{Solver: capture}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OperatingPointBatch([]*circuit.Circuit{dcLadder(4, 1.0)}, base, DCOptions{}); err == nil {
+		t.Fatal("dense base accepted for lane batching")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+// Parallel block dispatch for the partitioned SWEC driver.
+//
+// The Gauss-Jacobi tear coupling already isolates blocks within a step:
+// each awake block reads only barrier-frozen global state (e.x, e.xPrev,
+// e.xTrial, e.tearGPred) plus its private arrays, and writes its private
+// arrays plus the rows of e.xNew it owns (disjoint across blocks by the
+// partition invariant). That makes every block-local phase
+// embarrassingly parallel, and — because no block's arithmetic reads
+// another block's phase output — bit-identical at any worker count: the
+// pool only changes which goroutine runs a block, never what it
+// computes. The same protocol internal/vary uses for Monte-Carlo trials.
+//
+// Work distribution is a shared atomic cursor over the awake-block list
+// rather than precomputed ranges, so a few expensive blocks cannot
+// serialize a step behind one unlucky worker. Everything that is
+// order-sensitive (stats totals, error selection) is either folded
+// serially in block order or commutative (integer sums, the atomic flop
+// counter).
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// poolWorkers clamps the requested worker count to a useful range: never
+// more workers than blocks, and a pool only exists when it can hold at
+// least two.
+func poolWorkers(requested, blocks int) int {
+	if requested > blocks {
+		requested = blocks
+	}
+	return requested
+}
+
+// blockPool is a persistent worker pool dispatching one phase function
+// over a shared index list. It is created once per run (Workers > 1
+// only) and reused for every phase of every step: run() publishes the
+// list and function, wakes each worker with a token, and the token
+// send / WaitGroup handshake orders those writes before the workers read
+// them and the workers' writes before run() continues — the pool itself
+// allocates nothing after construction.
+type blockPool struct {
+	w     int
+	tasks chan struct{}
+	wg    sync.WaitGroup
+	list  []int
+	fn    func(int)
+	cur   atomic.Int64
+}
+
+func newBlockPool(w int) *blockPool {
+	p := &blockPool{w: w, tasks: make(chan struct{})}
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *blockPool) worker() {
+	for range p.tasks {
+		for {
+			i := int(p.cur.Add(1)) - 1
+			if i >= len(p.list) {
+				break
+			}
+			p.fn(p.list[i])
+		}
+		p.wg.Done()
+	}
+}
+
+// run executes fn(i) for every i in list across the pool and returns
+// when all calls finished.
+func (p *blockPool) run(list []int, fn func(int)) {
+	p.list, p.fn = list, fn
+	p.cur.Store(0)
+	p.wg.Add(p.w)
+	for i := 0; i < p.w; i++ {
+		p.tasks <- struct{}{}
+	}
+	p.wg.Wait()
+	p.list, p.fn = nil, nil
+}
+
+// close terminates the workers. Safe only between run calls.
+func (p *blockPool) close() { close(p.tasks) }
+
+// bindPhases caches the phase method values once so per-step dispatch
+// does not allocate closures.
+func (e *partEngine) bindPhases() {
+	e.fnSolve = e.phaseSolve
+	e.fnCorrect = e.phaseCorrect
+	e.fnAccept = e.phaseAccept
+	e.fnRefresh = e.phaseRefresh
+}
+
+// dispatch runs fn over the awake blocks of this step — inline without a
+// pool or when the list is trivially small, across the pool otherwise.
+func (e *partEngine) dispatch(fn func(int)) {
+	if e.pool == nil || len(e.activeIdx) < 2 {
+		for _, bi := range e.activeIdx {
+			fn(bi)
+		}
+		return
+	}
+	e.pool.run(e.activeIdx, fn)
+}
+
+// firstBlockErr scans the awake blocks in index order and returns the
+// first phase failure — deterministic regardless of which worker hit an
+// error first or whether later blocks also failed.
+func (e *partEngine) firstBlockErr() error {
+	for _, bi := range e.activeIdx {
+		if err := e.blocks[bi].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phaseSolve assembles and solves one awake block for the step
+// (phT, phT+phH] and scatters its owned rows into e.xNew.
+func (e *partEngine) phaseSolve(bi int) {
+	b := e.blocks[bi]
+	b.err = nil
+	e.assembleBlock(b, e.phT, e.phH)
+	if err := b.sol.Solve(b.rhs, b.xbNe); err != nil {
+		b.err = fmt.Errorf("core: singular block %d at t=%g: %w", bi, e.phT, err)
+		return
+	}
+	b.stats.Solves++
+	b.stats.BlockSolves++
+	if !allFinite(b.xbNe) {
+		b.err = fmt.Errorf("core: non-finite solution in block %d at t=%g", bi, e.phT)
+		return
+	}
+	for r, owned := range b.blk.Owned {
+		if owned {
+			e.xNew[b.blk.Rows[r]] = b.xbNe[r]
+		}
+	}
+}
+
+// phaseCorrect is one corrector pass over one awake block against the
+// pass-start snapshot e.xTrial.
+func (e *partEngine) phaseCorrect(bi int) {
+	b := e.blocks[bi]
+	b.err = nil
+	e.correctBlock(b, e.phT, e.phH, e.xTrial)
+	if err := b.sol.Solve(b.rhs, b.xbNe); err != nil {
+		b.err = fmt.Errorf("core: singular corrector block %d at t=%g: %w", bi, e.phT, err)
+		return
+	}
+	b.stats.Solves++
+	b.stats.BlockSolves++
+	if !allFinite(b.xbNe) {
+		b.err = fmt.Errorf("core: non-finite corrector solution in block %d at t=%g", bi, e.phT)
+		return
+	}
+	for r, owned := range b.blk.Owned {
+		if owned {
+			e.xNew[b.blk.Rows[r]] = b.xbNe[r]
+		}
+	}
+}
+
+// phaseAccept advances one awake block's capacitor-current state to the
+// accepted step (runs before e.x/e.stats.Steps advance, like the serial
+// accept did).
+func (e *partEngine) phaseAccept(bi int) {
+	b := e.blocks[bi]
+	gather(b.xbNe, e.xNew, b.blk.Rows)
+	b.sys.UpdateCapCurrents(b.capI, b.xb, b.xbNe, e.phH, e.trapNow())
+}
+
+// phaseRefresh re-evaluates one awake block's device conductances at the
+// newly accepted state.
+func (e *partEngine) phaseRefresh(bi int) {
+	e.refreshBlock(e.blocks[bi])
+}
+
+// fold adds the per-block work partials into the engine total. Only the
+// counters block phases charge are folded; everything else (Steps,
+// Rejected, BlockSkips, partition shape, flops) lives on the engine
+// record alone.
+func (s *Stats) fold(o *Stats) {
+	s.DeviceEvals += o.DeviceEvals
+	s.Solves += o.Solves
+	s.BlockSolves += o.BlockSolves
+}

@@ -86,6 +86,15 @@ type pBlock struct {
 	iSrcs   []device.Waveform
 	iSrcVal []float64 // current-source values applied at the last assembly
 	brk     *breakSet // breakpoints of internal + stiff-remote sources
+
+	// stats accumulates this block's work (device evals, solves): block
+	// phases may run on pool workers, so each block charges a private
+	// partial that run() folds into the engine total at the end — integer
+	// sums, so the fold is exact and independent of the worker count.
+	stats Stats
+	// err holds the block's phase failure, published at the phase barrier
+	// and scanned in block order so the reported error is deterministic.
+	err error
 }
 
 // partEngine integrates a torn circuit from TStart to TStop.
@@ -111,6 +120,18 @@ type partEngine struct {
 	stats      Stats
 	rec        *trace.Recorder
 	startFlops flop.Snapshot
+
+	// Parallel block dispatch (parallel.go). pool is nil when Workers <= 1
+	// or the partition has a single block; phase state (phT/phH) is
+	// published before each dispatch and the pool's channel handshake
+	// makes it visible to the workers.
+	pool      *blockPool
+	activeIdx []int // awake block indices for this step, reused
+	phT, phH  float64
+	fnSolve   func(int)
+	fnCorrect func(int)
+	fnAccept  func(int)
+	fnRefresh func(int)
 }
 
 func newPartEngine(sys *stamp.System, p *part.Partition, opt Options) (*partEngine, error) {
@@ -216,7 +237,7 @@ func (e *partEngine) seedDeviceState() {
 		gather(b.xb, e.x, b.blk.Rows)
 		for k, tt := range b.sys.TwoTerms() {
 			v := b.sys.Branch(b.xb, tt.Elem.A, tt.Elem.B)
-			b.ttGeq[k], b.ttDG[k] = e.evalGeqSlope(tt.Elem.Model, v)
+			b.ttGeq[k], b.ttDG[k] = e.evalGeqSlope(&e.stats, tt.Elem.Model, v)
 		}
 		for k, f := range b.sys.FETs() {
 			vgs := b.sys.Branch(b.xb, f.Elem.G, f.Elem.S)
@@ -232,18 +253,20 @@ func (e *partEngine) seedDeviceState() {
 			continue
 		}
 		v := e.x[tr.A] - e.x[tr.B]
-		e.tearGeq[i], e.tearDG[i] = e.evalGeqSlope(tr.TT.Model, v)
+		e.tearGeq[i], e.tearDG[i] = e.evalGeqSlope(&e.stats, tr.TT.Model, v)
 	}
 }
 
-// evalGeqSlope mirrors the monolithic fused evaluation.
-func (e *partEngine) evalGeqSlope(m device.IV, v float64) (geq, dg float64) {
+// evalGeqSlope mirrors the monolithic fused evaluation, charging the
+// stats partial of whoever runs it: &e.stats on the serial paths (seed,
+// tears), the block's own partial inside pool-dispatched phases.
+func (e *partEngine) evalGeqSlope(st *Stats, m device.IV, v float64) (geq, dg float64) {
 	if e.opt.NoPredictor {
 		geq = device.Geq(m, v)
 	} else {
 		geq, dg = device.GeqAndSlope(m, v)
 	}
-	chargeDeviceCost(&e.stats, e.opt.FC, m.Cost(), 1)
+	chargeDeviceCost(st, e.opt.FC, m.Cost(), 1)
 	return geq, dg
 }
 
@@ -277,7 +300,7 @@ func (e *partEngine) predictFET(b *pBlock, k int, f stamp.FETRef, h float64) flo
 	vgsPrev := b.sys.Branch(b.xbPrev, f.Elem.G, f.Elem.S)
 	vdsPrev := b.sys.Branch(b.xbPrev, f.Elem.D, f.Elem.S)
 	gPrev := f.Elem.Model.GeqDS(vgsPrev, vdsPrev)
-	chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
+	chargeDeviceCost(&b.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
 	dgdt := (g - gPrev) / e.hPrev
 	gp := g + 0.5*h*dgdt
 	if fc := e.opt.FC; fc != nil {
@@ -435,14 +458,14 @@ func (e *partEngine) correctBlock(b *pBlock, t, h float64, xTrial []float64) {
 	for _, tt := range bs.TwoTerms() {
 		v := bs.Branch(b.xbNe, tt.Elem.A, tt.Elem.B)
 		g := device.Geq(tt.Elem.Model, v)
-		chargeDeviceCost(&e.stats, e.opt.FC, tt.Elem.Model.Cost(), 1)
+		chargeDeviceCost(&b.stats, e.opt.FC, tt.Elem.Model.Cost(), 1)
 		stamp.Stamp2(b.sol, tt.IA, tt.IB, g)
 	}
 	for _, f := range bs.FETs() {
 		vgs := bs.Branch(b.xbNe, f.Elem.G, f.Elem.S)
 		vds := bs.Branch(b.xbNe, f.Elem.D, f.Elem.S)
 		g := f.Elem.Model.GeqDS(vgs, vds)
-		chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
+		chargeDeviceCost(&b.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
 		stamp.Stamp2(b.sol, f.ID, f.IS, g)
 	}
 	for i := range b.rhs {
@@ -460,7 +483,7 @@ func (e *partEngine) correctBlock(b *pBlock, t, h float64, xTrial []float64) {
 		g := e.tearGPred[ts.tear]
 		if tr.TT != nil {
 			g = device.Geq(tr.TT.Model, xTrial[tr.A]-xTrial[tr.B])
-			chargeDeviceCost(&e.stats, e.opt.FC, tr.TT.Model.Cost(), 1)
+			chargeDeviceCost(&b.stats, e.opt.FC, tr.TT.Model.Cost(), 1)
 		}
 		b.sol.Add(ts.local, ts.local, g)
 		var v float64
@@ -484,27 +507,42 @@ func (e *partEngine) refreshBlock(b *pBlock) {
 	gather(b.xb, e.x, b.blk.Rows)
 	for k, tt := range b.sys.TwoTerms() {
 		v := b.sys.Branch(b.xb, tt.Elem.A, tt.Elem.B)
-		b.ttGeq[k], b.ttDG[k] = e.evalGeqSlope(tt.Elem.Model, v)
+		b.ttGeq[k], b.ttDG[k] = e.evalGeqSlope(&b.stats, tt.Elem.Model, v)
 	}
 	for k, f := range b.sys.FETs() {
 		vgs := b.sys.Branch(b.xb, f.Elem.G, f.Elem.S)
 		vds := b.sys.Branch(b.xb, f.Elem.D, f.Elem.S)
 		b.fetGeq[k] = f.Elem.Model.GeqDS(vgs, vds)
-		chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
+		chargeDeviceCost(&b.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
 	}
 }
 
 // run integrates from TStart to TStop with the global adaptive step.
+//
+// Within each step, the four block-local phases (assemble+solve,
+// corrector passes, capacitor-current update, device refresh) run over
+// the awake blocks through dispatch — inline when Workers <= 1, across
+// the pool otherwise — with everything between phases (wake bookkeeping,
+// tear prediction, error control, dormancy, recording) serial on the
+// calling goroutine. Every phase writes only block-private state plus
+// the block's own rows of e.xNew, so the result is bit-identical at any
+// worker count; see parallel.go.
 func (e *partEngine) run() (*Result, error) {
 	opt := e.opt
 	if opt.FC != nil {
 		e.startFlops = opt.FC.Snapshot()
+	}
+	e.bindPhases()
+	if w := poolWorkers(opt.Workers, len(e.blocks)); w > 1 {
+		e.pool = newBlockPool(w)
+		defer e.pool.close()
 	}
 	t := opt.TStart
 	hCruise := opt.HInit
 	e.seedDeviceState()
 	e.rec.Sample(t, e.x)
 	active := make([]bool, len(e.blocks))
+	e.activeIdx = make([]int, 0, len(e.blocks))
 
 	for t < opt.TStop-e.brk.tol {
 		if err := ctxErr(opt.Ctx); err != nil {
@@ -525,6 +563,8 @@ func (e *partEngine) run() (*Result, error) {
 		}
 		e.predictTears(h)
 		copy(e.xNew, e.x) // dormant rows carry the frozen state forward
+		e.phT, e.phH = t, h
+		e.activeIdx = e.activeIdx[:0]
 		for bi, b := range e.blocks {
 			act := e.wantSolve(b, t, h)
 			active[bi] = act
@@ -536,44 +576,20 @@ func (e *partEngine) run() (*Result, error) {
 				b.dormant = false
 				b.quiet = 0
 			}
-			e.assembleBlock(b, t, h)
-			if err := b.sol.Solve(b.rhs, b.xbNe); err != nil {
-				return nil, fmt.Errorf("core: singular block %d at t=%g: %w", bi, t, err)
-			}
-			e.stats.Solves++
-			e.stats.BlockSolves++
-			if !allFinite(b.xbNe) {
-				return nil, fmt.Errorf("core: non-finite solution in block %d at t=%g", bi, t)
-			}
-			for r, owned := range b.blk.Owned {
-				if owned {
-					e.xNew[b.blk.Rows[r]] = b.xbNe[r]
-				}
-			}
+			e.activeIdx = append(e.activeIdx, bi)
+		}
+		e.dispatch(e.fnSolve)
+		if err := e.firstBlockErr(); err != nil {
+			return nil, err
 		}
 		// Optional corrector passes (still derivative-free): re-evaluate
 		// conductances at the trial state and re-solve each active
 		// block, Jacobi-style against a pass-start snapshot.
 		for pass := 0; pass < opt.Correctors; pass++ {
 			copy(e.xTrial, e.xNew)
-			for bi, b := range e.blocks {
-				if !active[bi] {
-					continue
-				}
-				e.correctBlock(b, t, h, e.xTrial)
-				if err := b.sol.Solve(b.rhs, b.xbNe); err != nil {
-					return nil, fmt.Errorf("core: singular corrector block %d at t=%g: %w", bi, t, err)
-				}
-				e.stats.Solves++
-				e.stats.BlockSolves++
-				if !allFinite(b.xbNe) {
-					return nil, fmt.Errorf("core: non-finite corrector solution in block %d at t=%g", bi, t)
-				}
-				for r, owned := range b.blk.Owned {
-					if owned {
-						e.xNew[b.blk.Rows[r]] = b.xbNe[r]
-					}
-				}
+			e.dispatch(e.fnCorrect)
+			if err := e.firstBlockErr(); err != nil {
+				return nil, err
 			}
 		}
 		// Accept/reject on the shared eq (10) proxy over the global state.
@@ -589,24 +605,13 @@ func (e *partEngine) run() (*Result, error) {
 			bound = stepBoundOf(e.sys, e.x, e.xNew, h, opt.Eps, opt.HMax, e.vScale, opt.FC)
 		}
 		// Accept.
-		trap := e.trapNow()
-		for bi, b := range e.blocks {
-			if !active[bi] {
-				continue
-			}
-			gather(b.xbNe, e.xNew, b.blk.Rows)
-			b.sys.UpdateCapCurrents(b.capI, b.xb, b.xbNe, h, trap)
-		}
+		e.dispatch(e.fnAccept)
 		copy(e.xPrev, e.x)
 		copy(e.x, e.xNew)
 		e.hPrev = h
 		t += h
 		e.stats.Steps++
-		for bi, b := range e.blocks {
-			if active[bi] {
-				e.refreshBlock(b)
-			}
-		}
+		e.dispatch(e.fnRefresh)
 		e.refreshTears(active)
 		e.rec.Sample(t, e.x)
 		e.updateDormancy(active, h)
@@ -622,6 +627,9 @@ func (e *partEngine) run() (*Result, error) {
 		}
 	}
 	e.rec.Flush()
+	for _, b := range e.blocks {
+		e.stats.fold(&b.stats)
+	}
 	if opt.FC != nil {
 		e.stats.Flops = opt.FC.Snapshot().Sub(e.startFlops)
 	}
@@ -641,7 +649,7 @@ func (e *partEngine) refreshTears(active []bool) {
 			continue
 		}
 		v := e.x[tr.A] - e.x[tr.B]
-		e.tearGeq[i], e.tearDG[i] = e.evalGeqSlope(tr.TT.Model, v)
+		e.tearGeq[i], e.tearDG[i] = e.evalGeqSlope(&e.stats, tr.TT.Model, v)
 	}
 }
 

@@ -89,6 +89,14 @@ type Options struct {
 	// lets a long-running service (cmd/nanosimd) stop a job mid-transient
 	// instead of waiting out the whole integration.
 	Ctx context.Context
+	// Workers bounds the worker pool the torn-block engine dispatches
+	// awake blocks across within each global step (assembly, solve,
+	// corrector and refresh phases; the Gauss-Jacobi coupling already
+	// synchronizes blocks only at step barriers, so the schedule is
+	// embarrassingly parallel between them). <= 1 runs the blocks inline
+	// on the calling goroutine; results are bit-identical at any worker
+	// count. The monolithic engine ignores it.
+	Workers int
 	// Partition enables the torn-block engine (internal/part): the
 	// circuit is split into weakly coupled blocks, each with its own
 	// stamped system and compiled-pattern solver, coupled Gauss-Jacobi

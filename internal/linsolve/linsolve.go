@@ -213,6 +213,18 @@ func (s *sparseOf[T]) At(i, j int) T {
 }
 
 func (s *sparseOf[T]) Solve(b, x []T) error {
+	if err := s.ensureFactored(); err != nil {
+		return err
+	}
+	s.lu.Solve(b, x, s.fc)
+	return nil
+}
+
+// ensureFactored brings the factorization in sync with the assembled
+// matrix: compile on first use, numeric refactor when dirty, full
+// factorization on pivot drift. Shared by Solve and SolveMulti so the
+// multi-RHS path reuses the exact same state machine.
+func (s *sparseOf[T]) ensureFactored() error {
 	if s.pat == nil {
 		// First assembly (or post-divergence): compile the recorded
 		// sequence, scatter the accumulated values in, full-factor.
@@ -229,7 +241,6 @@ func (s *sparseOf[T]) Solve(b, x []T) error {
 			if err == nil {
 				s.stats.NumericRefactor++
 				s.dirty = false
-				s.lu.Solve(b, x, s.fc)
 				return nil
 			}
 			if err != spmat.ErrPivotDrift && err != spmat.ErrSingular {
@@ -253,7 +264,6 @@ func (s *sparseOf[T]) Solve(b, x []T) error {
 	} else {
 		s.stats.Reused++
 	}
-	s.lu.Solve(b, x, s.fc)
 	return nil
 }
 

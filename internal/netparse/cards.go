@@ -172,8 +172,9 @@ func parseVary(fields []string, line int) (VaryCard, error) {
 	return card, nil
 }
 
-// parseOptions reads ".options [partition] [gcouple=x] [nodormancy]".
-// Multiple .options cards accumulate into one record (SPICE style).
+// parseOptions reads ".options [partition] [gcouple=x] [nodormancy]
+// [threads=n]". Multiple .options cards accumulate into one record
+// (SPICE style).
 func parseOptions(fields []string, line int, prev *OptionsCard) (*OptionsCard, error) {
 	card := &OptionsCard{Line: line}
 	if prev != nil {
@@ -181,7 +182,7 @@ func parseOptions(fields []string, line int, prev *OptionsCard) (*OptionsCard, e
 		card.Line = line
 	}
 	if len(fields) < 2 {
-		return nil, errf(line, ".options needs at least one keyword (partition, gcouple=, nodormancy)")
+		return nil, errf(line, ".options needs at least one keyword (partition, gcouple=, nodormancy, threads=)")
 	}
 	for _, f := range fields[1:] {
 		up := strings.ToUpper(f)
@@ -196,6 +197,12 @@ func parseOptions(fields []string, line int, prev *OptionsCard) (*OptionsCard, e
 			card.GCouple = v
 		case up == "NODORMANCY":
 			card.NoDormancy = true
+		case strings.HasPrefix(up, "THREADS="):
+			v, err := strconv.Atoi(f[len("THREADS="):])
+			if err != nil || v < 0 {
+				return nil, errf(line, "bad THREADS %q (want an integer >= 0)", f)
+			}
+			card.Threads = v
 		default:
 			return nil, errf(line, "unknown .options keyword %q", f)
 		}

@@ -118,12 +118,12 @@ func TestParseVariationCardErrors(t *testing.T) {
 }
 
 func TestParseOptionsCard(t *testing.T) {
-	deck, err := Parse("* t\nV1 in 0 1\nR1 in 0 1k\n.options partition gcouple=0.02\n.end\n")
+	deck, err := Parse("* t\nV1 in 0 1\nR1 in 0 1k\n.options partition gcouple=0.02 threads=4\n.end\n")
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := deck.Options
-	if o == nil || !o.Partition || o.GCouple != 0.02 || o.NoDormancy {
+	if o == nil || !o.Partition || o.GCouple != 0.02 || o.NoDormancy || o.Threads != 4 {
 		t.Fatalf(".options parsed wrong: %+v", o)
 	}
 	// Multiple cards accumulate, SPICE style; .option is an alias.
@@ -145,6 +145,8 @@ func TestParseOptionsCard(t *testing.T) {
 		{".options turbo", "unknown .options keyword"},
 		{".options gcouple=2", "bad GCOUPLE"},
 		{".options gcouple=0", "bad GCOUPLE"},
+		{".options threads=-1", "bad THREADS"},
+		{".options threads=two", "bad THREADS"},
 	}
 	for _, c := range bad {
 		_, err := Parse("* t\nV1 in 0 1\nR1 in 0 1k\n" + c.card + "\n.end\n")

@@ -84,6 +84,9 @@ type OptionsCard struct {
 	GCouple float64
 	// NoDormancy keeps every block solving every step.
 	NoDormancy bool
+	// Threads bounds the engines' worker pools (0 keeps the engine
+	// default; results are bit-identical at any value).
+	Threads int
 	// Line is the source line for diagnostics.
 	Line int
 }

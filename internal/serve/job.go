@@ -71,9 +71,9 @@ func terminal(state string) bool {
 // jobKey builds the idempotency key of a submission: deck content hash,
 // analysis kind, and every request field that changes the result. The
 // deck hash already covers card-level seeds/trials, so only request
-// overrides appear. Workers is deliberately absent — batch results are
-// bit-identical at any worker count, so two submissions differing only
-// there are the same computation.
+// overrides appear. Workers and Threads are deliberately absent — batch
+// and engine results are bit-identical at any worker count, so two
+// submissions differing only there are the same computation.
 func jobKey(hash, kind string, req SubmitRequest, popt *part.Options) string {
 	var b strings.Builder
 	b.WriteString(hash)
@@ -210,6 +210,20 @@ func resolvePartition(deck *netparse.Deck, req SubmitRequest) (*part.Options, er
 	return &popt, nil
 }
 
+// threads resolves the engines' inner worker bound: the request's
+// Threads override wins, else the deck's ".options threads=" card.
+// Results are bit-identical at any value, so — like Workers — it stays
+// out of the idempotency key and the solver profile.
+func (j *job) threads() int {
+	if j.req.Threads > 0 {
+		return j.req.Threads
+	}
+	if o := j.entry.deck.Options; o != nil {
+		return o.Threads
+	}
+	return 0
+}
+
 // profile keys the solver free list: runs with the same profile stamp
 // identical factory-call sequences.
 func (j *job) profile() string {
@@ -255,7 +269,7 @@ func (j *job) runSingle(deck *netparse.Deck, ss *solverSet) (*Result, *wave.Set,
 	ckt := deck.Circuit.Clone()
 	switch j.kind {
 	case "tran":
-		opt := core.Options{RecordCurrents: true, Partition: j.popt, Ctx: j.ctx, Solver: ss.factory}
+		opt := core.Options{RecordCurrents: true, Partition: j.popt, Workers: j.threads(), Ctx: j.ctx, Solver: ss.factory}
 		if a := firstAnalysis(deck, "tran"); a != nil {
 			opt.TStop, opt.HInit = a.TStop, a.TStep
 		}
@@ -296,7 +310,8 @@ func (j *job) runSingle(deck *netparse.Deck, ss *solverSet) (*Result, *wave.Set,
 		a := firstAnalysis(deck, "ac")
 		r, err := acan.AC(ckt, acan.Options{
 			Grid: a.ACGrid, Points: a.Points, FStart: a.From, FStop: a.To,
-			Ctx: j.ctx, DC: core.DCOptions{Ctx: j.ctx, Solver: ss.factory},
+			Workers: j.threads(),
+			Ctx:     j.ctx, DC: core.DCOptions{Ctx: j.ctx, Solver: ss.factory},
 		})
 		if err != nil {
 			return nil, nil, err
@@ -378,7 +393,7 @@ func (j *job) batchJob(deck *netparse.Deck) (vary.Job, error) {
 		if tran == nil {
 			return vj, fmt.Errorf(".mc tran needs a .tran card")
 		}
-		vj.Tran = core.Options{TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true, Partition: j.popt}
+		vj.Tran = core.Options{TStop: tran.TStop, HInit: tran.TStep, RecordCurrents: true, Partition: j.popt, Workers: j.threads()}
 		if j.req.TStop > 0 {
 			vj.Tran.TStop = j.req.TStop
 		}

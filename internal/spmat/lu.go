@@ -42,6 +42,11 @@ type LUOf[T Scalar] struct {
 	work     []T // dense scatter row for RefactorNumeric
 	ySol     []T // Solve scratch (forward pass)
 	zSol     []T // Solve scratch (backward pass)
+
+	// SolveMulti scratch, grown to the largest k seen (lu_multi.go).
+	yMul []T
+	zMul []T
+	sMul []T
 }
 
 // LU is the real-valued factorization of the transient/DC hot path.
