@@ -59,6 +59,10 @@ func benchCases(rep *SolverBenchReport) []benchCase {
 			}
 		}
 	}
+	if rep.Hier != nil {
+		out = append(out, benchCase{"hier/flatten_compile_ms", rep.Hier.FlattenMs})
+		out = append(out, benchCase{"hier/hier_compile_ms", rep.Hier.HierMs})
+	}
 	return out
 }
 

@@ -12,7 +12,9 @@ import (
 	"nanosim/internal/core"
 	"nanosim/internal/device"
 	"nanosim/internal/exp"
+	"nanosim/internal/hier"
 	"nanosim/internal/linsolve"
+	"nanosim/internal/netparse"
 	"nanosim/internal/part"
 	"nanosim/internal/spmat"
 	"nanosim/internal/vary"
@@ -77,6 +79,30 @@ type ParallelBench struct {
 	BitIdentical bool      `json:"bit_identical"`
 }
 
+// HierCompileBench records the hierarchical deck-compile path against
+// flatten-and-compile on the 4096-stage subcircuit pipeline: the same
+// deck and assertion the internal/hier acceptance test runs, with the
+// wall-times, the masters-vs-flattened compiled dimensions, and the
+// bit-identity cross-check recorded PR to PR.
+type HierCompileBench struct {
+	Stages int `json:"stages"`
+	// Nodes is the flattened deck's node count (peak instantiated size).
+	Nodes int `json:"nodes"`
+	// Blocks and Groups compare partition blocks against the congruence
+	// classes the hierarchical compiler actually compiled.
+	Blocks int `json:"blocks"`
+	Groups int `json:"groups"`
+	// MaterializedDim vs TotalDim: compiled system rows paid (one donor
+	// per master class) vs rows the flat path compiles.
+	MaterializedDim int     `json:"materialized_dim"`
+	TotalDim        int     `json:"flattened_dim"`
+	SharingFactor   float64 `json:"sharing_factor"`
+	FlattenMs       float64 `json:"flatten_compile_ms"`
+	HierMs          float64 `json:"hier_compile_ms"`
+	Speedup         float64 `json:"speedup"`
+	BitIdentical    bool    `json:"bit_identical"`
+}
+
 // SolverBenchReport is the machine-readable solver perf record emitted
 // as BENCH_solver.json so the hot-path trajectory is tracked PR to PR.
 type SolverBenchReport struct {
@@ -94,6 +120,7 @@ type SolverBenchReport struct {
 	Vary       *VarySmoke         `json:"vary_smoke,omitempty"`
 	Partition  *PartitionBench    `json:"partition_bench,omitempty"`
 	Parallel   *ParallelBench     `json:"parallel_bench,omitempty"`
+	Hier       *HierCompileBench  `json:"hier_compile,omitempty"`
 }
 
 // runSolverBench measures the per-step solver cost across sizes and
@@ -199,6 +226,12 @@ func runSolverBench(path string) error {
 		return err
 	}
 	rep.Parallel = plb
+
+	hb, err := runHierCompileBench()
+	if err != nil {
+		return err
+	}
+	rep.Hier = hb
 
 	for _, e := range rep.Results {
 		fmt.Printf("%-14s n=%-4d %12.0f ns/step  %4d allocs/step\n",
@@ -397,6 +430,77 @@ func runParallelBench() (*ParallelBench, error) {
 			pb.Speedup[len(pb.Speedup)-1], runtime.NumCPU())
 	}
 	return pb, nil
+}
+
+// runHierCompileBench times hierarchical master-template compilation
+// against flatten-and-compile on the 4096-stage subcircuit pipeline
+// (exp.HierPipelineDeck — the same deck the internal/hier acceptance
+// test asserts >= 10x on) and cross-checks the transient waveforms
+// bitwise. The JSON floor here is 5x: looser than the in-test assert so
+// a noisy shared runner doesn't flap the bench, while still failing
+// loudly if master sharing stops paying for itself.
+func runHierCompileBench() (*HierCompileBench, error) {
+	const stages, rows, cols = 4096, 10, 10
+	deck, err := netparse.Parse(exp.HierPipelineDeck(stages, rows, cols))
+	if err != nil {
+		return nil, fmt.Errorf("hier bench: parse: %w", err)
+	}
+	ckt := deck.Circuit
+	opt := core.Options{
+		TStop: 2e-9, HInit: 0.1e-9,
+		Partition: &part.Options{}, Workers: 4,
+	}
+
+	// Hierarchical path first, from a collected heap: once the flat
+	// compile exists, its thousands of live solvers would bill their GC
+	// scan time to hier's clock.
+	runtime.GC()
+	start := time.Now()
+	hierCT, hrep, err := hier.CompileTransient(ckt, opt)
+	if err != nil {
+		return nil, fmt.Errorf("hier bench (hierarchical): %w", err)
+	}
+	hierMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	runtime.GC()
+	start = time.Now()
+	flatCT, err := core.CompileTransient(ckt, opt)
+	if err != nil {
+		return nil, fmt.Errorf("hier bench (flatten): %w", err)
+	}
+	flatMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	flatRes, err := flatCT.Run()
+	if err != nil {
+		return nil, fmt.Errorf("hier bench (flat run): %w", err)
+	}
+	hierRes, err := hierCT.Run()
+	if err != nil {
+		return nil, fmt.Errorf("hier bench (hier run): %w", err)
+	}
+	if err := identicalWaves(flatRes.Waves, hierRes.Waves); err != nil {
+		return nil, fmt.Errorf("hier bench: hier vs flat waveforms: %w", err)
+	}
+
+	hb := &HierCompileBench{
+		Stages:          stages,
+		Nodes:           ckt.NumNodes() - 1,
+		Blocks:          hrep.Blocks,
+		Groups:          hrep.Groups,
+		MaterializedDim: hrep.MaterializedDim,
+		TotalDim:        hrep.TotalDim,
+		SharingFactor:   hrep.SharingFactor(),
+		FlattenMs:       flatMs,
+		HierMs:          hierMs,
+		Speedup:         flatMs / hierMs,
+		BitIdentical:    true,
+	}
+	fmt.Printf("hier bench: %d stages (%d nodes) -> %d blocks/%d groups; flatten %.0f ms, hier %.0f ms (%.1fx), sharing %.0fx, bit-identical\n",
+		hb.Stages, hb.Nodes, hb.Blocks, hb.Groups, hb.FlattenMs, hb.HierMs, hb.Speedup, hb.SharingFactor)
+	if hb.Speedup < 5 {
+		return nil, fmt.Errorf("hier bench: compile speedup %.2fx below the 5x recording floor", hb.Speedup)
+	}
+	return hb, nil
 }
 
 // identicalWaves demands bitwise-equal waveform sets: same signals, same

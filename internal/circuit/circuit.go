@@ -33,6 +33,11 @@ type Circuit struct {
 	// Title is a free-form description (netlist first line).
 	Title string
 
+	// Hier is the subcircuit provenance sidecar netparse attaches when
+	// the deck defines .subckt masters; nil for flat decks. It is
+	// read-only after parse and shared (not deep-copied) by Clone.
+	Hier *Hierarchy
+
 	nodeNames []string
 	nodeIndex map[string]NodeID
 	elems     []Element

@@ -16,6 +16,7 @@ import "nanosim/internal/device"
 func (c *Circuit) Clone() *Circuit {
 	nc := &Circuit{
 		Title:     c.Title,
+		Hier:      c.Hier, // read-only provenance, shared by contract
 		nodeNames: append([]string(nil), c.nodeNames...),
 		nodeIndex: make(map[string]NodeID, len(c.nodeIndex)),
 		elems:     make([]Element, 0, len(c.elems)),

@@ -19,13 +19,14 @@ func (c *Circuit) Validate() error {
 	}
 	degree := make([]int, len(c.nodeNames))
 	groundTouched := false
-	for _, e := range c.elems {
-		for _, n := range e.Nodes() {
-			degree[n]++
-			if n == Ground {
-				groundTouched = true
-			}
+	count := func(n NodeID) {
+		degree[n]++
+		if n == Ground {
+			groundTouched = true
 		}
+	}
+	for _, e := range c.elems {
+		VisitNodes(e, count)
 	}
 	if !groundTouched && len(c.elems) > 0 {
 		problems = append(problems, "no element connects to ground (node 0)")
@@ -42,6 +43,41 @@ func (c *Circuit) Validate() error {
 		return nil
 	}
 	return &ValidationError{Problems: problems}
+}
+
+// VisitNodes calls f on each terminal node of e. Unlike Nodes() it
+// allocates nothing for the built-in element kinds, which matters for
+// whole-deck walks (Validate, the partitioner) on million-element
+// netlists.
+func VisitNodes(e Element, f func(NodeID)) {
+	switch el := e.(type) {
+	case *Resistor:
+		f(el.A)
+		f(el.B)
+	case *Capacitor:
+		f(el.A)
+		f(el.B)
+	case *Inductor:
+		f(el.A)
+		f(el.B)
+	case *VSource:
+		f(el.Pos)
+		f(el.Neg)
+	case *ISource:
+		f(el.Pos)
+		f(el.Neg)
+	case *TwoTerm:
+		f(el.A)
+		f(el.B)
+	case *FET:
+		f(el.D)
+		f(el.G)
+		f(el.S)
+	default:
+		for _, n := range e.Nodes() {
+			f(n)
+		}
+	}
 }
 
 // ValidationError aggregates all structural problems found by Validate.

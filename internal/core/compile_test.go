@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"nanosim/internal/flop"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/part"
+)
+
+// TestCompiledMatchesPlain asserts the ahead-of-run compile path is
+// invisible in the results: CompileTransient + Run must be bit-identical
+// to plain Transient — waveforms, final state and Stats (including
+// flops) — on both engines. The warm replays the run's own first
+// assembly, so the warm factorization and the run's first
+// factorization see the same matrix bits.
+func TestCompiledMatchesPlain(t *testing.T) {
+	cases := []struct {
+		name string
+		part bool
+	}{
+		{"monolithic", false},
+		{"partitioned", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := Options{TStop: 30e-9, HInit: 0.1e-9, FC: &flop.Counter{}}
+			if tc.part {
+				opt.Partition = &part.Options{}
+			}
+			plain, err := Transient(pipeline(12, 2), opt)
+			if err != nil {
+				t.Fatalf("plain: %v", err)
+			}
+			opt.FC = &flop.Counter{}
+			c, err := CompileTransient(pipeline(12, 2), opt)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if tc.part && c.Par == nil {
+				t.Fatalf("expected partitioned compile")
+			}
+			got, err := c.Run()
+			if err != nil {
+				t.Fatalf("compiled run: %v", err)
+			}
+			requireBitIdentical(t, tc.name, plain, got)
+			// The warm must have engaged: every sparse block solver should
+			// have recompiled nothing and full-factored at most during the
+			// (stats-suppressed) warm itself.
+			for bi := 0; bi < c.NumBlocks(); bi++ {
+				sol := c.BlockSolver(bi)
+				if !linsolve.CarriesPivotOrder(sol) {
+					continue // dense backend: full-factors by design, no warm state
+				}
+				r, ok := sol.(linsolve.Refactorable)
+				if !ok {
+					continue
+				}
+				st := r.SolveStats()
+				if st.PatternRebuild != 0 {
+					t.Fatalf("block %d: pattern rebuilt %d times after compile", bi, st.PatternRebuild)
+				}
+				if st.FullFactor != 0 {
+					t.Fatalf("block %d: %d run-time full factorizations after compile", bi, st.FullFactor)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledSingleUse asserts Run consumes the compiled engine.
+func TestCompiledSingleUse(t *testing.T) {
+	c, err := CompileTransient(fetInverterPair(), Options{TStop: 10e-9})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := c.Run(); err == nil {
+		t.Fatalf("second Run should fail")
+	}
+	if err := c.WarmBlocks(nil); err == nil {
+		t.Fatalf("WarmBlocks after Run should fail")
+	}
+}

@@ -149,16 +149,15 @@ func newPartEngine(sys *stamp.System, p *part.Partition, opt Options) (*partEngi
 	e.brk = newBreakSet(opt.TStart, opt.TStop)
 	e.brk.addSources(sys)
 	e.brk.seal()
-	e.rec = trace.NewRecorder(sys, opt.RecordCurrents)
-	// Dormant blocks keep their rows bit-frozen; run-length recording
-	// turns those thousands of identical samples per series into two.
-	e.rec.SetCompress(true)
+	// The recorder is built lazily in run(): on a large deck it allocates
+	// one series per node, which belongs to the run, not the compile.
 
 	nt := len(p.Tears)
 	e.tearGeq = make([]float64, nt)
 	e.tearDG = make([]float64, nt)
 	e.tearGPred = make([]float64, nt)
 
+	e.blocks = make([]*pBlock, 0, len(p.Blocks))
 	for _, blk := range p.Blocks {
 		b := &pBlock{
 			blk:    blk,
@@ -175,6 +174,19 @@ func newPartEngine(sys *stamp.System, p *part.Partition, opt Options) (*partEngi
 		}
 		b.brk = newBreakSet(opt.TStart, opt.TStop)
 		b.brk.addSources(blk.Sys)
+		b.tstamps = make([]tearStamp, 0, len(blk.Tears))
+		// Exact-size the boundary and source-input tables: a block may
+		// carry thousands of tears, and growth-doubling those appends
+		// across every block re-copies megabytes at compile time.
+		nStiff := 0
+		for _, ti := range blk.Tears {
+			tr := &p.Tears[ti]
+			if (tr.BlockA == blk.Index && tr.StiffB) || (tr.BlockA != blk.Index && tr.StiffA) {
+				nStiff++
+			}
+		}
+		b.vSrcs = make([]device.Waveform, 0, nStiff+len(blk.Sys.VSources()))
+		b.bndRows = make([]int, 0, len(blk.Tears)-nStiff+len(blk.RemoteGates))
 		for _, ti := range blk.Tears {
 			tr := &p.Tears[ti]
 			ts := tearStamp{tear: ti}
@@ -234,18 +246,31 @@ func (e *partEngine) trapNow() bool { return e.opt.Trapezoidal && e.stats.Steps 
 // seedDeviceState initializes device histories from the initial state.
 func (e *partEngine) seedDeviceState() {
 	for _, b := range e.blocks {
-		gather(b.xb, e.x, b.blk.Rows)
-		for k, tt := range b.sys.TwoTerms() {
-			v := b.sys.Branch(b.xb, tt.Elem.A, tt.Elem.B)
-			b.ttGeq[k], b.ttDG[k] = e.evalGeqSlope(&e.stats, tt.Elem.Model, v)
-		}
-		for k, f := range b.sys.FETs() {
-			vgs := b.sys.Branch(b.xb, f.Elem.G, f.Elem.S)
-			vds := b.sys.Branch(b.xb, f.Elem.D, f.Elem.S)
-			b.fetGeq[k] = f.Elem.Model.GeqDS(vgs, vds)
-			chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
-		}
+		e.seedBlockDevices(b)
 	}
+	e.seedTearState()
+}
+
+// seedBlockDevices initializes one block's device histories from the
+// initial state; WarmBlocks uses it to seed exactly the blocks it warms
+// (the hierarchical compiler warms a handful of donors out of
+// thousands, and seeding is idempotent — run() re-seeds everything).
+func (e *partEngine) seedBlockDevices(b *pBlock) {
+	gather(b.xb, e.x, b.blk.Rows)
+	for k, tt := range b.sys.TwoTerms() {
+		v := b.sys.Branch(b.xb, tt.Elem.A, tt.Elem.B)
+		b.ttGeq[k], b.ttDG[k] = e.evalGeqSlope(&e.stats, tt.Elem.Model, v)
+	}
+	for k, f := range b.sys.FETs() {
+		vgs := b.sys.Branch(b.xb, f.Elem.G, f.Elem.S)
+		vds := b.sys.Branch(b.xb, f.Elem.D, f.Elem.S)
+		b.fetGeq[k] = f.Elem.Model.GeqDS(vgs, vds)
+		chargeDeviceCost(&e.stats, e.opt.FC, f.Elem.Model.Cost(), 1)
+	}
+}
+
+// seedTearState initializes the engine-wide tear conductances.
+func (e *partEngine) seedTearState() {
 	for i := range e.par.Tears {
 		tr := &e.par.Tears[i]
 		if tr.TT == nil {
@@ -540,6 +565,12 @@ func (e *partEngine) run() (*Result, error) {
 	t := opt.TStart
 	hCruise := opt.HInit
 	e.seedDeviceState()
+	if e.rec == nil {
+		e.rec = trace.NewRecorder(e.sys, opt.RecordCurrents)
+		// Dormant blocks keep their rows bit-frozen; run-length recording
+		// turns those thousands of identical samples per series into two.
+		e.rec.SetCompress(true)
+	}
 	e.rec.Sample(t, e.x)
 	active := make([]bool, len(e.blocks))
 	e.activeIdx = make([]int, 0, len(e.blocks))
@@ -551,16 +582,7 @@ func (e *partEngine) run() (*Result, error) {
 		if e.stats.Steps >= opt.MaxSteps {
 			return nil, fmt.Errorf("core: exceeded MaxSteps=%d at t=%g", opt.MaxSteps, t)
 		}
-		h := hCruise
-		limit := e.brk.next(t)
-		truncated := false
-		if t+h > limit {
-			h = limit - t
-			truncated = true
-		}
-		if h < opt.HMin && !truncated {
-			h = opt.HMin
-		}
+		h, truncated := stepAttempt(e.brk, t, hCruise, opt.HMin)
 		e.predictTears(h)
 		copy(e.xNew, e.x) // dormant rows carry the frozen state forward
 		e.phT, e.phH = t, h

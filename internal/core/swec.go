@@ -667,6 +667,25 @@ func (e *engine) refreshDeviceState(xNew []float64) {
 	}
 }
 
+// stepAttempt turns the controller's cruise step into the attempted
+// step at time t: truncated to land exactly on the next breakpoint, and
+// floored at hMin only when not truncated (a breakpoint landing may be
+// arbitrarily short). Shared by both engines' run loops and by the
+// compile-time warm pass (compile.go), which must reproduce the first
+// attempted step bit-exactly for the warm factorization to match.
+func stepAttempt(brk *breakSet, t, hCruise, hMin float64) (h float64, truncated bool) {
+	h = hCruise
+	limit := brk.next(t)
+	if t+h > limit {
+		h = limit - t
+		truncated = true
+	}
+	if h < hMin && !truncated {
+		h = hMin
+	}
+	return h, truncated
+}
+
 // run integrates from TStart to TStop.
 func (e *engine) run() (*Result, error) {
 	opt := e.opt
@@ -687,16 +706,7 @@ func (e *engine) run() (*Result, error) {
 			return nil, fmt.Errorf("core: exceeded MaxSteps=%d at t=%g", opt.MaxSteps, t)
 		}
 		// Land exactly on breakpoints and TStop.
-		h := hCruise
-		limit := e.brk.next(t)
-		truncated := false
-		if t+h > limit {
-			h = limit - t
-			truncated = true
-		}
-		if h < opt.HMin && !truncated {
-			h = opt.HMin
-		}
+		h, truncated := stepAttempt(e.brk, t, hCruise, opt.HMin)
 		e.assemble(t, h)
 		if err := e.sol.Solve(e.rhs, xNew); err != nil {
 			return nil, fmt.Errorf("core: singular system at t=%g: %w", t, err)

@@ -1,0 +1,286 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"nanosim/internal/core"
+	"nanosim/internal/exp"
+	"nanosim/internal/flop"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/netparse"
+	"nanosim/internal/part"
+	"nanosim/internal/wave"
+)
+
+// requireBitIdentical asserts two transient results are bitwise equal:
+// final state, every waveform sample, and the work statistics.
+func requireBitIdentical(t *testing.T, label string, a, b *core.Result) {
+	t.Helper()
+	if len(a.X) != len(b.X) {
+		t.Fatalf("%s: state dim differs (%d vs %d)", label, len(a.X), len(b.X))
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("%s: state row %d differs: %g vs %g", label, i, a.X[i], b.X[i])
+		}
+	}
+	an, bn := a.Waves.Names(), b.Waves.Names()
+	if len(an) != len(bn) {
+		t.Fatalf("%s: signal count differs (%d vs %d)", label, len(an), len(bn))
+	}
+	for _, name := range an {
+		wa, wb := a.Waves.Get(name), b.Waves.Get(name)
+		if wb == nil {
+			t.Fatalf("%s: signal %q missing from second run", label, name)
+		}
+		va, vb, err := wave.CompareOn(wa, wb, 512)
+		if err != nil {
+			t.Fatalf("%s: compare %q: %v", label, name, err)
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("%s: signal %q sample %d differs: %g vs %g",
+					label, name, i, va[i], vb[i])
+			}
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("%s: stats differ: %+v vs %+v", label, a.Stats, b.Stats)
+	}
+}
+
+// pipelineDeck is the shared hierarchical pipeline generator
+// (exp.HierPipelineDeck): n stages of one .subckt master, each a
+// rows x cols RTD mesh off a local rail, weakly chained.
+func pipelineDeck(n, rows, cols int) string {
+	return exp.HierPipelineDeck(n, rows, cols)
+}
+
+// compileAndRun runs hier.CompileTransient and executes the result.
+func compileAndRun(t *testing.T, src string, opt core.Options) (*core.Result, *Report) {
+	t.Helper()
+	deck, err := netparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ct, rep, err := CompileTransient(deck.Circuit, opt)
+	if err != nil {
+		t.Fatalf("hier compile: %v", err)
+	}
+	res, err := ct.Run()
+	if err != nil {
+		t.Fatalf("hier run: %v", err)
+	}
+	return res, rep
+}
+
+// TestHierMatchesFlatGoldenDecks is the cross-path property test: on
+// every golden deck with a .tran card, at 1 and 4 workers, the
+// hierarchical compile must reproduce the flat engine bit-for-bit —
+// waveforms, final state, Stats (flops included) and block count.
+func TestHierMatchesFlatGoldenDecks(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.sp"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no testdata decks found: %v", err)
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		deck, err := netparse.Parse(string(src))
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		var tran *netparse.Analysis
+		for i := range deck.Analyses {
+			if deck.Analyses[i].Kind == "tran" {
+				tran = &deck.Analyses[i]
+				break
+			}
+		}
+		if tran == nil {
+			continue
+		}
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("%s/w%d", filepath.Base(path), workers)
+			t.Run(name, func(t *testing.T) {
+				opt := core.Options{
+					TStop: tran.TStop, HInit: tran.TStep,
+					Workers: workers, Partition: &part.Options{},
+					FC: &flop.Counter{},
+				}
+				flat, err := core.Transient(deck.Circuit, opt)
+				if err != nil {
+					t.Fatalf("flat: %v", err)
+				}
+				opt.FC = &flop.Counter{}
+				got, rep := compileAndRun(t, string(src), opt)
+				requireBitIdentical(t, name, flat, got)
+				if rep.Blocks != flat.Stats.Blocks && !(rep.Blocks == 1 && flat.Stats.Blocks == 0) {
+					t.Fatalf("block count %d, flat saw %d", rep.Blocks, flat.Stats.Blocks)
+				}
+				if rep.Fallbacks != 0 {
+					t.Fatalf("%d adopt fallbacks on %s", rep.Fallbacks, path)
+				}
+			})
+		}
+	}
+}
+
+// TestHierSharesAcrossInstances checks the structural outcome on a
+// generated instance pipeline: every interior stage adopts the first
+// interior stage's compiled block, gets a cloned solver template, and
+// still matches the flat engine bit-for-bit.
+func TestHierSharesAcrossInstances(t *testing.T) {
+	const stages = 48
+	src := pipelineDeck(stages, 2, 5)
+	deck, err := netparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{
+		TStop: 20e-9, HInit: 0.1e-9,
+		Partition: &part.Options{}, FC: &flop.Counter{},
+	}
+	flat, err := core.Transient(deck.Circuit, opt)
+	if err != nil {
+		t.Fatalf("flat: %v", err)
+	}
+
+	opt.FC = &flop.Counter{}
+	deck2, err := netparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, rep, err := CompileTransient(deck2.Circuit, opt)
+	if err != nil {
+		t.Fatalf("hier compile: %v", err)
+	}
+	// Interior stages (all but the first, which sees the stiff drive,
+	// and the last, which carries the load) must collapse into one
+	// group; the clone count matches the adopters on the sparse path.
+	if rep.Adopted < stages-3 {
+		t.Fatalf("adopted %d of %d stages; report %+v", rep.Adopted, stages, rep)
+	}
+	if rep.Cloned != rep.Adopted {
+		t.Fatalf("cloned %d != adopted %d (stage blocks are sparse-sized)", rep.Cloned, rep.Adopted)
+	}
+	if rep.Fallbacks != 0 {
+		t.Fatalf("adopt fallbacks: %+v", rep)
+	}
+	if rep.Masters["stage"] != rep.Adopted {
+		t.Fatalf("master attribution %v, want stage=%d", rep.Masters, rep.Adopted)
+	}
+	if got := rep.SharingFactor(); got < 8 {
+		t.Fatalf("sharing factor %.1f, want >= 8", got)
+	}
+
+	got, err := ct.Run()
+	if err != nil {
+		t.Fatalf("hier run: %v", err)
+	}
+	requireBitIdentical(t, "pipeline48", flat, got)
+
+	// No cloned solver may have rebuilt its pattern or full-factored at
+	// run time: the donor's template must have carried every member.
+	for bi := 0; bi < ct.NumBlocks(); bi++ {
+		sol := ct.BlockSolver(bi)
+		if !linsolve.CarriesPivotOrder(sol) {
+			continue
+		}
+		r, ok := sol.(linsolve.Refactorable)
+		if !ok {
+			continue
+		}
+		st := r.SolveStats()
+		if st.PatternRebuild != 0 {
+			t.Fatalf("block %d: pattern rebuilt %d times", bi, st.PatternRebuild)
+		}
+		if st.FullFactor != 0 {
+			t.Fatalf("block %d: %d run-time full factorizations", bi, st.FullFactor)
+		}
+	}
+}
+
+// TestHierPipelineCompileSpeedup is the acceptance benchmark from the
+// issue: on a 4096-stage pipeline, hierarchical compilation must beat
+// flatten-and-compile by >= 10x while producing bit-identical
+// waveforms. Compile timing uses the best of two attempts per path to
+// damp scheduler noise.
+func TestHierPipelineCompileSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-stage acceptance test skipped in -short")
+	}
+	const stages = 4096
+	deck, err := netparse.Parse(pipelineDeck(stages, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt := deck.Circuit
+	opt := core.Options{
+		TStop: 2e-9, HInit: 0.1e-9,
+		Partition: &part.Options{}, Workers: 4,
+	}
+
+	// Time the hierarchical compiles before any flat compile exists: the
+	// flat result keeps 4096 fully materialized solvers live, and letting
+	// the collector scan those gigabytes during hier's timed section
+	// charges flat's memory footprint to hier's clock. Each timed compile
+	// starts from a collected heap for the same reason.
+	var flatCT, hierCT *core.CompiledTransient
+	var rep *Report
+	flatDur, hierDur := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+	for i := 0; i < 2; i++ {
+		hierCT = nil
+		runtime.GC()
+		t0 := time.Now()
+		h, r, err := CompileTransient(ckt, opt)
+		if err != nil {
+			t.Fatalf("hier compile: %v", err)
+		}
+		if d := time.Since(t0); d < hierDur {
+			hierDur = d
+		}
+		hierCT, rep = h, r
+	}
+	for i := 0; i < 2; i++ {
+		flatCT = nil
+		runtime.GC()
+		t0 := time.Now()
+		c, err := core.CompileTransient(ckt, opt)
+		if err != nil {
+			t.Fatalf("flat compile: %v", err)
+		}
+		if d := time.Since(t0); d < flatDur {
+			flatDur = d
+		}
+		flatCT = c
+	}
+
+	if rep.Adopted < stages-3 {
+		t.Fatalf("adopted %d of %d stages; report %+v", rep.Adopted, stages, rep)
+	}
+	speedup := float64(flatDur) / float64(hierDur)
+	t.Logf("flat %v, hier %v: %.1fx (groups=%d adopted=%d cloned=%d sharing=%.0fx)",
+		flatDur, hierDur, speedup, rep.Groups, rep.Adopted, rep.Cloned, rep.SharingFactor())
+	if speedup < 10 {
+		t.Fatalf("hier compile speedup %.1fx, want >= 10x (flat %v, hier %v)", speedup, flatDur, hierDur)
+	}
+
+	flatRes, err := flatCT.Run()
+	if err != nil {
+		t.Fatalf("flat run: %v", err)
+	}
+	hierRes, err := hierCT.Run()
+	if err != nil {
+		t.Fatalf("hier run: %v", err)
+	}
+	requireBitIdentical(t, "pipeline4096", flatRes, hierRes)
+}

@@ -195,13 +195,16 @@ func (s *sparseOf[T]) Add(i, j int, v T) {
 // decompile falls back to recording mode after a stamp-sequence
 // divergence: the values accumulated so far are spilled into the map
 // accumulator and the sequence prefix that did match is kept, so the
-// next Solve re-records and re-compiles the pattern.
+// next Solve re-records and re-compiles the pattern. The kept prefix is
+// copied rather than resliced: solvers cloned from a SparseTemplate
+// share one sequence backing array, and appending into a truncated
+// shared slice would corrupt their recorded sequences.
 func (s *sparseOf[T]) decompile() {
 	s.stats.PatternRebuild++
 	t := spmat.NewTripletOf[T](s.n, s.n)
 	s.pat.EachNonzero(func(i, j int, v T) { t.Add(i, j, v) })
 	s.t = t
-	s.seq = s.seq[:s.cursor]
+	s.seq = append([]int64(nil), s.seq[:s.cursor]...)
 	s.pat, s.slots, s.lu, s.cursor = nil, nil, nil, 0
 }
 

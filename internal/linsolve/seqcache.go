@@ -66,3 +66,36 @@ func (c *SeqCache) Drop() {
 	c.cursor = 0
 	c.mismatch = false
 }
+
+// CloneWarm builds a new SeqCache replaying the same call sequence with
+// independent solvers: every position whose cached solver carries a
+// compiled sparse template (TemplateOf) gets a template clone — born on
+// the compiled fast path, sharing the donor's pattern structure and
+// symbolic LU read-only — and every other position gets a fresh Base
+// solver of the recorded dimension. The return count says how many
+// positions were template-cloned; the serve-side warm pool uses it to
+// decide whether a pre-warmed checkout is worth keeping (a count of
+// zero means the clone is no warmer than a cold factory).
+//
+// Cloning is cheap: template clones defer all numeric allocation to
+// their first factorization (spmat lazy materialization), so CloneWarm
+// on an N-block cache costs N small structs, not N factorizations.
+// Results are unaffected either way — solvers answer bit-identically
+// warm or cold; warmth only moves compile work off the first solve.
+func (c *SeqCache) CloneWarm(fc *flop.Counter) (*SeqCache, int) {
+	clone := &SeqCache{Base: c.Base}
+	if len(c.sols) == 0 {
+		return clone, 0
+	}
+	clone.sols = make([]Solver, len(c.sols))
+	warmed := 0
+	for i, s := range c.sols {
+		if tpl, ok := TemplateOf(s); ok {
+			clone.sols[i] = tpl.NewSolver(fc)
+			warmed++
+			continue
+		}
+		clone.sols[i] = c.Base(s.N(), fc)
+	}
+	return clone, warmed
+}

@@ -1,0 +1,102 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// solveSeeded stamps a seeded random diagonally dominant system into s
+// and returns the solution, so the same seed on two solvers must give
+// bit-identical answers when they share a symbolic program.
+func solveSeeded(t *testing.T, s Solver, seed int64) []float64 {
+	t.Helper()
+	n := s.N()
+	r := rand.New(rand.NewSource(seed))
+	s.Reset()
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j && r.Float64() < 0.4 {
+				v := r.NormFloat64()
+				s.Add(i, j, v)
+				sum += math.Abs(v)
+			}
+		}
+		s.Add(i, i, sum+1)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x := make([]float64, n)
+	if err := s.Solve(b, x); err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestSeqCacheCloneWarm checks the warm-pool cloning path: positions
+// carrying a compiled sparse template clone warm (no pattern rebuild,
+// no full factorization, bit-identical answers), positions that cannot
+// template (dense) fall back to fresh Base solvers, and the clone is
+// independent of its donor.
+func TestSeqCacheCloneWarm(t *testing.T) {
+	c := &SeqCache{Base: Auto}
+
+	if empty, warmed := c.CloneWarm(nil); empty.Len() != 0 || warmed != 0 {
+		t.Fatalf("empty cache: clone len %d warmed %d, want 0/0", empty.Len(), warmed)
+	}
+
+	// Warm two positions: sparse above the crossover, dense below it.
+	c.Begin()
+	s1 := c.Factory(12, nil)
+	s2 := c.Factory(4, nil)
+	x1 := solveSeeded(t, s1, 3)
+	x2 := solveSeeded(t, s2, 4)
+
+	clone, warmed := c.CloneWarm(nil)
+	if warmed != 1 {
+		t.Fatalf("warmed %d positions, want 1 (the sparse one)", warmed)
+	}
+	if clone.Len() != c.Len() {
+		t.Fatalf("clone len %d, donor len %d", clone.Len(), c.Len())
+	}
+
+	clone.Begin()
+	cs1 := clone.Factory(12, nil)
+	cs2 := clone.Factory(4, nil)
+	if clone.Mismatched() {
+		t.Fatal("clone mismatched while replaying the donor's sequence")
+	}
+	y1 := solveSeeded(t, cs1, 3)
+	y2 := solveSeeded(t, cs2, 4)
+	for i := range x1 {
+		if y1[i] != x1[i] {
+			t.Fatalf("sparse clone diverges at row %d: %g vs %g", i, y1[i], x1[i])
+		}
+	}
+	for i := range x2 {
+		if y2[i] != x2[i] {
+			t.Fatalf("dense fallback diverges at row %d: %g vs %g", i, y2[i], x2[i])
+		}
+	}
+
+	// The cloned sparse solver must have ridden the donor's compiled
+	// pattern and symbolic LU: numeric refactorization only.
+	r, ok := cs1.(Refactorable)
+	if !ok || !CarriesPivotOrder(cs1) {
+		t.Fatalf("clone position 0 is not a compiled sparse solver: %T", cs1)
+	}
+	st := r.SolveStats()
+	if st.PatternRebuild != 0 || st.FullFactor != 0 {
+		t.Fatalf("clone rebuilt state: %+v (want warm: 0 rebuilds, 0 full factors)", st)
+	}
+
+	// Independence: pushing the clone onto a different system must not
+	// disturb the donor's answers.
+	solveSeeded(t, cs1, 99)
+	if z := solveSeeded(t, s1, 3); z[0] != x1[0] {
+		t.Fatalf("donor answer changed after clone diverged: %g vs %g", z[0], x1[0])
+	}
+}

@@ -11,7 +11,7 @@ import (
 // addElement instantiates one element line into the circuit. The element
 // kind is the first letter of the name's last dot-segment, so subcircuit
 // prefixes ("X1.R1") do not disturb classification.
-func addElement(c *circuit.Circuit, fields []string, line int, models map[string]modelCard) error {
+func addElement(c *circuit.Circuit, fields []string, line int, models *modelTable) error {
 	name := fields[0]
 	base := name
 	if i := strings.LastIndexByte(name, '.'); i >= 0 && i+1 < len(name) {
@@ -113,7 +113,7 @@ func addElement(c *circuit.Circuit, fields []string, line int, models map[string
 		if len(fields) < 5 {
 			return errf(line, "mosfet needs: Mxx d g s model")
 		}
-		card, ok := models[strings.ToLower(fields[4])]
+		card, ok := models.cards[strings.ToLower(fields[4])]
 		if !ok {
 			return errf(line, "unknown model %q", fields[4])
 		}
@@ -280,14 +280,30 @@ func parseSource(fields []string, line int) (sourceSpec, error) {
 
 // buildIV materializes a two-terminal device model from a .model card.
 // wantKind restricts the card kind ("" accepts any two-terminal kind).
-func buildIV(modelName string, line int, models map[string]modelCard, wantKind string) (device.IV, error) {
-	card, ok := models[strings.ToLower(modelName)]
+// Results are interned per card: the N-th element referencing the same
+// .model line receives the same (immutable) instance as the first.
+func buildIV(modelName string, line int, models *modelTable, wantKind string) (device.IV, error) {
+	key := strings.ToLower(modelName)
+	card, ok := models.cards[key]
 	if !ok {
 		return nil, errf(line, "unknown model %q", modelName)
 	}
 	if wantKind != "" && card.kind != wantKind {
 		return nil, errf(line, "model %q is %s, want %s", modelName, card.kind, wantKind)
 	}
+	if m, ok := models.iv[key]; ok {
+		return m, nil
+	}
+	m, err := buildIVFresh(card)
+	if err != nil {
+		return nil, err
+	}
+	models.iv[key] = m
+	return m, nil
+}
+
+// buildIVFresh constructs the model a card describes.
+func buildIVFresh(card modelCard) (device.IV, error) {
 	get := func(key string, def float64) float64 {
 		if v, ok := card.params[key]; ok {
 			return v

@@ -44,6 +44,14 @@ func FuzzParseDeck(f *testing.F) {
 		"* t\n+ continued\n; comment\n.options partition gcouple=0.5\n.end",
 		".model m RTD\n.print v(x)\n.limit v(x) final * *\n",
 		"* t\nC1 x 0 1p IC=0.5\nL1 x y 1n\nD1 y 0 dm\n.model dm DIODE IS=1f\n.tran 1p 1n\n.end",
+		// Deep nesting: a five-level master chain plus a self-recursive
+		// master, exercising the expansion depth/recursion guards.
+		"* deep\nV1 a 0 1\nX1 a d1\n.subckt d5 p\nR1 p 0 1\n.ends\n" +
+			".subckt d4 p\nX1 p d5\n.ends\n.subckt d3 p\nX1 p d4\n.ends\n" +
+			".subckt d2 p\nX1 p d3\n.ends\n.subckt d1 p\nX1 p d2\nC1 p 0 1p\n.ends\n.end",
+		"* loop\nX1 a ouro\n.subckt ouro p\nX1 p ouro\n.ends\n.end",
+		// Internal node vs top-level node collision (must error, not short).
+		"* clash\nV1 X1.m 0 1\nR0 X1.m 0 1k\nX1 X1.m half\n.subckt half p\nR1 p m 1k\nR2 m 0 1k\n.ends\n.end",
 	} {
 		f.Add(seed)
 	}
@@ -67,6 +75,26 @@ func FuzzParseDeck(f *testing.F) {
 		}
 		if DeckHash(src) != DeckHash(src) {
 			t.Fatal("DeckHash is not a function of its input")
+		}
+		h1, h2 := deck.Circuit.Hier, again.Circuit.Hier
+		if (h1 == nil) != (h2 == nil) {
+			t.Fatal("non-deterministic hierarchy presence")
+		}
+		if h1 != nil {
+			if len(h1.Instances) != len(h2.Instances) {
+				t.Fatalf("non-deterministic instance table: %d vs %d", len(h1.Instances), len(h2.Instances))
+			}
+			for i, in := range h1.Instances {
+				o := h2.Instances[i]
+				if in.Path != o.Path || in.Master != o.Master || in.Parent != o.Parent {
+					t.Fatalf("instance %d differs: %+v vs %+v", i, in, o)
+				}
+			}
+			for name, m := range h1.Masters {
+				if o := h2.Masters[name]; o == nil || o.Hash != m.Hash || o.Uses != m.Uses {
+					t.Fatalf("master %q differs across parses", name)
+				}
+			}
 		}
 	})
 }

@@ -3,6 +3,9 @@ package netparse
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
 	"strings"
 )
 
@@ -32,6 +35,38 @@ func DeckHash(src string) string {
 		// retabbed continuations share a key. SPICE tokens never contain
 		// meaningful whitespace (tokenize folds parenthesized groups).
 		h.Write([]byte(strings.Join(strings.Fields(t), " ")))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// modelSetHash hashes the deck's .model cards into Deck.ModelSetHash.
+// Canonical form: card names sorted, each card contributing its kind and
+// its parameters sorted by name with exact float bit patterns — so the
+// hash is insensitive to card order and parameter spelling order but
+// sensitive to any value change, however small. Parameter values hash by
+// bits rather than by formatting so 0.1 and a rounding-different 0.1
+// never alias: a master compiled under one model set must never be
+// served under another.
+func modelSetHash(cards map[string]modelCard) string {
+	names := make([]string, 0, len(cards))
+	for n := range cards {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	params := make([]string, 0, 8)
+	for _, n := range names {
+		card := cards[n]
+		fmt.Fprintf(h, "%s %s", n, card.kind)
+		params = params[:0]
+		for p := range card.params {
+			params = append(params, p)
+		}
+		sort.Strings(params)
+		for _, p := range params {
+			fmt.Fprintf(h, " %s=%016x", p, math.Float64bits(card.params[p]))
+		}
 		h.Write([]byte{'\n'})
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -31,6 +31,41 @@ C1 out 0 1p
 	}
 }
 
+// TestModelSetHash pins the master-template cache key's model half:
+// order-insensitive across cards and parameter spellings, sensitive to
+// any kind or value change, and stable for the (common) empty set.
+func TestModelSetHash(t *testing.T) {
+	parse := func(src string) *Deck {
+		t.Helper()
+		d, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return d
+	}
+	body := "V1 in 0 1\nR1 in d 600\nN1 d 0 m1\nN2 d 0 m2\n"
+	a := parse("* t\n" + body + ".model m1 RTD A=2e-4 B=0.1\n.model m2 RTD A=3e-4\n.end\n")
+	// Card order and parameter order must not matter.
+	b := parse("* t\n" + body + ".model m2 RTD A=3e-4\n.model m1 RTD B=0.1 A=2e-4\n.end\n")
+	if a.ModelSetHash != b.ModelSetHash {
+		t.Error("reordered model cards/params changed the model-set hash")
+	}
+	if len(a.ModelSetHash) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(a.ModelSetHash))
+	}
+	// A parameter value change must.
+	c := parse("* t\n" + body + ".model m1 RTD A=2e-4 B=0.2\n.model m2 RTD A=3e-4\n.end\n")
+	if c.ModelSetHash == a.ModelSetHash {
+		t.Error("parameter change left the model-set hash unchanged")
+	}
+	// Two model-free decks agree regardless of circuit content.
+	p := parse("* t\nV1 in 0 1\nR1 in 0 1k\n.end\n")
+	q := parse("* u\nV2 x 0 2\nC1 x 0 1p\n.end\n")
+	if p.ModelSetHash != q.ModelSetHash {
+		t.Error("model-free decks disagree on the empty model-set hash")
+	}
+}
+
 func TestDeckHashDistinguishesContent(t *testing.T) {
 	base := "* d\nV1 in 0 1\nR1 in 0 1k\n.op\n.end\n"
 	variants := []string{

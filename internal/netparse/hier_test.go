@@ -1,0 +1,184 @@
+package netparse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const nestedDeck = `nested
+V1 in 0 1
+X1 in out pair
+RL out 0 1meg
+.subckt unit a b
+R1 a b 2k
+.ends
+.subckt pair p q
+X1 p m unit
+X2 m q unit
+C1 m 0 1p
+.ends
+.end
+`
+
+// TestHierarchySidecar checks the instance table netparse now emits
+// alongside the flat expansion: masters with use counts and content
+// hashes, instances in pre-order with port bindings and ownership.
+func TestHierarchySidecar(t *testing.T) {
+	deck, err := Parse(nestedDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := deck.Circuit.Hier
+	if h == nil {
+		t.Fatal("no hierarchy sidecar")
+	}
+	if got := len(h.Masters); got != 2 {
+		t.Fatalf("masters = %d, want 2", got)
+	}
+	if u := h.Masters["unit"].Uses; u != 2 {
+		t.Fatalf("unit uses = %d, want 2", u)
+	}
+	if u := h.Masters["pair"].Uses; u != 1 {
+		t.Fatalf("pair uses = %d, want 1", u)
+	}
+	var paths []string
+	for _, in := range h.Instances {
+		paths = append(paths, in.Path)
+	}
+	if got, want := strings.Join(paths, " "), "X1 X1.X1 X1.X2"; got != want {
+		t.Fatalf("instance order %q, want %q", got, want)
+	}
+	top := h.Instance("X1")
+	if top == nil || top.Master != "pair" || top.Parent != -1 {
+		t.Fatalf("bad top instance: %+v", top)
+	}
+	if top.Bindings["p"] != "in" || top.Bindings["q"] != "out" {
+		t.Fatalf("bad top bindings: %v", top.Bindings)
+	}
+	if len(top.InternalNodes) != 1 || top.InternalNodes[0] != "X1.m" {
+		t.Fatalf("top internal nodes: %v", top.InternalNodes)
+	}
+	if len(top.Elems) != 1 || top.Elems[0] != "X1.C1" {
+		t.Fatalf("top elems: %v", top.Elems)
+	}
+	leaf := h.Instance("X1.X2")
+	if leaf == nil || leaf.Master != "unit" {
+		t.Fatalf("bad leaf instance: %+v", leaf)
+	}
+	if leaf.Parent != 0 || h.Instances[leaf.Parent].Path != "X1" {
+		t.Fatalf("leaf parent = %d", leaf.Parent)
+	}
+	if leaf.Bindings["a"] != "X1.m" || leaf.Bindings["b"] != "out" {
+		t.Fatalf("leaf bindings: %v", leaf.Bindings)
+	}
+	if len(leaf.Elems) != 1 || leaf.Elems[0] != "X1.X2.R1" {
+		t.Fatalf("leaf elems: %v", leaf.Elems)
+	}
+	for _, in := range h.Instances {
+		for _, e := range in.Elems {
+			if deck.Circuit.Element(e) == nil {
+				t.Fatalf("instance %s claims element %q absent from the circuit", in.Path, e)
+			}
+		}
+	}
+	if got := len(h.InstancesOf("unit")); got != 2 {
+		t.Fatalf("InstancesOf(unit) = %d, want 2", got)
+	}
+}
+
+// TestMasterHashSemantics: the hash is a pure function of the master's
+// expanded content — stable across parses, independent of the master's
+// own name, sensitive to body changes and to changes in nested masters.
+func TestMasterHashSemantics(t *testing.T) {
+	hashOf := func(src, master string) string {
+		t.Helper()
+		d, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := d.Circuit.Hier.Masters[master]
+		if m == nil {
+			t.Fatalf("master %q missing", master)
+		}
+		return m.Hash
+	}
+	a := hashOf(nestedDeck, "pair")
+	b := hashOf(nestedDeck, "pair")
+	if a != b {
+		t.Fatal("master hash not stable across parses")
+	}
+	// Renaming a master (and its references) keeps the content hash of
+	// an unchanged master, and the renamed master's own hash too — the
+	// hash covers ports + body + nested content, not the name.
+	renamed := strings.ReplaceAll(nestedDeck, "pair", "duo")
+	if hashOf(renamed, "duo") != hashOf(nestedDeck, "pair") {
+		t.Fatal("renaming a master changed its content hash")
+	}
+	// Changing a nested master's body must change the parent's hash.
+	bumped := strings.Replace(nestedDeck, "R1 a b 2k", "R1 a b 3k", 1)
+	if hashOf(bumped, "pair") == a {
+		t.Fatal("parent hash ignores nested master content")
+	}
+	if hashOf(bumped, "unit") == hashOf(nestedDeck, "unit") {
+		t.Fatal("unit hash ignores its own body")
+	}
+}
+
+// TestInternalNodeCollision: an instance-internal node name colliding
+// with a node referenced at top level is a parse error naming the
+// hierarchical path — previously the two silently merged into one net.
+func TestInternalNodeCollision(t *testing.T) {
+	_, err := Parse(`clash
+V1 X1.m 0 1
+R0 X1.m 0 1k
+X1 X1.m half
+.subckt half p
+R1 p m 1k
+R2 m 0 1k
+.ends
+.end
+`)
+	if err == nil {
+		t.Fatal("collision accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"X1.m", "half", "collides"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("collision error %q lacks %q", msg, want)
+		}
+	}
+}
+
+// TestDeepNestingDiagnostics: a chain deeper than maxSubcktDepth is
+// rejected with the instantiation chain in the message, and a
+// self-instantiating master is reported as recursion immediately
+// instead of burning through the depth budget.
+func TestDeepNestingDiagnostics(t *testing.T) {
+	var b strings.Builder
+	depth := maxSubcktDepth + 2
+	b.WriteString("deep\nV1 a 0 1\nX1 a m0\n")
+	for i := 0; i < depth; i++ {
+		if i == depth-1 {
+			fmt.Fprintf(&b, ".subckt m%d p\nR1 p 0 1k\n.ends\n", i)
+		} else {
+			fmt.Fprintf(&b, ".subckt m%d p\nX1 p m%d\n.ends\n", i, i+1)
+		}
+	}
+	b.WriteString(".end\n")
+	_, err := Parse(b.String())
+	if err == nil {
+		t.Fatal("deep nesting accepted")
+	}
+	if !strings.Contains(err.Error(), "nesting deeper") || !strings.Contains(err.Error(), "m0 > m1") {
+		t.Fatalf("depth error lacks chain: %q", err.Error())
+	}
+
+	_, err = Parse("loop\nX1 a ouro\n.subckt ouro p\nX1 p ouro\n.ends\n.end\n")
+	if err == nil {
+		t.Fatal("recursion accepted")
+	}
+	if !strings.Contains(err.Error(), "recursive subcircuit") || !strings.Contains(err.Error(), "X1.X1") {
+		t.Fatalf("recursion error uninformative: %q", err.Error())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nanosim/internal/circuit"
+	"nanosim/internal/device"
 	"nanosim/internal/units"
 )
 
@@ -123,6 +124,13 @@ type Deck struct {
 	Limits []LimitCard
 	// Options holds the .options directive, nil when absent.
 	Options *OptionsCard
+	// ModelSetHash is a stable content hash of the deck's .model cards
+	// (sorted names, kind, sorted parameter values). Joined with a
+	// subcircuit master's content hash (circuit.Master.Hash) it keys
+	// the serve-side master-template cache: a master expands to the
+	// same compiled block in any two decks whose master hash AND model
+	// set hash agree, even when the decks differ elsewhere.
+	ModelSetHash string
 }
 
 // ParseError carries the offending line number.
@@ -145,6 +153,20 @@ type modelCard struct {
 	line   int
 }
 
+// modelTable holds the deck's .model cards plus an intern cache of
+// built two-terminal models. Every element line referencing the same
+// card shares ONE model instance: device models are immutable after
+// construction (I/G are pure, parameters only change via constructors),
+// and mutation paths (vary/mc trials) run on circuit.Clone, which
+// deep-copies models per element. Interning makes pointer equality a
+// fast-path for content comparisons downstream — the partitioner's
+// conductance probes and the hierarchical compiler's congruence checks
+// on million-element decks.
+type modelTable struct {
+	cards map[string]modelCard
+	iv    map[string]device.IV
+}
+
 // Parse reads a netlist.
 func Parse(src string) (*Deck, error) {
 	lines := logicalLines(src)
@@ -163,7 +185,7 @@ func Parse(src string) (*Deck, error) {
 	}
 	deck.Circuit = circuit.New(strings.TrimSpace(title))
 
-	models := map[string]modelCard{}
+	models := &modelTable{cards: map[string]modelCard{}, iv: map[string]device.IV{}}
 	subckts := map[string]*subcktDef{}
 	var openSub *subcktDef
 	type pending struct {
@@ -214,7 +236,7 @@ func Parse(src string) (*Deck, error) {
 			if err != nil {
 				return nil, err
 			}
-			models[name] = modelCard{kind: kind, params: params, line: ln.num}
+			models.cards[name] = modelCard{kind: kind, params: params, line: ln.num}
 		case head == ".tran":
 			if len(fields) < 3 {
 				return nil, errf(ln.num, ".tran needs tstep and tstop")
@@ -317,10 +339,29 @@ done:
 	if openSub != nil {
 		return nil, errf(openSub.line, ".subckt %s is missing .ends", openSub.name)
 	}
+	if len(subckts) > 0 {
+		deck.Circuit.Hier = buildHierarchy(subckts)
+	}
+	// Node names referenced at top level, checked against the internal
+	// node names expansion creates (collision = parse error, satellite of
+	// the hierarchy refactor; see expander.topNodes).
+	topNodes := map[string]int{}
 	for _, el := range elements {
-		name := el.fields[0]
-		if name[0] == 'x' || name[0] == 'X' {
-			if err := expandSubckt(deck.Circuit, el.fields, el.line, models, subckts, 0); err != nil {
+		lo, hi := nodeFieldRange(el.fields)
+		for i := lo; i < hi && i < len(el.fields); i++ {
+			f := el.fields[i]
+			if strings.ContainsRune(f, '=') {
+				continue // NAME=value parameter, not a node
+			}
+			if _, seen := topNodes[f]; !seen {
+				topNodes[f] = el.line
+			}
+		}
+	}
+	ex := &expander{c: deck.Circuit, models: models, subckts: subckts, hier: deck.Circuit.Hier, topNodes: topNodes}
+	for _, el := range elements {
+		if isInstanceCard(el.fields[0]) {
+			if err := ex.expand(el.fields, el.line, -1, 0, nil); err != nil {
 				return nil, err
 			}
 			continue
@@ -332,83 +373,8 @@ done:
 	if err := deck.Circuit.Validate(); err != nil {
 		return nil, fmt.Errorf("netparse: %w", err)
 	}
+	deck.ModelSetHash = modelSetHash(models.cards)
 	return deck, nil
-}
-
-// subcktDef is a recorded .subckt body awaiting expansion.
-type subcktDef struct {
-	name  string
-	ports []string
-	body  []bodyLine
-	line  int
-}
-
-type bodyLine struct {
-	fields []string
-	num    int
-}
-
-// maxSubcktDepth bounds recursive expansion.
-const maxSubcktDepth = 16
-
-// expandSubckt instantiates "Xname n1 n2 ... subname": subcircuit ports
-// map to the instance nodes, internal nodes and element names get the
-// instance prefix ("X1.n"), and nested X lines expand recursively.
-func expandSubckt(c *circuit.Circuit, fields []string, line int, models map[string]modelCard, subckts map[string]*subcktDef, depth int) error {
-	if depth > maxSubcktDepth {
-		return errf(line, "subcircuit nesting exceeds %d levels", maxSubcktDepth)
-	}
-	if len(fields) < 3 {
-		return errf(line, "subcircuit instance needs: Xname nodes... subname")
-	}
-	inst := fields[0]
-	subName := strings.ToLower(fields[len(fields)-1])
-	nodes := fields[1 : len(fields)-1]
-	def, ok := subckts[subName]
-	if !ok {
-		return errf(line, "unknown subcircuit %q", subName)
-	}
-	if len(nodes) != len(def.ports) {
-		return errf(line, "subcircuit %q needs %d nodes, got %d", subName, len(def.ports), len(nodes))
-	}
-	nodeMap := map[string]string{"0": "0", "gnd": "0", "GND": "0"}
-	for i, p := range def.ports {
-		nodeMap[p] = nodes[i]
-	}
-	mapNode := func(n string) string {
-		if m, ok := nodeMap[n]; ok {
-			return m
-		}
-		return inst + "." + n
-	}
-	for _, bl := range def.body {
-		mapped := append([]string(nil), bl.fields...)
-		mapped[0] = inst + "." + mapped[0]
-		// Node positions by element kind: two-terminal kinds use fields
-		// 1-2, MOSFETs 1-3, X instances all but the last.
-		switch mapped[0][len(inst)+1] {
-		case 'x', 'X':
-			for i := 1; i < len(mapped)-1; i++ {
-				mapped[i] = mapNode(mapped[i])
-			}
-			if err := expandSubckt(c, mapped, bl.num, models, subckts, depth+1); err != nil {
-				return err
-			}
-			continue
-		case 'm', 'M':
-			for i := 1; i <= 3 && i < len(mapped); i++ {
-				mapped[i] = mapNode(mapped[i])
-			}
-		default:
-			for i := 1; i <= 2 && i < len(mapped); i++ {
-				mapped[i] = mapNode(mapped[i])
-			}
-		}
-		if err := addElement(c, mapped, bl.num, models); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 type numbered struct {

@@ -27,6 +27,7 @@ package part
 
 import (
 	"fmt"
+	"reflect"
 
 	"nanosim/internal/circuit"
 	"nanosim/internal/device"
@@ -131,11 +132,53 @@ const probePoints = 17
 // diagFloor keeps the threshold ratio finite on conductance-free nodes.
 const diagFloor = 1e-12
 
+// Skeleton is the structural phase of a partition: block membership,
+// tear branches and deterministic block numbering, computed without
+// materializing any block sub-circuit. The hierarchical compiler
+// (internal/hier) materializes one representative block per subcircuit
+// master and Adopts the rest; Build materializes everything, preserving
+// its historical behavior exactly.
+type Skeleton struct {
+	// Ckt and Sys are the parent circuit and its global MNA view.
+	Ckt *circuit.Circuit
+	Sys *stamp.System
+	// Part is the partition under construction: Blocks holds stubs
+	// (Index and Tears set) until Materialize or Adopt fills them.
+	Part *Partition
+	// Elems lists, per block, the indices into Ckt.Elements() of the
+	// block's internal elements, in global element order.
+	Elems [][]int
+
+	// gBranch caches the global branch-row map for Adopt (built lazily:
+	// Materialize-only builds never need it).
+	gBranch map[string]int
+}
+
 // Build partitions ckt (with its frozen MNA view sys) into tear blocks.
 // The result depends only on circuit structure and device parameters, so
 // identical circuits partition identically — the determinism contract
 // the vary runner's solver reuse leans on.
 func Build(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Partition, error) {
+	sk, err := Structure(ckt, sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	for b := range sk.Part.Blocks {
+		if err := sk.Materialize(b); err != nil {
+			return nil, err
+		}
+	}
+	return sk.Finish()
+}
+
+// Structure runs the analysis half of Build — stiff-node detection,
+// coupling-strength probing, the union pass, block numbering, element
+// assignment and tear extraction — and returns a Skeleton whose blocks
+// are stubs awaiting Materialize or Adopt. Device probing is memoized by
+// model instance: repeated instances of one subcircuit master share
+// model pointers, so a 4096-stage pipeline probes each device model once
+// instead of once per stage (the values are identical either way).
+func Structure(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Skeleton, error) {
 	opt = opt.WithDefaults()
 	nNodes := sys.NodeCount()
 	p := &Partition{Opt: opt, NodeBlock: make([]int, nNodes)}
@@ -154,29 +197,36 @@ func Build(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Partition, er
 	}
 
 	// Representative conductance per conductive element, and per-node
-	// conductive diagonals for the relative threshold.
+	// conductive diagonals for the relative threshold. Probing is
+	// memoized by model content (probeMemo): netlists instantiate a
+	// fresh model struct per element line, so repeated instances of one
+	// subcircuit master carry distinct pointers with identical
+	// parameters — a 4096-stage pipeline probes each distinct model
+	// value once instead of once per stage.
 	diag := make([]float64, nNodes)
-	gRep := map[circuit.Element]float64{}
+	gRep := make([]float64, len(ckt.Elements()))
+	ttProbe := probeMemo{}
+	fetProbe := probeMemo{}
 	addDiag := func(row int, g float64) {
 		if row >= 0 {
 			diag[row] += g
 		}
 	}
-	for _, e := range ckt.Elements() {
+	for i, e := range ckt.Elements() {
 		switch el := e.(type) {
 		case *circuit.Resistor:
 			g := el.Conductance()
-			gRep[e] = g
+			gRep[i] = g
 			addDiag(row(el.A), g)
 			addDiag(row(el.B), g)
 		case *circuit.TwoTerm:
-			g := probeGeq(el.Model, opt.VProbe)
-			gRep[e] = g
+			g := ttProbe.get(el.Model, func() float64 { return probeGeq(el.Model, opt.VProbe) })
+			gRep[i] = g
 			addDiag(row(el.A), g)
 			addDiag(row(el.B), g)
 		case *circuit.FET:
-			g := probeGeqDS(el.Model, opt.VProbe)
-			gRep[e] = g
+			g := fetProbe.get(el.Model, func() float64 { return probeGeqDS(el.Model, opt.VProbe) })
+			gRep[i] = g
 			addDiag(row(el.D), g)
 			addDiag(row(el.S), g)
 		}
@@ -203,7 +253,7 @@ func Build(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Partition, er
 			union2(el.D, el.S)
 		}
 	}
-	for _, e := range ckt.Elements() {
+	for i, e := range ckt.Elements() {
 		var a, b int
 		switch el := e.(type) {
 		case *circuit.Resistor:
@@ -219,7 +269,7 @@ func Build(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Partition, er
 		if stiff[a] || stiff[b] {
 			continue // exact tear candidate regardless of strength
 		}
-		g := gRep[e]
+		g := gRep[i]
 		d := diag[a]
 		if diag[b] < d {
 			d = diag[b]
@@ -233,27 +283,28 @@ func Build(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Partition, er
 	}
 
 	// Number the components in first-appearance order (deterministic).
-	blockOf := map[int]int{}
+	blockOf := make([]int, nNodes)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	nBlocks := 0
 	for n := 0; n < nNodes; n++ {
 		r := uf.find(n)
-		b, ok := blockOf[r]
-		if !ok {
-			b = len(blockOf)
+		b := blockOf[r]
+		if b < 0 {
+			b = nBlocks
+			nBlocks++
 			blockOf[r] = b
 		}
 		p.NodeBlock[n] = b
 	}
-	nBlocks := len(blockOf)
 
 	// Assign elements: internal to a block, or a tear between two.
 	elemBlock := make([]int, len(ckt.Elements()))
-	type tearRef struct {
-		elemIdx int
-		a, b    int
-	}
-	var tears []tearRef
+	nTears := 0
+	rowsBuf := make([]int, 0, 4)
 	for i, e := range ckt.Elements() {
-		rows := terminalRows(e)
+		rows := terminalRows(e, rowsBuf)
 		home := -1
 		torn := false
 		for _, r := range rows {
@@ -276,86 +327,300 @@ func Build(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Partition, er
 			home = 0
 		}
 		if torn {
-			var a, b int
-			switch el := e.(type) {
-			case *circuit.Resistor:
-				a, b = row(el.A), row(el.B)
-			case *circuit.TwoTerm:
-				a, b = row(el.A), row(el.B)
+			switch e.(type) {
+			case *circuit.Resistor, *circuit.TwoTerm:
 			default:
 				return nil, fmt.Errorf("part: element %s of type %T spans blocks but is not tearable", e.Name(), e)
 			}
-			tears = append(tears, tearRef{elemIdx: i, a: a, b: b})
+			nTears++
 			elemBlock[i] = -1
 			continue
 		}
 		elemBlock[i] = home
 	}
 
-	// Materialize the block sub-circuits.
-	builders := make([]*circuit.Circuit, nBlocks)
-	for b := range builders {
-		builders[b] = circuit.New(fmt.Sprintf("%s [block %d]", ckt.Title, b))
-	}
-	for i, e := range ckt.Elements() {
-		b := elemBlock[i]
-		if b < 0 {
-			continue
-		}
-		if err := addToBlock(builders[b], ckt, e); err != nil {
-			return nil, err
-		}
-	}
+	// Block stubs and per-block element lists.
+	sk := &Skeleton{Ckt: ckt, Sys: sys, Part: p, Elems: make([][]int, nBlocks)}
 	for b := 0; b < nBlocks; b++ {
-		bsys, err := stamp.NewSystemUnchecked(builders[b])
-		if err != nil {
-			return nil, fmt.Errorf("part: block %d: %w", b, err)
+		p.Blocks = append(p.Blocks, &Block{Index: b})
+	}
+	elemCount := make([]int, nBlocks)
+	for i := range ckt.Elements() {
+		if b := elemBlock[i]; b >= 0 {
+			elemCount[b]++
 		}
-		blk := &Block{Index: b, Ckt: builders[b], Sys: bsys, Local: map[int]int{}}
-		if err := mapRows(blk, ckt, sys, p.NodeBlock); err != nil {
-			return nil, err
+	}
+	for b, c := range elemCount {
+		sk.Elems[b] = make([]int, 0, c)
+	}
+	for i := range ckt.Elements() {
+		if b := elemBlock[i]; b >= 0 {
+			sk.Elems[b] = append(sk.Elems[b], i)
 		}
-		p.Blocks = append(p.Blocks, blk)
 	}
 
-	// Tears with block-side metadata.
-	for _, tr := range tears {
-		e := ckt.Elements()[tr.elemIdx]
-		t := Tear{
-			A: tr.a, B: tr.b,
-			BlockA: p.NodeBlock[tr.a], BlockB: p.NodeBlock[tr.b],
-			StiffA: stiff[tr.a], SrcA: stiffSrc[tr.a], SignA: stiffSign[tr.a],
-			StiffB: stiff[tr.b], SrcB: stiffSrc[tr.b], SignB: stiffSign[tr.b],
+	// Tears with block-side metadata. Everything is sized exactly before
+	// filling: a stiff rail fanning into thousands of blocks yields one
+	// tear per connection, and growing a slice of large Tear structs by
+	// doubling re-zeroes and copies megabytes on decks that size.
+	p.Tears = make([]Tear, 0, nTears)
+	tearCount := make([]int, nBlocks)
+	for i, e := range ckt.Elements() {
+		if elemBlock[i] != -1 {
+			continue
 		}
+		var a, b int
 		switch el := e.(type) {
 		case *circuit.Resistor:
+			a, b = row(el.A), row(el.B)
+		case *circuit.TwoTerm:
+			a, b = row(el.A), row(el.B)
+		}
+		tearCount[p.NodeBlock[a]]++
+		tearCount[p.NodeBlock[b]]++
+	}
+	for b, c := range tearCount {
+		if c > 0 {
+			p.Blocks[b].Tears = make([]int, 0, c)
+		}
+	}
+	for i, e := range ckt.Elements() {
+		if elemBlock[i] != -1 {
+			continue
+		}
+		t := Tear{}
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			t.A, t.B = row(el.A), row(el.B)
 			t.R = el
 		case *circuit.TwoTerm:
+			t.A, t.B = row(el.A), row(el.B)
 			t.TT = el
 		}
+		t.BlockA, t.BlockB = p.NodeBlock[t.A], p.NodeBlock[t.B]
+		t.StiffA, t.SrcA, t.SignA = stiff[t.A], stiffSrc[t.A], stiffSign[t.A]
+		t.StiffB, t.SrcB, t.SignB = stiff[t.B], stiffSrc[t.B], stiffSign[t.B]
 		idx := len(p.Tears)
 		p.Tears = append(p.Tears, t)
 		p.Blocks[t.BlockA].Tears = append(p.Blocks[t.BlockA].Tears, idx)
 		p.Blocks[t.BlockB].Tears = append(p.Blocks[t.BlockB].Tears, idx)
 	}
+	return sk, nil
+}
 
-	// Remote gates.
-	for _, blk := range p.Blocks {
-		for k, f := range blk.Sys.FETs() {
-			gid := f.Elem.G
-			if gid == circuit.Ground {
-				continue
+// Materialize builds block b in full: its sub-circuit, frozen MNA view,
+// global row mapping and remote-gate list.
+func (sk *Skeleton) Materialize(b int) error {
+	ckt, p := sk.Ckt, sk.Part
+	builder := circuit.New(fmt.Sprintf("%s [block %d]", ckt.Title, b))
+	for _, i := range sk.Elems[b] {
+		if err := addToBlock(builder, ckt, ckt.Elements()[i]); err != nil {
+			return err
+		}
+	}
+	bsys, err := stamp.NewSystemUnchecked(builder)
+	if err != nil {
+		return fmt.Errorf("part: block %d: %w", b, err)
+	}
+	blk := p.Blocks[b]
+	blk.Ckt, blk.Sys, blk.Local = builder, bsys, map[int]int{}
+	if err := mapRows(blk, ckt, sk.Sys, p.NodeBlock); err != nil {
+		return err
+	}
+	sk.remoteGates(b)
+	return nil
+}
+
+// Adopt fills block b by sharing the materialized donor block's
+// sub-circuit and MNA view, computing only b's own global row mapping.
+// The caller guarantees structural congruence: b's element list must
+// match the donor's position by position in kind, connectivity shape and
+// branch-row layout (internal/hier derives this from a content
+// signature). The mapping is positional — b's k-th first-appearing node
+// corresponds to the donor system's node row k — and any detected
+// mismatch is an error, at which point the caller should fall back to
+// Materialize. Engines never read node names through a block's Sys, so
+// sharing the donor's (differently named) circuit is observationally
+// identical apart from debug strings.
+func (sk *Skeleton) Adopt(b, donor int) error {
+	ckt, p := sk.Ckt, sk.Part
+	d := p.Blocks[donor]
+	if d.Sys == nil {
+		return fmt.Errorf("part: Adopt(%d, %d): donor not materialized", b, donor)
+	}
+	if len(sk.Elems[b]) != len(sk.Elems[donor]) {
+		return fmt.Errorf("part: Adopt(%d, %d): element count %d != donor %d",
+			b, donor, len(sk.Elems[b]), len(sk.Elems[donor]))
+	}
+	blk := p.Blocks[b]
+	blk.Ckt, blk.Sys = d.Ckt, d.Sys
+	dim := d.Sys.Dim()
+	nodeCount := d.Sys.NodeCount()
+	blk.Rows = make([]int, dim)
+	blk.Owned = make([]bool, dim)
+	blk.Local = make(map[int]int, dim)
+	nextNode := 0
+	branch := nodeCount
+	if sk.gBranch == nil {
+		sk.gBranch = globalBranchRows(sk.Sys)
+	}
+	gBranch := sk.gBranch
+	addNode := func(n circuit.NodeID) error {
+		if n == circuit.Ground {
+			return nil
+		}
+		gRow := int(n) - 1
+		if _, ok := blk.Local[gRow]; ok {
+			return nil
+		}
+		if nextNode >= nodeCount {
+			return fmt.Errorf("part: Adopt(%d, %d): node count exceeds donor's %d", b, donor, nodeCount)
+		}
+		blk.Rows[nextNode] = gRow
+		blk.Owned[nextNode] = p.NodeBlock[gRow] == b
+		blk.Local[gRow] = nextNode
+		nextNode++
+		return nil
+	}
+	addBranch := func(name string) error {
+		if branch >= dim {
+			return fmt.Errorf("part: Adopt(%d, %d): branch count exceeds donor dim %d", b, donor, dim)
+		}
+		gRow, ok := gBranch[name]
+		if !ok {
+			return fmt.Errorf("part: Adopt(%d, %d): element %q has no global branch row", b, donor, name)
+		}
+		blk.Rows[branch] = gRow
+		blk.Owned[branch] = true
+		blk.Local[gRow] = branch
+		branch++
+		return nil
+	}
+	for k, i := range sk.Elems[b] {
+		e := ckt.Elements()[i]
+		de := d.Ckt.Elements()[k]
+		// Node registration mirrors addToBlock's argument order per kind;
+		// the kind check guards the positional congruence contract.
+		var err error
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			if _, ok := de.(*circuit.Resistor); !ok {
+				err = adoptKindErr(b, donor, k, e, de)
+			} else {
+				err = firstErr(addNode(el.A), addNode(el.B))
 			}
-			gRow := int(ckt.Node(blk.Ckt.NodeName(gid))) - 1
-			if p.NodeBlock[gRow] != blk.Index {
+		case *circuit.Capacitor:
+			if _, ok := de.(*circuit.Capacitor); !ok {
+				err = adoptKindErr(b, donor, k, e, de)
+			} else {
+				err = firstErr(addNode(el.A), addNode(el.B))
+			}
+		case *circuit.Inductor:
+			if _, ok := de.(*circuit.Inductor); !ok {
+				err = adoptKindErr(b, donor, k, e, de)
+			} else {
+				err = firstErr(addNode(el.A), addNode(el.B), addBranch(el.Name()))
+			}
+		case *circuit.VSource:
+			if _, ok := de.(*circuit.VSource); !ok {
+				err = adoptKindErr(b, donor, k, e, de)
+			} else {
+				err = firstErr(addNode(el.Pos), addNode(el.Neg), addBranch(el.Name()))
+			}
+		case *circuit.ISource:
+			if _, ok := de.(*circuit.ISource); !ok {
+				err = adoptKindErr(b, donor, k, e, de)
+			} else {
+				err = firstErr(addNode(el.Pos), addNode(el.Neg))
+			}
+		case *circuit.TwoTerm:
+			if _, ok := de.(*circuit.TwoTerm); !ok {
+				err = adoptKindErr(b, donor, k, e, de)
+			} else {
+				err = firstErr(addNode(el.A), addNode(el.B))
+			}
+		case *circuit.FET:
+			if _, ok := de.(*circuit.FET); !ok {
+				err = adoptKindErr(b, donor, k, e, de)
+			} else {
+				err = firstErr(addNode(el.D), addNode(el.G), addNode(el.S))
+			}
+		default:
+			err = fmt.Errorf("part: Adopt(%d, %d): unsupported element type %T (%s)", b, donor, e, e.Name())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if nextNode != nodeCount || branch != dim {
+		return fmt.Errorf("part: Adopt(%d, %d): row layout %d+%d != donor %d+%d",
+			b, donor, nextNode, branch-nodeCount, nodeCount, dim-nodeCount)
+	}
+	sk.remoteGates(b)
+	return nil
+}
+
+// adoptKindErr formats the positional kind-mismatch error.
+func adoptKindErr(b, donor, k int, e, de circuit.Element) error {
+	return fmt.Errorf("part: Adopt(%d, %d): element %d is %T (%s), donor has %T (%s)",
+		b, donor, k, e, e.Name(), de, de.Name())
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// globalBranchRows maps voltage-source and inductor names to their
+// global branch rows.
+func globalBranchRows(gsys *stamp.System) map[string]int {
+	gBranch := map[string]int{}
+	for _, v := range gsys.VSources() {
+		gBranch[v.V.Name()] = v.Branch
+	}
+	gInd, gIndRows := gsys.Inductors()
+	for k, l := range gInd {
+		gBranch[l.Name()] = gIndRows[k]
+	}
+	return gBranch
+}
+
+// remoteGates fills block b's RemoteGates from the parent circuit's
+// element list: FET ordinal k in the block system is the k-th FET of the
+// block's element list, and its gate row comes from the parent element
+// directly — valid for materialized and adopted blocks alike.
+func (sk *Skeleton) remoteGates(b int) {
+	blk := sk.Part.Blocks[b]
+	k := 0
+	for _, i := range sk.Elems[b] {
+		f, ok := sk.Ckt.Elements()[i].(*circuit.FET)
+		if !ok {
+			continue
+		}
+		if f.G != circuit.Ground {
+			gRow := int(f.G) - 1
+			if sk.Part.NodeBlock[gRow] != b {
 				blk.RemoteGates = append(blk.RemoteGates, RemoteGate{FET: k, GlobalRow: gRow})
 			}
 		}
+		k++
 	}
+}
 
-	// Coverage check: every global row must be owned by exactly one block.
-	owned := make([]int, sys.Dim())
+// Finish verifies global row coverage and returns the partition. Every
+// block must have been filled by Materialize or Adopt.
+func (sk *Skeleton) Finish() (*Partition, error) {
+	p := sk.Part
+	owned := make([]int, sk.Sys.Dim())
 	for _, blk := range p.Blocks {
+		if blk.Sys == nil {
+			return nil, fmt.Errorf("part: Finish: block %d neither materialized nor adopted", blk.Index)
+		}
 		for r, ok := range blk.Owned {
 			if ok {
 				owned[blk.Rows[r]]++
@@ -374,14 +639,32 @@ func Build(ckt *circuit.Circuit, sys *stamp.System, opt Options) (*Partition, er
 // the stamp package's convention.
 func row(n circuit.NodeID) int { return int(n) - 1 }
 
-// terminalRows returns the global rows of an element's terminals.
-func terminalRows(e circuit.Element) []int {
-	nodes := e.Nodes()
-	rows := make([]int, len(nodes))
-	for i, n := range nodes {
-		rows[i] = row(n)
+// terminalRows appends the global rows of an element's terminals to
+// buf[:0] and returns it; the common kinds avoid the Nodes() slice
+// allocation, which matters when walking hundreds of thousands of
+// elements per Structure call.
+func terminalRows(e circuit.Element, buf []int) []int {
+	buf = buf[:0]
+	switch el := e.(type) {
+	case *circuit.Resistor:
+		return append(buf, row(el.A), row(el.B))
+	case *circuit.Capacitor:
+		return append(buf, row(el.A), row(el.B))
+	case *circuit.Inductor:
+		return append(buf, row(el.A), row(el.B))
+	case *circuit.VSource:
+		return append(buf, row(el.Pos), row(el.Neg))
+	case *circuit.ISource:
+		return append(buf, row(el.Pos), row(el.Neg))
+	case *circuit.TwoTerm:
+		return append(buf, row(el.A), row(el.B))
+	case *circuit.FET:
+		return append(buf, row(el.D), row(el.G), row(el.S))
 	}
-	return rows
+	for _, n := range e.Nodes() {
+		buf = append(buf, row(n))
+	}
+	return buf
 }
 
 // isGate reports whether global row r is the gate terminal of FET e
@@ -392,6 +675,35 @@ func isGate(e circuit.Element, r int) bool {
 		return false
 	}
 	return row(f.G) == r && row(f.D) != r && row(f.S) != r
+}
+
+// probeMemo caches probe results by model identity and content. The
+// identity map hits first: netparse interns two-terminal models per
+// .model card, so on parsed decks every lookup after the first is one
+// pointer-keyed probe. Distinct instances with equal content (clones,
+// hand-built circuits) still share a probe through the value-keyed map,
+// where comparable model structs are keyed by their dereferenced value.
+type probeMemo map[any]float64
+
+func (m probeMemo) get(model any, probe func() float64) float64 {
+	if g, ok := m[model]; ok {
+		return g
+	}
+	key := model
+	if rv := reflect.ValueOf(model); rv.Kind() == reflect.Pointer && !rv.IsNil() {
+		if ev := rv.Elem(); ev.Type().Comparable() {
+			key = ev.Interface()
+		}
+	}
+	g, ok := m[key]
+	if !ok {
+		g = probe()
+		m[key] = g
+	}
+	if key != model {
+		m[model] = g
+	}
+	return g
 }
 
 // probeGeq samples a two-terminal device's equivalent conductance over

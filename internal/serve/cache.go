@@ -19,13 +19,16 @@ type deckCache struct {
 	clock   int64 // logical LRU clock
 	max     int
 	met     *metrics
+	// masters shares per-master demand across entries (and across deck
+	// evictions — a master's heat outlives any one deck that uses it).
+	masters *masterCache
 }
 
 func newDeckCache(max int, met *metrics) *deckCache {
 	if max <= 0 {
 		max = 128
 	}
-	return &deckCache{entries: map[string]*deckEntry{}, max: max, met: met}
+	return &deckCache{entries: map[string]*deckEntry{}, max: max, met: met, masters: newMasterCache()}
 }
 
 // deckEntry is one cached compilation. deck and err are immutable once
@@ -35,6 +38,11 @@ type deckEntry struct {
 	ready chan struct{}
 	deck  *netparse.Deck
 	err   error
+	// masterKeys are the deck's (master hash, model set) cache keys and
+	// masters the cache-wide demand tracker; both immutable once ready
+	// is closed (masterKeys nil for decks without hierarchy).
+	masterKeys []string
+	masters    *masterCache
 
 	mu sync.Mutex
 	// free holds checked-in solver sets keyed by run profile (analysis
@@ -55,13 +63,16 @@ func (c *deckCache) get(src string) (e *deckEntry, hit bool) {
 	now := c.clock
 	e, hit = c.entries[hash]
 	if !hit {
-		e = &deckEntry{hash: hash, ready: make(chan struct{}), lastUsed: now}
+		e = &deckEntry{hash: hash, ready: make(chan struct{}), lastUsed: now, masters: c.masters}
 		c.entries[hash] = e
 		c.evictLocked()
 		c.mu.Unlock()
 		// Compile outside the cache lock: a slow parse must not block
 		// unrelated submissions.
 		e.deck, e.err = netparse.Parse(src)
+		if e.err == nil {
+			e.masterKeys = masterKeys(e.deck)
+		}
 		close(e.ready)
 		if e.err != nil {
 			// Don't cache poison: a stream of distinct malformed decks
@@ -132,6 +143,11 @@ func (c *deckCache) size() int {
 // symbolic work.
 func (e *deckEntry) checkout(profile string, met *metrics) *solverSet {
 	met.solverCheckouts.Add(1)
+	if e.masters != nil {
+		// Demand is credited per master, not per deck: two distinct decks
+		// built on one subckt library heat the same counters.
+		e.masters.noteCheckout(e.masterKeys)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if list := e.free[profile]; len(list) > 0 {
@@ -156,9 +172,35 @@ func (e *deckEntry) checkin(ss *solverSet, met *metrics, ok bool) {
 		met.solverDropped.Add(1)
 		return
 	}
+	// Warm-pool pre-sizing: when this deck's masters are hot (demand
+	// tracked across ALL decks sharing the library) and the profile's
+	// free list is empty — every warmed set is out with a job, so the
+	// next checkout would start cold — stamp one extra pre-warmed set
+	// off this one before returning it. CloneWarm clones each compiled
+	// position from its template (lazy, a few structs per block), so the
+	// pool grows toward the live worker count one cheap clone at a time
+	// instead of forcing each worker through its own cold compile.
+	var extra *solverSet
+	if e.masters != nil && e.masters.hot(e.masterKeys) {
+		e.mu.Lock()
+		starved := len(e.free[ss.profile]) == 0
+		e.mu.Unlock()
+		if starved {
+			if clone, warmed := ss.seq.CloneWarm(nil); warmed > 0 {
+				extra = &solverSet{seq: *clone, profile: ss.profile}
+				met.solverPreWarmed.Add(1)
+			}
+		}
+	}
 	e.mu.Lock()
 	if e.free == nil {
 		e.free = map[string][]*solverSet{}
+	}
+	// The clone goes under the returned set: checkout pops from the end,
+	// so the fully-warmed state (numeric factors included) is handed out
+	// before the template-fresh clone.
+	if extra != nil {
+		e.free[ss.profile] = append(e.free[ss.profile], extra)
 	}
 	e.free[ss.profile] = append(e.free[ss.profile], ss)
 	e.mu.Unlock()

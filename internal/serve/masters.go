@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"nanosim/internal/netparse"
+)
+
+// masterCache shares subcircuit-master demand across deck-cache entries.
+// Deck-level solver state cannot move between distinct decks — a warmed
+// solverSet replays one deck's whole factory-call sequence — but the
+// knowledge that a master library is HOT can: entries are keyed by
+// (circuit.Master.Hash, Deck.ModelSetHash), the pair under which a
+// master expands to identical compiled blocks regardless of which deck
+// instantiated it. Every solver checkout for a deck credits each master
+// the deck uses; once a master's count crosses the hot threshold, every
+// entry whose deck uses it — including a deck seen for the first time a
+// moment ago — pre-sizes its warm pool at check-in (deckEntry.checkin),
+// so the Nth submission of a fresh deck from a known-hot subckt library
+// finds compiled state waiting instead of paying the cold-start ramp
+// its predecessors did.
+//
+// The model-set hash rides in the key because a master's compiled form
+// depends on the .model cards its body references: the same .subckt
+// text under different RTD parameters stamps different values, and
+// treating those as one master would let one library's demand pre-warm
+// a stranger's.
+type masterCache struct {
+	mu    sync.Mutex
+	stats map[string]*masterStat
+}
+
+type masterStat struct {
+	checkouts int64
+}
+
+// hotMasterCheckouts is the demand threshold past which a master is
+// considered hot and its decks' warm pools are pre-sized. Low enough to
+// engage within one busy client's first burst, high enough that a
+// one-shot deck never pays the (cheap, but nonzero) clone.
+const hotMasterCheckouts = 4
+
+func newMasterCache() *masterCache {
+	return &masterCache{stats: map[string]*masterStat{}}
+}
+
+// masterKeys derives a compiled deck's master-cache keys: one per used
+// subcircuit master, content-addressed by the master's recursive body
+// hash joined with the deck's model-set hash. Decks without hierarchy
+// (or whose masters are never instantiated) contribute nothing.
+func masterKeys(deck *netparse.Deck) []string {
+	h := deck.Circuit.Hier
+	if h == nil || len(h.Masters) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(h.Masters))
+	for _, m := range h.Masters {
+		if m.Uses == 0 {
+			continue
+		}
+		keys = append(keys, m.Hash+"|"+deck.ModelSetHash)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// noteCheckout credits one solver checkout to every key.
+func (mc *masterCache) noteCheckout(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	mc.mu.Lock()
+	for _, k := range keys {
+		st := mc.stats[k]
+		if st == nil {
+			st = &masterStat{}
+			mc.stats[k] = st
+		}
+		st.checkouts++
+	}
+	mc.mu.Unlock()
+}
+
+// hot reports whether any key has crossed the demand threshold.
+func (mc *masterCache) hot(keys []string) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	for _, k := range keys {
+		if st := mc.stats[k]; st != nil && st.checkouts >= hotMasterCheckouts {
+			return true
+		}
+	}
+	return false
+}
+
+// metrics snapshots the tracked/hot master counts for /metrics.
+func (mc *masterCache) metrics() MasterMetrics {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	mm := MasterMetrics{Tracked: len(mc.stats)}
+	for _, st := range mc.stats {
+		if st.checkouts >= hotMasterCheckouts {
+			mm.Hot++
+		}
+	}
+	return mm
+}

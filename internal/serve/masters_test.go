@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"testing"
+
+	"nanosim/internal/core"
+)
+
+// hierCellDeck instantiates one .subckt master three times; 13 nodes,
+// so the engine lands on the sparse compiled backend whose state the
+// warm pool can template-clone.
+const hierCellDeck = `* three-cell ladder
+V1 in 0 PULSE(0 1 1n 1n 1n 20n)
+X1 in a cell
+X2 a b cell
+X3 b out cell
+RL out 0 1meg
+.subckt cell p q
+R1 p m1 1k
+R2 m1 m2 1k
+R3 m2 m3 1k
+R4 m3 q 1k
+C1 m1 0 1p
+C2 m2 0 1p
+C3 m3 0 1p
+.ends
+.tran 0.5n 10n
+.end
+`
+
+// hierCellDeck4 is a DIFFERENT deck (extra stage, so a distinct
+// DeckHash) built on the SAME subckt library and model set.
+const hierCellDeck4 = `* four-cell ladder
+V1 in 0 PULSE(0 1 1n 1n 1n 20n)
+X1 in a cell
+X2 a b cell
+X3 b c cell
+X4 c out cell
+RL out 0 1meg
+.subckt cell p q
+R1 p m1 1k
+R2 m1 m2 1k
+R3 m2 m3 1k
+R4 m3 q 1k
+C1 m1 0 1p
+C2 m2 0 1p
+C3 m3 0 1p
+.ends
+.tran 0.5n 10n
+.end
+`
+
+// hierCellDeckModels is hierCellDeck plus a .model card: same master
+// body, different model set, so its master key must NOT collide.
+const hierCellDeckModels = `* three-cell ladder with model card
+V1 in 0 PULSE(0 1 1n 1n 1n 20n)
+X1 in a cell
+X2 a b cell
+X3 b out cell
+RL out 0 1meg
+.subckt cell p q
+R1 p m1 1k
+R2 m1 m2 1k
+R3 m2 m3 1k
+R4 m3 q 1k
+C1 m1 0 1p
+C2 m2 0 1p
+C3 m3 0 1p
+.ends
+.model spare RTD
+.tran 0.5n 10n
+.end
+`
+
+// TestMasterKeysAcrossDecks pins the master-cache key contract: keyed
+// by (master body hash, model set hash), so distinct decks sharing a
+// subckt library collide (that is the sharing) while a model-set change
+// separates them, and flat decks contribute nothing.
+func TestMasterKeysAcrossDecks(t *testing.T) {
+	met := newMetrics()
+	c := newDeckCache(8, met)
+
+	a, _ := c.get(hierCellDeck)
+	b, _ := c.get(hierCellDeck4)
+	m, _ := c.get(hierCellDeckModels)
+	flat, _ := c.get(tranDeck)
+	for _, e := range []*deckEntry{a, b, m, flat} {
+		if e.err != nil {
+			t.Fatalf("compile: %v", e.err)
+		}
+	}
+	if a.hash == b.hash {
+		t.Fatal("test decks collapsed to one cache entry; they must differ")
+	}
+	if len(a.masterKeys) != 1 || len(b.masterKeys) != 1 || len(m.masterKeys) != 1 {
+		t.Fatalf("master key counts: %d/%d/%d, want 1 each",
+			len(a.masterKeys), len(b.masterKeys), len(m.masterKeys))
+	}
+	if a.masterKeys[0] != b.masterKeys[0] {
+		t.Fatalf("same library, same models: keys differ\n%s\n%s", a.masterKeys[0], b.masterKeys[0])
+	}
+	if a.masterKeys[0] == m.masterKeys[0] {
+		t.Fatal("model-set change did not change the master key")
+	}
+	if flat.masterKeys != nil {
+		t.Fatalf("flat deck has master keys %v", flat.masterKeys)
+	}
+}
+
+// runEntryJob drives one checkout → engine run → checkin cycle against
+// the entry, mirroring job.runSingle, and returns the final state.
+func runEntryJob(t *testing.T, e *deckEntry, met *metrics) []float64 {
+	t.Helper()
+	ss := e.checkout("tran", met)
+	res, err := core.Transient(e.deck.Circuit.Clone(), core.Options{
+		TStop: 5e-9, HInit: 0.5e-9, Solver: ss.factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.checkin(ss, met, true)
+	return res.X
+}
+
+// TestHotMasterPreWarm exercises the warm-pool pre-sizing path: once a
+// master's cross-deck checkout count reaches hotMasterCheckouts and the
+// free list runs dry, checkin stamps an extra template-cloned set, so
+// two subsequent checkouts both replay warmed state — and the clone
+// answers bit-identically to the original.
+func TestHotMasterPreWarm(t *testing.T) {
+	met := newMetrics()
+	c := newDeckCache(8, met)
+	e, _ := c.get(hierCellDeck)
+	if e.err != nil {
+		t.Fatalf("compile: %v", e.err)
+	}
+
+	var ref []float64
+	for i := 0; i < hotMasterCheckouts; i++ {
+		x := runEntryJob(t, e, met)
+		if ref == nil {
+			ref = x
+		}
+	}
+	if got := met.solverPreWarmed.Load(); got < 1 {
+		t.Fatalf("pre-warmed sets = %d after %d hot checkouts, want >= 1", got, hotMasterCheckouts)
+	}
+	mm := c.masters.metrics()
+	if mm.Tracked < 1 || mm.Hot < 1 {
+		t.Fatalf("master metrics %+v, want tracked >= 1 and hot >= 1", mm)
+	}
+
+	// Both the returned set and the pre-warmed clone must check out warm,
+	// covering two concurrent jobs of the hot deck.
+	warmBefore := met.solverWarm.Load()
+	ss1 := e.checkout("tran", met)
+	ss2 := e.checkout("tran", met)
+	if got := met.solverWarm.Load() - warmBefore; got != 2 {
+		t.Fatalf("warm checkouts = %d, want 2 (original + pre-warmed clone)", got)
+	}
+	for _, ss := range []*solverSet{ss1, ss2} {
+		res, err := core.Transient(e.deck.Circuit.Clone(), core.Options{
+			TStop: 5e-9, HInit: 0.5e-9, Solver: ss.factory,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if res.X[i] != ref[i] {
+				t.Fatalf("warm-set run diverged at state row %d: %g vs %g", i, res.X[i], ref[i])
+			}
+		}
+		e.checkin(ss, met, true)
+	}
+
+	// Heat is shared through the master key, not the deck hash: a deck
+	// never seen before, built on the now-hot library, pre-sizes its own
+	// warm pool from its very first check-in.
+	e4, _ := c.get(hierCellDeck4)
+	if e4.err != nil {
+		t.Fatalf("compile: %v", e4.err)
+	}
+	preBefore := met.solverPreWarmed.Load()
+	runEntryJob(t, e4, met)
+	if got := met.solverPreWarmed.Load() - preBefore; got != 1 {
+		t.Fatalf("fresh deck of a hot library pre-warmed %d sets on first checkin, want 1", got)
+	}
+
+	// A flat deck never pre-warms no matter how hot the service is.
+	ef, _ := c.get(tranDeck)
+	if ef.err != nil {
+		t.Fatalf("compile: %v", ef.err)
+	}
+	preBefore = met.solverPreWarmed.Load()
+	runEntryJob(t, ef, met)
+	if got := met.solverPreWarmed.Load() - preBefore; got != 0 {
+		t.Fatalf("flat deck pre-warmed %d sets, want 0", got)
+	}
+}

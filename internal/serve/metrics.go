@@ -22,6 +22,7 @@ type metrics struct {
 	solverCheckouts atomic.Int64 // compiled-state checkouts handed to jobs
 	solverWarm      atomic.Int64 // checkouts that replayed a warmed sequence
 	solverDropped   atomic.Int64 // checkouts discarded (diverged or failed)
+	solverPreWarmed atomic.Int64 // extra pre-warmed sets cloned for hot masters
 
 	rateLimited       atomic.Int64 // 429s from the per-client token bucket
 	clientCapRejected atomic.Int64 // 429s from the per-client live-job cap
@@ -182,6 +183,17 @@ type SolverMetrics struct {
 	// Dropped counts checkouts discarded instead of returned (stamp
 	// sequence diverged, or the job failed).
 	Dropped int64 `json:"dropped"`
+	// PreWarmed counts extra solver sets cloned into free lists for
+	// hot-master decks (warm-pool pre-sizing; see deckEntry.checkin).
+	PreWarmed int64 `json:"pre_warmed"`
+}
+
+// MasterMetrics is the subcircuit-master demand section of /metrics:
+// masters tracked across all decks by (master hash, model set) key, and
+// how many have crossed the pre-warm threshold.
+type MasterMetrics struct {
+	Tracked int `json:"tracked"`
+	Hot     int `json:"hot"`
 }
 
 // JobMetrics is the job-lifecycle section of /metrics. The counters are
@@ -235,6 +247,7 @@ type StreamMetrics struct {
 type MetricsSnapshot struct {
 	DeckCache CacheMetrics     `json:"deck_cache"`
 	Solver    SolverMetrics    `json:"solver"`
+	Masters   MasterMetrics    `json:"masters"`
 	Jobs      JobMetrics       `json:"jobs"`
 	Admission AdmissionMetrics `json:"admission"`
 	Streams   StreamMetrics    `json:"streams"`
@@ -249,7 +262,7 @@ type MetricsSnapshot struct {
 
 // snapshot captures the counters; cache entries, job counters and the
 // oldest queue wait are supplied by the server, which owns that state.
-func (m *metrics) snapshot(entries int, jobs JobMetrics, oldestQueued time.Duration, sc *store.Counters) MetricsSnapshot {
+func (m *metrics) snapshot(entries int, masters MasterMetrics, jobs JobMetrics, oldestQueued time.Duration, sc *store.Counters) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		DeckCache: CacheMetrics{
 			Compiles: m.deckCompiles.Load(),
@@ -261,8 +274,10 @@ func (m *metrics) snapshot(entries int, jobs JobMetrics, oldestQueued time.Durat
 			Checkouts: m.solverCheckouts.Load(),
 			Warm:      m.solverWarm.Load(),
 			Dropped:   m.solverDropped.Load(),
+			PreWarmed: m.solverPreWarmed.Load(),
 		},
-		Jobs: jobs,
+		Masters: masters,
+		Jobs:    jobs,
 		Admission: AdmissionMetrics{
 			RateLimited:       m.rateLimited.Load(),
 			ClientCapRejected: m.clientCapRejected.Load(),

@@ -324,7 +324,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		c := s.store.Counters()
 		sc = &c
 	}
-	return s.met.snapshot(s.cache.size(), jm, oldest, sc)
+	return s.met.snapshot(s.cache.size(), s.cache.masters.metrics(), jm, oldest, sc)
 }
 
 // worker drains the job queue.

@@ -47,6 +47,10 @@ type LUOf[T Scalar] struct {
 	yMul []T
 	zMul []T
 	sMul []T
+
+	// src marks a CloneSkeleton clone whose numeric storage has not been
+	// materialized yet; materialize() clears it (template.go).
+	src *LUOf[T]
 }
 
 // LU is the real-valued factorization of the transient/DC hot path.
@@ -297,6 +301,10 @@ func (f *LUOf[T]) PrepareReuse() {
 	f.zSol = make([]T, f.n)
 }
 
+// Prepared reports whether PrepareReuse has run: the reuse program is in
+// place and the factorization can serve RefactorNumeric and CloneSkeleton.
+func (f *LUOf[T]) Prepared() bool { return f.rowSteps != nil }
+
 // RefactorNumeric redoes the numeric factorization of a matrix sharing
 // this LU's compiled pattern, reusing the pivot order and fill structure
 // from the original symbolic analysis. It performs no allocations and no
@@ -319,6 +327,7 @@ func (f *LUOf[T]) RefactorNumeric(p *PatternOf[T], fc *flop.Counter) error {
 	if f.rowSteps == nil {
 		return errors.New("spmat: RefactorNumeric before PrepareReuse")
 	}
+	f.materialize()
 	switch ff := any(f).(type) {
 	case *LUOf[float64]:
 		return refactorNumericReal(ff, any(p).(*PatternOf[float64]), fc)
@@ -333,6 +342,7 @@ func (f *LUOf[T]) Solve(b, x []T, fc *flop.Counter) {
 	if len(b) != f.n || len(x) != f.n {
 		panic("spmat: Solve dimension mismatch")
 	}
+	f.materialize()
 	switch ff := any(f).(type) {
 	case *LUOf[float64]:
 		solveReal(ff, any(b).([]float64), any(x).([]float64), fc)

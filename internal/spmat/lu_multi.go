@@ -102,6 +102,7 @@ func NewBatchLU[T Scalar](f *LUOf[T], k int) (*BatchLUOf[T], error) {
 	if f.rowSteps == nil {
 		return nil, errors.New("spmat: NewBatchLU before PrepareReuse")
 	}
+	f.materialize()
 	bf := &BatchLUOf[T]{f: f, k: k}
 	n := f.n
 	bf.lOff = make([]int32, n)
@@ -184,6 +185,7 @@ func (f *LUOf[T]) SolveMulti(b, x []T, k int, fc *flop.Counter) {
 	if len(b) != f.n*k || len(x) != f.n*k {
 		panic("spmat: SolveMulti dimension mismatch")
 	}
+	f.materialize()
 	if cap(f.yMul) < f.n*k {
 		f.yMul = make([]T, f.n*k)
 		f.zMul = make([]T, f.n*k)

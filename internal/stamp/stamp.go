@@ -86,6 +86,36 @@ func NewSystem(c *circuit.Circuit) (*System, error) {
 func NewSystemUnchecked(c *circuit.Circuit) (*System, error) {
 	s := &System{ckt: c, nodeCount: c.NumNodes() - 1}
 	branch := s.nodeCount
+	// Count element kinds first so every ref slice is allocated once:
+	// append-doubling across hundreds of thousands of elements otherwise
+	// dominates large-deck compile time.
+	var nR, nC, nL, nV, nI, nTT, nFET int
+	for _, e := range c.Elements() {
+		switch e.(type) {
+		case *circuit.Resistor:
+			nR++
+		case *circuit.Capacitor:
+			nC++
+		case *circuit.Inductor:
+			nL++
+		case *circuit.VSource:
+			nV++
+		case *circuit.ISource:
+			nI++
+		case *circuit.TwoTerm:
+			nTT++
+		case *circuit.FET:
+			nFET++
+		}
+	}
+	s.resistors = make([]*circuit.Resistor, 0, nR)
+	s.caps = make([]*circuit.Capacitor, 0, nC)
+	s.inductors = make([]*circuit.Inductor, 0, nL)
+	s.indBranch = make([]int, 0, nL)
+	s.vsrcs = make([]SourceRef, 0, nV)
+	s.isrcs = make([]SourceRef, 0, nI)
+	s.twoTerms = make([]TwoTermRef, 0, nTT)
+	s.fets = make([]FETRef, 0, nFET)
 	for _, e := range c.Elements() {
 		switch el := e.(type) {
 		case *circuit.Resistor:

@@ -34,19 +34,26 @@ type Recorder struct {
 // NewRecorder builds a recorder for all node voltages of sys; when
 // currents is true, voltage-source branch currents are recorded too.
 func NewRecorder(sys *stamp.System, currents bool) *Recorder {
-	r := &Recorder{sys: sys, set: wave.NewSet(), currents: currents}
+	nSignals := sys.NodeCount()
+	if currents {
+		nSignals += len(sys.VSources())
+	}
+	r := &Recorder{sys: sys, set: wave.NewSetSized(nSignals), currents: currents}
 	ckt := sys.Circuit()
 	r.nodes = make([]*wave.Series, sys.NodeCount())
 	for row := 0; row < sys.NodeCount(); row++ {
 		// Row convention: row = NodeID - 1 (stamp package contract).
+		// Series buffers grow on first append: pre-sizing every series
+		// at construction zeroes megabytes up front on large decks
+		// (compressed dormant rows may only ever hold two samples).
 		name := "v(" + ckt.NodeName(circuit.NodeID(row+1)) + ")"
-		s := wave.NewSeries(name, 256)
+		s := wave.NewSeries(name, 0)
 		r.nodes[row] = s
 		r.set.Add(s)
 	}
 	if currents {
 		for _, src := range sys.VSources() {
-			s := wave.NewSeries("i("+src.V.Name()+")", 256)
+			s := wave.NewSeries("i("+src.V.Name()+")", 0)
 			r.branches = append(r.branches, s)
 			r.set.Add(s)
 		}

@@ -1,0 +1,83 @@
+package vary
+
+import (
+	"strings"
+	"testing"
+
+	"nanosim/internal/netparse"
+)
+
+// TestHierarchicalPathResolution: .vary/.mc device paths resolve
+// through the instance table. Nested paths match their flattened
+// elements; zero-match paths fail with the owning master's identity (or
+// the fact that no such instance exists), not a bare "no match".
+func TestHierarchicalPathResolution(t *testing.T) {
+	deck, err := netparse.Parse(`nested
+V1 in 0 1
+X1 in out pair
+RL out 0 1meg
+.subckt unit a b
+R1 a b 2k
+.ends
+.subckt pair p q
+X1 p m unit
+X2 m q unit
+C1 m 0 1p
+.ends
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt := deck.Circuit
+
+	idxs, err := matchIndices(ckt, "X1.X2.R1")
+	if err != nil || len(idxs) != 1 {
+		t.Fatalf("nested exact path: idxs=%v err=%v", idxs, err)
+	}
+	if got := ckt.Elements()[idxs[0]].Name(); got != "X1.X2.R1" {
+		t.Fatalf("resolved %q", got)
+	}
+	if _, err := resolveSpecs(ckt, []Spec{{Elem: "X1.X2.R1", Sigma: 0.05, Rel: true}}); err != nil {
+		t.Fatalf("resolveSpecs nested: %v", err)
+	}
+
+	// A wrong leaf inside a real instance names the master and what the
+	// instance owns.
+	_, err = matchIndices(ckt, "X1.X2.R9")
+	if err == nil {
+		t.Fatal("bogus leaf accepted")
+	}
+	for _, want := range []string{"X1.X2", `"unit"`, "R9", "X1.X2.R1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("leaf error %q lacks %q", err.Error(), want)
+		}
+	}
+
+	// A path whose element lives one level up: instance X1 (pair) owns
+	// C1 directly and two nested units.
+	_, err = matchIndices(ckt, "X1.R1")
+	if err == nil {
+		t.Fatal("wrong-level path accepted")
+	}
+	for _, want := range []string{`"pair"`, "X1.C1", "X1.X1.*"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("wrong-level error %q lacks %q", err.Error(), want)
+		}
+	}
+
+	// A path prefix naming no instance at all.
+	_, err = matchIndices(ckt, "X9.R1")
+	if err == nil {
+		t.Fatal("bogus instance accepted")
+	}
+	if !strings.Contains(err.Error(), "names no subcircuit instance") {
+		t.Fatalf("bogus-instance error: %q", err.Error())
+	}
+
+	// Prefix patterns still work across instance boundaries.
+	idxs, err = matchIndices(ckt, "X1.X*")
+	if err != nil || len(idxs) != 2 {
+		t.Fatalf("prefix across instances: idxs=%v err=%v", idxs, err)
+	}
+}

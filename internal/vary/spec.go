@@ -170,9 +170,61 @@ func matchIndices(ckt *circuit.Circuit, elem string) ([]int, error) {
 		out = append(out, i)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("vary: no element matches %q", elem)
+		return nil, noMatchErr(ckt, elem)
 	}
 	return out, nil
+}
+
+// noMatchErr builds the zero-match error. Hierarchical device paths
+// ("X1.X2.R1") resolve against the circuit's instance table rather than
+// the flattened-name string convention: when the path prefix names a
+// real subcircuit instance the error reports which master it is and
+// what the instance actually owns, and when it names no instance the
+// error says so instead of pretending the device could exist.
+func noMatchErr(ckt *circuit.Circuit, elem string) error {
+	h := ckt.Hier
+	if h == nil {
+		return fmt.Errorf("vary: no element matches %q", elem)
+	}
+	pat := strings.TrimSuffix(elem, "*")
+	// Longest instance-path prefix wins: "X1.X2.R1" checks "X1.X2",
+	// then "X1".
+	for path := pat; ; {
+		dot := strings.LastIndexByte(path, '.')
+		if dot <= 0 {
+			break
+		}
+		path = path[:dot]
+		in := h.Instance(path)
+		if in == nil {
+			continue
+		}
+		local := strings.TrimPrefix(elem, path+".")
+		return fmt.Errorf("vary: no element matches %q: subcircuit instance %s (master %q) has no device %q; it owns %s",
+			elem, path, in.Master, local, strings.Join(peekNames(in, h), ", "))
+	}
+	if strings.ContainsRune(pat, '.') {
+		return fmt.Errorf("vary: no element matches %q and its path prefix names no subcircuit instance (the deck has %d instances)",
+			elem, len(h.Instances))
+	}
+	return fmt.Errorf("vary: no element matches %q", elem)
+}
+
+// peekNames lists what an instance owns — its direct elements plus the
+// paths of nested instances — truncated for readable errors.
+func peekNames(in *circuit.Instance, h *circuit.Hierarchy) []string {
+	var out []string
+	out = append(out, in.Elems...)
+	for _, cand := range h.Instances {
+		if cand.Parent >= 0 && h.Instances[cand.Parent] == in {
+			out = append(out, cand.Path+".*")
+		}
+	}
+	const max = 8
+	if len(out) > max {
+		out = append(out[:max], "...")
+	}
+	return out
 }
 
 // resolveTargets resolves elem/param against ckt in one pass: match,

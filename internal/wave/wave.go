@@ -208,6 +208,13 @@ func NewSet() *Set {
 	return &Set{series: make(map[string]*Series)}
 }
 
+// NewSetSized returns an empty set pre-sized for n series, avoiding
+// incremental map growth when the caller knows the signal count up
+// front (a recorder over a large deck adds one series per node).
+func NewSetSized(n int) *Set {
+	return &Set{series: make(map[string]*Series, n), order: make([]string, 0, n)}
+}
+
 // Add inserts a series; a duplicate name is an error.
 func (st *Set) Add(s *Series) error {
 	if _, dup := st.series[s.Name]; dup {
