@@ -1,0 +1,249 @@
+package main
+
+// Real-process end-to-end gauntlet for distributed Monte Carlo: the
+// tests build the nanosimd binary, launch one coordinator plus three
+// worker replicas as separate OS processes wired together over
+// loopback HTTP, and assert the merged result against a single-process
+// run of the same deck and seed — including under an injected worker
+// crash (-faultpoint serve.worker.run:exit,times=1 kills a replica on
+// its first engine run, forcing failover).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nanosim/internal/serve"
+	"nanosim/internal/vary"
+)
+
+const e2eMCDeck = `* rtd divider mc
+V1 in 0 0.8
+R1 in d 600
+N1 d 0 rtdmod
+CD d 0 10f
+.model rtdmod RTD
+.tran 0.25n 10n
+.mc 96 SEED=1
+.vary N1(A) DEV=5%
+.limit v(d) final 0 1.5
+.print v(d)
+.end
+`
+
+var nanosimdBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "nanosimd-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	nanosimdBin = filepath.Join(dir, "nanosimd")
+	if out, err := exec.Command("go", "build", "-o", nanosimdBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building nanosimd: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// freeAddr reserves a loopback port and releases it for the child
+// process to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startNanosimd launches one nanosimd process and waits for liveness.
+func startNanosimd(t *testing.T, args ...string) string {
+	t.Helper()
+	addr := freeAddr(t)
+	var logs bytes.Buffer
+	cmd := exec.Command(nanosimdBin, append([]string{"-addr", addr}, args...)...)
+	cmd.Stdout, cmd.Stderr = &logs, &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		if t.Failed() {
+			t.Logf("nanosimd %v logs:\n%s", args, logs.String())
+		}
+	})
+	base := "http://" + addr
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("nanosimd at %s never became healthy; logs:\n%s", addr, logs.String())
+	return ""
+}
+
+var e2eClient = &http.Client{Timeout: 3 * time.Minute}
+
+func e2eJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body != nil {
+		raw, merr := json.Marshal(body)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		req, err = http.NewRequest(method, url, bytes.NewReader(raw))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		req, err = http.NewRequest(method, url, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e2eClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// runE2EMC submits the gauntlet deck and long-polls the result.
+func runE2EMC(t *testing.T, base string) *serve.MCResult {
+	t.Helper()
+	var info serve.JobInfo
+	if code := e2eJSON(t, http.MethodPost, base+"/v1/jobs", serve.SubmitRequest{Deck: e2eMCDeck}, &info); code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	var res serve.Result
+	if code := e2eJSON(t, http.MethodGet, base+"/v1/jobs/"+info.ID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if res.Kind != "mc" || res.MC == nil {
+		t.Fatalf("result kind %q", res.Kind)
+	}
+	return res.MC
+}
+
+// assertE2EMerged compares the merged document against the
+// single-process reference: trials, failures, yield and the per-signal
+// final-value statistics are computed from exact per-trial scalars, so
+// they must match bit for bit across process boundaries.
+func assertE2EMerged(t *testing.T, merged, single *serve.MCResult) {
+	t.Helper()
+	if merged.Trials != single.Trials || merged.Failed != single.Failed {
+		t.Fatalf("trials/failed %d/%d, want %d/%d", merged.Trials, merged.Failed, single.Trials, single.Failed)
+	}
+	if merged.Yield == nil || single.Yield == nil {
+		t.Fatalf("missing yield sections (merged %v, single %v)", merged.Yield, single.Yield)
+	}
+	if *merged.Yield != *single.Yield {
+		t.Fatalf("yield %+v, want %+v", *merged.Yield, *single.Yield)
+	}
+	if len(merged.Stats) != len(single.Stats) {
+		t.Fatalf("%d stats entries, want %d", len(merged.Stats), len(single.Stats))
+	}
+	for i := range single.Stats {
+		m, s := merged.Stats[i], single.Stats[i]
+		if m.Name != s.Name || m.Mean != s.Mean || m.Std != s.Std {
+			t.Fatalf("stats[%d] exact fields %+v, want %+v", i, m, s)
+		}
+		// Final-value quantiles are exact on both sides (computed from
+		// the complete scalar vector), so they match bitwise too; keep a
+		// sketch-style bound as the documented contract.
+		for _, pair := range [][2]float64{{m.Q05, s.Q05}, {m.Median, s.Median}, {m.Q95, s.Q95}} {
+			tol := vary.SketchAlpha * math.Max(math.Abs(pair[1]), 1e-9)
+			if math.Abs(pair[0]-pair[1]) > tol {
+				t.Fatalf("stats[%d] quantile %g, want %g (tolerance %g)", i, pair[0], pair[1], tol)
+			}
+		}
+	}
+}
+
+// TestMultiReplicaMergedMatchesSingleProcess is the happy-path gauntlet:
+// coordinator + three worker processes, merged output vs one process.
+func TestMultiReplicaMergedMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process e2e")
+	}
+	w1 := startNanosimd(t)
+	w2 := startNanosimd(t)
+	w3 := startNanosimd(t)
+	coord := startNanosimd(t, "-replicas", w1+","+w2+","+w3)
+
+	single := runE2EMC(t, w1)
+	merged := runE2EMC(t, coord)
+	assertE2EMerged(t, merged, single)
+
+	var ms serve.MetricsSnapshot
+	if code := e2eJSON(t, http.MethodGet, coord+"/metrics", nil, &ms); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	if ms.Coordinator == nil || ms.Coordinator.Merged != 1 || ms.Coordinator.Dispatched < 3 {
+		t.Fatalf("coordinator metrics %+v", ms.Coordinator)
+	}
+}
+
+// TestMultiReplicaWorkerCrashFailover kills one worker mid-job via the
+// faultpoint flag (the process exits on its first engine run) and
+// requires the coordinator to fail the shard over and still merge the
+// identical result, with the failover visible in /metrics.
+func TestMultiReplicaWorkerCrashFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process e2e")
+	}
+	w1 := startNanosimd(t)
+	w2 := startNanosimd(t)
+	crashing := startNanosimd(t, "-faultpoint", "serve.worker.run:exit,times=1")
+	coord := startNanosimd(t, "-replicas", w1+","+w2+","+crashing)
+
+	single := runE2EMC(t, w1)
+	merged := runE2EMC(t, coord)
+	assertE2EMerged(t, merged, single)
+
+	var ms serve.MetricsSnapshot
+	if code := e2eJSON(t, http.MethodGet, coord+"/metrics", nil, &ms); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	cm := ms.Coordinator
+	if cm == nil || cm.Retries < 1 {
+		t.Fatalf("coordinator metrics %+v, want at least one shard failover", cm)
+	}
+	if cm.Merged != 1 || cm.Failed != 0 {
+		t.Fatalf("coordinator metrics %+v, want 1 merged, 0 failed", *cm)
+	}
+	// The crashed replica must actually be dead — the fault fired.
+	if _, err := http.Get(crashing + "/healthz"); err == nil {
+		t.Fatal("crashing worker still alive; the worker-run faultpoint never fired")
+	}
+}

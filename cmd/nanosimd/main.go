@@ -17,6 +17,14 @@
 //	nanosimd [-addr :8086] [-workers N] [-queue 256] [-max-decks 128]
 //	         [-data DIR] [-fsync] [-drain-timeout 30s] [-job-timeout 0]
 //	         [-rate 0] [-burst 0] [-client-jobs 0] [-queue-wait 0]
+//	         [-replicas URL,URL,...] [-shards-per-replica 1]
+//	         [-shard-timeout 5m] [-shard-retries 2] [-faultpoint SPEC]
+//
+// With -replicas the process becomes a Monte Carlo coordinator: mc jobs
+// are split into trial-range shards dispatched to the listed worker
+// nanosimd instances and merged back into the single-process result;
+// every other analysis still runs locally. See docs/API.md ("Scaling
+// out") for the shard lifecycle.
 //
 // Example session:
 //
@@ -43,9 +51,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"nanosim/internal/faultpoint"
 	"nanosim/internal/serve"
 )
 
@@ -63,7 +73,30 @@ func main() {
 	burst := flag.Int("burst", 0, "per-client submission burst (0 = 2x rate)")
 	clientJobs := flag.Int("client-jobs", 0, "per-client live-job cap (0 = unlimited)")
 	queueWait := flag.Duration("queue-wait", 0, "queue-wait deadline; longer estimated waits are shed with 503 (0 = unlimited)")
+	replicas := flag.String("replicas", "", "comma-separated worker base URLs; enables coordinator mode for mc jobs")
+	shardsPer := flag.Int("shards-per-replica", 0, "shards dispatched per replica (0 = default 1)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard attempt deadline (0 = default 5m)")
+	shardRetries := flag.Int("shard-retries", 0, "shard failover attempts across replicas (0 = default 2, negative disables)")
+	fault := flag.String("faultpoint", "", "arm a fault-injection site, site:directive[,...] (tests only; e.g. serve.worker.run:exit,times=1)")
 	flag.Parse()
+
+	if *fault != "" {
+		site, f, err := faultpoint.Parse(*fault)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nanosimd:", err)
+			os.Exit(2)
+		}
+		faultpoint.Set(site, f)
+		log.Printf("nanosimd: armed faultpoint %s", *fault)
+	}
+	var replicaList []string
+	if *replicas != "" {
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicaList = append(replicaList, u)
+			}
+		}
+	}
 
 	srv, err := serve.New(serve.Config{
 		Workers:       *workers,
@@ -77,6 +110,11 @@ func main() {
 		RatePerSec:    *rate,
 		RateBurst:     *burst,
 		MaxClientJobs: *clientJobs,
+
+		Replicas:         replicaList,
+		ShardsPerReplica: *shardsPer,
+		ShardTimeout:     *shardTimeout,
+		ShardRetries:     *shardRetries,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nanosimd:", err)
@@ -105,6 +143,9 @@ func main() {
 		}
 	}()
 
+	if len(replicaList) > 0 {
+		log.Printf("nanosimd: coordinator mode, %d replicas", len(replicaList))
+	}
 	log.Printf("nanosimd: listening on %s", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "nanosimd:", err)

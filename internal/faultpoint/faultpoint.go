@@ -11,6 +11,11 @@
 package faultpoint
 
 import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,10 +24,11 @@ import (
 // Site names. Keeping them here (rather than scattered string literals)
 // makes the injection surface greppable from one place.
 const (
-	StoreAppend = "store.append"       // durable-journal record write
-	Compile     = "serve.compile"      // deck parse/compile on submit
-	WorkerRun   = "serve.worker.run"   // engine execution inside a worker
-	StreamWrite = "serve.stream.write" // one NDJSON chunk write
+	StoreAppend   = "store.append"         // durable-journal record write
+	Compile       = "serve.compile"        // deck parse/compile on submit
+	WorkerRun     = "serve.worker.run"     // engine execution inside a worker
+	StreamWrite   = "serve.stream.write"   // one NDJSON chunk write
+	CoordDispatch = "serve.coord.dispatch" // one shard dispatch to a replica
 )
 
 // Fault describes what one armed site injects.
@@ -39,6 +45,10 @@ type Fault struct {
 	// simulation (store.append): the writer emits only this many bytes
 	// of the record before failing, simulating a crash mid-write.
 	TornBytes int
+	// Exit, on firing hits, terminates the whole process (after Delay)
+	// with exit code 3 — a crash simulation for multi-replica failover
+	// tests, armed via the nanosimd -faultpoint flag.
+	Exit bool
 }
 
 type site struct {
@@ -114,7 +124,8 @@ func hit(name string) Fault {
 }
 
 // Hit is the generic injection hook: it sleeps the armed delay and
-// returns the armed error. Inert (nil) unless a test armed the site.
+// returns the armed error — or terminates the process for Exit faults.
+// Inert (nil) unless a test armed the site.
 func Hit(name string) error {
 	if !enabled.Load() {
 		return nil
@@ -123,7 +134,59 @@ func Hit(name string) error {
 	if f.Delay > 0 {
 		time.Sleep(f.Delay)
 	}
+	if f.Exit {
+		os.Exit(3)
+	}
 	return f.Err
+}
+
+// Parse decodes a command-line fault spec of the form
+//
+//	site:directive[,directive...]
+//
+// with directives exit, err=<message>, delay=<duration>, times=<n> and
+// torn=<bytes> — e.g. "serve.worker.run:exit,times=1" kills the process
+// on the first engine run. It returns the site name and the fault to arm
+// with Set.
+func Parse(spec string) (string, Fault, error) {
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok || name == "" || rest == "" {
+		return "", Fault{}, fmt.Errorf("faultpoint: spec %q not of the form site:directive[,...]", spec)
+	}
+	var f Fault
+	for _, d := range strings.Split(rest, ",") {
+		key, val, hasVal := strings.Cut(d, "=")
+		switch key {
+		case "exit":
+			f.Exit = true
+		case "err":
+			if !hasVal || val == "" {
+				val = "injected fault"
+			}
+			f.Err = errors.New(val)
+		case "delay":
+			dur, err := time.ParseDuration(val)
+			if err != nil {
+				return "", Fault{}, fmt.Errorf("faultpoint: bad delay in %q: %w", spec, err)
+			}
+			f.Delay = dur
+		case "times":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return "", Fault{}, fmt.Errorf("faultpoint: bad times in %q", spec)
+			}
+			f.Times = n
+		case "torn":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return "", Fault{}, fmt.Errorf("faultpoint: bad torn in %q", spec)
+			}
+			f.TornBytes = n
+		default:
+			return "", Fault{}, fmt.Errorf("faultpoint: unknown directive %q in %q", d, spec)
+		}
+	}
+	return name, f, nil
 }
 
 // Torn is the write-site hook: ok reports a torn-write injection, with

@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nanosim/internal/faultpoint"
+	"nanosim/internal/stats"
+	"nanosim/internal/trace"
+	"nanosim/internal/vary"
+)
+
+// newReplicaSet starts n worker servers and returns their base URLs.
+func newReplicaSet(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		_, ts := newTestServer(t, Config{Workers: 2})
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// fetchResult long-polls a finished job's result document.
+func fetchResult(t *testing.T, ts *httptest.Server, id string) Result {
+	t.Helper()
+	var res Result
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result %s: HTTP %d", id, code)
+	}
+	return res
+}
+
+// streamSeries reassembles the stream endpoint's NDJSON chunks into one
+// sample vector per signal.
+func streamSeries(t *testing.T, ts *httptest.Server, id string) map[string][]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream %s: HTTP %d", id, resp.StatusCode)
+	}
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var c trace.Chunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatal(err)
+		}
+		out[c.Signal] = append(out[c.Signal], c.V...)
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	return out
+}
+
+// runMCJob submits an mc batch and returns its result and envelope
+// stream once done.
+func runMCJob(t *testing.T, ts *httptest.Server, trials int) (Result, map[string][]float64) {
+	t.Helper()
+	info := submit(t, ts, SubmitRequest{Deck: mcDeck, Trials: trials}, http.StatusAccepted)
+	waitState(t, ts, info.ID, StateDone)
+	return fetchResult(t, ts, info.ID), streamSeries(t, ts, info.ID)
+}
+
+// assertMergedMatchesSingle checks the distribution contract at the API
+// level: every exact field of the merged document is bit-identical to
+// the single-process run, the sketched quantile envelopes are within the
+// documented tolerance. Solver work counters are exempt — each replica
+// factorizes its own solver, so their split legitimately differs.
+func assertMergedMatchesSingle(t *testing.T, merged, single Result, menv, senv map[string][]float64) {
+	t.Helper()
+	m, s := merged.MC, single.MC
+	if m == nil || s == nil {
+		t.Fatalf("missing mc sections (merged %v, single %v)", m, s)
+	}
+	if m.Trials != s.Trials || m.Failed != s.Failed {
+		t.Fatalf("trials/failed %d/%d, want %d/%d", m.Trials, m.Failed, s.Trials, s.Failed)
+	}
+	if (m.Yield == nil) != (s.Yield == nil) {
+		t.Fatalf("yield presence differs: merged %v, single %v", m.Yield, s.Yield)
+	}
+	if m.Yield != nil && *m.Yield != *s.Yield {
+		t.Fatalf("yield %+v, want %+v", *m.Yield, *s.Yield)
+	}
+	if len(m.Stats) != len(s.Stats) {
+		t.Fatalf("%d stats entries, want %d", len(m.Stats), len(s.Stats))
+	}
+	for i := range s.Stats {
+		if m.Stats[i] != s.Stats[i] {
+			t.Fatalf("stats[%d] %+v, want %+v", i, m.Stats[i], s.Stats[i])
+		}
+	}
+	for name, sv := range senv {
+		mv := menv[name]
+		if len(mv) != len(sv) {
+			t.Fatalf("series %s has %d samples, want %d", name, len(mv), len(sv))
+		}
+	}
+	// Exact envelope: the mean series must match bit for bit.
+	for i, v := range senv["v(d)-mean"] {
+		if menv["v(d)-mean"][i] != v {
+			t.Fatalf("v(d)-mean[%d] = %g, want %g", i, menv["v(d)-mean"][i], v)
+		}
+	}
+	// Sketched envelopes: tolerance-bounded against the exact sorted
+	// quantiles (sketch accuracy plus a fraction of the local band width
+	// for the rank-bracketing gap).
+	for _, name := range []string{"v(d)-q05", "v(d)-q95"} {
+		for i, exact := range senv[name] {
+			band := math.Abs(senv["v(d)-q95"][i] - senv["v(d)-q05"][i])
+			tol := vary.SketchAlpha*math.Abs(exact) + 0.25*band + 1e-12
+			if d := math.Abs(menv[name][i] - exact); d > tol {
+				t.Fatalf("%s[%d] off by %g (tolerance %g)", name, i, d, tol)
+			}
+		}
+	}
+}
+
+// TestCoordinatorShardedMCDeterministic is the end-to-end distribution
+// contract: a coordinator fanning the batch out to three replicas over
+// HTTP returns the single-process result.
+func TestCoordinatorShardedMCDeterministic(t *testing.T) {
+	replicas := newReplicaSet(t, 3)
+	coord, cts := newTestServer(t, Config{Workers: 2, Replicas: replicas})
+	_, sts := newTestServer(t, Config{Workers: 2})
+
+	const trials = 96 // three aligned shards of 32
+	single, senv := runMCJob(t, sts, trials)
+	merged, menv := runMCJob(t, cts, trials)
+	assertMergedMatchesSingle(t, merged, single, menv, senv)
+
+	cm := coord.Metrics().Coordinator
+	if cm == nil {
+		t.Fatal("coordinator metrics section missing")
+	}
+	if cm.Replicas != 3 || cm.Dispatched != 3 || cm.Retries != 0 || cm.Merged != 1 || cm.Failed != 0 {
+		t.Fatalf("coordinator metrics %+v, want 3 replicas, 3 dispatched, 0 retries, 1 merged", *cm)
+	}
+}
+
+// TestCoordinatorFailoverDeadReplica kills one replica (a black-holed
+// address) and requires the rotation to fail its shards over to the live
+// replicas, with the identical merged output and visible retry counters.
+func TestCoordinatorFailoverDeadReplica(t *testing.T) {
+	replicas := newReplicaSet(t, 2)
+	// 127.0.0.1:1 refuses connections immediately: a deterministic dead
+	// replica without racing a server teardown.
+	replicas = append(replicas, "http://127.0.0.1:1")
+	coord, cts := newTestServer(t, Config{Workers: 2, Replicas: replicas})
+	_, sts := newTestServer(t, Config{Workers: 2})
+
+	const trials = 96
+	single, senv := runMCJob(t, sts, trials)
+	merged, menv := runMCJob(t, cts, trials)
+	assertMergedMatchesSingle(t, merged, single, menv, senv)
+
+	cm := coord.Metrics().Coordinator
+	if cm == nil || cm.Retries < 1 {
+		t.Fatalf("coordinator metrics %+v, want at least one shard failover", cm)
+	}
+	if cm.Merged != 1 || cm.Failed != 0 {
+		t.Fatalf("coordinator metrics %+v, want 1 merged, 0 failed", *cm)
+	}
+}
+
+// TestCoordinatorDispatchFaultFailsOver injects a dispatch fault at the
+// coordinator's own faultpoint site and requires a clean failover.
+func TestCoordinatorDispatchFaultFailsOver(t *testing.T) {
+	faultpoint.Set(faultpoint.CoordDispatch, faultpoint.Fault{
+		Err: errors.New("injected dispatch fault"), Times: 1,
+	})
+	defer faultpoint.Reset()
+
+	replicas := newReplicaSet(t, 2)
+	coord, cts := newTestServer(t, Config{Workers: 2, Replicas: replicas})
+	res, _ := runMCJob(t, cts, 64)
+	if res.MC == nil || res.MC.Trials != 64 {
+		t.Fatalf("merged result %+v", res.MC)
+	}
+	cm := coord.Metrics().Coordinator
+	if cm == nil || cm.Retries != 1 || cm.Merged != 1 {
+		t.Fatalf("coordinator metrics %+v, want exactly one retry and one merge", cm)
+	}
+}
+
+// TestCoordinatorExhaustedRetriesFailsJob: with every replica dead the
+// job must fail terminally, not hang.
+func TestCoordinatorExhaustedRetriesFailsJob(t *testing.T) {
+	cfg := Config{
+		Workers:      1,
+		Replicas:     []string{"http://127.0.0.1:1"},
+		ShardRetries: -1, // no failover
+	}
+	coord, cts := newTestServer(t, cfg)
+	info := submit(t, cts, SubmitRequest{Deck: mcDeck, Trials: 64}, http.StatusAccepted)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var ji JobInfo
+		getJSON(t, cts.URL+"/v1/jobs/"+info.ID, &ji)
+		if terminal(ji.State) {
+			if ji.State != StateFailed {
+				t.Fatalf("job reached %s, want failed", ji.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job with dead replicas never failed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cm := coord.Metrics().Coordinator; cm == nil || cm.Failed != 1 {
+		t.Fatalf("coordinator metrics %+v, want 1 failed", coord.Metrics().Coordinator)
+	}
+}
+
+// TestCoordinatorResumeAfterKill crashes the coordinator mid-dispatch
+// and restarts it on the same data dir: the journaled job must requeue,
+// re-dispatch (idempotently hitting any shard the replicas already
+// finished) and produce the single-process result.
+func TestCoordinatorResumeAfterKill(t *testing.T) {
+	replicas := newReplicaSet(t, 2)
+	_, sts := newTestServer(t, Config{Workers: 2})
+	const trials = 64
+	single, senv := runMCJob(t, sts, trials)
+
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, Replicas: replicas, DataDir: dir}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+
+	// Slow every dispatch down so the kill lands while shards are in
+	// flight. The site is only on the coordinator path, so the worker
+	// replicas (same process) never consume the fault.
+	faultpoint.Set(faultpoint.CoordDispatch, faultpoint.Fault{Delay: 300 * time.Millisecond})
+	info := submit(t, cts, SubmitRequest{Deck: mcDeck, Trials: trials}, http.StatusAccepted)
+	waitState(t, cts, info.ID, StateRunning)
+	cts.Close()
+	coord.kill()
+	faultpoint.Reset()
+
+	resumed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(resumed.Handler())
+	defer func() {
+		rts.Close()
+		resumed.Close()
+	}()
+	done := waitState(t, rts, info.ID, StateDone)
+	if !done.Requeued {
+		t.Error("resumed job not marked requeued")
+	}
+	merged := fetchResult(t, rts, info.ID)
+	menv := streamSeries(t, rts, info.ID)
+	assertMergedMatchesSingle(t, merged, single, menv, senv)
+}
+
+// TestShardSubmitValidation: shard ranges are mc-only and must be sane.
+func TestShardSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	submit(t, ts, SubmitRequest{Deck: tranDeck, Shard: &ShardRequest{Start: 0, End: 32}}, http.StatusBadRequest)
+	submit(t, ts, SubmitRequest{Deck: mcDeck, Shard: &ShardRequest{Start: 32, End: 32}}, http.StatusBadRequest)
+	submit(t, ts, SubmitRequest{Deck: mcDeck, Shard: &ShardRequest{Start: -1, End: 16}}, http.StatusBadRequest)
+}
+
+// TestShardJobKeyDistinct: a shard's idempotency key must differ per
+// range and from the unsharded batch, or failover would collide.
+func TestShardJobKeyDistinct(t *testing.T) {
+	base := SubmitRequest{}
+	a := SubmitRequest{Shard: &ShardRequest{Start: 0, End: 32}}
+	b := SubmitRequest{Shard: &ShardRequest{Start: 32, End: 64}}
+	keys := map[string]bool{
+		jobKey("h", "mc", base, nil): true,
+		jobKey("h", "mc", a, nil):    true,
+		jobKey("h", "mc", b, nil):    true,
+	}
+	if len(keys) != 3 {
+		t.Fatalf("shard ranges collide in the job key: %v", keys)
+	}
+	if jobKey("h", "mc", a, nil) != jobKey("h", "mc", a, nil) {
+		t.Fatal("job key not stable")
+	}
+}
+
+// TestShardWireRoundTrip: the shard aggregate survives its JSON wire
+// form exactly, including NaN scalars (null) and the envelope state.
+func TestShardWireRoundTrip(t *testing.T) {
+	rng := vary.ShardRange{Start: 32, End: 64, Total: 96}
+	env, err := stats.NewEnvelope(3, vary.SketchAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rng.Len(); i++ {
+		v := float64(i) * 0.25
+		if err := env.PushRow(rng.Start+i, []float64{v, -v, math.NaN()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := &vary.SignalShard{Name: "v(d)", Env: env}
+	for i := 0; i < rng.Len(); i++ {
+		v := float64(i)
+		if i == 7 {
+			v = math.NaN()
+		}
+		sh.Final = append(sh.Final, v)
+		sh.Min = append(sh.Min, v-1)
+		sh.Max = append(sh.Max, v+1)
+	}
+	if i := 7; !math.IsNaN(sh.Min[i]) {
+		sh.Min[7], sh.Max[7] = math.NaN(), math.NaN()
+	}
+	sr := &vary.ShardResult{Range: rng, Failed: 1, TrialErrors: []string{"boom"}, Signals: []*vary.SignalShard{sh}}
+	sr.Solve.FullFactor, sr.Solve.NumericRefactor = 2, 30
+
+	raw, err := json.Marshal(shardResultToWire(sr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w MCShardResult
+	if err := json.Unmarshal(raw, &w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := shardResultFromWire(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Range != rng || back.Failed != 1 || back.Solve.FullFactor != 2 || back.Solve.NumericRefactor != 30 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	bs := back.Signals[0]
+	for i := range sh.Final {
+		for _, pair := range [][2]float64{{sh.Final[i], bs.Final[i]}, {sh.Min[i], bs.Min[i]}, {sh.Max[i], bs.Max[i]}} {
+			if pair[0] != pair[1] && !(math.IsNaN(pair[0]) && math.IsNaN(pair[1])) {
+				t.Fatalf("trial %d scalar %g became %g", i, pair[0], pair[1])
+			}
+		}
+	}
+	mean, std := bs.Env.MeanStd()
+	wantMean, wantStd := env.MeanStd()
+	for g := range mean {
+		if mean[g] != wantMean[g] || std[g] != wantStd[g] {
+			t.Fatalf("envelope point %d changed: mean %g→%g std %g→%g", g, wantMean[g], mean[g], wantStd[g], std[g])
+		}
+	}
+}

@@ -28,6 +28,10 @@ type job struct {
 	entry  *deckEntry
 	kind   string
 	popt   *part.Options
+	// deckSrc retains the raw netlist for coordinated mc jobs only: the
+	// coordinator re-submits it verbatim to worker replicas. Every other
+	// job drops the source after compilation.
+	deckSrc string
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -90,6 +94,13 @@ func jobKey(hash, kind string, req SubmitRequest, popt *part.Options) string {
 	}
 	if req.Trials > 0 {
 		fmt.Fprintf(&b, "|trials=%d", req.Trials)
+	}
+	if req.Shard != nil {
+		// A shard is a different computation from the full batch (and
+		// from its sibling shards), so the range is part of the key: a
+		// coordinator re-dispatching after failover idempotently hits the
+		// replica's finished shard instead of recomputing it.
+		fmt.Fprintf(&b, "|shard=%d:%d", req.Shard.Start, req.Shard.End)
 	}
 	if popt != nil {
 		fmt.Fprintf(&b, "|part(g=%g,nd=%v)", popt.GCouple, popt.NoDormancy)
@@ -171,6 +182,14 @@ func resolveAnalysis(deck *netparse.Deck, req SubmitRequest) (string, error) {
 		}
 	default:
 		return "", fmt.Errorf("unknown analysis %q (want tran, dc, dcop/op, ac, em, mc or step)", req.Analysis)
+	}
+	if req.Shard != nil {
+		if kind != "mc" {
+			return "", fmt.Errorf("shard ranges apply to mc jobs only, not %q", kind)
+		}
+		if req.Shard.Start < 0 || req.Shard.End <= req.Shard.Start {
+			return "", fmt.Errorf("bad shard range [%d,%d)", req.Shard.Start, req.Shard.End)
+		}
 	}
 	return kind, nil
 }
@@ -412,12 +431,13 @@ func (j *job) batchJob(deck *netparse.Deck) (vary.Job, error) {
 	return vj, nil
 }
 
-// runMC executes the deck's Monte Carlo cards; the stream payload is the
-// envelope set (mean and quantile bands per signal).
-func (j *job) runMC(deck *netparse.Deck) (*Result, *wave.Set, error) {
+// mcOptions resolves the deck's Monte Carlo cards plus request overrides
+// into the batch options shared by the full-run, shard and coordinator
+// paths.
+func (j *job) mcOptions(deck *netparse.Deck) (vary.Options, error) {
 	vj, err := j.batchJob(deck)
 	if err != nil {
-		return nil, nil, err
+		return vary.Options{}, err
 	}
 	opt := vary.Options{
 		Job:     vj,
@@ -441,7 +461,7 @@ func (j *job) runMC(deck *netparse.Deck) (*Result, *wave.Set, error) {
 	for _, v := range deck.Varies {
 		dist, err := vary.ParseDist(v.Dist)
 		if err != nil {
-			return nil, nil, fmt.Errorf("netlist line %d: %w", v.Line, err)
+			return vary.Options{}, fmt.Errorf("netlist line %d: %w", v.Line, err)
 		}
 		opt.Specs = append(opt.Specs, vary.Spec{
 			Elem: v.Elem, Param: v.Param, Dist: dist,
@@ -451,17 +471,19 @@ func (j *job) runMC(deck *netparse.Deck) (*Result, *wave.Set, error) {
 	for _, l := range deck.Limits {
 		opt.Limits = append(opt.Limits, vary.Limit{Signal: l.Signal, Stat: l.Stat, Lo: l.Lo, Hi: l.Hi})
 	}
-	r, err := vary.MonteCarlo(deck.Circuit, opt)
-	if err != nil {
-		return nil, nil, err
-	}
+	return opt, nil
+}
+
+// mcResult converts a finished batch into the wire result and envelope
+// stream payload; shared by the local and coordinated mc paths.
+func mcResult(r *vary.Result, hasLimits bool) (*Result, *wave.Set, error) {
 	mc := &MCResult{
 		Trials:             r.Trials,
 		Failed:             r.Failed,
 		NumericRefactors:   r.Solve.NumericRefactor,
 		FullFactorizations: r.Solve.FullFactor,
 	}
-	if len(opt.Limits) > 0 {
+	if hasLimits {
 		mc.Yield = &MCYield{Passed: r.Passed, Yield: r.Yield, YieldSE: r.YieldSE}
 	}
 	env := wave.NewSet()
@@ -481,6 +503,29 @@ func (j *job) runMC(deck *netparse.Deck) (*Result, *wave.Set, error) {
 		}
 	}
 	return &Result{Kind: "mc", Signals: env.Names(), MC: mc}, env, nil
+}
+
+// runMC executes the deck's Monte Carlo cards; the stream payload is the
+// envelope set (mean and quantile bands per signal). A shard request runs
+// only its trial range and returns the mergeable aggregate instead.
+func (j *job) runMC(deck *netparse.Deck) (*Result, *wave.Set, error) {
+	opt, err := j.mcOptions(deck)
+	if err != nil {
+		return nil, nil, err
+	}
+	if j.req.Shard != nil {
+		rng := vary.ShardRange{Start: j.req.Shard.Start, End: j.req.Shard.End, Total: opt.Trials}
+		sr, err := vary.MonteCarloShard(deck.Circuit, opt, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{Kind: "mc-shard", MCShard: shardResultToWire(sr)}, nil, nil
+	}
+	r, err := vary.MonteCarlo(deck.Circuit, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mcResult(r, len(opt.Limits) > 0)
 }
 
 // runStep executes the deck's .step sweep.

@@ -33,6 +33,11 @@ type metrics struct {
 	timeouts          atomic.Int64 // jobs failed by the per-job deadline
 	queueExpired      atomic.Int64 // jobs failed by the queue-wait deadline
 
+	coordDispatched atomic.Int64 // shard attempts sent to replicas
+	coordRetries    atomic.Int64 // shard attempts failed over to another replica
+	coordMerged     atomic.Int64 // coordinated jobs merged successfully
+	coordFailed     atomic.Int64 // coordinated jobs failed (retries exhausted)
+
 	storeErrors    atomic.Int64 // journal/spill writes that failed
 	streamAborts   atomic.Int64 // streams cut off (slow reader, fault, gone client)
 	streamFromDisk atomic.Int64 // streams served from the spill
@@ -233,6 +238,23 @@ type AdmissionMetrics struct {
 	OldestQueuedMs float64       `json:"oldest_queued_ms"`
 }
 
+// CoordMetrics is the shard-coordinator section of /metrics (present
+// only when Replicas are configured).
+type CoordMetrics struct {
+	// Replicas is the configured worker count.
+	Replicas int `json:"replicas"`
+	// Dispatched counts shard attempts sent to replicas (including
+	// failover re-dispatches).
+	Dispatched int64 `json:"dispatched"`
+	// Retries counts shard attempts that failed (error, timeout, dead
+	// replica) and were failed over to another replica.
+	Retries int64 `json:"retries"`
+	// Merged counts coordinated mc jobs whose shards merged successfully;
+	// Failed those that exhausted their shard retries.
+	Merged int64 `json:"merged"`
+	Failed int64 `json:"failed"`
+}
+
 // StreamMetrics is the NDJSON streaming section of /metrics.
 type StreamMetrics struct {
 	// Aborts counts streams cut off early (slow reader past the write
@@ -251,6 +273,9 @@ type MetricsSnapshot struct {
 	Jobs      JobMetrics       `json:"jobs"`
 	Admission AdmissionMetrics `json:"admission"`
 	Streams   StreamMetrics    `json:"streams"`
+	// Coordinator reports shard fan-out (absent unless this server runs
+	// in coordinator mode).
+	Coordinator *CoordMetrics `json:"coordinator,omitempty"`
 	// Store is the durable job store's I/O accounting (absent without a
 	// data dir); StoreErrors counts journal/spill writes that failed.
 	Store       *store.Counters `json:"store,omitempty"`

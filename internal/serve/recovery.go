@@ -163,6 +163,11 @@ func (s *Server) requeue(rec *store.Record, info JobInfo, req SubmitRequest) {
 	j.info.Submitted = info.Submitted
 	j.info.CacheHit = info.CacheHit
 	j.info.Requeued = true
+	if s.coordinated(kind, &req) {
+		// A resumed coordinator job re-dispatches its shards; finished
+		// shards idempotent-hit on the replicas instead of recomputing.
+		j.deckSrc = src
+	}
 	// Journal the requeue before the job becomes runnable, so a crash
 	// between here and completion still replays it as interrupted.
 	if err := s.store.State(rec.ID, StateQueued, "", rec.Attempts, true); err != nil {

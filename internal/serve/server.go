@@ -89,6 +89,27 @@ type Config struct {
 	// StreamWriteTimeout bounds each NDJSON chunk write so a stalled
 	// reader cannot pin a stream handler forever (default 30s).
 	StreamWriteTimeout time.Duration
+
+	// Replicas switches the server into coordinator mode for mc jobs:
+	// instead of running the whole batch locally, a submission is split
+	// into aligned trial-range shards dispatched to these worker base
+	// URLs (e.g. "http://host:port") over the normal submit API, and the
+	// shard aggregates are merged into the single-process result. All
+	// other analyses still run locally.
+	Replicas []string
+	// ShardsPerReplica sets the dispatch granularity: the trial count is
+	// split into up to len(Replicas)×ShardsPerReplica aligned ranges
+	// (default 1). More shards per replica smooths load when trial costs
+	// vary, at more per-shard overhead.
+	ShardsPerReplica int
+	// ShardTimeout bounds one shard attempt on one replica, dispatch to
+	// result (default 5m). A timed-out or failed attempt fails over to
+	// the next replica in deterministic rotation.
+	ShardTimeout time.Duration
+	// ShardRetries is how many times a failed shard attempt fails over
+	// to another replica before the whole job fails (default 2; negative
+	// disables failover).
+	ShardRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +149,18 @@ func (c Config) withDefaults() Config {
 	if c.StreamWriteTimeout <= 0 {
 		c.StreamWriteTimeout = 30 * time.Second
 	}
+	if c.ShardsPerReplica <= 0 {
+		c.ShardsPerReplica = 1
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 5 * time.Minute
+	}
+	if c.ShardRetries == 0 {
+		c.ShardRetries = 2
+	}
+	if c.ShardRetries < 0 {
+		c.ShardRetries = 0
+	}
 	return c
 }
 
@@ -154,6 +187,9 @@ type Server struct {
 	baseStop context.CancelCauseFunc
 	queue    chan *job
 	wg       sync.WaitGroup
+	// httpc dispatches coordinator shards; per-attempt contexts bound
+	// each request, so the client itself carries no timeout.
+	httpc *http.Client
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -184,6 +220,7 @@ func New(cfg Config) (*Server, error) {
 		keys:    map[string]*job{},
 		clients: map[string]int{},
 		admit:   newAdmission(cfg.RatePerSec, cfg.RateBurst),
+		httpc:   &http.Client{},
 	}
 	s.cache = newDeckCache(cfg.MaxDecks, s.met)
 	s.baseCtx, s.baseStop = context.WithCancelCause(context.Background())
@@ -324,7 +361,17 @@ func (s *Server) Metrics() MetricsSnapshot {
 		c := s.store.Counters()
 		sc = &c
 	}
-	return s.met.snapshot(s.cache.size(), s.cache.masters.metrics(), jm, oldest, sc)
+	snap := s.met.snapshot(s.cache.size(), s.cache.masters.metrics(), jm, oldest, sc)
+	if len(s.cfg.Replicas) > 0 {
+		snap.Coordinator = &CoordMetrics{
+			Replicas:   len(s.cfg.Replicas),
+			Dispatched: s.met.coordDispatched.Load(),
+			Retries:    s.met.coordRetries.Load(),
+			Merged:     s.met.coordMerged.Load(),
+			Failed:     s.met.coordFailed.Load(),
+		}
+	}
+	return snap
 }
 
 // worker drains the job queue.
@@ -460,7 +507,7 @@ func (s *Server) runOne(j *job) {
 	for {
 		attempts++
 		if err = faultpoint.Hit(faultpoint.WorkerRun); err == nil {
-			res, waves, err = j.run(s.met)
+			res, waves, err = s.runJob(j)
 		}
 		if err == nil || j.ctx.Err() != nil || attempts > s.cfg.MaxRetries || !IsTransient(err) {
 			break
@@ -484,6 +531,26 @@ func (s *Server) runOne(j *job) {
 	default:
 		s.finish(j, StateFailed, err.Error(), nil, nil, attempts)
 	}
+}
+
+// coordinated reports whether this job is a coordinator-mode mc batch:
+// it fans out to replicas instead of running locally. Shard jobs
+// themselves (req.Shard set) always run locally — a replica that is also
+// configured with Replicas must not re-delegate its range.
+func (s *Server) coordinated(kind string, req *SubmitRequest) bool {
+	return len(s.cfg.Replicas) > 0 && kind == "mc" && req.Shard == nil
+}
+
+// runJob executes a job locally, or through the shard coordinator for
+// coordinator-mode mc batches.
+func (s *Server) runJob(j *job) (*Result, *wave.Set, error) {
+	if !s.coordinated(j.kind, &j.req) {
+		return j.run(s.met)
+	}
+	start := time.Now()
+	res, waves, err := s.runMCCoordinated(j)
+	s.met.observe(j.kind, time.Since(start))
+	return res, waves, err
 }
 
 // classifyCtx maps a canceled job context onto its terminal state: a
@@ -679,6 +746,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("job-%d", s.nextID)
 	j := s.newJob(id, key, client, req, entry, kind, popt)
 	j.info.CacheHit = hit
+	if s.coordinated(kind, &req) {
+		// The coordinator re-submits the source verbatim to its replicas,
+		// so this one job class keeps it past compilation.
+		j.deckSrc = deckSrc
+	}
 	if s.store != nil {
 		if err := s.journalSubmit(j, deckSrc); err != nil {
 			s.nextID--

@@ -1,6 +1,10 @@
 package serve
 
-import "time"
+import (
+	"time"
+
+	"nanosim/internal/stats"
+)
 
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
@@ -32,12 +36,25 @@ type SubmitRequest struct {
 	// Partition forces the torn-block SWEC engine for transients (the
 	// deck's own ".options partition" card also enables it).
 	Partition *PartitionRequest `json:"partition,omitempty"`
+	// Shard restricts an "mc" job to a global trial range: the worker
+	// runs only trials [Start, End) of the full batch and returns the
+	// mergeable MCShardResult instead of the final MC document. Set by a
+	// coordinator dispatching to its replicas; boundaries must align to
+	// vary.ShardAlign (the final shard may end at the trial total).
+	Shard *ShardRequest `json:"shard,omitempty"`
 	// Fresh forces re-execution. By default a submission whose
 	// idempotency key (deck hash, analysis, seed and result-affecting
 	// overrides) matches a live or completed job returns that job with
 	// 200 instead of recomputing — the safe behavior for client retries
 	// after a timeout or a restart.
 	Fresh bool `json:"fresh,omitempty"`
+}
+
+// ShardRequest is the trial range of a sharded mc submission.
+type ShardRequest struct {
+	// Start and End bound the half-open global trial range [Start, End).
+	Start int `json:"start"`
+	End   int `json:"end"`
 }
 
 // PartitionRequest mirrors the '.options partition' card on the wire.
@@ -119,6 +136,9 @@ type Result struct {
 	EM *EMResult `json:"em,omitempty"`
 	// MC is set for "mc" jobs.
 	MC *MCResult `json:"mc,omitempty"`
+	// MCShard is set for sharded "mc" jobs (SubmitRequest.Shard): the
+	// mergeable aggregate of one trial range, consumed by a coordinator.
+	MCShard *MCShardResult `json:"mc_shard,omitempty"`
 	// Step is set for "step" jobs.
 	Step *StepResult `json:"step,omitempty"`
 }
@@ -200,6 +220,43 @@ type MCSignal struct {
 	Q05    float64 `json:"q05"`
 	Median float64 `json:"median"`
 	Q95    float64 `json:"q95"`
+}
+
+// MCShardResult is one trial-range shard's mergeable aggregate: exact
+// per-trial scalars plus the streaming envelope state (chunked mean/std
+// accumulators and quantile sketches), in place of raw waveforms. A
+// coordinator assembles shards covering [0, Total) back into an exact
+// MCResult (sketch-tolerance on the quantile envelope series only).
+type MCShardResult struct {
+	// Start/End/Total echo the global trial range this shard covered.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Total int `json:"total"`
+	// Failed counts errored trials in the range; TrialErrors samples
+	// their messages.
+	Failed      int      `json:"failed"`
+	TrialErrors []string `json:"trial_errors,omitempty"`
+	// Signals carries each aggregated series, in selection order.
+	Signals []MCShardSignal `json:"signals"`
+	// Solver work counters for the shard, summed by the coordinator.
+	FullFactorizations int `json:"full_factorizations"`
+	NumericRefactors   int `json:"numeric_refactors"`
+	PatternRebuilds    int `json:"pattern_rebuilds,omitempty"`
+	Reused             int `json:"reused,omitempty"`
+}
+
+// MCShardSignal is one signal's shard aggregate. The scalar arrays are
+// indexed by trial - Start; null entries mark failed trials (NaN has no
+// JSON encoding).
+type MCShardSignal struct {
+	Name string `json:"name"`
+	// Env is the mergeable envelope state; absent for scalar-only (op)
+	// batches.
+	Env *stats.Envelope `json:"env,omitempty"`
+	// Final, Min and Max are the exact per-trial measures.
+	Final []*float64 `json:"final"`
+	Min   []*float64 `json:"min"`
+	Max   []*float64 `json:"max"`
 }
 
 // StepResult is a deterministic parameter sweep outcome: one row per

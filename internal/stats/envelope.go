@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Envelope aggregates a family of per-trial rows — one value per grid
+// point per trial — into streaming per-point statistics that merge
+// across trial-range shards without shipping the rows themselves:
+// mean/std via chunk-indexed Welford accumulators (bit-identical under
+// any MergeChunk-aligned shard split; see ChunkAcc) and quantiles via
+// per-point QuantileSketch (alpha-relative error, exactly order- and
+// split-invariant).
+//
+// NaN row entries are excluded from every aggregate: a partial trial
+// (cancelled or failed mid-run) contributes only the grid points it
+// actually covered.
+type Envelope struct {
+	points int
+	alpha  float64 // 0 = no quantile sketches
+	acc    []ChunkAcc
+	sk     []*QuantileSketch
+}
+
+// NewEnvelope creates an envelope aggregator over the given grid size.
+// alpha > 0 attaches a quantile sketch per grid point with that relative
+// accuracy; alpha = 0 aggregates mean/std only.
+func NewEnvelope(points int, alpha float64) (*Envelope, error) {
+	if points <= 0 {
+		return nil, fmt.Errorf("stats: envelope needs points > 0, got %d", points)
+	}
+	e := &Envelope{points: points, alpha: alpha, acc: make([]ChunkAcc, points)}
+	if alpha > 0 {
+		e.sk = make([]*QuantileSketch, points)
+		for i := range e.sk {
+			s, err := NewQuantileSketch(alpha)
+			if err != nil {
+				return nil, err
+			}
+			e.sk[i] = s
+		}
+	}
+	return e, nil
+}
+
+// Points returns the grid size.
+func (e *Envelope) Points() int { return e.points }
+
+// Alpha returns the sketch accuracy (0 when quantiles are not tracked).
+func (e *Envelope) Alpha() float64 { return e.alpha }
+
+// PushRow adds one trial's resampled row, tagged with the trial's global
+// index. NaN entries (grid points the trial did not cover) are skipped.
+func (e *Envelope) PushRow(trial int, row []float64) error {
+	if len(row) != e.points {
+		return fmt.Errorf("stats: envelope row has %d points, want %d", len(row), e.points)
+	}
+	for g, v := range row {
+		if math.IsNaN(v) {
+			continue
+		}
+		e.acc[g].Push(trial, v)
+		if e.sk != nil {
+			e.sk[g].Push(v)
+		}
+	}
+	return nil
+}
+
+// Merge folds another envelope into e. Both must share grid size and
+// sketch accuracy. Mean/std stay bit-identical to a single-process fold
+// when the merged trial ranges split on MergeChunk boundaries; sketches
+// merge exactly under any split.
+func (e *Envelope) Merge(o *Envelope) error {
+	if o == nil {
+		return nil
+	}
+	if o.points != e.points {
+		return fmt.Errorf("stats: merging envelopes with %d and %d points", e.points, o.points)
+	}
+	if o.alpha != e.alpha {
+		return fmt.Errorf("stats: merging envelopes with alpha %g and %g", e.alpha, o.alpha)
+	}
+	for g := range e.acc {
+		e.acc[g].Merge(&o.acc[g])
+		if e.sk != nil {
+			if err := e.sk[g].Merge(o.sk[g]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns how many trials contributed at grid point g.
+func (e *Envelope) Count(g int) int { return e.acc[g].N() }
+
+// MeanStd returns the per-point mean and sample standard deviation via
+// the canonical chunk fold. Points no trial covered yield 0.
+func (e *Envelope) MeanStd() (mean, std []float64) {
+	mean = make([]float64, e.points)
+	std = make([]float64, e.points)
+	for g := range e.acc {
+		r := e.acc[g].Fold()
+		mean[g], std[g] = r.Mean(), r.Std()
+	}
+	return mean, std
+}
+
+// Quantile returns the per-point q-quantile estimates from the sketches.
+// Points no trial covered yield 0.
+func (e *Envelope) Quantile(q float64) ([]float64, error) {
+	if e.sk == nil {
+		return nil, fmt.Errorf("stats: envelope has no quantile sketches (alpha=0)")
+	}
+	out := make([]float64, e.points)
+	for g, s := range e.sk {
+		if s.N() == 0 {
+			continue
+		}
+		v, err := s.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out[g] = v
+	}
+	return out, nil
+}
+
+// envelopeWire is the JSON form of an Envelope.
+type envelopeWire struct {
+	Points int               `json:"points"`
+	Alpha  float64           `json:"alpha,omitempty"`
+	Acc    []*ChunkAcc       `json:"acc"`
+	Sk     []*QuantileSketch `json:"sk,omitempty"`
+}
+
+// MarshalJSON encodes the envelope for the shard-result wire.
+func (e *Envelope) MarshalJSON() ([]byte, error) {
+	w := envelopeWire{Points: e.points, Alpha: e.alpha, Acc: make([]*ChunkAcc, e.points), Sk: nil}
+	for g := range e.acc {
+		w.Acc[g] = &e.acc[g]
+	}
+	if e.sk != nil {
+		w.Sk = e.sk
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes MarshalJSON's output.
+func (e *Envelope) UnmarshalJSON(b []byte) error {
+	var w envelopeWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.Points <= 0 || len(w.Acc) != w.Points {
+		return fmt.Errorf("stats: envelope wire has %d acc for %d points", len(w.Acc), w.Points)
+	}
+	ne := &Envelope{points: w.Points, alpha: w.Alpha, acc: make([]ChunkAcc, w.Points)}
+	for g, a := range w.Acc {
+		if a != nil {
+			ne.acc[g] = *a
+		}
+	}
+	if w.Alpha > 0 {
+		if len(w.Sk) != w.Points {
+			return fmt.Errorf("stats: envelope wire has %d sketches for %d points", len(w.Sk), w.Points)
+		}
+		ne.sk = w.Sk
+	}
+	*e = *ne
+	return nil
+}

@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"nanosim/internal/randx"
+)
+
+// trialRows builds trials×points rows of deterministic pseudo-data.
+func trialRows(trials, points int, seed uint64) [][]float64 {
+	rows := make([][]float64, trials)
+	for t := range rows {
+		st := randx.Split(seed, t)
+		row := make([]float64, points)
+		for g := range row {
+			row[g] = st.Norm() * (1 + float64(g)/float64(points))
+		}
+		rows[t] = row
+	}
+	return rows
+}
+
+// TestChunkFoldDeterministic proves the chunk-accumulator contract: any
+// MergeChunk-aligned split of the trial index range, merged in any order,
+// folds to bit-identical mean/std/min/max versus the single-stream fold.
+func TestChunkFoldDeterministic(t *testing.T) {
+	const n = 256 // 8 chunks of MergeChunk=32
+	st := randx.Split(99, 0)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = st.Norm() * 1e-3
+	}
+	var whole ChunkAcc
+	for i, x := range xs {
+		whole.Push(i, x)
+	}
+	ref := whole.Fold()
+	rn, rmean, rm2, rmin, rmax := ref.State()
+
+	splits := [][2]int{} // aligned [start,end) shards
+	for _, bounds := range [][]int{
+		{0, 256},
+		{0, 128, 256},
+		{0, 32, 64, 96, 128, 160, 192, 224, 256},
+		{0, 96, 128, 256},
+		{0, 224, 256},
+	} {
+		var shards []*ChunkAcc
+		for i := 0; i+1 < len(bounds); i++ {
+			var c ChunkAcc
+			for j := bounds[i]; j < bounds[i+1]; j++ {
+				c.Push(j, xs[j])
+			}
+			shards = append(shards, &c)
+			splits = append(splits, [2]int{bounds[i], bounds[i+1]})
+		}
+		// Merge in forward and reverse order; both must fold identically.
+		for pass := 0; pass < 2; pass++ {
+			var m ChunkAcc
+			if pass == 0 {
+				for _, sh := range shards {
+					m.Merge(sh)
+				}
+			} else {
+				for i := len(shards) - 1; i >= 0; i-- {
+					m.Merge(shards[i])
+				}
+			}
+			got := m.Fold()
+			gn, gmean, gm2, gmin, gmax := got.State()
+			if gn != rn || gmean != rmean || gm2 != rm2 || gmin != rmin || gmax != rmax {
+				t.Errorf("bounds %v pass %d: fold (n=%d mean=%x m2=%x) != single-stream (n=%d mean=%x m2=%x)",
+					bounds, pass, gn, gmean, gm2, rn, rmean, rm2)
+			}
+		}
+	}
+	_ = splits
+}
+
+func TestChunkAccNaNAndJSON(t *testing.T) {
+	var c ChunkAcc
+	c.Push(0, 1)
+	c.Push(1, math.NaN())
+	c.Push(40, 3)
+	if c.N() != 2 {
+		t.Fatalf("N = %d, want 2 (NaN excluded)", c.N())
+	}
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChunkAcc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.Fold(), back.Fold()
+	an, amean, am2, amin, amax := a.State()
+	bn, bmean, bm2, bmin, bmax := b.State()
+	if an != bn || amean != bmean || am2 != bm2 || amin != bmin || amax != bmax {
+		t.Error("ChunkAcc JSON round trip changed the fold")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 1, 3} {
+		a.Push(x)
+	}
+	for _, x := range []float64{3, 9, 11} {
+		b.Push(x)
+	}
+	whole, _ := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 1, 3, 3, 9, 11} {
+		whole.Push(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range whole.Counts {
+		if a.Counts[i] != whole.Counts[i] {
+			t.Errorf("bin %d: merged %d != whole %d", i, a.Counts[i], whole.Counts[i])
+		}
+	}
+	if a.under != whole.under || a.over != whole.over || a.total != whole.total {
+		t.Errorf("merged under/over/total %d/%d/%d != whole %d/%d/%d",
+			a.under, a.over, a.total, whole.under, whole.over, whole.total)
+	}
+	bad, _ := NewHistogram(0, 20, 5)
+	if err := a.Merge(bad); err == nil {
+		t.Error("merging histograms with different ranges did not error")
+	}
+}
+
+// TestEnvelopeShardedDeterministic is the end-to-end combinator property:
+// pushing trial rows through per-shard envelopes on aligned boundaries
+// and merging (in any order) gives bit-identical mean/std and identical
+// sketched quantiles versus one envelope seeing every row.
+func TestEnvelopeShardedDeterministic(t *testing.T) {
+	const trials, points, alpha = 128, 17, 0.005
+	rows := trialRows(trials, points, 5)
+
+	whole, err := NewEnvelope(points, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr, row := range rows {
+		if err := whole.PushRow(tr, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wm, ws := whole.MeanStd()
+	wq, err := whole.Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bounds := []int{0, 32, 96, 128}
+	var shards []*Envelope
+	for i := 0; i+1 < len(bounds); i++ {
+		e, err := NewEnvelope(points, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tr := bounds[i]; tr < bounds[i+1]; tr++ {
+			if err := e.PushRow(tr, rows[tr]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Round-trip each shard through JSON, as the wire does.
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Envelope
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, &back)
+	}
+	for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		merged, err := NewEnvelope(points, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range order {
+			if err := merged.Merge(shards[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mm, ms := merged.MeanStd()
+		mq, err := merged.Quantile(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < points; g++ {
+			if mm[g] != wm[g] || ms[g] != ws[g] {
+				t.Errorf("order %v point %d: mean/std %x/%x != whole %x/%x", order, g, mm[g], ms[g], wm[g], ws[g])
+			}
+			if mq[g] != wq[g] {
+				t.Errorf("order %v point %d: q95 %x != whole %x", order, g, mq[g], wq[g])
+			}
+		}
+	}
+}
+
+// TestEnvelopePartialTrialExcluded checks the NaN contract: a trial row
+// with NaN at some grid points contributes only where it has data.
+func TestEnvelopePartialTrialExcluded(t *testing.T) {
+	e, err := NewEnvelope(3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushRow(0, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushRow(1, []float64{5, math.NaN(), math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count(0) != 2 || e.Count(1) != 1 || e.Count(2) != 1 {
+		t.Fatalf("counts %d/%d/%d, want 2/1/1", e.Count(0), e.Count(1), e.Count(2))
+	}
+	mean, _ := e.MeanStd()
+	if mean[0] != 3 || mean[1] != 2 || mean[2] != 3 {
+		t.Errorf("means %v, want [3 2 3] (NaN points excluded, not zero-filled)", mean)
+	}
+}
+
+func TestEnvelopeMergeMismatch(t *testing.T) {
+	a, _ := NewEnvelope(3, 0.01)
+	b, _ := NewEnvelope(4, 0.01)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging envelopes with different grid sizes did not error")
+	}
+	c, _ := NewEnvelope(3, 0.02)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging envelopes with different alpha did not error")
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// MergeChunk is the canonical accumulation quantum of a ChunkAcc: samples
+// are grouped by index into fixed blocks of this many, and the final
+// reduction always folds the blocks in ascending index order. Two
+// processes that between them cover the same index set — in any split
+// aligned to this quantum — therefore produce bit-identical folds,
+// because every per-block accumulator and the fold order are identical
+// no matter which process computed which block. Shard boundaries in the
+// distributed Monte Carlo path must align to it.
+const MergeChunk = 32
+
+// State exposes the accumulator's internals for serialization; pair with
+// RunningFromState to round-trip through a wire format.
+func (r *Running) State() (n int, mean, m2, min, max float64) {
+	return r.n, r.mean, r.m2, r.min, r.max
+}
+
+// RunningFromState rebuilds an accumulator from State's output.
+func RunningFromState(n int, mean, m2, min, max float64) Running {
+	return Running{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// ChunkAcc accumulates index-tagged samples (mean/variance/extremes) into
+// MergeChunk-sized blocks with a canonical fold order. Unlike a single
+// Running — whose parallel Merge is deterministic but not associative in
+// floating point — a ChunkAcc makes the merged result independent of how
+// the index range was split across processes, as long as every split
+// boundary is a multiple of MergeChunk. The zero value is empty.
+type ChunkAcc struct {
+	chunks map[int]*Running
+}
+
+// Push adds sample x tagged with its global index. NaN samples are
+// ignored (excluded partial-trial points).
+func (c *ChunkAcc) Push(index int, x float64) {
+	if x != x { // NaN
+		return
+	}
+	if c.chunks == nil {
+		c.chunks = map[int]*Running{}
+	}
+	k := index / MergeChunk
+	r := c.chunks[k]
+	if r == nil {
+		r = &Running{}
+		c.chunks[k] = r
+	}
+	r.Push(x)
+}
+
+// N returns the total sample count across chunks.
+func (c *ChunkAcc) N() int {
+	n := 0
+	for _, r := range c.chunks {
+		n += r.n
+	}
+	return n
+}
+
+// Merge folds o's chunks into c. Chunks present on both sides are merged
+// with Running.Merge — correct, but only chunk-disjoint merges (aligned
+// shard splits) preserve the bit-identical canonical fold.
+func (c *ChunkAcc) Merge(o *ChunkAcc) {
+	if o == nil || len(o.chunks) == 0 {
+		return
+	}
+	if c.chunks == nil {
+		c.chunks = map[int]*Running{}
+	}
+	for k, or := range o.chunks {
+		if r := c.chunks[k]; r != nil {
+			r.Merge(or)
+		} else {
+			cp := *or
+			c.chunks[k] = &cp
+		}
+	}
+}
+
+// Fold reduces the chunks in ascending index order into one Running.
+// This is the canonical reduction every consumer must use: it yields the
+// same bits for any aligned split of the index range.
+func (c *ChunkAcc) Fold() Running {
+	ks := make([]int, 0, len(c.chunks))
+	for k := range c.chunks {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	var out Running
+	for _, k := range ks {
+		out.Merge(c.chunks[k])
+	}
+	return out
+}
+
+// chunkWire is one chunk's JSON form: [index, n, mean, m2, min, max].
+type chunkWire [6]float64
+
+// MarshalJSON encodes the chunks sorted by index, so the encoding of a
+// given accumulator is deterministic.
+func (c *ChunkAcc) MarshalJSON() ([]byte, error) {
+	ks := make([]int, 0, len(c.chunks))
+	for k := range c.chunks {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	out := make([]chunkWire, 0, len(ks))
+	for _, k := range ks {
+		r := c.chunks[k]
+		out = append(out, chunkWire{float64(k), float64(r.n), r.mean, r.m2, r.min, r.max})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes MarshalJSON's output.
+func (c *ChunkAcc) UnmarshalJSON(b []byte) error {
+	var in []chunkWire
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	c.chunks = map[int]*Running{}
+	for _, w := range in {
+		r := RunningFromState(int(w[1]), w[2], w[3], w[4], w[5])
+		c.chunks[int(w[0])] = &r
+	}
+	return nil
+}
+
+// Merge folds another histogram into h. Both histograms must have been
+// created with the identical [Min, Max] range and bin count; counts add,
+// so the operation is exactly commutative and associative.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if o.Min != h.Min || o.Max != h.Max || len(o.Counts) != len(h.Counts) {
+		return fmt.Errorf("stats: merging histograms with different specs ([%g,%g]x%d != [%g,%g]x%d)",
+			h.Min, h.Max, len(h.Counts), o.Min, o.Max, len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.total += o.total
+	return nil
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantileSketch is a mergeable streaming quantile summary with a
+// guaranteed relative accuracy, in the DDSketch family: samples are
+// counted into geometric bins gamma^(i-1) < |x| <= gamma^i with
+// gamma = (1+alpha)/(1-alpha), split into a positive store, a negative
+// store and an exact zero bucket.
+//
+// It is chosen over a t-digest deliberately: a t-digest's centroids
+// depend on insertion and merge order, so two merge trees over the same
+// shards give two (slightly) different answers. Here a merge is pure
+// integer addition of bin counts, which makes Merge exactly commutative
+// and associative — any shard split combined in any order yields the
+// same sketch bit for bit, the property the distributed Monte Carlo
+// merge is tested against.
+//
+// Accuracy: Quantile(q) returns a value v̂ such that some sample x whose
+// rank brackets q·(n-1) satisfies |v̂ - x| <= alpha·|x| (samples with
+// magnitude below zeroFloor are reported as exactly 0). Against the
+// interpolating QuantileSorted this adds at most the gap between the
+// two order statistics adjacent to the target rank.
+type QuantileSketch struct {
+	alpha       float64
+	gamma       float64
+	invLogGamma float64
+
+	pos, neg map[int]uint64
+	zero     uint64
+	n        uint64
+	min, max float64
+}
+
+// zeroFloor is the magnitude below which samples land in the exact zero
+// bucket; geometric binning cannot represent 0 and float64 exponents
+// below ~1e-300 would overflow the bin index math anyway.
+const zeroFloor = 1e-300
+
+// NewQuantileSketch creates a sketch with the given relative accuracy
+// (0 < alpha < 1, typically 0.005 for 0.5%).
+func NewQuantileSketch(alpha float64) (*QuantileSketch, error) {
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("stats: sketch alpha %g out of (0,1)", alpha)
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &QuantileSketch{
+		alpha:       alpha,
+		gamma:       gamma,
+		invLogGamma: 1 / math.Log(gamma),
+		pos:         map[int]uint64{},
+		neg:         map[int]uint64{},
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}, nil
+}
+
+// Alpha returns the configured relative accuracy.
+func (s *QuantileSketch) Alpha() float64 { return s.alpha }
+
+// N returns the number of samples pushed (NaN samples excluded).
+func (s *QuantileSketch) N() int { return int(s.n) }
+
+// binIndex maps a magnitude (> zeroFloor) onto its geometric bin.
+func (s *QuantileSketch) binIndex(mag float64) int {
+	return int(math.Ceil(math.Log(mag) * s.invLogGamma))
+}
+
+// binValue is the representative value of bin i: the point whose worst
+// relative error against any member of (gamma^(i-1), gamma^i] is alpha.
+func (s *QuantileSketch) binValue(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Push adds a sample. NaN samples are ignored — a partial trial excluded
+// from the aggregate must not poison the sketch.
+func (s *QuantileSketch) Push(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	s.n++
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	switch {
+	case x > zeroFloor:
+		s.pos[s.binIndex(x)]++
+	case x < -zeroFloor:
+		s.neg[s.binIndex(-x)]++
+	default:
+		s.zero++
+	}
+}
+
+// Merge folds o into s. Both sketches must share the same alpha. The
+// operation is exactly commutative and associative: counts add, extremes
+// take min/max.
+func (s *QuantileSketch) Merge(o *QuantileSketch) error {
+	if o == nil || o.n == 0 {
+		return nil
+	}
+	if o.alpha != s.alpha {
+		return fmt.Errorf("stats: merging sketches with different alpha (%g != %g)", s.alpha, o.alpha)
+	}
+	for i, c := range o.pos {
+		s.pos[i] += c
+	}
+	for i, c := range o.neg {
+		s.neg[i] += c
+	}
+	s.zero += o.zero
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	return nil
+}
+
+// Quantile returns the q-quantile estimate (0 <= q <= 1). The result is
+// clamped to the exact [min, max] of the pushed samples.
+func (s *QuantileSketch) Quantile(q float64) (float64, error) {
+	if s.n == 0 {
+		return 0, errors.New("stats: quantile of empty sketch")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+	}
+	// The extremes are tracked exactly; return them rather than the bin
+	// representative of the first/last occupied bin.
+	if q == 0 {
+		return s.min, nil
+	}
+	if q == 1 {
+		return s.max, nil
+	}
+	// Target the same rank convention as QuantileSorted: position
+	// q·(n-1) in ascending order, rounded up to the next whole sample.
+	rank := uint64(math.Ceil(q * float64(s.n-1)))
+	v, err := s.valueAtRank(rank)
+	if err != nil {
+		return 0, err
+	}
+	if v < s.min {
+		v = s.min
+	}
+	if v > s.max {
+		v = s.max
+	}
+	return v, nil
+}
+
+// valueAtRank walks the bins in ascending numeric order: negative bins
+// by descending index (larger magnitude first), the zero bucket, then
+// positive bins by ascending index.
+func (s *QuantileSketch) valueAtRank(rank uint64) (float64, error) {
+	var cum uint64
+	for _, i := range sortedKeys(s.neg, true) {
+		cum += s.neg[i]
+		if cum > rank {
+			return -s.binValue(i), nil
+		}
+	}
+	cum += s.zero
+	if cum > rank {
+		return 0, nil
+	}
+	for _, i := range sortedKeys(s.pos, false) {
+		cum += s.pos[i]
+		if cum > rank {
+			return s.binValue(i), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: sketch rank %d beyond %d samples", rank, s.n)
+}
+
+// sortedKeys returns the map keys ascending (or descending).
+func sortedKeys(m map[int]uint64, desc bool) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	if desc {
+		for l, r := 0, len(ks)-1; l < r; l, r = l+1, r-1 {
+			ks[l], ks[r] = ks[r], ks[l]
+		}
+	}
+	return ks
+}
+
+// sketchWire is the JSON form: bins as sorted [index, count] pairs, so
+// the encoding of a given sketch is deterministic.
+type sketchWire struct {
+	Alpha float64    `json:"alpha"`
+	Zero  uint64     `json:"zero,omitempty"`
+	N     uint64     `json:"n"`
+	Min   *float64   `json:"min,omitempty"`
+	Max   *float64   `json:"max,omitempty"`
+	Pos   [][2]int64 `json:"pos,omitempty"`
+	Neg   [][2]int64 `json:"neg,omitempty"`
+}
+
+func binPairs(m map[int]uint64) [][2]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([][2]int64, 0, len(m))
+	for _, i := range sortedKeys(m, false) {
+		out = append(out, [2]int64{int64(i), int64(m[i])})
+	}
+	return out
+}
+
+// MarshalJSON encodes the sketch for the shard-result wire.
+func (s *QuantileSketch) MarshalJSON() ([]byte, error) {
+	w := sketchWire{Alpha: s.alpha, Zero: s.zero, N: s.n, Pos: binPairs(s.pos), Neg: binPairs(s.neg)}
+	if s.n > 0 {
+		mn, mx := s.min, s.max
+		w.Min, w.Max = &mn, &mx
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a sketch from the shard-result wire.
+func (s *QuantileSketch) UnmarshalJSON(b []byte) error {
+	var w sketchWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	ns, err := NewQuantileSketch(w.Alpha)
+	if err != nil {
+		return err
+	}
+	ns.zero, ns.n = w.Zero, w.N
+	if w.Min != nil {
+		ns.min = *w.Min
+	}
+	if w.Max != nil {
+		ns.max = *w.Max
+	}
+	for _, p := range w.Pos {
+		ns.pos[int(p[0])] = uint64(p[1])
+	}
+	for _, p := range w.Neg {
+		ns.neg[int(p[0])] = uint64(p[1])
+	}
+	*s = *ns
+	return nil
+}

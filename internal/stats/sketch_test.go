@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+
+	"nanosim/internal/randx"
+)
+
+// sketchEqual compares two sketches through their deterministic JSON
+// encoding: bin-for-bin, count-for-count equality.
+func sketchEqual(t *testing.T, a, b *QuantileSketch) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(ja) == string(jb)
+}
+
+// samples draws n values from the named distribution.
+func samples(t *testing.T, dist string, n int, seed uint64) []float64 {
+	t.Helper()
+	st := randx.Split(seed, 0)
+	out := make([]float64, n)
+	for i := range out {
+		switch dist {
+		case "uniform":
+			out[i] = st.Float64()*4 - 2 // spans negative, zero-ish and positive
+		case "gauss":
+			out[i] = st.Norm()
+		case "lognormal":
+			out[i] = math.Exp(0.5 * st.Norm())
+		default:
+			t.Fatalf("unknown dist %q", dist)
+		}
+	}
+	return out
+}
+
+func pushAll(t *testing.T, xs []float64, alpha float64) *QuantileSketch {
+	t.Helper()
+	s, err := NewQuantileSketch(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		s.Push(x)
+	}
+	return s
+}
+
+// TestSketchMergeDeterministic is the merge-algebra property battery:
+// any shard split of the sample combined in any merge order yields the
+// identical sketch — commutativity, associativity and split-invariance
+// all at once, as exact (bin-level) equality, not a tolerance.
+func TestSketchMergeDeterministic(t *testing.T) {
+	const alpha = 0.005
+	xs := samples(t, "uniform", 4000, 7)
+	whole := pushAll(t, xs, alpha)
+
+	splits := [][]int{
+		{4000},
+		{2000, 2000},
+		{1000, 1000, 1000, 1000},
+		{1, 3999},
+		{123, 456, 789, 2632},
+	}
+	for _, split := range splits {
+		var shards []*QuantileSketch
+		lo := 0
+		for _, n := range split {
+			shards = append(shards, pushAll(t, xs[lo:lo+n], alpha))
+			lo += n
+		}
+		// Left fold in order.
+		fwd, _ := NewQuantileSketch(alpha)
+		for _, sh := range shards {
+			if err := fwd.Merge(sh); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Reverse order.
+		rev, _ := NewQuantileSketch(alpha)
+		for i := len(shards) - 1; i >= 0; i-- {
+			if err := rev.Merge(shards[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Pairwise tree.
+		tree := shards
+		for len(tree) > 1 {
+			var next []*QuantileSketch
+			for i := 0; i < len(tree); i += 2 {
+				m, _ := NewQuantileSketch(alpha)
+				_ = m.Merge(tree[i])
+				if i+1 < len(tree) {
+					_ = m.Merge(tree[i+1])
+				}
+				next = append(next, m)
+			}
+			tree = next
+		}
+		for name, got := range map[string]*QuantileSketch{"forward": fwd, "reverse": rev, "tree": tree[0]} {
+			if !sketchEqual(t, whole, got) {
+				t.Errorf("split %v: %s merge differs from single-stream sketch", split, name)
+			}
+		}
+	}
+}
+
+// TestSketchQuantileErrorBound verifies the documented accuracy against
+// the exact interpolating QuantileSorted on known distributions: the
+// estimate is within alpha of the order statistic at the target rank,
+// plus the gap between the two order statistics bracketing the rank.
+func TestSketchQuantileErrorBound(t *testing.T) {
+	const alpha = 0.005
+	for _, dist := range []string{"uniform", "gauss", "lognormal"} {
+		xs := samples(t, dist, 20000, 42)
+		s := pushAll(t, xs, alpha)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+			exact, err := QuantileSorted(sorted, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos := q * float64(len(sorted)-1)
+			lo, hi := sorted[int(math.Floor(pos))], sorted[int(math.Ceil(pos))]
+			bound := alpha*math.Max(math.Abs(lo), math.Abs(hi)) + (hi - lo) + 1e-15
+			if math.Abs(got-exact) > bound {
+				t.Errorf("%s q=%g: sketch %g vs exact %g exceeds bound %g", dist, q, got, exact, bound)
+			}
+		}
+	}
+}
+
+func TestSketchExtremesAndZero(t *testing.T) {
+	s := pushAll(t, []float64{-3, -1e-320, 0, 2, 5}, 0.01)
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if min, err := s.Quantile(0); err != nil || min != -3 {
+		t.Errorf("q0 = %g (%v), want exact min -3", min, err)
+	}
+	if max, err := s.Quantile(1); err != nil || max != 5 {
+		t.Errorf("q1 = %g (%v), want exact max 5", max, err)
+	}
+	// The subnormal and the exact zero both land in the zero bucket.
+	if v, err := s.Quantile(0.38); err != nil || v != 0 {
+		t.Errorf("zero-bucket quantile = %g (%v), want 0", v, err)
+	}
+	s.Push(math.NaN())
+	if s.N() != 5 {
+		t.Errorf("NaN push changed N to %d", s.N())
+	}
+}
+
+func TestSketchMergeAlphaMismatch(t *testing.T) {
+	a := pushAll(t, []float64{1}, 0.005)
+	b := pushAll(t, []float64{2}, 0.01)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging sketches with different alpha did not error")
+	}
+}
+
+func TestSketchJSONRoundTrip(t *testing.T) {
+	s := pushAll(t, samples(t, "gauss", 500, 3), 0.005)
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QuantileSketch
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !sketchEqual(t, s, &back) {
+		t.Error("sketch JSON round trip changed the sketch")
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		a, _ := s.Quantile(q)
+		b, _ := back.Quantile(q)
+		if a != b {
+			t.Errorf("q=%g: %g != %g after round trip", q, a, b)
+		}
+	}
+}

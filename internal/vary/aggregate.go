@@ -276,47 +276,56 @@ func MonteCarlo(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	for k, name := range signals {
 		res.Signals = append(res.Signals, aggregateSignal(name, k, outs, grid, opt))
 	}
-
-	if len(opt.Limits) > 0 {
-		sigIndex := map[string]int{}
-		for k, name := range signals {
-			sigIndex[name] = k
-		}
-		for _, l := range opt.Limits {
-			if _, ok := sigIndex[l.Signal]; !ok {
-				return nil, fmt.Errorf("vary: limit on unaggregated signal %q", l.Signal)
-			}
-		}
-		for _, o := range outs {
-			if o.err != nil {
-				continue
-			}
-			pass := true
-			for _, l := range opt.Limits {
-				k := sigIndex[l.Signal]
-				var v float64
-				switch l.Stat {
-				case "min":
-					v = o.min[k]
-				case "max":
-					v = o.max[k]
-				default:
-					v = o.final[k]
-				}
-				if v < l.Lo || v > l.Hi {
-					pass = false
-					break
-				}
-			}
-			if pass {
-				res.Passed++
-			}
-		}
-		p := float64(res.Passed) / float64(opt.Trials)
-		res.Yield = p
-		res.YieldSE = math.Sqrt(p * (1 - p) / float64(opt.Trials))
+	if err := applyLimits(res, opt); err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// applyLimits evaluates the yield specifications over the aggregated
+// per-trial scalars. A trial passes when every limit's measure lies in
+// range; NaN measures (failed or partial trials) never pass. Both the
+// single-process and the shard-merge paths run this identical code over
+// identical per-trial floats, so yield is exact under sharding.
+func applyLimits(res *Result, opt Options) error {
+	if len(opt.Limits) == 0 {
+		return nil
+	}
+	sigs := map[string]*SignalStats{}
+	for _, sg := range res.Signals {
+		sigs[sg.Name] = sg
+	}
+	for _, l := range opt.Limits {
+		if sigs[l.Signal] == nil {
+			return fmt.Errorf("vary: limit on unaggregated signal %q", l.Signal)
+		}
+	}
+	for t := 0; t < res.Trials; t++ {
+		pass := true
+		for _, l := range opt.Limits {
+			sg := sigs[l.Signal]
+			var v float64
+			switch l.Stat {
+			case "min":
+				v = sg.Min[t]
+			case "max":
+				v = sg.Max[t]
+			default:
+				v = sg.Final[t]
+			}
+			if math.IsNaN(v) || v < l.Lo || v > l.Hi {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			res.Passed++
+		}
+	}
+	p := float64(res.Passed) / float64(res.Trials)
+	res.Yield = p
+	res.YieldSE = math.Sqrt(p * (1 - p) / float64(res.Trials))
+	return nil
 }
 
 // envelopeGrid derives the uniform resampling grid from the nominal run:
@@ -355,6 +364,23 @@ func aggregateSignal(name string, k int, outs []trialOut, grid []float64, opt Op
 		sg.Final[t], sg.Min[t], sg.Max[t] = o.final[k], o.min[k], o.max[k]
 	}
 	if grid != nil {
+		// Mean/std go through the same chunk-fold Envelope the distributed
+		// shard merge uses, so a merged run reproduces these bits exactly.
+		// Quantiles here stay exact (sorted columns); only the shard path
+		// trades them for sketches.
+		env, err := stats.NewEnvelope(len(grid), 0)
+		if err != nil {
+			panic(err) // len(grid) >= 2 by envelopeGrid
+		}
+		for t, o := range outs {
+			if o.err != nil {
+				continue
+			}
+			if err := env.PushRow(t, o.vals[k]); err != nil {
+				panic(err) // rows are built on this grid
+			}
+		}
+		mean, std := env.MeanStd()
 		sg.Mean = wave.NewSeries(name+"-mean", len(grid))
 		sg.Std = wave.NewSeries(name+"-std", len(grid))
 		sg.QLo = wave.NewSeries(fmt.Sprintf("%s-q%02.0f", name, opt.QLo*100), len(grid))
@@ -362,14 +388,15 @@ func aggregateSignal(name string, k int, outs []trialOut, grid []float64, opt Op
 		col := make([]float64, 0, len(outs))
 		for g, t := range grid {
 			col = col[:0]
-			var r stats.Running
 			for _, o := range outs {
 				if o.err != nil {
 					continue
 				}
-				v := o.vals[k][g]
-				col = append(col, v)
-				r.Push(v)
+				// NaN marks a grid point the (partial) trial never covered;
+				// exclude it rather than folding fabricated data in.
+				if v := o.vals[k][g]; !math.IsNaN(v) {
+					col = append(col, v)
+				}
 			}
 			// One sort serves both quantiles: the per-call copy+sort of
 			// stats.Quantile is pure waste at one call per quantile per
@@ -377,25 +404,35 @@ func aggregateSignal(name string, k int, outs []trialOut, grid []float64, opt Op
 			sort.Float64s(col)
 			qlo, _ := stats.QuantileSorted(col, opt.QLo)
 			qhi, _ := stats.QuantileSorted(col, opt.QHi)
-			sg.Mean.MustAppend(t, r.Mean())
-			sg.Std.MustAppend(t, r.Std())
+			sg.Mean.MustAppend(t, mean[g])
+			sg.Std.MustAppend(t, std[g])
 			sg.QLo.MustAppend(t, qlo)
 			sg.QHi.MustAppend(t, qhi)
 		}
 	}
-	finals := compact(sg.Final)
-	lo, hi := minMax(finals)
+	sg.FinalHist = finalHist(sg.Final, opt.HistBins)
+	return sg
+}
+
+// finalHist bins the non-NaN final values, auto-ranging with a small pad
+// when the sample is constant. Identical inputs give identical bins, so
+// the shard-merge path (which re-bins the globally assembled finals)
+// reproduces the single-process histogram exactly.
+func finalHist(finals []float64, bins int) *stats.Histogram {
+	fin := compact(finals)
+	lo, hi := minMax(fin)
 	if hi <= lo {
 		pad := math.Max(1e-12, math.Abs(lo)*0.01)
 		lo, hi = lo-pad, hi+pad
 	}
-	if h, err := stats.NewHistogram(lo, hi, opt.HistBins); err == nil {
-		for _, v := range finals {
-			h.Push(v)
-		}
-		sg.FinalHist = h
+	h, err := stats.NewHistogram(lo, hi, bins)
+	if err != nil {
+		return nil
 	}
-	return sg
+	for _, v := range fin {
+		h.Push(v)
+	}
+	return h
 }
 
 // compact drops NaN (failed-trial) entries.

@@ -3,6 +3,7 @@ package vary
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -383,8 +384,19 @@ func measure(cfg batchConfig, index int, waves *wave.Set) trialOut {
 		_, vMin, _, vMax := s.MinMax()
 		out.min[k], out.max[k] = vMin, vMax
 		if cfg.grid != nil {
+			// Series.At clamps outside the recorded domain, which would
+			// zero-order-hold a partial trial (one that stopped before the
+			// grid end) across points it never simulated. Mark uncovered
+			// points NaN instead so aggregation excludes them rather than
+			// averaging fabricated data.
+			first, last := s.T[0], s.T[s.Len()-1]
+			tol := (cfg.grid[len(cfg.grid)-1] - cfg.grid[0]) * 1e-9
 			row := make([]float64, len(cfg.grid))
 			for g, t := range cfg.grid {
+				if t < first-tol || t > last+tol {
+					row[g] = math.NaN()
+					continue
+				}
 				row[g] = s.At(t)
 			}
 			out.vals[k] = row

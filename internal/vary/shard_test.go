@@ -1,0 +1,240 @@
+package vary
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nanosim/internal/wave"
+)
+
+func mcShardOptions() Options {
+	return Options{
+		Trials: 96, // three aligned shards of 32
+		Seed:   1234,
+		Specs: []Spec{
+			{Elem: "N1", Param: "A", Sigma: 0.05, Rel: true},
+			{Elem: "R1", Sigma: 0.10, Rel: true, Dist: Uniform},
+		},
+		Job:    tranJob(),
+		Limits: []Limit{{Signal: "v(d)", Stat: "final", Lo: 0, Hi: 1}},
+	}
+}
+
+// TestShardedMonteCarloDeterministic is the distribution contract of the
+// coordinator: running aligned trial-range shards independently and
+// merging reproduces the single-process run — bit-identical on every
+// exact field (per-trial scalars, mean/std envelopes, histogram, yield)
+// and within the documented sketch tolerance on the quantile envelopes.
+func TestShardedMonteCarloDeterministic(t *testing.T) {
+	opt := mcShardOptions()
+	single, err := MonteCarlo(rtdDivider(t), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ranges := ShardRanges(opt.Trials, 3)
+	if len(ranges) != 3 {
+		t.Fatalf("ShardRanges gave %d ranges, want 3", len(ranges))
+	}
+	// Produce shards out of order, each from its own circuit instance, as
+	// independent replicas would.
+	var shards []*ShardResult
+	for _, i := range []int{2, 0, 1} {
+		sr, err := MonteCarloShard(rtdDivider(t), opt, ranges[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sr)
+	}
+	merged, err := MergeShards(rtdDivider(t), opt, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if merged.Trials != single.Trials || merged.Failed != single.Failed {
+		t.Fatalf("trials/failed %d/%d vs single %d/%d", merged.Trials, merged.Failed, single.Trials, single.Failed)
+	}
+	ss, ms := single.Signal("v(d)"), merged.Signal("v(d)")
+	if ss == nil || ms == nil {
+		t.Fatal("missing v(d) aggregate")
+	}
+	for i := range ss.Final {
+		if ss.Final[i] != ms.Final[i] || ss.Min[i] != ms.Min[i] || ss.Max[i] != ms.Max[i] {
+			t.Fatalf("trial %d scalars differ: single (%v,%v,%v) merged (%v,%v,%v)",
+				i, ss.Final[i], ss.Min[i], ss.Max[i], ms.Final[i], ms.Min[i], ms.Max[i])
+		}
+	}
+	seriesEqual(t, ss.Mean, ms.Mean)
+	seriesEqual(t, ss.Std, ms.Std)
+	if merged.Passed != single.Passed || merged.Yield != single.Yield || merged.YieldSE != single.YieldSE {
+		t.Fatalf("yield %d/%g/%g vs single %d/%g/%g",
+			merged.Passed, merged.Yield, merged.YieldSE, single.Passed, single.Yield, single.YieldSE)
+	}
+	if ss.FinalHist.Min != ms.FinalHist.Min || ss.FinalHist.Max != ms.FinalHist.Max {
+		t.Fatalf("histogram range differs: [%g,%g] vs [%g,%g]",
+			ms.FinalHist.Min, ms.FinalHist.Max, ss.FinalHist.Min, ss.FinalHist.Max)
+	}
+	for i := range ss.FinalHist.Counts {
+		if ss.FinalHist.Counts[i] != ms.FinalHist.Counts[i] {
+			t.Fatalf("histogram bin %d: %d vs %d", i, ms.FinalHist.Counts[i], ss.FinalHist.Counts[i])
+		}
+	}
+	// Sketched quantile envelopes: tolerance-bounded against the exact
+	// sorted quantiles of the single-process run. The sketch guarantee is
+	// SketchAlpha relative to an order statistic bracketing the rank;
+	// a fraction of the local q-band width covers the bracketing gap.
+	for _, pair := range [][2]*wave.Series{{ss.QLo, ms.QLo}, {ss.QHi, ms.QHi}} {
+		exact, sk := pair[0], pair[1]
+		if sk.Name != exact.Name || sk.Len() != exact.Len() {
+			t.Fatalf("quantile series shape: %q/%d vs %q/%d", sk.Name, sk.Len(), exact.Name, exact.Len())
+		}
+		for g := range exact.V {
+			band := math.Abs(ss.QHi.V[g] - ss.QLo.V[g])
+			tol := SketchAlpha*math.Abs(exact.V[g]) + 0.25*band + 1e-12
+			if math.Abs(sk.V[g]-exact.V[g]) > tol {
+				t.Fatalf("%s point %d: merged %g vs exact %g exceeds tolerance %g",
+					exact.Name, g, sk.V[g], exact.V[g], tol)
+			}
+		}
+	}
+}
+
+func TestShardRangeValidation(t *testing.T) {
+	cases := []struct {
+		r    ShardRange
+		want string
+	}{
+		{ShardRange{Start: 0, End: 32, Total: 96}, ""},
+		{ShardRange{Start: 64, End: 96, Total: 96}, ""},
+		{ShardRange{Start: 64, End: 90, Total: 96}, "not aligned"},
+		{ShardRange{Start: 64, End: 96, Total: 100}, ""}, // end == total exemption does not apply, but 96%32==0
+		{ShardRange{Start: 16, End: 32, Total: 96}, "not aligned"},
+		{ShardRange{Start: 32, End: 90, Total: 90}, ""}, // final shard exemption
+		{ShardRange{Start: 32, End: 32, Total: 96}, "bad shard range"},
+		{ShardRange{Start: -32, End: 32, Total: 96}, "bad shard range"},
+		{ShardRange{Start: 0, End: 128, Total: 96}, "bad shard range"},
+	}
+	for _, c := range cases {
+		err := c.r.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.r, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want %q", c.r, err, c.want)
+		}
+	}
+}
+
+func TestShardRangesCoverAligned(t *testing.T) {
+	for _, c := range []struct{ total, n int }{
+		{200, 4}, {96, 3}, {10, 4}, {32, 1}, {1, 8}, {1000, 7},
+	} {
+		rs := ShardRanges(c.total, c.n)
+		next := 0
+		for _, r := range rs {
+			if err := r.Validate(); err != nil {
+				t.Errorf("ShardRanges(%d,%d): %v", c.total, c.n, err)
+			}
+			if r.Start != next || r.Total != c.total {
+				t.Errorf("ShardRanges(%d,%d): gap before %s", c.total, c.n, r)
+			}
+			next = r.End
+		}
+		if next != c.total {
+			t.Errorf("ShardRanges(%d,%d): covers %d", c.total, c.n, next)
+		}
+		if len(rs) > c.n {
+			t.Errorf("ShardRanges(%d,%d): %d ranges", c.total, c.n, len(rs))
+		}
+	}
+}
+
+func TestMergeShardsRejectsGapsAndOverlaps(t *testing.T) {
+	opt := mcShardOptions()
+	ranges := ShardRanges(opt.Trials, 3)
+	var shards []*ShardResult
+	for _, r := range ranges {
+		sr, err := MonteCarloShard(rtdDivider(t), opt, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sr)
+	}
+	if _, err := MergeShards(rtdDivider(t), opt, shards[:2]); err == nil {
+		t.Error("merging with a missing shard did not error")
+	}
+	dup := append(append([]*ShardResult(nil), shards...), shards[1])
+	if _, err := MergeShards(rtdDivider(t), opt, dup); err == nil {
+		t.Error("merging with a duplicated shard did not error")
+	}
+	bad := mcShardOptions()
+	bad.Trials = 128
+	if _, err := MergeShards(rtdDivider(t), bad, shards); err == nil {
+		t.Error("merging shards of a different trial total did not error")
+	}
+}
+
+func TestMonteCarloShardRejectsMisalignment(t *testing.T) {
+	opt := mcShardOptions()
+	if _, err := MonteCarloShard(rtdDivider(t), opt, ShardRange{Start: 8, End: 40, Total: 96}); err == nil {
+		t.Error("misaligned shard start did not error")
+	}
+	if _, err := MonteCarloShard(rtdDivider(t), opt, ShardRange{Start: 0, End: 32, Total: 64}); err == nil {
+		t.Error("shard total differing from Options.Trials did not error")
+	}
+}
+
+// TestPartialTrialExcludedFromAggregates is the regression test for the
+// envelope zero-fill bug: a trial whose wave stops before the grid end
+// used to contribute its clamped last value (a zero-order hold of
+// Series.At) to every later grid point. It must contribute nothing
+// there instead.
+func TestPartialTrialExcludedFromAggregates(t *testing.T) {
+	grid := []float64{0, 1, 2, 3, 4}
+	cfg := batchConfig{signals: []string{"v(x)"}, grid: grid}
+
+	full := wave.NewSet()
+	fs := wave.NewSeries("v(x)", 5)
+	for _, p := range [][2]float64{{0, 10}, {1, 10}, {2, 10}, {3, 10}, {4, 10}} {
+		fs.MustAppend(p[0], p[1])
+	}
+	if err := full.Add(fs); err != nil {
+		t.Fatal(err)
+	}
+	partial := wave.NewSet()
+	ps := wave.NewSeries("v(x)", 3)
+	for _, p := range [][2]float64{{0, 20}, {1, 20}, {2, 20}} {
+		ps.MustAppend(p[0], p[1])
+	}
+	if err := partial.Add(ps); err != nil {
+		t.Fatal(err)
+	}
+
+	outs := []trialOut{measure(cfg, 0, full), measure(cfg, 1, partial)}
+	for g := 3; g < 5; g++ {
+		if !math.IsNaN(outs[1].vals[0][g]) {
+			t.Fatalf("partial trial reports %g at uncovered grid point %d, want NaN", outs[1].vals[0][g], g)
+		}
+	}
+
+	opt, err := mcShardOptions().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := aggregateSignal("v(x)", 0, outs, grid, opt)
+	for g := 0; g < 3; g++ {
+		if sg.Mean.V[g] != 15 {
+			t.Errorf("covered point %d mean %g, want 15", g, sg.Mean.V[g])
+		}
+	}
+	for g := 3; g < 5; g++ {
+		if sg.Mean.V[g] != 10 {
+			t.Errorf("uncovered point %d mean %g, want 10 (partial trial excluded, not held at 20)", g, sg.Mean.V[g])
+		}
+		if sg.QLo.V[g] != 10 || sg.QHi.V[g] != 10 {
+			t.Errorf("uncovered point %d quantiles (%g,%g), want (10,10)", g, sg.QLo.V[g], sg.QHi.V[g])
+		}
+	}
+}
