@@ -149,6 +149,24 @@ func goldenRun(path string) (*GoldenFile, error) {
 				return nil, fmt.Errorf(".em: %w", err)
 			}
 			waves = res.Waves
+		case "settran":
+			// Seeded kMC is bit-identical run to run, so it goldens like
+			// any deterministic transient.
+			res, err := nanosim.SETTransient(deck.Circuit, nanosim.SETOptions{
+				TStep: a.TStep, TStop: a.TStop, Temp: a.Temp, Seed: a.Seed})
+			if err != nil {
+				return nil, fmt.Errorf(".set tran: %w", err)
+			}
+			waves = res.Waves
+		case "setmap":
+			res, err := nanosim.SETMap(deck.Circuit, nanosim.SETMapOptions{
+				Gate: a.Src, GFrom: a.From, GTo: a.To, GPoints: a.Points,
+				Drain: a.Src2, DFrom: a.From2, DTo: a.To2, DPoints: a.Points2,
+				Temp: a.Temp, Method: a.Method, Window: a.Window, Seed: a.Seed})
+			if err != nil {
+				return nil, fmt.Errorf(".set map: %w", err)
+			}
+			waves = res.Waves
 		default:
 			continue
 		}

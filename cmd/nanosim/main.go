@@ -6,6 +6,8 @@
 //	.ac ...        small-signal frequency sweep + noise spectra
 //	.tran ...      SWEC transient
 //	.em ...        Euler-Maruyama transient with NOISE= sources
+//	.set tran ...  single-electron kinetic Monte Carlo transient
+//	.set map ...   Coulomb-diamond map (gate x drain mean current)
 //
 // Process-variation cards switch the deck into batch mode instead of
 // running the analyses one by one:
@@ -150,7 +152,7 @@ func run(path string, cfg config) error {
 		}
 	}
 	if len(analyses) == 0 {
-		return fmt.Errorf("deck has no analysis cards (.op/.dc/.ac/.tran/.em)")
+		return fmt.Errorf("deck has no analysis cards (.op/.dc/.ac/.tran/.em/.set)")
 	}
 	var lastWaves *nanosim.WaveSet
 	for _, a := range analyses {
@@ -240,6 +242,43 @@ func run(path string, cfg config) error {
 				}
 			}
 			fmt.Println()
+		case "settran":
+			res, err := nanosim.SETTransient(deck.Circuit, nanosim.SETOptions{
+				TStep: a.TStep, TStop: a.TStop, Temp: a.Temp, Seed: a.Seed})
+			if err != nil {
+				return fmt.Errorf(".set tran: %w", err)
+			}
+			fmt.Printf("== .set tran to %s (T=%gK, seed %d): %d tunneling events, %d env solves ==\n",
+				nanosim.FormatValue(a.TStop, 3), res.Temp, a.Seed, res.Events, res.EnvSolves)
+			lastWaves = res.Waves
+			if cfg.plot {
+				if err := res.Waves.Plot(os.Stdout, cfg.width, cfg.height, presentNames(res.Waves, deck.Prints)...); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		case "setmap":
+			res, err := nanosim.SETMap(deck.Circuit, nanosim.SETMapOptions{
+				Gate: a.Src, GFrom: a.From, GTo: a.To, GPoints: a.Points,
+				Drain: a.Src2, DFrom: a.From2, DTo: a.To2, DPoints: a.Points2,
+				Temp: a.Temp, Method: a.Method, Window: a.Window, Seed: a.Seed,
+				Workers: threads})
+			if err != nil {
+				return fmt.Errorf(".set map: %w", err)
+			}
+			fmt.Printf("== .set map %s %g -> %g (%d points) x %s %g -> %g (%d points), %s method, T=%gK ==\n",
+				a.Src, a.From, a.To, a.Points, a.Src2, a.From2, a.To2, a.Points2, res.Method, res.Temp)
+			if period, err := res.GatePeriod(len(res.Drain) - 1); err == nil {
+				fmt.Printf("  Coulomb oscillation period: %s (e/Cgate for a clean SET)\n",
+					nanosim.FormatValue(period, 4))
+			}
+			lastWaves = res.Waves
+			if cfg.plot {
+				if err := res.Waves.Plot(os.Stdout, cfg.width, cfg.height); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
 		}
 	}
 	if cfg.csvPath != "" && lastWaves != nil {
@@ -312,7 +351,7 @@ func batchJob(deck *netparse.Deck, popt *nanosim.PartitionOptions, threads int) 
 	if deck.MC != nil {
 		kind = deck.MC.Analysis
 	}
-	var tran, em *netparse.Analysis
+	var tran, em, set *netparse.Analysis
 	for i := range deck.Analyses {
 		a := &deck.Analyses[i]
 		switch {
@@ -320,6 +359,8 @@ func batchJob(deck *netparse.Deck, popt *nanosim.PartitionOptions, threads int) 
 			tran = a
 		case a.Kind == "em" && em == nil:
 			em = a
+		case a.Kind == "settran" && set == nil:
+			set = a
 		}
 	}
 	if kind == "" {
@@ -328,6 +369,8 @@ func batchJob(deck *netparse.Deck, popt *nanosim.PartitionOptions, threads int) 
 			kind = "tran"
 		case em != nil:
 			kind = "em"
+		case set != nil:
+			kind = "set"
 		default:
 			kind = "op"
 		}
@@ -344,6 +387,11 @@ func batchJob(deck *netparse.Deck, popt *nanosim.PartitionOptions, threads int) 
 			return job, fmt.Errorf(".mc em needs a .em card")
 		}
 		job.EM = nanosim.NoiseOptions{TStop: em.TStop, Steps: em.Steps, Seed: em.Seed}
+	case "set":
+		if set == nil {
+			return job, fmt.Errorf(".mc set needs a '.set tran' card")
+		}
+		job.SET = nanosim.SETOptions{TStep: set.TStep, TStop: set.TStop, Temp: set.Temp, Seed: set.Seed}
 	}
 	return job, nil
 }

@@ -51,6 +51,12 @@ func (c *Circuit) Clone() *Circuit {
 			cp := *t
 			cp.Model = t.Model.Clone()
 			ce = &cp
+		case *Island:
+			cp := *t
+			ce = &cp
+		case *TunnelJunction:
+			cp := *t
+			ce = &cp
 		default:
 			// Unknown element kinds are shared; nothing in this package
 			// constructs them.

@@ -73,6 +73,11 @@ func VisitNodes(e Element, f func(NodeID)) {
 		f(el.D)
 		f(el.G)
 		f(el.S)
+	case *Island:
+		f(el.N)
+	case *TunnelJunction:
+		f(el.A)
+		f(el.B)
 	default:
 		for _, n := range e.Nodes() {
 			f(n)

@@ -21,7 +21,8 @@ func quick(t *testing.T, id string) *Result {
 func TestRegistry(t *testing.T) {
 	want := []string{"fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
 		"fig7a", "fig7b", "table1", "fig8", "fig9", "fig10",
-		"speedup", "abl-predictor", "abl-timestep", "abl-ito", "abl-em"}
+		"speedup", "abl-predictor", "abl-timestep", "abl-ito", "abl-em",
+		"set-diamond"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Errorf("experiment %q not registered", id)
@@ -206,6 +207,22 @@ func TestSpeedup(t *testing.T) {
 	}
 	if res.Findings["ratio_max"] < res.Findings["ratio_min"] {
 		t.Error("ratio bookkeeping inconsistent")
+	}
+}
+
+func TestSETDiamond(t *testing.T) {
+	res := quick(t, "set-diamond")
+	// Acceptance criteria of the single-electron engine: gate
+	// periodicity within 2% of e/Cg, blockade at least 100x suppressed,
+	// and the stochastic engine consistent with the exact solver.
+	if e := res.Findings["gate_period_rel_err"]; e > 0.02 {
+		t.Errorf("gate period off e/Cg by %.2f%%, want <= 2%%", 100*e)
+	}
+	if s := res.Findings["blockade_suppression"]; s < 100 {
+		t.Errorf("blockade suppression %gx, want >= 100x", s)
+	}
+	if g := res.Findings["kmc_me_rel_gap"]; g > 0.15 {
+		t.Errorf("kMC vs master equation gap %.1f%%, want <= 15%%", 100*g)
 	}
 }
 

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/setsim"
+	"nanosim/internal/units"
+	"nanosim/internal/wave"
+)
+
+func init() {
+	register(Entry{
+		ID:    "set-diamond",
+		Title: "Coulomb diamonds of a single-electron transistor (kMC + master equation)",
+		Paper: "§6 outlook: SWEC co-simulation of non-classical device engines — orthodox-theory SET with gate period e/Cg",
+		Run:   runSETDiamond,
+	})
+}
+
+// SET transistor geometry shared by the experiment and its assertions:
+// two 1 aF junctions plus a 2 aF gate capacitor, so the Coulomb
+// oscillation period is e/Cg = 80.1 mV and the charging scale
+// e/Csigma = 40 mV dwarfs kT at 4.2 K.
+const (
+	setCj = 1e-18
+	setCg = 2e-18
+	setRT = 1e6
+)
+
+// SETTransistor builds the canonical SET: source grounded through J2,
+// drain electrode through J1, capacitive gate.
+func SETTransistor() *circuit.Circuit {
+	c := circuit.New("SET transistor")
+	must := func(_ any, err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(c.AddVSource("Vg", "g", "0", device.DC(0)))
+	must(c.AddVSource("Vd", "d", "0", device.DC(0)))
+	must(c.AddCapacitor("Cg", "m", "g", setCg))
+	must(c.AddIsland("ISL_m", "m", 0, 0))
+	must(c.AddTunnelJunction("J1", "d", "m", setCj, setRT))
+	must(c.AddTunnelJunction("J2", "m", "0", setCj, setRT))
+	return c
+}
+
+func runSETDiamond(cfg Config) (*Result, error) {
+	r := newReport(cfg, "Coulomb diamonds: SET drain current over the (Vg, Vd) plane",
+		"single-electron engine (internal/setsim): orthodox tunneling rates, master-equation map, kMC cross-check")
+
+	ePeriod := units.Q / setCg // 80.1 mV
+	gPts := 126
+	if cfg.Quick {
+		gPts = 84 // 3 mV grid still resolves three oscillation peaks
+	}
+	mp, err := setsim.Map(SETTransistor(), setsim.MapOptions{
+		Gate: "Vg", GFrom: 0, GTo: 0.25, GPoints: gPts,
+		Drain: "Vd", DFrom: 0.004, DTo: 0.016, DPoints: 3,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("set-diamond map: %w", err)
+	}
+
+	// Gate periodicity: peak spacing along the lowest drain bias row.
+	period, err := mp.GatePeriod(0)
+	if err != nil {
+		return nil, fmt.Errorf("set-diamond period: %w", err)
+	}
+	relErr := math.Abs(period-ePeriod) / ePeriod
+	r.finding("gate_period_mv", period*1e3, "Coulomb oscillation period: %.2f mV (theory e/Cg = %.2f mV)\n",
+		period*1e3, ePeriod*1e3)
+	r.finding("gate_period_rel_err", relErr, "period error vs e/Cg: %.2f%%\n", 100*relErr)
+
+	// Blockade depth: at Vg=0 the island is in deep blockade; at the
+	// degeneracy point Vg = e/2Cg the current peaks.
+	row := mp.I[0]
+	valley, peak := math.Abs(row[0]), 0.0
+	for _, i := range row {
+		peak = math.Max(peak, math.Abs(i))
+	}
+	suppression := math.Inf(1)
+	if valley > 0 {
+		suppression = peak / valley
+	}
+	r.finding("blockade_suppression", suppression,
+		"blockade suppression at vd=%.1f mV: peak %.3g A / valley %.3g A = %.3gx\n",
+		mp.Drain[0]*1e3, peak, valley, suppression)
+
+	// kMC cross-check: the stochastic engine reproduces the exact
+	// master-equation current at the degeneracy peak.
+	peakG := 0
+	for g, i := range row {
+		if math.Abs(i) > math.Abs(row[peakG]) {
+			peakG = g
+		}
+	}
+	window := 400e-9
+	if cfg.Quick {
+		window = 100e-9
+	}
+	lo := math.Max(0, mp.Gate[peakG]-0.004)
+	km, err := setsim.Map(SETTransistor(), setsim.MapOptions{
+		Gate: "Vg", GFrom: lo, GTo: lo + 0.008, GPoints: 3,
+		Drain: "Vd", DFrom: mp.Drain[0], DTo: mp.Drain[0], DPoints: 1,
+		Method: "kmc", Window: window, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("set-diamond kmc: %w", err)
+	}
+	me, err := setsim.Map(SETTransistor(), setsim.MapOptions{
+		Gate: "Vg", GFrom: lo, GTo: lo + 0.008, GPoints: 3,
+		Drain: "Vd", DFrom: mp.Drain[0], DTo: mp.Drain[0], DPoints: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gap := math.Abs(km.I[0][1]-me.I[0][1]) / math.Abs(me.I[0][1])
+	r.finding("kmc_me_rel_gap", gap,
+		"kMC vs master equation at the peak: %.3g A vs %.3g A (%.1f%% gap, %s window)\n",
+		km.I[0][1], me.I[0][1], 100*gap, fmtSeconds(window))
+
+	// Render the oscillation rows (one per drain bias) as the diamond
+	// cross-sections.
+	var series []*wave.Series
+	for _, name := range mp.Waves.Names() {
+		series = append(series, mp.Waves.Get(name))
+	}
+	r.plot(series...)
+	r.printf("Reproduce: nanobench -exp set-diamond, or nanosim testdata/set_transistor.sp\n")
+	return r.done(), nil
+}
+
+// fmtSeconds renders a short duration in engineering units.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 1e-6:
+		return fmt.Sprintf("%gus", s*1e6)
+	case s >= 1e-9:
+		return fmt.Sprintf("%gns", s*1e9)
+	default:
+		return fmt.Sprintf("%gps", s*1e12)
+	}
+}

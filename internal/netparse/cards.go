@@ -96,7 +96,135 @@ func parseAC(fields []string, line int) (Analysis, error) {
 	return Analysis{Kind: "ac", ACGrid: grid, Points: int(pts), From: fstart, To: fstop}, nil
 }
 
-// parseMC reads ".mc trials [tran|op|em] [SEED=n] [WORKERS=n]".
+// islandCard is a parsed .island directive: it marks an existing node
+// as a single-electron island.
+type islandCard struct {
+	node   string
+	q0, c0 float64
+	line   int
+}
+
+// parseIsland reads ".island node [Q0=frac] [C0=farads]".
+func parseIsland(fields []string, line int) (islandCard, error) {
+	if len(fields) < 2 {
+		return islandCard{}, errf(line, ".island needs: node [Q0=frac] [C0=farads]")
+	}
+	card := islandCard{node: fields[1], line: line}
+	p, err := parseParams(fields[2:], line)
+	if err != nil {
+		return islandCard{}, err
+	}
+	for k, v := range p {
+		switch k {
+		case "Q0":
+			card.q0 = v
+		case "C0":
+			card.c0 = v
+		default:
+			return islandCard{}, errf(line, "unknown .island parameter %q", k)
+		}
+	}
+	return card, nil
+}
+
+// parseSet reads the single-electron analysis directives:
+//
+//	.set tran tstep tstop [TEMP=k] [SEED=n]
+//	.set map gate gfrom gto gpoints drain dfrom dto dpoints
+//	         [TEMP=k] [SEED=n] [WINDOW=s] [METHOD=me|kmc]
+func parseSet(fields []string, line int) (Analysis, error) {
+	if len(fields) < 2 {
+		return Analysis{}, errf(line, ".set needs a mode: tran or map")
+	}
+	mode := strings.ToLower(fields[1])
+	switch mode {
+	case "tran":
+		if len(fields) < 4 {
+			return Analysis{}, errf(line, ".set tran needs: tstep tstop [TEMP=] [SEED=]")
+		}
+		tstep, err1 := units.Parse(fields[2])
+		tstop, err2 := units.Parse(fields[3])
+		if err1 != nil || err2 != nil || tstep <= 0 || tstop <= 0 {
+			return Analysis{}, errf(line, "bad .set tran times %q %q", fields[2], fields[3])
+		}
+		a := Analysis{Kind: "settran", TStep: tstep, TStop: tstop}
+		if err := parseSetKeywords(&a, fields[4:], line); err != nil {
+			return Analysis{}, err
+		}
+		return a, nil
+	case "map":
+		if len(fields) < 10 {
+			return Analysis{}, errf(line, ".set map needs: gate gfrom gto gpoints drain dfrom dto dpoints")
+		}
+		gFrom, err1 := units.Parse(fields[3])
+		gTo, err2 := units.Parse(fields[4])
+		gPts, err3 := units.Parse(fields[5])
+		dFrom, err4 := units.Parse(fields[7])
+		dTo, err5 := units.Parse(fields[8])
+		dPts, err6 := units.Parse(fields[9])
+		for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+			if err != nil {
+				return Analysis{}, errf(line, "bad .set map numbers: %v", err)
+			}
+		}
+		a := Analysis{
+			Kind: "setmap",
+			Src:  fields[2], From: gFrom, To: gTo, Points: int(gPts),
+			Src2: fields[6], From2: dFrom, To2: dTo, Points2: int(dPts),
+		}
+		if a.Points < 2 {
+			return Analysis{}, errf(line, ".set map gate axis needs >= 2 points")
+		}
+		if a.Points2 < 1 {
+			return Analysis{}, errf(line, ".set map drain axis needs >= 1 point")
+		}
+		if err := parseSetKeywords(&a, fields[10:], line); err != nil {
+			return Analysis{}, err
+		}
+		return a, nil
+	default:
+		return Analysis{}, errf(line, "unknown .set mode %q (want tran or map)", fields[1])
+	}
+}
+
+// parseSetKeywords reads the trailing NAME=value options shared by the
+// .set modes.
+func parseSetKeywords(a *Analysis, fields []string, line int) error {
+	for _, f := range fields {
+		up := strings.ToUpper(f)
+		switch {
+		case strings.HasPrefix(up, "TEMP="):
+			v, err := units.Parse(f[len("TEMP="):])
+			if err != nil {
+				return errf(line, "bad TEMP %q: %v", f, err)
+			}
+			a.Temp = v
+		case strings.HasPrefix(up, "SEED="):
+			v, err := strconv.ParseUint(f[len("SEED="):], 10, 64)
+			if err != nil {
+				return errf(line, "bad SEED %q (want a decimal uint64)", f)
+			}
+			a.Seed = v
+		case strings.HasPrefix(up, "WINDOW="):
+			v, err := units.Parse(f[len("WINDOW="):])
+			if err != nil || v <= 0 {
+				return errf(line, "bad WINDOW %q (want seconds > 0)", f)
+			}
+			a.Window = v
+		case strings.HasPrefix(up, "METHOD="):
+			m := strings.ToLower(f[len("METHOD="):])
+			if m != "me" && m != "kmc" {
+				return errf(line, "bad METHOD %q (want me or kmc)", f)
+			}
+			a.Method = m
+		default:
+			return errf(line, "unknown .set keyword %q", f)
+		}
+	}
+	return nil
+}
+
+// parseMC reads ".mc trials [tran|op|em|set] [SEED=n] [WORKERS=n]".
 func parseMC(fields []string, line int) (MCCard, error) {
 	if len(fields) < 2 {
 		return MCCard{}, errf(line, ".mc needs a trial count")
@@ -109,7 +237,7 @@ func parseMC(fields []string, line int) (MCCard, error) {
 	for _, f := range fields[2:] {
 		up := strings.ToUpper(f)
 		switch {
-		case up == "TRAN" || up == "OP" || up == "EM":
+		case up == "TRAN" || up == "OP" || up == "EM" || up == "SET":
 			card.Analysis = strings.ToLower(up)
 		case strings.HasPrefix(up, "SEED="):
 			// Seeds are exact 64-bit identities, not engineering values:

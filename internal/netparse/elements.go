@@ -109,6 +109,44 @@ func addElement(c *circuit.Circuit, fields []string, line int, models *modelTabl
 		}
 		_, err = c.AddDevice(name, fields[1], fields[2], m)
 		return wrap(err, line)
+	case 'j', 'J':
+		// Tunnel junction: either inline "Jxx a b C=.. R=.." or via a
+		// .model card of kind TJ.
+		if len(fields) < 4 {
+			return errf(line, "tunnel junction needs: Jxx a b C=farads R=ohms (or a TJ model)")
+		}
+		var cj, rj float64
+		if strings.ContainsRune(fields[3], '=') {
+			p, err := parseParams(fields[3:], line)
+			if err != nil {
+				return err
+			}
+			cj, rj = p["C"], p["R"]
+		} else {
+			card, ok := models.cards[strings.ToLower(fields[3])]
+			if !ok {
+				return errf(line, "unknown model %q", fields[3])
+			}
+			if card.kind != "TJ" {
+				return errf(line, "model %q is %s, want TJ", fields[3], card.kind)
+			}
+			cj, rj = card.params["C"], card.params["R"]
+			if p, err := parseParams(fields[4:], line); err == nil {
+				if v, ok := p["C"]; ok {
+					cj = v
+				}
+				if v, ok := p["R"]; ok {
+					rj = v
+				}
+			} else {
+				return err
+			}
+		}
+		if cj <= 0 || rj <= 0 {
+			return errf(line, "tunnel junction %q needs C > 0 and R > 0 (got C=%g, R=%g)", name, cj, rj)
+		}
+		_, err := c.AddTunnelJunction(name, fields[1], fields[2], cj, rj)
+		return wrap(err, line)
 	case 'm', 'M':
 		if len(fields) < 5 {
 			return errf(line, "mosfet needs: Mxx d g s model")

@@ -52,6 +52,11 @@ func FuzzParseDeck(f *testing.F) {
 		"* loop\nX1 a ouro\n.subckt ouro p\nX1 p ouro\n.ends\n.end",
 		// Internal node vs top-level node collision (must error, not short).
 		"* clash\nV1 X1.m 0 1\nR0 X1.m 0 1k\nX1 X1.m half\n.subckt half p\nR1 p m 1k\nR2 m 0 1k\n.ends\n.end",
+		// Single-electron cards: inline junction, TJ model, .island, .set.
+		"* set\nVd d 0 50m\nJ1 d 0 C=1a R=1meg\n.set tran 10p 1n SEED=7 TEMP=4.2\n.end",
+		"* set\nVg g 0 0\nVd d 0 4m\nCg m g 2a\nJ1 d m tj\nJ2 m 0 tj R=2meg\n" +
+			".model tj TJ C=1a R=1meg\n.island m Q0=0.1 C0=0\n" +
+			".set map Vg 0 0.25 126 Vd 4m 4m 1 METHOD=me WINDOW=50n\n.mc 4 set SEED=9\n.vary J1(R) DEV=5%\n.end",
 	} {
 		f.Add(seed)
 	}

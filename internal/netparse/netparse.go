@@ -11,16 +11,17 @@ import (
 
 // Analysis is one directive from the deck.
 type Analysis struct {
-	// Kind is "tran", "dc", "op", "ac" or "em".
+	// Kind is "tran", "dc", "op", "ac", "em", "settran" or "setmap".
 	Kind string
-	// TStep and TStop configure tran/em.
+	// TStep and TStop configure tran/em/settran.
 	TStep, TStop float64
 	// Steps is the em grid size.
 	Steps int
-	// Seed is the em noise seed.
+	// Seed is the em noise / single-electron kMC seed.
 	Seed uint64
 	// Src, From, To, Points, Device configure dc sweeps; ac reuses From,
-	// To and Points for fstart, fstop and the grid density.
+	// To and Points for fstart, fstop and the grid density; setmap uses
+	// Src/From/To/Points for the gate axis.
 	Src    string
 	From   float64
 	To     float64
@@ -28,6 +29,18 @@ type Analysis struct {
 	Device string
 	// ACGrid is the .ac spacing keyword: "dec", "oct" or "lin".
 	ACGrid string
+	// Src2, From2, To2, Points2 are the setmap drain axis.
+	Src2    string
+	From2   float64
+	To2     float64
+	Points2 int
+	// Temp is the single-electron bath temperature in kelvin (0 keeps
+	// the engine default, negative means exactly 0 K).
+	Temp float64
+	// Window is the setmap per-point kMC averaging window in seconds.
+	Window float64
+	// Method is the setmap point solver: "", "me" or "kmc".
+	Method string
 }
 
 // MCCard is a parsed .mc directive: a process-variation Monte Carlo
@@ -35,7 +48,8 @@ type Analysis struct {
 type MCCard struct {
 	// Trials is the batch size.
 	Trials int
-	// Analysis selects the per-trial engine: "tran", "op" or "em";
+	// Analysis selects the per-trial engine: "tran", "op", "em" or
+	// "set" (single-electron kMC);
 	// "" lets the runner default (tran when the deck has one, else op).
 	Analysis string
 	// Seed drives the parameter draws.
@@ -193,6 +207,7 @@ func Parse(src string) (*Deck, error) {
 		line   int
 	}
 	var elements []pending
+	var islands []islandCard
 
 	for _, ln := range lines[start:] {
 		text := strings.TrimSpace(ln.text)
@@ -294,6 +309,18 @@ func Parse(src string) (*Deck, error) {
 				return nil, err
 			}
 			deck.Analyses = append(deck.Analyses, a)
+		case head == ".island":
+			card, err := parseIsland(fields, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			islands = append(islands, card)
+		case head == ".set":
+			a, err := parseSet(fields, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			deck.Analyses = append(deck.Analyses, a)
 		case head == ".step":
 			card, err := parseStep(fields, ln.num)
 			if err != nil {
@@ -368,6 +395,13 @@ done:
 		}
 		if err := addElement(deck.Circuit, el.fields, el.line, models); err != nil {
 			return nil, err
+		}
+	}
+	// Islands attach after the elements so the marked node already
+	// exists by name regardless of card order.
+	for _, card := range islands {
+		if _, err := deck.Circuit.AddIsland("ISL_"+card.node, card.node, card.q0, card.c0); err != nil {
+			return nil, wrap(err, card.line)
 		}
 	}
 	if err := deck.Circuit.Validate(); err != nil {

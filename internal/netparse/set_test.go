@@ -1,0 +1,115 @@
+package netparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nanosim/internal/circuit"
+)
+
+func TestParseSetDeck(t *testing.T) {
+	deck, err := Parse(`* set transistor
+Vg g 0 0
+Vd d 0 4m
+Cg m g 2a
+J1 d m tj
+J2 m 0 tj R=2meg
+.model tj TJ C=1a R=1meg
+.island m Q0=0.1
+.set tran 10p 2n SEED=5 TEMP=1.5
+.set map Vg 0 0.25 126 Vd 4m 4m 1 METHOD=kmc SEED=3 WINDOW=20n
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit
+
+	j1, ok := c.Element("J1").(*circuit.TunnelJunction)
+	if !ok {
+		t.Fatalf("J1 is %T", c.Element("J1"))
+	}
+	if j1.C != 1e-18 || j1.RT != 1e6 {
+		t.Errorf("J1 = C %g, RT %g; want model values 1e-18, 1e6", j1.C, j1.RT)
+	}
+	j2 := c.Element("J2").(*circuit.TunnelJunction)
+	if j2.RT != 2e6 {
+		t.Errorf("J2 instance override RT = %g, want 2e6", j2.RT)
+	}
+	if j2.C != 1e-18 {
+		t.Errorf("J2 kept model C = %g, want 1e-18", j2.C)
+	}
+	isl, ok := c.Element("ISL_m").(*circuit.Island)
+	if !ok {
+		t.Fatalf("no island on node m: %v", c.Element("ISL_m"))
+	}
+	if math.Abs(isl.Q0-0.1) > 1e-15 || isl.C0 != 0 {
+		t.Errorf("island Q0=%g C0=%g, want 0.1, 0", isl.Q0, isl.C0)
+	}
+
+	if len(deck.Analyses) != 2 {
+		t.Fatalf("got %d analyses, want 2", len(deck.Analyses))
+	}
+	tr := deck.Analyses[0]
+	if tr.Kind != "settran" || tr.TStep != 10e-12 || tr.TStop != 2e-9 || tr.Seed != 5 || tr.Temp != 1.5 {
+		t.Errorf("settran parsed as %+v", tr)
+	}
+	mp := deck.Analyses[1]
+	if mp.Kind != "setmap" || mp.Src != "Vg" || mp.Points != 126 ||
+		mp.Src2 != "Vd" || mp.From2 != 4e-3 || mp.To2 != 4e-3 || mp.Points2 != 1 ||
+		mp.Method != "kmc" || mp.Seed != 3 || mp.Window != 20e-9 {
+		t.Errorf("setmap parsed as %+v", mp)
+	}
+	if mp.From != 0 || mp.To != 0.25 {
+		t.Errorf("setmap gate axis [%g, %g], want [0, 0.25]", mp.From, mp.To)
+	}
+}
+
+func TestParseSetInlineJunction(t *testing.T) {
+	deck, err := Parse(`* inline
+Vd d 0 50m
+J1 d 0 C=2a R=1meg
+.set tran 10p 1n
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := deck.Circuit.Element("J1").(*circuit.TunnelJunction)
+	if j.C != 2e-18 || j.RT != 1e6 {
+		t.Errorf("inline junction C=%g RT=%g", j.C, j.RT)
+	}
+}
+
+func TestParseSetMCKeyword(t *testing.T) {
+	deck, err := Parse(`* mc set
+Vd d 0 50m
+J1 d 0 C=1a R=1meg
+.set tran 10p 1n
+.mc 8 set SEED=11
+.vary J1(R) DEV=5%
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.MC == nil || deck.MC.Analysis != "set" || deck.MC.Trials != 8 || deck.MC.Seed != 11 {
+		t.Errorf(".mc set parsed as %+v", deck.MC)
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	for _, tc := range []struct {
+		src, want string
+	}{
+		{"* e\nVd d 0 1\nJ1 d 0 C=1a\n.set tran 1p 1n\n.end", "C > 0 and R > 0"},
+		{"* e\nVd d 0 1\nJ1 d 0 m1\n.model m1 RTD\n.set tran 1p 1n\n.end", "want TJ"},
+		{"* e\nVd d 0 1\nJ1 d 0 C=1a R=1meg\n.set tran 1p 1n BOGUS=1\n.end", "unknown .set keyword"},
+		{"* e\nVd d 0 1\nJ1 d 0 C=1a R=1meg\n.set map Vd 0 1 1 Vd 0 1 1\n.end", ">= 2 points"},
+		{"* e\nVd d 0 1\nJ1 d 0 C=1a R=1meg\n.set walk 1p 1n\n.end", "unknown .set mode"},
+		{"* e\nVd d 0 1\nJ1 d 0 C=1a R=1meg\n.island 0\n.set tran 1p 1n\n.end", "ground"},
+	} {
+		_, err := Parse(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("deck %q: error %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}

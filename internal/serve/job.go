@@ -14,6 +14,7 @@ import (
 	"nanosim/internal/netparse"
 	"nanosim/internal/part"
 	"nanosim/internal/sde"
+	"nanosim/internal/setsim"
 	"nanosim/internal/trace"
 	"nanosim/internal/vary"
 	"nanosim/internal/wave"
@@ -135,12 +136,14 @@ func resolveAnalysis(deck *netparse.Deck, req SubmitRequest) (string, error) {
 					kind = "ac"
 				case "em":
 					kind = "em"
+				case "settran":
+					kind = "set"
 				}
 				break
 			}
 		}
 		if kind == "" {
-			return "", fmt.Errorf("deck has no analysis cards (.op/.dc/.tran/.em/.mc/.step) and no analysis was requested")
+			return "", fmt.Errorf("deck has no analysis cards (.op/.dc/.tran/.em/.set/.mc/.step) and no analysis was requested")
 		}
 	}
 	switch kind {
@@ -162,6 +165,10 @@ func resolveAnalysis(deck *netparse.Deck, req SubmitRequest) (string, error) {
 		if firstAnalysis(deck, "em") == nil && req.TStop <= 0 {
 			return "", fmt.Errorf("em job needs a .em card or a tstop override")
 		}
+	case "set":
+		if firstAnalysis(deck, "settran") == nil {
+			return "", fmt.Errorf("set job needs a '.set tran' card")
+		}
 	case "mc":
 		if len(deck.Varies) == 0 {
 			return "", fmt.Errorf("mc job needs at least one .vary card")
@@ -176,12 +183,15 @@ func resolveAnalysis(deck *netparse.Deck, req SubmitRequest) (string, error) {
 		if mcKind == "em" && firstAnalysis(deck, "em") == nil {
 			return "", fmt.Errorf(".mc em needs a .em card")
 		}
+		if mcKind == "set" && firstAnalysis(deck, "settran") == nil {
+			return "", fmt.Errorf(".mc set needs a '.set tran' card")
+		}
 	case "step":
 		if len(deck.Steps) == 0 {
 			return "", fmt.Errorf("step job needs at least one .step card")
 		}
 	default:
-		return "", fmt.Errorf("unknown analysis %q (want tran, dc, dcop/op, ac, em, mc or step)", req.Analysis)
+		return "", fmt.Errorf("unknown analysis %q (want tran, dc, dcop/op, ac, em, set, mc or step)", req.Analysis)
 	}
 	if req.Shard != nil {
 		if kind != "mc" {
@@ -383,6 +393,36 @@ func (j *job) runSingle(deck *netparse.Deck, ss *solverSet) (*Result, *wave.Set,
 				Final:        finals(r.Waves),
 			},
 		}, r.Waves, nil
+	case "set":
+		a := firstAnalysis(deck, "settran")
+		opt := setsim.Options{
+			TStep: a.TStep, TStop: a.TStop, Temp: a.Temp, Seed: a.Seed,
+			Ctx: j.ctx, Solver: ss.factory,
+		}
+		if j.req.TStop > 0 {
+			opt.TStop = j.req.TStop
+		}
+		if j.req.TStep > 0 {
+			opt.TStep = j.req.TStep
+		}
+		if j.req.Seed != nil {
+			opt.Seed = *j.req.Seed
+		}
+		r, err := setsim.Transient(ckt, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{
+			Kind:    "set",
+			Signals: r.Waves.Names(),
+			Set: &SETJobResult{
+				Events:    r.Events,
+				EnvSolves: r.EnvSolves,
+				Temp:      r.Temp,
+				Seed:      opt.Seed,
+				Final:     finals(r.Waves),
+			},
+		}, r.Waves, nil
 	}
 	return nil, nil, fmt.Errorf("serve: unreachable analysis kind %q", j.kind)
 }
@@ -396,12 +436,15 @@ func (j *job) batchJob(deck *netparse.Deck) (vary.Job, error) {
 		kind = deck.MC.Analysis
 	}
 	tran, em := firstAnalysis(deck, "tran"), firstAnalysis(deck, "em")
+	set := firstAnalysis(deck, "settran")
 	if kind == "" {
 		switch {
 		case tran != nil:
 			kind = "tran"
 		case em != nil:
 			kind = "em"
+		case set != nil:
+			kind = "set"
 		default:
 			kind = "op"
 		}
@@ -426,6 +469,17 @@ func (j *job) batchJob(deck *netparse.Deck) (vary.Job, error) {
 		vj.EM = sde.Options{TStop: em.TStop, Steps: em.Steps, Seed: em.Seed}
 		if j.req.TStop > 0 {
 			vj.EM.TStop = j.req.TStop
+		}
+	case "set":
+		if set == nil {
+			return vj, fmt.Errorf(".mc set needs a '.set tran' card")
+		}
+		vj.SET = setsim.Options{TStep: set.TStep, TStop: set.TStop, Temp: set.Temp, Seed: set.Seed}
+		if j.req.TStop > 0 {
+			vj.SET.TStop = j.req.TStop
+		}
+		if j.req.TStep > 0 {
+			vj.SET.TStep = j.req.TStep
 		}
 	}
 	return vj, nil

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+const setDeck = `* double junction set
+Vd d 0 0.12
+J1 d m tj
+J2 m 0 tj
+.model tj TJ C=1a R=1meg
+.island m
+.set tran 0.1n 20n SEED=5
+.end
+`
+
+const setMCDeck = `* double junction set mc
+Vd d 0 0.12
+J1 d m tj
+J2 m 0 tj
+.model tj TJ C=1a R=1meg
+.island m
+.set tran 0.1n 20n SEED=5
+.mc 8 set SEED=11
+.vary J*(R) DEV=5%
+.print i(d)
+.end
+`
+
+// TestJobLifecycleSET: a '.set tran' deck resolves to the "set" kind and
+// returns the kMC summary plus streamable waveforms.
+func TestJobLifecycleSET(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	info := submit(t, ts, SubmitRequest{Deck: setDeck}, http.StatusAccepted)
+	if info.Analysis != "set" {
+		t.Fatalf("resolved analysis %q, want set", info.Analysis)
+	}
+	done := waitState(t, ts, info.ID, StateDone)
+	if done.Error != "" {
+		t.Fatalf("job error: %s", done.Error)
+	}
+	var res Result
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+info.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if res.Kind != "set" || res.Set == nil {
+		t.Fatalf("result kind %q (set section %v)", res.Kind, res.Set)
+	}
+	if res.Set.Events <= 0 {
+		t.Error("no tunneling events above the double-junction threshold")
+	}
+	if res.Set.Seed != 5 {
+		t.Errorf("seed = %d, want the card's 5", res.Set.Seed)
+	}
+	if res.Set.Temp != 4.2 {
+		t.Errorf("temp = %g, want default 4.2", res.Set.Temp)
+	}
+	if _, ok := res.Set.Final["i(d)"]; !ok {
+		t.Errorf("final map missing i(d): %v", res.Set.Final)
+	}
+}
+
+// TestJobLifecycleSETMC: '.mc N set' runs the kMC engine per trial with
+// junction spread, reproducibly.
+func TestJobLifecycleSETMC(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	info := submit(t, ts, SubmitRequest{Deck: setMCDeck}, http.StatusAccepted)
+	if info.Analysis != "mc" {
+		t.Fatalf("resolved analysis %q, want mc", info.Analysis)
+	}
+	waitState(t, ts, info.ID, StateDone)
+	var res Result
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+info.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if res.Kind != "mc" || res.MC == nil {
+		t.Fatalf("result kind %q", res.Kind)
+	}
+	if res.MC.Trials != 8 || res.MC.Failed != 0 {
+		t.Errorf("trials %d failed %d, want 8/0", res.MC.Trials, res.MC.Failed)
+	}
+	if len(res.MC.Stats) == 0 || res.MC.Stats[0].Name != "i(d)" {
+		t.Fatalf("missing i(d) stats: %+v", res.MC.Stats)
+	}
+	if res.MC.Stats[0].Mean <= 0 {
+		t.Errorf("mean drain current %g, want > 0 above threshold", res.MC.Stats[0].Mean)
+	}
+}
+
+// TestSETSubmitRejections: submit-time validation catches a set job
+// without its card, before any queueing.
+func TestSETSubmitRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	submit(t, ts, SubmitRequest{Deck: tranDeck, Analysis: "set"}, http.StatusBadRequest)
+}

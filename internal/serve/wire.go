@@ -11,8 +11,8 @@ type SubmitRequest struct {
 	// Deck is the SPICE-flavoured netlist source (required).
 	Deck string `json:"deck"`
 	// Analysis selects what to run: "tran", "dc", "dcop", "ac", "em",
-	// "mc" or "step". Empty picks from the deck's cards: .mc batch first,
-	// then .step sweep, then the deck's first analysis card.
+	// "set", "mc" or "step". Empty picks from the deck's cards: .mc batch
+	// first, then .step sweep, then the deck's first analysis card.
 	Analysis string `json:"analysis,omitempty"`
 	// TStop and TStep (seconds) override the deck's .tran/.em timing for
 	// "tran"/"em" jobs; zero keeps the card values.
@@ -134,6 +134,8 @@ type Result struct {
 	AC *ACSweepResult `json:"ac,omitempty"`
 	// EM is set for "em" jobs.
 	EM *EMResult `json:"em,omitempty"`
+	// Set is set for "set" (single-electron kMC transient) jobs.
+	Set *SETJobResult `json:"set,omitempty"`
 	// MC is set for "mc" jobs.
 	MC *MCResult `json:"mc,omitempty"`
 	// MCShard is set for sharded "mc" jobs (SubmitRequest.Shard): the
@@ -183,6 +185,19 @@ type EMResult struct {
 	NoiseSources int                `json:"noise_sources"`
 	Seed         uint64             `json:"seed"`
 	Final        map[string]float64 `json:"final"`
+}
+
+// SETJobResult summarizes one single-electron kinetic Monte Carlo
+// transient: the tunneling event count, the number of SWEC environment
+// co-simulation solves, the resolved bath temperature, and each series'
+// final sample. The bin-averaged waveforms stream from the stream
+// endpoint like any transient's.
+type SETJobResult struct {
+	Events    int                `json:"events"`
+	EnvSolves int                `json:"env_solves"`
+	Temp      float64            `json:"temp"`
+	Seed      uint64             `json:"seed"`
+	Final     map[string]float64 `json:"final"`
 }
 
 // MCResult summarizes a process-variation Monte Carlo batch. The

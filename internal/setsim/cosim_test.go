@@ -1,0 +1,129 @@
+package setsim
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/units"
+)
+
+// loadedDoubleJunction biases a double junction through a series load
+// resistor, so the drain electrode is co-simulated: the engine must
+// stamp its step-wise equivalent conductance into the environment and
+// let SWEC find the divider voltage.
+func loadedDoubleJunction(t *testing.T, vdd, rload float64) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("loaded double junction")
+	for _, step := range []func() error{
+		func() error { _, err := c.AddVSource("vdd", "x", "0", device.DC(vdd)); return err },
+		func() error { _, err := c.AddResistor("rl", "x", "d", rload); return err },
+		func() error { _, err := c.AddIsland("isl", "m", 0, 0); return err },
+		func() error { _, err := c.AddTunnelJunction("j1", "d", "m", 1e-18, 1e6); return err },
+		func() error { _, err := c.AddTunnelJunction("j2", "m", "0", 1e-18, 1e6); return err },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestCosimLoadLine: in co-simulation the time-averaged drain voltage
+// and current must sit on the resistor load line I = (VDD - V)/Rload,
+// and the current must match the master-equation device curve at the
+// mean operating voltage.
+func TestCosimLoadLine(t *testing.T) {
+	const (
+		vdd   = 0.3
+		rload = 1e6
+	)
+	ckt := loadedDoubleJunction(t, vdd, rload)
+	res, err := Transient(ckt, Options{TStep: 2e-10, TStop: 4e-7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnvSolves == 0 {
+		t.Fatal("no environment solves: drain was not co-simulated")
+	}
+	sv, si := res.Waves.Get("v(d)"), res.Waves.Get("i(d)")
+	if sv == nil || si == nil {
+		t.Fatalf("missing co-sim waves in %v", res.Waves.Names())
+	}
+	// Average past the relaxation transient.
+	skip := sv.Len() / 4
+	meanV, meanI := 0.0, 0.0
+	for k := skip; k < sv.Len(); k++ {
+		meanV += sv.V[k]
+		meanI += si.V[k]
+	}
+	meanV /= float64(sv.Len() - skip)
+	meanI /= float64(si.Len() - skip)
+
+	// Load line.
+	wantI := (vdd - meanV) / rload
+	if math.Abs(meanI/wantI-1) > 0.05 {
+		t.Errorf("KCL violated at the boundary: mean I = %g, load line gives %g (v(d) = %g)",
+			meanI, wantI, meanV)
+	}
+	// Device physics at the operating point: compare against the ME
+	// current of the isolated device held at meanV.
+	iso := doubleJunction(t, meanV)
+	sys, err := Compile(iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sys.ElectrodeIndex("d")
+	vElec := make([]float64, len(sys.Electrodes()))
+	vElec[d] = meanV
+	me, err := sys.SteadyState(vElec, MEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(meanI/me.IElec[d]-1) > 0.10 {
+		t.Errorf("co-sim mean current %g vs ME device curve %g at v = %g", meanI, me.IElec[d], meanV)
+	}
+	// The operating point must be a genuine divider solution, not a rail.
+	if meanV < 0.05*vdd || meanV > 0.95*vdd {
+		t.Errorf("operating point v(d) = %g sits on a rail (vdd = %g)", meanV, vdd)
+	}
+}
+
+// TestMapGatePeriod: the ME Coulomb-diamond map of the golden SET shows
+// gate oscillations with period e/Cgate within 2%, and the blockade
+// valley is >= 100x below the peaks along the same row.
+func TestMapGatePeriod(t *testing.T) {
+	const cg = 2e-18
+	res, err := Map(setTransistor(t, 0, 0), MapOptions{
+		Gate: "vg", Drain: "vd",
+		GFrom: 0, GTo: 0.25, GPoints: 126,
+		DFrom: 0.004, DTo: 0.004, DPoints: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, err := res.GatePeriod(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Q / cg
+	if math.Abs(period/want-1) > 0.02 {
+		t.Errorf("gate period %g V, want e/Cg = %g V within 2%%", period, want)
+	}
+	// Peak-to-valley suppression along the row.
+	row := res.I[0]
+	peak, valley := 0.0, math.Inf(1)
+	for _, x := range row {
+		a := math.Abs(x)
+		if a > peak {
+			peak = a
+		}
+		if a < valley {
+			valley = a
+		}
+	}
+	if valley*100 > peak {
+		t.Errorf("diamond suppression only %gx (peak %g, valley %g)", peak/valley, peak, valley)
+	}
+}

@@ -1,0 +1,107 @@
+package setsim
+
+import (
+	"testing"
+
+	"nanosim/internal/wave"
+)
+
+// identicalSets fails the test unless a and b hold bit-identical series.
+func identicalSets(t *testing.T, label string, a, b *wave.Set) {
+	t.Helper()
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		t.Fatalf("%s: %d series vs %d", label, len(an), len(bn))
+	}
+	for _, name := range an {
+		sa, sb := a.Get(name), b.Get(name)
+		if sb == nil {
+			t.Fatalf("%s: series %q missing from second run", label, name)
+		}
+		if sa.Len() != sb.Len() {
+			t.Fatalf("%s: %q length %d vs %d", label, name, sa.Len(), sb.Len())
+		}
+		for i := range sa.V {
+			if sa.T[i] != sb.T[i] || sa.V[i] != sb.V[i] {
+				t.Fatalf("%s: %q diverges at sample %d: (%v,%v) vs (%v,%v)",
+					label, name, i, sa.T[i], sa.V[i], sb.T[i], sb.V[i])
+			}
+		}
+	}
+}
+
+// TestKMCDeterministicRepeat: equal seeds give bit-identical transients,
+// including the co-simulation event and solve counters.
+func TestKMCDeterministicRepeat(t *testing.T) {
+	opt := Options{TStep: 1e-10, TStop: 5e-8, Seed: 99}
+	a, err := Transient(doubleJunction(t, 0.12), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transient(doubleJunction(t, 0.12), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("event counts diverge: %d vs %d", a.Events, b.Events)
+	}
+	identicalSets(t, "repeat", a.Waves, b.Waves)
+}
+
+// TestKMCDeterministicSeedSensitivity: different seeds must explore
+// different trajectories (guards against a seed being silently ignored).
+func TestKMCDeterministicSeedSensitivity(t *testing.T) {
+	a, err := Transient(doubleJunction(t, 0.12), Options{TStep: 1e-10, TStop: 5e-8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transient(doubleJunction(t, 0.12), Options{TStep: 1e-10, TStop: 5e-8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Waves.Get("i(d)"), b.Waves.Get("i(d)")
+	same := true
+	for i := range sa.V {
+		if sa.V[i] != sb.V[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical trajectories")
+	}
+}
+
+// TestMapDeterministicAcrossWorkers: the kMC Coulomb-diamond map is
+// bit-identical at every worker count — point k owns stream
+// randx.Split(seed, k), so scheduling cannot leak into the numbers.
+func TestMapDeterministicAcrossWorkers(t *testing.T) {
+	base := MapOptions{
+		Gate: "vg", Drain: "vd",
+		GFrom: 0, GTo: 0.16, GPoints: 9,
+		DFrom: 0.002, DTo: 0.006, DPoints: 2,
+		Method: "kmc", Window: 2e-9, Seed: 7,
+	}
+	var ref *MapResult
+	for _, workers := range []int{1, 2, 8} {
+		opt := base
+		opt.Workers = workers
+		res, err := Map(setTransistor(t, 0, 0), opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for d := range res.I {
+			for g := range res.I[d] {
+				if res.I[d][g] != ref.I[d][g] {
+					t.Fatalf("workers=%d: I[%d][%d] = %v diverges from workers=1 value %v",
+						workers, d, g, res.I[d][g], ref.I[d][g])
+				}
+			}
+		}
+		identicalSets(t, "map", res.Waves, ref.Waves)
+	}
+}

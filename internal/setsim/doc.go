@@ -1,0 +1,29 @@
+// Package setsim is the single-electron tunneling engine: it simulates
+// Coulomb-blockade circuits built from islands (nodes with quantized
+// charge), tunnel junctions (C, RT) and ordinary capacitors, biased by
+// the surrounding circuit.
+//
+// The physics is the orthodox theory of single-electron tunneling: the
+// island capacitance matrix gives the electrostatic free-energy change
+// dF of moving one electron across a junction, and each junction carries
+// the tunneling rate
+//
+//	Gamma(dE) = dE / (e^2 RT (1 - exp(-dE/kT))),   dE = -dF
+//
+// which satisfies detailed balance Gamma(dE)/Gamma(-dE) = exp(dE/kT),
+// goes linear in dE as T -> 0 (Coulomb blockade: Gamma -> 0 for dE < 0)
+// and reproduces the ohmic limit I -> V/RT at high bias.
+//
+// Two solvers share that rate kernel: a kinetic Monte Carlo loop
+// (next-event method, exponential waiting times, one randx stream per
+// run so results are bit-identical at any worker count) and a
+// master-equation steady-state solver for small state spaces (exact,
+// deterministic — the back-end of Coulomb-diamond maps and goldens).
+//
+// The engine composes with the SWEC stack instead of standing alone:
+// electrodes driven through external components are co-simulated by
+// stamping the junction-charge feedback as a step-wise equivalent
+// conductance (or Norton current) at the engine boundary and solving
+// the environment with core.OperatingPoint once per window, exactly the
+// piecewise-linearization SWEC applies to continuum nanodevices.
+package setsim

@@ -1,0 +1,121 @@
+package setsim
+
+import (
+	"context"
+	"fmt"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/core"
+	"nanosim/internal/device"
+	"nanosim/internal/linsolve"
+)
+
+// envSolver co-simulates the circuit environment: once per bin it
+// rebuilds the external circuit with the engine boundary stamped in —
+// each co-simulated electrode carries either a step-wise equivalent
+// conductance Geq = I/V (when the device looked passive from that
+// terminal over the last bin) or a Norton current sink — and solves a
+// SWEC operating point to refresh the electrode voltages.
+type envSolver struct {
+	sys    *System
+	solver linsolve.Factory
+	ctx    context.Context
+	solves int
+}
+
+func newEnvSolver(sys *System, solver linsolve.Factory, ctx context.Context) *envSolver {
+	return &envSolver{sys: sys, solver: solver, ctx: ctx}
+}
+
+// solve refreshes vElec for every co-simulated electrode from an
+// environment operating point at time t. iDev is the previous bin's
+// average current into the device per electrode; nil means an open
+// boundary (the initial solve).
+func (e *envSolver) solve(t float64, vElec, iDev []float64) error {
+	sys := e.sys
+	env := circuit.New("setsim environment")
+	for _, el := range sys.external {
+		if err := e.readd(env, el, t); err != nil {
+			return err
+		}
+	}
+	// Electrodes that saw essentially no tunneling (and the initial
+	// solve, which has no current history) stamp a near-open bleed
+	// resistor: electrically negligible, but it keeps the node connected
+	// so the environment matrix stays well-posed.
+	const openR = 1e15
+	const iMin = 1e-18 // below one electron per second: open
+	for k, node := range sys.electrodes {
+		if sys.drive[k] != nil {
+			continue
+		}
+		name := sys.ckt.NodeName(node)
+		var v, i float64
+		if iDev != nil {
+			v, i = vElec[k], iDev[k]
+		}
+		switch {
+		case v*i > 0 && (i > iMin || i < -iMin):
+			if _, err := env.AddResistor("SETEQ_"+name, name, "0", v/i); err != nil {
+				return fmt.Errorf("setsim: boundary stamp: %w", err)
+			}
+		case i > iMin || i < -iMin:
+			// Non-passive window (gate pumping, offset charge): fall
+			// back to the Norton equivalent drawing i out of the node.
+			if _, err := env.AddISource("SETEQ_"+name, name, "0", device.DC(i)); err != nil {
+				return fmt.Errorf("setsim: boundary stamp: %w", err)
+			}
+		default:
+			if _, err := env.AddResistor("SETEQ_"+name, name, "0", openR); err != nil {
+				return fmt.Errorf("setsim: boundary stamp: %w", err)
+			}
+		}
+	}
+	res, err := core.OperatingPoint(env, core.DCOptions{Ctx: e.ctx, Solver: e.solver})
+	if err != nil {
+		return fmt.Errorf("setsim: environment solve at t=%g: %w", t, err)
+	}
+	e.solves++
+	for k, node := range sys.electrodes {
+		if sys.drive[k] != nil {
+			continue
+		}
+		id := env.Node(sys.ckt.NodeName(node))
+		if id == circuit.Ground {
+			vElec[k] = 0
+			continue
+		}
+		vElec[k] = res.X[int(id)-1]
+	}
+	return nil
+}
+
+// readd copies one external element into the environment circuit,
+// freezing source waveforms at their value at time t (the step-wise
+// bias convention shared with the kMC windows).
+func (e *envSolver) readd(env *circuit.Circuit, el circuit.Element, t float64) error {
+	name := func(n circuit.NodeID) string { return e.sys.ckt.NodeName(n) }
+	var err error
+	switch x := el.(type) {
+	case *circuit.Resistor:
+		_, err = env.AddResistor(x.Name(), name(x.A), name(x.B), x.R)
+	case *circuit.Capacitor:
+		_, err = env.AddCapacitor(x.Name(), name(x.A), name(x.B), x.C)
+	case *circuit.Inductor:
+		_, err = env.AddInductor(x.Name(), name(x.A), name(x.B), x.L)
+	case *circuit.VSource:
+		_, err = env.AddVSource(x.Name(), name(x.Pos), name(x.Neg), device.DC(x.W.At(t)))
+	case *circuit.ISource:
+		_, err = env.AddISource(x.Name(), name(x.Pos), name(x.Neg), device.DC(x.W.At(t)))
+	case *circuit.TwoTerm:
+		_, err = env.AddDevice(x.Name(), name(x.A), name(x.B), x.Model)
+	case *circuit.FET:
+		_, err = env.AddFET(x.Name(), name(x.D), name(x.G), name(x.S), x.Model)
+	default:
+		return fmt.Errorf("setsim: element %q (%T) cannot join the co-simulated environment", el.Name(), el)
+	}
+	if err != nil {
+		return fmt.Errorf("setsim: environment build: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package setsim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/linsolve"
+	"nanosim/internal/randx"
+	"nanosim/internal/units"
+	"nanosim/internal/wave"
+)
+
+// DefaultTemp is the bath temperature (kelvin) when Options.Temp is 0:
+// the liquid-helium point, cold enough that aF-scale junctions show hard
+// Coulomb blockade.
+const DefaultTemp = 4.2
+
+// DefaultMaxEvents bounds one kinetic Monte Carlo run; exceeding it
+// aborts the trial with an error (the vary runner then excludes the
+// partial trial as NaN instead of zero-filling it).
+const DefaultMaxEvents = 5_000_000
+
+// Options configures a kinetic Monte Carlo transient.
+type Options struct {
+	// TStep is the recording bin width; electrode voltages are held
+	// constant inside a bin (step-wise biasing, as SWEC holds
+	// conductances constant inside a step).
+	TStep float64
+	// TStop is the total simulated time.
+	TStop float64
+	// Temp is the bath temperature in kelvin. 0 selects DefaultTemp;
+	// a negative value selects T = 0 exactly (hard blockade).
+	Temp float64
+	// Seed drives the single random stream of the run. Equal seeds give
+	// bit-identical results on any machine at any worker count.
+	Seed uint64
+	// MaxEvents caps the total tunneling event count (0 =
+	// DefaultMaxEvents). An exceeded cap is an error: the run is
+	// partial and must not masquerade as a finished waveform.
+	MaxEvents int
+	// Solver picks the linear backend for environment operating-point
+	// solves in co-simulation (default linsolve.Auto).
+	Solver linsolve.Factory
+	// Ctx, when non-nil, is polled once per bin; a canceled context
+	// aborts the run.
+	Ctx context.Context
+}
+
+// temperature resolves the Temp convention.
+func (o Options) temperature() float64 {
+	switch {
+	case o.Temp == 0:
+		return DefaultTemp
+	case o.Temp < 0:
+		return 0
+	default:
+		return o.Temp
+	}
+}
+
+func (o Options) maxEvents() int {
+	if o.MaxEvents <= 0 {
+		return DefaultMaxEvents
+	}
+	return o.MaxEvents
+}
+
+// Result is a finished kinetic Monte Carlo transient.
+type Result struct {
+	// Waves holds, per electrode, the bin-averaged conventional current
+	// flowing into the device ("i(node)"); per island the potential
+	// ("v(node)") and excess-electron count ("n(node)") at each bin
+	// end; and, for co-simulated electrodes, the solved node voltage
+	// ("v(node)").
+	Waves *wave.Set
+	// Events is the total tunneling event count.
+	Events int
+	// EnvSolves counts environment operating-point solves.
+	EnvSolves int
+	// Temp is the resolved bath temperature (kelvin).
+	Temp float64
+	// Occupancy[i] maps an excess-electron count of island i to the
+	// fraction of simulated time spent there (time-weighted, exact) —
+	// the quantity the master-equation steady state predicts.
+	Occupancy []map[int]float64
+}
+
+// runner holds the per-run kMC buffers.
+type runner struct {
+	sys    *System
+	events []event
+	rates  []float64
+	occ    []map[int]float64
+	count  int
+	max    int
+	temp   float64
+}
+
+func newRunner(sys *System, temp float64, maxEvents int) *runner {
+	r := &runner{sys: sys, temp: temp, max: maxEvents}
+	for j := range sys.juncs {
+		r.events = append(r.events, event{j: j, dir: +1}, event{j: j, dir: -1})
+	}
+	r.rates = make([]float64, len(r.events))
+	r.occ = make([]map[int]float64, len(sys.islands))
+	for i := range r.occ {
+		r.occ[i] = map[int]float64{}
+	}
+	return r
+}
+
+// window advances the state by dt of simulated time under fixed
+// electrode voltages, counting electrode transfers into in/out.
+func (r *runner) window(stream *randx.Stream, n []int, phi, vElec []float64, dt float64, in, out []int64) error {
+	s := r.sys
+	t := 0.0
+	for {
+		total := 0.0
+		for k, ev := range r.events {
+			dE := s.deltaE(ev, phi, vElec)
+			g := Rate(dE, s.juncs[ev.j].rt, r.temp)
+			r.rates[k] = g
+			total += g
+		}
+		tNext := dt
+		if total > 0 {
+			u := stream.Float64()
+			for u == 0 {
+				u = stream.Float64()
+			}
+			tNext = t - math.Log(u)/total
+		}
+		hold := math.Min(tNext, dt) - t
+		for i := range n {
+			r.occ[i][n[i]] += hold
+		}
+		if tNext >= dt || total <= 0 {
+			return nil
+		}
+		t = tNext
+		// Select the event by its share of the total rate.
+		target := stream.Float64() * total
+		pick := -1
+		acc := 0.0
+		for k, g := range r.rates {
+			if g <= 0 {
+				continue
+			}
+			acc += g
+			pick = k
+			if target < acc {
+				break
+			}
+		}
+		s.apply(r.events[pick], n, phi, in, out)
+		r.count++
+		if r.count > r.max {
+			return fmt.Errorf("setsim: event cap exceeded (%d events before t reached the stop time); partial run discarded", r.max)
+		}
+	}
+}
+
+// occupancy normalizes the accumulated per-island dwell times.
+func (r *runner) occupancy(total float64) []map[int]float64 {
+	out := make([]map[int]float64, len(r.occ))
+	for i, m := range r.occ {
+		out[i] = make(map[int]float64, len(m))
+		for k, v := range m {
+			out[i][k] = v / total
+		}
+	}
+	return out
+}
+
+// Transient runs the kinetic Monte Carlo engine over ckt. Electrodes
+// tied directly to a grounded voltage source follow that waveform,
+// sampled at each bin start; electrodes fed through other components
+// are co-simulated, with the previous bin's average device current
+// stamped into the environment as a step-wise equivalent conductance
+// (or Norton current) and the environment solved once per bin.
+func Transient(ckt *circuit.Circuit, opt Options) (*Result, error) {
+	if opt.TStep <= 0 || opt.TStop <= 0 {
+		return nil, fmt.Errorf("setsim: transient needs TStep > 0 and TStop > 0 (got %g, %g)", opt.TStep, opt.TStop)
+	}
+	bins := int(math.Round(opt.TStop / opt.TStep))
+	if bins < 1 {
+		bins = 1
+	}
+	if bins > 20_000_000 {
+		return nil, fmt.Errorf("setsim: %d bins (TStop/TStep) is unreasonable", bins)
+	}
+	sys, err := Compile(ckt)
+	if err != nil {
+		return nil, err
+	}
+	temp := opt.temperature()
+	r := newRunner(sys, temp, opt.maxEvents())
+	stream := randx.New(opt.Seed)
+
+	nIsl, nElec := len(sys.islands), len(sys.electrodes)
+	n := make([]int, nIsl)
+	phi := make([]float64, nIsl)
+	vElec := make([]float64, nElec)
+	iAvg := make([]float64, nElec)
+	in := make([]int64, nElec)
+	out := make([]int64, nElec)
+
+	env := newEnvSolver(sys, opt.Solver, opt.Ctx)
+	if sys.envNodes {
+		// Initial environment solve with an open boundary (zero device
+		// current) fixes the co-simulated electrodes' starting bias.
+		if err := env.solve(0, vElec, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	waves := wave.NewSet()
+	si := make([]*wave.Series, nElec)
+	sv := make([]*wave.Series, nIsl)
+	sn := make([]*wave.Series, nIsl)
+	se := make([]*wave.Series, nElec)
+	for e := 0; e < nElec; e++ {
+		si[e] = wave.NewSeries("i("+ckt.NodeName(sys.electrodes[e])+")", bins+1)
+		if err := waves.Add(si[e]); err != nil {
+			return nil, err
+		}
+		if sys.drive[e] == nil {
+			se[e] = wave.NewSeries("v("+ckt.NodeName(sys.electrodes[e])+")", bins+1)
+			if err := waves.Add(se[e]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < nIsl; i++ {
+		sv[i] = wave.NewSeries("v("+ckt.NodeName(sys.islands[i])+")", bins+1)
+		sn[i] = wave.NewSeries("n("+ckt.NodeName(sys.islands[i])+")", bins+1)
+		if err := waves.Add(sv[i]); err != nil {
+			return nil, err
+		}
+		if err := waves.Add(sn[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	record := func(t float64) {
+		for e := 0; e < nElec; e++ {
+			si[e].MustAppend(t, iAvg[e])
+			if se[e] != nil {
+				se[e].MustAppend(t, vElec[e])
+			}
+		}
+		for i := 0; i < nIsl; i++ {
+			sv[i].MustAppend(t, phi[i])
+			sn[i].MustAppend(t, float64(n[i]))
+		}
+	}
+
+	for e := 0; e < nElec; e++ {
+		if sys.drive[e] != nil {
+			vElec[e] = sys.drive[e].At(0)
+		}
+	}
+	sys.potentials(n, vElec, phi)
+	record(0)
+
+	for b := 0; b < bins; b++ {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return nil, fmt.Errorf("setsim: transient canceled: %w", context.Cause(opt.Ctx))
+		}
+		t0 := float64(b) * opt.TStep
+		for e := 0; e < nElec; e++ {
+			if sys.drive[e] != nil {
+				vElec[e] = sys.drive[e].At(t0)
+			}
+		}
+		sys.potentials(n, vElec, phi)
+		for e := range in {
+			in[e], out[e] = 0, 0
+		}
+		if err := r.window(stream, n, phi, vElec, opt.TStep, in, out); err != nil {
+			return nil, err
+		}
+		for e := 0; e < nElec; e++ {
+			iAvg[e] = units.Q * float64(in[e]-out[e]) / opt.TStep
+		}
+		record(float64(b+1) * opt.TStep)
+		if sys.envNodes {
+			if err := env.solve(float64(b+1)*opt.TStep, vElec, iAvg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{
+		Waves:     waves,
+		Events:    r.count,
+		EnvSolves: env.solves,
+		Temp:      temp,
+		Occupancy: r.occupancy(float64(bins) * opt.TStep),
+	}, nil
+}

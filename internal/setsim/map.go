@@ -1,0 +1,306 @@
+package setsim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/randx"
+	"nanosim/internal/units"
+	"nanosim/internal/wave"
+)
+
+// DefaultMapWindow is the kMC averaging window per map point (seconds)
+// when MapOptions.Window is 0.
+const DefaultMapWindow = 50e-9
+
+// MapOptions configures a characterise-style 2-D input sweep
+// (Vgate x Vdrain -> Idrain), the Coulomb-diamond map.
+type MapOptions struct {
+	// Gate and Drain name the two swept voltage sources; each must tie
+	// an electrode directly to ground.
+	Gate, Drain string
+	// GFrom < GTo with GPoints >= 2 define the gate axis.
+	GFrom, GTo float64
+	GPoints    int
+	// DFrom <= DTo with DPoints >= 1 define the drain axis.
+	DFrom, DTo float64
+	DPoints    int
+	// Temp follows the Options.Temp convention.
+	Temp float64
+	// Method picks the point solver: "me" (master equation, exact and
+	// deterministic — the default) or "kmc" (stochastic average over
+	// Window seconds after a Window/4 warm-up).
+	Method string
+	// Window is the kMC averaging window per point (0 =
+	// DefaultMapWindow). Ignored by "me".
+	Window float64
+	// MEWindow is the master-equation charge half-range (0 =
+	// DefaultMEWindow). Ignored by "kmc".
+	MEWindow int
+	// Seed drives the kMC point streams: point k uses
+	// randx.Split(Seed, k), so the map is bit-identical at any Workers
+	// count. Ignored by "me".
+	Seed uint64
+	// Workers bounds the point-level parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Ctx, when non-nil, cancels the sweep.
+	Ctx context.Context
+}
+
+// MapResult is a finished Coulomb-diamond map.
+type MapResult struct {
+	// Gate and Drain are the axis grids.
+	Gate, Drain []float64
+	// I[d][g] is the mean conventional current into the drain
+	// electrode at Drain[d], Gate[g].
+	I [][]float64
+	// Waves renders the map as one gate-axis series per drain bias,
+	// named "i(<drain node>)@vd=<bias>" — the form the golden gate and
+	// CSV writers consume.
+	Waves *wave.Set
+	// DrainNode is the measured electrode's node name.
+	DrainNode string
+	// Method is the resolved point solver ("me" or "kmc").
+	Method string
+	// Temp is the resolved temperature (kelvin).
+	Temp float64
+}
+
+// GatePeriod estimates the Coulomb-oscillation period of drain row d by
+// averaging the spacing of the current peaks along the gate axis; it
+// needs at least two peaks. For a clean SET the period is e/Cgate.
+func (r *MapResult) GatePeriod(d int) (float64, error) {
+	row := r.I[d]
+	var peaks []float64
+	for g := 1; g < len(row)-1; g++ {
+		if row[g] > row[g-1] && row[g] >= row[g+1] {
+			// Refine the peak position with a parabolic fit through the
+			// three samples; grid-resolution peaks alone would alias the
+			// period estimate.
+			den := row[g-1] - 2*row[g] + row[g+1]
+			off := 0.0
+			if den != 0 {
+				off = 0.5 * (row[g-1] - row[g+1]) / den
+			}
+			h := r.Gate[1] - r.Gate[0]
+			peaks = append(peaks, r.Gate[g]+off*h)
+		}
+	}
+	if len(peaks) < 2 {
+		return 0, fmt.Errorf("setsim: row %d has %d current peaks; need >= 2 for a period", d, len(peaks))
+	}
+	return (peaks[len(peaks)-1] - peaks[0]) / float64(len(peaks)-1), nil
+}
+
+// Map sweeps the two named sources over their grids and measures the
+// mean drain-electrode current at every point.
+func Map(ckt *circuit.Circuit, opt MapOptions) (*MapResult, error) {
+	if opt.GPoints < 2 || opt.GTo <= opt.GFrom {
+		return nil, fmt.Errorf("setsim: map gate axis needs GPoints >= 2 and GTo > GFrom")
+	}
+	if opt.DPoints < 1 || opt.DTo < opt.DFrom {
+		return nil, fmt.Errorf("setsim: map drain axis needs DPoints >= 1 and DTo >= DFrom")
+	}
+	if opt.DPoints > 1 && opt.DTo == opt.DFrom {
+		return nil, fmt.Errorf("setsim: map drain axis is degenerate (DFrom == DTo with %d points)", opt.DPoints)
+	}
+	method := strings.ToLower(opt.Method)
+	if method == "" {
+		method = "me"
+	}
+	if method != "me" && method != "kmc" {
+		return nil, fmt.Errorf("setsim: unknown map method %q (want me or kmc)", opt.Method)
+	}
+	sys, err := Compile(ckt)
+	if err != nil {
+		return nil, err
+	}
+	if sys.envNodes {
+		return nil, fmt.Errorf("setsim: map needs every electrode tied directly to a grounded source")
+	}
+	gateE, gateSign, err := sys.sourceElectrode(opt.Gate)
+	if err != nil {
+		return nil, err
+	}
+	drainE, drainSign, err := sys.sourceElectrode(opt.Drain)
+	if err != nil {
+		return nil, err
+	}
+	if gateE == drainE {
+		return nil, fmt.Errorf("setsim: gate and drain sources drive the same electrode %q", sys.ckt.NodeName(sys.electrodes[gateE]))
+	}
+	temp := Options{Temp: opt.Temp}.temperature()
+	window := opt.Window
+	if window <= 0 {
+		window = DefaultMapWindow
+	}
+
+	res := &MapResult{
+		Gate:      axis(opt.GFrom, opt.GTo, opt.GPoints),
+		Drain:     axis(opt.DFrom, opt.DTo, opt.DPoints),
+		DrainNode: sys.ckt.NodeName(sys.electrodes[drainE]),
+		Method:    method,
+		Temp:      temp,
+	}
+	res.I = make([][]float64, opt.DPoints)
+	for d := range res.I {
+		res.I[d] = make([]float64, opt.GPoints)
+	}
+
+	// Base electrode bias from the deck's sources at t=0; the two swept
+	// electrodes are overridden per point.
+	vBase := make([]float64, len(sys.electrodes))
+	for e := range vBase {
+		vBase[e] = sys.drive[e].At(0)
+	}
+
+	nPts := opt.DPoints * opt.GPoints
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nPts {
+		workers = nPts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker state buffers; per-point randomness comes from
+			// the split stream, so scheduling cannot reorder draws.
+			n := make([]int, len(sys.islands))
+			phi := make([]float64, len(sys.islands))
+			vElec := make([]float64, len(sys.electrodes))
+			in := make([]int64, len(sys.electrodes))
+			out := make([]int64, len(sys.electrodes))
+			for k := range idx {
+				d, g := k/opt.GPoints, k%opt.GPoints
+				copy(vElec, vBase)
+				vElec[gateE] = gateSign * res.Gate[g]
+				vElec[drainE] = drainSign * res.Drain[d]
+				var i float64
+				var err error
+				if method == "me" {
+					var me *MEResult
+					me, err = sys.SteadyState(vElec, MEOptions{Window: opt.MEWindow, Temp: opt.Temp})
+					if err == nil {
+						i = me.IElec[drainE]
+					}
+				} else {
+					i, err = sys.kmcPoint(randx.Split(opt.Seed, k), n, phi, vElec, in, out, drainE, window, temp)
+				}
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("setsim: map point vg=%g vd=%g: %w", res.Gate[g], res.Drain[d], err)
+					}
+					continue
+				}
+				res.I[d][g] = i
+			}
+		}(w)
+	}
+	for k := 0; k < nPts; k++ {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			break
+		}
+		idx <- k
+	}
+	close(idx)
+	wg.Wait()
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return nil, fmt.Errorf("setsim: map canceled: %w", context.Cause(opt.Ctx))
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.Waves = wave.NewSet()
+	for d, vd := range res.Drain {
+		s := wave.NewSeries(fmt.Sprintf("i(%s)@vd=%g", res.DrainNode, vd), opt.GPoints)
+		for g, vg := range res.Gate {
+			s.MustAppend(vg, res.I[d][g])
+		}
+		if err := res.Waves.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// kmcPoint measures the mean drain current at one bias point: reset to
+// the neutral charge state, burn in for window/4, then average over
+// window.
+func (s *System) kmcPoint(stream *randx.Stream, n []int, phi, vElec []float64, in, out []int64, drainE int, window, temp float64) (float64, error) {
+	for i := range n {
+		n[i] = 0
+	}
+	for e := range in {
+		in[e], out[e] = 0, 0
+	}
+	r := newRunner(s, temp, DefaultMaxEvents)
+	s.potentials(n, vElec, phi)
+	if err := r.window(stream, n, phi, vElec, window/4, in, out); err != nil {
+		return 0, err
+	}
+	for e := range in {
+		in[e], out[e] = 0, 0
+	}
+	if err := r.window(stream, n, phi, vElec, window, in, out); err != nil {
+		return 0, err
+	}
+	return units.Q * float64(in[drainE]-out[drainE]) / window, nil
+}
+
+// sourceElectrode resolves a named grounded voltage source to the
+// electrode it drives and the sign mapping source value -> electrode
+// voltage (-1 when the source is wired neg-side to the node).
+func (s *System) sourceElectrode(name string) (int, float64, error) {
+	el := s.ckt.Element(name)
+	if el == nil {
+		return 0, 0, fmt.Errorf("setsim: no source named %q", name)
+	}
+	v, ok := el.(*circuit.VSource)
+	if !ok {
+		return 0, 0, fmt.Errorf("setsim: element %q is %T, want a voltage source", name, el)
+	}
+	node := v.Pos
+	sign := 1.0
+	if node == circuit.Ground {
+		node, sign = v.Neg, -1
+	} else if v.Neg != circuit.Ground {
+		return 0, 0, fmt.Errorf("setsim: source %q must be grounded on one side", name)
+	}
+	e, ok := s.elecIdx[node]
+	if !ok {
+		return 0, 0, fmt.Errorf("setsim: source %q drives node %q, which is not an engine electrode", name, s.ckt.NodeName(node))
+	}
+	if s.drive[e] == nil {
+		return 0, 0, fmt.Errorf("setsim: electrode %q is not directly source-driven", s.ckt.NodeName(node))
+	}
+	return e, sign, nil
+}
+
+// axis materializes a linear grid.
+func axis(from, to float64, points int) []float64 {
+	out := make([]float64, points)
+	if points == 1 {
+		out[0] = from
+		return out
+	}
+	for i := range out {
+		out[i] = from + (to-from)*float64(i)/float64(points-1)
+	}
+	return out
+}

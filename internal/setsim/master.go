@@ -1,0 +1,234 @@
+package setsim
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/mat"
+	"nanosim/internal/units"
+)
+
+// DefaultMEWindow is the per-island excess-electron half-range of the
+// master-equation state space when MEOptions.Window is 0.
+const DefaultMEWindow = 4
+
+// MEOptions configures the master-equation steady-state solver.
+type MEOptions struct {
+	// Window is the per-island charge half-range: island counts are
+	// enumerated in [-Window, Window] (0 = DefaultMEWindow). The state
+	// space has (2*Window+1)^islands states.
+	Window int
+	// Temp follows the Options.Temp convention (0 = DefaultTemp,
+	// negative = T = 0).
+	Temp float64
+}
+
+// MEState is one charge configuration with its stationary probability.
+type MEState struct {
+	// N is the excess-electron count per island (island-index order).
+	N []int
+	// P is the stationary occupation probability.
+	P float64
+}
+
+// MEResult is a master-equation steady state.
+type MEResult struct {
+	// States lists every enumerated configuration.
+	States []MEState
+	// IElec is the mean conventional current flowing into the device at
+	// each electrode (electrode-index order).
+	IElec []float64
+	// BoundaryMass is the total probability on states at the edge of
+	// the charge window; a non-negligible value means Window is too
+	// small for the applied bias.
+	BoundaryMass float64
+	// Temp is the resolved temperature (kelvin).
+	Temp float64
+}
+
+// Occupancy returns the marginal distribution of island i's
+// excess-electron count.
+func (r *MEResult) Occupancy(i int) map[int]float64 {
+	out := map[int]float64{}
+	for _, st := range r.States {
+		out[st.N[i]] += st.P
+	}
+	return out
+}
+
+// SteadyState solves the truncated master equation at fixed electrode
+// voltages: it enumerates every island charge configuration inside the
+// window, assembles the generator of the tunneling Markov chain from
+// the orthodox rates, and solves for the stationary distribution and
+// the mean electrode currents. Exact and deterministic — the reference
+// the kMC occupancy must converge to, and the back-end of
+// Coulomb-diamond maps.
+func (s *System) SteadyState(vElec []float64, opt MEOptions) (*MEResult, error) {
+	if len(vElec) != len(s.electrodes) {
+		return nil, fmt.Errorf("setsim: SteadyState needs %d electrode voltages, got %d", len(s.electrodes), len(vElec))
+	}
+	temp := Options{Temp: opt.Temp}.temperature()
+	win := opt.Window
+	if win <= 0 {
+		win = DefaultMEWindow
+	}
+	nIsl := len(s.islands)
+	radix := 2*win + 1
+	nStates := 1
+	for i := 0; i < nIsl; i++ {
+		nStates *= radix
+		if nStates > 20000 {
+			return nil, fmt.Errorf("setsim: master-equation state space exceeds 20000 states (%d islands, window %d); use the kMC engine", nIsl, win)
+		}
+	}
+
+	// decode fills n with the configuration of state index idx.
+	decode := func(idx int, n []int) {
+		for i := 0; i < nIsl; i++ {
+			n[i] = idx%radix - win
+			idx /= radix
+		}
+	}
+	// m[s'][s] carries the rate s -> s'; the diagonal balances each
+	// column so m pi = 0 at stationarity. Out-of-window transitions are
+	// dropped from both, keeping the truncated chain a proper generator.
+	m := mat.NewDense(nStates, nStates)
+	n := make([]int, nIsl)
+	phi := make([]float64, nIsl)
+	events := make([]event, 0, 2*len(s.juncs))
+	for j := range s.juncs {
+		events = append(events, event{j: j, dir: +1}, event{j: j, dir: -1})
+	}
+	// Per-state, per-event rates are also what the current sums need;
+	// cache them flat.
+	rates := make([]float64, nStates*len(events))
+	for idx := 0; idx < nStates; idx++ {
+		decode(idx, n)
+		s.potentials(n, vElec, phi)
+		for k, ev := range events {
+			g := Rate(s.deltaE(ev, phi, vElec), s.juncs[ev.j].rt, temp)
+			rates[idx*len(events)+k] = g
+			if g <= 0 {
+				continue
+			}
+			to, inWin := transition(s, ev, n, win)
+			if to == idx {
+				// Electrode-electrode event: no state change; it still
+				// carries current but not probability.
+				continue
+			}
+			if !inWin {
+				continue
+			}
+			m.Add(to, idx, g)
+			m.Add(idx, idx, -g)
+		}
+	}
+
+	// Replace the last balance equation with normalization sum(pi) = 1.
+	for c := 0; c < nStates; c++ {
+		m.Set(nStates-1, c, 1)
+	}
+	rhs := make([]float64, nStates)
+	rhs[nStates-1] = 1
+	pi, err := mat.SolveLinear(m, rhs, nil)
+	if err != nil {
+		return nil, fmt.Errorf("setsim: master equation is singular: %w", err)
+	}
+	// Clamp tiny negative round-off and renormalize.
+	sum := 0.0
+	for i, p := range pi {
+		if math.IsNaN(p) {
+			return nil, fmt.Errorf("setsim: master equation produced NaN occupation")
+		}
+		if p < 0 {
+			pi[i] = 0
+		}
+		sum += pi[i]
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("setsim: master equation produced an empty distribution")
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+
+	res := &MEResult{IElec: make([]float64, len(s.electrodes)), Temp: temp}
+	for idx := 0; idx < nStates; idx++ {
+		cfg := make([]int, nIsl)
+		decode(idx, cfg)
+		res.States = append(res.States, MEState{N: cfg, P: pi[idx]})
+		onBoundary := false
+		for _, v := range cfg {
+			if v == -win || v == win {
+				onBoundary = true
+			}
+		}
+		if onBoundary && nIsl > 0 {
+			res.BoundaryMass += pi[idx]
+		}
+		for k, ev := range events {
+			g := rates[idx*len(events)+k]
+			if g <= 0 {
+				continue
+			}
+			j := &s.juncs[ev.j]
+			srcE, dstE := j.aElec, j.bElec
+			if ev.dir < 0 {
+				srcE, dstE = dstE, srcE
+			}
+			// Electrons arriving at an electrode carry conventional
+			// current into the device at that terminal.
+			if dstE >= 0 {
+				res.IElec[dstE] += units.Q * pi[idx] * g
+			}
+			if srcE >= 0 {
+				res.IElec[srcE] -= units.Q * pi[idx] * g
+			}
+		}
+	}
+	return res, nil
+}
+
+// transition returns the state index after ev fires from configuration
+// n, and whether the target stays inside the charge window. n is
+// restored before returning.
+func transition(s *System, ev event, n []int, win int) (int, bool) {
+	j := &s.juncs[ev.j]
+	src, dst := j.aIsl, j.bIsl
+	if ev.dir < 0 {
+		src, dst = dst, src
+	}
+	inWin := true
+	if src >= 0 {
+		n[src]--
+		if n[src] < -win {
+			inWin = false
+		}
+	}
+	if dst >= 0 {
+		n[dst]++
+		if n[dst] > win {
+			inWin = false
+		}
+	}
+	radix := 2*win + 1
+	idx := 0
+	ok := inWin
+	if ok {
+		for i := len(n) - 1; i >= 0; i-- {
+			idx = idx*radix + (n[i] + win)
+		}
+	}
+	// Undo.
+	if src >= 0 {
+		n[src]++
+	}
+	if dst >= 0 {
+		n[dst]--
+	}
+	if !ok {
+		return -1, false
+	}
+	return idx, true
+}

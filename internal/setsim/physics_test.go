@@ -1,0 +1,259 @@
+package setsim
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/units"
+)
+
+// TestRateDetailedBalance checks Gamma(dE)/Gamma(-dE) = exp(dE/kT) over
+// ten decades of energy at several temperatures.
+func TestRateDetailedBalance(t *testing.T) {
+	for _, tK := range []float64{0.05, 1, 4.2, 77, 300} {
+		kt := units.KB * tK
+		for _, x := range []float64{1e-4, 1e-2, 0.1, 0.5, 1, 2, 5, 10, 30} {
+			dE := x * kt
+			fwd := Rate(dE, 1e6, tK)
+			rev := Rate(-dE, 1e6, tK)
+			want := math.Exp(x)
+			if rev == 0 {
+				t.Fatalf("T=%g x=%g: reverse rate underflowed", tK, x)
+			}
+			got := fwd / rev
+			if math.Abs(got/want-1) > 1e-9 {
+				t.Errorf("T=%g x=%g: Gamma ratio %g, want exp(x)=%g", tK, x, got, want)
+			}
+		}
+	}
+}
+
+// TestRateBlockadeLimits checks the T -> 0 behaviour: downhill rates go
+// linear in dE (Gamma = dE/(e^2 RT)), uphill rates vanish (blockade),
+// and at dE = 0 the finite-T rate is kT/(e^2 RT).
+func TestRateBlockadeLimits(t *testing.T) {
+	const rt = 250e3
+	g := 1 / (units.Q * units.Q * rt)
+	for _, dE := range []float64{1e-22, 1e-21, 5e-21} {
+		if got := Rate(dE, rt, 0); math.Abs(got/(dE*g)-1) > 1e-12 {
+			t.Errorf("T=0 downhill: Rate(%g) = %g, want linear %g", dE, got, dE*g)
+		}
+		if got := Rate(-dE, rt, 0); got != 0 {
+			t.Errorf("T=0 uphill: Rate(%g) = %g, want 0", -dE, got)
+		}
+		// Cold but finite: uphill rate suppressed by at least exp(-dE/kT)/2.
+		tK := 0.5
+		up := Rate(-dE, rt, tK)
+		bound := dE * g * math.Exp(-dE/(units.KB*tK))
+		if up > bound*1.01 {
+			t.Errorf("T=%g uphill: Rate(%g) = %g exceeds thermal bound %g", tK, -dE, up, bound)
+		}
+	}
+	tK := 4.2
+	want := units.KB * tK / (units.Q * units.Q * rt)
+	if got := Rate(0, rt, tK); math.Abs(got/want-1) > 1e-6 {
+		t.Errorf("dE=0: Rate = %g, want kT/(e^2 RT) = %g", got, want)
+	}
+}
+
+// singleJunction is a bare tunnel junction between a biased electrode
+// and ground: the Poissonian shot-noise element.
+func singleJunction(t *testing.T, v, rt float64) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("single junction")
+	if _, err := c.AddVSource("vd", "d", "0", device.DC(v)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddTunnelJunction("j1", "d", "0", 1e-18, rt); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// doubleJunction is the canonical two-junction island.
+func doubleJunction(t *testing.T, vd float64) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("double junction")
+	if _, err := c.AddVSource("vd", "d", "0", device.DC(vd)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddIsland("isl", "m", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddTunnelJunction("j1", "d", "m", 1e-18, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddTunnelJunction("j2", "m", "0", 1e-18, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// setTransistor is the golden-deck SET: two 1 aF junctions, a 2 aF gate
+// capacitor, source grounded.
+func setTransistor(t *testing.T, vg, vd float64) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("set transistor")
+	for _, step := range []func() error{
+		func() error { _, err := c.AddVSource("vg", "g", "0", device.DC(vg)); return err },
+		func() error { _, err := c.AddVSource("vd", "d", "0", device.DC(vd)); return err },
+		func() error { _, err := c.AddIsland("isl", "m", 0, 0); return err },
+		func() error { _, err := c.AddTunnelJunction("j1", "d", "m", 1e-18, 1e6); return err },
+		func() error { _, err := c.AddTunnelJunction("j2", "m", "0", 1e-18, 1e6); return err },
+		func() error { _, err := c.AddCapacitor("cg", "m", "g", 2e-18); return err },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestOhmicLimitExact: for a bare junction the orthodox net current is
+// V/RT exactly at every temperature — the master equation must agree to
+// machine precision, and well within the 1% acceptance bound.
+func TestOhmicLimitExact(t *testing.T) {
+	const v, rt = 0.05, 1e6
+	ckt := singleJunction(t, v, rt)
+	sys, err := Compile(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sys.ElectrodeIndex("d")
+	if d < 0 {
+		t.Fatalf("no electrode d in %v", sys.Electrodes())
+	}
+	for _, tK := range []float64{-1, 0.1, 4.2, 300} { // -1 = exactly 0 K
+		vElec := make([]float64, len(sys.Electrodes()))
+		vElec[d] = v
+		me, err := sys.SteadyState(vElec, MEOptions{Temp: tK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := v / rt
+		if math.Abs(me.IElec[d]/want-1) > 1e-9 {
+			t.Errorf("T=%g: I = %g, want V/RT = %g", tK, me.IElec[d], want)
+		}
+	}
+}
+
+// TestOhmicLimitKMC: the kinetic Monte Carlo mean current converges to
+// V/RT within 1% at high bias.
+func TestOhmicLimitKMC(t *testing.T) {
+	const v, rt = 0.05, 1e6
+	ckt := singleJunction(t, v, rt)
+	res, err := Transient(ckt, Options{TStep: 2e-10, TStop: 4e-7, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Waves.Get("i(d)")
+	if s == nil {
+		t.Fatalf("no i(d) in %v", res.Waves.Names())
+	}
+	mean := 0.0
+	for _, x := range s.V[1:] {
+		mean += x
+	}
+	mean /= float64(s.Len() - 1)
+	if math.Abs(mean/(v/rt)-1) > 0.01 {
+		t.Errorf("kMC mean current %g, want %g within 1%% (%d events)", mean, v/rt, res.Events)
+	}
+}
+
+// TestDiamondBlockadeSuppression: inside the Coulomb diamond (gate at a
+// charge-degeneracy minimum) the SET current is suppressed by far more
+// than the 100x acceptance bound relative to the open (degeneracy
+// maximum) point at the same drain bias.
+func TestDiamondBlockadeSuppression(t *testing.T) {
+	const cg = 2e-18
+	const vd = 0.004
+	open := setTransistor(t, units.Q/(2*cg), vd) // degeneracy point e/2Cg
+	blocked := setTransistor(t, 0, vd)           // diamond centre
+	iOf := func(ckt *circuit.Circuit) float64 {
+		sys, err := Compile(ckt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := sys.ElectrodeIndex("d")
+		vElec := make([]float64, len(sys.Electrodes()))
+		for i, name := range sys.Electrodes() {
+			switch name {
+			case "d":
+				vElec[i] = vd
+			case "g":
+				if ckt.Element("vg").(*circuit.VSource).W.At(0) != 0 {
+					vElec[i] = units.Q / (2 * cg)
+				}
+			}
+		}
+		me, err := sys.SteadyState(vElec, MEOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(me.IElec[d])
+	}
+	iOpen, iBlocked := iOf(open), iOf(blocked)
+	if iOpen <= 0 {
+		t.Fatalf("open-point current is %g, expected conduction", iOpen)
+	}
+	if iBlocked*100 > iOpen {
+		t.Errorf("blockade suppression only %gx (open %g, blocked %g), want >= 100x",
+			iOpen/iBlocked, iOpen, iBlocked)
+	}
+}
+
+// TestMasterMatchesKMCOccupancy: on a double junction biased just above
+// threshold the island hops between two charge states; the long-run kMC
+// dwell-time fractions must match the master-equation steady state.
+func TestMasterMatchesKMCOccupancy(t *testing.T) {
+	const vd = 0.1
+	ckt := doubleJunction(t, vd)
+	sys, err := Compile(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sys.ElectrodeIndex("d")
+	vElec := make([]float64, len(sys.Electrodes()))
+	vElec[d] = vd
+	me, err := sys.SteadyState(vElec, MEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.BoundaryMass > 1e-9 {
+		t.Fatalf("charge window too small: boundary mass %g", me.BoundaryMass)
+	}
+	occME := me.Occupancy(0)
+
+	res, err := Transient(ckt, Options{TStep: 1e-10, TStop: 4e-7, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occKMC := res.Occupancy[0]
+	// The two dominant states carry essentially all probability; compare
+	// every state the ME predicts above 1e-3.
+	dominant := 0
+	for n, p := range occME {
+		if p < 1e-3 {
+			continue
+		}
+		dominant++
+		if diff := math.Abs(occKMC[n] - p); diff > 0.03 {
+			t.Errorf("state n=%d: kMC occupancy %.4f vs ME %.4f (diff %.4f)", n, occKMC[n], p, diff)
+		}
+	}
+	if dominant < 2 {
+		t.Fatalf("expected a 2-state system at vd=%g, ME gave %d dominant states (%v)", vd, dominant, occME)
+	}
+	// And the mean currents agree within kMC statistics.
+	s := res.Waves.Get("i(d)")
+	mean := 0.0
+	for _, x := range s.V[1:] {
+		mean += x
+	}
+	mean /= float64(s.Len() - 1)
+	if math.Abs(mean/me.IElec[d]-1) > 0.05 {
+		t.Errorf("kMC mean current %g vs ME %g (diff > 5%%)", mean, me.IElec[d])
+	}
+}

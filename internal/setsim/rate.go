@@ -1,0 +1,40 @@
+package setsim
+
+import (
+	"math"
+
+	"nanosim/internal/units"
+)
+
+// Rate returns the orthodox-theory tunneling rate (events per second)
+// for a transition that releases free energy dE (joules; dE > 0 is
+// downhill) across a junction with tunnel resistance rt (ohms) at
+// temperature tK (kelvin):
+//
+//	Gamma(dE) = dE / (e^2 rt (1 - exp(-dE/kT)))
+//
+// Limits are handled explicitly: at T = 0 the rate is dE/(e^2 rt) for
+// downhill transitions and 0 uphill (hard blockade), and at dE = 0 the
+// finite-temperature rate is kT/(e^2 rt).
+func Rate(dE, rt, tK float64) float64 {
+	g := 1 / (units.Q * units.Q * rt)
+	if tK <= 0 {
+		if dE <= 0 {
+			return 0
+		}
+		return dE * g
+	}
+	kt := units.KB * tK
+	x := dE / kt
+	switch {
+	case math.Abs(x) < 1e-8:
+		// x/(1-e^-x) = 1 + x/2 + O(x^2).
+		return g * kt * (1 + x/2)
+	case x < -700:
+		// exp(-x) overflows; the rate underflows to an exact zero well
+		// before the energy scale matters.
+		return 0
+	default:
+		return g * dE / (1 - math.Exp(-x))
+	}
+}

@@ -1,0 +1,72 @@
+package setsim
+
+import (
+	"math"
+	"testing"
+
+	"nanosim/internal/sde"
+	"nanosim/internal/units"
+)
+
+// TestShotNoiseSchottky: in the Poissonian limit (eV >> kT, so reverse
+// tunneling is negligible) the bin-averaged kMC current of a bare
+// junction is white noise with the Schottky spectral density S_I = 2eI.
+// The Welch PSD of the simulated record must sit on that floor.
+func TestShotNoiseSchottky(t *testing.T) {
+	const (
+		v    = 0.05 // eV/kT ~ 138 at 4.2 K: one-directional tunneling
+		rt   = 1e6
+		dt   = 1e-11
+		bins = 16384
+	)
+	ckt := singleJunction(t, v, rt)
+	res, err := Transient(ckt, Options{TStep: dt, TStop: float64(bins) * dt, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Waves.Get("i(d)")
+	if s.Len() != bins+1 {
+		t.Fatalf("expected %d samples, got %d", bins+1, s.Len())
+	}
+	vals := s.V[1:] // drop the t=0 placeholder sample
+	mean := 0.0
+	for _, x := range vals {
+		mean += x
+	}
+	mean /= float64(len(vals))
+
+	freqs, psd, err := sde.PSDWelch(vals, dt, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Band-average away from DC (Hann detrending eats the lowest bins)
+	// and away from the Nyquist edge bin.
+	lo, hi := 3, len(psd)-2
+	avg := 0.0
+	for k := lo; k < hi; k++ {
+		avg += psd[k]
+	}
+	avg /= float64(hi - lo)
+
+	want := 2 * units.Q * mean // Schottky: S_I = 2eI
+	if math.Abs(avg/want-1) > 0.10 {
+		t.Errorf("shot-noise floor %.4g A^2/Hz vs Schottky 2eI = %.4g (off by %.1f%%)",
+			avg, want, 100*math.Abs(avg/want-1))
+	}
+	// Whiteness: the floor at the low and high ends of the band must
+	// agree — Poissonian shot noise has no corner in this window.
+	half := (lo + hi) / 2
+	lowAvg, highAvg := 0.0, 0.0
+	for k := lo; k < half; k++ {
+		lowAvg += psd[k]
+	}
+	for k := half; k < hi; k++ {
+		highAvg += psd[k]
+	}
+	lowAvg /= float64(half - lo)
+	highAvg /= float64(hi - half)
+	if math.Abs(lowAvg/highAvg-1) > 0.25 {
+		t.Errorf("spectrum is not white: low-band %.4g vs high-band %.4g (freqs up to %.3g Hz)",
+			lowAvg, highAvg, freqs[len(freqs)-1])
+	}
+}

@@ -1,0 +1,388 @@
+package setsim
+
+import (
+	"fmt"
+	"math"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/mat"
+	"nanosim/internal/units"
+)
+
+// junction is a compiled tunnel junction: endpoints resolved to island
+// indices (>= 0) or electrode indices, never both per side.
+type junction struct {
+	name  string
+	a, b  circuit.NodeID
+	aIsl  int // island index of a, -1 when a is an electrode
+	bIsl  int
+	aElec int // electrode index of a, -1 when a is an island
+	bElec int
+	c, rt float64
+	eSelf float64 // (e^2/2)(L_aa + L_bb - 2 L_ab), precomputed
+}
+
+// System is a compiled single-electron circuit: the island capacitance
+// matrix (inverted once), the island-electrode coupling, the junction
+// list, and the split of the original circuit into engine-owned elements
+// and the external environment.
+type System struct {
+	ckt *circuit.Circuit
+
+	islands   []circuit.NodeID
+	islandIdx map[circuit.NodeID]int
+	q0        []float64 // background charge per island, coulombs
+
+	electrodes []circuit.NodeID
+	elecIdx    map[circuit.NodeID]int
+
+	juncs []junction
+
+	cinv *mat.Dense  // inverse island capacitance matrix
+	cext [][]float64 // [island][electrode] coupling capacitance
+
+	// external is every element the engine does not consume: the
+	// environment circuit for co-simulation.
+	external []circuit.Element
+	// drive[e] is the waveform of a voltage source found directly tying
+	// electrode e to ground (sign folded in); nil when the electrode's
+	// voltage must come from an environment solve (or is ground).
+	drive []device.Waveform
+	// envNodes reports whether any electrode needs an environment solve.
+	envNodes bool
+}
+
+// Compile scans ckt for Island and TunnelJunction elements and builds
+// the single-electron system. Capacitors touching an island are absorbed
+// into the capacitance matrix; every other element becomes part of the
+// external environment.
+func Compile(ckt *circuit.Circuit) (*System, error) {
+	sys := &System{
+		ckt:       ckt,
+		islandIdx: map[circuit.NodeID]int{},
+		elecIdx:   map[circuit.NodeID]int{},
+	}
+	var q0e []float64 // background charge in units of e
+	var c0 []float64
+	for _, e := range ckt.Elements() {
+		if il, ok := e.(*circuit.Island); ok {
+			if _, dup := sys.islandIdx[il.N]; dup {
+				return nil, fmt.Errorf("setsim: node %q is declared an island twice", ckt.NodeName(il.N))
+			}
+			sys.islandIdx[il.N] = len(sys.islands)
+			sys.islands = append(sys.islands, il.N)
+			q0e = append(q0e, il.Q0)
+			c0 = append(c0, il.C0)
+		}
+	}
+	// Electrodes: non-island nodes touched by a junction or an
+	// island-coupled capacitor, in first-touch order (deterministic).
+	electrode := func(n circuit.NodeID) int {
+		if idx, ok := sys.elecIdx[n]; ok {
+			return idx
+		}
+		idx := len(sys.electrodes)
+		sys.elecIdx[n] = idx
+		sys.electrodes = append(sys.electrodes, n)
+		return idx
+	}
+	type capLink struct {
+		a, b circuit.NodeID
+		c    float64
+	}
+	var links []capLink
+	for _, e := range ckt.Elements() {
+		switch el := e.(type) {
+		case *circuit.TunnelJunction:
+			j := junction{name: el.Name(), a: el.A, b: el.B, c: el.C, rt: el.RT, aIsl: -1, bIsl: -1, aElec: -1, bElec: -1}
+			if i, ok := sys.islandIdx[el.A]; ok {
+				j.aIsl = i
+			} else {
+				j.aElec = electrode(el.A)
+			}
+			if i, ok := sys.islandIdx[el.B]; ok {
+				j.bIsl = i
+			} else {
+				j.bElec = electrode(el.B)
+			}
+			sys.juncs = append(sys.juncs, j)
+			links = append(links, capLink{el.A, el.B, el.C})
+		case *circuit.Capacitor:
+			_, aIsl := sys.islandIdx[el.A]
+			_, bIsl := sys.islandIdx[el.B]
+			if !aIsl && !bIsl {
+				sys.external = append(sys.external, e)
+				continue
+			}
+			if !aIsl {
+				electrode(el.A)
+			}
+			if !bIsl {
+				electrode(el.B)
+			}
+			links = append(links, capLink{el.A, el.B, el.C})
+		case *circuit.Island:
+			// Consumed above.
+		default:
+			sys.external = append(sys.external, e)
+		}
+	}
+	if len(sys.juncs) == 0 {
+		return nil, fmt.Errorf("setsim: circuit has no tunnel junctions")
+	}
+	for n := range sys.islandIdx {
+		touched := false
+		for _, l := range links {
+			if l.a == n || l.b == n {
+				touched = true
+				break
+			}
+		}
+		if !touched && c0[sys.islandIdx[n]] <= 0 {
+			return nil, fmt.Errorf("setsim: island %q has no junction, capacitor or C0 attached", ckt.NodeName(n))
+		}
+	}
+
+	// Assemble the island capacitance matrix and the island-electrode
+	// coupling. cmat[i][i] sums every capacitance touching island i
+	// (plus the stray C0); cmat[i][j] is minus the direct island-island
+	// capacitance.
+	nIsl := len(sys.islands)
+	sys.q0 = make([]float64, nIsl)
+	for i := range sys.q0 {
+		sys.q0[i] = q0e[i] * units.Q
+	}
+	sys.cext = make([][]float64, nIsl)
+	for i := range sys.cext {
+		sys.cext[i] = make([]float64, len(sys.electrodes))
+	}
+	if nIsl > 0 {
+		cmat := mat.NewDense(nIsl, nIsl)
+		for i, c := range c0 {
+			cmat.Add(i, i, c)
+		}
+		for _, l := range links {
+			ai, aok := sys.islandIdx[l.a]
+			bi, bok := sys.islandIdx[l.b]
+			if aok {
+				cmat.Add(ai, ai, l.c)
+			}
+			if bok {
+				cmat.Add(bi, bi, l.c)
+			}
+			switch {
+			case aok && bok:
+				cmat.Add(ai, bi, -l.c)
+				cmat.Add(bi, ai, -l.c)
+			case aok:
+				sys.cext[ai][sys.elecIdx[l.b]] += l.c
+			case bok:
+				sys.cext[bi][sys.elecIdx[l.a]] += l.c
+			}
+		}
+		inv, err := invert(cmat)
+		if err != nil {
+			return nil, fmt.Errorf("setsim: singular island capacitance matrix: %v", err)
+		}
+		sys.cinv = inv
+	}
+
+	// Precompute each junction's charging self-energy
+	// (e^2/2)(L_xx + L_yy - 2 L_xy), with L = Cinv on islands and 0 on
+	// electrodes (a voltage-source node absorbs charge at no cost).
+	for k := range sys.juncs {
+		j := &sys.juncs[k]
+		lxx, lyy, lxy := 0.0, 0.0, 0.0
+		if j.aIsl >= 0 {
+			lxx = sys.cinv.At(j.aIsl, j.aIsl)
+		}
+		if j.bIsl >= 0 {
+			lyy = sys.cinv.At(j.bIsl, j.bIsl)
+		}
+		if j.aIsl >= 0 && j.bIsl >= 0 {
+			lxy = sys.cinv.At(j.aIsl, j.bIsl)
+		}
+		j.eSelf = units.Q * units.Q / 2 * (lxx + lyy - 2*lxy)
+	}
+
+	// Resolve each electrode's drive: ground is fixed at 0; a voltage
+	// source directly tying the electrode to ground fixes it to the
+	// source waveform; anything else needs the co-simulated environment.
+	sys.drive = make([]device.Waveform, len(sys.electrodes))
+	for ei, n := range sys.electrodes {
+		if n == circuit.Ground {
+			sys.drive[ei] = device.DC(0)
+			continue
+		}
+		for _, e := range sys.external {
+			v, ok := e.(*circuit.VSource)
+			if !ok {
+				continue
+			}
+			if v.Pos == n && v.Neg == circuit.Ground {
+				sys.drive[ei] = v.W
+				break
+			}
+			if v.Neg == n && v.Pos == circuit.Ground {
+				sys.drive[ei] = negated{v.W}
+				break
+			}
+		}
+		if sys.drive[ei] == nil {
+			sys.envNodes = true
+			// The electrode must at least be reachable through some
+			// external element, or its voltage is undefined.
+			touched := false
+			for _, e := range sys.external {
+				for _, en := range e.Nodes() {
+					if en == n {
+						touched = true
+					}
+				}
+			}
+			if !touched {
+				return nil, fmt.Errorf("setsim: electrode %q is floating (no source or external element drives it)", ckt.NodeName(n))
+			}
+		}
+	}
+	return sys, nil
+}
+
+// negated flips a waveform's sign (source wired neg-side to the node).
+type negated struct{ w device.Waveform }
+
+// At implements device.Waveform.
+func (n negated) At(t float64) float64 { return -n.w.At(t) }
+
+// invert computes the dense inverse via one LU factorization.
+func invert(a *mat.Dense) (*mat.Dense, error) {
+	n := a.Rows()
+	lu, err := mat.Factor(a, nil)
+	if err != nil {
+		return nil, err
+	}
+	inv := mat.NewDense(n, n)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for c := 0; c < n; c++ {
+		for i := range b {
+			b[i] = 0
+		}
+		b[c] = 1
+		lu.Solve(b, x, nil)
+		for r := 0; r < n; r++ {
+			if !finite(x[r]) {
+				return nil, fmt.Errorf("non-finite inverse column %d", c)
+			}
+			inv.Set(r, c, x[r])
+		}
+	}
+	return inv, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Islands returns the island node names in island-index order.
+func (s *System) Islands() []string {
+	out := make([]string, len(s.islands))
+	for i, n := range s.islands {
+		out[i] = s.ckt.NodeName(n)
+	}
+	return out
+}
+
+// Electrodes returns the electrode node names in electrode-index order.
+func (s *System) Electrodes() []string {
+	out := make([]string, len(s.electrodes))
+	for i, n := range s.electrodes {
+		out[i] = s.ckt.NodeName(n)
+	}
+	return out
+}
+
+// ElectrodeIndex returns the electrode index of the named node, or -1.
+func (s *System) ElectrodeIndex(node string) int {
+	for i, n := range s.electrodes {
+		if s.ckt.NodeName(n) == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// potentials computes island potentials phi = Cinv (q + Cext V) where
+// q_i = -e n_i + q0_i, into dst.
+func (s *System) potentials(n []int, vElec []float64, dst []float64) {
+	nIsl := len(s.islands)
+	if nIsl == 0 {
+		return
+	}
+	q := make([]float64, nIsl)
+	for i := 0; i < nIsl; i++ {
+		q[i] = -units.Q*float64(n[i]) + s.q0[i]
+		for e, c := range s.cext[i] {
+			q[i] += c * vElec[e]
+		}
+	}
+	s.cinv.MulVec(q, dst, nil)
+}
+
+// event identifies one tunneling transition: an electron crossing
+// junction j from terminal a to b (dir +1) or b to a (dir -1).
+type event struct {
+	j   int
+	dir int
+}
+
+// deltaE returns the free energy released (joules) by ev in the state
+// given by island potentials phi and electrode voltages vElec:
+// dE = e (u_dst - u_src) - eSelf, with u the potential of each terminal.
+func (s *System) deltaE(ev event, phi, vElec []float64) float64 {
+	j := &s.juncs[ev.j]
+	uA, uB := 0.0, 0.0
+	if j.aIsl >= 0 {
+		uA = phi[j.aIsl]
+	} else {
+		uA = vElec[j.aElec]
+	}
+	if j.bIsl >= 0 {
+		uB = phi[j.bIsl]
+	} else {
+		uB = vElec[j.bElec]
+	}
+	if ev.dir > 0 {
+		return units.Q*(uB-uA) - j.eSelf
+	}
+	return units.Q*(uA-uB) - j.eSelf
+}
+
+// apply mutates state for ev: island electron counts, the incremental
+// potential update (phi += -+ e Cinv[:,i]), and the electrode transfer
+// counters (in = electrons arriving at the electrode).
+func (s *System) apply(ev event, n []int, phi []float64, in, out []int64) {
+	j := &s.juncs[ev.j]
+	src, dst := j.aIsl, j.bIsl
+	srcE, dstE := j.aElec, j.bElec
+	if ev.dir < 0 {
+		src, dst = dst, src
+		srcE, dstE = dstE, srcE
+	}
+	if src >= 0 {
+		// Electron leaves island src: q_src += e.
+		n[src]--
+		for i := range phi {
+			phi[i] += units.Q * s.cinv.At(i, src)
+		}
+	} else {
+		out[srcE]++
+	}
+	if dst >= 0 {
+		n[dst]++
+		for i := range phi {
+			phi[i] -= units.Q * s.cinv.At(i, dst)
+		}
+	} else {
+		in[dstE]++
+	}
+}

@@ -214,7 +214,7 @@ func MonteCarlo(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	// Nominal probe: learns signal names and the envelope time domain,
 	// and doubles as the reference run reported alongside the envelopes.
-	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.EM.Seed)
+	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.baseSeed())
 	if err != nil {
 		return nil, fmt.Errorf("vary: nominal run failed: %w", err)
 	}
@@ -541,7 +541,7 @@ func Sweep(ckt *circuit.Circuit, opt SweepOptions) (*SweepResult, error) {
 		runs *= a.Points
 	}
 
-	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.EM.Seed)
+	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.baseSeed())
 	if err != nil {
 		return nil, fmt.Errorf("vary: nominal run failed: %w", err)
 	}
@@ -579,7 +579,7 @@ func Sweep(ckt *circuit.Circuit, opt SweepOptions) (*SweepResult, error) {
 					return 0, err
 				}
 			}
-			return job.EM.Seed, nil
+			return job.baseSeed(), nil
 		}}
 	}
 	outs, solve := runBatch(batchConfig{

@@ -14,6 +14,7 @@ import (
 	"nanosim/internal/linsolve"
 	"nanosim/internal/randx"
 	"nanosim/internal/sde"
+	"nanosim/internal/setsim"
 	"nanosim/internal/trace"
 	"nanosim/internal/wave"
 )
@@ -21,8 +22,9 @@ import (
 // Job selects the analysis every trial runs.
 type Job struct {
 	// Analysis is "tran" (SWEC transient, the default), "op" (SWEC DC
-	// operating point) or "em" (one Euler-Maruyama path per trial,
-	// combining parameter and input uncertainty).
+	// operating point), "em" (one Euler-Maruyama path per trial,
+	// combining parameter and input uncertainty) or "set" (one
+	// single-electron kinetic Monte Carlo transient per trial).
 	Analysis string
 	// Tran configures the "tran" analysis. Its Solver and Ctx fields are
 	// ignored: the runner supplies the per-worker reusing factory and
@@ -33,6 +35,11 @@ type Job struct {
 	// EM configures the "em" analysis. Solver, Seed and Ctx are ignored:
 	// the per-trial seed derives from the batch seed and the trial index.
 	EM sde.Options
+	// SET configures the "set" analysis. Solver, Seed and Ctx are
+	// ignored, exactly as for "em": trial t tunnels with the seed drawn
+	// from randx.Split(batch seed, t), so the batch is bit-identical at
+	// any worker count.
+	SET setsim.Options
 }
 
 // withDefaults normalizes the analysis keyword.
@@ -44,15 +51,26 @@ func (j Job) withDefaults() (Job, error) {
 		j.Analysis = "op"
 	case "em":
 		j.Analysis = "em"
+	case "set":
+		j.Analysis = "set"
 	default:
-		return j, fmt.Errorf("vary: unknown analysis %q (want tran, op or em)", j.Analysis)
+		return j, fmt.Errorf("vary: unknown analysis %q (want tran, op, em or set)", j.Analysis)
 	}
 	return j, nil
 }
 
+// baseSeed is the nominal-run seed of the job's stochastic engine (the
+// value per-trial seeds replace).
+func (j Job) baseSeed() uint64 {
+	if j.Analysis == "set" {
+		return j.SET.Seed
+	}
+	return j.EM.Seed
+}
+
 // run executes the job on ckt with the given solver factory. ctx, when
 // non-nil, cancels the underlying analysis mid-run. emSeed replaces the
-// EM seed for "em" jobs and is ignored otherwise.
+// engine seed for "em" and "set" jobs and is ignored otherwise.
 func (j Job) run(ctx context.Context, ckt *circuit.Circuit, solver linsolve.Factory, emSeed uint64) (*wave.Set, error) {
 	switch j.Analysis {
 	case "op":
@@ -70,6 +88,16 @@ func (j Job) run(ctx context.Context, ckt *circuit.Circuit, solver linsolve.Fact
 		o.Seed = emSeed
 		o.Ctx = ctx
 		res, err := sde.Transient(ckt, o)
+		if err != nil {
+			return nil, err
+		}
+		return res.Waves, nil
+	case "set":
+		o := j.SET
+		o.Solver = solver
+		o.Seed = emSeed
+		o.Ctx = ctx
+		res, err := setsim.Transient(ckt, o)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +156,7 @@ func (w *worker) solver(n int, fc *flop.Counter) linsolve.Solver {
 // reference no trial outcome can influence.
 func (w *worker) warm() {
 	w.beginRun()
-	if _, err := w.job.run(w.ctx, w.base.Clone(), w.solver, w.job.EM.Seed); err != nil {
+	if _, err := w.job.run(w.ctx, w.base.Clone(), w.solver, w.job.baseSeed()); err != nil {
 		// The nominal circuit was validated by the probe run; if it
 		// fails here, stop reusing state rather than guessing.
 		w.drop()
@@ -383,6 +411,16 @@ func measure(cfg batchConfig, index int, waves *wave.Set) trialOut {
 		out.final[k] = s.Final()
 		_, vMin, _, vMax := s.MinMax()
 		out.min[k], out.max[k] = vMin, vMax
+		if cfg.grid != nil && s.T[s.Len()-1] < cfg.grid[len(cfg.grid)-1]-(cfg.grid[len(cfg.grid)-1]-cfg.grid[0])*1e-9 {
+			// The trial's engine stopped recording before the nominal end
+			// time (a partial or empty stochastic run): its "final" is not
+			// the value at the end time, and min/max never saw the missing
+			// span. Excluding the scalars as NaN matches how the envelope
+			// marks uncovered grid points below — zero-filling would let a
+			// truncated trial masquerade as a finished one in yield and
+			// histogram statistics.
+			out.final[k], out.min[k], out.max[k] = math.NaN(), math.NaN(), math.NaN()
+		}
 		if cfg.grid != nil {
 			// Series.At clamps outside the recorded domain, which would
 			// zero-order-hold a partial trial (one that stopped before the

@@ -1,0 +1,220 @@
+package vary
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nanosim/internal/circuit"
+	"nanosim/internal/device"
+	"nanosim/internal/setsim"
+	"nanosim/internal/wave"
+)
+
+// setDoubleJunction is a double tunnel junction biased above threshold,
+// the smallest deck that makes the kMC engine tunnel.
+func setDoubleJunction(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("set double junction")
+	mustOK := func(_ any, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK(c.AddVSource("Vd", "d", "0", device.DC(0.12)))
+	mustOK(c.AddIsland("ISL_m", "m", 0, 0))
+	mustOK(c.AddTunnelJunction("J1", "d", "m", 1e-18, 1e6))
+	mustOK(c.AddTunnelJunction("J2", "m", "0", 1e-18, 1e6))
+	return c
+}
+
+func setJob() Job {
+	return Job{Analysis: "set", SET: setsim.Options{TStep: 1e-10, TStop: 2e-8}}
+}
+
+// TestSetMonteCarloDeterministicAcrossWorkers extends the batch
+// reproducibility contract to single-electron kMC trials: junction
+// R/C spread plus per-trial tunneling randomness, bit-identical at any
+// parallelism because trial t's engine seed comes from
+// randx.Split(batch seed, t), never from scheduling.
+func TestSetMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	base := Options{
+		Trials: 12,
+		Seed:   77,
+		Specs: []Spec{
+			{Elem: "J*", Param: "R", Sigma: 0.05, Rel: true},
+			{Elem: "J1", Param: "C", Sigma: 0.03, Rel: true},
+		},
+		Job:     setJob(),
+		Signals: []string{"i(d)", "n(m)"},
+		Limits:  []Limit{{Signal: "i(d)", Stat: "final", Lo: -1, Hi: 1}},
+	}
+	var ref *Result
+	for _, workers := range []int{1, 2, 8} {
+		opt := base
+		opt.Workers = workers
+		res, err := MonteCarlo(setDoubleJunction(t), opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("workers=%d: %d trials failed: %v", workers, res.Failed, res.TrialErrors)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for _, name := range base.Signals {
+			sr, ss := ref.Signal(name), res.Signal(name)
+			for i := range sr.Final {
+				if sr.Final[i] != ss.Final[i] || sr.Min[i] != ss.Min[i] || sr.Max[i] != ss.Max[i] {
+					t.Fatalf("workers=%d: %s trial %d scalars diverge", workers, name, i)
+				}
+			}
+			seriesEqual(t, sr.Mean, ss.Mean)
+			seriesEqual(t, sr.Std, ss.Std)
+			seriesEqual(t, sr.QLo, ss.QLo)
+			seriesEqual(t, sr.QHi, ss.QHi)
+		}
+		if res.Passed != ref.Passed || res.Yield != ref.Yield {
+			t.Fatalf("workers=%d: yield %d/%g vs %d/%g", workers, res.Passed, res.Yield, ref.Passed, ref.Yield)
+		}
+	}
+}
+
+// TestSetShardedMonteCarloDeterministic: coordinator sharding of a kMC
+// batch reproduces the single-process per-trial scalars bit for bit —
+// the distribution contract the nanosimd "set" job kind relies on.
+func TestSetShardedMonteCarloDeterministic(t *testing.T) {
+	opt := Options{
+		Trials: 64,
+		Seed:   1717,
+		Specs:  []Spec{{Elem: "J*", Param: "R", Sigma: 0.05, Rel: true}},
+		Job:    setJob(),
+		Signals: []string{
+			"i(d)",
+		},
+	}
+	single, err := MonteCarlo(setDoubleJunction(t), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := ShardRanges(opt.Trials, 2)
+	var shards []*ShardResult
+	for _, i := range []int{1, 0} { // out of order, as replicas would
+		sr, err := MonteCarloShard(setDoubleJunction(t), opt, ranges[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sr)
+	}
+	merged, err := MergeShards(setDoubleJunction(t), opt, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ms := single.Signal("i(d)"), merged.Signal("i(d)")
+	for i := range ss.Final {
+		if ss.Final[i] != ms.Final[i] || ss.Min[i] != ms.Min[i] || ss.Max[i] != ms.Max[i] {
+			t.Fatalf("trial %d scalars differ under sharding", i)
+		}
+	}
+	seriesEqual(t, ss.Mean, ms.Mean)
+	seriesEqual(t, ss.Std, ms.Std)
+}
+
+// TestSetSpecTargets: tunnel junctions and islands resolve as vary
+// targets with guarded setters.
+func TestSetSpecTargets(t *testing.T) {
+	ckt := setDoubleJunction(t)
+	tgs, err := resolveTargets(ckt, "J1", "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tgs[0].get(); got != 1e6 {
+		t.Fatalf("J1(R) reads %g", got)
+	}
+	if err := tgs[0].set(2e6); err != nil {
+		t.Fatal(err)
+	}
+	if ckt.Element("J1").(*circuit.TunnelJunction).RT != 2e6 {
+		t.Fatal("J1(R) set did not stick")
+	}
+	if err := tgs[0].set(-1); err == nil || !strings.Contains(err.Error(), "RT must stay > 0") {
+		t.Fatalf("negative RT accepted: %v", err)
+	}
+	if tgs, err = resolveTargets(ckt, "J2", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgs[0].set(0); err == nil {
+		t.Fatal("zero C accepted")
+	}
+	if tgs, err = resolveTargets(ckt, "ISL_m", "Q0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgs[0].set(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if ckt.Element("ISL_m").(*circuit.Island).Q0 != 0.25 {
+		t.Fatal("island Q0 set did not stick")
+	}
+	if _, err := resolveTargets(ckt, "J1", "BOGUS"); err == nil || !strings.Contains(err.Error(), "tunnel junctions expose") {
+		t.Fatalf("bogus junction param: %v", err)
+	}
+}
+
+// TestPartialTrialScalarsExcluded is the regression test for the trial
+// accounting audit: a trial whose engine stopped recording before the
+// nominal end time (partial stochastic run) must have its final/min/max
+// scalars excluded as NaN, not fabricated from the truncated series.
+func TestPartialTrialScalarsExcluded(t *testing.T) {
+	grid := make([]float64, 11)
+	for i := range grid {
+		grid[i] = float64(i) * 1e-10 // nominal domain [0, 1ns]
+	}
+	cfg := batchConfig{signals: []string{"i(d)"}, grid: grid}
+
+	partial := wave.NewSet()
+	s := wave.NewSeries("i(d)", 6)
+	for i := 0; i <= 5; i++ { // stops at 0.5ns
+		s.MustAppend(float64(i)*1e-10, 1.0)
+	}
+	if err := partial.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	out := measure(cfg, 0, partial)
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !math.IsNaN(out.final[0]) || !math.IsNaN(out.min[0]) || !math.IsNaN(out.max[0]) {
+		t.Errorf("partial trial scalars not excluded: final=%v min=%v max=%v",
+			out.final[0], out.min[0], out.max[0])
+	}
+	// The covered grid points keep their data; the uncovered tail is NaN.
+	for g, tm := range grid {
+		covered := tm <= 5e-10+1e-22
+		if covered && math.IsNaN(out.vals[0][g]) {
+			t.Errorf("covered grid point %d marked NaN", g)
+		}
+		if !covered && !math.IsNaN(out.vals[0][g]) {
+			t.Errorf("uncovered grid point %d holds fabricated value %v", g, out.vals[0][g])
+		}
+	}
+
+	full := wave.NewSet()
+	s2 := wave.NewSeries("i(d)", 11)
+	for i := 0; i <= 10; i++ {
+		s2.MustAppend(float64(i)*1e-10, 2.0)
+	}
+	if err := full.Add(s2); err != nil {
+		t.Fatal(err)
+	}
+	out = measure(cfg, 1, full)
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.final[0] != 2 || out.min[0] != 2 || out.max[0] != 2 {
+		t.Errorf("complete trial scalars damaged: final=%v min=%v max=%v",
+			out.final[0], out.min[0], out.max[0])
+	}
+}

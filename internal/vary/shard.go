@@ -137,7 +137,7 @@ func MonteCarloShard(ckt *circuit.Circuit, opt Options, rng ShardRange) (*ShardR
 	}
 	// The nominal probe is deterministic per (deck, job), so every shard
 	// derives the identical signal list and envelope grid.
-	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.EM.Seed)
+	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.baseSeed())
 	if err != nil {
 		return nil, fmt.Errorf("vary: nominal run failed: %w", err)
 	}
@@ -250,7 +250,7 @@ func MergeShards(ckt *circuit.Circuit, opt Options, shards []*ShardResult) (*Res
 	if err != nil {
 		return nil, err
 	}
-	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.EM.Seed)
+	nominal, err := job.run(opt.Ctx, ckt.Clone(), opt.Solver, job.baseSeed())
 	if err != nil {
 		return nil, fmt.Errorf("vary: nominal run failed: %w", err)
 	}

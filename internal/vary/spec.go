@@ -320,6 +320,46 @@ func resolveParam(e circuit.Element, param string) (target, error) {
 		return target{name: label,
 			get: func() float64 { v, _ := pm.Param(p); return v },
 			set: func(v float64) error { return pm.SetParam(p, v) }}, nil
+	case *circuit.TunnelJunction:
+		switch p {
+		case "", "R", "RT":
+			return target{name: label, get: func() float64 { return el.RT },
+				set: func(v float64) error {
+					if v <= 0 {
+						return fmt.Errorf("vary: %s: RT must stay > 0, got %g", label, v)
+					}
+					el.RT = v
+					return nil
+				}}, nil
+		case "C":
+			return target{name: label, get: func() float64 { return el.C },
+				set: func(v float64) error {
+					if v <= 0 {
+						return fmt.Errorf("vary: %s: C must stay > 0, got %g", label, v)
+					}
+					el.C = v
+					return nil
+				}}, nil
+		default:
+			return fail("tunnel junctions expose R (alias RT) and C")
+		}
+	case *circuit.Island:
+		switch p {
+		case "", "Q0":
+			return target{name: label, get: func() float64 { return el.Q0 },
+				set: func(v float64) error { el.Q0 = v; return nil }}, nil
+		case "C0":
+			return target{name: label, get: func() float64 { return el.C0 },
+				set: func(v float64) error {
+					if v < 0 {
+						return fmt.Errorf("vary: %s: C0 must stay >= 0, got %g", label, v)
+					}
+					el.C0 = v
+					return nil
+				}}, nil
+		default:
+			return fail("islands expose Q0 and C0")
+		}
 	case *circuit.FET:
 		m := el.Model
 		if p == "" {

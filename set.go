@@ -1,0 +1,68 @@
+package nanosim
+
+import (
+	"nanosim/internal/circuit"
+	"nanosim/internal/setsim"
+	"nanosim/internal/units"
+)
+
+// SETOptions configures a single-electron kinetic Monte Carlo transient
+// (see internal/setsim for field-by-field documentation; zero values
+// select defaults — 4.2 K bath, single seed-0 stream).
+type SETOptions = setsim.Options
+
+// SETResult is a finished kinetic Monte Carlo transient: bin-averaged
+// electrode currents, island potentials and excess-electron counts,
+// plus the time-weighted island occupancy the master equation predicts.
+type SETResult = setsim.Result
+
+// SETTransient runs the single-electron tunnel-junction engine: orthodox
+// tunneling rates drive a next-event kinetic Monte Carlo over the
+// circuit's Island/TunnelJunction elements (Circuit.AddIsland,
+// Circuit.AddTunnelJunction, or .island/Jxx netlist cards). Electrodes
+// tied directly to a grounded source follow that waveform; electrodes
+// fed through other components are co-simulated, with the device's
+// bin-averaged current stamped into the surrounding circuit as a
+// step-wise equivalent conductance and the environment re-solved once
+// per bin — the SWEC philosophy applied at the engine boundary.
+//
+// Results are reproducible: equal seeds give bit-identical waveforms on
+// any machine.
+func SETTransient(ckt *Circuit, opt SETOptions) (*SETResult, error) {
+	return setsim.Transient(ckt, opt)
+}
+
+// SETMapOptions configures a Coulomb-diamond map: a 2-D (gate x drain)
+// bias sweep measuring mean drain current at every point.
+type SETMapOptions = setsim.MapOptions
+
+// SETMapResult is a finished Coulomb-diamond map; GatePeriod extracts
+// the Coulomb-oscillation period (e/Cgate for a clean SET).
+type SETMapResult = setsim.MapResult
+
+// SETMap sweeps two grounded sources over their grids and measures the
+// mean drain-electrode current: the characterise-style 2-D input sweep
+// whose contours are the Coulomb diamonds. The default point solver is
+// the exact master equation; METHOD "kmc" averages seeded stochastic
+// windows instead (point k draws from randx.Split(Seed, k), so the map
+// is bit-identical at any Workers count).
+func SETMap(ckt *Circuit, opt SETMapOptions) (*SETMapResult, error) {
+	return setsim.Map(ckt, opt)
+}
+
+// SETMEOptions configures the master-equation steady-state solver used
+// by SETMap's default method.
+type SETMEOptions = setsim.MEOptions
+
+// ElectronCharge is the elementary charge in coulombs — the natural
+// current scale of single-electron results (I = e x rate).
+const ElectronCharge = units.Q
+
+// Island marks a node as a Coulomb-blockade island (see
+// Circuit.AddIsland).
+type Island = circuit.Island
+
+// TunnelJunction is an ultrasmall tunnel junction, capacitance C in
+// parallel with a stochastic tunnel resistance RT (see
+// Circuit.AddTunnelJunction).
+type TunnelJunction = circuit.TunnelJunction

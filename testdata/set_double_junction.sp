@@ -1,0 +1,10 @@
+* double tunnel junction: seeded kMC transient co-simulated with a load
+Vdd vdd 0 0.3
+RL vdd d 1meg
+J1 d m tj
+J2 m 0 tj
+.model tj TJ C=1a R=1meg
+.island m
+.set tran 0.2n 40n SEED=7 TEMP=4.2
+.print i(d) n(m)
+.end

@@ -1,0 +1,10 @@
+* SET transistor: Coulomb-diamond map (gate period e/Cg = 80.1mV)
+Vg g 0 0
+Vd d 0 4m
+Cg m g 2a
+J1 d m tj
+J2 m 0 tj
+.model tj TJ C=1a R=1meg
+.island m
+.set map Vg 0 0.25 126 Vd 1m 4m 2 TEMP=4.2
+.end

@@ -30,8 +30,9 @@ func ParseVaryDist(s string) (VaryDist, error) { return vary.ParseDist(s) }
 
 // VaryJob selects the analysis every Monte Carlo trial or sweep point
 // runs: SWEC transient ("tran", default), SWEC DC operating point
-// ("op"), or one Euler-Maruyama path ("em") — the last combining device
-// parameter spread with input noise in a single statistical run.
+// ("op"), one Euler-Maruyama path ("em"), or one single-electron kMC
+// transient ("set") — the stochastic kinds combining device parameter
+// spread with per-trial randomness in a single statistical run.
 type VaryJob = vary.Job
 
 // VaryLimit is one yield specification: a trial passes when the chosen
